@@ -1,0 +1,21 @@
+//! Criterion micro-bench: simulation engine throughput (unroll + SPMD
+//! scheduling + timeline construction).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use phasefold_simapp::workloads::cg::{build, CgParams};
+use phasefold_simapp::{simulate, SimConfig};
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_cg");
+    group.sample_size(15);
+    for &ranks in &[2usize, 8, 32] {
+        let program = build(&CgParams { iterations: 100, ..CgParams::default() });
+        group.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |b, &ranks| {
+            b.iter(|| simulate(&program, &SimConfig { ranks, ..SimConfig::default() }))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion micro-bench: the folding transform over trace size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use phasefold_cluster::{cluster_bursts, ClusterConfig};
+use phasefold_folding::{fold_trace, FoldConfig};
+use phasefold_model::{extract_bursts, DurNs};
+use phasefold_simapp::workloads::synthetic::{build, SyntheticParams};
+use phasefold_simapp::{simulate, SimConfig};
+use phasefold_tracer::{trace_run, TracerConfig};
+
+fn bench_folding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fold_trace");
+    group.sample_size(20);
+    for &iterations in &[200u64, 800] {
+        let program = build(&SyntheticParams { iterations, ..SyntheticParams::default() });
+        let out = simulate(&program, &SimConfig { ranks: 4, ..SimConfig::default() });
+        let trace = trace_run(&program.registry, &out.timelines, &TracerConfig::default());
+        let bursts = extract_bursts(&trace, DurNs::from_micros(10));
+        let clustering = cluster_bursts(&bursts, &ClusterConfig::default());
+        group.bench_with_input(
+            BenchmarkId::from_parameter(iterations),
+            &iterations,
+            |b, _| b.iter(|| fold_trace(&trace, &bursts, &clustering, &FoldConfig::default())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_folding);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion micro-bench: kd-tree build + range query vs brute-force scan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use phasefold_cluster::KdTree;
+
+fn points(n: usize) -> Vec<[f64; 2]> {
+    (0..n)
+        .map(|i| {
+            let a = ((i as u64).wrapping_mul(2654435761) % 100_000) as f64 / 100_000.0;
+            let b = ((i as u64).wrapping_mul(0x9E3779B9) % 100_000) as f64 / 100_000.0;
+            [a, b]
+        })
+        .collect()
+}
+
+fn bench_kdtree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kdtree_range_query");
+    for &n in &[1000usize, 10_000] {
+        let pts = points(n);
+        let tree = KdTree::build(&pts);
+        group.bench_with_input(BenchmarkId::new("kdtree", n), &n, |b, _| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for q in pts.iter().step_by(97) {
+                    total += tree.within(q, 0.02).len();
+                }
+                total
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("brute", n), &n, |b, _| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for q in pts.iter().step_by(97) {
+                    total += pts
+                        .iter()
+                        .filter(|p| {
+                            let dx = p[0] - q[0];
+                            let dy = p[1] - q[1];
+                            (dx * dx + dy * dy).sqrt() <= 0.02
+                        })
+                        .count();
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kdtree);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion macro-bench: the complete analysis pipeline (burst
+//! extraction → clustering → folding → PWLR → phases) on a recorded trace.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use phasefold::{analyze_trace, AnalysisConfig};
+use phasefold_simapp::workloads::cg::{build, CgParams};
+use phasefold_simapp::{simulate, SimConfig};
+use phasefold_tracer::{trace_run, TracerConfig};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analyze_trace_cg");
+    group.sample_size(10);
+    for &ranks in &[2usize, 8] {
+        let program = build(&CgParams { iterations: 100, ..CgParams::default() });
+        let out = simulate(&program, &SimConfig { ranks, ..SimConfig::default() });
+        let trace = trace_run(&program.registry, &out.timelines, &TracerConfig::default());
+        group.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |b, _| {
+            b.iter(|| analyze_trace(&trace, &AnalysisConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,140 @@
+//! **E10 — Model-selection ablation** (table): which pieces of the PWLR
+//! machinery actually matter. Ablates the selection criterion (BIC vs AIC
+//! vs fixed order), the parsimony margin, the Muggeo refinement and the
+//! proposal grid resolution, on synthetic profiles with known order.
+//!
+//! ```text
+//! cargo run --release -p phasefold-bench --bin exp_ablation_selection
+//! ```
+
+use phasefold::{run_study, score_boundaries, AnalysisConfig};
+use phasefold_bench::{banner, fmt, write_results, Table};
+use phasefold_regress::breakpoints::RefineConfig;
+use phasefold_regress::{PwlrConfig, SelectionCriterion};
+use phasefold_simapp::workloads::synthetic::{build, true_boundaries, PhaseSpec, SyntheticParams};
+use phasefold_simapp::{NoiseConfig, SimConfig};
+use phasefold_tracer::TracerConfig;
+
+struct Variant {
+    name: &'static str,
+    pwlr: PwlrConfig,
+}
+
+fn variants(true_k: usize) -> Vec<Variant> {
+    let base = PwlrConfig::default();
+    vec![
+        Variant { name: "bic+margin (default)", pwlr: base.clone() },
+        Variant {
+            name: "bic, no margin",
+            pwlr: PwlrConfig { margin_rel: 0.0, margin_abs: 0.0, ..base.clone() },
+        },
+        Variant {
+            name: "aic, no margin",
+            pwlr: PwlrConfig {
+                criterion: SelectionCriterion::Aic,
+                margin_rel: 0.0,
+                margin_abs: 0.0,
+                ..base.clone()
+            },
+        },
+        Variant {
+            name: "fixed k (oracle)",
+            pwlr: PwlrConfig {
+                criterion: SelectionCriterion::FixedSegments(true_k),
+                ..base.clone()
+            },
+        },
+        Variant {
+            name: "no muggeo refine",
+            pwlr: PwlrConfig {
+                refine: RefineConfig { max_iters: 0, ..RefineConfig::default() },
+                ..base.clone()
+            },
+        },
+        Variant {
+            name: "coarse grid (20 bins)",
+            pwlr: PwlrConfig { grid_bins: 20, ..base.clone() },
+        },
+    ]
+}
+
+fn main() {
+    banner(
+        "E10",
+        "PWLR model-selection & refinement ablation",
+        "which design choices the phase detection actually needs",
+    );
+    let mut table = Table::new(&[
+        "profile",
+        "variant",
+        "true_k",
+        "detected_k",
+        "recall",
+        "bp_MAE",
+    ]);
+
+    let profiles: Vec<(&str, Vec<PhaseSpec>)> = vec![
+        (
+            "3-phase/high-contrast",
+            vec![
+                PhaseSpec { ipc: 2.4, rel_duration: 1.0 },
+                PhaseSpec { ipc: 0.6, rel_duration: 1.5 },
+                PhaseSpec { ipc: 1.5, rel_duration: 0.8 },
+            ],
+        ),
+        (
+            "4-phase/low-contrast",
+            vec![
+                PhaseSpec { ipc: 2.0, rel_duration: 1.0 },
+                PhaseSpec { ipc: 1.4, rel_duration: 1.0 },
+                PhaseSpec { ipc: 2.2, rel_duration: 1.0 },
+                PhaseSpec { ipc: 1.5, rel_duration: 1.0 },
+            ],
+        ),
+    ];
+
+    for (profile_name, phases) in profiles {
+        let true_k = phases.len();
+        let params = SyntheticParams {
+            phases,
+            iterations: 500,
+            burst_duration_s: 2e-3,
+        };
+        let program = build(&params);
+        let truth = true_boundaries(&params);
+        for variant in variants(true_k) {
+            let analysis_cfg = AnalysisConfig { pwlr: variant.pwlr.clone(), ..Default::default() };
+            let study = run_study(
+                &program,
+                &SimConfig { ranks: 4, noise: NoiseConfig::quiet(), ..SimConfig::default() },
+                &TracerConfig::default(),
+                &analysis_cfg,
+            );
+            let (detected, recall, mae) = match study.analysis.dominant_model() {
+                Some(model) => {
+                    let s = score_boundaries(model.breakpoints(), &truth, 0.05);
+                    (model.phases.len(), s.recall, s.mean_abs_error)
+                }
+                None => (0, 0.0, f64::NAN),
+            };
+            table.row(vec![
+                profile_name.to_string(),
+                variant.name.to_string(),
+                true_k.to_string(),
+                detected.to_string(),
+                fmt(recall, 2),
+                fmt(mae, 4),
+            ]);
+        }
+    }
+
+    println!("{}", table.render_text());
+    let path = write_results("e10_ablation_selection.csv", &table.render_csv());
+    println!("csv written to {}", path.display());
+    println!(
+        "\nexpected shape: the default matches the fixed-k oracle; removing the\n\
+         parsimony margin (BIC or AIC alike) over-segments high-contrast\n\
+         profiles; the Muggeo refinement mainly tightens breakpoint MAE; the\n\
+         proposal grid resolution is a second-order effect."
+    );
+}

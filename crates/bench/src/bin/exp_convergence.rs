@@ -1,0 +1,80 @@
+//! **E7 — Convergence** (figure): analysis quality vs the number of burst
+//! instances folded (i.e. how long the application must run before
+//! coarse-grain sampling has seen enough).
+//!
+//! ```text
+//! cargo run --release -p phasefold-bench --bin exp_convergence
+//! ```
+
+use phasefold::{rate_profile_error, run_study, score_boundaries, AnalysisConfig};
+use phasefold_bench::{banner, fmt, pct, write_results, Table};
+use phasefold_model::CounterKind;
+use phasefold_simapp::workloads::synthetic::{build, true_boundaries, SyntheticParams};
+use phasefold_simapp::SimConfig;
+use phasefold_tracer::TracerConfig;
+
+fn main() {
+    banner(
+        "E7",
+        "convergence with folded instances",
+        "fit quality vs run length (instances folded)",
+    );
+    let mut table = Table::new(&[
+        "iterations",
+        "instances",
+        "folded_samples",
+        "detected_phases",
+        "recall",
+        "bp_MAE",
+        "rate_err",
+    ]);
+
+    for &iterations in &[8u64, 16, 32, 64, 128, 256, 512, 1024] {
+        let params = SyntheticParams { iterations, ..SyntheticParams::default() };
+        let program = build(&params);
+        let study = run_study(
+            &program,
+            &SimConfig { ranks: 4, ..SimConfig::default() },
+            &TracerConfig::default(),
+            &AnalysisConfig::default(),
+        );
+        let truth = true_boundaries(&params);
+        match study.analysis.dominant_model() {
+            Some(model) => {
+                let s = score_boundaries(model.breakpoints(), &truth, 0.05);
+                let template = study.sim.ground_truth.dominant_template().unwrap();
+                let err =
+                    rate_profile_error(model, template, CounterKind::Instructions, 512);
+                table.row(vec![
+                    iterations.to_string(),
+                    model.instances.to_string(),
+                    model.folded_samples.to_string(),
+                    model.phases.len().to_string(),
+                    fmt(s.recall, 2),
+                    fmt(s.mean_abs_error, 4),
+                    pct(err),
+                ]);
+            }
+            None => {
+                table.row(vec![
+                    iterations.to_string(),
+                    "0".into(),
+                    "0".into(),
+                    "0".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
+            }
+        }
+    }
+
+    println!("{}", table.render_text());
+    let path = write_results("e7_convergence.csv", &table.render_csv());
+    println!("csv written to {}", path.display());
+    println!(
+        "\nexpected shape: below a few dozen instances the profile is too sparse\n\
+         (no model or merged phases); past a couple hundred the full structure is\n\
+         recovered and errors keep shrinking with √instances."
+    );
+}

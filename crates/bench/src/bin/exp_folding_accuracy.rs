@@ -1,0 +1,110 @@
+//! **E1 — Folding accuracy** (figure): folded + PWLR-fitted instantaneous
+//! instruction rate vs the ground-truth rate profile, as the sampling
+//! period grows past the burst duration.
+//!
+//! Reproduces the folding line of work's headline claim: coarse-grain
+//! sampling folded over many instances matches fine-grain truth with a
+//! *mean absolute difference below ~5 %* — even when one burst sees at
+//! most a single sample.
+//!
+//! ```text
+//! cargo run --release -p phasefold-bench --bin exp_folding_accuracy
+//! ```
+
+use phasefold::{match_models_to_templates, rate_profile_error, AnalysisConfig};
+use phasefold_bench::{banner, fmt, pct, write_results, Table};
+use phasefold_model::{CounterKind, DurNs};
+use phasefold_simapp::workloads::{cg, stencil};
+use phasefold_simapp::{Program, SimConfig};
+use phasefold_tracer::{OverheadConfig, TracerConfig};
+
+fn run_one(program: &Program, period_ratio: f64, table: &mut Table, app: &str) {
+    // First find the mean burst duration with a cheap probe.
+    let sim_cfg = SimConfig { ranks: 8, ..SimConfig::default() };
+    let probe = phasefold_simapp::simulate(program, &sim_cfg);
+    let mean_burst_s = probe
+        .ground_truth
+        .dominant_template()
+        .map(|t| t.total_dur_s)
+        .unwrap_or(1e-3);
+
+    let period = DurNs::from_secs_f64(mean_burst_s * period_ratio);
+    let tracer = TracerConfig {
+        sampling_period: period,
+        overhead: OverheadConfig::default(),
+        ..TracerConfig::default()
+    };
+    let study = phasefold::run_study(program, &sim_cfg, &tracer, &AnalysisConfig::default());
+
+    let pairs = match_models_to_templates(&study.analysis.models, &study.sim.ground_truth);
+    // Score the dominant (most-time) matched model.
+    let mut scored = false;
+    for (mi, ti) in &pairs {
+        let model = &study.analysis.models[*mi];
+        if study.analysis.dominant_model().map(|d| d.cluster) != Some(model.cluster) {
+            continue;
+        }
+        let template = &study.sim.ground_truth.templates[*ti];
+        let err_ins = rate_profile_error(model, template, CounterKind::Instructions, 512);
+        let err_l3 = rate_profile_error(model, template, CounterKind::L3Misses, 512);
+        let samples_per_burst =
+            model.folded_samples as f64 / model.instances.max(1) as f64;
+        table.row(vec![
+            app.to_string(),
+            format!("{period_ratio:.1}x"),
+            format!("{:.2}", period.as_secs_f64() * 1e3),
+            fmt(samples_per_burst, 2),
+            model.folded_samples.to_string(),
+            model.phases.len().to_string(),
+            pct(err_ins),
+            pct(err_l3),
+        ]);
+        scored = true;
+    }
+    if !scored {
+        table.row(vec![
+            app.to_string(),
+            format!("{period_ratio:.1}x"),
+            format!("{:.2}", period.as_secs_f64() * 1e3),
+            "-".into(),
+            "-".into(),
+            "0".into(),
+            "-".into(),
+            "-".into(),
+        ]);
+    }
+}
+
+fn main() {
+    banner(
+        "E1",
+        "folding accuracy vs sampling coarseness",
+        "folded+PWLR rate profile vs ground truth; companion claim: mean abs diff < 5 %",
+    );
+    let mut table = Table::new(&[
+        "app",
+        "period/burst",
+        "period_ms",
+        "samples/burst",
+        "folded_pts",
+        "phases",
+        "INS_rate_err",
+        "L3_rate_err",
+    ]);
+    let cg_prog = cg::build(&cg::CgParams { iterations: 400, ..cg::CgParams::default() });
+    let st_prog =
+        stencil::build(&stencil::StencilParams { steps: 400, ..stencil::StencilParams::default() });
+    for ratio in [0.5, 1.0, 2.0, 5.0, 10.0] {
+        run_one(&cg_prog, ratio, &mut table, "cg");
+    }
+    for ratio in [0.5, 1.0, 2.0, 5.0, 10.0] {
+        run_one(&st_prog, ratio, &mut table, "stencil");
+    }
+    println!("{}", table.render_text());
+    let path = write_results("e1_folding_accuracy.csv", &table.render_csv());
+    println!("csv written to {}", path.display());
+    println!(
+        "\nexpected shape: error stays in the single-digit-percent band even at\n\
+         periods 5-10x the burst duration — the folding mechanism's core property."
+    );
+}

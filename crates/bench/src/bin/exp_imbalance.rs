@@ -1,0 +1,82 @@
+//! **E12 (extension) — robustness to load imbalance**: systematic per-rank
+//! speed differences must not corrupt structure detection or phase models;
+//! the imbalance surfaces as collective waiting time instead.
+//!
+//! ```text
+//! cargo run --release -p phasefold-bench --bin exp_imbalance
+//! ```
+
+use phasefold::{run_study, score_boundaries, AnalysisConfig};
+use phasefold_bench::{banner, fmt, pct, write_results, Table};
+use phasefold_simapp::workloads::synthetic::{build, true_boundaries, SyntheticParams};
+use phasefold_simapp::{SegmentKind, SimConfig};
+use phasefold_tracer::TracerConfig;
+
+fn main() {
+    banner(
+        "E12",
+        "phase detection under load imbalance",
+        "per-rank speed spread → waiting in collectives, not broken phase models",
+    );
+    let mut table = Table::new(&[
+        "speed_spread",
+        "clusters",
+        "spmd_score",
+        "phases",
+        "recall",
+        "bp_MAE",
+        "wait_share_fastest",
+    ]);
+
+    let params = SyntheticParams { iterations: 400, ..SyntheticParams::default() };
+    let program = build(&params);
+    let truth = true_boundaries(&params);
+
+    for &spread in &[0.0, 0.1, 0.2, 0.4, 0.8] {
+        let study = run_study(
+            &program,
+            &SimConfig { ranks: 8, rank_speed_spread: spread, ..SimConfig::default() },
+            &TracerConfig::default(),
+            &AnalysisConfig::default(),
+        );
+        // Waiting share of the fastest rank (rank 7 under positive spread).
+        let tl = &study.sim.timelines[7];
+        let mut comm = 0.0;
+        let mut total = 0.0;
+        for seg in tl.segments() {
+            let d = seg.end.saturating_since(seg.start).as_secs_f64();
+            total += d;
+            if matches!(seg.kind, SegmentKind::Comm { .. }) {
+                comm += d;
+            }
+        }
+        let (phases, recall, mae) = match study.analysis.dominant_model() {
+            Some(m) => {
+                let s = score_boundaries(m.breakpoints(), &truth, 0.05);
+                (m.phases.len(), s.recall, s.mean_abs_error)
+            }
+            None => (0, 0.0, f64::NAN),
+        };
+        table.row(vec![
+            format!("{spread:.1}"),
+            study.analysis.clustering.num_clusters.to_string(),
+            fmt(study.analysis.clustering.spmd_score, 3),
+            phases.to_string(),
+            fmt(recall, 2),
+            fmt(mae, 4),
+            pct(comm / total.max(1e-12)),
+        ]);
+    }
+
+    println!("{}", table.render_text());
+    let path = write_results("e12_imbalance.csv", &table.render_csv());
+    println!("csv written to {}", path.display());
+    println!(
+        "\nexpected shape: the waiting share of the fastest rank grows steadily\n\
+         with the spread, while phase count, recall and breakpoint accuracy stay\n\
+         essentially flat — imbalance lands in communication, where it belongs.\n\
+         At extreme spreads the clustering legitimately splits per rank-speed\n\
+         group (bursts *are* different lengths) and the SPMD score collapses —\n\
+         the tool's designed signal that the execution is no longer SPMD-uniform."
+    );
+}

@@ -1,0 +1,110 @@
+//! **E11 (extension) — on-line vs batch analysis**: the streaming analyzer
+//! must converge to the batch result while touching each record once.
+//!
+//! Reproduces the architectural claim of the companion on-line framework
+//! (Llort et al., IPDPS'10): structure can be frozen early from a warm-up
+//! window and the folded models keep sharpening as the run proceeds.
+//!
+//! ```text
+//! cargo run --release -p phasefold-bench --bin exp_online
+//! ```
+
+use phasefold::{analyze_trace, AnalysisConfig, OnlineAnalyzer};
+use phasefold_bench::{banner, fmt, write_results, Table};
+use phasefold_simapp::workloads::synthetic::{build, true_boundaries, SyntheticParams};
+use phasefold_simapp::{simulate, SimConfig};
+use phasefold_tracer::{trace_run, TracerConfig};
+
+fn main() {
+    banner(
+        "E11",
+        "on-line (streaming) vs batch analysis",
+        "early-frozen structure + incremental folding converges to the batch result",
+    );
+    let params = SyntheticParams { iterations: 600, ..SyntheticParams::default() };
+    let program = build(&params);
+    let sim = simulate(&program, &SimConfig { ranks: 4, ..SimConfig::default() });
+    let trace = trace_run(&program.registry, &sim.timelines, &TracerConfig::default());
+    let config = AnalysisConfig::default();
+    let batch = analyze_trace(&trace, &config);
+    let batch_model = batch.dominant_model().expect("batch model");
+    let truth = true_boundaries(&params);
+
+    let mut table = Table::new(&[
+        "progress",
+        "bursts_seen",
+        "phases",
+        "folded_samples",
+        "max_bp_dev_vs_truth",
+        "max_bp_dev_vs_batch",
+    ]);
+
+    let mut online = OnlineAnalyzer::new(config.clone(), 200);
+    let streams: Vec<_> = trace.iter_ranks().collect();
+    let max_len = streams.iter().map(|(_, s)| s.len()).max().unwrap_or(0);
+    let checkpoints = [0.1, 0.25, 0.5, 0.75, 1.0];
+    let mut offset = 0usize;
+    for &fraction in &checkpoints {
+        let target = (max_len as f64 * fraction) as usize;
+        for (rank, stream) in &streams {
+            let records = stream.records();
+            let end = target.min(records.len());
+            if offset < end {
+                online.push_records(*rank, &records[offset..end]);
+            }
+        }
+        offset = target;
+        let snap = online.snapshot();
+        let row = match snap.dominant_model() {
+            Some(m) => {
+                let dev = |a: &[f64], b: &[f64]| {
+                    a.iter()
+                        .zip(b)
+                        .map(|(x, y)| (x - y).abs())
+                        .fold(0.0f64, f64::max)
+                };
+                let vs_truth = if m.breakpoints().len() == truth.len() {
+                    fmt(dev(m.breakpoints(), &truth), 4)
+                } else {
+                    "order≠".into()
+                };
+                let vs_batch = if m.breakpoints().len() == batch_model.breakpoints().len() {
+                    fmt(dev(m.breakpoints(), batch_model.breakpoints()), 4)
+                } else {
+                    "order≠".into()
+                };
+                vec![
+                    format!("{:.0}%", fraction * 100.0),
+                    snap.num_bursts.to_string(),
+                    m.phases.len().to_string(),
+                    m.folded_samples.to_string(),
+                    vs_truth,
+                    vs_batch,
+                ]
+            }
+            None => vec![
+                format!("{:.0}%", fraction * 100.0),
+                snap.num_bursts.to_string(),
+                "0".into(),
+                "0".into(),
+                "-".into(),
+                "-".into(),
+            ],
+        };
+        table.row(row);
+    }
+
+    println!("{}", table.render_text());
+    println!(
+        "batch reference: {} phases, breakpoints {:?}",
+        batch_model.phases.len(),
+        batch_model.breakpoints()
+    );
+    let path = write_results("e11_online.csv", &table.render_csv());
+    println!("csv written to {}", path.display());
+    println!(
+        "\nexpected shape: once warm (first checkpoint past the warm-up window)\n\
+         the streaming snapshots report the same phase count as the batch run,\n\
+         with breakpoint deviation shrinking toward zero at 100 % progress."
+    );
+}

@@ -1,0 +1,72 @@
+//! **E5 — Instrumentation overhead** (figure): tracer-induced dilation vs
+//! sampling period, together with the analysis quality each period still
+//! achieves.
+//!
+//! Reproduces the trade-off the paper's design resolves: fine-grain
+//! sampling perturbs the application (and distorts what it measures),
+//! while coarse sampling costs nearly nothing — and folding restores the
+//! lost detail.
+//!
+//! ```text
+//! cargo run --release -p phasefold-bench --bin exp_overhead
+//! ```
+
+use phasefold::{analyze_trace, AnalysisConfig};
+use phasefold_bench::{banner, pct, write_results, Table};
+use phasefold_model::DurNs;
+use phasefold_simapp::workloads::cg::{build, CgParams};
+use phasefold_simapp::{simulate, SimConfig};
+use phasefold_tracer::{trace_run_with_overhead, TracerConfig};
+
+fn main() {
+    banner(
+        "E5",
+        "tracing overhead vs sampling period",
+        "coarse sampling ≈ free; fine sampling dilates the run",
+    );
+    let mut table = Table::new(&[
+        "period",
+        "samples",
+        "events",
+        "dilation",
+        "phases_detected",
+        "fit_r2",
+    ]);
+
+    let program = build(&CgParams { iterations: 300, ..CgParams::default() });
+    let out = simulate(&program, &SimConfig { ranks: 8, ..SimConfig::default() });
+
+    for &period_us in &[100u64, 500, 1_000, 5_000, 10_000, 50_000, 100_000] {
+        let cfg = TracerConfig {
+            sampling_period: DurNs::from_micros(period_us),
+            ..TracerConfig::default()
+        };
+        let (trace, report) = trace_run_with_overhead(&program.registry, &out.timelines, &cfg);
+        let analysis = analyze_trace(&trace, &AnalysisConfig::default());
+        let (phases, r2) = analysis
+            .dominant_model()
+            .map(|m| (m.phases.len(), m.r2()))
+            .unwrap_or((0, 0.0));
+        table.row(vec![
+            if period_us >= 1000 {
+                format!("{} ms", period_us / 1000)
+            } else {
+                format!("{period_us} us")
+            },
+            report.samples.to_string(),
+            report.events.to_string(),
+            pct(report.relative_dilation()),
+            phases.to_string(),
+            format!("{r2:.4}"),
+        ]);
+    }
+
+    println!("{}", table.render_text());
+    let path = write_results("e5_overhead.csv", &table.render_csv());
+    println!("csv written to {}", path.display());
+    println!(
+        "\nexpected shape: dilation falls from percents (100 us period) to well\n\
+         below 0.1 % at 10+ ms periods, while the detected phase structure and\n\
+         fit quality remain essentially unchanged — the paper's operating point."
+    );
+}

@@ -1,0 +1,157 @@
+//! **E3 — PWLR vs kernel smoothing** (figure): the paper's advance over
+//! the earlier folding work, which fitted the folded scatter with a
+//! Kriging-style interpolation.
+//!
+//! Three axes of comparison on the same folded profiles:
+//! * fit RMSE of the accumulated-progress curve,
+//! * boundary *sharpness* — how wide the estimated rate transition is
+//!   around a true breakpoint (PWLR: zero width by construction;
+//!   smoothing: blurred over the bandwidth),
+//! * interpretability — number of discrete phases reported (the smoother
+//!   reports none; phases must be eyeballed).
+//!
+//! ```text
+//! cargo run --release -p phasefold-bench --bin exp_pwlr_vs_smoothing
+//! ```
+
+use phasefold_bench::{banner, fmt, write_results, Table};
+use phasefold_cluster::{cluster_bursts, ClusterConfig};
+use phasefold_folding::{fold_trace, FoldConfig};
+use phasefold_model::{extract_bursts, CounterKind, DurNs};
+use phasefold_regress::{fit_pwlr, KernelSmoother, PwlrConfig};
+use phasefold_simapp::workloads::synthetic::{build, true_boundaries, PhaseSpec, SyntheticParams};
+use phasefold_simapp::{simulate, NoiseConfig, SimConfig};
+use phasefold_tracer::{trace_run, TracerConfig};
+
+/// Width of the transition region around breakpoint `bp`: the x-distance
+/// over which the estimated rate moves from 25 % to 75 % of the way
+/// between the two phases' rates.
+fn transition_width(rate_at: impl Fn(f64) -> f64, bp: f64, r_before: f64, r_after: f64) -> f64 {
+    let lo_level = r_before + 0.25 * (r_after - r_before);
+    let hi_level = r_before + 0.75 * (r_after - r_before);
+    let (lo_level, hi_level) = if r_after >= r_before {
+        (lo_level, hi_level)
+    } else {
+        (hi_level, lo_level)
+    };
+    let crossing = |level: f64| -> f64 {
+        // Scan outward from the breakpoint for the level crossing.
+        let n = 2000;
+        let mut best = 0.5;
+        let mut best_d = f64::INFINITY;
+        for i in 0..n {
+            let x = i as f64 / (n - 1) as f64;
+            let v = rate_at(x);
+            let d = (v - level).abs();
+            if d < best_d {
+                best_d = d;
+                best = x;
+            }
+        }
+        best
+    };
+    let _ = bp;
+    (crossing(hi_level) - crossing(lo_level)).abs()
+}
+
+fn main() {
+    banner(
+        "E3",
+        "piece-wise linear regression vs kernel smoothing baseline",
+        "IPDPS'14 PWLR vs the earlier Kriging-style folding interpolation",
+    );
+    let mut table = Table::new(&[
+        "noise",
+        "method",
+        "curve_RMSE",
+        "transition_width",
+        "phases_reported",
+    ]);
+
+    for (noise_name, noise) in [
+        ("none", NoiseConfig::NONE),
+        ("quiet", NoiseConfig::quiet()),
+        ("noisy", NoiseConfig::noisy()),
+    ] {
+        // Two-phase profile with a strong step at x = 0.5.
+        let params = SyntheticParams {
+            phases: vec![
+                PhaseSpec { ipc: 2.8, rel_duration: 1.0 },
+                PhaseSpec { ipc: 0.7, rel_duration: 1.0 },
+            ],
+            iterations: 500,
+            burst_duration_s: 2e-3,
+        };
+        let program = build(&params);
+        let out = simulate(&program, &SimConfig { ranks: 4, noise, ..SimConfig::default() });
+        let trace = trace_run(&program.registry, &out.timelines, &TracerConfig::default());
+        let bursts = extract_bursts(&trace, DurNs::from_micros(10));
+        let clustering = cluster_bursts(&bursts, &ClusterConfig::default());
+        let folds = fold_trace(&trace, &bursts, &clustering, &FoldConfig::default());
+        let Some(fold) = folds.first() else { continue };
+        let profile = fold.profile(CounterKind::Instructions);
+        let (xs, ys) = profile.xy();
+        let template = out.ground_truth.dominant_template().unwrap();
+        let bp = true_boundaries(&params)[0];
+        let r_before = template.phases[0].rates[CounterKind::Instructions];
+        let r_after = template.phases[1].rates[CounterKind::Instructions];
+        // Normalised rates (slope space): rate / (total/duration).
+        let norm = fold.profile(CounterKind::Instructions).mean_total / fold.mean_duration_s;
+
+        // --- PWLR ---
+        let fit = fit_pwlr(&xs, &ys, None, &PwlrConfig::default()).expect("pwlr");
+        let truth_curve = |x: f64| template.normalized_accumulation(CounterKind::Instructions, x);
+        let rmse_of = |f: &dyn Fn(f64) -> f64| -> f64 {
+            let n = 512;
+            let sse: f64 = (0..n)
+                .map(|i| {
+                    let x = (i as f64 + 0.5) / n as f64;
+                    let d = f(x) - truth_curve(x);
+                    d * d
+                })
+                .sum();
+            (sse / n as f64).sqrt()
+        };
+        let pwlr_rmse = rmse_of(&|x| fit.fit.predict(x));
+        let pwlr_width = transition_width(
+            |x| fit.fit.slope_at(x) * norm,
+            bp,
+            r_before,
+            r_after,
+        );
+        table.row(vec![
+            noise_name.to_string(),
+            "pwlr".to_string(),
+            format!("{pwlr_rmse:.5}"),
+            fmt(pwlr_width, 4),
+            fit.num_segments().to_string(),
+        ]);
+
+        // --- Kernel smoother (Kriging-style stand-in) ---
+        let bw = KernelSmoother::silverman_bandwidth(&xs);
+        let smoother = KernelSmoother::fit(&xs, &ys, None, bw);
+        let smooth_rmse = rmse_of(&|x| smoother.value(x));
+        let smooth_width = transition_width(
+            |x| smoother.derivative(x) * norm,
+            bp,
+            r_before,
+            r_after,
+        );
+        table.row(vec![
+            noise_name.to_string(),
+            "smoothing".to_string(),
+            format!("{smooth_rmse:.5}"),
+            fmt(smooth_width, 4),
+            "0 (continuous)".to_string(),
+        ]);
+    }
+
+    println!("{}", table.render_text());
+    let path = write_results("e3_pwlr_vs_smoothing.csv", &table.render_csv());
+    println!("csv written to {}", path.display());
+    println!(
+        "\nexpected shape: comparable curve RMSE for both methods, but the PWLR\n\
+         transition is an order of magnitude sharper and yields discrete phases\n\
+         (the smoother blurs the boundary over its bandwidth and reports none)."
+    );
+}

@@ -1,0 +1,167 @@
+//! Shared harness for the experiment binaries (`src/bin/exp_*.rs`): table
+//! formatting, results persistence, and tiny helpers.
+//!
+//! Each experiment binary regenerates one table/figure of the evaluation
+//! (see DESIGN.md's experiment index) and writes both a human-readable
+//! table to stdout and a machine-readable CSV under `results/`.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// A simple column-aligned table that renders as text and CSV.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Table {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Table {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as aligned plain text.
+    pub fn render_text(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |out: &mut String, cells: &[String]| {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:>w$}");
+            }
+            out.push('\n');
+        };
+        render_row(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders as CSV.
+    pub fn render_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+}
+
+/// Formats a float with `digits` decimals.
+pub fn fmt(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+/// Formats a percentage with one decimal.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+/// Writes an experiment artifact under `results/` (created on demand),
+/// returning the path.
+pub fn write_results(name: &str, content: &str) -> PathBuf {
+    let dir = PathBuf::from("results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join(name);
+    std::fs::write(&path, content).expect("write results file");
+    path
+}
+
+/// Prints the standard experiment banner.
+pub fn banner(id: &str, title: &str, reproduces: &str) {
+    println!("══════════════════════════════════════════════════════════════");
+    println!("{id}: {title}");
+    println!("reproduces: {reproduces}");
+    println!("══════════════════════════════════════════════════════════════");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment_and_csv() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(vec!["a".into(), "1.50".into()]);
+        t.row(vec!["long-name".into(), "2".into()]);
+        let text = t.render_text();
+        assert!(text.contains("name"));
+        assert!(text.lines().count() == 4);
+        let csv = t.render_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("name,value"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = Table::new(&["a"]);
+        t.row(vec!["x,y".into()]);
+        t.row(vec!["he said \"hi\"".into()]);
+        let csv = t.render_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"he said \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn ragged_row_panics() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt(1.23456, 2), "1.23");
+        assert_eq!(pct(0.1234), "12.3%");
+    }
+}

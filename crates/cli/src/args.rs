@@ -1,0 +1,120 @@
+//! Minimal argument parsing: positional arguments plus `--key value` /
+//! `--flag` options. No external dependencies; strict about unknown keys.
+
+use crate::CliError;
+use std::collections::BTreeMap;
+
+/// Parsed command-line arguments.
+#[derive(Debug, Clone, Default)]
+pub struct Parsed {
+    /// Positional arguments in order.
+    pub positional: Vec<String>,
+    options: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// Parses `args` against a declared set of `--key value` option names and
+/// boolean `--flag` names.
+pub fn parse(
+    args: &[String],
+    option_names: &[&str],
+    flag_names: &[&str],
+) -> Result<Parsed, CliError> {
+    let mut out = Parsed::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            if flag_names.contains(&name) {
+                out.flags.push(name.to_string());
+            } else if option_names.contains(&name) {
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage(format!("--{name} needs a value")))?;
+                out.options.insert(name.to_string(), value.clone());
+            } else {
+                return Err(CliError::Usage(format!("unknown option --{name}")));
+            }
+        } else {
+            out.positional.push(arg.clone());
+        }
+    }
+    Ok(out)
+}
+
+impl Parsed {
+    /// String option value.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// Parsed numeric/option value with a default.
+    pub fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+        match self.options.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("bad value for --{name}: {v:?}"))),
+        }
+    }
+
+    /// Whether a boolean flag was given.
+    pub fn has_flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// The single required positional argument at `index`.
+    pub fn positional(&self, index: usize, what: &str) -> Result<&str, CliError> {
+        self.positional
+            .get(index)
+            .map(String::as_str)
+            .ok_or_else(|| CliError::Usage(format!("missing argument: {what}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_positional_options_flags() {
+        let p = parse(&s(&["cg", "--ranks", "16", "--bootstrap"]), &["ranks"], &["bootstrap"])
+            .unwrap();
+        assert_eq!(p.positional(0, "workload").unwrap(), "cg");
+        assert_eq!(p.get_parsed::<usize>("ranks", 8).unwrap(), 16);
+        assert!(p.has_flag("bootstrap"));
+        assert!(!p.has_flag("other"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let p = parse(&s(&["cg"]), &["ranks"], &[]).unwrap();
+        assert_eq!(p.get_parsed::<usize>("ranks", 8).unwrap(), 8);
+        assert!(p.get("ranks").is_none());
+    }
+
+    #[test]
+    fn unknown_option_rejected() {
+        assert!(parse(&s(&["--bogus", "1"]), &["ranks"], &[]).is_err());
+    }
+
+    #[test]
+    fn missing_value_rejected() {
+        assert!(parse(&s(&["--ranks"]), &["ranks"], &[]).is_err());
+    }
+
+    #[test]
+    fn bad_numeric_value_rejected() {
+        let p = parse(&s(&["--ranks", "many"]), &["ranks"], &[]).unwrap();
+        assert!(p.get_parsed::<usize>("ranks", 8).is_err());
+    }
+
+    #[test]
+    fn missing_positional_reported() {
+        let p = parse(&s(&[]), &[], &[]).unwrap();
+        assert!(p.positional(0, "workload").is_err());
+    }
+}

@@ -1,0 +1,268 @@
+//! Command implementations.
+
+use crate::args::parse;
+use crate::CliError;
+use phasefold::report::{render_report, suggest_optimization};
+use phasefold::{analyze_trace, AnalysisConfig};
+use phasefold_model::{prv, CounterKind, DurNs, RankId, TimeNs, Trace};
+use phasefold_simapp::workloads::{all_extended, amg, cg, fft, md, stencil, synthetic};
+use phasefold_simapp::{simulate as sim_run, NoiseConfig, Program, SimConfig};
+use phasefold_tracer::{trace_run, TracerConfig};
+use std::fmt::Write as _;
+
+/// `phasefold workloads`
+pub fn workloads(argv: &[String], out: &mut String) -> Result<(), CliError> {
+    parse(argv, &[], &[])?;
+    let _ = writeln!(out, "{:<12} description", "name");
+    for entry in all_extended() {
+        let _ = writeln!(out, "{:<12} {}", entry.name, entry.description);
+    }
+    let _ = writeln!(
+        out,
+        "{:<12} {}",
+        "synthetic", "parameterised multi-phase kernels with exact ground truth"
+    );
+    let _ = writeln!(
+        out,
+        "\noptimized variants (--optimized): cg (fused), stencil (blocked), md (reuse)"
+    );
+    Ok(())
+}
+
+/// Builds the requested workload program.
+fn build_workload(
+    name: &str,
+    iterations: Option<u64>,
+    optimized: bool,
+) -> Result<Program, CliError> {
+    let program = match name {
+        "cg" => {
+            let mut p = cg::CgParams { fused: optimized, ..cg::CgParams::default() };
+            if let Some(it) = iterations {
+                p.iterations = it;
+            }
+            cg::build(&p)
+        }
+        "stencil" => {
+            let mut p = stencil::StencilParams {
+                blocked: optimized,
+                ..stencil::StencilParams::default()
+            };
+            if let Some(it) = iterations {
+                p.steps = it.div_ceil(10) * 10;
+            }
+            stencil::build(&p)
+        }
+        "md" => {
+            let mut p = md::MdParams::default();
+            if optimized {
+                p.rebuild_every = 80;
+                p.decades = p.decades.div_ceil(4);
+            }
+            if let Some(it) = iterations {
+                p.decades = (it / p.rebuild_every).max(1);
+            }
+            md::build(&p)
+        }
+        "amg" => {
+            let mut p = amg::AmgParams::default();
+            if let Some(it) = iterations {
+                p.cycles = it;
+            }
+            amg::build(&p)
+        }
+        "fft" => {
+            let mut p = fft::FftParams::default();
+            if let Some(it) = iterations {
+                p.steps = it;
+            }
+            fft::build(&p)
+        }
+        "synthetic" => {
+            let mut p = synthetic::SyntheticParams::default();
+            if let Some(it) = iterations {
+                p.iterations = it;
+            }
+            synthetic::build(&p)
+        }
+        other => {
+            return Err(CliError::Other(format!(
+                "unknown workload {other:?}; run `phasefold workloads`"
+            )))
+        }
+    };
+    Ok(program)
+}
+
+/// `phasefold simulate`
+pub fn simulate(argv: &[String], out: &mut String) -> Result<(), CliError> {
+    let p = parse(
+        argv,
+        &["ranks", "seed", "noise", "period-ms", "imbalance", "iterations", "out"],
+        &["optimized"],
+    )?;
+    let workload = p.positional(0, "workload name")?;
+    let out_path = p
+        .get("out")
+        .ok_or_else(|| CliError::Usage("--out <file.prv> is required".into()))?
+        .to_string();
+    let ranks: usize = p.get_parsed("ranks", 8)?;
+    let seed: u64 = p.get_parsed("seed", 0xF01D)?;
+    let period_ms: f64 = p.get_parsed("period-ms", 10.0)?;
+    let imbalance: f64 = p.get_parsed("imbalance", 0.0)?;
+    let iterations: Option<u64> = match p.get("iterations") {
+        None => None,
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| CliError::Usage(format!("bad --iterations {v:?}")))?,
+        ),
+    };
+    let noise = match p.get("noise").unwrap_or("quiet") {
+        "none" => NoiseConfig::NONE,
+        "quiet" => NoiseConfig::quiet(),
+        "noisy" => NoiseConfig::noisy(),
+        other => return Err(CliError::Usage(format!("bad --noise {other:?}"))),
+    };
+
+    let program = build_workload(workload, iterations, p.has_flag("optimized"))?;
+    let sim_cfg = SimConfig {
+        ranks,
+        seed,
+        noise,
+        rank_speed_spread: imbalance,
+        ..SimConfig::default()
+    };
+    let tracer_cfg = TracerConfig {
+        sampling_period: DurNs::from_secs_f64(period_ms / 1e3),
+        ..TracerConfig::default()
+    };
+    let sim = sim_run(&program, &sim_cfg);
+    let trace = trace_run(&program.registry, &sim.timelines, &tracer_cfg);
+    let text = prv::write_trace(&trace);
+    std::fs::write(&out_path, &text)?;
+    let _ = writeln!(
+        out,
+        "wrote {out_path}: workload `{}`, {} ranks, {} records, {} bytes, wall {:.3} s",
+        program.name,
+        trace.num_ranks(),
+        trace.total_records(),
+        text.len(),
+        trace.end_time().as_secs_f64(),
+    );
+    Ok(())
+}
+
+fn load_trace(path: &str) -> Result<Trace, CliError> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(prv::parse_trace(&text)?)
+}
+
+/// `phasefold analyze`
+pub fn analyze(argv: &[String], out: &mut String) -> Result<(), CliError> {
+    let p = parse(argv, &[], &["bootstrap", "markdown"])?;
+    let path = p.positional(0, "trace file")?;
+    let trace = load_trace(path)?;
+    let mut config = AnalysisConfig::default();
+    if p.has_flag("bootstrap") {
+        config.bootstrap = Some(phasefold_regress::BootstrapConfig::default());
+    }
+    let analysis = analyze_trace(&trace, &config);
+    if p.has_flag("markdown") {
+        out.push_str(&phasefold::report::render_markdown(&analysis, &trace.registry));
+    } else {
+        out.push_str(&render_report(&analysis, &trace.registry));
+    }
+    if let Some(hint) = suggest_optimization(&analysis, &trace.registry) {
+        let _ = writeln!(out, "\nsuggested optimisation target:\n  {hint}");
+    }
+    Ok(())
+}
+
+/// `phasefold info`
+pub fn info(argv: &[String], out: &mut String) -> Result<(), CliError> {
+    let p = parse(argv, &[], &[])?;
+    let path = p.positional(0, "trace file")?;
+    let trace = load_trace(path)?;
+    let stats = phasefold_model::trace_stats(&trace);
+    let _ = writeln!(out, "{stats}");
+    let _ = writeln!(out, "regions:");
+    for (_, r) in trace.registry.iter() {
+        let _ = writeln!(out, "  [{}] {} @ {}", r.kind.tag(), r.name, r.location);
+    }
+    Ok(())
+}
+
+/// `phasefold compare`
+pub fn compare(argv: &[String], out: &mut String) -> Result<(), CliError> {
+    let p = parse(argv, &[], &[])?;
+    let base_path = p.positional(0, "baseline trace file")?;
+    let cand_path = p.positional(1, "candidate trace file")?;
+    let base_trace = load_trace(base_path)?;
+    let cand_trace = load_trace(cand_path)?;
+    let config = AnalysisConfig::default();
+    let base = analyze_trace(&base_trace, &config);
+    let cand = analyze_trace(&cand_trace, &config);
+    let cmp = phasefold::compare_analyses(&base, &cand);
+    out.push_str(&phasefold::render_comparison(&cmp, &base, &base_trace.registry));
+    let t_base: f64 = base.models.iter().map(|m| m.total_time_s()).sum();
+    let t_cand: f64 = cand.models.iter().map(|m| m.total_time_s()).sum();
+    if t_cand > 0.0 {
+        let _ = writeln!(
+            out,
+            "\ncompute time: {t_base:.3} s -> {t_cand:.3} s (speedup {:.3}x)",
+            t_base / t_cand
+        );
+    }
+    Ok(())
+}
+
+/// `phasefold period`
+pub fn period(argv: &[String], out: &mut String) -> Result<(), CliError> {
+    let p = parse(argv, &["rank", "bins"], &[])?;
+    let path = p.positional(0, "trace file")?;
+    let rank: u32 = p.get_parsed("rank", 0)?;
+    let bins: usize = p.get_parsed("bins", 512)?;
+    let trace = load_trace(path)?;
+    match phasefold::detect_trace_period(&trace, RankId(rank), bins, 0.3) {
+        Some(tp) => {
+            let _ = writeln!(
+                out,
+                "detected period: {} (strength {:.2})",
+                tp.period, tp.strength
+            );
+            let _ = writeln!(
+                out,
+                "representative window: [{}, {}]",
+                tp.window_start,
+                tp.window_start + tp.window_len
+            );
+        }
+        None => {
+            let _ = writeln!(out, "no dominant period detected (aperiodic trace?)");
+        }
+    }
+    Ok(())
+}
+
+/// `phasefold reconstruct`
+pub fn reconstruct(argv: &[String], out: &mut String) -> Result<(), CliError> {
+    let p = parse(argv, &["rank", "points"], &[])?;
+    let path = p.positional(0, "trace file")?;
+    let rank: usize = p.get_parsed("rank", 0)?;
+    let points: usize = p.get_parsed("points", 1000)?;
+    let trace = load_trace(path)?;
+    let config = AnalysisConfig::default();
+    let analysis = analyze_trace(&trace, &config);
+    let recons = phasefold::reconstruct(&trace, &analysis, &config);
+    let recon = recons
+        .get(rank)
+        .ok_or_else(|| CliError::Other(format!("trace has no rank {rank}")))?;
+    let horizon = trace.end_time();
+    let _ = writeln!(out, "t_s,mips");
+    for i in 0..points {
+        let t = TimeNs((horizon.0 as f64 * (i as f64 + 0.5) / points as f64) as u64);
+        let rate = recon.rate_at(CounterKind::Instructions, t);
+        let _ = writeln!(out, "{},{}", t.as_secs_f64(), rate / 1e6);
+    }
+    Ok(())
+}

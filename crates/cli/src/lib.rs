@@ -1,0 +1,268 @@
+//! # phasefold-cli
+//!
+//! Command-line front end over the `phasefold` workspace. Commands:
+//!
+//! ```text
+//! phasefold workloads
+//! phasefold simulate <workload> [--ranks N] [--seed S] [--noise none|quiet|noisy]
+//!                     [--period-ms P] [--imbalance F] --out trace.prv
+//! phasefold analyze <trace.prv> [--bootstrap] [--period-ms is recorded in the trace]
+//! phasefold period <trace.prv> [--rank R] [--bins B]
+//! phasefold reconstruct <trace.prv> [--rank R] [--points N]
+//! ```
+//!
+//! All output goes to the supplied writer (`String` in tests, stdout in the
+//! binary), so every command is unit-testable end-to-end.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod args;
+mod commands;
+
+use std::fmt;
+
+/// CLI-level errors.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad usage (unknown command/option, missing argument).
+    Usage(String),
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Trace could not be parsed.
+    Trace(phasefold_model::ModelError),
+    /// Anything else (workload unknown, analysis empty, …).
+    Other(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "{m}\n\n{USAGE}"),
+            CliError::Io(e) => write!(f, "io: {e}"),
+            CliError::Trace(e) => write!(f, "trace: {e}"),
+            CliError::Other(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> CliError {
+        CliError::Io(e)
+    }
+}
+
+impl From<phasefold_model::ModelError> for CliError {
+    fn from(e: phasefold_model::ModelError) -> CliError {
+        CliError::Trace(e)
+    }
+}
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+usage: phasefold <command> [options]
+
+commands:
+  workloads                         list available simulated workloads
+  simulate <workload> --out F.prv   simulate + trace a workload to a file
+      [--ranks N] [--seed S] [--noise none|quiet|noisy]
+      [--period-ms P] [--imbalance F] [--optimized]
+  analyze <F.prv>                   phase analysis report of a trace
+      [--bootstrap] [--markdown]
+  info <F.prv>                      trace summary statistics + region table
+  compare <base.prv> <cand.prv>     per-phase metric deltas between two runs
+  period <F.prv>                    detect the iterative period
+      [--rank R] [--bins B]
+  reconstruct <F.prv>               unfolded fine-grain rate timeline (CSV)
+      [--rank R] [--points N]
+";
+
+/// Runs one CLI invocation, writing human output into `out`.
+pub fn run(argv: &[String], out: &mut String) -> Result<(), CliError> {
+    let Some(command) = argv.first() else {
+        return Err(CliError::Usage("missing command".into()));
+    };
+    let rest = &argv[1..];
+    match command.as_str() {
+        "workloads" => commands::workloads(rest, out),
+        "simulate" => commands::simulate(rest, out),
+        "analyze" => commands::analyze(rest, out),
+        "info" => commands::info(rest, out),
+        "compare" => commands::compare(rest, out),
+        "period" => commands::period(rest, out),
+        "reconstruct" => commands::reconstruct(rest, out),
+        "help" | "--help" | "-h" => {
+            out.push_str(USAGE);
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!("unknown command {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn run_ok(v: &[&str]) -> String {
+        let mut out = String::new();
+        run(&argv(v), &mut out).unwrap_or_else(|e| panic!("command {v:?} failed: {e}"));
+        out
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("phasefold-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn help_and_unknown_command() {
+        let help = run_ok(&["help"]);
+        assert!(help.contains("usage: phasefold"));
+        let mut out = String::new();
+        assert!(matches!(
+            run(&argv(&["frobnicate"]), &mut out),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(run(&argv(&[]), &mut out), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn workloads_lists_the_library() {
+        let out = run_ok(&["workloads"]);
+        for name in ["cg", "stencil", "md", "amg", "fft", "synthetic"] {
+            assert!(out.contains(name), "missing {name} in:\n{out}");
+        }
+    }
+
+    #[test]
+    fn simulate_then_analyze_roundtrip() {
+        let path = tmp("cli_cg.prv");
+        let out = run_ok(&[
+            "simulate", "cg", "--ranks", "2", "--iterations", "60", "--out", &path,
+        ]);
+        assert!(out.contains("wrote"), "{out}");
+        assert!(std::fs::metadata(&path).unwrap().len() > 1000);
+
+        let report = run_ok(&["analyze", &path]);
+        assert!(report.contains("phasefold analysis report"), "{report}");
+        assert!(report.contains("cluster 0"));
+        assert!(report.contains("cg_solve"));
+    }
+
+    #[test]
+    fn analyze_with_bootstrap_prints_cis() {
+        let path = tmp("cli_syn.prv");
+        run_ok(&[
+            "simulate", "synthetic", "--ranks", "2", "--iterations", "150", "--out", &path,
+        ]);
+        let report = run_ok(&["analyze", &path, "--bootstrap"]);
+        assert!(report.contains("95% CI"), "{report}");
+        assert!(report.contains("order stability"));
+    }
+
+    #[test]
+    fn period_detects_iterative_structure() {
+        let path = tmp("cli_md.prv");
+        run_ok(&["simulate", "md", "--ranks", "2", "--out", &path]);
+        let out = run_ok(&["period", &path]);
+        assert!(
+            out.contains("period") && (out.contains("ms") || out.contains("s")),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn reconstruct_emits_csv() {
+        let path = tmp("cli_syn2.prv");
+        run_ok(&[
+            "simulate", "synthetic", "--ranks", "2", "--iterations", "120", "--out", &path,
+        ]);
+        let out = run_ok(&["reconstruct", &path, "--points", "100"]);
+        let mut lines = out.lines();
+        assert_eq!(lines.next().unwrap(), "t_s,mips");
+        let data: Vec<&str> = lines.collect();
+        assert!(data.len() >= 100, "{} rows", data.len());
+        for row in data.iter().take(5) {
+            let mut parts = row.split(',');
+            let _: f64 = parts.next().unwrap().parse().unwrap();
+            let _: f64 = parts.next().unwrap().parse().unwrap();
+        }
+    }
+
+    #[test]
+    fn simulate_unknown_workload_fails() {
+        let mut out = String::new();
+        let err = run(
+            &argv(&["simulate", "nonsense", "--out", &tmp("x.prv")]),
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CliError::Other(_)));
+    }
+
+    #[test]
+    fn analyze_missing_file_fails() {
+        let mut out = String::new();
+        assert!(matches!(
+            run(&argv(&["analyze", "/nonexistent/trace.prv"]), &mut out),
+            Err(CliError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn simulate_optimized_variant() {
+        let path = tmp("cli_st_opt.prv");
+        let out = run_ok(&[
+            "simulate", "stencil", "--ranks", "2", "--optimized", "--out", &path,
+        ]);
+        assert!(out.contains("stencil-blocked"), "{out}");
+    }
+
+    #[test]
+    fn analyze_markdown_output() {
+        let path = tmp("cli_md_out.prv");
+        run_ok(&["simulate", "synthetic", "--ranks", "2", "--iterations", "120", "--out", &path]);
+        let md = run_ok(&["analyze", &path, "--markdown"]);
+        assert!(md.starts_with("# phasefold analysis"), "{md}");
+        assert!(md.contains("| phase |"));
+    }
+
+    #[test]
+    fn info_summarises_trace() {
+        let path = tmp("cli_info.prv");
+        run_ok(&["simulate", "synthetic", "--ranks", "2", "--iterations", "50", "--out", &path]);
+        let out = run_ok(&["info", &path]);
+        assert!(out.contains("bursts:"), "{out}");
+        assert!(out.contains("regions:"));
+        assert!(out.contains("phase0"));
+    }
+
+    #[test]
+    fn compare_two_runs() {
+        let base = tmp("cli_cmp_base.prv");
+        let opt = tmp("cli_cmp_opt.prv");
+        run_ok(&["simulate", "stencil", "--ranks", "2", "--out", &base]);
+        run_ok(&["simulate", "stencil", "--ranks", "2", "--optimized", "--out", &opt]);
+        let out = run_ok(&["compare", &base, &opt]);
+        assert!(out.contains("speedup"), "{out}");
+        assert!(out.contains("->"));
+    }
+
+    #[test]
+    fn simulate_with_imbalance_runs() {
+        let path = tmp("cli_imb.prv");
+        run_ok(&[
+            "simulate", "synthetic", "--ranks", "4", "--iterations", "80", "--imbalance", "0.3",
+            "--out", &path,
+        ]);
+        let report = run_ok(&["analyze", &path]);
+        assert!(report.contains("cluster"), "{report}");
+    }
+}

@@ -1,0 +1,21 @@
+//! `phasefold` command-line tool. All logic lives in the library crate so
+//! commands can be unit-tested; this binary only forwards argv and exit
+//! codes.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = String::new();
+    match phasefold_cli::run(&args, &mut stdout) {
+        Ok(()) => {
+            print!("{stdout}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            print!("{stdout}");
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! SPMD validation by sequence alignment (González et al., PDCAT'09).
+//!
+//! If the detected clusters really are the SPMD computation phases, then
+//! every rank's burst-label sequence should be (nearly) the same string.
+//! The original work scores cluster quality by multiple sequence alignment;
+//! we implement the pairwise core — a Needleman–Wunsch global alignment
+//! with match = 1, mismatch/gap = 0 (i.e. LCS) — and report the average
+//! normalised identity of every rank against rank 0.
+
+/// Length of the longest common subsequence of two label sequences.
+pub fn lcs_len(a: &[usize], b: &[usize]) -> usize {
+    if a.is_empty() || b.is_empty() {
+        return 0;
+    }
+    // Two-row DP.
+    let mut prev = vec![0usize; b.len() + 1];
+    let mut cur = vec![0usize; b.len() + 1];
+    for &x in a {
+        for (j, &y) in b.iter().enumerate() {
+            cur[j + 1] = if x == y {
+                prev[j] + 1
+            } else {
+                prev[j + 1].max(cur[j])
+            };
+        }
+        std::mem::swap(&mut prev, &mut cur);
+        cur[0] = 0;
+    }
+    prev[b.len()]
+}
+
+/// Normalised identity of two sequences: `LCS / max(len)` ∈ [0, 1].
+pub fn identity(a: &[usize], b: &[usize]) -> f64 {
+    let denom = a.len().max(b.len());
+    if denom == 0 {
+        return 1.0;
+    }
+    lcs_len(a, b) as f64 / denom as f64
+}
+
+/// The SPMD score of per-rank label sequences: mean identity of each rank
+/// against rank 0. 1.0 = perfectly SPMD-consistent clustering.
+pub fn spmd_score(sequences: &[Vec<usize>]) -> f64 {
+    if sequences.len() < 2 {
+        return 1.0;
+    }
+    let reference = &sequences[0];
+    let sum: f64 = sequences[1..]
+        .iter()
+        .map(|s| identity(reference, s))
+        .sum();
+    sum / (sequences.len() - 1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lcs_known_cases() {
+        assert_eq!(lcs_len(&[1, 2, 3], &[1, 2, 3]), 3);
+        assert_eq!(lcs_len(&[1, 2, 3], &[3, 2, 1]), 1);
+        assert_eq!(lcs_len(&[1, 3, 2, 4], &[1, 2, 3, 4]), 3);
+        assert_eq!(lcs_len(&[], &[1]), 0);
+        assert_eq!(lcs_len(&[5], &[]), 0);
+    }
+
+    #[test]
+    fn identity_bounds() {
+        assert_eq!(identity(&[1, 2], &[1, 2]), 1.0);
+        assert_eq!(identity(&[1, 2], &[3, 4]), 0.0);
+        assert_eq!(identity(&[], &[]), 1.0);
+        let v = identity(&[1, 2, 3, 4], &[1, 4]);
+        assert!((v - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spmd_score_perfect_for_identical_ranks() {
+        let seq = vec![vec![0, 1, 2, 0, 1, 2]; 8];
+        assert_eq!(spmd_score(&seq), 1.0);
+    }
+
+    #[test]
+    fn spmd_score_degrades_with_divergence() {
+        let good = vec![vec![0, 1, 2, 0, 1, 2], vec![0, 1, 2, 0, 1, 2]];
+        let mut bad = good.clone();
+        bad[1] = vec![2, 2, 2, 2, 2, 2];
+        assert!(spmd_score(&bad) < spmd_score(&good));
+        assert!((spmd_score(&bad) - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_rank_is_trivially_spmd() {
+        assert_eq!(spmd_score(&[vec![1, 2, 3]]), 1.0);
+        assert_eq!(spmd_score(&[]), 1.0);
+    }
+
+    #[test]
+    fn lcs_handles_long_sequences() {
+        let a: Vec<usize> = (0..500).map(|i| i % 7).collect();
+        let mut b = a.clone();
+        b.remove(100);
+        b.remove(300);
+        assert_eq!(lcs_len(&a, &b), 498);
+        assert!(identity(&a, &b) > 0.99);
+    }
+}

@@ -1,0 +1,244 @@
+//! DBSCAN (Ester et al. 1996), the density-based algorithm the
+//! computation-burst structure detection of González et al. (IPDPS'09)
+//! standardised on.
+//!
+//! Density-based clustering fits this problem because SPMD phases form
+//! dense blobs of arbitrary shape in (duration × instructions) space, and
+//! stragglers/perturbed bursts must become *noise*, not their own clusters.
+
+use crate::kdtree::KdTree;
+
+/// Cluster assignment of one point.
+pub type Label = Option<usize>;
+
+/// DBSCAN parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DbscanParams {
+    /// Neighbourhood radius ε.
+    pub eps: f64,
+    /// Minimum neighbourhood size (including the point itself) for a core
+    /// point.
+    pub min_pts: usize,
+}
+
+/// Result of a DBSCAN run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DbscanResult {
+    /// Per-point labels; `None` = noise.
+    pub labels: Vec<Label>,
+    /// Number of clusters found.
+    pub num_clusters: usize,
+}
+
+impl DbscanResult {
+    /// Indices of the points of cluster `c`.
+    pub fn members(&self, c: usize) -> Vec<usize> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| (*l == Some(c)).then_some(i))
+            .collect()
+    }
+
+    /// Number of noise points.
+    pub fn noise_count(&self) -> usize {
+        self.labels.iter().filter(|l| l.is_none()).count()
+    }
+
+    /// Cluster sizes indexed by cluster id.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_clusters];
+        for l in self.labels.iter().flatten() {
+            sizes[*l] += 1;
+        }
+        sizes
+    }
+}
+
+/// Runs DBSCAN over `points`.
+///
+/// ```
+/// use phasefold_cluster::{dbscan, DbscanParams};
+///
+/// // Two blobs and one outlier.
+/// let mut points: Vec<[f64; 2]> = Vec::new();
+/// for i in 0..10 {
+///     points.push([0.1 + 0.001 * i as f64, 0.1]);
+///     points.push([0.9 + 0.001 * i as f64, 0.9]);
+/// }
+/// points.push([0.5, -3.0]);
+///
+/// let result = dbscan(&points, &DbscanParams { eps: 0.05, min_pts: 3 });
+/// assert_eq!(result.num_clusters, 2);
+/// assert_eq!(result.noise_count(), 1);
+/// ```
+pub fn dbscan<const D: usize>(points: &[[f64; D]], params: &DbscanParams) -> DbscanResult {
+    assert!(params.eps > 0.0, "eps must be positive");
+    assert!(params.min_pts >= 1, "min_pts must be >= 1");
+    let n = points.len();
+    let tree = KdTree::build(points);
+    let mut labels: Vec<Label> = vec![None; n];
+    let mut visited = vec![false; n];
+    let mut num_clusters = 0usize;
+
+    for start in 0..n {
+        if visited[start] {
+            continue;
+        }
+        visited[start] = true;
+        let neighbours = tree.within(&points[start], params.eps);
+        if neighbours.len() < params.min_pts {
+            continue; // noise (may later be claimed as a border point)
+        }
+        // New cluster: flood fill through core points.
+        let cluster = num_clusters;
+        num_clusters += 1;
+        labels[start] = Some(cluster);
+        let mut queue: Vec<usize> = neighbours;
+        while let Some(p) = queue.pop() {
+            if labels[p].is_none() {
+                labels[p] = Some(cluster); // border or core, claimed now
+            } else if labels[p] != Some(cluster) {
+                continue; // already owned by another cluster
+            }
+            if visited[p] {
+                continue;
+            }
+            visited[p] = true;
+            let pn = tree.within(&points[p], params.eps);
+            if pn.len() >= params.min_pts {
+                for q in pn {
+                    if !visited[q] || labels[q].is_none() {
+                        queue.push(q);
+                    }
+                }
+            }
+        }
+    }
+    DbscanResult { labels, num_clusters }
+}
+
+/// Heuristic ε from the k-dist curve: the paper's tool-chain picks ε near
+/// the knee of the sorted k-dist plot; we use a high quantile, which lands
+/// on the flat part just before the knee for blob-structured data.
+pub fn suggest_eps<const D: usize>(points: &[[f64; D]], min_pts: usize, quantile: f64) -> f64 {
+    if points.len() < 2 {
+        return 1.0;
+    }
+    let mut kd = KdTree::<D>::k_dist(points, min_pts.max(1));
+    kd.retain(|d| d.is_finite());
+    if kd.is_empty() {
+        return 1.0;
+    }
+    kd.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pos = ((kd.len() - 1) as f64 * quantile.clamp(0.0, 1.0)) as usize;
+    (kd[pos] * 1.05).max(1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two well-separated blobs plus an outlier.
+    fn blobs() -> Vec<[f64; 2]> {
+        let mut pts = Vec::new();
+        for i in 0..30 {
+            let dx = ((i * 13) % 17) as f64 / 170.0;
+            let dy = ((i * 7) % 19) as f64 / 190.0;
+            pts.push([0.1 + dx, 0.1 + dy]);
+            pts.push([0.8 + dx, 0.8 + dy]);
+        }
+        pts.push([0.5, -0.9]); // outlier
+        pts
+    }
+
+    #[test]
+    fn finds_two_blobs_and_noise() {
+        let pts = blobs();
+        let res = dbscan(&pts, &DbscanParams { eps: 0.12, min_pts: 4 });
+        assert_eq!(res.num_clusters, 2);
+        assert_eq!(res.noise_count(), 1);
+        assert!(res.labels.last().unwrap().is_none());
+        // All blob-1 points share a label distinct from blob-2's.
+        let l0 = res.labels[0].unwrap();
+        let l1 = res.labels[1].unwrap();
+        assert_ne!(l0, l1);
+        for i in (0..60).step_by(2) {
+            assert_eq!(res.labels[i], Some(l0));
+            assert_eq!(res.labels[i + 1], Some(l1));
+        }
+    }
+
+    #[test]
+    fn everything_noise_with_tiny_eps() {
+        let pts = blobs();
+        let res = dbscan(&pts, &DbscanParams { eps: 1e-6, min_pts: 3 });
+        assert_eq!(res.num_clusters, 0);
+        assert_eq!(res.noise_count(), pts.len());
+    }
+
+    #[test]
+    fn one_cluster_with_huge_eps() {
+        let pts = blobs();
+        let res = dbscan(&pts, &DbscanParams { eps: 10.0, min_pts: 3 });
+        assert_eq!(res.num_clusters, 1);
+        assert_eq!(res.noise_count(), 0);
+    }
+
+    #[test]
+    fn min_pts_one_clusters_everything() {
+        let pts = vec![[0.0, 0.0], [5.0, 5.0]];
+        let res = dbscan(&pts, &DbscanParams { eps: 0.1, min_pts: 1 });
+        assert_eq!(res.num_clusters, 2);
+        assert_eq!(res.noise_count(), 0);
+    }
+
+    #[test]
+    fn labels_are_dense_from_zero() {
+        let pts = blobs();
+        let res = dbscan(&pts, &DbscanParams { eps: 0.12, min_pts: 4 });
+        let mut seen: Vec<usize> = res.labels.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen, (0..res.num_clusters).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn members_and_sizes_agree() {
+        let pts = blobs();
+        let res = dbscan(&pts, &DbscanParams { eps: 0.12, min_pts: 4 });
+        let sizes = res.sizes();
+        for c in 0..res.num_clusters {
+            assert_eq!(res.members(c).len(), sizes[c]);
+        }
+        assert_eq!(
+            sizes.iter().sum::<usize>() + res.noise_count(),
+            pts.len()
+        );
+    }
+
+    #[test]
+    fn suggested_eps_separates_blobs() {
+        let pts = blobs();
+        let eps = suggest_eps(&pts, 4, 0.9);
+        // The suggestion must be big enough to join blob members and small
+        // enough not to bridge the blobs (centres ~1.0 apart).
+        assert!(eps > 0.01 && eps < 0.7, "eps = {eps}");
+        let res = dbscan(&pts, &DbscanParams { eps, min_pts: 4 });
+        assert_eq!(res.num_clusters, 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        let res = dbscan::<2>(&[], &DbscanParams { eps: 0.1, min_pts: 2 });
+        assert_eq!(res.num_clusters, 0);
+        assert!(res.labels.is_empty());
+    }
+
+    #[test]
+    fn deterministic() {
+        let pts = blobs();
+        let p = DbscanParams { eps: 0.12, min_pts: 4 };
+        assert_eq!(dbscan(&pts, &p), dbscan(&pts, &p));
+    }
+}

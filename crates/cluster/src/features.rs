@@ -1,0 +1,136 @@
+//! Feature extraction: computation bursts → normalised cluster-space
+//! points.
+//!
+//! Following the structure-detection line of work, each burst is embedded
+//! as `(log₁₀ duration, log₁₀ instructions)`: log scales because burst
+//! granularities span orders of magnitude, and these two axes because they
+//! separate SPMD phases while staying cheap to collect exactly. Each
+//! dimension is then min–max normalised so ε is comparable across runs.
+
+use phasefold_model::{Burst, CounterKind};
+
+/// The burst embedding plus the normalisation applied.
+#[derive(Debug, Clone)]
+pub struct BurstFeatures {
+    /// One normalised point per burst, in burst order.
+    pub points: Vec<[f64; 2]>,
+    /// Per-dimension `(min, max)` of the raw log features.
+    pub ranges: [(f64, f64); 2],
+}
+
+/// Embeds bursts into normalised feature space.
+///
+/// Bursts with zero duration or zero instructions are mapped to the origin
+/// corner (they are degenerate and will typically be DBSCAN noise).
+pub fn extract_features(bursts: &[Burst]) -> BurstFeatures {
+    let raw: Vec<[f64; 2]> = bursts
+        .iter()
+        .map(|b| {
+            let dur = b.duration().as_secs_f64().max(1e-12);
+            let ins = b.counters[CounterKind::Instructions].max(1.0);
+            [dur.log10(), ins.log10()]
+        })
+        .collect();
+    let mut ranges = [(f64::INFINITY, f64::NEG_INFINITY); 2];
+    for p in &raw {
+        for d in 0..2 {
+            ranges[d].0 = ranges[d].0.min(p[d]);
+            ranges[d].1 = ranges[d].1.max(p[d]);
+        }
+    }
+    let points = raw
+        .iter()
+        .map(|p| {
+            let mut q = [0.0f64; 2];
+            for d in 0..2 {
+                let (lo, hi) = ranges[d];
+                // Floor the span at one log-decade: without it, a run whose
+                // bursts are all alike would amplify pure noise into fake
+                // structure.
+                let span = (hi - lo).max(1.0);
+                q[d] = (p[d] - lo) / span;
+            }
+            q
+        })
+        .collect();
+    BurstFeatures { points, ranges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phasefold_model::{BurstId, CounterSet, RankId, RegionId, TimeNs};
+
+    fn burst(dur_ns: u64, instructions: f64) -> Burst {
+        let mut counters = CounterSet::ZERO;
+        counters[CounterKind::Instructions] = instructions;
+        Burst {
+            id: BurstId { rank: RankId(0), ordinal: 0 },
+            start: TimeNs(0),
+            end: TimeNs(dur_ns),
+            start_counters: CounterSet::ZERO,
+            counters,
+            enclosing: RegionId::UNKNOWN,
+        }
+    }
+
+    #[test]
+    fn points_are_normalised_to_unit_box() {
+        let bursts = vec![
+            burst(1_000, 100.0),
+            burst(1_000_000, 1e6),
+            burst(10_000_000, 1e8),
+        ];
+        let f = extract_features(&bursts);
+        for p in &f.points {
+            for d in 0..2 {
+                assert!((0.0..=1.0).contains(&p[d]), "{p:?}");
+            }
+        }
+        // Extremes land on the box corners.
+        assert_eq!(f.points[0], [0.0, 0.0]);
+        assert_eq!(f.points[2], [1.0, 1.0]);
+    }
+
+    #[test]
+    fn identical_bursts_coincide() {
+        let bursts = vec![burst(5_000, 1e4), burst(5_000, 1e4)];
+        let f = extract_features(&bursts);
+        assert_eq!(f.points[0], f.points[1]);
+        // Degenerate range: the decade floor pins the points together at
+        // the low corner instead of blowing noise up to the unit box.
+        assert_eq!(f.points[0], [0.0, 0.0]);
+    }
+
+    #[test]
+    fn near_identical_bursts_stay_close() {
+        // 2% duration noise must stay tiny in feature space.
+        let bursts = vec![burst(5_000, 1e4), burst(5_100, 1e4), burst(4_900, 1e4)];
+        let f = extract_features(&bursts);
+        for p in &f.points {
+            assert!(p[0] < 0.05, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn log_scale_compresses_magnitudes() {
+        let bursts = vec![burst(1_000, 1e3), burst(10_000, 1e4), burst(100_000, 1e5)];
+        let f = extract_features(&bursts);
+        // Log-equidistant points are evenly spaced after normalisation.
+        assert!((f.points[1][0] - 0.5).abs() < 1e-9);
+        assert!((f.points[1][1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_values_do_not_panic() {
+        let f = extract_features(&[burst(0, 0.0), burst(1_000, 1e3)]);
+        assert_eq!(f.points.len(), 2);
+        assert!(f.points.iter().all(|p| p.iter().all(|v| v.is_finite())));
+    }
+
+    #[test]
+    fn empty_input() {
+        let f = extract_features(&[]);
+        assert!(f.points.is_empty());
+    }
+}

@@ -1,0 +1,217 @@
+//! A k-d tree over fixed-dimension points, supporting the ε-range queries
+//! DBSCAN needs. Built once over all points (median split), queried many
+//! times; no external dependencies.
+
+/// A k-d tree over `D`-dimensional points.
+#[derive(Debug, Clone)]
+pub struct KdTree<const D: usize> {
+    /// Points in tree order (reordered copy of the input).
+    points: Vec<[f64; D]>,
+    /// Original index of each tree-ordered point.
+    original: Vec<usize>,
+}
+
+impl<const D: usize> KdTree<D> {
+    /// Builds a balanced tree (median splits) over `points`.
+    pub fn build(points: &[[f64; D]]) -> KdTree<D> {
+        let mut original: Vec<usize> = (0..points.len()).collect();
+        let mut pts: Vec<[f64; D]> = points.to_vec();
+        if !pts.is_empty() {
+            build_recursive(&mut pts, &mut original, 0);
+        }
+        KdTree { points: pts, original }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Original indices of all points within Euclidean distance `eps` of
+    /// `query` (inclusive). Includes the query point itself if present.
+    pub fn within(&self, query: &[f64; D], eps: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        if !self.points.is_empty() {
+            self.search(0, self.points.len(), 0, query, eps * eps, &mut out);
+        }
+        out
+    }
+
+    fn search(
+        &self,
+        lo: usize,
+        hi: usize,
+        axis: usize,
+        query: &[f64; D],
+        eps2: f64,
+        out: &mut Vec<usize>,
+    ) {
+        if lo >= hi {
+            return;
+        }
+        let mid = lo + (hi - lo) / 2;
+        let p = &self.points[mid];
+        if dist2(p, query) <= eps2 {
+            out.push(self.original[mid]);
+        }
+        let next_axis = (axis + 1) % D;
+        let delta = query[axis] - p[axis];
+        let eps = eps2.sqrt();
+        // Search the near side always; the far side only if the splitting
+        // plane is within eps.
+        if delta <= 0.0 {
+            self.search(lo, mid, next_axis, query, eps2, out);
+            if -delta <= eps {
+                self.search(mid + 1, hi, next_axis, query, eps2, out);
+            }
+        } else {
+            self.search(mid + 1, hi, next_axis, query, eps2, out);
+            if delta <= eps {
+                self.search(lo, mid, next_axis, query, eps2, out);
+            }
+        }
+    }
+
+    /// Distance to the k-th nearest *other* point for every point (the
+    /// "k-dist" curve used to pick DBSCAN's ε). Brute force — used once at
+    /// parameterisation time on the (small) burst set.
+    pub fn k_dist(points: &[[f64; D]], k: usize) -> Vec<f64> {
+        let n = points.len();
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut dists: Vec<f64> = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| dist2(&points[i], &points[j]).sqrt())
+                .collect();
+            dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            out.push(dists.get(k.saturating_sub(1)).copied().unwrap_or(f64::INFINITY));
+        }
+        out
+    }
+}
+
+fn build_recursive<const D: usize>(points: &mut [[f64; D]], original: &mut [usize], axis: usize) {
+    let n = points.len();
+    if n <= 1 {
+        return;
+    }
+    let mid = n / 2;
+    // Median partition along the axis (select_nth keeps pairing intact via
+    // co-sorting through an index permutation).
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| points[a][axis].partial_cmp(&points[b][axis]).unwrap());
+    let reordered_pts: Vec<[f64; D]> = idx.iter().map(|&i| points[i]).collect();
+    let reordered_orig: Vec<usize> = idx.iter().map(|&i| original[i]).collect();
+    points.copy_from_slice(&reordered_pts);
+    original.copy_from_slice(&reordered_orig);
+    let next = (axis + 1) % D;
+    let (left, rest) = points.split_at_mut(mid);
+    let (_, right) = rest.split_at_mut(1);
+    let (oleft, orest) = original.split_at_mut(mid);
+    let (_, oright) = orest.split_at_mut(1);
+    build_recursive(left, oleft, next);
+    build_recursive(right, oright, next);
+}
+
+fn dist2<const D: usize>(a: &[f64; D], b: &[f64; D]) -> f64 {
+    let mut s = 0.0;
+    for d in 0..D {
+        let diff = a[d] - b[d];
+        s += diff * diff;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_within(points: &[[f64; 2]], q: &[f64; 2], eps: f64) -> Vec<usize> {
+        let mut v: Vec<usize> = (0..points.len())
+            .filter(|&i| dist2(&points[i], q).sqrt() <= eps)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn pseudo_points(n: usize) -> Vec<[f64; 2]> {
+        (0..n)
+            .map(|i| {
+                let a = ((i as u64).wrapping_mul(2654435761) % 1000) as f64 / 1000.0;
+                let b = ((i as u64).wrapping_mul(0x9E3779B9) % 1000) as f64 / 1000.0;
+                [a, b]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        let pts = pseudo_points(200);
+        let tree = KdTree::build(&pts);
+        for (qi, q) in pts.iter().enumerate().step_by(17) {
+            for eps in [0.05, 0.2, 0.7] {
+                let mut got = tree.within(q, eps);
+                got.sort_unstable();
+                let want = brute_within(&pts, q, eps);
+                assert_eq!(got, want, "query {qi} eps {eps}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree: KdTree<2> = KdTree::build(&[]);
+        assert!(tree.is_empty());
+        assert!(tree.within(&[0.0, 0.0], 1.0).is_empty());
+    }
+
+    #[test]
+    fn single_point() {
+        let tree = KdTree::build(&[[0.5, 0.5]]);
+        assert_eq!(tree.within(&[0.5, 0.5], 0.0), vec![0]);
+        assert_eq!(tree.within(&[0.6, 0.5], 0.05), Vec::<usize>::new());
+        assert_eq!(tree.within(&[0.6, 0.5], 0.2), vec![0]);
+    }
+
+    #[test]
+    fn duplicate_points_all_found() {
+        let pts = vec![[0.1, 0.1]; 5];
+        let tree = KdTree::build(&pts);
+        let mut got = tree.within(&[0.1, 0.1], 1e-9);
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn three_dimensional_works() {
+        let pts: Vec<[f64; 3]> = (0..50)
+            .map(|i| [i as f64 * 0.1, (i % 7) as f64, (i % 3) as f64])
+            .collect();
+        let tree = KdTree::build(&pts);
+        let got = tree.within(&pts[10], 1e-9);
+        assert_eq!(got, vec![10]);
+    }
+
+    #[test]
+    fn k_dist_on_uniform_grid() {
+        // 1-D embedded grid: nearest neighbour distance is the spacing.
+        let pts: Vec<[f64; 2]> = (0..10).map(|i| [i as f64, 0.0]).collect();
+        let d1 = KdTree::k_dist(&pts, 1);
+        assert!(d1.iter().all(|&d| (d - 1.0).abs() < 1e-12));
+        let d2 = KdTree::k_dist(&pts, 2);
+        // End points' 2nd neighbour is 2 away; interior points' is 1.
+        assert!((d2[0] - 2.0).abs() < 1e-12);
+        assert!((d2[5] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_dist_degenerate() {
+        let pts = vec![[0.0, 0.0]];
+        assert_eq!(KdTree::k_dist(&pts, 1), vec![f64::INFINITY]);
+    }
+}

@@ -1,0 +1,38 @@
+//! # phasefold-cluster
+//!
+//! Computation-burst structure detection for the `phasefold` workspace —
+//! the DBSCAN-based clustering substrate (González et al., IPDPS'09;
+//! Aggregative Cluster Refinement, IPDPSW'12) that the IPDPS'14 phase-
+//! identification paper folds its samples *per cluster* on top of.
+//!
+//! * [`features`] — bursts → normalised `(log duration, log instructions)`
+//!   points,
+//! * [`kdtree`] — ε-range queries,
+//! * [`dbscan`] — the density-based clustering itself + k-dist ε heuristic,
+//! * [`refine`] — aggregative refinement for multi-density data,
+//! * [`align`] — SPMD validation of the detected structure by sequence
+//!   alignment,
+//! * [`periodicity`] — autocorrelation-based period detection and
+//!   representative-window selection (Llort et al., ICPADS'11),
+//! * [`quality`] — ARI/purity against simulator ground truth,
+//! * [`pipeline`] — one-call [`pipeline::cluster_bursts`].
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod align;
+pub mod dbscan;
+pub mod features;
+pub mod kdtree;
+pub mod periodicity;
+pub mod pipeline;
+pub mod quality;
+pub mod refine;
+
+pub use dbscan::{dbscan, suggest_eps, DbscanParams, DbscanResult, Label};
+pub use features::{extract_features, BurstFeatures};
+pub use kdtree::KdTree;
+pub use periodicity::{autocorrelation, detect_period, representative_window, PeriodEstimate};
+pub use pipeline::{cluster_bursts, ClusterConfig, Clustering};
+pub use quality::{adjusted_rand_index, purity, silhouette};
+pub use refine::{refine, RefineParams};

@@ -1,0 +1,228 @@
+//! Periodicity detection on activity signals (after Llort et al., "Trace
+//! spectral analysis toward dynamic levels of detail", ICPADS'11).
+//!
+//! The companion on-line tool detects the application's iterative period
+//! from signal analysis of the trace and then selects a few representative
+//! periods to keep at full detail. We implement the core: normalised
+//! autocorrelation of an activity signal, dominant-period extraction, and
+//! representative-window selection (the window that best correlates with
+//! the rest of the signal).
+
+/// Normalised autocorrelation of `signal` at lag `lag` (mean-removed;
+/// 1.0 = perfect self-similarity).
+pub fn autocorrelation(signal: &[f64], lag: usize) -> f64 {
+    let n = signal.len();
+    if lag >= n || n < 2 {
+        return 0.0;
+    }
+    let mean = signal.iter().sum::<f64>() / n as f64;
+    let var: f64 = signal.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+    if var <= 0.0 {
+        return 1.0; // constant signal is trivially periodic at every lag
+    }
+    // Per-term (unbiased-style) normalisation: a perfectly periodic signal
+    // scores 1.0 at its period regardless of how many periods fit.
+    let cov: f64 = (0..n - lag)
+        .map(|i| (signal[i] - mean) * (signal[i + lag] - mean))
+        .sum::<f64>()
+        / (n - lag) as f64;
+    (cov / var).clamp(-1.5, 1.5)
+}
+
+/// A detected dominant period.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeriodEstimate {
+    /// Period in signal bins.
+    pub period_bins: usize,
+    /// Autocorrelation at the period (confidence, ∈ (0, 1]).
+    pub strength: f64,
+}
+
+/// Finds the dominant period of `signal` by locating the strongest local
+/// maximum of the autocorrelation over lags `[min_lag, n/2]`.
+///
+/// Returns `None` when no lag achieves `min_strength` (aperiodic signal).
+///
+/// ```
+/// use phasefold_cluster::detect_period;
+///
+/// // A square wave with period 20.
+/// let signal: Vec<f64> = (0..200)
+///     .map(|i| if (i / 10) % 2 == 0 { 1.0 } else { 0.0 })
+///     .collect();
+/// let period = detect_period(&signal, 2, 0.5).unwrap();
+/// assert_eq!(period.period_bins, 20);
+/// ```
+pub fn detect_period(signal: &[f64], min_lag: usize, min_strength: f64) -> Option<PeriodEstimate> {
+    let n = signal.len();
+    if n < 8 {
+        return None;
+    }
+    let max_lag = n / 2;
+    let min_lag = min_lag.max(1);
+    if min_lag >= max_lag {
+        return None;
+    }
+    let ac: Vec<f64> = (0..=max_lag).map(|l| autocorrelation(signal, l)).collect();
+    // Local maxima of the autocorrelation beyond min_lag.
+    let mut best: Option<PeriodEstimate> = None;
+    for lag in min_lag..max_lag {
+        let is_peak = ac[lag] >= ac[lag - 1] && ac[lag] >= ac[lag + 1];
+        if !is_peak || ac[lag] < min_strength {
+            continue;
+        }
+        // Prefer the *shortest* strong period: harmonics (2T, 3T, …) score
+        // about as high, so a longer candidate must be clearly stronger.
+        match best {
+            None => best = Some(PeriodEstimate { period_bins: lag, strength: ac[lag] }),
+            Some(b) if ac[lag] > b.strength + 0.05 => {
+                best = Some(PeriodEstimate { period_bins: lag, strength: ac[lag] })
+            }
+            _ => {}
+        }
+    }
+    best
+}
+
+/// Selects the representative window of one period length: the window
+/// whose shape correlates best, on average, with every other period-aligned
+/// window. Returns `(start_bin, period_bins)`.
+pub fn representative_window(signal: &[f64], period_bins: usize) -> Option<(usize, usize)> {
+    let n = signal.len();
+    if period_bins == 0 || n < 2 * period_bins {
+        return None;
+    }
+    let windows: Vec<&[f64]> = (0..n / period_bins)
+        .map(|k| &signal[k * period_bins..(k + 1) * period_bins])
+        .collect();
+    let m = windows.len();
+    let mut best = (0usize, f64::NEG_INFINITY);
+    for (i, wi) in windows.iter().enumerate() {
+        let mut score = 0.0;
+        for (j, wj) in windows.iter().enumerate() {
+            if i != j {
+                score += window_correlation(wi, wj);
+            }
+        }
+        score /= (m - 1) as f64;
+        if score > best.1 {
+            best = (i, score);
+        }
+    }
+    Some((best.0 * period_bins, period_bins))
+}
+
+fn window_correlation(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().min(b.len());
+    if n == 0 {
+        return 0.0;
+    }
+    let ma = a[..n].iter().sum::<f64>() / n as f64;
+    let mb = b[..n].iter().sum::<f64>() / n as f64;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for i in 0..n {
+        let da = a[i] - ma;
+        let db = b[i] - mb;
+        cov += da * db;
+        va += da * da;
+        vb += db * db;
+    }
+    if va <= 0.0 || vb <= 0.0 {
+        return if va == vb { 1.0 } else { 0.0 };
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn periodic_signal(period: usize, cycles: usize) -> Vec<f64> {
+        (0..period * cycles)
+            .map(|i| {
+                let phase = (i % period) as f64 / period as f64;
+                if phase < 0.3 {
+                    3.0
+                } else if phase < 0.7 {
+                    1.0
+                } else {
+                    2.0
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn autocorrelation_basics() {
+        let s = periodic_signal(10, 8);
+        assert!((autocorrelation(&s, 0) - 1.0).abs() < 1e-12);
+        assert!(autocorrelation(&s, 10) > 0.95);
+        assert!(autocorrelation(&s, 5) < 0.5);
+        // Constant signal.
+        assert_eq!(autocorrelation(&[2.0; 10], 3), 1.0);
+        // Degenerate sizes.
+        assert_eq!(autocorrelation(&[1.0], 0), 0.0);
+        assert_eq!(autocorrelation(&s, s.len()), 0.0);
+    }
+
+    #[test]
+    fn detects_true_period() {
+        let s = periodic_signal(12, 10);
+        let p = detect_period(&s, 2, 0.5).expect("period found");
+        assert_eq!(p.period_bins, 12);
+        assert!(p.strength > 0.9);
+    }
+
+    #[test]
+    fn prefers_fundamental_over_harmonics() {
+        let s = periodic_signal(8, 16);
+        let p = detect_period(&s, 2, 0.5).unwrap();
+        assert_eq!(p.period_bins, 8, "picked a harmonic: {p:?}");
+    }
+
+    #[test]
+    fn aperiodic_signal_yields_none() {
+        // Monotone ramp has no repeating structure.
+        let s: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        assert!(detect_period(&s, 2, 0.5).is_none());
+    }
+
+    #[test]
+    fn noisy_periodic_still_detected() {
+        let mut s = periodic_signal(15, 12);
+        for (i, v) in s.iter_mut().enumerate() {
+            *v += 0.2 * ((i as u64).wrapping_mul(2654435761) % 100) as f64 / 100.0;
+        }
+        let p = detect_period(&s, 2, 0.4).expect("period survives noise");
+        assert_eq!(p.period_bins, 15);
+    }
+
+    #[test]
+    fn representative_window_is_period_aligned() {
+        let s = periodic_signal(10, 6);
+        let (start, len) = representative_window(&s, 10).unwrap();
+        assert_eq!(len, 10);
+        assert_eq!(start % 10, 0);
+        assert!(start + len <= s.len());
+    }
+
+    #[test]
+    fn representative_window_avoids_corrupted_cycle() {
+        let mut s = periodic_signal(10, 6);
+        // Corrupt cycle 2 badly.
+        for v in &mut s[20..30] {
+            *v = 100.0;
+        }
+        let (start, _) = representative_window(&s, 10).unwrap();
+        assert_ne!(start, 20, "picked the corrupted cycle");
+    }
+
+    #[test]
+    fn short_signals_rejected() {
+        assert!(detect_period(&[1.0, 2.0, 1.0], 1, 0.5).is_none());
+        assert!(representative_window(&[1.0; 15], 10).is_none());
+        assert!(representative_window(&[1.0; 15], 0).is_none());
+    }
+}

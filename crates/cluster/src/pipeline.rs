@@ -1,0 +1,159 @@
+//! End-to-end structure detection: bursts → features → (refined) DBSCAN →
+//! labelled clustering with SPMD validation.
+
+use crate::align::spmd_score;
+use crate::dbscan::{dbscan, suggest_eps, DbscanParams, DbscanResult, Label};
+use crate::features::extract_features;
+use crate::refine::{refine, RefineParams};
+use phasefold_model::{Burst, RankId};
+use std::collections::BTreeMap;
+
+/// Structure-detection configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterConfig {
+    /// DBSCAN core threshold.
+    pub min_pts: usize,
+    /// Explicit ε; `None` derives it from the k-dist curve.
+    pub eps: Option<f64>,
+    /// Floor on the derived ε: bursts closer than this in normalised
+    /// log-feature space are the same phase by definition (sub-resolution
+    /// contrast). Ignored when `eps` is explicit.
+    pub min_eps: f64,
+    /// Apply aggregative refinement (tight ε + merging) instead of plain
+    /// single-ε DBSCAN.
+    pub refine: bool,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> ClusterConfig {
+        ClusterConfig { min_pts: 4, eps: None, min_eps: 0.02, refine: false }
+    }
+}
+
+/// A labelled clustering of computation bursts.
+#[derive(Debug, Clone)]
+pub struct Clustering {
+    /// Per-burst label (aligned with the input slice); `None` = noise.
+    pub labels: Vec<Label>,
+    /// Number of clusters.
+    pub num_clusters: usize,
+    /// The ε actually used.
+    pub eps: f64,
+    /// SPMD consistency score of the per-rank label sequences ∈ [0, 1].
+    pub spmd_score: f64,
+}
+
+impl Clustering {
+    /// Burst indices (into the input slice) of cluster `c`.
+    pub fn members(&self, c: usize) -> Vec<usize> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| (*l == Some(c)).then_some(i))
+            .collect()
+    }
+}
+
+/// Detects the computation structure of `bursts`.
+pub fn cluster_bursts(bursts: &[Burst], config: &ClusterConfig) -> Clustering {
+    let features = extract_features(bursts);
+    let eps = config
+        .eps
+        .unwrap_or_else(|| suggest_eps(&features.points, config.min_pts, 0.90).max(config.min_eps));
+    let result: DbscanResult = if config.refine {
+        refine(
+            &features.points,
+            &RefineParams {
+                eps: eps * 0.5,
+                min_pts: config.min_pts,
+                spread_limit: 2.5,
+            },
+        )
+    } else {
+        dbscan(&features.points, &DbscanParams { eps, min_pts: config.min_pts })
+    };
+
+    // Per-rank label sequences for the SPMD score (noise skipped).
+    let mut sequences: BTreeMap<RankId, Vec<usize>> = BTreeMap::new();
+    for (burst, label) in bursts.iter().zip(&result.labels) {
+        if let Some(l) = label {
+            sequences.entry(burst.id.rank).or_default().push(*l);
+        }
+    }
+    let seqs: Vec<Vec<usize>> = sequences.into_values().collect();
+    Clustering {
+        labels: result.labels,
+        num_clusters: result.num_clusters,
+        eps,
+        spmd_score: spmd_score(&seqs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phasefold_model::{extract_bursts, DurNs};
+    use phasefold_simapp::workloads::synthetic::{build, SyntheticParams};
+    use phasefold_simapp::{simulate, SimConfig};
+    use phasefold_tracer::{trace_run, TracerConfig};
+
+    fn traced_bursts(ranks: usize) -> Vec<Burst> {
+        let program = build(&SyntheticParams { iterations: 60, ..SyntheticParams::default() });
+        let out = simulate(&program, &SimConfig { ranks, ..SimConfig::default() });
+        let trace = trace_run(&program.registry, &out.timelines, &TracerConfig::default());
+        extract_bursts(&trace, DurNs::from_micros(1))
+    }
+
+    #[test]
+    fn synthetic_single_template_gives_one_cluster() {
+        let bursts = traced_bursts(2);
+        let clustering = cluster_bursts(&bursts, &ClusterConfig::default());
+        assert_eq!(clustering.num_clusters, 1, "eps = {}", clustering.eps);
+        let noise = clustering.labels.iter().filter(|l| l.is_none()).count();
+        assert!(noise * 10 < bursts.len(), "{noise} noise of {}", bursts.len());
+        assert!(clustering.spmd_score > 0.95);
+    }
+
+    #[test]
+    fn md_two_templates_give_two_clusters() {
+        use phasefold_simapp::workloads::md::{build, MdParams};
+        let program = build(&MdParams { decades: 4, ..MdParams::default() });
+        let out = simulate(&program, &SimConfig { ranks: 2, ..SimConfig::default() });
+        let trace = trace_run(&program.registry, &out.timelines, &TracerConfig::default());
+        let bursts = extract_bursts(&trace, DurNs::from_micros(1));
+        let clustering = cluster_bursts(&bursts, &ClusterConfig::default());
+        // Rebuild bursts vs plain bursts vs (ghost-separated) sub-bursts:
+        // at least 2 clusters must emerge, with high SPMD consistency.
+        assert!(
+            clustering.num_clusters >= 2,
+            "got {} clusters at eps {}",
+            clustering.num_clusters,
+            clustering.eps
+        );
+        assert!(clustering.spmd_score > 0.9, "spmd = {}", clustering.spmd_score);
+    }
+
+    #[test]
+    fn explicit_eps_is_respected() {
+        let bursts = traced_bursts(1);
+        let clustering =
+            cluster_bursts(&bursts, &ClusterConfig { eps: Some(0.123), ..Default::default() });
+        assert_eq!(clustering.eps, 0.123);
+    }
+
+    #[test]
+    fn refine_path_runs() {
+        let bursts = traced_bursts(1);
+        let clustering =
+            cluster_bursts(&bursts, &ClusterConfig { refine: true, ..Default::default() });
+        assert!(clustering.num_clusters >= 1);
+    }
+
+    #[test]
+    fn empty_bursts() {
+        let clustering = cluster_bursts(&[], &ClusterConfig::default());
+        assert_eq!(clustering.num_clusters, 0);
+        assert!(clustering.labels.is_empty());
+        assert_eq!(clustering.spmd_score, 1.0);
+    }
+}

@@ -1,0 +1,229 @@
+//! External clustering quality metrics against ground-truth labels:
+//! adjusted Rand index and purity. The simulator knows each burst's true
+//! template, so structure-detection accuracy (experiment E4) is exact.
+
+use std::collections::HashMap;
+
+/// Contingency table between predicted labels (`None` = noise) and truth.
+fn contingency(
+    predicted: &[Option<usize>],
+    truth: &[usize],
+) -> (HashMap<(usize, usize), usize>, HashMap<usize, usize>, HashMap<usize, usize>) {
+    assert_eq!(predicted.len(), truth.len());
+    let mut joint: HashMap<(usize, usize), usize> = HashMap::new();
+    let mut pred_sizes: HashMap<usize, usize> = HashMap::new();
+    let mut true_sizes: HashMap<usize, usize> = HashMap::new();
+    for (p, &t) in predicted.iter().zip(truth) {
+        // Treat noise as a singleton-ish pseudo-cluster keyed distinctly:
+        // conservative and standard when scoring DBSCAN outputs.
+        let p = p.map_or(usize::MAX, |v| v);
+        *joint.entry((p, t)).or_default() += 1;
+        *pred_sizes.entry(p).or_default() += 1;
+        *true_sizes.entry(t).or_default() += 1;
+    }
+    (joint, pred_sizes, true_sizes)
+}
+
+fn comb2(n: usize) -> f64 {
+    let n = n as f64;
+    n * (n - 1.0) / 2.0
+}
+
+/// Adjusted Rand index ∈ [-1, 1]; 1 = identical partitions, ~0 = random.
+pub fn adjusted_rand_index(predicted: &[Option<usize>], truth: &[usize]) -> f64 {
+    if predicted.is_empty() {
+        return 1.0;
+    }
+    let (joint, pred_sizes, true_sizes) = contingency(predicted, truth);
+    let sum_joint: f64 = joint.values().map(|&n| comb2(n)).sum();
+    let sum_pred: f64 = pred_sizes.values().map(|&n| comb2(n)).sum();
+    let sum_true: f64 = true_sizes.values().map(|&n| comb2(n)).sum();
+    let total = comb2(predicted.len());
+    if total == 0.0 {
+        return 1.0;
+    }
+    let expected = sum_pred * sum_true / total;
+    let max_index = 0.5 * (sum_pred + sum_true);
+    if (max_index - expected).abs() < 1e-30 {
+        return 1.0;
+    }
+    (sum_joint - expected) / (max_index - expected)
+}
+
+/// Purity ∈ [0, 1]: fraction of points whose predicted cluster's majority
+/// truth label matches their own. Noise points count as wrong.
+pub fn purity(predicted: &[Option<usize>], truth: &[usize]) -> f64 {
+    assert_eq!(predicted.len(), truth.len());
+    if predicted.is_empty() {
+        return 1.0;
+    }
+    let mut per_cluster: HashMap<usize, HashMap<usize, usize>> = HashMap::new();
+    for (p, &t) in predicted.iter().zip(truth) {
+        if let Some(c) = p {
+            *per_cluster.entry(*c).or_default().entry(t).or_default() += 1;
+        }
+    }
+    let correct: usize = per_cluster
+        .values()
+        .map(|counts| counts.values().copied().max().unwrap_or(0))
+        .sum();
+    correct as f64 / predicted.len() as f64
+}
+
+/// Mean silhouette coefficient ∈ [-1, 1]: internal cluster quality without
+/// ground truth (1 = tight, well-separated clusters). Noise points are
+/// excluded; clusters of size 1 contribute 0 (the standard convention).
+///
+/// O(n²); for the burst-set sizes the pipeline produces (≤ tens of
+/// thousands) this is fine as an offline diagnostic.
+pub fn silhouette<const D: usize>(points: &[[f64; D]], labels: &[Option<usize>]) -> f64 {
+    assert_eq!(points.len(), labels.len());
+    let dist = |a: &[f64; D], b: &[f64; D]| -> f64 {
+        let mut s = 0.0;
+        for d in 0..D {
+            let diff = a[d] - b[d];
+            s += diff * diff;
+        }
+        s.sqrt()
+    };
+    // Cluster membership lists.
+    let num_clusters = labels.iter().flatten().copied().max().map_or(0, |m| m + 1);
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); num_clusters];
+    for (i, l) in labels.iter().enumerate() {
+        if let Some(c) = l {
+            members[*c].push(i);
+        }
+    }
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for (c, own) in members.iter().enumerate() {
+        for &i in own {
+            count += 1;
+            if own.len() < 2 {
+                continue; // contributes 0
+            }
+            let a: f64 = own
+                .iter()
+                .filter(|&&j| j != i)
+                .map(|&j| dist(&points[i], &points[j]))
+                .sum::<f64>()
+                / (own.len() - 1) as f64;
+            let mut b = f64::INFINITY;
+            for (oc, others) in members.iter().enumerate() {
+                if oc == c || others.is_empty() {
+                    continue;
+                }
+                let d: f64 = others
+                    .iter()
+                    .map(|&j| dist(&points[i], &points[j]))
+                    .sum::<f64>()
+                    / others.len() as f64;
+                b = b.min(d);
+            }
+            if b.is_finite() {
+                sum += (b - a) / a.max(b).max(1e-300);
+            }
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        sum / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_clustering_scores_one() {
+        let pred = vec![Some(0), Some(0), Some(1), Some(1)];
+        let truth = vec![7, 7, 9, 9];
+        assert!((adjusted_rand_index(&pred, &truth) - 1.0).abs() < 1e-12);
+        assert_eq!(purity(&pred, &truth), 1.0);
+    }
+
+    #[test]
+    fn label_permutation_is_irrelevant() {
+        let pred = vec![Some(1), Some(1), Some(0), Some(0)];
+        let truth = vec![0, 0, 1, 1];
+        assert!((adjusted_rand_index(&pred, &truth) - 1.0).abs() < 1e-12);
+        assert_eq!(purity(&pred, &truth), 1.0);
+    }
+
+    #[test]
+    fn merged_clusters_lose_ari() {
+        let pred = vec![Some(0); 6];
+        let truth = vec![0, 0, 0, 1, 1, 1];
+        let ari = adjusted_rand_index(&pred, &truth);
+        assert!(ari < 0.5, "ari = {ari}");
+        assert!((purity(&pred, &truth) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_counts_against_purity() {
+        let pred = vec![Some(0), Some(0), None, None];
+        let truth = vec![0, 0, 1, 1];
+        assert_eq!(purity(&pred, &truth), 0.5);
+    }
+
+    #[test]
+    fn split_cluster_keeps_purity_but_not_ari() {
+        // One true cluster split into two predicted ones: purity stays 1,
+        // ARI drops below 1.
+        let pred = vec![Some(0), Some(0), Some(1), Some(1)];
+        let truth = vec![3, 3, 3, 3];
+        assert_eq!(purity(&pred, &truth), 1.0);
+        assert!(adjusted_rand_index(&pred, &truth) < 1.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(adjusted_rand_index(&[], &[]), 1.0);
+        assert_eq!(purity(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn silhouette_separated_blobs_near_one() {
+        let mut points: Vec<[f64; 2]> = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..20 {
+            points.push([0.0 + 0.001 * i as f64, 0.0]);
+            labels.push(Some(0));
+            points.push([10.0 + 0.001 * i as f64, 10.0]);
+            labels.push(Some(1));
+        }
+        let s = silhouette(&points, &labels);
+        assert!(s > 0.99, "s = {s}");
+    }
+
+    #[test]
+    fn silhouette_merged_blobs_is_low() {
+        // One blob split arbitrarily into two labels: silhouette ~ 0.
+        let points: Vec<[f64; 2]> = (0..40).map(|i| [(i % 7) as f64 * 0.01, 0.0]).collect();
+        let labels: Vec<Option<usize>> = (0..40).map(|i| Some(i % 2)).collect();
+        let s = silhouette(&points, &labels);
+        assert!(s < 0.3, "s = {s}");
+    }
+
+    #[test]
+    fn silhouette_edge_cases() {
+        // All noise.
+        assert_eq!(silhouette::<2>(&[[0.0, 0.0]], &[None]), 0.0);
+        // Single cluster (no "other" cluster): contributes 0.
+        let points = vec![[0.0, 0.0], [1.0, 1.0]];
+        assert_eq!(silhouette(&points, &[Some(0), Some(0)]), 0.0);
+        // Empty input.
+        assert_eq!(silhouette::<2>(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn random_vs_truth_is_near_zero() {
+        // Alternating predictions against block truth: ARI ≈ small.
+        let pred: Vec<Option<usize>> = (0..40).map(|i| Some(i % 2)).collect();
+        let truth: Vec<usize> = (0..40).map(|i| usize::from(i >= 20)).collect();
+        let ari = adjusted_rand_index(&pred, &truth);
+        assert!(ari.abs() < 0.15, "ari = {ari}");
+    }
+}

@@ -1,0 +1,192 @@
+//! Cluster refinement, after González et al.'s *Aggregative Cluster
+//! Refinement* (IPDPSW'12).
+//!
+//! DBSCAN with a single global ε mis-handles data whose blobs have
+//! different densities: a loose ε merges nearby tight blobs, a tight ε
+//! shatters sparse ones. The original refinement iterates DBSCAN across an
+//! ε ladder and keeps clusters when they become "stable". We implement the
+//! aggregative core of that idea:
+//!
+//! 1. run DBSCAN at a *tight* ε (bottom of the ladder) so nothing is
+//!    under-segmented,
+//! 2. aggregate: repeatedly merge the two clusters whose centroid distance
+//!    is smallest, **as long as** the merged cluster stays dense — its
+//!    internal mean pairwise spread must not exceed `spread_limit ×` the
+//!    larger of the two parents' spreads.
+//!
+//! This keeps genuinely distinct phases apart (merging them would blow up
+//! the spread) while healing over-segmentation (fragments of one phase are
+//! close and merging barely changes the spread).
+
+use crate::dbscan::{dbscan, DbscanParams, DbscanResult};
+
+/// Parameters of [`refine`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefineParams {
+    /// Tight starting ε (typically `suggest_eps(..)/2`).
+    pub eps: f64,
+    /// DBSCAN core threshold.
+    pub min_pts: usize,
+    /// How much a merge may inflate cluster spread before it is rejected.
+    pub spread_limit: f64,
+}
+
+impl Default for RefineParams {
+    fn default() -> RefineParams {
+        RefineParams { eps: 0.05, min_pts: 4, spread_limit: 2.5 }
+    }
+}
+
+/// Runs tight DBSCAN followed by aggregative merging.
+pub fn refine<const D: usize>(points: &[[f64; D]], params: &RefineParams) -> DbscanResult {
+    let base = dbscan(points, &DbscanParams { eps: params.eps, min_pts: params.min_pts });
+    if base.num_clusters <= 1 {
+        return base;
+    }
+
+    // Per-cluster members, centroids, spreads.
+    let mut clusters: Vec<Vec<usize>> =
+        (0..base.num_clusters).map(|c| base.members(c)).collect();
+
+    loop {
+        let k = clusters.len();
+        if k <= 1 {
+            break;
+        }
+        let centroids: Vec<[f64; D]> = clusters.iter().map(|m| centroid(points, m)).collect();
+        // Closest centroid pair.
+        let mut best: Option<(usize, usize, f64)> = None;
+        for a in 0..k {
+            for b in a + 1..k {
+                let d = dist(&centroids[a], &centroids[b]);
+                if best.is_none_or(|(_, _, bd)| d < bd) {
+                    best = Some((a, b, d));
+                }
+            }
+        }
+        let Some((a, b, _)) = best else { break };
+        let spread_a = mean_spread(points, &clusters[a], &centroids[a]);
+        let spread_b = mean_spread(points, &clusters[b], &centroids[b]);
+        let mut merged = clusters[a].clone();
+        merged.extend_from_slice(&clusters[b]);
+        let merged_centroid = centroid(points, &merged);
+        let merged_spread = mean_spread(points, &merged, &merged_centroid);
+        let parent_spread = spread_a.max(spread_b).max(params.eps * 0.5);
+        if merged_spread > params.spread_limit * parent_spread {
+            break; // the closest pair is a genuine phase boundary: stop
+        }
+        clusters[a] = merged;
+        clusters.swap_remove(b);
+    }
+
+    // Rebuild labels; keep clusters ordered by their smallest member so the
+    // output is deterministic.
+    clusters.sort_by_key(|m| m.iter().copied().min().unwrap_or(usize::MAX));
+    let mut labels = vec![None; points.len()];
+    for (c, members) in clusters.iter().enumerate() {
+        for &i in members {
+            labels[i] = Some(c);
+        }
+    }
+    DbscanResult { labels, num_clusters: clusters.len() }
+}
+
+fn centroid<const D: usize>(points: &[[f64; D]], members: &[usize]) -> [f64; D] {
+    let mut c = [0.0f64; D];
+    for &i in members {
+        for d in 0..D {
+            c[d] += points[i][d];
+        }
+    }
+    let n = members.len().max(1) as f64;
+    for v in c.iter_mut() {
+        *v /= n;
+    }
+    c
+}
+
+fn mean_spread<const D: usize>(points: &[[f64; D]], members: &[usize], centre: &[f64; D]) -> f64 {
+    if members.is_empty() {
+        return 0.0;
+    }
+    members.iter().map(|&i| dist(&points[i], centre)).sum::<f64>() / members.len() as f64
+}
+
+fn dist<const D: usize>(a: &[f64; D], b: &[f64; D]) -> f64 {
+    let mut s = 0.0;
+    for d in 0..D {
+        let diff = a[d] - b[d];
+        s += diff * diff;
+    }
+    s.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One tight blob split in two fragments plus one distant sparse blob.
+    fn fragmented() -> Vec<[f64; 2]> {
+        let mut pts = Vec::new();
+        // Fragment A1 around (0.10, 0.10), A2 around (0.16, 0.10) — same
+        // phase, slightly separated (over-segmentation bait).
+        for i in 0..20 {
+            let d = (i % 5) as f64 / 400.0;
+            pts.push([0.10 + d, 0.10 + (i % 4) as f64 / 400.0]);
+            pts.push([0.16 + d, 0.10 + (i % 4) as f64 / 400.0]);
+        }
+        // Distant sparse blob around (0.8, 0.8).
+        for i in 0..20 {
+            let d = (i % 10) as f64 / 80.0;
+            pts.push([0.75 + d, 0.75 + (i % 7) as f64 / 80.0]);
+        }
+        pts
+    }
+
+    #[test]
+    fn heals_over_segmentation_without_bridging_phases() {
+        let pts = fragmented();
+        // Tight eps fragments A into A1+A2 (and may fragment B).
+        let tight = dbscan(&pts, &DbscanParams { eps: 0.03, min_pts: 4 });
+        assert!(tight.num_clusters >= 3, "setup: got {}", tight.num_clusters);
+        let refined = refine(&pts, &RefineParams { eps: 0.03, min_pts: 4, spread_limit: 3.0 });
+        assert_eq!(refined.num_clusters, 2, "refined to {}", refined.num_clusters);
+        // A1 and A2 now share a label; B keeps its own.
+        let la = refined.labels[0];
+        let lb = refined.labels[40];
+        assert!(la.is_some() && lb.is_some());
+        assert_ne!(la, lb);
+        assert_eq!(refined.labels[1], la);
+    }
+
+    #[test]
+    fn single_cluster_passthrough() {
+        let pts: Vec<[f64; 2]> = (0..20).map(|i| [0.5 + (i % 5) as f64 / 100.0, 0.5]).collect();
+        let refined = refine(&pts, &RefineParams::default());
+        assert_eq!(refined.num_clusters, 1);
+    }
+
+    #[test]
+    fn noise_stays_noise() {
+        let mut pts = fragmented();
+        pts.push([10.0, -10.0]);
+        let refined = refine(&pts, &RefineParams { eps: 0.03, min_pts: 4, spread_limit: 3.0 });
+        assert!(refined.labels.last().unwrap().is_none());
+    }
+
+    #[test]
+    fn labels_dense_after_refine() {
+        let pts = fragmented();
+        let refined = refine(&pts, &RefineParams { eps: 0.03, min_pts: 4, spread_limit: 3.0 });
+        let mut seen: Vec<usize> = refined.labels.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen, (0..refined.num_clusters).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let refined = refine::<2>(&[], &RefineParams::default());
+        assert_eq!(refined.num_clusters, 0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for the structure-detection substrate.
+
+use proptest::prelude::*;
+
+use phasefold_cluster::periodicity::autocorrelation;
+use phasefold_cluster::{
+    adjusted_rand_index, dbscan, purity, DbscanParams, KdTree,
+};
+
+fn arb_points(max: usize) -> impl Strategy<Value = Vec<[f64; 2]>> {
+    proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0).prop_map(|(a, b)| [a, b]), 1..max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// kd-tree range queries agree with brute force on arbitrary data.
+    #[test]
+    fn kdtree_matches_bruteforce(points in arb_points(120), eps in 0.01f64..0.5) {
+        let tree = KdTree::build(&points);
+        for (qi, q) in points.iter().enumerate().step_by(7) {
+            let mut got = tree.within(q, eps);
+            got.sort_unstable();
+            let mut want: Vec<usize> = (0..points.len())
+                .filter(|&i| {
+                    let dx = points[i][0] - q[0];
+                    let dy = points[i][1] - q[1];
+                    (dx * dx + dy * dy).sqrt() <= eps
+                })
+                .collect();
+            want.sort_unstable();
+            prop_assert_eq!(got, want, "query {}", qi);
+        }
+    }
+
+    /// DBSCAN invariants: dense labels from zero; every core point is in a
+    /// cluster; label count partitions the points.
+    #[test]
+    fn dbscan_invariants(points in arb_points(150), eps in 0.02f64..0.3, min_pts in 2usize..6) {
+        let res = dbscan(&points, &DbscanParams { eps, min_pts });
+        prop_assert_eq!(res.labels.len(), points.len());
+        let mut seen: Vec<usize> = res.labels.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        seen.dedup();
+        prop_assert_eq!(seen, (0..res.num_clusters).collect::<Vec<_>>());
+        prop_assert_eq!(
+            res.sizes().iter().sum::<usize>() + res.noise_count(),
+            points.len()
+        );
+        // Core-point property: any point with >= min_pts neighbours must be
+        // labelled (never noise).
+        let tree = KdTree::build(&points);
+        for (i, p) in points.iter().enumerate() {
+            if tree.within(p, eps).len() >= min_pts {
+                prop_assert!(res.labels[i].is_some(), "core point {i} is noise");
+            }
+        }
+    }
+
+    /// DBSCAN is invariant under point-order permutation, up to label
+    /// renaming (checked via ARI against itself).
+    #[test]
+    fn dbscan_order_invariant(points in arb_points(80), eps in 0.05f64..0.3) {
+        let params = DbscanParams { eps, min_pts: 3 };
+        let a = dbscan(&points, &params);
+        let mut reversed: Vec<[f64; 2]> = points.clone();
+        reversed.reverse();
+        let b = dbscan(&reversed, &params);
+        let b_unreversed: Vec<Option<usize>> = b.labels.iter().rev().copied().collect();
+        // Same partition => ARI == 1 (treating noise as its own bucket).
+        let a_as_truth: Vec<usize> =
+            a.labels.iter().map(|l| l.map_or(usize::MAX - 1, |v| v)).collect();
+        let ari = adjusted_rand_index(&b_unreversed, &a_as_truth);
+        prop_assert!((ari - 1.0).abs() < 1e-9, "ari = {ari}");
+    }
+
+    /// ARI and purity hit their maxima exactly when the prediction equals
+    /// the truth (modulo renaming).
+    #[test]
+    fn quality_maxima(truth in proptest::collection::vec(0usize..4, 4..60), offset in 1usize..5) {
+        let renamed: Vec<Option<usize>> = truth.iter().map(|&t| Some(t + offset)).collect();
+        prop_assert!((adjusted_rand_index(&renamed, &truth) - 1.0).abs() < 1e-9);
+        prop_assert_eq!(purity(&renamed, &truth), 1.0);
+    }
+
+    /// Autocorrelation is bounded and exactly 1 at lag 0.
+    #[test]
+    fn autocorrelation_bounds(signal in proptest::collection::vec(-5.0f64..5.0, 2..100), lag in 0usize..50) {
+        let r0 = autocorrelation(&signal, 0);
+        prop_assert!((r0 - 1.0).abs() < 1e-9);
+        let r = autocorrelation(&signal, lag);
+        prop_assert!(r.abs() <= 1.5 + 1e-9, "r = {r}");
+    }
+}

@@ -1,0 +1,296 @@
+//! Differential analysis: tracking phases across runs.
+//!
+//! The SC'13 companion ("On the usefulness of object tracking techniques in
+//! performance analysis") tracks application behaviours across execution
+//! scenarios — different inputs, rank counts, or code versions — to show
+//! how each region's performance responds. This module implements the core
+//! of that idea for two analyses of the *same* application: clusters are
+//! matched by their burst signature, phases inside matched clusters are
+//! matched by source attribution (falling back to span overlap), and the
+//! result is a per-phase metric delta table — exactly what the E6 case
+//! studies read to verify a transformation moved the metric it targeted.
+
+use crate::metrics::PhaseMetrics;
+use crate::phase::{ClusterPhaseModel, Phase};
+use crate::pipeline::Analysis;
+use phasefold_model::SourceRegistry;
+use std::fmt::Write as _;
+
+/// A matched pair of phases with their metric movement.
+#[derive(Debug, Clone)]
+pub struct PhaseDelta {
+    /// Cluster id in the baseline analysis.
+    pub baseline_cluster: usize,
+    /// Phase index in the baseline model.
+    pub baseline_phase: usize,
+    /// Phase index in the candidate model.
+    pub candidate_phase: usize,
+    /// How the phases were matched.
+    pub matched_by: MatchKind,
+    /// Baseline metrics.
+    pub before: PhaseMetrics,
+    /// Candidate metrics.
+    pub after: PhaseMetrics,
+    /// Phase time per burst, baseline → candidate (seconds).
+    pub duration_before_s: f64,
+    /// Candidate phase duration (seconds).
+    pub duration_after_s: f64,
+}
+
+/// How a phase pair was matched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchKind {
+    /// Same attributed source region.
+    Source,
+    /// Largest span overlap (no/conflicting attribution).
+    Overlap,
+}
+
+impl PhaseDelta {
+    /// Relative duration change (negative = faster).
+    pub fn duration_change(&self) -> f64 {
+        if self.duration_before_s <= 0.0 {
+            0.0
+        } else {
+            self.duration_after_s / self.duration_before_s - 1.0
+        }
+    }
+}
+
+/// Result of comparing two analyses.
+#[derive(Debug, Clone, Default)]
+pub struct Comparison {
+    /// Matched phase pairs with deltas.
+    pub deltas: Vec<PhaseDelta>,
+    /// Baseline phases with no counterpart (e.g. fused away).
+    pub disappeared: Vec<(usize, usize)>,
+    /// Candidate phases with no baseline counterpart (new code).
+    pub appeared: Vec<(usize, usize)>,
+}
+
+/// Matches each baseline cluster to its closest candidate cluster by
+/// signature (mean burst duration and instruction total, log-distance).
+fn match_clusters<'a>(
+    baseline: &'a Analysis,
+    candidate: &'a Analysis,
+) -> Vec<(&'a ClusterPhaseModel, &'a ClusterPhaseModel)> {
+    let mut pairs: Vec<(f64, usize, usize)> = Vec::new();
+    for (bi, bm) in baseline.models.iter().enumerate() {
+        for (ci, cm) in candidate.models.iter().enumerate() {
+            let d_dur = (bm.mean_duration_s.max(1e-12).ln()
+                - cm.mean_duration_s.max(1e-12).ln())
+            .abs();
+            let b_ins = bm.phases.iter().map(|p| p.rates.as_array()[0] * p.duration_s).sum::<f64>();
+            let c_ins = cm.phases.iter().map(|p| p.rates.as_array()[0] * p.duration_s).sum::<f64>();
+            let d_ins = (b_ins.max(1.0).ln() - c_ins.max(1.0).ln()).abs();
+            pairs.push((d_dur + d_ins, bi, ci));
+        }
+    }
+    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+    let mut used_b = vec![false; baseline.models.len()];
+    let mut used_c = vec![false; candidate.models.len()];
+    let mut out = Vec::new();
+    for (dist, bi, ci) in pairs {
+        if used_b[bi] || used_c[ci] || dist > 2.0 {
+            continue;
+        }
+        used_b[bi] = true;
+        used_c[ci] = true;
+        out.push((&baseline.models[bi], &candidate.models[ci]));
+    }
+    out
+}
+
+/// Matches phases of one cluster pair: first by attributed source region,
+/// then remaining ones by maximum span overlap.
+fn match_phases<'a>(
+    bm: &'a ClusterPhaseModel,
+    cm: &'a ClusterPhaseModel,
+) -> Vec<(&'a Phase, &'a Phase, MatchKind)> {
+    let mut taken_c = vec![false; cm.phases.len()];
+    let mut out = Vec::new();
+    // Pass 1: source-region identity.
+    for bp in &bm.phases {
+        let Some(bsrc) = &bp.source else { continue };
+        if let Some((ci, cp)) = cm.phases.iter().enumerate().find(|(ci, cp)| {
+            !taken_c[*ci]
+                && cp.source.as_ref().is_some_and(|s| s.region == bsrc.region)
+        }) {
+            taken_c[ci] = true;
+            out.push((bp, cp, MatchKind::Source));
+        }
+    }
+    // Pass 2: span overlap for the rest.
+    for bp in &bm.phases {
+        if out.iter().any(|(b, _, _)| std::ptr::eq(*b, bp)) {
+            continue;
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for (ci, cp) in cm.phases.iter().enumerate() {
+            if taken_c[ci] {
+                continue;
+            }
+            let overlap = (bp.x1.min(cp.x1) - bp.x0.max(cp.x0)).max(0.0);
+            if overlap > 0.0 && best.is_none_or(|(_, bo)| overlap > bo) {
+                best = Some((ci, overlap));
+            }
+        }
+        if let Some((ci, _)) = best {
+            taken_c[ci] = true;
+            out.push((bp, &cm.phases[ci], MatchKind::Overlap));
+        }
+    }
+    out
+}
+
+/// Compares a `candidate` analysis against a `baseline` of the same
+/// application.
+pub fn compare_analyses(baseline: &Analysis, candidate: &Analysis) -> Comparison {
+    let mut result = Comparison::default();
+    for (bm, cm) in match_clusters(baseline, candidate) {
+        let matched = match_phases(bm, cm);
+        for (bp, cp, kind) in &matched {
+            result.deltas.push(PhaseDelta {
+                baseline_cluster: bm.cluster,
+                baseline_phase: bp.index,
+                candidate_phase: cp.index,
+                matched_by: *kind,
+                before: bp.metrics,
+                after: cp.metrics,
+                duration_before_s: bp.duration_s,
+                duration_after_s: cp.duration_s,
+            });
+        }
+        for bp in &bm.phases {
+            if !matched.iter().any(|(b, _, _)| std::ptr::eq(*b, bp)) {
+                result.disappeared.push((bm.cluster, bp.index));
+            }
+        }
+        for (ci, cp) in cm.phases.iter().enumerate() {
+            if !matched.iter().any(|(_, c, _)| std::ptr::eq(*c, cp)) {
+                result.appeared.push((cm.cluster, ci));
+            }
+        }
+    }
+    result
+}
+
+/// Renders the comparison as a delta table.
+pub fn render_comparison(
+    comparison: &Comparison,
+    baseline: &Analysis,
+    registry: &SourceRegistry,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<34} {:>9} {:>16} {:>16} {:>18}",
+        "phase (baseline source)", "matched", "dur/burst", "IPC", "L3 MPKI"
+    );
+    for d in &comparison.deltas {
+        let source = baseline
+            .models
+            .iter()
+            .find(|m| m.cluster == d.baseline_cluster)
+            .and_then(|m| m.phases.get(d.baseline_phase))
+            .and_then(|p| p.source.as_ref())
+            .map(|s| s.render(registry))
+            .unwrap_or_else(|| format!("c{}p{}", d.baseline_cluster, d.baseline_phase));
+        let _ = writeln!(
+            out,
+            "{:<34} {:>9} {:>6.3}->{:<6.3}ms {:>7.2}->{:<7.2} {:>8.2}->{:<8.2}",
+            source,
+            match d.matched_by {
+                MatchKind::Source => "source",
+                MatchKind::Overlap => "overlap",
+            },
+            d.duration_before_s * 1e3,
+            d.duration_after_s * 1e3,
+            d.before.ipc,
+            d.after.ipc,
+            d.before.l3_mpki,
+            d.after.l3_mpki,
+        );
+    }
+    for (c, p) in &comparison.disappeared {
+        let _ = writeln!(out, "phase c{c}p{p}: no counterpart in candidate (removed/fused)");
+    }
+    for (c, p) in &comparison.appeared {
+        let _ = writeln!(out, "candidate phase c{c}p{p}: new (no baseline counterpart)");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AnalysisConfig;
+    use phasefold_simapp::workloads::stencil::{build, StencilParams};
+    use phasefold_simapp::SimConfig;
+    use phasefold_tracer::TracerConfig;
+
+    fn analyses() -> (Analysis, Analysis, SourceRegistry) {
+        let base_prog = build(&StencilParams::default());
+        let opt_prog = build(&StencilParams { blocked: true, ..StencilParams::default() });
+        let sim = SimConfig { ranks: 2, ..SimConfig::default() };
+        let base = crate::driver::run_study(
+            &base_prog,
+            &sim,
+            &TracerConfig::default(),
+            &AnalysisConfig::default(),
+        );
+        let opt = crate::driver::run_study(
+            &opt_prog,
+            &sim,
+            &TracerConfig::default(),
+            &AnalysisConfig::default(),
+        );
+        (base.analysis, opt.analysis, base_prog.registry)
+    }
+
+    #[test]
+    fn blocked_stencil_improves_flux_phase() {
+        let (base, opt, registry) = analyses();
+        let cmp = compare_analyses(&base, &opt);
+        assert!(!cmp.deltas.is_empty());
+        // Find the flux phase by source name.
+        let flux = cmp
+            .deltas
+            .iter()
+            .find(|d| {
+                base.models
+                    .iter()
+                    .find(|m| m.cluster == d.baseline_cluster)
+                    .and_then(|m| m.phases.get(d.baseline_phase))
+                    .and_then(|p| p.source.as_ref())
+                    .is_some_and(|s| registry.name(s.region).contains("flux"))
+            })
+            .expect("flux phase matched");
+        assert_eq!(flux.matched_by, MatchKind::Source);
+        // Blocking cuts L3 misses and duration of exactly this phase.
+        assert!(flux.after.l3_mpki < flux.before.l3_mpki * 0.7, "{flux:?}");
+        assert!(flux.duration_change() < -0.15, "{}", flux.duration_change());
+        assert!(flux.after.ipc > flux.before.ipc);
+    }
+
+    #[test]
+    fn self_comparison_is_near_identity() {
+        let (base, _, _) = analyses();
+        let cmp = compare_analyses(&base, &base);
+        assert!(cmp.disappeared.is_empty());
+        assert!(cmp.appeared.is_empty());
+        for d in &cmp.deltas {
+            assert_eq!(d.matched_by, MatchKind::Source);
+            assert!((d.duration_change()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn render_contains_arrows() {
+        let (base, opt, registry) = analyses();
+        let cmp = compare_analyses(&base, &opt);
+        let text = render_comparison(&cmp, &base, &registry);
+        assert!(text.contains("->"), "{text}");
+        assert!(text.contains("flux"), "{text}");
+    }
+}

@@ -1,0 +1,53 @@
+//! Convenience driver: program → simulation → trace → analysis in one
+//! call. Examples and experiments build on this.
+
+use crate::config::AnalysisConfig;
+use crate::pipeline::{analyze_trace, Analysis};
+use phasefold_model::Trace;
+use phasefold_simapp::{simulate, Program, SimConfig, SimOutput};
+use phasefold_tracer::{trace_run, TracerConfig};
+
+/// Everything a full simulated study produces.
+#[derive(Debug)]
+pub struct StudyOutput {
+    /// Simulation result (ground-truth timelines + true phase structure).
+    pub sim: SimOutput,
+    /// The recorded trace.
+    pub trace: Trace,
+    /// The analysis of that trace.
+    pub analysis: Analysis,
+}
+
+/// Simulates `program`, traces it, and analyses the trace.
+pub fn run_study(
+    program: &Program,
+    sim: &SimConfig,
+    tracer: &TracerConfig,
+    analysis: &AnalysisConfig,
+) -> StudyOutput {
+    let sim_out = simulate(program, sim);
+    let trace = trace_run(&program.registry, &sim_out.timelines, tracer);
+    let result = analyze_trace(&trace, analysis);
+    StudyOutput { sim: sim_out, trace, analysis: result }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phasefold_simapp::workloads::cg::{build, CgParams};
+
+    #[test]
+    fn cg_study_end_to_end() {
+        let program = build(&CgParams { iterations: 80, ..CgParams::default() });
+        let study = run_study(
+            &program,
+            &SimConfig { ranks: 4, ..SimConfig::default() },
+            &TracerConfig::default(),
+            &AnalysisConfig::default(),
+        );
+        assert!(study.analysis.num_bursts > 100);
+        assert!(!study.analysis.models.is_empty());
+        assert!(study.trace.total_records() > 500);
+        assert!(!study.sim.ground_truth.templates.is_empty());
+    }
+}

@@ -1,0 +1,230 @@
+//! Evaluation against simulator ground truth.
+//!
+//! Because `phasefold-simapp` exports each burst template's exact phase
+//! boundaries and rates, the experiments can score phase detection
+//! objectively: breakpoint precision/recall at a tolerance, rate-profile
+//! error (the "< 5 % absolute mean difference" claim of the folding line of
+//! work), and source-attribution accuracy.
+
+use crate::phase::ClusterPhaseModel;
+use phasefold_model::CounterKind;
+use phasefold_simapp::{BurstTemplate, GroundTruth};
+
+/// Breakpoint detection quality.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundaryScore {
+    /// Detected breakpoints matched to a true boundary within tolerance,
+    /// over all detections.
+    pub precision: f64,
+    /// True boundaries matched by a detection, over all true boundaries.
+    pub recall: f64,
+    /// Mean |detected − true| over matched pairs (burst fractions).
+    pub mean_abs_error: f64,
+    /// Matched pairs.
+    pub matched: usize,
+}
+
+impl BoundaryScore {
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        if self.precision + self.recall <= 0.0 {
+            0.0
+        } else {
+            2.0 * self.precision * self.recall / (self.precision + self.recall)
+        }
+    }
+}
+
+/// Greedy one-to-one matching of detected to true boundaries within `tol`.
+pub fn score_boundaries(detected: &[f64], truth: &[f64], tol: f64) -> BoundaryScore {
+    if detected.is_empty() && truth.is_empty() {
+        return BoundaryScore { precision: 1.0, recall: 1.0, mean_abs_error: 0.0, matched: 0 };
+    }
+    let mut pairs: Vec<(f64, usize, usize)> = Vec::new();
+    for (i, d) in detected.iter().enumerate() {
+        for (j, t) in truth.iter().enumerate() {
+            let err = (d - t).abs();
+            if err <= tol {
+                pairs.push((err, i, j));
+            }
+        }
+    }
+    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    let mut used_d = vec![false; detected.len()];
+    let mut used_t = vec![false; truth.len()];
+    let mut matched = 0usize;
+    let mut err_sum = 0.0;
+    for (err, i, j) in pairs {
+        if used_d[i] || used_t[j] {
+            continue;
+        }
+        used_d[i] = true;
+        used_t[j] = true;
+        matched += 1;
+        err_sum += err;
+    }
+    BoundaryScore {
+        precision: if detected.is_empty() { 1.0 } else { matched as f64 / detected.len() as f64 },
+        recall: if truth.is_empty() { 1.0 } else { matched as f64 / truth.len() as f64 },
+        mean_abs_error: if matched > 0 { err_sum / matched as f64 } else { 0.0 },
+        matched,
+    }
+}
+
+/// Mean absolute relative error between the model's step-function rate of
+/// `counter` and the template's true rate, sampled on `grid_points`
+/// uniformly-spaced burst fractions.
+///
+/// This reproduces the folding accuracy metric ("absolute mean difference"
+/// vs fine-grain truth).
+pub fn rate_profile_error(
+    model: &ClusterPhaseModel,
+    template: &BurstTemplate,
+    counter: CounterKind,
+    grid_points: usize,
+) -> f64 {
+    assert!(grid_points >= 2);
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for i in 0..grid_points {
+        let x = (i as f64 + 0.5) / grid_points as f64;
+        let truth = template
+            .phases
+            .iter()
+            .find(|p| x >= p.frac_start && x < p.frac_end)
+            .map_or(0.0, |p| p.rates[counter]);
+        if truth <= 0.0 {
+            continue;
+        }
+        let got = model.rate_at(counter, x);
+        sum += (got - truth).abs() / truth;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Matches each analysed cluster model to the ground-truth template with
+/// the closest mean duration. Returns `(model_index, template_index)`
+/// pairs; templates may be matched at most once (greedy by duration gap).
+pub fn match_models_to_templates(
+    models: &[ClusterPhaseModel],
+    truth: &GroundTruth,
+) -> Vec<(usize, usize)> {
+    let mut candidates: Vec<(f64, usize, usize)> = Vec::new();
+    for (mi, model) in models.iter().enumerate() {
+        for (ti, template) in truth.templates.iter().enumerate() {
+            let gap = (model.mean_duration_s - template.total_dur_s).abs()
+                / template.total_dur_s.max(1e-12);
+            candidates.push((gap, mi, ti));
+        }
+    }
+    candidates.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    let mut used_m = vec![false; models.len()];
+    let mut used_t = vec![false; truth.templates.len()];
+    let mut out = Vec::new();
+    for (gap, mi, ti) in candidates {
+        if used_m[mi] || used_t[ti] || gap > 0.5 {
+            continue;
+        }
+        used_m[mi] = true;
+        used_t[ti] = true;
+        out.push((mi, ti));
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Overlap-weighted source-attribution accuracy: for each attributed
+/// phase, the fraction of its span where the *true* kernel is the
+/// attributed region, summed over phases and normalised by the total
+/// attributed span.
+///
+/// Overlap weighting (rather than midpoint voting) gives honest partial
+/// credit when the detector merges adjacent kernels whose performance is
+/// indistinguishable — performance data alone cannot split those, and the
+/// single attribution is necessarily right for only part of the span.
+pub fn source_accuracy(model: &ClusterPhaseModel, template: &BurstTemplate) -> f64 {
+    let mut correct = 0.0;
+    let mut total = 0.0;
+    for phase in &model.phases {
+        let Some(attr) = &phase.source else { continue };
+        total += phase.span_fraction();
+        for tp in &template.phases {
+            if tp.region != attr.region {
+                continue;
+            }
+            let overlap = (phase.x1.min(tp.frac_end) - phase.x0.max(tp.frac_start)).max(0.0);
+            correct += overlap;
+        }
+    }
+    if total <= 0.0 {
+        0.0
+    } else {
+        (correct / total).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_boundary_match() {
+        let s = score_boundaries(&[0.3, 0.7], &[0.3, 0.7], 0.02);
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 1.0);
+        assert_eq!(s.matched, 2);
+        assert_eq!(s.mean_abs_error, 0.0);
+        assert_eq!(s.f1(), 1.0);
+    }
+
+    #[test]
+    fn near_match_within_tolerance() {
+        let s = score_boundaries(&[0.31], &[0.30], 0.02);
+        assert_eq!(s.matched, 1);
+        assert!((s.mean_abs_error - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spurious_detection_costs_precision() {
+        let s = score_boundaries(&[0.3, 0.9], &[0.3], 0.02);
+        assert_eq!(s.precision, 0.5);
+        assert_eq!(s.recall, 1.0);
+        assert!((s.f1() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missed_boundary_costs_recall() {
+        let s = score_boundaries(&[0.3], &[0.3, 0.7], 0.02);
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 0.5);
+    }
+
+    #[test]
+    fn one_to_one_matching() {
+        // Two detections near one truth: only one may match.
+        let s = score_boundaries(&[0.29, 0.31], &[0.30], 0.05);
+        assert_eq!(s.matched, 1);
+        assert_eq!(s.precision, 0.5);
+    }
+
+    #[test]
+    fn both_empty_is_perfect() {
+        let s = score_boundaries(&[], &[], 0.02);
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 1.0);
+        assert_eq!(s.f1(), 1.0);
+    }
+
+    #[test]
+    fn empty_detection_vs_truth() {
+        let s = score_boundaries(&[], &[0.5], 0.02);
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 0.0);
+        assert_eq!(s.f1(), 0.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! CSV export of folded profiles and fitted models, for external plotting
+//! (gnuplot / matplotlib) of the figures the experiments regenerate.
+
+use crate::phase::ClusterPhaseModel;
+use phasefold_folding::ClusterFold;
+use phasefold_model::CounterKind;
+use std::fmt::Write as _;
+
+/// Folded scatter of one counter as `x,y` CSV (header included).
+pub fn folded_points_csv(fold: &ClusterFold, counter: CounterKind) -> String {
+    let mut out = String::from("x,y\n");
+    for p in &fold.profile(counter).points {
+        let _ = writeln!(out, "{},{}", p.x, p.y);
+    }
+    out
+}
+
+/// The fitted instruction-rate step function sampled on `n` grid points,
+/// as `x,rate_per_s` CSV.
+pub fn rate_curve_csv(model: &ClusterPhaseModel, counter: CounterKind, n: usize) -> String {
+    let mut out = String::from("x,rate\n");
+    for i in 0..n {
+        let x = (i as f64 + 0.5) / n as f64;
+        let _ = writeln!(out, "{},{}", x, model.rate_at(counter, x));
+    }
+    out
+}
+
+/// Phase table as CSV: one row per phase with spans, rates and metrics.
+pub fn phases_csv(model: &ClusterPhaseModel) -> String {
+    let mut out =
+        String::from("phase,x0,x1,duration_s,mips,ipc,l1_mpki,l2_mpki,l3_mpki,branch_misp\n");
+    for p in &model.phases {
+        let m = &p.metrics;
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{}",
+            p.index, p.x0, p.x1, p.duration_s, m.mips, m.ipc, m.l1_mpki, m.l2_mpki, m.l3_mpki,
+            m.branch_misp_ratio
+        );
+    }
+    out
+}
+
+/// A complete gnuplot figure for one counter of one cluster: writes
+/// `<stem>.dat` (folded scatter), `<stem>_fit.dat` (fitted accumulated
+/// curve) and `<stem>.gp` (script producing `<stem>.png`) into `dir`.
+/// Returns the script path.
+pub fn write_gnuplot_figure(
+    dir: &std::path::Path,
+    stem: &str,
+    fold: &ClusterFold,
+    model: &ClusterPhaseModel,
+    counter: CounterKind,
+) -> std::io::Result<std::path::PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let scatter_path = dir.join(format!("{stem}.dat"));
+    std::fs::write(&scatter_path, folded_points_csv(fold, counter).replace(',', " "))?;
+
+    let mut fit = String::from("x y\n");
+    for i in 0..=200 {
+        let x = i as f64 / 200.0;
+        let _ = writeln!(fit, "{} {}", x, model.fit.fit.predict(x));
+    }
+    let fit_path = dir.join(format!("{stem}_fit.dat"));
+    std::fs::write(&fit_path, fit)?;
+
+    let mut script = String::new();
+    let _ = writeln!(script, "set terminal pngcairo size 900,600");
+    let _ = writeln!(script, "set output '{stem}.png'");
+    let _ = writeln!(script, "set xlabel 'burst fraction'");
+    let _ = writeln!(
+        script,
+        "set ylabel 'normalised accumulated {}'",
+        counter.mnemonic()
+    );
+    let _ = writeln!(script, "set key left top");
+    for bp in model.breakpoints() {
+        let _ = writeln!(
+            script,
+            "set arrow from {bp},0 to {bp},1 nohead dt 2 lc rgb 'gray'"
+        );
+    }
+    let _ = writeln!(
+        script,
+        "plot '{stem}.dat' skip 1 with dots title 'folded samples', \\\n     '{stem}_fit.dat' skip 1 with lines lw 2 title 'PWLR fit'"
+    );
+    let script_path = dir.join(format!("{stem}.gp"));
+    std::fs::write(&script_path, script)?;
+    Ok(script_path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AnalysisConfig;
+    use crate::pipeline::analyze_trace;
+    use phasefold_cluster::{cluster_bursts, ClusterConfig};
+    use phasefold_folding::{fold_trace, FoldConfig};
+    use phasefold_model::{extract_bursts, DurNs};
+    use phasefold_simapp::workloads::synthetic::{build, SyntheticParams};
+    use phasefold_simapp::{simulate, SimConfig};
+    use phasefold_tracer::{trace_run, TracerConfig};
+
+    #[test]
+    fn csv_outputs_are_well_formed() {
+        let program = build(&SyntheticParams { iterations: 150, ..SyntheticParams::default() });
+        let out = simulate(&program, &SimConfig { ranks: 2, ..SimConfig::default() });
+        let trace = trace_run(&program.registry, &out.timelines, &TracerConfig::default());
+        let bursts = extract_bursts(&trace, DurNs::from_micros(1));
+        let clustering = cluster_bursts(&bursts, &ClusterConfig::default());
+        let folds = fold_trace(&trace, &bursts, &clustering, &FoldConfig::default());
+        let analysis = analyze_trace(&trace, &AnalysisConfig::default());
+        let model = analysis.dominant_model().unwrap();
+
+        let scatter = folded_points_csv(&folds[0], CounterKind::Instructions);
+        assert!(scatter.starts_with("x,y\n"));
+        assert!(scatter.lines().count() > 10);
+        for line in scatter.lines().skip(1) {
+            let mut parts = line.split(',');
+            let x: f64 = parts.next().unwrap().parse().unwrap();
+            let y: f64 = parts.next().unwrap().parse().unwrap();
+            assert!((0.0..=1.0).contains(&x) && (0.0..=1.0).contains(&y));
+        }
+
+        let curve = rate_curve_csv(model, CounterKind::Instructions, 50);
+        assert_eq!(curve.lines().count(), 51);
+
+        let phases = phases_csv(model);
+        assert_eq!(phases.lines().count(), model.phases.len() + 1);
+        assert!(phases.contains("mips"));
+
+        // Gnuplot bundle.
+        let dir = std::env::temp_dir().join("phasefold-export-test");
+        let script =
+            write_gnuplot_figure(&dir, "demo", &folds[0], model, CounterKind::Instructions)
+                .unwrap();
+        let text = std::fs::read_to_string(&script).unwrap();
+        assert!(text.contains("plot 'demo.dat'"));
+        assert!(text.contains("set arrow"), "breakpoint markers missing");
+        assert!(dir.join("demo.dat").exists());
+        assert!(dir.join("demo_fit.dat").exists());
+        let fit = std::fs::read_to_string(dir.join("demo_fit.dat")).unwrap();
+        assert_eq!(fit.lines().count(), 202);
+    }
+}

@@ -1,0 +1,163 @@
+//! Derived node-level metrics.
+//!
+//! Raw counter rates are hard to read; the framework's contribution
+//! (emphasised in the companion ParCo'13 paper) is translating them into
+//! metrics a developer recognises: MIPS, IPC, misses per kilo-instruction,
+//! branch behaviour, and an at-a-glance bottleneck classification.
+
+use phasefold_model::{CounterKind, CounterSet};
+
+/// Human-readable performance metrics of one phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseMetrics {
+    /// Millions of instructions per second.
+    pub mips: f64,
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// L1D misses per kilo-instruction.
+    pub l1_mpki: f64,
+    /// L2 misses per kilo-instruction.
+    pub l2_mpki: f64,
+    /// L3 misses per kilo-instruction.
+    pub l3_mpki: f64,
+    /// Branch misprediction ratio (misses / branches).
+    pub branch_misp_ratio: f64,
+    /// Fraction of instructions that are floating-point operations.
+    pub fp_fraction: f64,
+}
+
+/// Coarse bottleneck classification of a phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bottleneck {
+    /// Healthy IPC, low misses: core-bound and efficient.
+    ComputeBound,
+    /// High L3 MPKI: waiting on memory.
+    MemoryBound,
+    /// High L1/L2 MPKI but L3-contained: cache-capacity limited.
+    CacheBound,
+    /// High branch misprediction ratio.
+    BranchBound,
+    /// Low IPC without an obvious memory/branch cause (dependencies,
+    /// issue-width limits).
+    FrontendBound,
+}
+
+impl std::fmt::Display for Bottleneck {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Bottleneck::ComputeBound => "compute-bound",
+            Bottleneck::MemoryBound => "memory-bound",
+            Bottleneck::CacheBound => "cache-bound",
+            Bottleneck::BranchBound => "branch-bound",
+            Bottleneck::FrontendBound => "low-ILP",
+        };
+        f.write_str(s)
+    }
+}
+
+impl PhaseMetrics {
+    /// Derives metrics from physical counter *rates* (units per second).
+    pub fn from_rates(rates: &CounterSet) -> PhaseMetrics {
+        let ins = rates[CounterKind::Instructions];
+        let cyc = rates[CounterKind::Cycles];
+        let kins = (ins / 1e3).max(1e-12);
+        PhaseMetrics {
+            mips: ins / 1e6,
+            ipc: if cyc > 0.0 { ins / cyc } else { 0.0 },
+            l1_mpki: rates[CounterKind::L1DMisses] / kins,
+            l2_mpki: rates[CounterKind::L2Misses] / kins,
+            l3_mpki: rates[CounterKind::L3Misses] / kins,
+            branch_misp_ratio: {
+                let br = rates[CounterKind::Branches];
+                if br > 0.0 {
+                    rates[CounterKind::BranchMisses] / br
+                } else {
+                    0.0
+                }
+            },
+            fp_fraction: if ins > 0.0 { rates[CounterKind::FpOps] / ins } else { 0.0 },
+        }
+    }
+
+    /// Classifies the dominant bottleneck (heuristic thresholds documented
+    /// in DESIGN.md; they match the simulated core's balance point, where
+    /// an L3 miss costs ~180 cycles and a mispredict ~14).
+    pub fn bottleneck(&self) -> Bottleneck {
+        if self.l3_mpki > 8.0 {
+            Bottleneck::MemoryBound
+        } else if self.branch_misp_ratio > 0.06 {
+            Bottleneck::BranchBound
+        } else if self.l2_mpki > 40.0 || self.l1_mpki > 100.0 {
+            Bottleneck::CacheBound
+        } else if self.ipc >= 1.2 {
+            Bottleneck::ComputeBound
+        } else {
+            Bottleneck::FrontendBound
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rates(ins: f64, cyc: f64) -> CounterSet {
+        let mut c = CounterSet::ZERO;
+        c[CounterKind::Instructions] = ins;
+        c[CounterKind::Cycles] = cyc;
+        c
+    }
+
+    #[test]
+    fn basic_derivation() {
+        let mut r = rates(2.5e9, 2.5e9);
+        r[CounterKind::L3Misses] = 2.5e6; // 1 MPKI
+        r[CounterKind::FpOps] = 1.25e9;
+        let m = PhaseMetrics::from_rates(&r);
+        assert!((m.mips - 2500.0).abs() < 1e-9);
+        assert!((m.ipc - 1.0).abs() < 1e-12);
+        assert!((m.l3_mpki - 1.0).abs() < 1e-9);
+        assert!((m.fp_fraction - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_rates_are_safe() {
+        let m = PhaseMetrics::from_rates(&CounterSet::ZERO);
+        assert_eq!(m.ipc, 0.0);
+        assert_eq!(m.branch_misp_ratio, 0.0);
+        assert!(m.l1_mpki.abs() < 1e-6);
+    }
+
+    #[test]
+    fn bottleneck_classification() {
+        let mut mem = PhaseMetrics::from_rates(&rates(1e9, 2.5e9));
+        mem.l3_mpki = 12.0;
+        assert_eq!(mem.bottleneck(), Bottleneck::MemoryBound);
+
+        let mut cache = PhaseMetrics::from_rates(&rates(1e9, 2.5e9));
+        cache.l2_mpki = 50.0;
+        assert_eq!(cache.bottleneck(), Bottleneck::CacheBound);
+
+        let mut branch = PhaseMetrics::from_rates(&rates(1e9, 2.5e9));
+        branch.branch_misp_ratio = 0.09;
+        assert_eq!(branch.bottleneck(), Bottleneck::BranchBound);
+
+        // Branch trumps cache when both are elevated (its fix is cheaper).
+        let mut both = PhaseMetrics::from_rates(&rates(1e9, 2.5e9));
+        both.branch_misp_ratio = 0.09;
+        both.l2_mpki = 120.0;
+        assert_eq!(both.bottleneck(), Bottleneck::BranchBound);
+
+        let healthy = PhaseMetrics::from_rates(&rates(6e9, 2.5e9));
+        assert_eq!(healthy.bottleneck(), Bottleneck::ComputeBound);
+
+        let slow = PhaseMetrics::from_rates(&rates(1e9, 2.5e9));
+        assert_eq!(slow.bottleneck(), Bottleneck::FrontendBound);
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(Bottleneck::MemoryBound.to_string(), "memory-bound");
+        assert_eq!(Bottleneck::FrontendBound.to_string(), "low-ILP");
+    }
+}

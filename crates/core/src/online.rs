@@ -1,0 +1,371 @@
+//! On-line (streaming) phase analysis.
+//!
+//! The companion work (Llort et al., IPDPS'10/ICPADS'11) runs the analysis
+//! *while the application executes*: structure is detected once enough
+//! bursts have been seen, then incoming data is classified on the fly and
+//! the models keep sharpening. This module reproduces that architecture:
+//!
+//! * **warm-up**: buffer bursts until `warmup_bursts` have arrived, then
+//!   run DBSCAN once and freeze the clustering as centroids;
+//! * **streaming**: every later burst is assigned to the nearest frozen
+//!   centroid (within the clustering ε, else noise) in O(k), and its
+//!   samples fold straight into the per-cluster profiles;
+//! * **snapshot**: at any moment, [`OnlineAnalyzer::snapshot`] fits the
+//!   current folded profiles and returns a regular [`Analysis`].
+//!
+//! The streaming path never re-reads old records, so memory holds only the
+//! folded profiles — the property that makes on-line use viable.
+
+use crate::config::AnalysisConfig;
+use crate::pipeline::{build_model_from_fold, Analysis};
+use phasefold_cluster::{cluster_bursts, Clustering};
+use phasefold_folding::fold::{ClusterFold, FoldedPoint, FoldedProfile};
+use phasefold_model::{
+    extract_rank_bursts, Burst, CounterKind, RankId, RankTrace, Record, NUM_COUNTERS,
+};
+
+/// Streaming analyzer state.
+#[derive(Debug)]
+pub struct OnlineAnalyzer {
+    config: AnalysisConfig,
+    warmup_bursts: usize,
+    /// Per-rank record buffers, drained after burst extraction.
+    pending: Vec<RankTrace>,
+    /// Bursts buffered during warm-up.
+    warmup: Vec<Burst>,
+    /// Frozen structure after warm-up.
+    frozen: Option<FrozenClustering>,
+    /// Per-cluster accumulated folds (same shape as the batch path).
+    folds: Vec<OnlineFold>,
+    /// Bursts already consumed from each rank's buffer (burst extraction
+    /// over the growing buffer is idempotent; this is the resume cursor).
+    per_rank_counts: Vec<usize>,
+    bursts_seen: usize,
+    noise_bursts: usize,
+}
+
+#[derive(Debug)]
+struct FrozenClustering {
+    /// Cluster centroids in feature space.
+    centroids: Vec<[f64; 2]>,
+    /// Feature normalisation ranges captured at freeze time.
+    ranges: [(f64, f64); 2],
+    /// Assignment radius (the clustering ε).
+    eps: f64,
+}
+
+/// Incrementally-built fold of one cluster.
+#[derive(Debug, Default)]
+struct OnlineFold {
+    points: [Vec<FoldedPoint>; NUM_COUNTERS],
+    stacks: Vec<(f64, phasefold_model::CallStack)>,
+    totals: [f64; NUM_COUNTERS],
+    total_dur_s: f64,
+    instances: u32,
+    samples: usize,
+}
+
+impl OnlineAnalyzer {
+    /// Creates a streaming analyzer. `warmup_bursts` controls when the
+    /// structure freezes (a few hundred is typical).
+    pub fn new(config: AnalysisConfig, warmup_bursts: usize) -> OnlineAnalyzer {
+        OnlineAnalyzer {
+            config,
+            warmup_bursts: warmup_bursts.max(8),
+            pending: Vec::new(),
+            warmup: Vec::new(),
+            frozen: None,
+            folds: Vec::new(),
+            per_rank_counts: Vec::new(),
+            bursts_seen: 0,
+            noise_bursts: 0,
+        }
+    }
+
+    /// True once the structure has been frozen.
+    pub fn is_warm(&self) -> bool {
+        self.frozen.is_some()
+    }
+
+    /// Bursts processed so far (including noise).
+    pub fn bursts_seen(&self) -> usize {
+        self.bursts_seen
+    }
+
+    /// Bursts that did not match any frozen cluster.
+    pub fn noise_bursts(&self) -> usize {
+        self.noise_bursts
+    }
+
+    /// Feeds a batch of records for `rank` (must arrive in time order per
+    /// rank). Bursts complete as their closing communication record
+    /// arrives.
+    pub fn push_records(&mut self, rank: RankId, records: &[Record]) {
+        let idx = rank.0 as usize;
+        while self.pending.len() <= idx {
+            self.pending.push(RankTrace::new());
+        }
+        for r in records {
+            self.pending[idx]
+                .push(r.clone())
+                .expect("records must arrive in time order per rank");
+        }
+        self.drain_completed(rank);
+    }
+
+    /// Extracts completed bursts from the rank buffer and processes them.
+    fn drain_completed(&mut self, rank: RankId) {
+        let idx = rank.0 as usize;
+        let stream = &self.pending[idx];
+        let bursts = extract_rank_bursts(rank, stream, self.config.min_burst_duration);
+        // Only process bursts not yet seen for this rank (extraction over
+        // the growing buffer is idempotent; skip the consumed prefix).
+        let already = self.per_rank_counts.get(idx).copied().unwrap_or(0);
+        for burst in bursts.into_iter().skip(already) {
+            self.process_burst(burst, idx);
+        }
+    }
+
+    fn process_burst(&mut self, burst: Burst, rank_idx: usize) {
+        self.bursts_seen += 1;
+        self.bump_rank_count(rank_idx);
+        if self.frozen.is_none() {
+            self.warmup.push(burst);
+            if self.warmup.len() >= self.warmup_bursts {
+                self.freeze();
+            }
+            return;
+        }
+        let assigned = self.assign(&burst);
+        match assigned {
+            Some(cluster) => self.fold_burst(&burst, rank_idx, cluster),
+            None => self.noise_bursts += 1,
+        }
+    }
+
+    /// Runs the batch clustering on the warm-up bursts and freezes it.
+    fn freeze(&mut self) {
+        let clustering: Clustering = cluster_bursts(&self.warmup, &self.config.cluster);
+        let features = phasefold_cluster::extract_features(&self.warmup);
+        let mut centroids = vec![[0.0f64; 2]; clustering.num_clusters];
+        let mut counts = vec![0usize; clustering.num_clusters];
+        for (point, label) in features.points.iter().zip(&clustering.labels) {
+            if let Some(c) = label {
+                centroids[*c][0] += point[0];
+                centroids[*c][1] += point[1];
+                counts[*c] += 1;
+            }
+        }
+        for (c, n) in centroids.iter_mut().zip(&counts) {
+            if *n > 0 {
+                c[0] /= *n as f64;
+                c[1] /= *n as f64;
+            }
+        }
+        self.folds = (0..clustering.num_clusters).map(|_| OnlineFold::default()).collect();
+        self.frozen = Some(FrozenClustering {
+            centroids,
+            ranges: features.ranges,
+            eps: clustering.eps,
+        });
+        // Re-process the warm-up bursts through the frozen path so their
+        // samples are folded too.
+        let warmup = std::mem::take(&mut self.warmup);
+        for burst in &warmup {
+            let rank_idx = burst.id.rank.0 as usize;
+            match self.assign(burst) {
+                Some(cluster) => self.fold_burst(burst, rank_idx, cluster),
+                None => self.noise_bursts += 1,
+            }
+        }
+    }
+
+    /// Nearest-centroid assignment within ε.
+    fn assign(&self, burst: &Burst) -> Option<usize> {
+        let frozen = self.frozen.as_ref()?;
+        let dur = burst.duration().as_secs_f64().max(1e-12).log10();
+        let ins = burst.counters[CounterKind::Instructions].max(1.0).log10();
+        let raw = [dur, ins];
+        let mut point = [0.0f64; 2];
+        for d in 0..2 {
+            let (lo, hi) = frozen.ranges[d];
+            let span = (hi - lo).max(1.0);
+            point[d] = (raw[d] - lo) / span;
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for (c, centroid) in frozen.centroids.iter().enumerate() {
+            let dx = point[0] - centroid[0];
+            let dy = point[1] - centroid[1];
+            let dist = (dx * dx + dy * dy).sqrt();
+            if best.is_none_or(|(_, bd)| dist < bd) {
+                best = Some((c, dist));
+            }
+        }
+        // Assignment radius: ε plus slack for centroid-vs-border geometry.
+        best.filter(|(_, d)| *d <= frozen.eps * 2.0).map(|(c, _)| c)
+    }
+
+    /// Folds one burst's samples into its cluster's profiles.
+    fn fold_burst(&mut self, burst: &Burst, rank_idx: usize, cluster: usize) {
+        let fold = &mut self.folds[cluster];
+        let instance = fold.instances;
+        fold.instances += 1;
+        fold.total_dur_s += burst.duration().as_secs_f64();
+        for (i, t) in fold.totals.iter_mut().enumerate() {
+            *t += burst.counters.as_array()[i];
+        }
+        let stream = &self.pending[rank_idx];
+        for sample in phasefold_model::burst::samples_within(stream, burst.start, burst.end) {
+            fold.samples += 1;
+            let x = sample.time.normalized_within(burst.start, burst.end);
+            if !sample.callstack.is_empty() {
+                fold.stacks.push((x, sample.callstack.clone()));
+            }
+            for (kind, absolute) in sample.counters.iter() {
+                let total = burst.counters[kind];
+                if total <= 0.0 {
+                    continue;
+                }
+                let delta = absolute - burst.start_counters[kind];
+                let y = (delta / total).clamp(0.0, 1.0);
+                fold.points[kind.index()].push(FoldedPoint { x, y, instance });
+            }
+        }
+    }
+
+    /// Fits the current state into a regular [`Analysis`]. Cheap enough to
+    /// call periodically; the folds are not consumed.
+    pub fn snapshot(&self) -> Analysis {
+        let mut models = Vec::new();
+        let mut labels_placeholder = Vec::new();
+        for (cluster, fold) in self.folds.iter().enumerate() {
+            let cluster_fold = ClusterFold {
+                cluster,
+                profiles: std::array::from_fn(|i| FoldedProfile {
+                    points: fold.points[i].clone(),
+                    mean_total: fold.totals[i] / fold.instances.max(1) as f64,
+                }),
+                stacks: fold.stacks.clone(),
+                mean_duration_s: fold.total_dur_s / fold.instances.max(1) as f64,
+                instances_used: fold.instances as usize,
+                instances_pruned: 0,
+                samples: fold.samples,
+            };
+            if let Some(model) = build_model_from_fold(&cluster_fold, &self.config) {
+                models.push(model);
+            }
+            labels_placeholder.push(Some(cluster));
+        }
+        models.sort_by(|a, b| {
+            b.total_time_s()
+                .partial_cmp(&a.total_time_s())
+                .expect("finite total times")
+        });
+        Analysis {
+            clustering: Clustering {
+                labels: labels_placeholder,
+                num_clusters: self.folds.len(),
+                eps: self.frozen.as_ref().map_or(0.0, |f| f.eps),
+                spmd_score: 1.0,
+            },
+            num_bursts: self.bursts_seen,
+            models,
+        }
+    }
+}
+
+impl OnlineAnalyzer {
+    fn bump_rank_count(&mut self, rank_idx: usize) {
+        while self.per_rank_counts.len() <= rank_idx {
+            self.per_rank_counts.push(0);
+        }
+        self.per_rank_counts[rank_idx] += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phasefold_simapp::workloads::synthetic::{build, SyntheticParams};
+    use phasefold_simapp::{simulate, SimConfig};
+    use phasefold_tracer::{trace_run, TracerConfig};
+
+    fn traced() -> phasefold_model::Trace {
+        let program = build(&SyntheticParams { iterations: 300, ..SyntheticParams::default() });
+        let out = simulate(&program, &SimConfig { ranks: 2, ..SimConfig::default() });
+        trace_run(&program.registry, &out.timelines, &TracerConfig::default())
+    }
+
+    #[test]
+    fn streaming_matches_batch_structure() {
+        let trace = traced();
+        let config = AnalysisConfig::default();
+        let batch = crate::pipeline::analyze_trace(&trace, &config);
+
+        let mut online = OnlineAnalyzer::new(config, 100);
+        // Feed records in chunks of 50 per rank, interleaved.
+        let streams: Vec<_> = trace.iter_ranks().collect();
+        let max_len = streams.iter().map(|(_, s)| s.len()).max().unwrap();
+        let mut offset = 0;
+        while offset < max_len {
+            for (rank, stream) in &streams {
+                let records = stream.records();
+                let end = (offset + 50).min(records.len());
+                if offset < end {
+                    online.push_records(*rank, &records[offset..end]);
+                }
+            }
+            offset += 50;
+        }
+        assert!(online.is_warm());
+        let snap = online.snapshot();
+        assert_eq!(snap.models.len(), batch.models.len());
+        let bm = batch.dominant_model().unwrap();
+        let om = snap.dominant_model().unwrap();
+        assert_eq!(om.phases.len(), bm.phases.len());
+        for (a, b) in om.breakpoints().iter().zip(bm.breakpoints()) {
+            assert!((a - b).abs() < 0.02, "online {a} vs batch {b}");
+        }
+    }
+
+    #[test]
+    fn snapshot_before_warmup_is_empty() {
+        let trace = traced();
+        let mut online = OnlineAnalyzer::new(AnalysisConfig::default(), 1_000_000);
+        let (rank, stream) = trace.iter_ranks().next().unwrap();
+        online.push_records(rank, &stream.records()[..200]);
+        assert!(!online.is_warm());
+        let snap = online.snapshot();
+        assert!(snap.models.is_empty());
+        assert!(online.bursts_seen() > 0);
+    }
+
+    #[test]
+    fn snapshots_sharpen_with_more_data() {
+        let trace = traced();
+        let mut online = OnlineAnalyzer::new(AnalysisConfig::default(), 80);
+        let (rank, stream) = trace.iter_ranks().next().unwrap();
+        let records = stream.records();
+        online.push_records(rank, &records[..records.len() / 2]);
+        let early = online.snapshot();
+        online.push_records(rank, &records[records.len() / 2..]);
+        let late = online.snapshot();
+        let early_samples = early.models.first().map_or(0, |m| m.folded_samples);
+        let late_samples = late.models.first().map_or(0, |m| m.folded_samples);
+        assert!(late_samples > early_samples);
+    }
+
+    #[test]
+    fn noise_bursts_counted_not_crashed() {
+        let trace = traced();
+        let mut online = OnlineAnalyzer::new(AnalysisConfig::default(), 50);
+        for (rank, stream) in trace.iter_ranks() {
+            online.push_records(rank, stream.records());
+        }
+        // Outlier bursts exist under quiet noise; they become noise or get
+        // absorbed — either way, accounting must close.
+        let snap = online.snapshot();
+        let folded: usize = snap.models.iter().map(|m| m.instances).sum();
+        assert!(folded + online.noise_bursts() <= online.bursts_seen());
+    }
+}

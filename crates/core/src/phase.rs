@@ -1,0 +1,168 @@
+//! Phase model types: what the analysis reports per cluster.
+
+use crate::metrics::PhaseMetrics;
+use crate::srcmap::SourceAttribution;
+use phasefold_model::{CounterKind, CounterSet};
+use phasefold_regress::{BootstrapResult, PwlrFit};
+
+/// One detected performance phase inside a cluster's folded burst.
+#[derive(Debug, Clone)]
+pub struct Phase {
+    /// Phase ordinal within the burst.
+    pub index: usize,
+    /// Span start as a burst fraction.
+    pub x0: f64,
+    /// Span end as a burst fraction.
+    pub x1: f64,
+    /// Estimated physical duration (seconds) of one traversal of the phase.
+    pub duration_s: f64,
+    /// Physical counter rates (units per second) during the phase.
+    pub rates: CounterSet,
+    /// Derived human-readable metrics.
+    pub metrics: PhaseMetrics,
+    /// Source attribution, if any stack samples fell inside the span.
+    pub source: Option<SourceAttribution>,
+    /// Full leaf-region histogram of the span (`(region, share)`,
+    /// descending). Names *every* kernel the phase covers — including the
+    /// constituents of merged performance-identical phases that a single
+    /// attribution cannot represent.
+    pub source_histogram: Vec<(phasefold_model::RegionId, f64)>,
+}
+
+impl Phase {
+    /// Fraction of the burst this phase occupies.
+    pub fn span_fraction(&self) -> f64 {
+        self.x1 - self.x0
+    }
+}
+
+/// The complete phase model of one burst cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterPhaseModel {
+    /// Cluster id from the structure detection.
+    pub cluster: usize,
+    /// Burst instances folded into the model.
+    pub instances: usize,
+    /// Instances pruned as outliers.
+    pub instances_pruned: usize,
+    /// Folded samples behind the fit.
+    pub folded_samples: usize,
+    /// Mean burst duration (seconds).
+    pub mean_duration_s: f64,
+    /// Detected phases in burst order.
+    pub phases: Vec<Phase>,
+    /// The instruction-profile PWLR that defined the structure.
+    pub fit: PwlrFit,
+    /// Instance-level bootstrap of the instruction fit, when enabled:
+    /// confidence intervals for breakpoints and (normalised) slopes plus
+    /// model-order stability.
+    pub bootstrap: Option<BootstrapResult>,
+}
+
+impl ClusterPhaseModel {
+    /// Interior breakpoints (burst fractions).
+    pub fn breakpoints(&self) -> &[f64] {
+        self.fit.breakpoints()
+    }
+
+    /// R² of the instruction-profile fit.
+    pub fn r2(&self) -> f64 {
+        self.fit.fit.r2
+    }
+
+    /// Total time (seconds) the application spent in this cluster
+    /// (mean duration × instances folded; pruned instances excluded).
+    pub fn total_time_s(&self) -> f64 {
+        self.mean_duration_s * self.instances as f64
+    }
+
+    /// The phase covering burst fraction `x`, if any.
+    pub fn phase_at(&self, x: f64) -> Option<&Phase> {
+        self.phases.iter().find(|p| x >= p.x0 && x < p.x1)
+    }
+
+    /// Step-function rate of `counter` at burst fraction `x` (units/s).
+    pub fn rate_at(&self, counter: CounterKind, x: f64) -> f64 {
+        self.phase_at(x.clamp(0.0, 0.999_999))
+            .map_or(0.0, |p| p.rates[counter])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phasefold_regress::hinge::HingeFit;
+    use phasefold_regress::pwlr::PwlrFit;
+
+    fn dummy_fit() -> PwlrFit {
+        PwlrFit {
+            fit: HingeFit {
+                lo: 0.0,
+                hi: 1.0,
+                breakpoints: vec![0.5],
+                intercept: 0.0,
+                slopes: vec![1.5, 0.5],
+                sse: 0.0,
+                r2: 1.0,
+                n: 100,
+            },
+            score: -10.0,
+            candidates: Vec::new(),
+        }
+    }
+
+    fn phase(index: usize, x0: f64, x1: f64, mips: f64) -> Phase {
+        let mut rates = CounterSet::ZERO;
+        rates[CounterKind::Instructions] = mips * 1e6;
+        Phase {
+            index,
+            x0,
+            x1,
+            duration_s: (x1 - x0) * 1e-3,
+            rates,
+            metrics: PhaseMetrics::from_rates(&rates),
+            source: None,
+            source_histogram: Vec::new(),
+        }
+    }
+
+    fn model() -> ClusterPhaseModel {
+        ClusterPhaseModel {
+            cluster: 0,
+            instances: 100,
+            instances_pruned: 2,
+            folded_samples: 400,
+            mean_duration_s: 1e-3,
+            phases: vec![phase(0, 0.0, 0.5, 3000.0), phase(1, 0.5, 1.0, 1000.0)],
+            fit: dummy_fit(),
+            bootstrap: None,
+        }
+    }
+
+    #[test]
+    fn phase_lookup() {
+        let m = model();
+        assert_eq!(m.phase_at(0.25).unwrap().index, 0);
+        assert_eq!(m.phase_at(0.5).unwrap().index, 1);
+        assert_eq!(m.phase_at(0.99).unwrap().index, 1);
+        assert!(m.phase_at(1.0).is_none());
+    }
+
+    #[test]
+    fn rate_step_function() {
+        let m = model();
+        assert_eq!(m.rate_at(CounterKind::Instructions, 0.2), 3e9);
+        assert_eq!(m.rate_at(CounterKind::Instructions, 0.7), 1e9);
+        // x = 1.0 clamps into the last phase.
+        assert_eq!(m.rate_at(CounterKind::Instructions, 1.0), 1e9);
+    }
+
+    #[test]
+    fn totals() {
+        let m = model();
+        assert!((m.total_time_s() - 0.1).abs() < 1e-12);
+        assert_eq!(m.breakpoints(), &[0.5]);
+        assert_eq!(m.r2(), 1.0);
+        assert!((m.phases[0].span_fraction() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,319 @@
+//! The end-to-end analysis pipeline: trace → bursts → clusters → folded
+//! profiles → piece-wise linear fits → phases with metrics and source
+//! attribution.
+
+use crate::config::AnalysisConfig;
+use crate::metrics::PhaseMetrics;
+use crate::phase::{ClusterPhaseModel, Phase};
+use crate::srcmap::{attribute_span, span_histogram};
+use phasefold_cluster::{cluster_bursts, Clustering};
+use phasefold_folding::{fold_trace, ClusterFold};
+use phasefold_model::{extract_bursts, CounterKind, CounterSet, Trace};
+use phasefold_regress::hinge::fit_hinge_monotone;
+use phasefold_regress::{fit_pwlr, PwlrFit};
+
+/// The result of analysing one trace.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// Structure detection outcome.
+    pub clustering: Clustering,
+    /// Total bursts analysed (after the minimum-duration filter).
+    pub num_bursts: usize,
+    /// One phase model per foldable cluster, ordered by descending total
+    /// time (the most important cluster first).
+    pub models: Vec<ClusterPhaseModel>,
+}
+
+impl Analysis {
+    /// The model of the cluster the application spends most time in.
+    pub fn dominant_model(&self) -> Option<&ClusterPhaseModel> {
+        self.models.first()
+    }
+
+    /// Total phases across all models.
+    pub fn total_phases(&self) -> usize {
+        self.models.iter().map(|m| m.phases.len()).sum()
+    }
+}
+
+/// Runs the full analysis over a trace.
+pub fn analyze_trace(trace: &Trace, config: &AnalysisConfig) -> Analysis {
+    let bursts = extract_bursts(trace, config.min_burst_duration);
+    let clustering = cluster_bursts(&bursts, &config.cluster);
+    let folds = fold_trace(trace, &bursts, &clustering, &config.fold);
+
+    // Independent per-cluster model building, fanned out across threads.
+    let mut models: Vec<Option<ClusterPhaseModel>> = Vec::new();
+    models.resize_with(folds.len(), || None);
+    let threads = std::thread::available_parallelism()
+        .map_or(4, |n| n.get())
+        .min(folds.len().max(1));
+    let chunk = folds.len().div_ceil(threads).max(1);
+    crossbeam::thread::scope(|scope| {
+        for (fold_chunk, model_chunk) in folds.chunks(chunk).zip(models.chunks_mut(chunk)) {
+            scope.spawn(move |_| {
+                for (fold, slot) in fold_chunk.iter().zip(model_chunk.iter_mut()) {
+                    *slot = build_model_from_fold(fold, config);
+                }
+            });
+        }
+    })
+    .expect("per-cluster model building panicked");
+
+    let mut models: Vec<ClusterPhaseModel> = models.into_iter().flatten().collect();
+    models.sort_by(|a, b| {
+        b.total_time_s()
+            .partial_cmp(&a.total_time_s())
+            .expect("total times are finite")
+    });
+    Analysis { clustering, num_bursts: bursts.len(), models }
+}
+
+/// Fits one cluster's folded profiles into a phase model. Shared by the
+/// batch pipeline and the streaming analyzer.
+pub(crate) fn build_model_from_fold(
+    fold: &ClusterFold,
+    config: &AnalysisConfig,
+) -> Option<ClusterPhaseModel> {
+    let instr = fold.profile(CounterKind::Instructions);
+    if instr.points.len() < config.min_folded_points {
+        return None;
+    }
+    let (xs, ys) = instr.xy();
+    let fit: PwlrFit = fit_pwlr(&xs, &ys, None, &config.pwlr).ok()?;
+    let breakpoints = fit.breakpoints().to_vec();
+
+    // Re-fit every other counter with the instruction breakpoints fixed:
+    // the structure is shared, only the per-phase rates differ by counter.
+    let num_segments = fit.num_segments();
+    let mut per_counter_slopes: Vec<Vec<f64>> =
+        vec![vec![0.0; num_segments]; phasefold_model::NUM_COUNTERS];
+    for kind in CounterKind::ALL {
+        per_counter_slopes[kind.index()] = if kind == CounterKind::Instructions {
+            fit.slopes().to_vec()
+        } else {
+            let profile = fold.profile(kind);
+            if profile.points.len() < config.min_folded_points || profile.mean_total <= 0.0 {
+                vec![0.0; num_segments]
+            } else {
+                let (cxs, cys) = profile.xy();
+                match fit_hinge_monotone(&cxs, &cys, None, &breakpoints, 0.0, 1.0) {
+                    Ok(h) => h.slopes,
+                    Err(_) => vec![0.0; num_segments],
+                }
+            }
+        };
+    }
+
+    // Assemble phases.
+    let spans = fit.fit.segment_spans();
+    let mut phases = Vec::with_capacity(spans.len());
+    for (i, (x0, x1)) in spans.into_iter().enumerate() {
+        let mut rates = CounterSet::ZERO;
+        for kind in CounterKind::ALL {
+            let slope = per_counter_slopes[kind.index()][i];
+            rates[kind] = fold.slope_to_rate(kind, slope).max(0.0);
+        }
+        let metrics = PhaseMetrics::from_rates(&rates);
+        let source = attribute_span(&fold.stacks, x0, x1);
+        let source_histogram = span_histogram(&fold.stacks, x0, x1);
+        phases.push(Phase {
+            index: i,
+            x0,
+            x1,
+            duration_s: (x1 - x0) * fold.mean_duration_s,
+            rates,
+            metrics,
+            source,
+            source_histogram,
+        });
+    }
+
+    // Optional instance-level bootstrap on the structural (instruction)
+    // profile.
+    let bootstrap = config.bootstrap.as_ref().and_then(|bcfg| {
+        phasefold_regress::bootstrap_pwlr(
+            &xs,
+            &ys,
+            &instr.instance_ids(),
+            &config.pwlr,
+            fit.num_segments(),
+            bcfg,
+        )
+    });
+
+    Some(ClusterPhaseModel {
+        cluster: fold.cluster,
+        instances: fold.instances_used,
+        instances_pruned: fold.instances_pruned,
+        folded_samples: fold.samples,
+        mean_duration_s: fold.mean_duration_s,
+        phases,
+        fit,
+        bootstrap,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phasefold_simapp::workloads::synthetic::{build, true_boundaries, SyntheticParams};
+    use phasefold_simapp::{simulate, SimConfig};
+    use phasefold_tracer::{trace_run, OverheadConfig, TracerConfig};
+
+    fn analyzed(iterations: u64, ranks: usize) -> (Analysis, SyntheticParams) {
+        let params = SyntheticParams { iterations, ..SyntheticParams::default() };
+        let program = build(&params);
+        let out = simulate(&program, &SimConfig { ranks, ..SimConfig::default() });
+        let tracer = TracerConfig { overhead: OverheadConfig::FREE, ..TracerConfig::default() };
+        let trace = trace_run(&program.registry, &out.timelines, &tracer);
+        (analyze_trace(&trace, &AnalysisConfig::default()), params)
+    }
+
+    #[test]
+    fn recovers_synthetic_three_phase_structure() {
+        let (analysis, params) = analyzed(400, 4);
+        assert_eq!(analysis.models.len(), 1);
+        let model = analysis.dominant_model().unwrap();
+        assert_eq!(model.phases.len(), 3, "fit: {:?}", model.fit.candidates);
+        let truth = true_boundaries(&params);
+        for (got, want) in model.breakpoints().iter().zip(&truth) {
+            assert!((got - want).abs() < 0.03, "breakpoint {got} vs {want}");
+        }
+        assert!(model.r2() > 0.99, "r2 = {}", model.r2());
+    }
+
+    #[test]
+    fn phase_rates_match_configured_ipc() {
+        let (analysis, _params) = analyzed(400, 4);
+        let model = analysis.dominant_model().unwrap();
+        // Phase IPCs were configured as 2.4 / 0.6 / 1.5.
+        let expect = [2.4, 0.6, 1.5];
+        for (phase, want) in model.phases.iter().zip(&expect) {
+            assert!(
+                (phase.metrics.ipc - want).abs() < 0.15 * want,
+                "phase {} ipc {} vs {}",
+                phase.index,
+                phase.metrics.ipc,
+                want
+            );
+        }
+    }
+
+    #[test]
+    fn phases_are_source_attributed() {
+        let (analysis, _) = analyzed(400, 4);
+        let model = analysis.dominant_model().unwrap();
+        for (i, phase) in model.phases.iter().enumerate() {
+            let src = phase.source.as_ref().unwrap_or_else(|| panic!("phase {i} unattributed"));
+            assert!(src.confidence > 0.7, "phase {i} confidence {}", src.confidence);
+        }
+        // Distinct phases attribute to distinct kernels.
+        let regions: Vec<_> = model
+            .phases
+            .iter()
+            .map(|p| p.source.as_ref().unwrap().region)
+            .collect();
+        assert_ne!(regions[0], regions[1]);
+        assert_ne!(regions[1], regions[2]);
+    }
+
+    #[test]
+    fn phase_durations_sum_to_burst() {
+        let (analysis, _) = analyzed(300, 2);
+        let model = analysis.dominant_model().unwrap();
+        let sum: f64 = model.phases.iter().map(|p| p.duration_s).sum();
+        assert!((sum - model.mean_duration_s).abs() < 1e-9 * model.mean_duration_s);
+    }
+
+    #[test]
+    fn too_little_data_yields_no_models() {
+        let (analysis, _) = analyzed(5, 1);
+        assert!(analysis.models.is_empty());
+        assert!(analysis.total_phases() == 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (a, _) = analyzed(100, 2);
+        let (b, _) = analyzed(100, 2);
+        assert_eq!(a.models.len(), b.models.len());
+        for (ma, mb) in a.models.iter().zip(&b.models) {
+            assert_eq!(ma.breakpoints(), mb.breakpoints());
+        }
+    }
+
+    #[test]
+    fn merged_identical_kernels_show_up_in_histogram() {
+        // cg's axpy_x/axpy_r share a profile and merge into one phase; the
+        // span histogram must still name both.
+        use phasefold_simapp::workloads::cg::{build as build_cg, CgParams};
+        let program = build_cg(&CgParams { iterations: 100, ..CgParams::default() });
+        let out = phasefold_simapp::simulate(
+            &program,
+            &phasefold_simapp::SimConfig { ranks: 4, ..Default::default() },
+        );
+        let trace = trace_run(&program.registry, &out.timelines, &TracerConfig::default());
+        let analysis = analyze_trace(&trace, &AnalysisConfig::default());
+        let axpy_model = analysis
+            .models
+            .iter()
+            .find(|m| {
+                m.phases.iter().any(|p| {
+                    p.source.as_ref().is_some_and(|s| {
+                        trace.registry.name(s.region).contains("axpy")
+                    })
+                })
+            })
+            .expect("axpy cluster analysed");
+        let merged = axpy_model
+            .phases
+            .iter()
+            .find(|p| {
+                p.source
+                    .as_ref()
+                    .is_some_and(|s| trace.registry.name(s.region).contains("axpy"))
+            })
+            .unwrap();
+        let names: Vec<&str> = merged
+            .source_histogram
+            .iter()
+            .map(|(r, _)| trace.registry.name(*r))
+            .collect();
+        assert!(
+            names.contains(&"cg_solve/axpy_x") && names.contains(&"cg_solve/axpy_r"),
+            "histogram {names:?}"
+        );
+        let share_sum: f64 = merged.source_histogram.iter().map(|(_, s)| s).sum();
+        assert!((share_sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bootstrap_intervals_cover_detected_structure() {
+        let params = SyntheticParams { iterations: 300, ..SyntheticParams::default() };
+        let program = build(&params);
+        let out = phasefold_simapp::simulate(
+            &program,
+            &phasefold_simapp::SimConfig { ranks: 4, ..Default::default() },
+        );
+        let tracer = TracerConfig { overhead: OverheadConfig::FREE, ..TracerConfig::default() };
+        let trace = trace_run(&program.registry, &out.timelines, &tracer);
+        let cfg = AnalysisConfig {
+            bootstrap: Some(phasefold_regress::BootstrapConfig {
+                replicates: 40,
+                ..Default::default()
+            }),
+            ..AnalysisConfig::default()
+        };
+        let analysis = analyze_trace(&trace, &cfg);
+        let model = analysis.dominant_model().expect("model");
+        let boot = model.bootstrap.as_ref().expect("bootstrap ran");
+        assert_eq!(boot.breakpoints.len(), model.breakpoints().len());
+        assert_eq!(boot.slopes.len(), model.phases.len());
+        for (bp, ci) in model.breakpoints().iter().zip(&boot.breakpoints) {
+            assert!(ci.contains(*bp), "breakpoint {bp} outside {ci:?}");
+            assert!(ci.width() < 0.1, "CI too wide: {ci:?}");
+        }
+        assert!(boot.order_stability > 0.7, "{}", boot.order_stability);
+    }
+}

@@ -1,0 +1,339 @@
+//! Human-readable analysis reports: per-cluster phase tables with metrics,
+//! source attribution and an ASCII profile sketch — the textual counterpart
+//! of the paper's folded-profile figures.
+
+use crate::metrics::Bottleneck;
+use crate::phase::ClusterPhaseModel;
+use crate::pipeline::Analysis;
+use phasefold_model::{CounterKind, SourceRegistry};
+use std::fmt::Write as _;
+
+/// Renders the full analysis as a plain-text report.
+pub fn render_report(analysis: &Analysis, registry: &SourceRegistry) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "phasefold analysis report");
+    let _ = writeln!(out, "=========================");
+    let _ = writeln!(
+        out,
+        "bursts: {}   clusters: {}   spmd-score: {:.3}   noise: {}",
+        analysis.num_bursts,
+        analysis.clustering.num_clusters,
+        analysis.clustering.spmd_score,
+        analysis.clustering.labels.iter().filter(|l| l.is_none()).count(),
+    );
+    for model in &analysis.models {
+        out.push('\n');
+        render_model(&mut out, model, registry);
+    }
+    out
+}
+
+/// Renders one cluster's phase model.
+pub fn render_model(out: &mut String, model: &ClusterPhaseModel, registry: &SourceRegistry) {
+    let _ = writeln!(
+        out,
+        "cluster {} — {} instances ({} pruned), {} folded samples, mean burst {:.3} ms, total {:.3} s, fit R² {:.4}",
+        model.cluster,
+        model.instances,
+        model.instances_pruned,
+        model.folded_samples,
+        model.mean_duration_s * 1e3,
+        model.total_time_s(),
+        model.r2(),
+    );
+    let _ = writeln!(out, "{}", sparkline(model, 60));
+    if let Some(boot) = &model.bootstrap {
+        let bps: Vec<String> = model
+            .breakpoints()
+            .iter()
+            .zip(&boot.breakpoints)
+            .map(|(bp, ci)| format!("{:.1}% [{:.1}, {:.1}]", bp * 100.0, ci.lo * 100.0, ci.hi * 100.0))
+            .collect();
+        let _ = writeln!(
+            out,
+            "  breakpoints (95% CI): {}   order stability: {:.0}% over {} replicates",
+            if bps.is_empty() { "none".to_string() } else { bps.join(", ") },
+            boot.order_stability * 100.0,
+            boot.replicates,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  {:<5} {:>13} {:>9} {:>8} {:>7} {:>8} {:>8} {:>8} {:>7}  {:<12} source",
+        "phase", "span", "dur", "MIPS", "IPC", "L1MPKI", "L2MPKI", "L3MPKI", "BRmiss", "bottleneck",
+    );
+    for phase in &model.phases {
+        let m = &phase.metrics;
+        let mut source = phase
+            .source
+            .as_ref()
+            .map(|s| format!("{} ({:.0}%)", s.render(registry), s.confidence * 100.0))
+            .unwrap_or_else(|| "-".to_string());
+        // A merged phase covers several kernels: name the runner-up too.
+        if let Some((region, share)) = phase.source_histogram.get(1) {
+            if *share >= 0.15 {
+                source.push_str(&format!(" +{} ({:.0}%)", registry.name(*region), share * 100.0));
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  {:<5} {:>5.1}%-{:>5.1}% {:>7.3}ms {:>8.0} {:>7.2} {:>8.2} {:>8.2} {:>8.2} {:>6.1}%  {:<12} {}",
+            phase.index,
+            phase.x0 * 100.0,
+            phase.x1 * 100.0,
+            phase.duration_s * 1e3,
+            m.mips,
+            m.ipc,
+            m.l1_mpki,
+            m.l2_mpki,
+            m.l3_mpki,
+            m.branch_misp_ratio * 100.0,
+            m.bottleneck().to_string(),
+            source,
+        );
+    }
+}
+
+/// An ASCII sketch of the instruction-rate step function over the burst.
+pub fn sparkline(model: &ClusterPhaseModel, width: usize) -> String {
+    const LEVELS: &[char] = &['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max_rate = model
+        .phases
+        .iter()
+        .map(|p| p.rates[CounterKind::Instructions])
+        .fold(0.0f64, f64::max);
+    if max_rate <= 0.0 || width == 0 {
+        return String::new();
+    }
+    let mut s = String::with_capacity(width * 3 + 8);
+    s.push_str("  MIPS ");
+    for i in 0..width {
+        let x = (i as f64 + 0.5) / width as f64;
+        let rate = model.rate_at(CounterKind::Instructions, x);
+        let level = ((rate / max_rate) * (LEVELS.len() - 1) as f64).round() as usize;
+        s.push(LEVELS[level.min(LEVELS.len() - 1)]);
+    }
+    s
+}
+
+/// Renders the analysis as GitHub-flavoured markdown (for reports, PRs and
+/// experiment write-ups).
+pub fn render_markdown(analysis: &Analysis, registry: &SourceRegistry) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# phasefold analysis\n");
+    let _ = writeln!(
+        out,
+        "{} bursts, {} clusters, SPMD score {:.3}\n",
+        analysis.num_bursts, analysis.clustering.num_clusters, analysis.clustering.spmd_score
+    );
+    for model in &analysis.models {
+        let _ = writeln!(
+            out,
+            "## Cluster {} — {} instances, mean burst {:.3} ms, total {:.3} s, R² {:.4}\n",
+            model.cluster,
+            model.instances,
+            model.mean_duration_s * 1e3,
+            model.total_time_s(),
+            model.r2()
+        );
+        let _ = writeln!(
+            out,
+            "| phase | span | duration | MIPS | IPC | L2 MPKI | L3 MPKI | bottleneck | source |"
+        );
+        let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|");
+        for p in &model.phases {
+            let m = &p.metrics;
+            let source = p
+                .source
+                .as_ref()
+                .map(|s| s.render(registry))
+                .unwrap_or_else(|| "—".into());
+            let _ = writeln!(
+                out,
+                "| {} | {:.1}%–{:.1}% | {:.3} ms | {:.0} | {:.2} | {:.2} | {:.2} | {} | {} |",
+                p.index,
+                p.x0 * 100.0,
+                p.x1 * 100.0,
+                p.duration_s * 1e3,
+                m.mips,
+                m.ipc,
+                m.l2_mpki,
+                m.l3_mpki,
+                m.bottleneck(),
+                source,
+            );
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a whole-run MIPS timeline from a reconstruction — the ASCII
+/// cousin of the Paraver view the original tool-chain re-injects its
+/// models into. Each column is one time slice; height encodes the
+/// reconstructed instantaneous instruction rate (`·` marks communication
+/// or unmodelled gaps).
+pub fn render_timeline(
+    recon: &crate::unfold::RankReconstruction,
+    horizon: phasefold_model::TimeNs,
+    width: usize,
+) -> String {
+    const LEVELS: &[char] = &['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if width == 0 || horizon.0 == 0 {
+        return String::new();
+    }
+    let rates: Vec<f64> = (0..width)
+        .map(|i| {
+            let t = phasefold_model::TimeNs(
+                (horizon.0 as f64 * (i as f64 + 0.5) / width as f64) as u64,
+            );
+            recon.rate_at(CounterKind::Instructions, t)
+        })
+        .collect();
+    let max = rates.iter().cloned().fold(0.0f64, f64::max);
+    let mut out = String::with_capacity(width * 3 + 8);
+    out.push_str("  MIPS ");
+    for r in rates {
+        if r <= 0.0 {
+            out.push('·');
+        } else {
+            let level = ((r / max) * (LEVELS.len() - 1) as f64).round() as usize;
+            out.push(LEVELS[level.min(LEVELS.len() - 1)]);
+        }
+    }
+    out
+}
+
+/// Identifies the most promising optimisation target: the phase with the
+/// largest `total time × inefficiency` product, with a one-line hint.
+pub fn suggest_optimization(analysis: &Analysis, registry: &SourceRegistry) -> Option<String> {
+    let mut best: Option<(f64, String)> = None;
+    for model in &analysis.models {
+        for phase in &model.phases {
+            let time_share = phase.duration_s * model.instances as f64;
+            let b = phase.metrics.bottleneck();
+            let inefficiency = match b {
+                Bottleneck::ComputeBound => 0.1,
+                Bottleneck::FrontendBound => 0.5,
+                Bottleneck::CacheBound => 0.8,
+                Bottleneck::BranchBound => 0.7,
+                Bottleneck::MemoryBound => 1.0,
+            };
+            let score = time_share * inefficiency;
+            let hint = match b {
+                Bottleneck::MemoryBound => "reduce working set or add blocking/tiling",
+                Bottleneck::CacheBound => "improve locality (blocking, layout, fusion)",
+                Bottleneck::BranchBound => "simplify control flow / sort data to help the predictor",
+                Bottleneck::FrontendBound => "increase ILP (unroll, vectorise, break dependencies)",
+                Bottleneck::ComputeBound => "already efficient; consider algorithmic changes",
+            };
+            let place = phase
+                .source
+                .as_ref()
+                .map(|s| s.render(registry))
+                .unwrap_or_else(|| format!("cluster {} phase {}", model.cluster, phase.index));
+            let msg = format!(
+                "{place}: {b}, {:.1}% of cluster time — {hint}",
+                100.0 * phase.span_fraction()
+            );
+            if best.as_ref().is_none_or(|(s, _)| score > *s) {
+                best = Some((score, msg));
+            }
+        }
+    }
+    best.map(|(_, msg)| msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AnalysisConfig;
+    use crate::pipeline::analyze_trace;
+    use phasefold_simapp::workloads::synthetic::{build, SyntheticParams};
+    use phasefold_simapp::{simulate, SimConfig};
+    use phasefold_tracer::{trace_run, TracerConfig};
+
+    fn analysis() -> (Analysis, SourceRegistry) {
+        let program = build(&SyntheticParams { iterations: 300, ..SyntheticParams::default() });
+        let out = simulate(&program, &SimConfig { ranks: 2, ..SimConfig::default() });
+        let trace = trace_run(&program.registry, &out.timelines, &TracerConfig::default());
+        (analyze_trace(&trace, &AnalysisConfig::default()), program.registry)
+    }
+
+    #[test]
+    fn report_contains_key_sections() {
+        let (a, registry) = analysis();
+        let report = render_report(&a, &registry);
+        assert!(report.contains("phasefold analysis report"));
+        assert!(report.contains("cluster 0"));
+        assert!(report.contains("MIPS"));
+        assert!(report.contains("bottleneck"));
+        // Source attribution shows the synthetic kernel names.
+        assert!(report.contains("phase0"), "report:\n{report}");
+        assert!(report.contains("synthetic.c"));
+    }
+
+    #[test]
+    fn sparkline_reflects_contrast() {
+        let (a, _) = analysis();
+        let model = a.dominant_model().unwrap();
+        let line = sparkline(model, 40);
+        // High-IPC phase renders full blocks, low-IPC phase low blocks.
+        assert!(line.contains('█'));
+        assert!(line.contains('▁') || line.contains('▂') || line.contains('▃'));
+    }
+
+    #[test]
+    fn suggestion_points_somewhere() {
+        let (a, registry) = analysis();
+        let hint = suggest_optimization(&a, &registry).unwrap();
+        assert!(hint.contains("—"), "{hint}");
+    }
+
+    #[test]
+    fn markdown_report_is_well_formed() {
+        let (a, registry) = analysis();
+        let md = render_markdown(&a, &registry);
+        assert!(md.starts_with("# phasefold analysis"));
+        assert!(md.contains("## Cluster 0"));
+        assert!(md.contains("| phase |"));
+        // One table row per phase (header rows contain "phase |",
+        // separator rows start with "|---").
+        let rows = md.lines().filter(|l| l.starts_with("| ") && !l.contains("phase |")).count();
+        let total_phases: usize = a.models.iter().map(|m| m.phases.len()).sum();
+        assert_eq!(rows, total_phases);
+    }
+
+    #[test]
+    fn timeline_renders_activity_and_gaps() {
+        let program = build(&SyntheticParams { iterations: 200, ..SyntheticParams::default() });
+        let out = simulate(&program, &SimConfig { ranks: 2, ..SimConfig::default() });
+        let trace = trace_run(&program.registry, &out.timelines, &TracerConfig::default());
+        let config = AnalysisConfig::default();
+        let analysis = analyze_trace(&trace, &config);
+        let recons = crate::unfold::reconstruct(&trace, &analysis, &config);
+        let line = render_timeline(&recons[0], trace.end_time(), 80);
+        assert!(line.starts_with("  MIPS "));
+        // Activity glyphs present; the prologue gap yields at least one dot.
+        assert!(line.contains('█') || line.contains('▆') || line.contains('▇'));
+        assert!(line.contains('·'));
+        assert_eq!(render_timeline(&recons[0], trace.end_time(), 0), "");
+    }
+
+    #[test]
+    fn empty_analysis_renders() {
+        let a = Analysis {
+            clustering: phasefold_cluster::Clustering {
+                labels: vec![],
+                num_clusters: 0,
+                eps: 0.1,
+                spmd_score: 1.0,
+            },
+            num_bursts: 0,
+            models: vec![],
+        };
+        let report = render_report(&a, &SourceRegistry::new());
+        assert!(report.contains("bursts: 0"));
+        assert!(suggest_optimization(&a, &SourceRegistry::new()).is_none());
+    }
+}

@@ -1,0 +1,144 @@
+//! Activity signals and whole-trace periodicity.
+//!
+//! Builds the binned instruction-activity signal of a rank from the exact
+//! burst boundary reads, then applies the spectral-analysis substrate
+//! ([`phasefold_cluster::periodicity`]) to find the application's iterative
+//! period and a representative time window — the companion tool-chain's
+//! entry point for deciding *where* to keep full detail.
+
+use phasefold_cluster::periodicity::{detect_period, representative_window, PeriodEstimate};
+use phasefold_model::{extract_bursts, CounterKind, DurNs, RankId, TimeNs, Trace};
+
+/// A rank's binned instruction-activity signal.
+#[derive(Debug, Clone)]
+pub struct ActivitySignal {
+    /// Instructions executed per bin.
+    pub bins: Vec<f64>,
+    /// Width of one bin.
+    pub bin_width: DurNs,
+}
+
+impl ActivitySignal {
+    /// Converts a bin index to its start time.
+    pub fn bin_start(&self, bin: usize) -> TimeNs {
+        TimeNs(self.bin_width.0 * bin as u64)
+    }
+}
+
+/// Bins rank `rank`'s instruction activity into `num_bins` equal bins over
+/// the trace duration. Burst instructions are spread uniformly over the
+/// burst interval (the best estimate available from boundary reads alone).
+pub fn activity_signal(trace: &Trace, rank: RankId, num_bins: usize) -> ActivitySignal {
+    assert!(num_bins > 0);
+    let end = trace.end_time();
+    let bin_width = DurNs((end.0 / num_bins as u64).max(1));
+    let mut bins = vec![0.0f64; num_bins];
+    let bursts = extract_bursts(trace, DurNs::ZERO);
+    for burst in bursts.iter().filter(|b| b.id.rank == rank) {
+        let instr = burst.counters[CounterKind::Instructions];
+        let span = (burst.end.0 - burst.start.0) as f64;
+        if span <= 0.0 {
+            continue;
+        }
+        let first = (burst.start.0 / bin_width.0) as usize;
+        let last = ((burst.end.0 - 1) / bin_width.0) as usize;
+        for bin in first..=last.min(num_bins - 1) {
+            let bin_lo = bin_width.0 * bin as u64;
+            let bin_hi = bin_lo + bin_width.0;
+            let overlap =
+                (burst.end.0.min(bin_hi)).saturating_sub(burst.start.0.max(bin_lo)) as f64;
+            bins[bin] += instr * overlap / span;
+        }
+    }
+    ActivitySignal { bins, bin_width }
+}
+
+/// A detected whole-trace period.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TracePeriod {
+    /// Period duration.
+    pub period: DurNs,
+    /// Autocorrelation strength at the period.
+    pub strength: f64,
+    /// Start of the selected representative window.
+    pub window_start: TimeNs,
+    /// Length of the representative window (= one period).
+    pub window_len: DurNs,
+}
+
+/// Detects the iterative period of rank `rank` and picks a representative
+/// window. `num_bins` controls signal resolution (512 is a good default);
+/// returns `None` for aperiodic traces.
+pub fn detect_trace_period(
+    trace: &Trace,
+    rank: RankId,
+    num_bins: usize,
+    min_strength: f64,
+) -> Option<TracePeriod> {
+    let signal = activity_signal(trace, rank, num_bins);
+    let estimate: PeriodEstimate = detect_period(&signal.bins, 2, min_strength)?;
+    let (start_bin, len_bins) = representative_window(&signal.bins, estimate.period_bins)?;
+    Some(TracePeriod {
+        period: DurNs(signal.bin_width.0 * estimate.period_bins as u64),
+        strength: estimate.strength,
+        window_start: signal.bin_start(start_bin),
+        window_len: DurNs(signal.bin_width.0 * len_bins as u64),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phasefold_simapp::workloads::md::{build, MdParams};
+    use phasefold_simapp::workloads::synthetic::{build as build_syn, SyntheticParams};
+    use phasefold_simapp::{simulate, SimConfig};
+    use phasefold_tracer::{trace_run, TracerConfig};
+
+    fn traced(program: &phasefold_simapp::Program, ranks: usize) -> Trace {
+        let out = simulate(program, &SimConfig { ranks, ..SimConfig::default() });
+        trace_run(&program.registry, &out.timelines, &TracerConfig::default())
+    }
+
+    #[test]
+    fn activity_signal_conserves_instructions() {
+        let program = build_syn(&SyntheticParams { iterations: 50, ..SyntheticParams::default() });
+        let trace = traced(&program, 1);
+        let signal = activity_signal(&trace, RankId(0), 256);
+        let total: f64 = signal.bins.iter().sum();
+        let burst_total: f64 = extract_bursts(&trace, DurNs::ZERO)
+            .iter()
+            .map(|b| b.counters[CounterKind::Instructions])
+            .sum();
+        assert!((total - burst_total).abs() < 1e-6 * burst_total);
+    }
+
+    #[test]
+    fn md_period_matches_step_structure() {
+        // MD: one ghost-exchange + one energy collective per step; the
+        // decade pattern (1 rebuild step + 19 plain) is the macro period.
+        let program = build(&MdParams { decades: 6, ..MdParams::default() });
+        let trace = traced(&program, 2);
+        let period = detect_trace_period(&trace, RankId(0), 600, 0.3).expect("period");
+        // True decade length: (rebuild burst + 19 plain bursts) — compare
+        // against 1/6 of total duration within 15 %.
+        let expected = trace.end_time().as_secs_f64() / 6.0;
+        let got = period.period.as_secs_f64();
+        assert!(
+            (got - expected).abs() < 0.15 * expected,
+            "got {got}, expected ~{expected}"
+        );
+        assert!(period.strength > 0.3);
+        assert!(period.window_start.as_secs_f64() >= 0.0);
+        assert!(period.window_len.as_secs_f64() > 0.0);
+    }
+
+    #[test]
+    fn representative_window_within_trace() {
+        let program = build_syn(&SyntheticParams { iterations: 64, ..SyntheticParams::default() });
+        let trace = traced(&program, 1);
+        if let Some(p) = detect_trace_period(&trace, RankId(0), 512, 0.3) {
+            let end = (p.window_start + p.window_len).as_secs_f64();
+            assert!(end <= trace.end_time().as_secs_f64() * 1.01);
+        }
+    }
+}

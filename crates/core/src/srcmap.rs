@@ -1,0 +1,196 @@
+//! Mapping detected phases onto the application's syntactical structure.
+//!
+//! Every folded sample carries a call stack; within a detected phase's
+//! `[x0, x1)` span the sampled leaf locations *vote*, and the winner is the
+//! phase's source attribution. The vote share doubles as a confidence
+//! measure — the paper's displays hinge on exactly this correlation between
+//! performance phases and source code.
+
+use phasefold_model::{CallStack, RegionId, SourceRegistry};
+use std::collections::HashMap;
+
+/// Source attribution of one phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceAttribution {
+    /// Winning leaf region.
+    pub region: RegionId,
+    /// Most frequent leaf source line within the winning region.
+    pub line: u32,
+    /// Fraction of in-span stack samples that voted for the winner.
+    pub confidence: f64,
+    /// Number of stack samples in the span.
+    pub votes: usize,
+}
+
+impl SourceAttribution {
+    /// Renders as `name (file:line)` using the registry.
+    pub fn render(&self, registry: &SourceRegistry) -> String {
+        match registry.get(self.region) {
+            Some(info) => format!("{} ({}:{})", info.name, info.location.file, self.line),
+            None => format!("<region {}>@{}", self.region.0, self.line),
+        }
+    }
+}
+
+/// Attributes the span `[x0, x1)` from `(x, stack)` observations.
+///
+/// Returns `None` if no stack sample falls inside the span.
+pub fn attribute_span(
+    stacks: &[(f64, CallStack)],
+    x0: f64,
+    x1: f64,
+) -> Option<SourceAttribution> {
+    let mut votes_by_region: HashMap<RegionId, usize> = HashMap::new();
+    let mut line_votes: HashMap<(RegionId, u32), usize> = HashMap::new();
+    let mut total = 0usize;
+    for (x, stack) in stacks {
+        if *x < x0 || *x >= x1 {
+            continue;
+        }
+        let Some(leaf) = stack.leaf() else { continue };
+        total += 1;
+        *votes_by_region.entry(leaf).or_default() += 1;
+        *line_votes.entry((leaf, stack.leaf_line)).or_default() += 1;
+    }
+    if total == 0 {
+        return None;
+    }
+    let (&region, &votes) = votes_by_region
+        .iter()
+        .max_by_key(|(r, v)| (**v, std::cmp::Reverse(r.0)))?;
+    let line = line_votes
+        .iter()
+        .filter(|((r, _), _)| *r == region)
+        .max_by_key(|(_, v)| **v)
+        .map(|((_, l), _)| *l)
+        .unwrap_or(0);
+    Some(SourceAttribution {
+        region,
+        line,
+        confidence: votes as f64 / total as f64,
+        votes: total,
+    })
+}
+
+/// Full leaf-region histogram of the span `[x0, x1)`: `(region, share)`
+/// pairs, descending by share. Where the top-1 attribution is ambiguous
+/// (merged performance-identical kernels), the histogram still names every
+/// kernel the phase covers.
+pub fn span_histogram(
+    stacks: &[(f64, CallStack)],
+    x0: f64,
+    x1: f64,
+) -> Vec<(RegionId, f64)> {
+    let mut votes: HashMap<RegionId, usize> = HashMap::new();
+    let mut total = 0usize;
+    for (x, stack) in stacks {
+        if *x < x0 || *x >= x1 {
+            continue;
+        }
+        let Some(leaf) = stack.leaf() else { continue };
+        *votes.entry(leaf).or_default() += 1;
+        total += 1;
+    }
+    let mut out: Vec<(RegionId, f64)> = votes
+        .into_iter()
+        .map(|(r, v)| (r, v as f64 / total.max(1) as f64))
+        .collect();
+    out.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("finite shares")
+            .then(a.0 .0.cmp(&b.0 .0))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phasefold_model::RegionKind;
+
+    fn stack(region: u32, line: u32) -> CallStack {
+        CallStack::new(vec![RegionId(0), RegionId(region)], line)
+    }
+
+    #[test]
+    fn majority_wins() {
+        let stacks = vec![
+            (0.1, stack(1, 10)),
+            (0.2, stack(1, 10)),
+            (0.3, stack(1, 12)),
+            (0.4, stack(2, 99)),
+        ];
+        let attr = attribute_span(&stacks, 0.0, 0.5).unwrap();
+        assert_eq!(attr.region, RegionId(1));
+        assert_eq!(attr.line, 10);
+        assert!((attr.confidence - 0.75).abs() < 1e-12);
+        assert_eq!(attr.votes, 4);
+    }
+
+    #[test]
+    fn span_is_half_open() {
+        let stacks = vec![(0.5, stack(1, 1)), (0.49, stack(2, 2))];
+        let attr = attribute_span(&stacks, 0.0, 0.5).unwrap();
+        assert_eq!(attr.region, RegionId(2));
+        let attr = attribute_span(&stacks, 0.5, 1.0).unwrap();
+        assert_eq!(attr.region, RegionId(1));
+    }
+
+    #[test]
+    fn empty_span_returns_none() {
+        let stacks = vec![(0.9, stack(1, 1))];
+        assert!(attribute_span(&stacks, 0.0, 0.5).is_none());
+        assert!(attribute_span(&[], 0.0, 1.0).is_none());
+    }
+
+    #[test]
+    fn empty_stacks_do_not_vote() {
+        let stacks = vec![(0.1, CallStack::empty()), (0.2, stack(3, 7))];
+        let attr = attribute_span(&stacks, 0.0, 1.0).unwrap();
+        assert_eq!(attr.region, RegionId(3));
+        assert_eq!(attr.votes, 1);
+        assert_eq!(attr.confidence, 1.0);
+    }
+
+    #[test]
+    fn tie_break_is_deterministic() {
+        let stacks = vec![(0.1, stack(1, 1)), (0.2, stack(2, 2))];
+        let a = attribute_span(&stacks, 0.0, 1.0).unwrap();
+        let b = attribute_span(&stacks, 0.0, 1.0).unwrap();
+        assert_eq!(a, b);
+        // Lowest region id wins ties.
+        assert_eq!(a.region, RegionId(1));
+    }
+
+    #[test]
+    fn histogram_lists_all_regions_by_share() {
+        let stacks = vec![
+            (0.1, stack(1, 10)),
+            (0.2, stack(1, 10)),
+            (0.3, stack(2, 20)),
+            (0.4, stack(1, 12)),
+            (0.9, stack(3, 30)), // outside span
+        ];
+        let h = span_histogram(&stacks, 0.0, 0.5);
+        assert_eq!(h.len(), 2);
+        assert_eq!(h[0].0, RegionId(1));
+        assert!((h[0].1 - 0.75).abs() < 1e-12);
+        assert_eq!(h[1].0, RegionId(2));
+        assert!((h[1].1 - 0.25).abs() < 1e-12);
+        // Shares sum to 1 over the span.
+        assert!((h.iter().map(|(_, s)| s).sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(span_histogram(&stacks, 0.95, 1.0).is_empty());
+    }
+
+    #[test]
+    fn render_uses_registry() {
+        let mut registry = SourceRegistry::new();
+        registry.intern("main", RegionKind::Function, "m.c", 1);
+        let spmv = registry.intern("spmv", RegionKind::Kernel, "solve.c", 42);
+        let attr = SourceAttribution { region: spmv, line: 44, confidence: 1.0, votes: 3 };
+        assert_eq!(attr.render(&registry), "spmv (solve.c:44)");
+        let unknown =
+            SourceAttribution { region: RegionId(99), line: 1, confidence: 1.0, votes: 1 };
+        assert_eq!(unknown.render(&registry), "<region 99>@1");
+    }
+}

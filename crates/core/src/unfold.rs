@@ -1,0 +1,223 @@
+//! Unfolding: projecting the folded phase models back onto absolute time.
+//!
+//! The original tool-chain's signature output is a *reconstructed*
+//! fine-grain timeline injected into Paraver: every burst instance is
+//! painted with the per-phase rates learned from the folded model, giving
+//! analysts instantaneous-metric views at a resolution the coarse samples
+//! never measured directly. This module reproduces that step: each burst
+//! gets its cluster's phase spans scaled onto its own `[start, end)`
+//! interval.
+
+use crate::config::AnalysisConfig;
+use crate::phase::ClusterPhaseModel;
+use crate::pipeline::Analysis;
+use phasefold_model::{extract_bursts, CounterKind, CounterSet, RankId, TimeNs, Trace};
+use std::collections::HashMap;
+
+/// One reconstructed constant-rate interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReconSegment {
+    /// Interval start.
+    pub start: TimeNs,
+    /// Interval end.
+    pub end: TimeNs,
+    /// Cluster the burst belonged to.
+    pub cluster: usize,
+    /// Phase index within the cluster model.
+    pub phase: usize,
+    /// Reconstructed counter rates (units per second).
+    pub rates: CounterSet,
+}
+
+/// One rank's reconstructed timeline.
+#[derive(Debug, Clone, Default)]
+pub struct RankReconstruction {
+    /// Segments in time order (gaps = communication / unmodelled bursts).
+    pub segments: Vec<ReconSegment>,
+}
+
+impl RankReconstruction {
+    /// Reconstructed instantaneous rate of `counter` at `t`
+    /// (zero in gaps).
+    pub fn rate_at(&self, counter: CounterKind, t: TimeNs) -> f64 {
+        let idx = self.segments.partition_point(|s| s.end <= t);
+        match self.segments.get(idx) {
+            Some(s) if s.start <= t => s.rates[counter],
+            _ => 0.0,
+        }
+    }
+
+    /// Total reconstructed time (sum of segment durations), seconds.
+    pub fn covered_time_s(&self) -> f64 {
+        self.segments
+            .iter()
+            .map(|s| s.end.saturating_since(s.start).as_secs_f64())
+            .sum()
+    }
+}
+
+/// Reconstructs fine-grain timelines for every rank of `trace` from an
+/// `analysis` of that same trace (with the same `config`, so burst
+/// extraction matches).
+pub fn reconstruct(
+    trace: &Trace,
+    analysis: &Analysis,
+    config: &AnalysisConfig,
+) -> Vec<RankReconstruction> {
+    let bursts = extract_bursts(trace, config.min_burst_duration);
+    assert_eq!(
+        bursts.len(),
+        analysis.clustering.labels.len(),
+        "analysis was produced with a different burst-extraction config"
+    );
+    let models: HashMap<usize, &ClusterPhaseModel> =
+        analysis.models.iter().map(|m| (m.cluster, m)).collect();
+
+    let mut out: Vec<RankReconstruction> =
+        (0..trace.num_ranks()).map(|_| RankReconstruction::default()).collect();
+    for (burst, label) in bursts.iter().zip(&analysis.clustering.labels) {
+        let Some(cluster) = label else { continue };
+        let Some(model) = models.get(cluster) else { continue };
+        let RankId(r) = burst.id.rank;
+        let span_ns = burst.end.0 - burst.start.0;
+        let recon = &mut out[r as usize];
+        for phase in &model.phases {
+            let s = TimeNs(burst.start.0 + (phase.x0 * span_ns as f64).round() as u64);
+            let e = TimeNs(burst.start.0 + (phase.x1 * span_ns as f64).round() as u64);
+            if e <= s {
+                continue;
+            }
+            recon.segments.push(ReconSegment {
+                start: s,
+                end: e,
+                cluster: *cluster,
+                phase: phase.index,
+                rates: phase.rates,
+            });
+        }
+    }
+    for recon in &mut out {
+        recon.segments.sort_by_key(|s| s.start);
+    }
+    out
+}
+
+/// Mean absolute relative error of the reconstructed instantaneous rate of
+/// `counter` against a reference rate function, sampled at `grid_points`
+/// uniform times over `[0, horizon]`. Instants where either side is zero
+/// (communication, gaps) are skipped — the reconstruction only claims the
+/// compute regions.
+pub fn reconstruction_error(
+    recon: &RankReconstruction,
+    reference: impl Fn(TimeNs) -> f64,
+    counter: CounterKind,
+    horizon: TimeNs,
+    grid_points: usize,
+) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for i in 0..grid_points {
+        let t = TimeNs((horizon.0 as f64 * (i as f64 + 0.5) / grid_points as f64) as u64);
+        let truth = reference(t);
+        let got = recon.rate_at(counter, t);
+        if truth <= 0.0 || got <= 0.0 {
+            continue;
+        }
+        sum += (got - truth).abs() / truth;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::analyze_trace;
+    use phasefold_simapp::workloads::synthetic::{build, SyntheticParams};
+    use phasefold_simapp::{simulate, SegmentKind, SimConfig};
+    use phasefold_tracer::{trace_run, OverheadConfig, TracerConfig};
+
+    fn setup() -> (
+        phasefold_simapp::SimOutput,
+        Trace,
+        Analysis,
+        AnalysisConfig,
+    ) {
+        let program = build(&SyntheticParams { iterations: 300, ..SyntheticParams::default() });
+        let sim = simulate(&program, &SimConfig { ranks: 2, ..SimConfig::default() });
+        let tracer = TracerConfig { overhead: OverheadConfig::FREE, ..TracerConfig::default() };
+        let trace = trace_run(&program.registry, &sim.timelines, &tracer);
+        let config = AnalysisConfig::default();
+        let analysis = analyze_trace(&trace, &config);
+        (sim, trace, analysis, config)
+    }
+
+    #[test]
+    fn segments_are_ordered_and_disjoint() {
+        let (_, trace, analysis, config) = setup();
+        let recons = reconstruct(&trace, &analysis, &config);
+        assert_eq!(recons.len(), 2);
+        for recon in &recons {
+            assert!(!recon.segments.is_empty());
+            for w in recon.segments.windows(2) {
+                assert!(w[0].end <= w[1].start, "{w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn reconstruction_matches_ground_truth_rates() {
+        let (sim, trace, analysis, config) = setup();
+        let recons = reconstruct(&trace, &analysis, &config);
+        let timeline = &sim.timelines[0];
+        // Reference: ground-truth instantaneous rate, zero outside compute.
+        let reference = |t: TimeNs| match timeline.segment_at(t) {
+            Some(seg) if matches!(seg.kind, SegmentKind::Compute { .. }) => {
+                seg.rates()[CounterKind::Instructions]
+            }
+            _ => 0.0,
+        };
+        let err = reconstruction_error(
+            &recons[0],
+            reference,
+            CounterKind::Instructions,
+            timeline.end_time(),
+            4000,
+        );
+        assert!(err < 0.08, "reconstruction error {err}");
+    }
+
+    #[test]
+    fn covered_time_close_to_compute_time() {
+        let (sim, trace, analysis, config) = setup();
+        let recons = reconstruct(&trace, &analysis, &config);
+        let compute: f64 = sim.timelines[0]
+            .segments()
+            .iter()
+            .filter(|s| matches!(s.kind, SegmentKind::Compute { .. }))
+            .map(|s| s.end.saturating_since(s.start).as_secs_f64())
+            .sum();
+        let covered = recons[0].covered_time_s();
+        // The prologue burst (before the first comm) is unmodelled; allow
+        // a few percent shortfall.
+        assert!(covered > 0.9 * compute, "covered {covered} of {compute}");
+        assert!(covered <= compute * 1.02);
+    }
+
+    #[test]
+    fn rate_query_in_gap_is_zero() {
+        let (_, trace, analysis, config) = setup();
+        let recon = &reconstruct(&trace, &analysis, &config)[0];
+        // t = 0 predates the first modelled burst (prologue unmodelled).
+        assert_eq!(recon.rate_at(CounterKind::Instructions, TimeNs(0)), 0.0);
+        // Far beyond the end.
+        assert_eq!(
+            recon.rate_at(CounterKind::Instructions, TimeNs(u64::MAX)),
+            0.0
+        );
+    }
+}

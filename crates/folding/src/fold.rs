@@ -1,0 +1,266 @@
+//! The folding transform: instances → dense normalised profiles.
+
+use crate::instance::{collect_instances, FoldInstance};
+use crate::outlier::prune_outliers;
+use phasefold_cluster::Clustering;
+use phasefold_model::{Burst, CallStack, CounterKind, Trace, NUM_COUNTERS};
+
+/// Folding configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FoldConfig {
+    /// MAD multiplier of the duration outlier test.
+    pub mad_k: f64,
+    /// Minimum surviving instances for a cluster to be folded at all.
+    pub min_instances: usize,
+}
+
+impl Default for FoldConfig {
+    fn default() -> FoldConfig {
+        FoldConfig { mad_k: 3.0, min_instances: 4 }
+    }
+}
+
+/// One folded point of one counter's profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FoldedPoint {
+    /// Burst fraction ∈ [0, 1].
+    pub x: f64,
+    /// Normalised accumulated counter ∈ [0, 1] (clamped).
+    pub y: f64,
+    /// Ordinal of the (surviving) instance the sample came from — the
+    /// resampling unit for instance-level bootstrap.
+    pub instance: u32,
+}
+
+/// The folded profile of one counter within one cluster.
+#[derive(Debug, Clone, Default)]
+pub struct FoldedProfile {
+    /// Folded points, unordered.
+    pub points: Vec<FoldedPoint>,
+    /// Mean counter total per instance (rescales slopes to physical rates).
+    pub mean_total: f64,
+}
+
+impl FoldedProfile {
+    /// Splits the points into parallel x/y vectors (for the regression
+    /// stage, which wants slices).
+    pub fn xy(&self) -> (Vec<f64>, Vec<f64>) {
+        let xs = self.points.iter().map(|p| p.x).collect();
+        let ys = self.points.iter().map(|p| p.y).collect();
+        (xs, ys)
+    }
+
+    /// Parallel instance ids of the points (bootstrap resampling units).
+    pub fn instance_ids(&self) -> Vec<u64> {
+        self.points.iter().map(|p| p.instance as u64).collect()
+    }
+}
+
+/// Everything folding produces for one cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterFold {
+    /// Cluster id (index into the clustering).
+    pub cluster: usize,
+    /// Per-counter folded profiles (indexed by [`CounterKind::index`]).
+    pub profiles: [FoldedProfile; NUM_COUNTERS],
+    /// Call-stack observations: `(x, stack)` for every sample that carried
+    /// a stack — the raw material of the source-structure mapping.
+    pub stacks: Vec<(f64, CallStack)>,
+    /// Mean burst duration (seconds) over the surviving instances.
+    pub mean_duration_s: f64,
+    /// Instances folded.
+    pub instances_used: usize,
+    /// Instances dropped by the outlier test.
+    pub instances_pruned: usize,
+    /// Total samples folded.
+    pub samples: usize,
+}
+
+impl ClusterFold {
+    /// The folded profile of `counter`.
+    pub fn profile(&self, counter: CounterKind) -> &FoldedProfile {
+        &self.profiles[counter.index()]
+    }
+
+    /// Rescales a normalised slope of `counter`'s profile (Δy/Δx) into a
+    /// physical rate (counter units per second).
+    pub fn slope_to_rate(&self, counter: CounterKind, slope: f64) -> f64 {
+        if self.mean_duration_s <= 0.0 {
+            return 0.0;
+        }
+        slope * self.profiles[counter.index()].mean_total / self.mean_duration_s
+    }
+}
+
+/// Folds an entire trace: one [`ClusterFold`] per cluster with at least
+/// `config.min_instances` surviving instances.
+pub fn fold_trace(
+    trace: &Trace,
+    bursts: &[Burst],
+    clustering: &Clustering,
+    config: &FoldConfig,
+) -> Vec<ClusterFold> {
+    let per_cluster = collect_instances(trace, bursts, clustering);
+    let mut out = Vec::new();
+    for (cluster, instances) in per_cluster.into_iter().enumerate() {
+        let (kept, pruned) = prune_outliers(instances, config.mad_k);
+        if kept.len() < config.min_instances {
+            continue;
+        }
+        out.push(fold_cluster(cluster, bursts, &kept, pruned.len()));
+    }
+    out
+}
+
+fn fold_cluster(
+    cluster: usize,
+    bursts: &[Burst],
+    instances: &[FoldInstance],
+    pruned: usize,
+) -> ClusterFold {
+    let mut profiles: [FoldedProfile; NUM_COUNTERS] = Default::default();
+    let mut stacks = Vec::new();
+    let mut total_dur = 0.0;
+    let mut totals_sum = [0.0f64; NUM_COUNTERS];
+    let mut samples = 0usize;
+
+    for (ordinal, inst) in instances.iter().enumerate() {
+        let burst = &bursts[inst.burst_index];
+        total_dur += inst.dur_s;
+        for (i, t) in totals_sum.iter_mut().enumerate() {
+            *t += burst.counters.as_array()[i];
+        }
+        for sample in &inst.samples {
+            samples += 1;
+            if !sample.callstack.is_empty() {
+                stacks.push((sample.x, sample.callstack.clone()));
+            }
+            for (kind, absolute) in sample.counters.iter() {
+                let total = burst.counters[kind];
+                if total <= 0.0 {
+                    continue;
+                }
+                let delta = absolute - burst.start_counters[kind];
+                let y = (delta / total).clamp(0.0, 1.0);
+                profiles[kind.index()].points.push(FoldedPoint {
+                    x: sample.x,
+                    y,
+                    instance: ordinal as u32,
+                });
+            }
+        }
+    }
+    let n = instances.len().max(1) as f64;
+    for (i, p) in profiles.iter_mut().enumerate() {
+        p.mean_total = totals_sum[i] / n;
+    }
+    ClusterFold {
+        cluster,
+        profiles,
+        stacks,
+        mean_duration_s: total_dur / n,
+        instances_used: instances.len(),
+        instances_pruned: pruned,
+        samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phasefold_cluster::{cluster_bursts, ClusterConfig};
+    use phasefold_model::{extract_bursts, DurNs};
+    use phasefold_simapp::workloads::synthetic::{build, SyntheticParams};
+    use phasefold_simapp::{simulate, SimConfig};
+    use phasefold_tracer::{trace_run, OverheadConfig, TracerConfig};
+
+    fn folded_synthetic(iterations: u64) -> (Vec<ClusterFold>, SyntheticParams) {
+        let params = SyntheticParams { iterations, ..SyntheticParams::default() };
+        let program = build(&params);
+        let out = simulate(&program, &SimConfig { ranks: 2, ..SimConfig::default() });
+        let cfg = TracerConfig {
+            overhead: OverheadConfig::FREE,
+            ..TracerConfig::default()
+        };
+        let trace = trace_run(&program.registry, &out.timelines, &cfg);
+        let bursts = extract_bursts(&trace, DurNs::from_micros(1));
+        let clustering = cluster_bursts(&bursts, &ClusterConfig::default());
+        let folds = fold_trace(&trace, &bursts, &clustering, &FoldConfig::default());
+        (folds, params)
+    }
+
+    #[test]
+    fn folding_pools_samples_densely() {
+        let (folds, _) = folded_synthetic(300);
+        assert_eq!(folds.len(), 1);
+        let fold = &folds[0];
+        // 300 iterations × 2 ranks with a 10 ms period over ~2 ms bursts:
+        // at most one sample per burst, but pooled into hundreds of points.
+        let (xs, ys) = fold.profile(CounterKind::Instructions).xy();
+        assert!(xs.len() > 50, "only {} folded points", xs.len());
+        assert_eq!(xs.len(), ys.len());
+        for (&x, &y) in xs.iter().zip(&ys) {
+            assert!((0.0..=1.0).contains(&x));
+            assert!((0.0..=1.0).contains(&y));
+        }
+        // x must cover the whole burst thanks to jitter.
+        let xmin = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let xmax = xs.iter().cloned().fold(0.0f64, f64::max);
+        assert!(xmin < 0.15 && xmax > 0.85, "coverage [{xmin}, {xmax}]");
+    }
+
+    #[test]
+    fn folded_profile_tracks_ground_truth_curve() {
+        let (folds, params) = folded_synthetic(300);
+        let fold = &folds[0];
+        let program = build(&params);
+        let out = simulate(&program, &SimConfig { ranks: 1, ..SimConfig::default() });
+        let template = out.ground_truth.dominant_template().unwrap();
+        let mut worst: f64 = 0.0;
+        for p in &fold.profile(CounterKind::Instructions).points {
+            let truth = template.normalized_accumulation(CounterKind::Instructions, p.x);
+            worst = worst.max((p.y - truth).abs());
+        }
+        assert!(worst < 0.08, "worst folded deviation {worst}");
+    }
+
+    #[test]
+    fn stacks_are_collected_with_positions() {
+        let (folds, _) = folded_synthetic(100);
+        let fold = &folds[0];
+        assert!(!fold.stacks.is_empty());
+        for (x, stack) in &fold.stacks {
+            assert!((0.0..=1.0).contains(x));
+            assert!(!stack.is_empty());
+        }
+    }
+
+    #[test]
+    fn slope_to_rate_roundtrip() {
+        let (folds, _) = folded_synthetic(100);
+        let fold = &folds[0];
+        // A slope of 1 over the whole burst = mean_total / mean_duration.
+        let rate = fold.slope_to_rate(CounterKind::Instructions, 1.0);
+        let expect =
+            fold.profile(CounterKind::Instructions).mean_total / fold.mean_duration_s;
+        assert!((rate - expect).abs() < 1e-6 * expect);
+        assert!(rate > 0.0);
+    }
+
+    #[test]
+    fn too_few_instances_yields_no_fold() {
+        let (folds, _) = folded_synthetic(3);
+        // 3 iterations -> 2 usable bursts per rank < min_instances for the
+        // single cluster (if clustering even finds one).
+        assert!(folds.is_empty() || folds[0].instances_used >= 4);
+    }
+
+    #[test]
+    fn instance_accounting_adds_up() {
+        let (folds, _) = folded_synthetic(120);
+        let fold = &folds[0];
+        // 120 iterations × 2 ranks − 2 prologues = 238 bursts clustered.
+        assert!(fold.instances_used + fold.instances_pruned <= 238);
+        assert!(fold.instances_used > 200);
+    }
+}

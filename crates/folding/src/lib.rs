@@ -1,0 +1,33 @@
+//! # phasefold-folding
+//!
+//! The **folding** mechanism (Servat et al., ITPW'11) as used by
+//! *"Identifying Code Phases Using Piece-Wise Linear Regressions"* (IPDPS
+//! 2014): pools the sparse periodic samples of *many* instances of a
+//! repeated computation burst into one dense synthetic instance.
+//!
+//! For a sample taken at absolute time `t` inside a burst instance
+//! `[start, end)` whose boundary counter reads give a total delta `T` for
+//! counter `k`, the folded point is
+//!
+//! ```text
+//! x = (t − start) / (end − start)              ∈ [0, 1]   (time axis)
+//! y = (counter_k(t) − counter_k(start)) / T_k  ∈ [0, 1]   (progress axis)
+//! ```
+//!
+//! Coarse sampling (period ≫ burst) contributes ≤ 1 sample per instance,
+//! but after a few hundred instances — with sampling jitter decorrelating
+//! the offsets — the folded scatter densely covers `[0, 1]` and the PWLR
+//! stage can recover sub-burst phase structure that no individual instance
+//! reveals. Outlier instances (OS-preempted, perturbed) are pruned by a
+//! duration MAD test before folding.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod fold;
+pub mod instance;
+pub mod outlier;
+
+pub use fold::{fold_trace, ClusterFold, FoldConfig, FoldedPoint, FoldedProfile};
+pub use instance::{collect_instances, FoldInstance, InstanceSample};
+pub use outlier::prune_outliers;

@@ -1,0 +1,111 @@
+//! Outlier-instance pruning.
+//!
+//! Folding normalises per instance, so moderate duration variation is
+//! harmless — but an instance hit by a long OS preemption stretches its
+//! time axis: its samples land at the wrong `x` relative to the phase
+//! structure, smearing breakpoints. The classic remedy (used by the
+//! folding tool-chain) is robust: drop instances whose duration deviates
+//! from the cluster median by more than `k` MADs.
+
+use crate::instance::FoldInstance;
+
+/// Splits `instances` into (kept, pruned) by the duration MAD test.
+///
+/// With fewer than 4 instances everything is kept. The MAD is floored at
+/// 0.1 % of the median duration: on near-deterministic data the raw MAD
+/// collapses to quantisation noise (nanoseconds), which would declare
+/// *everything* an outlier — durations within a fraction of a percent of
+/// the median are never outliers, whatever the MAD says.
+pub fn prune_outliers(
+    instances: Vec<FoldInstance>,
+    k: f64,
+) -> (Vec<FoldInstance>, Vec<FoldInstance>) {
+    if instances.len() < 4 {
+        return (instances, Vec::new());
+    }
+    let mut durations: Vec<f64> = instances.iter().map(|i| i.dur_s).collect();
+    durations.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = durations[durations.len() / 2];
+    let mut deviations: Vec<f64> = durations.iter().map(|d| (d - median).abs()).collect();
+    deviations.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mad = deviations[deviations.len() / 2];
+    let scale = mad.max(median * 1e-3);
+    if scale <= 0.0 {
+        return (instances, Vec::new());
+    }
+    let threshold = k * scale;
+    let mut kept = Vec::with_capacity(instances.len());
+    let mut pruned = Vec::new();
+    for inst in instances {
+        if (inst.dur_s - median).abs() <= threshold {
+            kept.push(inst);
+        } else {
+            pruned.push(inst);
+        }
+    }
+    (kept, pruned)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn instance(dur_s: f64) -> FoldInstance {
+        FoldInstance { burst_index: 0, dur_s, samples: Vec::new() }
+    }
+
+    #[test]
+    fn keeps_homogeneous_instances() {
+        let instances: Vec<_> = (0..20).map(|i| instance(1.0 + 0.01 * (i % 3) as f64)).collect();
+        let (kept, pruned) = prune_outliers(instances, 3.0);
+        assert_eq!(kept.len(), 20);
+        assert!(pruned.is_empty());
+    }
+
+    #[test]
+    fn drops_preempted_instance() {
+        let mut instances: Vec<_> =
+            (0..30).map(|i| instance(1.0 + 0.005 * (i % 5) as f64)).collect();
+        instances.push(instance(2.5)); // OS-preempted straggler
+        let (kept, pruned) = prune_outliers(instances, 3.0);
+        assert_eq!(pruned.len(), 1);
+        assert!((pruned[0].dur_s - 2.5).abs() < 1e-12);
+        assert_eq!(kept.len(), 30);
+    }
+
+    #[test]
+    fn small_sets_pass_through() {
+        let instances = vec![instance(1.0), instance(100.0)];
+        let (kept, pruned) = prune_outliers(instances, 3.0);
+        assert_eq!(kept.len(), 2);
+        assert!(pruned.is_empty());
+    }
+
+    #[test]
+    fn zero_mad_uses_relative_fallback() {
+        // 29 identical durations (MAD = 0) + 1 outlier.
+        let mut instances: Vec<_> = (0..29).map(|_| instance(1.0)).collect();
+        instances.push(instance(1.5));
+        let (kept, pruned) = prune_outliers(instances, 3.0);
+        assert_eq!(pruned.len(), 1);
+        assert_eq!(kept.len(), 29);
+    }
+
+    #[test]
+    fn all_identical_keeps_everything() {
+        let instances: Vec<_> = (0..10).map(|_| instance(2.0)).collect();
+        let (kept, pruned) = prune_outliers(instances, 3.0);
+        assert_eq!(kept.len(), 10);
+        assert!(pruned.is_empty());
+    }
+
+    #[test]
+    fn larger_k_is_more_permissive() {
+        let mut instances: Vec<_> = (0..20).map(|i| instance(1.0 + 0.01 * (i % 7) as f64)).collect();
+        instances.push(instance(1.2));
+        let (_, pruned_tight) = prune_outliers(instances.clone(), 2.0);
+        let (_, pruned_loose) = prune_outliers(instances, 50.0);
+        assert!(pruned_tight.len() >= pruned_loose.len());
+        assert!(pruned_loose.is_empty());
+    }
+}

@@ -1,0 +1,254 @@
+//! Computation-burst extraction.
+//!
+//! A *computation burst* is the region between the exit of one communication
+//! operation and the entry of the next (González et al., IPDPS'09). Because
+//! the tracer reads the full counter set at exactly these two instrumentation
+//! points, every burst carries an exact duration and exact counter deltas —
+//! the features the clustering step uses — at negligible overhead.
+
+use crate::callstack::RegionId;
+use crate::counter::CounterSet;
+use crate::event::Record;
+use crate::time::{DurNs, TimeNs};
+use crate::trace::{RankId, RankTrace, Trace};
+
+/// Identifier of a burst within a trace: `(rank, ordinal)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BurstId {
+    /// The rank the burst executed on.
+    pub rank: RankId,
+    /// Zero-based ordinal of the burst within its rank.
+    pub ordinal: u32,
+}
+
+/// One computation burst with its exactly-measured boundary data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Burst {
+    /// Identity of this burst.
+    pub id: BurstId,
+    /// Burst start (exit timestamp of the preceding communication).
+    pub start: TimeNs,
+    /// Burst end (entry timestamp of the following communication).
+    pub end: TimeNs,
+    /// Accumulated counters at burst start.
+    pub start_counters: CounterSet,
+    /// Counter deltas over the burst (`end - start` readings).
+    pub counters: CounterSet,
+    /// Innermost user region open when the burst started
+    /// ([`RegionId::UNKNOWN`] if none).
+    pub enclosing: RegionId,
+}
+
+impl Burst {
+    /// Burst duration.
+    pub fn duration(&self) -> DurNs {
+        self.end.saturating_since(self.start)
+    }
+}
+
+/// Extracts the computation bursts of one rank's stream.
+///
+/// The stream portion before the first `CommEnter` and after the last
+/// `CommExit` is treated as a burst too (application prologue/epilogue)
+/// provided boundary counter readings exist on both sides; the prologue has
+/// no preceding reading, so it is skipped — matching the original tool,
+/// which only trusts bursts bounded by two instrumented reads.
+///
+/// Bursts shorter than `min_duration` are discarded: the paper filters very
+/// short bursts, which are dominated by instrumentation noise.
+pub fn extract_rank_bursts(rank: RankId, stream: &RankTrace, min_duration: DurNs) -> Vec<Burst> {
+    let mut bursts = Vec::new();
+    let mut region_stack: Vec<RegionId> = Vec::new();
+    // Pending burst start: set on CommExit, consumed on next CommEnter.
+    let mut open: Option<(TimeNs, CounterSet, RegionId)> = None;
+    for record in stream.records() {
+        match record {
+            Record::RegionEnter { region, .. } => region_stack.push(*region),
+            Record::RegionExit { region, .. } => {
+                // Tolerate unbalanced exits: pop only on match.
+                if region_stack.last() == Some(region) {
+                    region_stack.pop();
+                }
+            }
+            Record::CommExit { time, counters, .. } => {
+                let enclosing = region_stack.last().copied().unwrap_or(RegionId::UNKNOWN);
+                open = Some((*time, *counters, enclosing));
+            }
+            Record::CommEnter { time, counters, .. } => {
+                if let Some((start, start_counters, enclosing)) = open.take() {
+                    if time.saturating_since(start) >= min_duration && *time > start {
+                        let ordinal = bursts.len() as u32;
+                        bursts.push(Burst {
+                            id: BurstId { rank, ordinal },
+                            start,
+                            end: *time,
+                            start_counters,
+                            counters: counters.delta_since(&start_counters),
+                            enclosing,
+                        });
+                    }
+                }
+            }
+            Record::Sample(_) => {}
+        }
+    }
+    bursts
+}
+
+/// Extracts all computation bursts of a trace, rank by rank.
+pub fn extract_bursts(trace: &Trace, min_duration: DurNs) -> Vec<Burst> {
+    let mut out = Vec::new();
+    for (rank, stream) in trace.iter_ranks() {
+        out.extend(extract_rank_bursts(rank, stream, min_duration));
+    }
+    out
+}
+
+/// Returns the sampling records of `stream` that fall inside `[start, end)`.
+///
+/// Uses binary search over the time-ordered record vector, so repeated
+/// queries over many bursts stay cheap.
+pub fn samples_within<'a>(
+    stream: &'a RankTrace,
+    start: TimeNs,
+    end: TimeNs,
+) -> impl Iterator<Item = &'a crate::event::Sample> {
+    let records = stream.records();
+    let lo = records.partition_point(|r| r.time() < start);
+    records[lo..]
+        .iter()
+        .take_while(move |r| r.time() < end)
+        .filter_map(|r| match r {
+            Record::Sample(s) => Some(s),
+            _ => None,
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callstack::CallStack;
+    use crate::counter::{CounterKind, PartialCounterSet};
+    use crate::event::{CommKind, Sample};
+
+    fn counters(ins: f64) -> CounterSet {
+        let mut c = CounterSet::ZERO;
+        c[CounterKind::Instructions] = ins;
+        c
+    }
+
+    fn comm_exit(t: u64, ins: f64) -> Record {
+        Record::CommExit { time: TimeNs(t), kind: CommKind::Collective, counters: counters(ins) }
+    }
+
+    fn comm_enter(t: u64, ins: f64) -> Record {
+        Record::CommEnter { time: TimeNs(t), kind: CommKind::Collective, counters: counters(ins) }
+    }
+
+    fn sample(t: u64) -> Record {
+        Record::Sample(Sample {
+            time: TimeNs(t),
+            counters: PartialCounterSet::EMPTY,
+            callstack: CallStack::empty(),
+        })
+    }
+
+    fn build_stream(records: Vec<Record>) -> RankTrace {
+        let mut rt = RankTrace::new();
+        for r in records {
+            rt.push(r).unwrap();
+        }
+        rt
+    }
+
+    #[test]
+    fn extracts_bursts_between_comms() {
+        let rt = build_stream(vec![
+            comm_exit(100, 10.0),
+            sample(150),
+            comm_enter(200, 60.0),
+            comm_exit(250, 60.0),
+            comm_enter(400, 200.0),
+        ]);
+        let bursts = extract_rank_bursts(RankId(0), &rt, DurNs::ZERO);
+        assert_eq!(bursts.len(), 2);
+        assert_eq!(bursts[0].start, TimeNs(100));
+        assert_eq!(bursts[0].end, TimeNs(200));
+        assert_eq!(bursts[0].counters[CounterKind::Instructions], 50.0);
+        assert_eq!(bursts[1].duration(), DurNs(150));
+        assert_eq!(bursts[1].counters[CounterKind::Instructions], 140.0);
+        assert_eq!(bursts[0].id, BurstId { rank: RankId(0), ordinal: 0 });
+        assert_eq!(bursts[1].id.ordinal, 1);
+    }
+
+    #[test]
+    fn prologue_without_boundary_read_is_skipped() {
+        let rt = build_stream(vec![sample(10), comm_enter(100, 5.0), comm_exit(120, 5.0)]);
+        let bursts = extract_rank_bursts(RankId(0), &rt, DurNs::ZERO);
+        assert!(bursts.is_empty());
+    }
+
+    #[test]
+    fn min_duration_filters_short_bursts() {
+        let rt = build_stream(vec![
+            comm_exit(0, 0.0),
+            comm_enter(10, 1.0), // 10 ns burst
+            comm_exit(20, 1.0),
+            comm_enter(1020, 9.0), // 1000 ns burst
+        ]);
+        let bursts = extract_rank_bursts(RankId(0), &rt, DurNs(100));
+        assert_eq!(bursts.len(), 1);
+        assert_eq!(bursts[0].duration(), DurNs(1000));
+    }
+
+    #[test]
+    fn enclosing_region_is_tracked() {
+        let region = RegionId(7);
+        let rt = build_stream(vec![
+            Record::RegionEnter { time: TimeNs(0), region },
+            comm_exit(10, 0.0),
+            comm_enter(50, 1.0),
+            Record::RegionExit { time: TimeNs(60), region },
+            comm_exit(70, 1.0),
+            comm_enter(90, 2.0),
+        ]);
+        let bursts = extract_rank_bursts(RankId(0), &rt, DurNs::ZERO);
+        assert_eq!(bursts.len(), 2);
+        assert_eq!(bursts[0].enclosing, region);
+        assert_eq!(bursts[1].enclosing, RegionId::UNKNOWN);
+    }
+
+    #[test]
+    fn samples_within_uses_half_open_interval() {
+        let rt = build_stream(vec![
+            comm_exit(100, 0.0),
+            sample(100),
+            sample(150),
+            sample(200),
+            comm_enter(200, 1.0),
+        ]);
+        let times: Vec<u64> =
+            samples_within(&rt, TimeNs(100), TimeNs(200)).map(|s| s.time.0).collect();
+        assert_eq!(times, vec![100, 150]);
+    }
+
+    #[test]
+    fn extract_bursts_covers_all_ranks() {
+        let mut trace = Trace::with_ranks(Default::default(), 2);
+        for r in 0..2u32 {
+            let stream = trace.rank_mut(RankId(r)).unwrap();
+            stream.push(comm_exit(0, 0.0)).unwrap();
+            stream.push(comm_enter(100, 1.0)).unwrap();
+        }
+        let bursts = extract_bursts(&trace, DurNs::ZERO);
+        assert_eq!(bursts.len(), 2);
+        assert_eq!(bursts[0].id.rank, RankId(0));
+        assert_eq!(bursts[1].id.rank, RankId(1));
+    }
+
+    #[test]
+    fn zero_length_burst_is_dropped() {
+        let rt = build_stream(vec![comm_exit(100, 0.0), comm_enter(100, 0.0)]);
+        assert!(extract_rank_bursts(RankId(0), &rt, DurNs::ZERO).is_empty());
+    }
+}

@@ -1,0 +1,276 @@
+//! Interned source-code regions and sampled call stacks.
+//!
+//! The paper's headline capability is mapping detected performance phases
+//! back onto the *syntactical structure* of the application: every sample
+//! carries a call stack whose leaf frame names a source file and line.
+//! Regions (functions, loops, kernels) are interned once in a
+//! [`SourceRegistry`]; the rest of the system passes around compact
+//! [`RegionId`]s.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Compact handle for an interned region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegionId(pub u32);
+
+impl RegionId {
+    /// Sentinel for "outside any known region" (e.g. runtime/idle).
+    pub const UNKNOWN: RegionId = RegionId(u32::MAX);
+}
+
+/// What kind of syntactic construct a region is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegionKind {
+    /// A function / subroutine.
+    Function,
+    /// A loop nest inside a function.
+    Loop,
+    /// A straight-line computational kernel (innermost body).
+    Kernel,
+    /// A communication operation (MPI-like).
+    Communication,
+}
+
+impl RegionKind {
+    /// Stable single-letter tag used by the trace format.
+    pub fn tag(self) -> char {
+        match self {
+            RegionKind::Function => 'F',
+            RegionKind::Loop => 'L',
+            RegionKind::Kernel => 'K',
+            RegionKind::Communication => 'C',
+        }
+    }
+
+    /// Parses the tag produced by [`RegionKind::tag`].
+    pub fn from_tag(c: char) -> Option<RegionKind> {
+        match c {
+            'F' => Some(RegionKind::Function),
+            'L' => Some(RegionKind::Loop),
+            'K' => Some(RegionKind::Kernel),
+            'C' => Some(RegionKind::Communication),
+            _ => None,
+        }
+    }
+}
+
+/// A point in the application source.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SourceLocation {
+    /// Source file path (as the compiler would report it).
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+impl fmt::Display for SourceLocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.file, self.line)
+    }
+}
+
+/// Metadata for an interned region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionInfo {
+    /// Human-readable name (function or loop label).
+    pub name: String,
+    /// Kind of syntactic construct.
+    pub kind: RegionKind,
+    /// Where the region starts in the source.
+    pub location: SourceLocation,
+}
+
+/// Intern table mapping [`RegionId`] ⇄ [`RegionInfo`].
+///
+/// The registry is append-only; ids are dense indices in insertion order,
+/// which the trace format exploits.
+#[derive(Debug, Clone, Default)]
+pub struct SourceRegistry {
+    regions: Vec<RegionInfo>,
+    by_name: HashMap<String, RegionId>,
+}
+
+impl SourceRegistry {
+    /// An empty registry.
+    pub fn new() -> SourceRegistry {
+        SourceRegistry::default()
+    }
+
+    /// Interns a region, returning its id. Re-interning the same `name`
+    /// returns the existing id (names are unique keys; callers qualify
+    /// names hierarchically, e.g. `"solve/spmv"`).
+    pub fn intern(&mut self, name: &str, kind: RegionKind, file: &str, line: u32) -> RegionId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = RegionId(self.regions.len() as u32);
+        self.regions.push(RegionInfo {
+            name: name.to_string(),
+            kind,
+            location: SourceLocation { file: file.to_string(), line },
+        });
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Metadata for `id`, or `None` for unknown/sentinel ids.
+    pub fn get(&self, id: RegionId) -> Option<&RegionInfo> {
+        self.regions.get(id.0 as usize)
+    }
+
+    /// Id registered for `name`, if any.
+    pub fn lookup(&self, name: &str) -> Option<RegionId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Display name for `id` (`"<unknown>"` for the sentinel).
+    pub fn name(&self, id: RegionId) -> &str {
+        self.get(id).map_or("<unknown>", |r| r.name.as_str())
+    }
+
+    /// Number of interned regions.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// Iterates `(id, info)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (RegionId, &RegionInfo)> {
+        self.regions
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (RegionId(i as u32), r))
+    }
+}
+
+/// A sampled call stack: outermost frame first, leaf last.
+///
+/// Frames are region ids; the leaf additionally carries the precise source
+/// line the program counter was at, which may differ from the region's
+/// declaration line.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct CallStack {
+    /// Region ids, outermost first.
+    pub frames: Vec<RegionId>,
+    /// Source line of the leaf program counter (0 if unknown).
+    pub leaf_line: u32,
+}
+
+impl CallStack {
+    /// An empty (unresolved) call stack.
+    pub fn empty() -> CallStack {
+        CallStack::default()
+    }
+
+    /// Builds a stack from outermost-first frames and a leaf line.
+    pub fn new(frames: Vec<RegionId>, leaf_line: u32) -> CallStack {
+        CallStack { frames, leaf_line }
+    }
+
+    /// The innermost frame, if the stack is non-empty.
+    pub fn leaf(&self) -> Option<RegionId> {
+        self.frames.last().copied()
+    }
+
+    /// Stack depth.
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// True if no frames were captured.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Renders the stack as `outer>inner@line` using `registry` names.
+    pub fn render(&self, registry: &SourceRegistry) -> String {
+        let mut s = String::new();
+        for (i, f) in self.frames.iter().enumerate() {
+            if i > 0 {
+                s.push('>');
+            }
+            s.push_str(registry.name(*f));
+        }
+        if self.leaf_line != 0 {
+            s.push('@');
+            s.push_str(&self.leaf_line.to_string());
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_registry() -> SourceRegistry {
+        let mut r = SourceRegistry::new();
+        r.intern("main", RegionKind::Function, "main.c", 1);
+        r.intern("solve", RegionKind::Function, "solve.c", 10);
+        r.intern("solve/spmv", RegionKind::Kernel, "solve.c", 42);
+        r
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut r = sample_registry();
+        let id1 = r.lookup("solve").unwrap();
+        let id2 = r.intern("solve", RegionKind::Function, "other.c", 99);
+        assert_eq!(id1, id2);
+        assert_eq!(r.len(), 3);
+        // First interning wins: metadata unchanged.
+        assert_eq!(r.get(id1).unwrap().location.file, "solve.c");
+    }
+
+    #[test]
+    fn ids_are_dense_insertion_order() {
+        let r = sample_registry();
+        let ids: Vec<u32> = r.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn unknown_id_renders_placeholder() {
+        let r = sample_registry();
+        assert_eq!(r.name(RegionId::UNKNOWN), "<unknown>");
+        assert!(r.get(RegionId::UNKNOWN).is_none());
+    }
+
+    #[test]
+    fn callstack_render() {
+        let r = sample_registry();
+        let cs = CallStack::new(
+            vec![r.lookup("main").unwrap(), r.lookup("solve").unwrap(), r.lookup("solve/spmv").unwrap()],
+            44,
+        );
+        assert_eq!(cs.render(&r), "main>solve>solve/spmv@44");
+        assert_eq!(cs.leaf(), r.lookup("solve/spmv"));
+        assert_eq!(cs.depth(), 3);
+    }
+
+    #[test]
+    fn region_kind_tags_roundtrip() {
+        for k in [
+            RegionKind::Function,
+            RegionKind::Loop,
+            RegionKind::Kernel,
+            RegionKind::Communication,
+        ] {
+            assert_eq!(RegionKind::from_tag(k.tag()), Some(k));
+        }
+        assert_eq!(RegionKind::from_tag('x'), None);
+    }
+
+    #[test]
+    fn empty_stack() {
+        let cs = CallStack::empty();
+        assert!(cs.is_empty());
+        assert_eq!(cs.leaf(), None);
+        assert_eq!(cs.render(&sample_registry()), "");
+    }
+}

@@ -1,0 +1,347 @@
+//! The hardware-performance-counter model.
+//!
+//! The pipeline only assumes counters are *monotonically accumulating*
+//! quantities whose rate is piece-wise stationary per code phase — exactly
+//! the contract of PAPI-style hardware counters that the original tool reads
+//! at instrumentation points and sampling interrupts.
+//!
+//! Values are stored as `f64`: the analytical processor model of
+//! `phasefold-simapp` produces fractional accumulations at arbitrary time
+//! points, and every downstream consumer (folding, regression) is
+//! floating-point anyway. Real counters are integers; the difference is
+//! below any noise floor we model.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Number of modelled hardware counters (the cardinality of [`CounterKind`]).
+pub const NUM_COUNTERS: usize = 10;
+
+/// The hardware counters the simulated PMU exposes.
+///
+/// The set mirrors the counters the IPDPS'14 tool-chain derives its node-level
+/// metrics from: instruction/cycle counts for MIPS and IPC, the cache
+/// hierarchy misses for memory-boundedness, load/store and floating-point
+/// mixes, and branch behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(usize)]
+pub enum CounterKind {
+    /// Retired instructions.
+    Instructions = 0,
+    /// Core clock cycles.
+    Cycles = 1,
+    /// L1 data-cache misses.
+    L1DMisses = 2,
+    /// L2 cache misses.
+    L2Misses = 3,
+    /// Last-level cache misses.
+    L3Misses = 4,
+    /// Retired load instructions.
+    Loads = 5,
+    /// Retired store instructions.
+    Stores = 6,
+    /// Floating-point operations.
+    FpOps = 7,
+    /// Retired branch instructions.
+    Branches = 8,
+    /// Mispredicted branches.
+    BranchMisses = 9,
+}
+
+impl CounterKind {
+    /// All counter kinds in index order.
+    pub const ALL: [CounterKind; NUM_COUNTERS] = [
+        CounterKind::Instructions,
+        CounterKind::Cycles,
+        CounterKind::L1DMisses,
+        CounterKind::L2Misses,
+        CounterKind::L3Misses,
+        CounterKind::Loads,
+        CounterKind::Stores,
+        CounterKind::FpOps,
+        CounterKind::Branches,
+        CounterKind::BranchMisses,
+    ];
+
+    /// Dense index of this counter in a [`CounterSet`].
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Inverse of [`CounterKind::index`]; `None` if out of range.
+    pub fn from_index(i: usize) -> Option<CounterKind> {
+        CounterKind::ALL.get(i).copied()
+    }
+
+    /// Short PAPI-flavoured mnemonic used in trace files and reports.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CounterKind::Instructions => "INS",
+            CounterKind::Cycles => "CYC",
+            CounterKind::L1DMisses => "L1DM",
+            CounterKind::L2Misses => "L2M",
+            CounterKind::L3Misses => "L3M",
+            CounterKind::Loads => "LD",
+            CounterKind::Stores => "ST",
+            CounterKind::FpOps => "FP",
+            CounterKind::Branches => "BR",
+            CounterKind::BranchMisses => "BRM",
+        }
+    }
+
+    /// Parses a mnemonic produced by [`CounterKind::mnemonic`].
+    pub fn from_mnemonic(s: &str) -> Option<CounterKind> {
+        CounterKind::ALL.into_iter().find(|k| k.mnemonic() == s)
+    }
+}
+
+impl fmt::Display for CounterKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// A full vector of accumulated counter values, one slot per [`CounterKind`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CounterSet {
+    values: [f64; NUM_COUNTERS],
+}
+
+impl CounterSet {
+    /// The all-zero counter vector.
+    pub const ZERO: CounterSet = CounterSet { values: [0.0; NUM_COUNTERS] };
+
+    /// Builds a set from a raw value array in [`CounterKind`] index order.
+    pub fn from_array(values: [f64; NUM_COUNTERS]) -> CounterSet {
+        CounterSet { values }
+    }
+
+    /// The raw value array in [`CounterKind`] index order.
+    pub fn as_array(&self) -> &[f64; NUM_COUNTERS] {
+        &self.values
+    }
+
+    /// Element-wise `self - earlier`, the counter delta over an interval.
+    ///
+    /// Debug-asserts monotonicity (accumulating counters never decrease);
+    /// in release builds negative deltas clamp to zero.
+    pub fn delta_since(&self, earlier: &CounterSet) -> CounterSet {
+        let mut out = [0.0; NUM_COUNTERS];
+        for (i, o) in out.iter_mut().enumerate() {
+            let d = self.values[i] - earlier.values[i];
+            debug_assert!(
+                d >= -1e-6 * self.values[i].abs().max(1.0),
+                "counter {:?} decreased: {} -> {}",
+                CounterKind::ALL[i],
+                earlier.values[i],
+                self.values[i],
+            );
+            *o = d.max(0.0);
+        }
+        CounterSet { values: out }
+    }
+
+    /// Element-wise sum.
+    pub fn add(&self, other: &CounterSet) -> CounterSet {
+        let mut out = self.values;
+        for (o, v) in out.iter_mut().zip(other.values.iter()) {
+            *o += v;
+        }
+        CounterSet { values: out }
+    }
+
+    /// Element-wise accumulate.
+    pub fn add_assign(&mut self, other: &CounterSet) {
+        for (o, v) in self.values.iter_mut().zip(other.values.iter()) {
+            *o += v;
+        }
+    }
+
+    /// Element-wise scale.
+    pub fn scale(&self, factor: f64) -> CounterSet {
+        let mut out = self.values;
+        for o in out.iter_mut() {
+            *o *= factor;
+        }
+        CounterSet { values: out }
+    }
+
+    /// True if every counter is (approximately) at least the corresponding
+    /// counter of `other` — i.e. `self` could be a later reading of the same
+    /// accumulating counters.
+    pub fn dominates(&self, other: &CounterSet, tol: f64) -> bool {
+        self.values
+            .iter()
+            .zip(other.values.iter())
+            .all(|(a, b)| *a >= *b - tol)
+    }
+
+    /// Iterates `(kind, value)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (CounterKind, f64)> + '_ {
+        CounterKind::ALL.into_iter().map(move |k| (k, self.values[k.index()]))
+    }
+}
+
+impl Index<CounterKind> for CounterSet {
+    type Output = f64;
+    fn index(&self, k: CounterKind) -> &f64 {
+        &self.values[k.index()]
+    }
+}
+
+impl IndexMut<CounterKind> for CounterSet {
+    fn index_mut(&mut self, k: CounterKind) -> &mut f64 {
+        &mut self.values[k.index()]
+    }
+}
+
+/// A counter vector in which only a subset of slots is populated.
+///
+/// Real PMUs expose a handful of programmable counter registers; reading ten
+/// logical counters requires *multiplexing* — each sampling round reads a
+/// different counter group. The tracer therefore emits samples whose counter
+/// vector is only partially known.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PartialCounterSet {
+    values: [Option<f64>; NUM_COUNTERS],
+}
+
+impl PartialCounterSet {
+    /// The fully-unknown vector.
+    pub const EMPTY: PartialCounterSet = PartialCounterSet { values: [None; NUM_COUNTERS] };
+
+    /// A fully-populated partial vector mirroring `full`.
+    pub fn from_full(full: &CounterSet) -> PartialCounterSet {
+        let mut values = [None; NUM_COUNTERS];
+        for (i, v) in values.iter_mut().enumerate() {
+            *v = Some(full.as_array()[i]);
+        }
+        PartialCounterSet { values }
+    }
+
+    /// A partial vector populated only at `kinds`, with values from `full`.
+    pub fn project(full: &CounterSet, kinds: &[CounterKind]) -> PartialCounterSet {
+        let mut values = [None; NUM_COUNTERS];
+        for &k in kinds {
+            values[k.index()] = Some(full[k]);
+        }
+        PartialCounterSet { values }
+    }
+
+    /// The value of counter `k`, if this sample carries it.
+    pub fn get(&self, k: CounterKind) -> Option<f64> {
+        self.values[k.index()]
+    }
+
+    /// Sets the value of counter `k`.
+    pub fn set(&mut self, k: CounterKind, v: f64) {
+        self.values[k.index()] = Some(v);
+    }
+
+    /// Number of populated slots.
+    pub fn len(&self) -> usize {
+        self.values.iter().filter(|v| v.is_some()).count()
+    }
+
+    /// True if no slot is populated.
+    pub fn is_empty(&self) -> bool {
+        self.values.iter().all(|v| v.is_none())
+    }
+
+    /// Iterates populated `(kind, value)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (CounterKind, f64)> + '_ {
+        CounterKind::ALL
+            .into_iter()
+            .filter_map(move |k| self.values[k.index()].map(|v| (k, v)))
+    }
+
+    /// Converts to a full set, treating missing slots as zero.
+    /// Intended for tests and display, not analysis.
+    pub fn to_full_lossy(&self) -> CounterSet {
+        let mut out = CounterSet::ZERO;
+        for (k, v) in self.iter() {
+            out[k] = v;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_roundtrip_index() {
+        for (i, k) in CounterKind::ALL.into_iter().enumerate() {
+            assert_eq!(k.index(), i);
+            assert_eq!(CounterKind::from_index(i), Some(k));
+        }
+        assert_eq!(CounterKind::from_index(NUM_COUNTERS), None);
+    }
+
+    #[test]
+    fn kinds_roundtrip_mnemonic() {
+        for k in CounterKind::ALL {
+            assert_eq!(CounterKind::from_mnemonic(k.mnemonic()), Some(k));
+        }
+        assert_eq!(CounterKind::from_mnemonic("BOGUS"), None);
+    }
+
+    #[test]
+    fn delta_and_dominates() {
+        let mut a = CounterSet::ZERO;
+        a[CounterKind::Instructions] = 100.0;
+        a[CounterKind::Cycles] = 200.0;
+        let mut b = a;
+        b[CounterKind::Instructions] = 150.0;
+        b[CounterKind::Cycles] = 260.0;
+        let d = b.delta_since(&a);
+        assert_eq!(d[CounterKind::Instructions], 50.0);
+        assert_eq!(d[CounterKind::Cycles], 60.0);
+        assert!(b.dominates(&a, 0.0));
+        assert!(!a.dominates(&b, 0.0));
+    }
+
+    #[test]
+    fn add_scale() {
+        let mut a = CounterSet::ZERO;
+        a[CounterKind::FpOps] = 2.0;
+        let b = a.add(&a).scale(3.0);
+        assert_eq!(b[CounterKind::FpOps], 12.0);
+        let mut c = a;
+        c.add_assign(&a);
+        assert_eq!(c[CounterKind::FpOps], 4.0);
+    }
+
+    #[test]
+    fn partial_projection() {
+        let mut full = CounterSet::ZERO;
+        full[CounterKind::Instructions] = 10.0;
+        full[CounterKind::L2Misses] = 3.0;
+        let p = PartialCounterSet::project(&full, &[CounterKind::Instructions]);
+        assert_eq!(p.get(CounterKind::Instructions), Some(10.0));
+        assert_eq!(p.get(CounterKind::L2Misses), None);
+        assert_eq!(p.len(), 1);
+        assert!(!p.is_empty());
+        assert!(PartialCounterSet::EMPTY.is_empty());
+    }
+
+    #[test]
+    fn partial_from_full_is_complete() {
+        let mut full = CounterSet::ZERO;
+        full[CounterKind::Branches] = 7.0;
+        let p = PartialCounterSet::from_full(&full);
+        assert_eq!(p.len(), NUM_COUNTERS);
+        assert_eq!(p.to_full_lossy(), full);
+    }
+
+    #[test]
+    fn iter_order_is_index_order() {
+        let mut full = CounterSet::ZERO;
+        for (i, k) in CounterKind::ALL.into_iter().enumerate() {
+            full[k] = i as f64;
+        }
+        let collected: Vec<_> = full.iter().map(|(_, v)| v).collect();
+        assert_eq!(collected, (0..NUM_COUNTERS).map(|i| i as f64).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,56 @@
+//! Error types for trace construction and (de)serialisation.
+
+use crate::time::TimeNs;
+use std::fmt;
+
+/// Errors raised by the trace model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A record was pushed with a timestamp earlier than its predecessor.
+    OutOfOrder {
+        /// Offending record's timestamp.
+        at: TimeNs,
+        /// Timestamp of the previous record.
+        previous: TimeNs,
+    },
+    /// The `.prv`-like input could not be parsed.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A record referenced a rank that the header did not declare.
+    UnknownRank(u32),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::OutOfOrder { at, previous } => {
+                write!(f, "record at {at} is earlier than previous record at {previous}")
+            }
+            ModelError::Parse { line, message } => {
+                write!(f, "trace parse error at line {line}: {message}")
+            }
+            ModelError::UnknownRank(r) => write!(f, "record references undeclared rank {r}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = ModelError::OutOfOrder { at: TimeNs(1), previous: TimeNs(2) };
+        assert!(e.to_string().contains("earlier"));
+        let e = ModelError::Parse { line: 3, message: "bad field".into() };
+        assert!(e.to_string().contains("line 3"));
+        let e = ModelError::UnknownRank(9);
+        assert!(e.to_string().contains('9'));
+    }
+}

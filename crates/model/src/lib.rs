@@ -1,0 +1,48 @@
+//! # phasefold-model
+//!
+//! Shared trace data model for the `phasefold` workspace — the Rust
+//! reproduction of *"Identifying Code Phases Using Piece-Wise Linear
+//! Regressions"* (Servat et al., IPDPS 2014).
+//!
+//! This crate plays the role that the Extrae/Paraver trace model plays in the
+//! original tool-chain: it defines
+//!
+//! * [`TimeNs`]/[`DurNs`] — nanosecond-resolution timestamps and durations,
+//! * [`CounterKind`]/[`CounterSet`] — the hardware-performance-counter model
+//!   (accumulating counters such as instructions, cycles and cache misses),
+//! * [`SourceRegistry`]/[`CallStack`] — interned source-code locations and
+//!   sampled call stacks, used to map phases back onto the application's
+//!   syntactical structure,
+//! * [`Record`]/[`RankTrace`]/[`Trace`] — the event stream produced by the
+//!   tracer (instrumented communication boundaries plus coarse-grain
+//!   samples),
+//! * [`Burst`] — *computation bursts*, the regions between consecutive
+//!   communication events that the clustering step consumes,
+//! * [`prv`] — a self-contained, line-oriented text trace format in the
+//!   spirit of Paraver's `.prv`, with a round-trip-tested writer and parser.
+//!
+//! All downstream crates (`phasefold-tracer`, `phasefold-cluster`,
+//! `phasefold-folding`, `phasefold`) exchange data exclusively through these
+//! types.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod burst;
+pub mod callstack;
+pub mod counter;
+pub mod error;
+pub mod event;
+pub mod prv;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use burst::{extract_bursts, extract_rank_bursts, Burst, BurstId};
+pub use callstack::{CallStack, RegionId, RegionInfo, RegionKind, SourceLocation, SourceRegistry};
+pub use counter::{CounterKind, CounterSet, PartialCounterSet, NUM_COUNTERS};
+pub use error::ModelError;
+pub use event::{CommKind, Record, Sample};
+pub use stats::{trace_stats, TraceStats};
+pub use time::{DurNs, TimeNs};
+pub use trace::{RankId, RankTrace, Trace};

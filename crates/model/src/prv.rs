@@ -1,0 +1,518 @@
+//! A self-contained, line-oriented text trace format in the spirit of
+//! Paraver's `.prv`.
+//!
+//! The original tool-chain persists Extrae traces to Paraver files and the
+//! analysis stages re-read them. We mirror that decoupling so the analyzer
+//! can run on traces produced elsewhere (or earlier). The format is
+//! deliberately simple and diff-friendly:
+//!
+//! ```text
+//! #PHASEFOLD_TRACE v1
+//! #RANKS 2
+//! #REGION 0 F main main.c 1
+//! #REGION 1 K solve/spmv solve.c 42
+//! R 0 E 1000 0                 // rank 0 enters region 0 at t=1000 ns
+//! C 0 E 5000 COLL v0 v1 ... v9 // comm enter, full counter read
+//! C 0 X 6000 COLL v0 v1 ... v9 // comm exit
+//! S 0 5500 INS:123,CYC:456 0;1@44   // sample: counters + call stack
+//! R 0 X 9000 0
+//! ```
+//!
+//! Floats use Rust's shortest round-trip representation, so
+//! write → parse → write is byte-stable. Tokens (region names, files) are
+//! percent-escaped so they may contain spaces.
+
+use crate::callstack::{CallStack, RegionId, RegionKind, SourceRegistry};
+use crate::counter::{CounterKind, CounterSet, PartialCounterSet, NUM_COUNTERS};
+use crate::error::ModelError;
+use crate::event::{CommKind, Record, Sample};
+use crate::time::TimeNs;
+use crate::trace::{RankId, Trace};
+use std::fmt::Write as _;
+
+/// Percent-escapes spaces, `%` and control characters in a token.
+fn escape(token: &str) -> String {
+    let mut out = String::with_capacity(token.len());
+    for c in token.chars() {
+        match c {
+            ' ' => out.push_str("%20"),
+            '%' => out.push_str("%25"),
+            '\n' => out.push_str("%0A"),
+            '\t' => out.push_str("%09"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverse of [`escape`].
+fn unescape(token: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(token.len());
+    let bytes = token.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = token.get(i + 1..i + 3).ok_or("truncated escape")?;
+            let v = u8::from_str_radix(hex, 16).map_err(|_| format!("bad escape %{hex}"))?;
+            out.push(v as char);
+            i += 3;
+        } else {
+            // Safe: iterating UTF-8 boundaries via chars would be cleaner but
+            // all multi-byte chars pass through unchanged byte-wise.
+            let ch_len = utf8_len(bytes[i]);
+            out.push_str(&token[i..i + ch_len]);
+            i += ch_len;
+        }
+    }
+    Ok(out)
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        b if b < 0x80 => 1,
+        b if b >= 0xF0 => 4,
+        b if b >= 0xE0 => 3,
+        _ => 2,
+    }
+}
+
+/// Serialises a trace to the `.prv`-like text format.
+///
+/// ```
+/// use phasefold_model::{prv, RankId, Record, RegionId, SourceRegistry, TimeNs, Trace};
+/// use phasefold_model::RegionKind;
+///
+/// let mut registry = SourceRegistry::new();
+/// let main = registry.intern("main", RegionKind::Function, "main.c", 1);
+/// let mut trace = Trace::with_ranks(registry, 1);
+/// trace
+///     .rank_mut(RankId(0))
+///     .unwrap()
+///     .push(Record::RegionEnter { time: TimeNs(100), region: main })
+///     .unwrap();
+///
+/// let text = prv::write_trace(&trace);
+/// let parsed = prv::parse_trace(&text).unwrap();
+/// assert_eq!(parsed.total_records(), 1);
+/// assert_eq!(prv::write_trace(&parsed), text); // byte-stable round trip
+/// ```
+pub fn write_trace(trace: &Trace) -> String {
+    let mut out = String::new();
+    out.push_str("#PHASEFOLD_TRACE v1\n");
+    let _ = writeln!(out, "#RANKS {}", trace.num_ranks());
+    for (id, info) in trace.registry.iter() {
+        let _ = writeln!(
+            out,
+            "#REGION {} {} {} {} {}",
+            id.0,
+            info.kind.tag(),
+            escape(&info.name),
+            escape(&info.location.file),
+            info.location.line
+        );
+    }
+    for (rank, stream) in trace.iter_ranks() {
+        for record in stream.records() {
+            write_record(&mut out, rank, record);
+        }
+    }
+    out
+}
+
+fn write_counter_set(out: &mut String, c: &CounterSet) {
+    for v in c.as_array() {
+        let _ = write!(out, " {v}");
+    }
+}
+
+fn write_record(out: &mut String, rank: RankId, record: &Record) {
+    match record {
+        Record::RegionEnter { time, region } => {
+            let _ = writeln!(out, "R {} E {} {}", rank.0, time.0, region.0);
+        }
+        Record::RegionExit { time, region } => {
+            let _ = writeln!(out, "R {} X {} {}", rank.0, time.0, region.0);
+        }
+        Record::CommEnter { time, kind, counters } => {
+            let _ = write!(out, "C {} E {} {}", rank.0, time.0, kind.mnemonic());
+            write_counter_set(out, counters);
+            out.push('\n');
+        }
+        Record::CommExit { time, kind, counters } => {
+            let _ = write!(out, "C {} X {} {}", rank.0, time.0, kind.mnemonic());
+            write_counter_set(out, counters);
+            out.push('\n');
+        }
+        Record::Sample(s) => {
+            let _ = write!(out, "S {} {} ", rank.0, s.time.0);
+            if s.counters.is_empty() {
+                out.push('-');
+            } else {
+                let mut first = true;
+                for (k, v) in s.counters.iter() {
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    let _ = write!(out, "{}:{v}", k.mnemonic());
+                }
+            }
+            out.push(' ');
+            if s.callstack.is_empty() {
+                out.push('-');
+            } else {
+                let mut first = true;
+                for f in &s.callstack.frames {
+                    if !first {
+                        out.push(';');
+                    }
+                    first = false;
+                    let _ = write!(out, "{}", f.0);
+                }
+                if s.callstack.leaf_line != 0 {
+                    let _ = write!(out, "@{}", s.callstack.leaf_line);
+                }
+            }
+            out.push('\n');
+        }
+    }
+}
+
+struct LineParser<'a> {
+    line_no: usize,
+    fields: std::str::SplitWhitespace<'a>,
+}
+
+impl<'a> LineParser<'a> {
+    fn err(&self, message: impl Into<String>) -> ModelError {
+        ModelError::Parse { line: self.line_no, message: message.into() }
+    }
+
+    fn next(&mut self, what: &str) -> Result<&'a str, ModelError> {
+        self.fields
+            .next()
+            .ok_or_else(|| self.err(format!("missing field: {what}")))
+    }
+
+    fn next_u32(&mut self, what: &str) -> Result<u32, ModelError> {
+        let f = self.next(what)?;
+        f.parse().map_err(|_| self.err(format!("bad {what}: {f:?}")))
+    }
+
+    fn next_u64(&mut self, what: &str) -> Result<u64, ModelError> {
+        let f = self.next(what)?;
+        f.parse().map_err(|_| self.err(format!("bad {what}: {f:?}")))
+    }
+
+    fn next_f64(&mut self, what: &str) -> Result<f64, ModelError> {
+        let f = self.next(what)?;
+        f.parse().map_err(|_| self.err(format!("bad {what}: {f:?}")))
+    }
+
+    fn counter_set(&mut self) -> Result<CounterSet, ModelError> {
+        let mut values = [0.0; NUM_COUNTERS];
+        for (i, v) in values.iter_mut().enumerate() {
+            *v = self.next_f64(&format!("counter[{i}]"))?;
+        }
+        Ok(CounterSet::from_array(values))
+    }
+}
+
+/// Parses the `.prv`-like text format back into a [`Trace`].
+pub fn parse_trace(input: &str) -> Result<Trace, ModelError> {
+    let mut lines = input.lines().enumerate();
+    let (_, header) = lines.next().ok_or(ModelError::Parse {
+        line: 1,
+        message: "empty input".into(),
+    })?;
+    if header.trim() != "#PHASEFOLD_TRACE v1" {
+        return Err(ModelError::Parse {
+            line: 1,
+            message: format!("bad header: {header:?}"),
+        });
+    }
+    let mut registry = SourceRegistry::new();
+    let mut trace: Option<Trace> = None;
+    let mut pending_regions: Vec<(u32, RegionKind, String, String, u32)> = Vec::new();
+    let mut n_ranks: Option<usize> = None;
+
+    for (idx, raw) in lines {
+        let line_no = idx + 1;
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        let mut p = LineParser { line_no, fields: line.split_whitespace() };
+        let tag = p.next("record tag")?;
+        match tag {
+            "#RANKS" => {
+                n_ranks = Some(p.next_u32("rank count")? as usize);
+            }
+            "#REGION" => {
+                let id = p.next_u32("region id")?;
+                let kind_tok = p.next("region kind")?;
+                let kind_char = kind_tok.chars().next().unwrap_or('?');
+                let kind = RegionKind::from_tag(kind_char)
+                    .ok_or_else(|| p.err(format!("bad region kind {kind_tok:?}")))?;
+                let name = unescape(p.next("region name")?).map_err(|e| p.err(e))?;
+                let file = unescape(p.next("region file")?).map_err(|e| p.err(e))?;
+                let line_nr = p.next_u32("region line")?;
+                pending_regions.push((id, kind, name, file, line_nr));
+            }
+            "R" | "C" | "S" => {
+                // First body record: freeze the header.
+                if trace.is_none() {
+                    let ranks = n_ranks.ok_or_else(|| p.err("missing #RANKS header"))?;
+                    pending_regions.sort_by_key(|(id, ..)| *id);
+                    for (expect, (id, kind, name, file, line_nr)) in
+                        pending_regions.iter().enumerate()
+                    {
+                        if *id as usize != expect {
+                            return Err(p.err(format!(
+                                "region ids must be dense, found {id} at position {expect}"
+                            )));
+                        }
+                        registry.intern(name, *kind, file, *line_nr);
+                    }
+                    trace = Some(Trace::with_ranks(std::mem::take(&mut registry), ranks));
+                }
+                let trace = trace.as_mut().expect("just initialised");
+                let rank = p.next_u32("rank")?;
+                let record = match tag {
+                    "R" => {
+                        let dir = p.next("direction")?;
+                        let time = TimeNs(p.next_u64("time")?);
+                        let region = RegionId(p.next_u32("region")?);
+                        match dir {
+                            "E" => Record::RegionEnter { time, region },
+                            "X" => Record::RegionExit { time, region },
+                            other => return Err(p.err(format!("bad direction {other:?}"))),
+                        }
+                    }
+                    "C" => {
+                        let dir = p.next("direction")?;
+                        let time = TimeNs(p.next_u64("time")?);
+                        let kind_tok = p.next("comm kind")?;
+                        let kind = CommKind::from_mnemonic(kind_tok)
+                            .ok_or_else(|| p.err(format!("bad comm kind {kind_tok:?}")))?;
+                        let counters = p.counter_set()?;
+                        match dir {
+                            "E" => Record::CommEnter { time, kind, counters },
+                            "X" => Record::CommExit { time, kind, counters },
+                            other => return Err(p.err(format!("bad direction {other:?}"))),
+                        }
+                    }
+                    "S" => {
+                        let time = TimeNs(p.next_u64("time")?);
+                        let counters_tok = p.next("sample counters")?;
+                        let stack_tok = p.next("sample callstack")?;
+                        let counters = parse_sample_counters(&p, counters_tok)?;
+                        let callstack = parse_callstack(&p, stack_tok)?;
+                        Record::Sample(Sample { time, counters, callstack })
+                    }
+                    _ => unreachable!(),
+                };
+                let stream = trace
+                    .rank_mut(RankId(rank))
+                    .ok_or(ModelError::UnknownRank(rank))?;
+                stream.push(record)?;
+            }
+            other => {
+                return Err(ModelError::Parse {
+                    line: line_no,
+                    message: format!("unknown record tag {other:?}"),
+                });
+            }
+        }
+    }
+
+    // Header-only trace (no body records): still valid.
+    match trace {
+        Some(t) => Ok(t),
+        None => {
+            let ranks = n_ranks.ok_or(ModelError::Parse {
+                line: 1,
+                message: "missing #RANKS header".into(),
+            })?;
+            pending_regions.sort_by_key(|(id, ..)| *id);
+            for (id, kind, name, file, line_nr) in &pending_regions {
+                let _ = id;
+                registry.intern(name, *kind, file, *line_nr);
+            }
+            Ok(Trace::with_ranks(registry, ranks))
+        }
+    }
+}
+
+fn parse_sample_counters(
+    p: &LineParser<'_>,
+    tok: &str,
+) -> Result<PartialCounterSet, ModelError> {
+    if tok == "-" {
+        return Ok(PartialCounterSet::EMPTY);
+    }
+    let mut out = PartialCounterSet::EMPTY;
+    for pair in tok.split(',') {
+        let (k, v) = pair
+            .split_once(':')
+            .ok_or_else(|| p.err(format!("bad counter pair {pair:?}")))?;
+        let kind = CounterKind::from_mnemonic(k)
+            .ok_or_else(|| p.err(format!("unknown counter {k:?}")))?;
+        let value: f64 = v
+            .parse()
+            .map_err(|_| p.err(format!("bad counter value {v:?}")))?;
+        out.set(kind, value);
+    }
+    Ok(out)
+}
+
+fn parse_callstack(p: &LineParser<'_>, tok: &str) -> Result<CallStack, ModelError> {
+    if tok == "-" {
+        return Ok(CallStack::empty());
+    }
+    let (frames_tok, leaf_line) = match tok.rsplit_once('@') {
+        Some((f, l)) => {
+            let line: u32 = l
+                .parse()
+                .map_err(|_| p.err(format!("bad leaf line {l:?}")))?;
+            (f, line)
+        }
+        None => (tok, 0),
+    };
+    let mut frames = Vec::new();
+    for f in frames_tok.split(';') {
+        let id: u32 = f
+            .parse()
+            .map_err(|_| p.err(format!("bad frame id {f:?}")))?;
+        frames.push(RegionId(id));
+    }
+    Ok(CallStack::new(frames, leaf_line))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callstack::RegionKind;
+
+    fn sample_trace() -> Trace {
+        let mut registry = SourceRegistry::new();
+        let main = registry.intern("main", RegionKind::Function, "main.c", 1);
+        let spmv = registry.intern("solve spmv", RegionKind::Kernel, "dir with space/solve.c", 42);
+        let mut trace = Trace::with_ranks(registry, 2);
+        let mut c0 = CounterSet::ZERO;
+        c0[CounterKind::Instructions] = 1234.5;
+        c0[CounterKind::Cycles] = 5e9;
+        let stream = trace.rank_mut(RankId(0)).unwrap();
+        stream
+            .push(Record::RegionEnter { time: TimeNs(10), region: main })
+            .unwrap();
+        stream
+            .push(Record::CommExit { time: TimeNs(100), kind: CommKind::Collective, counters: c0 })
+            .unwrap();
+        let mut pc = PartialCounterSet::EMPTY;
+        pc.set(CounterKind::Instructions, 0.125);
+        stream
+            .push(Record::Sample(Sample {
+                time: TimeNs(150),
+                counters: pc,
+                callstack: CallStack::new(vec![main, spmv], 44),
+            }))
+            .unwrap();
+        stream
+            .push(Record::CommEnter {
+                time: TimeNs(300),
+                kind: CommKind::Send,
+                counters: c0.scale(2.0),
+            })
+            .unwrap();
+        let stream1 = trace.rank_mut(RankId(1)).unwrap();
+        stream1
+            .push(Record::Sample(Sample {
+                time: TimeNs(5),
+                counters: PartialCounterSet::EMPTY,
+                callstack: CallStack::empty(),
+            }))
+            .unwrap();
+        trace
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let trace = sample_trace();
+        let text = write_trace(&trace);
+        let parsed = parse_trace(&text).unwrap();
+        assert_eq!(parsed.num_ranks(), trace.num_ranks());
+        assert_eq!(parsed.registry.len(), trace.registry.len());
+        for (id, info) in trace.registry.iter() {
+            assert_eq!(parsed.registry.get(id), Some(info));
+        }
+        for (rank, stream) in trace.iter_ranks() {
+            assert_eq!(parsed.rank(rank).unwrap().records(), stream.records());
+        }
+    }
+
+    #[test]
+    fn write_is_stable_under_reparse() {
+        let trace = sample_trace();
+        let text1 = write_trace(&trace);
+        let text2 = write_trace(&parse_trace(&text1).unwrap());
+        assert_eq!(text1, text2);
+    }
+
+    #[test]
+    fn escaping_roundtrip() {
+        for s in ["plain", "with space", "100%", "tab\there", "uni¢ode", ""] {
+            assert_eq!(unescape(&escape(s)).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(parse_trace("#SOMETHING_ELSE\n").is_err());
+        assert!(parse_trace("").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_rank() {
+        let input = "#PHASEFOLD_TRACE v1\n#RANKS 1\nR 5 E 0 0\n";
+        assert_eq!(parse_trace(input).unwrap_err(), ModelError::UnknownRank(5));
+    }
+
+    #[test]
+    fn rejects_sparse_region_ids() {
+        let input = "#PHASEFOLD_TRACE v1\n#RANKS 1\n#REGION 3 F main main.c 1\nR 0 E 0 0\n";
+        assert!(matches!(parse_trace(input), Err(ModelError::Parse { .. })));
+    }
+
+    #[test]
+    fn header_only_trace_parses() {
+        let input = "#PHASEFOLD_TRACE v1\n#RANKS 3\n#REGION 0 F main main.c 1\n";
+        let t = parse_trace(input).unwrap();
+        assert_eq!(t.num_ranks(), 3);
+        assert_eq!(t.registry.len(), 1);
+        assert_eq!(t.total_records(), 0);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let input = "#PHASEFOLD_TRACE v1\n#RANKS 1\nR 0 E notatime 0\n";
+        match parse_trace(input) {
+            Err(ModelError::Parse { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sample_without_counters_or_stack() {
+        let input = "#PHASEFOLD_TRACE v1\n#RANKS 1\nS 0 500 - -\n";
+        let t = parse_trace(input).unwrap();
+        let recs = t.rank(RankId(0)).unwrap().records();
+        match &recs[0] {
+            Record::Sample(s) => {
+                assert!(s.counters.is_empty());
+                assert!(s.callstack.is_empty());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Nanosecond-resolution time points and durations.
+//!
+//! Traces span seconds to hours while phases inside a computation burst can
+//! be microseconds long, so timestamps are kept as integer nanoseconds
+//! (`u64`): exact ordering, no floating-point drift across long traces.
+//! Conversions to `f64` seconds are provided for the numerical layers.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// An absolute time point in integer nanoseconds since trace start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TimeNs(pub u64);
+
+/// A non-negative duration in integer nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct DurNs(pub u64);
+
+impl TimeNs {
+    /// The trace origin (t = 0).
+    pub const ZERO: TimeNs = TimeNs(0);
+
+    /// Builds a time point from floating-point seconds, rounding to the
+    /// nearest nanosecond. Negative inputs clamp to zero.
+    pub fn from_secs_f64(secs: f64) -> TimeNs {
+        TimeNs((secs.max(0.0) * 1e9).round() as u64)
+    }
+
+    /// This time point expressed in floating-point seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 * 1e-9
+    }
+
+    /// Duration from `earlier` to `self`; zero if `earlier` is later.
+    pub fn saturating_since(self, earlier: TimeNs) -> DurNs {
+        DurNs(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Fraction of the way from `start` to `end` that `self` lies at.
+    ///
+    /// This is the time-axis normalisation used by folding: a sample taken
+    /// at `self` inside an instance `[start, end]` maps to `x ∈ [0, 1]`.
+    /// Returns 0.0 for an empty interval.
+    pub fn normalized_within(self, start: TimeNs, end: TimeNs) -> f64 {
+        if end <= start {
+            return 0.0;
+        }
+        let span = (end.0 - start.0) as f64;
+        ((self.0.saturating_sub(start.0)) as f64 / span).clamp(0.0, 1.0)
+    }
+}
+
+impl DurNs {
+    /// The zero duration.
+    pub const ZERO: DurNs = DurNs(0);
+
+    /// Builds a duration from floating-point seconds, rounding to the
+    /// nearest nanosecond. Negative inputs clamp to zero.
+    pub fn from_secs_f64(secs: f64) -> DurNs {
+        DurNs((secs.max(0.0) * 1e9).round() as u64)
+    }
+
+    /// Builds a duration from integer microseconds.
+    pub fn from_micros(us: u64) -> DurNs {
+        DurNs(us * 1_000)
+    }
+
+    /// Builds a duration from integer milliseconds.
+    pub fn from_millis(ms: u64) -> DurNs {
+        DurNs(ms * 1_000_000)
+    }
+
+    /// This duration expressed in floating-point seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 * 1e-9
+    }
+
+    /// Scales the duration by a non-negative factor, rounding to the
+    /// nearest nanosecond.
+    pub fn scale(self, factor: f64) -> DurNs {
+        debug_assert!(factor >= 0.0, "duration scale factor must be >= 0");
+        DurNs((self.0 as f64 * factor.max(0.0)).round() as u64)
+    }
+
+    /// True if this is the zero duration.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add<DurNs> for TimeNs {
+    type Output = TimeNs;
+    fn add(self, rhs: DurNs) -> TimeNs {
+        TimeNs(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<DurNs> for TimeNs {
+    fn add_assign(&mut self, rhs: DurNs) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<TimeNs> for TimeNs {
+    type Output = DurNs;
+    /// Panics in debug builds if `rhs` is later than `self`.
+    fn sub(self, rhs: TimeNs) -> DurNs {
+        debug_assert!(rhs <= self, "negative duration: {rhs:?} > {self:?}");
+        DurNs(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for DurNs {
+    type Output = DurNs;
+    fn add(self, rhs: DurNs) -> DurNs {
+        DurNs(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for DurNs {
+    fn add_assign(&mut self, rhs: DurNs) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for DurNs {
+    type Output = DurNs;
+    fn sub(self, rhs: DurNs) -> DurNs {
+        DurNs(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for DurNs {
+    fn sub_assign(&mut self, rhs: DurNs) {
+        self.0 = self.0.saturating_sub(rhs.0);
+    }
+}
+
+impl fmt::Display for TimeNs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for DurNs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.as_secs_f64();
+        if s >= 1.0 {
+            write!(f, "{s:.3}s")
+        } else if s >= 1e-3 {
+            write!(f, "{:.3}ms", s * 1e3)
+        } else {
+            write!(f, "{:.3}us", s * 1e6)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_secs() {
+        let t = TimeNs::from_secs_f64(1.25);
+        assert_eq!(t.0, 1_250_000_000);
+        assert!((t.as_secs_f64() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_secs_clamp_to_zero() {
+        assert_eq!(TimeNs::from_secs_f64(-3.0), TimeNs::ZERO);
+        assert_eq!(DurNs::from_secs_f64(-0.5), DurNs::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = TimeNs(100) + DurNs(50);
+        assert_eq!(t, TimeNs(150));
+        assert_eq!(t - TimeNs(100), DurNs(50));
+        assert_eq!(DurNs(10) + DurNs(5), DurNs(15));
+        assert_eq!(DurNs(10) - DurNs(15), DurNs::ZERO);
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        assert_eq!(TimeNs(5).saturating_since(TimeNs(10)), DurNs::ZERO);
+        assert_eq!(TimeNs(10).saturating_since(TimeNs(5)), DurNs(5));
+    }
+
+    #[test]
+    fn normalized_within_interval() {
+        let (a, b) = (TimeNs(1000), TimeNs(2000));
+        assert_eq!(TimeNs(1000).normalized_within(a, b), 0.0);
+        assert_eq!(TimeNs(2000).normalized_within(a, b), 1.0);
+        assert!((TimeNs(1500).normalized_within(a, b) - 0.5).abs() < 1e-12);
+        // Outside the interval clamps.
+        assert_eq!(TimeNs(500).normalized_within(a, b), 0.0);
+        assert_eq!(TimeNs(9000).normalized_within(a, b), 1.0);
+        // Degenerate interval.
+        assert_eq!(TimeNs(1000).normalized_within(a, a), 0.0);
+    }
+
+    #[test]
+    fn duration_scale_rounds() {
+        assert_eq!(DurNs(100).scale(0.5), DurNs(50));
+        assert_eq!(DurNs(3).scale(0.5), DurNs(2)); // 1.5 rounds to 2
+        assert_eq!(DurNs(100).scale(0.0), DurNs::ZERO);
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(format!("{}", DurNs::from_millis(12)), "12.000ms");
+        assert_eq!(format!("{}", DurNs::from_micros(7)), "7.000us");
+        assert_eq!(format!("{}", DurNs::from_secs_f64(2.5)), "2.500s");
+    }
+}

@@ -1,0 +1,178 @@
+//! Whole-trace containers: per-rank event streams plus the shared source
+//! registry.
+
+use crate::callstack::SourceRegistry;
+use crate::error::ModelError;
+use crate::event::Record;
+use crate::time::TimeNs;
+
+/// Identifier of an SPMD rank (MPI-rank analogue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RankId(pub u32);
+
+/// One rank's time-ordered event stream.
+#[derive(Debug, Clone, Default)]
+pub struct RankTrace {
+    records: Vec<Record>,
+}
+
+impl RankTrace {
+    /// An empty stream.
+    pub fn new() -> RankTrace {
+        RankTrace::default()
+    }
+
+    /// Appends a record. Records must be pushed in non-decreasing time
+    /// order; out-of-order pushes return [`ModelError::OutOfOrder`].
+    pub fn push(&mut self, record: Record) -> Result<(), ModelError> {
+        if let Some(last) = self.records.last() {
+            if record.time() < last.time() {
+                return Err(ModelError::OutOfOrder {
+                    at: record.time(),
+                    previous: last.time(),
+                });
+            }
+        }
+        self.records.push(record);
+        Ok(())
+    }
+
+    /// The records, in time order.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if no records were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Timestamp of the last record, or `t = 0` for an empty stream.
+    pub fn end_time(&self) -> TimeNs {
+        self.records.last().map_or(TimeNs::ZERO, Record::time)
+    }
+
+    /// Iterates only the sampling records.
+    pub fn samples(&self) -> impl Iterator<Item = &crate::event::Sample> {
+        self.records.iter().filter_map(|r| match r {
+            Record::Sample(s) => Some(s),
+            _ => None,
+        })
+    }
+}
+
+/// A complete trace: the shared region registry plus one stream per rank.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Interned source regions referenced by the streams.
+    pub registry: SourceRegistry,
+    ranks: Vec<RankTrace>,
+}
+
+impl Trace {
+    /// A trace with `n_ranks` empty streams.
+    pub fn with_ranks(registry: SourceRegistry, n_ranks: usize) -> Trace {
+        Trace {
+            registry,
+            ranks: vec![RankTrace::new(); n_ranks],
+        }
+    }
+
+    /// Number of ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// The stream of rank `r`, if it exists.
+    pub fn rank(&self, r: RankId) -> Option<&RankTrace> {
+        self.ranks.get(r.0 as usize)
+    }
+
+    /// Mutable stream of rank `r`, if it exists.
+    pub fn rank_mut(&mut self, r: RankId) -> Option<&mut RankTrace> {
+        self.ranks.get_mut(r.0 as usize)
+    }
+
+    /// Iterates `(rank, stream)` pairs.
+    pub fn iter_ranks(&self) -> impl Iterator<Item = (RankId, &RankTrace)> {
+        self.ranks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (RankId(i as u32), t))
+    }
+
+    /// Appends an already-built rank stream, returning its id.
+    pub fn push_rank(&mut self, stream: RankTrace) -> RankId {
+        let id = RankId(self.ranks.len() as u32);
+        self.ranks.push(stream);
+        id
+    }
+
+    /// Total number of records across all ranks.
+    pub fn total_records(&self) -> usize {
+        self.ranks.iter().map(RankTrace::len).sum()
+    }
+
+    /// Latest timestamp across all ranks.
+    pub fn end_time(&self) -> TimeNs {
+        self.ranks
+            .iter()
+            .map(RankTrace::end_time)
+            .max()
+            .unwrap_or(TimeNs::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callstack::RegionId;
+
+    fn enter(t: u64) -> Record {
+        Record::RegionEnter { time: TimeNs(t), region: RegionId(0) }
+    }
+
+    #[test]
+    fn push_enforces_time_order() {
+        let mut rt = RankTrace::new();
+        rt.push(enter(10)).unwrap();
+        rt.push(enter(10)).unwrap(); // equal timestamps allowed
+        rt.push(enter(20)).unwrap();
+        let err = rt.push(enter(5)).unwrap_err();
+        assert!(matches!(err, ModelError::OutOfOrder { .. }));
+        assert_eq!(rt.len(), 3);
+        assert_eq!(rt.end_time(), TimeNs(20));
+    }
+
+    #[test]
+    fn trace_rank_access() {
+        let mut tr = Trace::with_ranks(SourceRegistry::new(), 2);
+        assert_eq!(tr.num_ranks(), 2);
+        tr.rank_mut(RankId(1)).unwrap().push(enter(3)).unwrap();
+        assert_eq!(tr.rank(RankId(1)).unwrap().len(), 1);
+        assert_eq!(tr.rank(RankId(0)).unwrap().len(), 0);
+        assert!(tr.rank(RankId(2)).is_none());
+        assert_eq!(tr.total_records(), 1);
+        assert_eq!(tr.end_time(), TimeNs(3));
+    }
+
+    #[test]
+    fn push_rank_assigns_dense_ids() {
+        let mut tr = Trace::default();
+        let a = tr.push_rank(RankTrace::new());
+        let b = tr.push_rank(RankTrace::new());
+        assert_eq!(a, RankId(0));
+        assert_eq!(b, RankId(1));
+    }
+
+    #[test]
+    fn empty_trace_end_time_is_zero() {
+        let tr = Trace::default();
+        assert_eq!(tr.end_time(), TimeNs::ZERO);
+    }
+}

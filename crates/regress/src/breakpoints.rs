@@ -1,0 +1,237 @@
+//! Muggeo-style iterative breakpoint refinement for the continuous model.
+//!
+//! The DP proposal ([`crate::segdp`]) optimises a *discontinuous* model on
+//! *binned* data, so its breakpoints are only approximately right for the
+//! continuous hinge model on the raw scatter. Muggeo's classic linearisation
+//! (Muggeo 2003, "Estimating regression models with unknown break-points")
+//! fixes that: alongside each hinge column `(x − ψ_j)₊` add its derivative
+//! column `−I(x > ψ_j)`; after a joint linear fit, `δ_j/γ_j` estimates how
+//! far the true breakpoint is from `ψ_j`, and the update
+//! `ψ_j ← ψ_j + δ_j/γ_j` converges in a handful of iterations.
+
+use crate::linalg::{wls, Mat};
+
+/// Controls for [`refine_breakpoints`].
+#[derive(Debug, Clone, Copy)]
+pub struct RefineConfig {
+    /// Maximum Muggeo iterations.
+    pub max_iters: usize,
+    /// Convergence threshold on the largest breakpoint move (x units).
+    pub tol: f64,
+    /// Minimum separation enforced between breakpoints and from the domain
+    /// edges (x units).
+    pub min_separation: f64,
+    /// Per-iteration cap on how far a breakpoint may move (x units);
+    /// stabilises the linearisation on noisy data.
+    pub max_step: f64,
+}
+
+impl Default for RefineConfig {
+    fn default() -> RefineConfig {
+        RefineConfig {
+            max_iters: 12,
+            tol: 1e-5,
+            min_separation: 1e-3,
+            max_step: 0.15,
+        }
+    }
+}
+
+/// Iteratively refines `breakpoints` on `(xs, ys)` within `[lo, hi]`.
+///
+/// Returns the refined, sorted breakpoints. Breakpoints that collapse onto a
+/// neighbour or an edge (their segment vanished — the DP over-proposed) are
+/// dropped, so the output may be shorter than the input. The inputs need not
+/// be sorted by x.
+pub fn refine_breakpoints(
+    xs: &[f64],
+    ys: &[f64],
+    weights: Option<&[f64]>,
+    breakpoints: &[f64],
+    lo: f64,
+    hi: f64,
+    config: &RefineConfig,
+) -> Vec<f64> {
+    let mut psi: Vec<f64> = breakpoints.to_vec();
+    psi.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    psi = enforce_separation(psi, lo, hi, config.min_separation);
+    if psi.is_empty() || xs.len() < 2 * psi.len() + 2 {
+        return psi;
+    }
+
+    for _ in 0..config.max_iters {
+        let k = psi.len();
+        // Design: [1, x, (x−ψ_j)₊ …, −I(x>ψ_j) …]
+        let mut design = Mat::zeros(xs.len(), 2 + 2 * k);
+        for (i, &x) in xs.iter().enumerate() {
+            let row = design.row_mut(i);
+            row[0] = 1.0;
+            row[1] = x;
+            for (j, &p) in psi.iter().enumerate() {
+                row[2 + j] = (x - p).max(0.0);
+                row[2 + k + j] = if x > p { -1.0 } else { 0.0 };
+            }
+        }
+        let Ok(beta) = wls(&design, ys, weights) else {
+            break;
+        };
+        let mut max_move: f64 = 0.0;
+        let mut next = psi.clone();
+        for j in 0..k {
+            let gamma = beta[2 + j];
+            let delta = beta[2 + k + j];
+            if gamma.abs() < 1e-12 {
+                continue; // no kink here; leave ψ_j, it will be pruned by BIC
+            }
+            let step = (delta / gamma).clamp(-config.max_step, config.max_step);
+            next[j] = (psi[j] + step).clamp(lo, hi);
+            max_move = max_move.max(step.abs());
+        }
+        next.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        psi = enforce_separation(next, lo, hi, config.min_separation);
+        if psi.is_empty() || max_move < config.tol {
+            break;
+        }
+    }
+    psi
+}
+
+/// Sorts and de-duplicates breakpoints, dropping any that violate the
+/// minimum separation from a neighbour or the domain edges.
+pub fn enforce_separation(mut psi: Vec<f64>, lo: f64, hi: f64, min_sep: f64) -> Vec<f64> {
+    psi.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mut out: Vec<f64> = Vec::with_capacity(psi.len());
+    for p in psi {
+        let ok_lo = p >= lo + min_sep;
+        let ok_hi = p <= hi - min_sep;
+        let ok_prev = out.last().is_none_or(|&q| p - q >= min_sep);
+        if ok_lo && ok_hi && ok_prev {
+            out.push(p);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_phase(x: f64, brk: f64) -> f64 {
+        if x < brk {
+            3.0 * x
+        } else {
+            3.0 * brk + 0.5 * (x - brk)
+        }
+    }
+
+    fn grid(n: usize) -> Vec<f64> {
+        (0..n).map(|i| i as f64 / (n - 1) as f64).collect()
+    }
+
+    #[test]
+    fn refines_offset_breakpoint_to_truth() {
+        let xs = grid(200);
+        let ys: Vec<f64> = xs.iter().map(|&x| two_phase(x, 0.43)).collect();
+        let refined =
+            refine_breakpoints(&xs, &ys, None, &[0.55], 0.0, 1.0, &RefineConfig::default());
+        assert_eq!(refined.len(), 1);
+        assert!(
+            (refined[0] - 0.43).abs() < 5e-3,
+            "refined to {}",
+            refined[0]
+        );
+    }
+
+    #[test]
+    fn exact_start_stays_put() {
+        let xs = grid(100);
+        let ys: Vec<f64> = xs.iter().map(|&x| two_phase(x, 0.5)).collect();
+        let refined =
+            refine_breakpoints(&xs, &ys, None, &[0.5], 0.0, 1.0, &RefineConfig::default());
+        assert!((refined[0] - 0.5).abs() < 5e-3);
+    }
+
+    #[test]
+    fn two_breakpoints_both_refine() {
+        let xs = grid(300);
+        let truth = |x: f64| {
+            if x < 0.3 {
+                2.0 * x
+            } else if x < 0.7 {
+                0.6 + 0.1 * (x - 0.3)
+            } else {
+                0.64 + 4.0 * (x - 0.7)
+            }
+        };
+        let ys: Vec<f64> = xs.iter().map(|&x| truth(x)).collect();
+        let refined = refine_breakpoints(
+            &xs,
+            &ys,
+            None,
+            &[0.25, 0.78],
+            0.0,
+            1.0,
+            &RefineConfig::default(),
+        );
+        assert_eq!(refined.len(), 2);
+        assert!((refined[0] - 0.3).abs() < 0.01, "{refined:?}");
+        assert!((refined[1] - 0.7).abs() < 0.01, "{refined:?}");
+    }
+
+    #[test]
+    fn noisy_data_still_converges_nearby() {
+        let xs = grid(400);
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| two_phase(x, 0.6) + 0.01 * ((i * 2654435761) % 97) as f64 / 97.0)
+            .collect();
+        let refined =
+            refine_breakpoints(&xs, &ys, None, &[0.5], 0.0, 1.0, &RefineConfig::default());
+        assert_eq!(refined.len(), 1);
+        assert!((refined[0] - 0.6).abs() < 0.03, "{refined:?}");
+    }
+
+    #[test]
+    fn collapsing_breakpoints_are_dropped() {
+        // Pure line: any breakpoint is spurious; separation pruning plus the
+        // clamped steps may leave it, but two coincident ones must merge.
+        let psi = enforce_separation(vec![0.5, 0.5005, 0.9999], 0.0, 1.0, 1e-2);
+        assert_eq!(psi.len(), 1);
+        assert!((psi[0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn enforce_separation_respects_edges() {
+        let psi = enforce_separation(vec![0.0005, 0.5, 0.9999], 0.0, 1.0, 1e-3);
+        assert_eq!(psi, vec![0.5]);
+    }
+
+    #[test]
+    fn too_few_points_returns_input() {
+        let refined = refine_breakpoints(
+            &[0.1, 0.9],
+            &[0.1, 0.9],
+            None,
+            &[0.5],
+            0.0,
+            1.0,
+            &RefineConfig::default(),
+        );
+        assert_eq!(refined, vec![0.5]);
+    }
+
+    #[test]
+    fn empty_breakpoints_nop() {
+        let refined = refine_breakpoints(
+            &grid(10),
+            &grid(10),
+            None,
+            &[],
+            0.0,
+            1.0,
+            &RefineConfig::default(),
+        );
+        assert!(refined.is_empty());
+    }
+}

@@ -1,0 +1,133 @@
+//! Binning of folded scatters onto a uniform grid.
+//!
+//! The DP breakpoint proposal works on binned data: folding can pool tens of
+//! thousands of samples, and the O(B²·k) segmentation only needs a few
+//! hundred well-averaged grid points to locate candidate breakpoints.
+
+/// A scatter reduced to per-bin weighted means.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BinnedSeries {
+    /// Bin centres (x), ascending; only non-empty bins are kept.
+    pub x: Vec<f64>,
+    /// Weighted mean of y per bin.
+    pub y: Vec<f64>,
+    /// Total weight per bin (used as WLS weight downstream).
+    pub weight: Vec<f64>,
+}
+
+impl BinnedSeries {
+    /// Number of (non-empty) bins.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// True if no bin received any point.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+}
+
+/// Bins `(xs, ys)` with optional per-point weights into `n_bins` equal-width
+/// bins over `[lo, hi]`. Points outside the range are clamped into the edge
+/// bins. Empty bins are dropped.
+pub fn bin_series(
+    xs: &[f64],
+    ys: &[f64],
+    weights: Option<&[f64]>,
+    n_bins: usize,
+    lo: f64,
+    hi: f64,
+) -> BinnedSeries {
+    assert_eq!(xs.len(), ys.len());
+    assert!(n_bins > 0, "need at least one bin");
+    assert!(hi > lo, "empty binning range");
+    let width = (hi - lo) / n_bins as f64;
+    let mut sum_w = vec![0.0f64; n_bins];
+    let mut sum_wy = vec![0.0f64; n_bins];
+    for (i, (&x, &y)) in xs.iter().zip(ys).enumerate() {
+        let w = weights.map_or(1.0, |w| w[i]);
+        if w <= 0.0 {
+            continue;
+        }
+        let idx = (((x - lo) / width) as isize).clamp(0, n_bins as isize - 1) as usize;
+        sum_w[idx] += w;
+        sum_wy[idx] += w * y;
+    }
+    let mut out = BinnedSeries { x: Vec::new(), y: Vec::new(), weight: Vec::new() };
+    for b in 0..n_bins {
+        if sum_w[b] > 0.0 {
+            out.x.push(lo + (b as f64 + 0.5) * width);
+            out.y.push(sum_wy[b] / sum_w[b]);
+            out.weight.push(sum_w[b]);
+        }
+    }
+    out
+}
+
+/// Convenience: bins over the data's own x-range (falling back to `[0, 1]`
+/// for an empty input).
+pub fn bin_series_auto(xs: &[f64], ys: &[f64], n_bins: usize) -> BinnedSeries {
+    let (lo, hi) = xs.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &x| {
+        (l.min(x), h.max(x))
+    });
+    if !lo.is_finite() || hi <= lo {
+        return bin_series(xs, ys, None, n_bins, 0.0, 1.0);
+    }
+    bin_series(xs, ys, None, n_bins, lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_average_points() {
+        let xs = [0.1, 0.15, 0.9];
+        let ys = [1.0, 3.0, 10.0];
+        let b = bin_series(&xs, &ys, None, 2, 0.0, 1.0);
+        assert_eq!(b.len(), 2);
+        assert!((b.x[0] - 0.25).abs() < 1e-12);
+        assert!((b.y[0] - 2.0).abs() < 1e-12);
+        assert_eq!(b.weight[0], 2.0);
+        assert!((b.y[1] - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_are_respected() {
+        let xs = [0.1, 0.2];
+        let ys = [0.0, 10.0];
+        let w = [3.0, 1.0];
+        let b = bin_series(&xs, &ys, Some(&w), 1, 0.0, 1.0);
+        assert!((b.y[0] - 2.5).abs() < 1e-12);
+        assert_eq!(b.weight[0], 4.0);
+    }
+
+    #[test]
+    fn zero_weight_points_ignored() {
+        let b = bin_series(&[0.5], &[1.0], Some(&[0.0]), 4, 0.0, 1.0);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_points_clamp_to_edge_bins() {
+        let b = bin_series(&[-5.0, 5.0], &[1.0, 2.0], None, 2, 0.0, 1.0);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.y, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn empty_bins_dropped() {
+        let b = bin_series(&[0.05, 0.95], &[1.0, 2.0], None, 10, 0.0, 1.0);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn auto_range_handles_degenerate_input() {
+        let b = bin_series_auto(&[], &[], 5);
+        assert!(b.is_empty());
+        let b = bin_series_auto(&[2.0, 2.0], &[1.0, 3.0], 5);
+        // zero x-range -> falls back to [0,1], both points clamp into one bin
+        assert_eq!(b.len(), 1);
+        assert!((b.y[0] - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,414 @@
+//! The continuous piece-wise linear model, parametrised in *segment-slope*
+//! space.
+//!
+//! Given ordered interior breakpoints `ψ_1 < … < ψ_k` inside a domain
+//! `[lo, hi]`, the model is
+//!
+//! ```text
+//! y(x) = c + Σ_j  s_j · overlap_j(x),     overlap_j(x) = clamp(x − e_j, 0, e_{j+1} − e_j)
+//! ```
+//!
+//! with segment edges `e = [lo, ψ_1, …, ψ_k, hi]`. This is algebraically the
+//! classic hinge form `c' + β₁x + Σ γ_j (x − ψ_j)₊`, but the slope-space
+//! parametrisation makes the monotonicity constraint of accumulating
+//! counters (`s_j ≥ 0`) a plain non-negativity bound — solvable exactly by
+//! NNLS — and reads directly as "per-phase counter rate".
+
+use crate::linalg::{nnls, wls, LinalgError, Mat};
+use crate::stats::r_squared;
+
+/// A fitted continuous piece-wise linear model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HingeFit {
+    /// Domain lower edge.
+    pub lo: f64,
+    /// Domain upper edge.
+    pub hi: f64,
+    /// Interior breakpoints, ascending, strictly inside `(lo, hi)`.
+    pub breakpoints: Vec<f64>,
+    /// Value of the model at `x = lo`.
+    pub intercept: f64,
+    /// Per-segment slopes, one per segment (`breakpoints.len() + 1`).
+    pub slopes: Vec<f64>,
+    /// Residual sum of squares (weighted if weights were used).
+    pub sse: f64,
+    /// Coefficient of determination on the fitted data.
+    pub r2: f64,
+    /// Number of fitted points.
+    pub n: usize,
+}
+
+impl HingeFit {
+    /// Number of segments.
+    pub fn num_segments(&self) -> usize {
+        self.slopes.len()
+    }
+
+    /// Segment spans `[(e_0, e_1), (e_1, e_2), …]`.
+    pub fn segment_spans(&self) -> Vec<(f64, f64)> {
+        let mut edges = Vec::with_capacity(self.breakpoints.len() + 2);
+        edges.push(self.lo);
+        edges.extend_from_slice(&self.breakpoints);
+        edges.push(self.hi);
+        edges.windows(2).map(|w| (w[0], w[1])).collect()
+    }
+
+    /// Model prediction at `x` (extrapolates with the edge slopes).
+    pub fn predict(&self, x: f64) -> f64 {
+        let k = self.breakpoints.len();
+        let mut y = self.intercept;
+        for (j, &s) in self.slopes.iter().enumerate() {
+            let e0 = if j == 0 { self.lo } else { self.breakpoints[j - 1] };
+            let e1 = if j == k { self.hi } else { self.breakpoints[j] };
+            // Edge segments absorb extrapolation beyond the domain.
+            let upper = if j == k { f64::INFINITY } else { e1 - e0 };
+            let lower = if j == 0 { f64::NEG_INFINITY } else { 0.0 };
+            y += s * (x - e0).clamp(lower, upper);
+        }
+        y
+    }
+
+    /// Slope (instantaneous rate) of the segment containing `x`.
+    pub fn slope_at(&self, x: f64) -> f64 {
+        let seg = self
+            .breakpoints
+            .partition_point(|&b| b <= x)
+            .min(self.slopes.len().saturating_sub(1));
+        self.slopes[seg]
+    }
+}
+
+/// Errors from PWL fitting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FitError {
+    /// Fewer points than parameters.
+    TooFewPoints {
+        /// Points supplied.
+        n: usize,
+        /// Parameters required.
+        p: usize,
+    },
+    /// The linear solve failed even with regularisation.
+    Numerical(LinalgError),
+    /// Breakpoints were not strictly ascending inside the domain.
+    BadBreakpoints,
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FitError::TooFewPoints { n, p } => {
+                write!(f, "too few points: {n} for {p} parameters")
+            }
+            FitError::Numerical(e) => write!(f, "numerical failure: {e}"),
+            FitError::BadBreakpoints => write!(f, "breakpoints not strictly ascending in domain"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+impl From<LinalgError> for FitError {
+    fn from(e: LinalgError) -> FitError {
+        FitError::Numerical(e)
+    }
+}
+
+fn validate_breakpoints(breakpoints: &[f64], lo: f64, hi: f64) -> Result<(), FitError> {
+    let mut prev = lo;
+    for &b in breakpoints {
+        if !(b > prev && b < hi) {
+            return Err(FitError::BadBreakpoints);
+        }
+        prev = b;
+    }
+    Ok(())
+}
+
+/// Builds the slope-space design matrix: one column per segment holding the
+/// overlap of `[lo, x_i]` with that segment, plus (optionally) a leading
+/// intercept column.
+fn slope_design(
+    xs: &[f64],
+    breakpoints: &[f64],
+    lo: f64,
+    hi: f64,
+    with_intercept: bool,
+) -> Mat {
+    let k = breakpoints.len();
+    let p = k + 1 + usize::from(with_intercept);
+    let mut m = Mat::zeros(xs.len(), p);
+    let mut edges = Vec::with_capacity(k + 2);
+    edges.push(lo);
+    edges.extend_from_slice(breakpoints);
+    edges.push(hi);
+    for (i, &x) in xs.iter().enumerate() {
+        let row = m.row_mut(i);
+        let mut col = 0;
+        if with_intercept {
+            row[0] = 1.0;
+            col = 1;
+        }
+        for j in 0..=k {
+            let e0 = edges[j];
+            let e1 = edges[j + 1];
+            // Last segment absorbs right extrapolation; first absorbs left.
+            let upper = if j == k { f64::INFINITY } else { e1 - e0 };
+            let lower = if j == 0 { f64::NEG_INFINITY } else { 0.0 };
+            row[col + j] = (x - e0).clamp(lower, upper);
+        }
+    }
+    m
+}
+
+/// Fits the continuous PWL model by (weighted) least squares with **no**
+/// sign constraint on the slopes.
+pub fn fit_hinge(
+    xs: &[f64],
+    ys: &[f64],
+    weights: Option<&[f64]>,
+    breakpoints: &[f64],
+    lo: f64,
+    hi: f64,
+) -> Result<HingeFit, FitError> {
+    assert_eq!(xs.len(), ys.len());
+    validate_breakpoints(breakpoints, lo, hi)?;
+    let p = breakpoints.len() + 2;
+    if xs.len() < p {
+        return Err(FitError::TooFewPoints { n: xs.len(), p });
+    }
+    let design = slope_design(xs, breakpoints, lo, hi, true);
+    let beta = wls(&design, ys, weights)?;
+    finish(xs, ys, weights, breakpoints, lo, hi, beta[0], beta[1..].to_vec())
+}
+
+/// Fits the continuous PWL model with all slopes constrained to be
+/// non-negative (monotone non-decreasing `y`), via NNLS.
+///
+/// The intercept stays unconstrained: it is encoded as the difference of two
+/// non-negative columns inside the NNLS problem.
+pub fn fit_hinge_monotone(
+    xs: &[f64],
+    ys: &[f64],
+    weights: Option<&[f64]>,
+    breakpoints: &[f64],
+    lo: f64,
+    hi: f64,
+) -> Result<HingeFit, FitError> {
+    assert_eq!(xs.len(), ys.len());
+    validate_breakpoints(breakpoints, lo, hi)?;
+    let k = breakpoints.len();
+    let p = k + 2;
+    if xs.len() < p {
+        return Err(FitError::TooFewPoints { n: xs.len(), p });
+    }
+    let base = slope_design(xs, breakpoints, lo, hi, false);
+    // Columns: [+1, −1, slopes…]; apply sqrt-weights to rows for WLS-as-OLS.
+    let n = xs.len();
+    let mut design = Mat::zeros(n, p + 1);
+    let mut b = vec![0.0; n];
+    for i in 0..n {
+        let sw = weights.map_or(1.0, |w| w[i].max(0.0)).sqrt();
+        let row = design.row_mut(i);
+        row[0] = sw;
+        row[1] = -sw;
+        for j in 0..=k {
+            row[2 + j] = sw * base[(i, j)];
+        }
+        b[i] = sw * ys[i];
+    }
+    let sol = nnls(&design, &b, 50 * (p + 1))?;
+    let intercept = sol[0] - sol[1];
+    let slopes = sol[2..].to_vec();
+    finish(xs, ys, weights, breakpoints, lo, hi, intercept, slopes)
+}
+
+fn finish(
+    xs: &[f64],
+    ys: &[f64],
+    weights: Option<&[f64]>,
+    breakpoints: &[f64],
+    lo: f64,
+    hi: f64,
+    intercept: f64,
+    slopes: Vec<f64>,
+) -> Result<HingeFit, FitError> {
+    let fit = HingeFit {
+        lo,
+        hi,
+        breakpoints: breakpoints.to_vec(),
+        intercept,
+        slopes,
+        sse: 0.0,
+        r2: 0.0,
+        n: xs.len(),
+    };
+    let pred: Vec<f64> = xs.iter().map(|&x| fit.predict(x)).collect();
+    let sse = pred
+        .iter()
+        .zip(ys)
+        .enumerate()
+        .map(|(i, (p, y))| {
+            let w = weights.map_or(1.0, |w| w[i]);
+            w * (p - y) * (p - y)
+        })
+        .sum();
+    let r2 = r_squared(&pred, ys);
+    Ok(HingeFit { sse, r2, ..fit })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Ground-truth two-phase profile: slope 2 then slope 0.5, break at 0.4.
+    fn two_phase(x: f64) -> f64 {
+        if x < 0.4 {
+            2.0 * x
+        } else {
+            0.8 + 0.5 * (x - 0.4)
+        }
+    }
+
+    fn dense_xs(n: usize) -> Vec<f64> {
+        (0..n).map(|i| i as f64 / (n - 1) as f64).collect()
+    }
+
+    #[test]
+    fn exact_recovery_with_true_breakpoint() {
+        let xs = dense_xs(51);
+        let ys: Vec<f64> = xs.iter().map(|&x| two_phase(x)).collect();
+        let fit = fit_hinge(&xs, &ys, None, &[0.4], 0.0, 1.0).unwrap();
+        assert!((fit.intercept).abs() < 1e-9);
+        assert!((fit.slopes[0] - 2.0).abs() < 1e-9);
+        assert!((fit.slopes[1] - 0.5).abs() < 1e-9);
+        assert!(fit.sse < 1e-16);
+        assert!((fit.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predict_matches_model_everywhere() {
+        let xs = dense_xs(51);
+        let ys: Vec<f64> = xs.iter().map(|&x| two_phase(x)).collect();
+        let fit = fit_hinge(&xs, &ys, None, &[0.4], 0.0, 1.0).unwrap();
+        for &x in &xs {
+            assert!((fit.predict(x) - two_phase(x)).abs() < 1e-9, "x={x}");
+        }
+        // Extrapolation uses edge slopes.
+        assert!((fit.predict(1.2) - (two_phase(1.0) + 0.5 * 0.2)).abs() < 1e-9);
+        assert!((fit.predict(-0.1) - (-0.2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slope_at_selects_correct_segment() {
+        let fit = HingeFit {
+            lo: 0.0,
+            hi: 1.0,
+            breakpoints: vec![0.3, 0.7],
+            intercept: 0.0,
+            slopes: vec![1.0, 2.0, 3.0],
+            sse: 0.0,
+            r2: 1.0,
+            n: 0,
+        };
+        assert_eq!(fit.slope_at(0.1), 1.0);
+        assert_eq!(fit.slope_at(0.3), 2.0); // boundary belongs to the right
+        assert_eq!(fit.slope_at(0.69), 2.0);
+        assert_eq!(fit.slope_at(0.9), 3.0);
+        assert_eq!(fit.slope_at(2.0), 3.0);
+        assert_eq!(fit.num_segments(), 3);
+        assert_eq!(fit.segment_spans(), vec![(0.0, 0.3), (0.3, 0.7), (0.7, 1.0)]);
+    }
+
+    #[test]
+    fn monotone_fit_never_returns_negative_slopes() {
+        // Noisy flat-ish data that tempts a negative slope in segment 2.
+        let xs = dense_xs(41);
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| if x < 0.5 { x } else { 0.5 - 0.2 * (x - 0.5) })
+            .collect();
+        let fit = fit_hinge_monotone(&xs, &ys, None, &[0.5], 0.0, 1.0).unwrap();
+        assert!(fit.slopes.iter().all(|&s| s >= 0.0), "{:?}", fit.slopes);
+        // Unconstrained fit would go negative.
+        let un = fit_hinge(&xs, &ys, None, &[0.5], 0.0, 1.0).unwrap();
+        assert!(un.slopes[1] < 0.0);
+        // Constrained SSE is necessarily >= unconstrained.
+        assert!(fit.sse >= un.sse - 1e-12);
+    }
+
+    #[test]
+    fn monotone_matches_unconstrained_on_monotone_data() {
+        let xs = dense_xs(41);
+        let ys: Vec<f64> = xs.iter().map(|&x| two_phase(x)).collect();
+        let a = fit_hinge(&xs, &ys, None, &[0.4], 0.0, 1.0).unwrap();
+        let b = fit_hinge_monotone(&xs, &ys, None, &[0.4], 0.0, 1.0).unwrap();
+        assert!((a.slopes[0] - b.slopes[0]).abs() < 1e-6);
+        assert!((a.slopes[1] - b.slopes[1]).abs() < 1e-6);
+        assert!((a.intercept - b.intercept).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_breakpoints_is_plain_line() {
+        let xs = dense_xs(11);
+        let ys: Vec<f64> = xs.iter().map(|&x| 1.0 + 3.0 * x).collect();
+        let fit = fit_hinge(&xs, &ys, None, &[], 0.0, 1.0).unwrap();
+        assert_eq!(fit.num_segments(), 1);
+        assert!((fit.intercept - 1.0).abs() < 1e-9);
+        assert!((fit.slopes[0] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_bad_breakpoints() {
+        let xs = dense_xs(11);
+        let ys = xs.clone();
+        assert_eq!(
+            fit_hinge(&xs, &ys, None, &[0.5, 0.4], 0.0, 1.0),
+            Err(FitError::BadBreakpoints)
+        );
+        assert_eq!(
+            fit_hinge(&xs, &ys, None, &[0.0], 0.0, 1.0),
+            Err(FitError::BadBreakpoints)
+        );
+        assert_eq!(
+            fit_hinge(&xs, &ys, None, &[1.0], 0.0, 1.0),
+            Err(FitError::BadBreakpoints)
+        );
+    }
+
+    #[test]
+    fn rejects_too_few_points() {
+        assert!(matches!(
+            fit_hinge(&[0.1, 0.9], &[0.1, 0.9], None, &[0.5], 0.0, 1.0),
+            Err(FitError::TooFewPoints { .. })
+        ));
+    }
+
+    #[test]
+    fn weighted_fit_prefers_heavy_points() {
+        let xs = vec![0.0, 0.25, 0.5, 0.75, 1.0];
+        let ys = vec![0.0, 0.25, 0.5, 0.75, 5.0]; // last point is an outlier
+        let w = vec![1.0, 1.0, 1.0, 1.0, 1e-9];
+        let fit = fit_hinge(&xs, &ys, Some(&w), &[], 0.0, 1.0).unwrap();
+        assert!((fit.slopes[0] - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn three_segment_recovery() {
+        let xs = dense_xs(200);
+        let truth = |x: f64| {
+            if x < 0.2 {
+                5.0 * x
+            } else if x < 0.8 {
+                1.0 + 0.1 * (x - 0.2)
+            } else {
+                1.06 + 3.0 * (x - 0.8)
+            }
+        };
+        let ys: Vec<f64> = xs.iter().map(|&x| truth(x)).collect();
+        let fit = fit_hinge_monotone(&xs, &ys, None, &[0.2, 0.8], 0.0, 1.0).unwrap();
+        assert!((fit.slopes[0] - 5.0).abs() < 1e-6);
+        assert!((fit.slopes[1] - 0.1).abs() < 1e-6);
+        assert!((fit.slopes[2] - 3.0).abs() < 1e-6);
+    }
+}

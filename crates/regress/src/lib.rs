@@ -1,0 +1,54 @@
+//! # phasefold-regress
+//!
+//! Numerical core for the `phasefold` workspace — most importantly the
+//! **continuous piece-wise linear regression (PWLR)** that gives the IPDPS'14
+//! paper its name.
+//!
+//! Folded profiles are scatters of `(x, y)` points with `x ∈ [0, 1]`
+//! (normalised time within a computation burst) and `y ∈ [0, 1]` (normalised
+//! accumulated counter). Because the underlying counter rate is piece-wise
+//! stationary per *code phase*, `y(x)` is piece-wise linear: segment slopes
+//! are per-phase counter rates, and breakpoints are phase boundaries. This
+//! crate provides everything needed to recover that structure:
+//!
+//! * [`linalg`] — small dense matrices, Cholesky/LU solvers and non-negative
+//!   least squares (Lawson–Hanson NNLS), written from scratch,
+//! * [`stats`] — streaming moments, quantiles, MAD, error metrics,
+//! * [`ols`] — simple and weighted multiple linear regression,
+//! * [`grid`] — binning of folded scatters onto a uniform grid,
+//! * [`hinge`] — the continuous PWL model `y = β₀ + β₁x + Σ γ_j (x−ψ_j)₊`
+//!   (linear in its coefficients given breakpoints), with an NNLS-backed
+//!   monotone variant for accumulating counters,
+//! * [`segdp`] — optimal discontinuous segmentation by dynamic programming,
+//!   used to propose initial breakpoints,
+//! * [`breakpoints`] — Muggeo-style iterative breakpoint refinement on the
+//!   continuous model,
+//! * [`model_select`] — BIC/AIC model-order selection,
+//! * [`pwlr`] — the top-level [`pwlr::fit_pwlr`] entry point combining all of
+//!   the above,
+//! * [`smooth`] — a Gaussian kernel smoother standing in for the Kriging
+//!   interpolation used by the *earlier* folding papers, kept as the
+//!   baseline the PWLR approach is compared against (experiment E3).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod bootstrap;
+pub mod breakpoints;
+pub mod grid;
+pub mod hinge;
+pub mod linalg;
+pub mod model_select;
+pub mod ols;
+pub mod pwlr;
+pub mod robust;
+pub mod segdp;
+pub mod smooth;
+pub mod stats;
+
+pub use bootstrap::{bootstrap_pwlr, BootstrapConfig, BootstrapResult, Interval};
+pub use hinge::HingeFit;
+pub use model_select::SelectionCriterion;
+pub use pwlr::{fit_pwlr, PwlrConfig, PwlrFit};
+pub use robust::{theil_sen, theil_sen_sampled, RobustFit};
+pub use smooth::KernelSmoother;

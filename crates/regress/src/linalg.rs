@@ -1,0 +1,514 @@
+//! Small dense linear algebra: just enough to solve the normal equations of
+//! the piece-wise linear models (p ≤ a few dozen), written from scratch.
+//!
+//! Row-major [`Mat`] with Cholesky and partially-pivoted LU solvers, plus a
+//! Lawson–Hanson non-negative least squares used by the monotone PWLR fit.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major matrix of `f64`.
+#[derive(Clone, PartialEq)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Mat {
+    /// An `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Mat {
+        Mat { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Mat {
+        let mut m = Mat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from rows; every row must have equal length.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Mat {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        let mut m = Mat::zeros(r, c);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), c, "ragged rows");
+            m.data[i * c..(i + 1) * c].copy_from_slice(row);
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable row `i`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// `self · v` for a vector `v` of length `cols`.
+    pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols);
+        (0..self.rows)
+            .map(|i| dot(self.row(i), v))
+            .collect()
+    }
+
+    /// `selfᵀ · v` for a vector `v` of length `rows`.
+    pub fn tmul_vec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.rows);
+        let mut out = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            let row = self.row(i);
+            let vi = v[i];
+            for (o, &r) in out.iter_mut().zip(row) {
+                *o += r * vi;
+            }
+        }
+        out
+    }
+
+    /// Gram matrix `selfᵀ · diag(w) · self` (`w = None` means unit weights).
+    pub fn gram(&self, w: Option<&[f64]>) -> Mat {
+        let p = self.cols;
+        let mut g = Mat::zeros(p, p);
+        for i in 0..self.rows {
+            let row = self.row(i);
+            let wi = w.map_or(1.0, |w| w[i]);
+            for a in 0..p {
+                let ra = row[a] * wi;
+                if ra == 0.0 {
+                    continue;
+                }
+                for b in a..p {
+                    g[(a, b)] += ra * row[b];
+                }
+            }
+        }
+        // Mirror the upper triangle.
+        for a in 0..p {
+            for b in 0..a {
+                g[(a, b)] = g[(b, a)];
+            }
+        }
+        g
+    }
+}
+
+impl Index<(usize, usize)> for Mat {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Mat {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Mat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Mat {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            writeln!(f, "  {:?}", self.row(i))?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Dot product of two equal-length slices.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Errors from the dense solvers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinalgError {
+    /// The matrix is singular (or not positive definite) beyond repair.
+    Singular,
+    /// Dimension mismatch between operands.
+    DimensionMismatch,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::Singular => write!(f, "matrix is singular / not positive definite"),
+            LinalgError::DimensionMismatch => write!(f, "dimension mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Solves the symmetric positive-definite system `A x = b` by Cholesky.
+///
+/// If the factorisation breaks down (near-singular `A`, which happens when
+/// two breakpoints nearly coincide), retries with progressively larger ridge
+/// regularisation `A + λI` before giving up.
+pub fn solve_spd(a: &Mat, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let n = a.rows();
+    if a.cols() != n || b.len() != n {
+        return Err(LinalgError::DimensionMismatch);
+    }
+    let trace: f64 = (0..n).map(|i| a[(i, i)]).sum();
+    let base = (trace / n.max(1) as f64).abs().max(1e-300);
+    for &ridge in &[0.0, 1e-12, 1e-9, 1e-6] {
+        if let Some(x) = try_cholesky_solve(a, b, ridge * base) {
+            return Ok(x);
+        }
+    }
+    Err(LinalgError::Singular)
+}
+
+fn try_cholesky_solve(a: &Mat, b: &[f64], ridge: f64) -> Option<Vec<f64>> {
+    let n = a.rows();
+    // Factor A + ridge·I = L·Lᵀ.
+    let mut l = Mat::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[(i, j)] + if i == j { ridge } else { 0.0 };
+            for k in 0..j {
+                sum -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                if sum <= 0.0 || !sum.is_finite() {
+                    return None;
+                }
+                l[(i, j)] = sum.sqrt();
+            } else {
+                l[(i, j)] = sum / l[(j, j)];
+            }
+        }
+    }
+    // Forward substitution L y = b.
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[(i, k)] * y[k];
+        }
+        y[i] = sum / l[(i, i)];
+    }
+    // Back substitution Lᵀ x = y.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in i + 1..n {
+            sum -= l[(k, i)] * x[k];
+        }
+        x[i] = sum / l[(i, i)];
+    }
+    if x.iter().all(|v| v.is_finite()) {
+        Some(x)
+    } else {
+        None
+    }
+}
+
+/// Solves the general square system `A x = b` by LU with partial pivoting.
+pub fn solve_lu(a: &Mat, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let n = a.rows();
+    if a.cols() != n || b.len() != n {
+        return Err(LinalgError::DimensionMismatch);
+    }
+    let mut m = a.clone();
+    let mut x: Vec<f64> = b.to_vec();
+    for col in 0..n {
+        // Pivot.
+        let mut pivot_row = col;
+        let mut pivot_val = m[(col, col)].abs();
+        for r in col + 1..n {
+            let v = m[(r, col)].abs();
+            if v > pivot_val {
+                pivot_val = v;
+                pivot_row = r;
+            }
+        }
+        if pivot_val < 1e-300 {
+            return Err(LinalgError::Singular);
+        }
+        if pivot_row != col {
+            for j in 0..n {
+                let tmp = m[(col, j)];
+                m[(col, j)] = m[(pivot_row, j)];
+                m[(pivot_row, j)] = tmp;
+            }
+            x.swap(col, pivot_row);
+        }
+        // Eliminate.
+        for r in col + 1..n {
+            let f = m[(r, col)] / m[(col, col)];
+            if f == 0.0 {
+                continue;
+            }
+            m[(r, col)] = 0.0;
+            for j in col + 1..n {
+                m[(r, j)] -= f * m[(col, j)];
+            }
+            x[r] -= f * x[col];
+        }
+    }
+    // Back substitution.
+    for i in (0..n).rev() {
+        let mut sum = x[i];
+        for j in i + 1..n {
+            sum -= m[(i, j)] * x[j];
+        }
+        x[i] = sum / m[(i, i)];
+    }
+    if x.iter().all(|v| v.is_finite()) {
+        Ok(x)
+    } else {
+        Err(LinalgError::Singular)
+    }
+}
+
+/// Weighted least squares `min ||W^{1/2}(X β − y)||²` via the normal
+/// equations; `w = None` means unit weights.
+pub fn wls(x: &Mat, y: &[f64], w: Option<&[f64]>) -> Result<Vec<f64>, LinalgError> {
+    if y.len() != x.rows() {
+        return Err(LinalgError::DimensionMismatch);
+    }
+    if let Some(w) = w {
+        if w.len() != x.rows() {
+            return Err(LinalgError::DimensionMismatch);
+        }
+    }
+    let gram = x.gram(w);
+    let rhs = match w {
+        Some(w) => {
+            let wy: Vec<f64> = y.iter().zip(w).map(|(a, b)| a * b).collect();
+            x.tmul_vec(&wy)
+        }
+        None => x.tmul_vec(y),
+    };
+    solve_spd(&gram, &rhs)
+}
+
+/// Non-negative least squares `min ||A x − b||² s.t. x ≥ 0` by the
+/// Lawson–Hanson active-set algorithm.
+///
+/// Used by the monotone PWLR fit: slopes of an accumulating counter profile
+/// cannot be negative.
+pub fn nnls(a: &Mat, b: &[f64], max_iter: usize) -> Result<Vec<f64>, LinalgError> {
+    let (m, n) = (a.rows(), a.cols());
+    if b.len() != m {
+        return Err(LinalgError::DimensionMismatch);
+    }
+    let mut x = vec![0.0f64; n];
+    let mut passive = vec![false; n];
+    let atb = a.tmul_vec(b);
+    let gram = a.gram(None);
+    let tol = 1e-10 * atb.iter().map(|v| v.abs()).fold(1.0f64, f64::max);
+
+    let solve_passive = |passive: &[bool]| -> Result<Vec<f64>, LinalgError> {
+        let idx: Vec<usize> = (0..n).filter(|&j| passive[j]).collect();
+        let p = idx.len();
+        let mut g = Mat::zeros(p, p);
+        let mut rhs = vec![0.0; p];
+        for (ii, &gi) in idx.iter().enumerate() {
+            rhs[ii] = atb[gi];
+            for (jj, &gj) in idx.iter().enumerate() {
+                g[(ii, jj)] = gram[(gi, gj)];
+            }
+        }
+        let z = solve_spd(&g, &rhs)?;
+        let mut full = vec![0.0; n];
+        for (ii, &gi) in idx.iter().enumerate() {
+            full[gi] = z[ii];
+        }
+        Ok(full)
+    };
+
+    for _outer in 0..max_iter {
+        // Gradient of ½||Ax−b||² is Aᵀ(Ax−b); w = −gradient.
+        let gx = gram.mul_vec(&x);
+        let w: Vec<f64> = atb.iter().zip(&gx).map(|(t, g)| t - g).collect();
+        // Most-violating inactive variable.
+        let cand = (0..n)
+            .filter(|&j| !passive[j])
+            .max_by(|&i, &j| w[i].partial_cmp(&w[j]).unwrap());
+        let Some(j_star) = cand else { break };
+        if w[j_star] <= tol {
+            break; // KKT satisfied.
+        }
+        passive[j_star] = true;
+
+        loop {
+            let z = solve_passive(&passive)?;
+            let all_pos = (0..n).filter(|&j| passive[j]).all(|j| z[j] > 0.0);
+            if all_pos {
+                x = z;
+                break;
+            }
+            // Step toward z, stopping at the first variable hitting zero.
+            let mut alpha = f64::INFINITY;
+            for j in (0..n).filter(|&j| passive[j]) {
+                if z[j] <= 0.0 {
+                    let denom = x[j] - z[j];
+                    if denom > 0.0 {
+                        alpha = alpha.min(x[j] / denom);
+                    } else {
+                        alpha = 0.0;
+                    }
+                }
+            }
+            let alpha = alpha.clamp(0.0, 1.0);
+            for j in 0..n {
+                if passive[j] {
+                    x[j] += alpha * (z[j] - x[j]);
+                }
+            }
+            for j in 0..n {
+                if passive[j] && x[j] <= 1e-14 {
+                    x[j] = 0.0;
+                    passive[j] = false;
+                }
+            }
+            if !passive.iter().any(|&p| p) {
+                break;
+            }
+        }
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{a:?} != {b:?}");
+        }
+    }
+
+    #[test]
+    fn identity_solves_trivially() {
+        let a = Mat::identity(3);
+        let b = vec![1.0, 2.0, 3.0];
+        assert_close(&solve_spd(&a, &b).unwrap(), &b, 1e-12);
+        assert_close(&solve_lu(&a, &b).unwrap(), &b, 1e-12);
+    }
+
+    #[test]
+    fn spd_solve_known_system() {
+        // A = [[4,2],[2,3]], x = [1,2] -> b = [8,8]
+        let a = Mat::from_rows(&[vec![4.0, 2.0], vec![2.0, 3.0]]);
+        let x = solve_spd(&a, &[8.0, 8.0]).unwrap();
+        assert_close(&x, &[1.0, 2.0], 1e-10);
+    }
+
+    #[test]
+    fn lu_handles_pivoting() {
+        // Leading zero forces a row swap.
+        let a = Mat::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let x = solve_lu(&a, &[3.0, 5.0]).unwrap();
+        assert_close(&x, &[5.0, 3.0], 1e-12);
+    }
+
+    #[test]
+    fn singular_is_reported() {
+        let a = Mat::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert_eq!(solve_lu(&a, &[1.0, 2.0]), Err(LinalgError::Singular));
+    }
+
+    #[test]
+    fn near_singular_spd_recovers_via_ridge() {
+        // Nearly collinear columns; ridge keeps it solvable.
+        let x = Mat::from_rows(&[
+            vec![1.0, 1.0 + 1e-14],
+            vec![2.0, 2.0 + 2e-14],
+            vec![3.0, 3.0 - 1e-14],
+        ]);
+        let beta = wls(&x, &[1.0, 2.0, 3.0], None).unwrap();
+        // Predictions must be right even if the split between the two
+        // collinear coefficients is arbitrary.
+        let pred = x.mul_vec(&beta);
+        assert_close(&pred, &[1.0, 2.0, 3.0], 1e-6);
+    }
+
+    #[test]
+    fn wls_recovers_line() {
+        // y = 3 + 2x, exact.
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let design = Mat::from_rows(&xs.iter().map(|&x| vec![1.0, x]).collect::<Vec<_>>());
+        let y: Vec<f64> = xs.iter().map(|&x| 3.0 + 2.0 * x).collect();
+        let beta = wls(&design, &y, None).unwrap();
+        assert_close(&beta, &[3.0, 2.0], 1e-10);
+    }
+
+    #[test]
+    fn wls_weights_downweight_outlier() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let design = Mat::from_rows(&xs.iter().map(|&x| vec![1.0, x]).collect::<Vec<_>>());
+        let mut y: Vec<f64> = xs.iter().map(|&x| 1.0 + x).collect();
+        y[3] = 100.0; // outlier
+        let w = [1.0, 1.0, 1.0, 1e-12];
+        let beta = wls(&design, &y, Some(&w)).unwrap();
+        assert_close(&beta, &[1.0, 1.0], 1e-4);
+    }
+
+    #[test]
+    fn nnls_matches_unconstrained_when_positive() {
+        // Solution of unconstrained LS is positive -> NNLS equals it.
+        let a = Mat::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]]);
+        let b = [1.0, 2.0, 3.0];
+        let x = nnls(&a, &b, 100).unwrap();
+        assert_close(&x, &[1.0, 2.0], 1e-8);
+    }
+
+    #[test]
+    fn nnls_clamps_negative_component() {
+        // Unconstrained solution would want x[1] < 0.
+        let a = Mat::from_rows(&[vec![1.0, 1.0], vec![1.0, 0.0]]);
+        let b = [1.0, 2.0];
+        let x = nnls(&a, &b, 100).unwrap();
+        assert!(x[1].abs() < 1e-10, "x = {x:?}");
+        assert!(x[0] > 0.0);
+        // Residual must not be worse than the best x with x[1]=0: x0 = 1.5.
+        assert_close(&x, &[1.5, 0.0], 1e-8);
+    }
+
+    #[test]
+    fn nnls_zero_rhs_gives_zero() {
+        let a = Mat::identity(3);
+        let x = nnls(&a, &[0.0, 0.0, 0.0], 50).unwrap();
+        assert_close(&x, &[0.0, 0.0, 0.0], 1e-12);
+    }
+
+    #[test]
+    fn gram_matches_manual() {
+        let x = Mat::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let g = x.gram(None);
+        assert_close(&[g[(0, 0)], g[(0, 1)], g[(1, 0)], g[(1, 1)]], &[10.0, 14.0, 14.0, 20.0], 1e-12);
+    }
+
+    #[test]
+    fn dimension_mismatch_detected() {
+        let a = Mat::identity(2);
+        assert_eq!(solve_spd(&a, &[1.0]), Err(LinalgError::DimensionMismatch));
+        assert_eq!(solve_lu(&a, &[1.0, 2.0, 3.0]), Err(LinalgError::DimensionMismatch));
+    }
+}

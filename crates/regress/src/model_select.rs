@@ -1,0 +1,106 @@
+//! Model-order selection: how many phases does the profile actually have?
+//!
+//! Adding a breakpoint never increases SSE, so the segment count must be
+//! chosen by a penalised criterion. We follow standard segmented-regression
+//! practice and count, for `k` breakpoints, `p = 2k + 2` parameters: the
+//! intercept, `k + 1` slopes, and the `k` estimated breakpoint locations.
+
+/// Which penalised criterion to minimise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SelectionCriterion {
+    /// Bayesian information criterion: `n·ln(SSE/n) + p·ln(n)`. The default;
+    /// consistent (recovers the true order as folded samples accumulate).
+    Bic,
+    /// Akaike information criterion: `n·ln(SSE/n) + 2p`. Less conservative;
+    /// tends to over-segment noisy profiles (ablated in experiment E10).
+    Aic,
+    /// No selection: always use exactly this many segments (the behaviour
+    /// of a fixed-`k` tool; ablation baseline).
+    FixedSegments(usize),
+}
+
+impl Default for SelectionCriterion {
+    fn default() -> SelectionCriterion {
+        SelectionCriterion::Bic
+    }
+}
+
+/// Number of free parameters of a continuous PWL model with `k` breakpoints.
+pub fn num_parameters(num_breakpoints: usize) -> usize {
+    2 * num_breakpoints + 2
+}
+
+/// Criterion value for a fit with `num_breakpoints` on `n` points with the
+/// given SSE. Lower is better. `FixedSegments` scores its chosen order at
+/// `−∞` and everything else at `+∞`.
+pub fn score(
+    criterion: SelectionCriterion,
+    n: usize,
+    sse: f64,
+    num_breakpoints: usize,
+) -> f64 {
+    let p = num_parameters(num_breakpoints) as f64;
+    let nf = n.max(1) as f64;
+    // Guard the log for (near-)perfect fits.
+    let mse = (sse / nf).max(1e-300);
+    match criterion {
+        SelectionCriterion::Bic => nf * mse.ln() + p * nf.ln(),
+        SelectionCriterion::Aic => nf * mse.ln() + 2.0 * p,
+        SelectionCriterion::FixedSegments(m) => {
+            if num_breakpoints + 1 == m {
+                f64::NEG_INFINITY
+            } else {
+                f64::INFINITY
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_count() {
+        assert_eq!(num_parameters(0), 2);
+        assert_eq!(num_parameters(3), 8);
+    }
+
+    #[test]
+    fn bic_penalises_extra_breakpoints_at_equal_sse() {
+        let s1 = score(SelectionCriterion::Bic, 100, 1.0, 1);
+        let s2 = score(SelectionCriterion::Bic, 100, 1.0, 2);
+        assert!(s1 < s2);
+    }
+
+    #[test]
+    fn bic_rewards_large_sse_reduction() {
+        let flat = score(SelectionCriterion::Bic, 100, 10.0, 0);
+        let kinked = score(SelectionCriterion::Bic, 100, 0.1, 1);
+        assert!(kinked < flat);
+    }
+
+    #[test]
+    fn aic_penalty_is_weaker_than_bic_for_large_n() {
+        // Same SSE, one extra breakpoint: BIC penalty 2·ln(n), AIC penalty 4.
+        let n = 1000;
+        let d_bic = score(SelectionCriterion::Bic, n, 1.0, 2)
+            - score(SelectionCriterion::Bic, n, 1.0, 1);
+        let d_aic = score(SelectionCriterion::Aic, n, 1.0, 2)
+            - score(SelectionCriterion::Aic, n, 1.0, 1);
+        assert!(d_aic < d_bic);
+    }
+
+    #[test]
+    fn fixed_selects_only_its_order() {
+        let c = SelectionCriterion::FixedSegments(3);
+        assert_eq!(score(c, 10, 1.0, 2), f64::NEG_INFINITY);
+        assert_eq!(score(c, 10, 1.0, 1), f64::INFINITY);
+    }
+
+    #[test]
+    fn zero_sse_is_finite() {
+        let s = score(SelectionCriterion::Bic, 50, 0.0, 1);
+        assert!(s.is_finite());
+    }
+}

@@ -1,0 +1,150 @@
+//! Ordinary and weighted least squares on explicit design matrices, plus a
+//! closed-form simple linear regression.
+
+use crate::linalg::{wls, LinalgError, Mat};
+
+/// Result of a simple (one-predictor) linear regression `y = a + b·x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimpleFit {
+    /// Intercept `a`.
+    pub intercept: f64,
+    /// Slope `b`.
+    pub slope: f64,
+    /// Residual sum of squares.
+    pub sse: f64,
+    /// Coefficient of determination.
+    pub r2: f64,
+    /// Number of points.
+    pub n: usize,
+}
+
+impl SimpleFit {
+    /// Predicted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+/// Fits `y = a + b·x` by closed-form least squares; `None` if fewer than two
+/// points or zero x-variance (vertical data).
+pub fn simple_ols(xs: &[f64], ys: &[f64]) -> Option<SimpleFit> {
+    assert_eq!(xs.len(), ys.len());
+    let n = xs.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let mean_x = xs.iter().sum::<f64>() / nf;
+    let mean_y = ys.iter().sum::<f64>() / nf;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let dx = x - mean_x;
+        let dy = y - mean_y;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if sxx <= 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let sse = (syy - slope * sxy).max(0.0);
+    let r2 = if syy > 0.0 { 1.0 - sse / syy } else { 1.0 };
+    Some(SimpleFit { intercept, slope, sse, r2, n })
+}
+
+/// Result of a multiple linear regression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiFit {
+    /// Coefficients in design-column order.
+    pub beta: Vec<f64>,
+    /// Residual sum of squares (weighted if weights were given).
+    pub sse: f64,
+    /// Number of rows.
+    pub n: usize,
+}
+
+/// Weighted multiple linear regression on an explicit design matrix.
+pub fn multi_wls(design: &Mat, y: &[f64], w: Option<&[f64]>) -> Result<MultiFit, LinalgError> {
+    let beta = wls(design, y, w)?;
+    let pred = design.mul_vec(&beta);
+    let sse = pred
+        .iter()
+        .zip(y)
+        .enumerate()
+        .map(|(i, (p, yy))| {
+            let wi = w.map_or(1.0, |w| w[i]);
+            wi * (p - yy) * (p - yy)
+        })
+        .sum();
+    Ok(MultiFit { beta, sse, n: y.len() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_exact_line() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 - 0.5 * x).collect();
+        let fit = simple_ols(&xs, &ys).unwrap();
+        assert!((fit.intercept - 2.0).abs() < 1e-12);
+        assert!((fit.slope + 0.5).abs() < 1e-12);
+        assert!(fit.sse < 1e-20);
+        assert!((fit.r2 - 1.0).abs() < 1e-12);
+        assert!((fit.predict(10.0) + 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simple_with_noise_has_positive_sse() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [0.1, 0.9, 2.2, 2.8];
+        let fit = simple_ols(&xs, &ys).unwrap();
+        assert!(fit.sse > 0.0);
+        assert!(fit.r2 > 0.9);
+    }
+
+    #[test]
+    fn simple_degenerate_inputs() {
+        assert!(simple_ols(&[1.0], &[2.0]).is_none());
+        assert!(simple_ols(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]).is_none());
+        assert!(simple_ols(&[], &[]).is_none());
+    }
+
+    #[test]
+    fn simple_constant_y_gives_r2_one() {
+        let fit = simple_ols(&[0.0, 1.0, 2.0], &[5.0, 5.0, 5.0]).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.r2, 1.0);
+    }
+
+    #[test]
+    fn multi_matches_simple() {
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let ys = [1.0, 2.9, 5.2, 7.1, 8.8];
+        let simple = simple_ols(&xs, &ys).unwrap();
+        let design = Mat::from_rows(&xs.iter().map(|&x| vec![1.0, x]).collect::<Vec<_>>());
+        let multi = multi_wls(&design, &ys, None).unwrap();
+        assert!((multi.beta[0] - simple.intercept).abs() < 1e-10);
+        assert!((multi.beta[1] - simple.slope).abs() < 1e-10);
+        assert!((multi.sse - simple.sse).abs() < 1e-10);
+    }
+
+    #[test]
+    fn multi_quadratic_basis() {
+        // y = 1 + 2x + 3x², exact fit with 3 basis columns.
+        let xs: Vec<f64> = (0..6).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 1.0 + 2.0 * x + 3.0 * x * x).collect();
+        let design =
+            Mat::from_rows(&xs.iter().map(|&x| vec![1.0, x, x * x]).collect::<Vec<_>>());
+        let fit = multi_wls(&design, &ys, None).unwrap();
+        assert!((fit.beta[0] - 1.0).abs() < 1e-8);
+        assert!((fit.beta[1] - 2.0).abs() < 1e-8);
+        assert!((fit.beta[2] - 3.0).abs() < 1e-8);
+        assert!(fit.sse < 1e-12);
+    }
+}

@@ -1,0 +1,167 @@
+//! Robust simple regression: Theil–Sen slope estimation.
+//!
+//! Folded profiles occasionally contain gross outliers that survive the
+//! instance-level MAD pruning (e.g. a mis-attributed sample at a burst
+//! edge). Ordinary least squares is unbounded in such points; the
+//! Theil–Sen estimator — median of pairwise slopes — has a 29 % breakdown
+//! point and is the standard robust fallback. The reports use it as a
+//! sanity cross-check for per-phase rates.
+
+use crate::stats::median;
+
+/// A robust line fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RobustFit {
+    /// Median-of-slopes estimate.
+    pub slope: f64,
+    /// Median-residual intercept.
+    pub intercept: f64,
+    /// Number of points.
+    pub n: usize,
+}
+
+impl RobustFit {
+    /// Predicted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+/// Exact Theil–Sen: median over all O(n²) pairwise slopes. Suitable for
+/// n up to a few thousand (the per-phase point counts in practice).
+/// Returns `None` for fewer than 2 points or all-equal x.
+pub fn theil_sen(xs: &[f64], ys: &[f64]) -> Option<RobustFit> {
+    assert_eq!(xs.len(), ys.len());
+    let n = xs.len();
+    if n < 2 {
+        return None;
+    }
+    let mut slopes = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n {
+        for j in i + 1..n {
+            let dx = xs[j] - xs[i];
+            if dx.abs() > 1e-300 {
+                slopes.push((ys[j] - ys[i]) / dx);
+            }
+        }
+    }
+    if slopes.is_empty() {
+        return None;
+    }
+    let slope = median(&slopes)?;
+    let residuals: Vec<f64> = xs.iter().zip(ys).map(|(&x, &y)| y - slope * x).collect();
+    let intercept = median(&residuals)?;
+    Some(RobustFit { slope, intercept, n })
+}
+
+/// Randomised Theil–Sen for large inputs: medians over `pairs` random
+/// point pairs (deterministic given `seed`). Converges to the exact
+/// estimator as `pairs` grows.
+pub fn theil_sen_sampled(xs: &[f64], ys: &[f64], pairs: usize, seed: u64) -> Option<RobustFit> {
+    assert_eq!(xs.len(), ys.len());
+    let n = xs.len();
+    if n < 2 {
+        return None;
+    }
+    if n * (n - 1) / 2 <= pairs {
+        return theil_sen(xs, ys);
+    }
+    // SplitMix64 index pairs.
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let mut slopes = Vec::with_capacity(pairs);
+    let mut guard = 0usize;
+    while slopes.len() < pairs && guard < pairs * 10 {
+        guard += 1;
+        let i = (next() as usize) % n;
+        let j = (next() as usize) % n;
+        if i == j {
+            continue;
+        }
+        let dx = xs[j] - xs[i];
+        if dx.abs() > 1e-300 {
+            slopes.push((ys[j] - ys[i]) / dx);
+        }
+    }
+    if slopes.is_empty() {
+        return None;
+    }
+    let slope = median(&slopes)?;
+    let residuals: Vec<f64> = xs.iter().zip(ys).map(|(&x, &y)| y - slope * x).collect();
+    let intercept = median(&residuals)?;
+    Some(RobustFit { slope, intercept, n })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(n: usize) -> Vec<f64> {
+        (0..n).map(|i| i as f64 / (n - 1) as f64).collect()
+    }
+
+    #[test]
+    fn exact_line_recovered() {
+        let xs = grid(30);
+        let ys: Vec<f64> = xs.iter().map(|&x| 2.0 * x + 1.0).collect();
+        let fit = theil_sen(&xs, &ys).unwrap();
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+        assert!((fit.intercept - 1.0).abs() < 1e-12);
+        assert!((fit.predict(0.5) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn survives_gross_outliers() {
+        let xs = grid(40);
+        let mut ys: Vec<f64> = xs.iter().map(|&x| 3.0 * x).collect();
+        // Corrupt 20 % of the points catastrophically.
+        for i in (0..40).step_by(5) {
+            ys[i] = 1e6;
+        }
+        let fit = theil_sen(&xs, &ys).unwrap();
+        assert!((fit.slope - 3.0).abs() < 0.2, "slope {}", fit.slope);
+        // OLS, for contrast, is destroyed.
+        let ols = crate::ols::simple_ols(&xs, &ys).unwrap();
+        assert!(ols.slope.abs() > 100.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(theil_sen(&[1.0], &[2.0]).is_none());
+        assert!(theil_sen(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]).is_none());
+        assert!(theil_sen(&[], &[]).is_none());
+    }
+
+    #[test]
+    fn sampled_matches_exact_on_clean_data() {
+        let xs = grid(200);
+        let ys: Vec<f64> = xs.iter().map(|&x| -1.5 * x + 4.0).collect();
+        let exact = theil_sen(&xs, &ys).unwrap();
+        let sampled = theil_sen_sampled(&xs, &ys, 2000, 7).unwrap();
+        assert!((exact.slope - sampled.slope).abs() < 1e-9);
+        assert!((exact.intercept - sampled.intercept).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampled_is_deterministic() {
+        let xs = grid(300);
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| x + 0.01 * ((i * 37) % 11) as f64)
+            .collect();
+        let a = theil_sen_sampled(&xs, &ys, 500, 42).unwrap();
+        let b = theil_sen_sampled(&xs, &ys, 500, 42).unwrap();
+        assert_eq!(a, b);
+        // Small-n short-circuits to the exact path.
+        let c = theil_sen_sampled(&xs[..10], &ys[..10], 10_000, 1).unwrap();
+        let d = theil_sen(&xs[..10], &ys[..10]).unwrap();
+        assert_eq!(c, d);
+    }
+}

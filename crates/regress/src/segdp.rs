@@ -1,0 +1,294 @@
+//! Optimal *discontinuous* segmented least squares by dynamic programming
+//! (Bellman segmentation).
+//!
+//! Given points sorted by `x`, `segment_dp` finds, for each segment count
+//! `m = 1..=max_segments`, the partition into `m` contiguous runs that
+//! minimises the total SSE of per-run independent lines. The run boundaries
+//! are the breakpoint *proposals* handed to the continuous-model refinement
+//! ([`crate::breakpoints`]): the DP is exhaustive-optimal, so it cannot miss
+//! a phase boundary that the data supports, at O(n²) cost — which is why it
+//! runs on the binned series, not the raw folded scatter.
+
+/// Per-`m` result of the dynamic program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segmentation {
+    /// Number of segments `m`.
+    pub num_segments: usize,
+    /// Total SSE of the optimal `m`-segment partition.
+    pub sse: f64,
+    /// Interior breakpoints (x positions, length `m − 1`): the midpoint
+    /// between the last point of one run and the first point of the next.
+    pub breakpoints: Vec<f64>,
+}
+
+/// Weighted prefix sums enabling O(1) per-interval line-fit SSE.
+struct PrefixSums {
+    w: Vec<f64>,
+    wx: Vec<f64>,
+    wy: Vec<f64>,
+    wxx: Vec<f64>,
+    wxy: Vec<f64>,
+    wyy: Vec<f64>,
+}
+
+impl PrefixSums {
+    fn build(xs: &[f64], ys: &[f64], weights: Option<&[f64]>) -> PrefixSums {
+        let n = xs.len();
+        let mut p = PrefixSums {
+            w: vec![0.0; n + 1],
+            wx: vec![0.0; n + 1],
+            wy: vec![0.0; n + 1],
+            wxx: vec![0.0; n + 1],
+            wxy: vec![0.0; n + 1],
+            wyy: vec![0.0; n + 1],
+        };
+        for i in 0..n {
+            let w = weights.map_or(1.0, |w| w[i]);
+            let (x, y) = (xs[i], ys[i]);
+            p.w[i + 1] = p.w[i] + w;
+            p.wx[i + 1] = p.wx[i] + w * x;
+            p.wy[i + 1] = p.wy[i] + w * y;
+            p.wxx[i + 1] = p.wxx[i] + w * x * x;
+            p.wxy[i + 1] = p.wxy[i] + w * x * y;
+            p.wyy[i + 1] = p.wyy[i] + w * y * y;
+        }
+        p
+    }
+
+    /// Weighted SSE of the best-fit line over points `i..=j` (inclusive).
+    fn line_sse(&self, i: usize, j: usize) -> f64 {
+        let w = self.w[j + 1] - self.w[i];
+        if w <= 0.0 {
+            return 0.0;
+        }
+        let sx = self.wx[j + 1] - self.wx[i];
+        let sy = self.wy[j + 1] - self.wy[i];
+        let sxx = self.wxx[j + 1] - self.wxx[i];
+        let sxy = self.wxy[j + 1] - self.wxy[i];
+        let syy = self.wyy[j + 1] - self.wyy[i];
+        // Centered second moments.
+        let cxx = sxx - sx * sx / w;
+        let cxy = sxy - sx * sy / w;
+        let cyy = syy - sy * sy / w;
+        let sse = if cxx > 1e-300 { cyy - cxy * cxy / cxx } else { cyy };
+        sse.max(0.0)
+    }
+}
+
+/// Runs the segmentation DP.
+///
+/// * `xs` must be sorted ascending (checked by debug assertion).
+/// * `min_points` is the minimum number of points per segment (≥ 2 is
+///   sensible; lines on single points are degenerate).
+///
+/// Returns one [`Segmentation`] per `m = 1..=max_segments` (fewer if `n`
+/// cannot accommodate more segments).
+pub fn segment_dp(
+    xs: &[f64],
+    ys: &[f64],
+    weights: Option<&[f64]>,
+    max_segments: usize,
+    min_points: usize,
+) -> Vec<Segmentation> {
+    assert_eq!(xs.len(), ys.len());
+    debug_assert!(xs.windows(2).all(|w| w[0] <= w[1]), "xs must be sorted");
+    let n = xs.len();
+    let min_points = min_points.max(1);
+    if n == 0 || max_segments == 0 {
+        return Vec::new();
+    }
+    let reachable = n / min_points;
+    let m_max = max_segments.min(reachable.max(1)).max(1);
+    let p = PrefixSums::build(xs, ys, weights);
+
+    // cost[i][j]: SSE of one line over points i..=j, computed lazily via p.
+    // dp[m][j]: best SSE covering points 0..=j with m+1 segments.
+    let inf = f64::INFINITY;
+    let mut dp = vec![vec![inf; n]; m_max];
+    let mut back: Vec<Vec<usize>> = vec![vec![0; n]; m_max];
+    for j in 0..n {
+        if j + 1 >= min_points {
+            dp[0][j] = p.line_sse(0, j);
+        }
+    }
+    for m in 1..m_max {
+        for j in 0..n {
+            if (j + 1) < (m + 1) * min_points {
+                continue;
+            }
+            let mut best = inf;
+            let mut best_i = 0;
+            // Segment m covers i..=j; previous segments cover 0..=i-1.
+            let i_lo = m * min_points;
+            let i_hi = j + 1 - min_points;
+            for i in i_lo..=i_hi {
+                let prev = dp[m - 1][i - 1];
+                if !prev.is_finite() {
+                    continue;
+                }
+                let c = prev + p.line_sse(i, j);
+                if c < best {
+                    best = c;
+                    best_i = i;
+                }
+            }
+            dp[m][j] = best;
+            back[m][j] = best_i;
+        }
+    }
+
+    let mut out = Vec::new();
+    for m in 0..m_max {
+        if !dp[m][n - 1].is_finite() {
+            continue;
+        }
+        // Recover the run starts by walking the back-pointers.
+        let mut starts = Vec::with_capacity(m);
+        let mut j = n - 1;
+        let mut mm = m;
+        while mm > 0 {
+            let i = back[mm][j];
+            starts.push(i);
+            j = i - 1;
+            mm -= 1;
+        }
+        starts.reverse();
+        let breakpoints = starts
+            .iter()
+            .map(|&i| 0.5 * (xs[i - 1] + xs[i]))
+            .collect();
+        out.push(Segmentation {
+            num_segments: m + 1,
+            sse: dp[m][n - 1],
+            breakpoints,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn piecewise(x: f64) -> f64 {
+        if x < 0.5 {
+            2.0 * x
+        } else {
+            1.0 + 10.0 * (x - 0.5)
+        }
+    }
+
+    fn grid(n: usize) -> Vec<f64> {
+        (0..n).map(|i| i as f64 / (n - 1) as f64).collect()
+    }
+
+    #[test]
+    fn one_segment_matches_line_sse() {
+        let xs = grid(20);
+        let ys: Vec<f64> = xs.iter().map(|&x| 3.0 * x + 1.0).collect();
+        let segs = segment_dp(&xs, &ys, None, 1, 2);
+        assert_eq!(segs.len(), 1);
+        assert!(segs[0].sse < 1e-18);
+        assert!(segs[0].breakpoints.is_empty());
+    }
+
+    #[test]
+    fn two_segments_find_the_break() {
+        let xs = grid(40);
+        let ys: Vec<f64> = xs.iter().map(|&x| piecewise(x)).collect();
+        let segs = segment_dp(&xs, &ys, None, 3, 2);
+        let two = segs.iter().find(|s| s.num_segments == 2).unwrap();
+        assert_eq!(two.breakpoints.len(), 1);
+        assert!(
+            (two.breakpoints[0] - 0.5).abs() < 0.05,
+            "breakpoint at {}",
+            two.breakpoints[0]
+        );
+        assert!(two.sse < 1e-12);
+    }
+
+    #[test]
+    fn sse_is_monotone_in_segments() {
+        let xs = grid(60);
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| piecewise(x) + 0.05 * (x * 57.0).sin())
+            .collect();
+        let segs = segment_dp(&xs, &ys, None, 5, 2);
+        for w in segs.windows(2) {
+            assert!(w[1].sse <= w[0].sse + 1e-12);
+        }
+    }
+
+    #[test]
+    fn dp_is_optimal_vs_bruteforce_two_segments() {
+        // Exhaustive check on a small noisy instance.
+        let xs = grid(12);
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| piecewise(x) + if i % 3 == 0 { 0.07 } else { -0.03 })
+            .collect();
+        let p = PrefixSums::build(&xs, &ys, None);
+        let mut best = f64::INFINITY;
+        for split in 2..=xs.len() - 2 {
+            let c = p.line_sse(0, split - 1) + p.line_sse(split, xs.len() - 1);
+            best = best.min(c);
+        }
+        let segs = segment_dp(&xs, &ys, None, 2, 2);
+        let two = segs.iter().find(|s| s.num_segments == 2).unwrap();
+        assert!((two.sse - best).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_points_limits_segment_count() {
+        let xs = grid(7);
+        let ys = xs.clone();
+        let segs = segment_dp(&xs, &ys, None, 10, 3);
+        // 7 points with >=3 per segment -> at most 2 segments.
+        assert!(segs.iter().all(|s| s.num_segments <= 2));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(segment_dp(&[], &[], None, 3, 2).is_empty());
+    }
+
+    #[test]
+    fn weights_shift_the_optimum() {
+        // Step data where the first half is weighted very low: the 2-segment
+        // solution must spend its break serving the heavy half.
+        let xs = grid(30);
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| if x < 0.3 { 5.0 * x } else if x < 0.7 { 1.5 } else { 1.5 + 8.0 * (x - 0.7) })
+            .collect();
+        let w: Vec<f64> = xs.iter().map(|&x| if x < 0.3 { 1e-9 } else { 1.0 }).collect();
+        let segs = segment_dp(&xs, &ys, Some(&w), 2, 2);
+        let two = segs.iter().find(|s| s.num_segments == 2).unwrap();
+        assert!(
+            (two.breakpoints[0] - 0.7).abs() < 0.06,
+            "breakpoint at {}",
+            two.breakpoints[0]
+        );
+    }
+
+    #[test]
+    fn three_phase_recovery() {
+        let xs = grid(90);
+        let truth = |x: f64| {
+            if x < 0.33 {
+                4.0 * x
+            } else if x < 0.66 {
+                1.32 + 0.2 * (x - 0.33)
+            } else {
+                1.386 + 6.0 * (x - 0.66)
+            }
+        };
+        let ys: Vec<f64> = xs.iter().map(|&x| truth(x)).collect();
+        let segs = segment_dp(&xs, &ys, None, 3, 2);
+        let three = segs.iter().find(|s| s.num_segments == 3).unwrap();
+        assert!((three.breakpoints[0] - 0.33).abs() < 0.05);
+        assert!((three.breakpoints[1] - 0.66).abs() < 0.05);
+    }
+}

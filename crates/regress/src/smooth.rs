@@ -1,0 +1,211 @@
+//! Gaussian kernel smoothing — the baseline the PWLR approach supersedes.
+//!
+//! The earlier folding papers (Servat et al., ITPW'11/ICPP'11) fitted the
+//! folded scatter with a Kriging-style interpolation and differentiated the
+//! smooth curve to display instantaneous rates. That produces good-looking
+//! curves but no *discrete* phases: boundaries are blurred by the bandwidth
+//! and slopes never become exactly constant. We implement a Nadaraya–Watson
+//! estimator with a local-linear derivative to reproduce that behaviour for
+//! the comparison experiment (E3).
+
+/// A fitted Gaussian kernel smoother over a scatter.
+#[derive(Debug, Clone)]
+pub struct KernelSmoother {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    weights: Vec<f64>,
+    bandwidth: f64,
+}
+
+impl KernelSmoother {
+    /// Builds a smoother over `(xs, ys)` with the given bandwidth (standard
+    /// deviation of the Gaussian kernel, in x units). Points are copied and
+    /// sorted by x. Panics if `bandwidth <= 0` or inputs are ragged.
+    pub fn fit(xs: &[f64], ys: &[f64], weights: Option<&[f64]>, bandwidth: f64) -> KernelSmoother {
+        assert_eq!(xs.len(), ys.len());
+        assert!(bandwidth > 0.0, "bandwidth must be positive");
+        let mut idx: Vec<usize> = (0..xs.len()).collect();
+        idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("NaN x"));
+        KernelSmoother {
+            xs: idx.iter().map(|&i| xs[i]).collect(),
+            ys: idx.iter().map(|&i| ys[i]).collect(),
+            weights: idx
+                .iter()
+                .map(|&i| weights.map_or(1.0, |w| w[i]))
+                .collect(),
+            bandwidth,
+        }
+    }
+
+    /// Rule-of-thumb bandwidth: `1.06 · σ_x · n^(−1/5)` (Silverman), floored
+    /// to a small positive value.
+    pub fn silverman_bandwidth(xs: &[f64]) -> f64 {
+        let n = xs.len().max(2) as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+        (1.06 * var.sqrt() * n.powf(-0.2)).max(1e-4)
+    }
+
+    /// Nadaraya–Watson estimate of `y` at `x`.
+    pub fn value(&self, x: f64) -> f64 {
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for ((&xi, &yi), &wi) in self.xs.iter().zip(&self.ys).zip(&self.weights) {
+            let u = (x - xi) / self.bandwidth;
+            let k = wi * (-0.5 * u * u).exp();
+            num += k * yi;
+            den += k;
+        }
+        if den > 0.0 {
+            num / den
+        } else {
+            // Far outside the data: fall back to the nearest point.
+            self.nearest_y(x)
+        }
+    }
+
+    /// Local-linear estimate of the derivative `dy/dx` at `x`: the slope of
+    /// a kernel-weighted simple regression centred at `x`.
+    pub fn derivative(&self, x: f64) -> f64 {
+        // Use points within 4 bandwidths; weight by the kernel.
+        let lo = self.xs.partition_point(|&xi| xi < x - 4.0 * self.bandwidth);
+        let hi = self.xs.partition_point(|&xi| xi <= x + 4.0 * self.bandwidth);
+        if hi - lo < 2 {
+            return 0.0;
+        }
+        // Weighted simple regression: reuse closed form on kernel-replicated
+        // moments rather than materialising weights into simple_ols.
+        let (mut sw, mut swx, mut swy, mut swxx, mut swxy) = (0.0, 0.0, 0.0, 0.0, 0.0);
+        for i in lo..hi {
+            let u = (x - self.xs[i]) / self.bandwidth;
+            let k = self.weights[i] * (-0.5 * u * u).exp();
+            sw += k;
+            swx += k * self.xs[i];
+            swy += k * self.ys[i];
+            swxx += k * self.xs[i] * self.xs[i];
+            swxy += k * self.xs[i] * self.ys[i];
+        }
+        if sw <= 0.0 {
+            return 0.0;
+        }
+        let cxx = swxx - swx * swx / sw;
+        let cxy = swxy - swx * swy / sw;
+        if cxx > 1e-300 {
+            cxy / cxx
+        } else {
+            0.0
+        }
+    }
+
+    /// Evaluates the smoother on a uniform grid of `n` points over
+    /// `[lo, hi]`, returning `(xs, values)`.
+    pub fn sample_grid(&self, lo: f64, hi: f64, n: usize) -> (Vec<f64>, Vec<f64>) {
+        assert!(n >= 2 && hi > lo);
+        let xs: Vec<f64> = (0..n)
+            .map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64)
+            .collect();
+        let vs = xs.iter().map(|&x| self.value(x)).collect();
+        (xs, vs)
+    }
+
+    fn nearest_y(&self, x: f64) -> f64 {
+        if self.xs.is_empty() {
+            return 0.0;
+        }
+        let i = self.xs.partition_point(|&xi| xi < x);
+        if i == 0 {
+            self.ys[0]
+        } else if i >= self.xs.len() {
+            *self.ys.last().unwrap()
+        } else if (x - self.xs[i - 1]).abs() <= (self.xs[i] - x).abs() {
+            self.ys[i - 1]
+        } else {
+            self.ys[i]
+        }
+    }
+
+    /// The bandwidth in use.
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(n: usize) -> Vec<f64> {
+        (0..n).map(|i| i as f64 / (n - 1) as f64).collect()
+    }
+
+    #[test]
+    fn smooths_a_line_exactly_enough() {
+        let xs = grid(101);
+        let ys: Vec<f64> = xs.iter().map(|&x| 2.0 * x + 1.0).collect();
+        let s = KernelSmoother::fit(&xs, &ys, None, 0.05);
+        for &x in &[0.2, 0.5, 0.8] {
+            assert!((s.value(x) - (2.0 * x + 1.0)).abs() < 0.01, "at {x}");
+            assert!((s.derivative(x) - 2.0).abs() < 0.02, "at {x}");
+        }
+    }
+
+    #[test]
+    fn derivative_blurs_step_over_bandwidth() {
+        // Piece-wise slopes 4 then 0: the smoothed derivative transitions
+        // gradually — the blurring the PWLR approach avoids.
+        let xs = grid(201);
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| if x < 0.5 { 4.0 * x } else { 2.0 })
+            .collect();
+        let s = KernelSmoother::fit(&xs, &ys, None, 0.05);
+        let d_before = s.derivative(0.3);
+        let d_mid = s.derivative(0.5);
+        let d_after = s.derivative(0.7);
+        assert!((d_before - 4.0).abs() < 0.1);
+        assert!((d_after - 0.0).abs() < 0.1);
+        // At the break the estimate is in between — boundary is blurred.
+        assert!(d_mid > 1.0 && d_mid < 3.0, "d_mid = {d_mid}");
+    }
+
+    #[test]
+    fn value_outside_data_falls_back_to_nearest() {
+        let s = KernelSmoother::fit(&[0.4, 0.6], &[1.0, 2.0], None, 0.01);
+        assert_eq!(s.value(-100.0), 1.0);
+        assert_eq!(s.value(100.0), 2.0);
+    }
+
+    #[test]
+    fn weights_bias_the_estimate() {
+        let xs = [0.5, 0.5];
+        let ys = [0.0, 10.0];
+        let s = KernelSmoother::fit(&xs, &ys, Some(&[9.0, 1.0]), 0.1);
+        assert!((s.value(0.5) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn silverman_is_positive_and_scale_aware() {
+        let narrow = KernelSmoother::silverman_bandwidth(&grid(100));
+        let wide_data: Vec<f64> = grid(100).iter().map(|x| x * 100.0).collect();
+        let wide = KernelSmoother::silverman_bandwidth(&wide_data);
+        assert!(narrow > 0.0);
+        assert!(wide > narrow * 50.0);
+    }
+
+    #[test]
+    fn sample_grid_shape() {
+        let s = KernelSmoother::fit(&grid(10), &grid(10), None, 0.1);
+        let (xs, vs) = s.sample_grid(0.0, 1.0, 5);
+        assert_eq!(xs.len(), 5);
+        assert_eq!(vs.len(), 5);
+        assert_eq!(xs[0], 0.0);
+        assert_eq!(xs[4], 1.0);
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted_internally() {
+        let s = KernelSmoother::fit(&[0.9, 0.1, 0.5], &[9.0, 1.0, 5.0], None, 0.05);
+        assert!((s.value(0.1) - 1.0).abs() < 0.2);
+        assert!((s.value(0.9) - 9.0).abs() < 0.2);
+    }
+}

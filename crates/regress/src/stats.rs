@@ -1,0 +1,266 @@
+//! Descriptive statistics used throughout the pipeline: streaming moments
+//! (Welford), order statistics, robust scale (MAD), and error metrics.
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Moments {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Moments {
+    /// A fresh accumulator.
+    pub fn new() -> Moments {
+        Moments::default()
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 when fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Moments) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = (self.n + other.n) as f64;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.n as f64 / n;
+        self.m2 += other.m2 + delta * delta * self.n as f64 * other.n as f64 / n;
+        self.n += other.n;
+    }
+}
+
+/// `q`-quantile (0 ≤ q ≤ 1) of a slice by linear interpolation between order
+/// statistics. Returns `None` for an empty slice; does not require `data`
+/// to be sorted.
+pub fn quantile(data: &[f64], q: f64) -> Option<f64> {
+    if data.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    Some(quantile_sorted(&sorted, q))
+}
+
+/// `q`-quantile of an already-sorted slice (panics on empty input).
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Median; `None` for an empty slice.
+pub fn median(data: &[f64]) -> Option<f64> {
+    quantile(data, 0.5)
+}
+
+/// Median absolute deviation (raw, not scaled to σ); `None` if empty.
+///
+/// Used to prune outlier instances before folding: instances whose duration
+/// deviates from the median by more than `k·MAD` are dropped.
+pub fn mad(data: &[f64]) -> Option<f64> {
+    let med = median(data)?;
+    let deviations: Vec<f64> = data.iter().map(|x| (x - med).abs()).collect();
+    median(&deviations)
+}
+
+/// Root mean square error between two equal-length series.
+pub fn rmse(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    if a.is_empty() {
+        return 0.0;
+    }
+    let sse: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+    (sse / a.len() as f64).sqrt()
+}
+
+/// Mean absolute error between two equal-length series.
+pub fn mae(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    if a.is_empty() {
+        return 0.0;
+    }
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f64>() / a.len() as f64
+}
+
+/// Mean absolute *relative* error `mean(|a−b| / max(|b|, floor))`.
+///
+/// This is the "absolute mean difference" metric the folding papers report
+/// (folded vs fine-grain profiles, claimed < 5 %).
+pub fn mean_abs_rel_error(estimate: &[f64], reference: &[f64], floor: f64) -> f64 {
+    assert_eq!(estimate.len(), reference.len());
+    if estimate.is_empty() {
+        return 0.0;
+    }
+    estimate
+        .iter()
+        .zip(reference)
+        .map(|(e, r)| (e - r).abs() / r.abs().max(floor))
+        .sum::<f64>()
+        / estimate.len() as f64
+}
+
+/// Coefficient of determination R² of predictions vs observations.
+/// Returns 1.0 when the observations have zero variance and the
+/// predictions match them exactly, 0.0 when they do not.
+pub fn r_squared(predicted: &[f64], observed: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), observed.len());
+    if observed.is_empty() {
+        return 1.0;
+    }
+    let mean = observed.iter().sum::<f64>() / observed.len() as f64;
+    let ss_tot: f64 = observed.iter().map(|y| (y - mean) * (y - mean)).sum();
+    let ss_res: f64 = predicted
+        .iter()
+        .zip(observed)
+        .map(|(p, y)| (y - p) * (y - p))
+        .sum();
+    if ss_tot <= 0.0 {
+        if ss_res <= 1e-30 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut m = Moments::new();
+        for &x in &data {
+            m.push(x);
+        }
+        assert!((m.mean() - 5.0).abs() < 1e-12);
+        // Naive unbiased variance = 32/7.
+        assert!((m.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(m.count(), 8);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Moments::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        let mut a = Moments::new();
+        let mut b = Moments::new();
+        for &x in &data[..37] {
+            a.push(x);
+        }
+        for &x in &data[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert!((a.mean() - whole.mean()).abs() < 1e-10);
+        assert!((a.variance() - whole.variance()).abs() < 1e-10);
+        assert_eq!(a.count(), whole.count());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Moments::new();
+        a.push(1.0);
+        a.push(3.0);
+        let before = (a.mean(), a.variance(), a.count());
+        a.merge(&Moments::new());
+        assert_eq!((a.mean(), a.variance(), a.count()), before);
+
+        let mut empty = Moments::new();
+        empty.merge(&a);
+        assert_eq!((empty.mean(), empty.variance(), empty.count()), before);
+    }
+
+    #[test]
+    fn quantiles() {
+        let data = [3.0, 1.0, 2.0, 4.0];
+        assert_eq!(quantile(&data, 0.0), Some(1.0));
+        assert_eq!(quantile(&data, 1.0), Some(4.0));
+        assert_eq!(median(&data), Some(2.5));
+        assert_eq!(quantile(&[], 0.5), None);
+        // Interpolation: q=0.25 over [1,2,3,4] -> 1.75
+        assert!((quantile(&data, 0.25).unwrap() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mad_of_constant_is_zero() {
+        assert_eq!(mad(&[5.0, 5.0, 5.0]), Some(0.0));
+        assert_eq!(mad(&[]), None);
+    }
+
+    #[test]
+    fn mad_known_value() {
+        // data: 1 2 3 4 100; median 3, |dev| = 2 1 0 1 97, MAD = 1
+        assert_eq!(mad(&[1.0, 2.0, 3.0, 4.0, 100.0]), Some(1.0));
+    }
+
+    #[test]
+    fn error_metrics() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.0, 2.0, 5.0];
+        assert!((rmse(&a, &b) - (4.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert!((mae(&a, &b) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((mean_abs_rel_error(&a, &b, 1e-9) - (2.0 / 5.0) / 3.0).abs() < 1e-12);
+        assert_eq!(rmse(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn r_squared_perfect_and_mean() {
+        let y = [1.0, 2.0, 3.0, 4.0];
+        assert!((r_squared(&y, &y) - 1.0).abs() < 1e-12);
+        let mean_pred = [2.5; 4];
+        assert!(r_squared(&mean_pred, &y).abs() < 1e-12);
+        // Constant observations.
+        assert_eq!(r_squared(&[7.0, 7.0], &[7.0, 7.0]), 1.0);
+        assert_eq!(r_squared(&[7.0, 8.0], &[7.0, 7.0]), 0.0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Property-based tests for the numerical core.
+
+use proptest::prelude::*;
+
+use phasefold_regress::breakpoints::enforce_separation;
+use phasefold_regress::grid::bin_series;
+use phasefold_regress::hinge::{fit_hinge, fit_hinge_monotone};
+use phasefold_regress::linalg::{nnls, Mat};
+use phasefold_regress::pwlr::{fit_pwlr, PwlrConfig};
+use phasefold_regress::segdp::segment_dp;
+use phasefold_regress::stats::{mad, median, quantile, Moments};
+
+fn dense_grid(n: usize) -> Vec<f64> {
+    (0..n).map(|i| i as f64 / (n - 1) as f64).collect()
+}
+
+/// Arbitrary continuous PWL ground truth: 1-4 segments inside [0,1].
+fn arb_pwl() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    (
+        proptest::collection::vec(0.1f64..0.9, 0..4),
+        proptest::collection::vec(0.0f64..5.0, 4),
+        0.0f64..1.0,
+    )
+        .prop_map(|(mut bps, slopes, intercept)| {
+            bps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            bps.dedup_by(|a, b| (*a - *b).abs() < 0.05);
+            let bps = enforce_separation(bps, 0.0, 1.0, 0.05);
+            let slopes = slopes[..bps.len() + 1].to_vec();
+            (bps, {
+                let mut v = slopes;
+                v.insert(0, intercept);
+                v
+            })
+        })
+}
+
+fn eval_pwl(bps: &[f64], params: &[f64], x: f64) -> f64 {
+    let intercept = params[0];
+    let slopes = &params[1..];
+    let mut y = intercept;
+    let mut prev = 0.0f64;
+    for (j, &s) in slopes.iter().enumerate() {
+        let next = bps.get(j).copied().unwrap_or(1.0);
+        let seg = (x.min(next) - prev).max(0.0);
+        y += s * seg;
+        prev = next;
+        if x <= next {
+            break;
+        }
+    }
+    y
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// With the true breakpoints given, the hinge fit reproduces an exact
+    /// PWL function to numerical precision.
+    #[test]
+    fn hinge_recovers_exact_pwl((bps, params) in arb_pwl()) {
+        let xs = dense_grid(120);
+        let ys: Vec<f64> = xs.iter().map(|&x| eval_pwl(&bps, &params, x)).collect();
+        let fit = fit_hinge(&xs, &ys, None, &bps, 0.0, 1.0).unwrap();
+        for &x in &xs {
+            prop_assert!((fit.predict(x) - eval_pwl(&bps, &params, x)).abs() < 1e-6);
+        }
+    }
+
+    /// Monotone fits never report a negative slope, whatever the data.
+    #[test]
+    fn monotone_fit_is_monotone(
+        ys in proptest::collection::vec(-1.0f64..1.0, 24..64),
+        bp in 0.2f64..0.8,
+    ) {
+        let xs = dense_grid(ys.len());
+        let fit = fit_hinge_monotone(&xs, &ys, None, &[bp], 0.0, 1.0).unwrap();
+        prop_assert!(fit.slopes.iter().all(|&s| s >= 0.0));
+    }
+
+    /// The monotone fit can never beat the unconstrained fit on SSE.
+    #[test]
+    fn constrained_sse_dominates(
+        ys in proptest::collection::vec(-1.0f64..1.0, 24..64),
+        bp in 0.2f64..0.8,
+    ) {
+        let xs = dense_grid(ys.len());
+        let free = fit_hinge(&xs, &ys, None, &[bp], 0.0, 1.0).unwrap();
+        let mono = fit_hinge_monotone(&xs, &ys, None, &[bp], 0.0, 1.0).unwrap();
+        prop_assert!(mono.sse >= free.sse - 1e-9 * free.sse.max(1.0));
+    }
+
+    /// DP segmentation SSE is non-increasing in the segment count.
+    #[test]
+    fn segdp_sse_monotone(ys in proptest::collection::vec(0.0f64..1.0, 20..80)) {
+        let xs = dense_grid(ys.len());
+        let segs = segment_dp(&xs, &ys, None, 5, 2);
+        for w in segs.windows(2) {
+            prop_assert!(w[1].sse <= w[0].sse + 1e-9);
+        }
+    }
+
+    /// NNLS output is entry-wise non-negative and at least as good as zero.
+    #[test]
+    fn nnls_nonnegative_and_useful(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..2.0, 3), 4..12),
+        b in proptest::collection::vec(-2.0f64..2.0, 12),
+    ) {
+        let m = rows.len();
+        let a = Mat::from_rows(&rows);
+        let b = &b[..m];
+        let x = nnls(&a, b, 200).unwrap();
+        prop_assert!(x.iter().all(|&v| v >= 0.0));
+        let res: f64 = a.mul_vec(&x).iter().zip(b).map(|(p, y)| (p - y) * (p - y)).sum();
+        let res_zero: f64 = b.iter().map(|y| y * y).sum();
+        prop_assert!(res <= res_zero + 1e-9);
+    }
+
+    /// Full PWLR respects monotonicity and reports sorted, in-domain
+    /// breakpoints on arbitrary (noisy, even non-monotone) data.
+    #[test]
+    fn pwlr_output_invariants(ys in proptest::collection::vec(0.0f64..1.0, 40..120)) {
+        let xs = dense_grid(ys.len());
+        let fit = fit_pwlr(&xs, &ys, None, &PwlrConfig::default()).unwrap();
+        prop_assert!(fit.slopes().iter().all(|&s| s >= 0.0));
+        let bps = fit.breakpoints();
+        for w in bps.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        for &b in bps {
+            prop_assert!(b > 0.0 && b < 1.0);
+        }
+        prop_assert_eq!(fit.slopes().len(), bps.len() + 1);
+    }
+
+    /// Quantiles are bounded by the extremes; median is a 0.5 quantile.
+    #[test]
+    fn quantile_bounds(data in proptest::collection::vec(-100.0f64..100.0, 1..50), q in 0.0f64..1.0) {
+        let min = data.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let v = quantile(&data, q).unwrap();
+        prop_assert!(v >= min - 1e-12 && v <= max + 1e-12);
+        prop_assert_eq!(median(&data), quantile(&data, 0.5));
+    }
+
+    /// MAD is non-negative and zero for constants.
+    #[test]
+    fn mad_properties(data in proptest::collection::vec(-10.0f64..10.0, 1..40), c in -5.0f64..5.0) {
+        prop_assert!(mad(&data).unwrap() >= 0.0);
+        let constant = vec![c; data.len()];
+        prop_assert_eq!(mad(&constant), Some(0.0));
+    }
+
+    /// Welford merge is equivalent to sequential accumulation.
+    #[test]
+    fn moments_merge_associative(
+        a in proptest::collection::vec(-10.0f64..10.0, 0..30),
+        b in proptest::collection::vec(-10.0f64..10.0, 0..30),
+    ) {
+        let mut whole = Moments::new();
+        for &x in a.iter().chain(&b) { whole.push(x); }
+        let mut ma = Moments::new();
+        for &x in &a { ma.push(x); }
+        let mut mb = Moments::new();
+        for &x in &b { mb.push(x); }
+        ma.merge(&mb);
+        prop_assert_eq!(ma.count(), whole.count());
+        if whole.count() > 0 {
+            prop_assert!((ma.mean() - whole.mean()).abs() < 1e-9);
+            prop_assert!((ma.variance() - whole.variance()).abs() < 1e-8);
+        }
+    }
+
+    /// Binning conserves total weight and bin means stay within y range.
+    #[test]
+    fn binning_conserves_weight(
+        points in proptest::collection::vec((0.0f64..1.0, -5.0f64..5.0), 1..100),
+        n_bins in 1usize..30,
+    ) {
+        let xs: Vec<f64> = points.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = points.iter().map(|p| p.1).collect();
+        let b = bin_series(&xs, &ys, None, n_bins, 0.0, 1.0);
+        let total: f64 = b.weight.iter().sum();
+        prop_assert!((total - xs.len() as f64).abs() < 1e-9);
+        let (ymin, ymax) = ys.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &y| (l.min(y), h.max(y)));
+        for &m in &b.y {
+            prop_assert!(m >= ymin - 1e-9 && m <= ymax + 1e-9);
+        }
+    }
+}

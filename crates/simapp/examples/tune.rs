@@ -1,0 +1,71 @@
+//! Scratch tool: prints per-kernel costs and variant speedups for tuning.
+
+use phasefold_simapp::engine::{unroll, ScriptItem};
+use phasefold_simapp::kernel::CpuConfig;
+use phasefold_simapp::noise::NoiseConfig;
+use phasefold_simapp::program::Program;
+use phasefold_simapp::workloads::{cg, md, stencil};
+
+fn total_compute(p: &Program, cpu: &CpuConfig) -> f64 {
+    unroll(p, cpu, NoiseConfig::NONE, 0)
+        .iter()
+        .filter_map(|i| match i {
+            ScriptItem::Compute(c) => Some(c.dur_s),
+            _ => None,
+        })
+        .sum()
+}
+
+fn kernel_breakdown(p: &Program, cpu: &CpuConfig) {
+    use std::collections::BTreeMap;
+    let mut per_region: BTreeMap<String, f64> = BTreeMap::new();
+    for item in unroll(p, cpu, NoiseConfig::NONE, 0) {
+        if let ScriptItem::Compute(c) = item {
+            *per_region
+                .entry(p.registry.name(c.region).to_string())
+                .or_default() += c.dur_s;
+        }
+    }
+    let total: f64 = per_region.values().sum();
+    for (name, t) in per_region {
+        println!("    {name:<28} {t:>9.4}s  {:5.1}%", 100.0 * t / total);
+    }
+}
+
+fn main() {
+    let cpu = CpuConfig::default();
+
+    let base = cg::build(&cg::CgParams::default());
+    let fused = cg::build(&cg::CgParams { fused: true, ..cg::CgParams::default() });
+    println!("cg breakdown:");
+    kernel_breakdown(&base, &cpu);
+    println!(
+        "  cg speedup (fused): {:.3}",
+        total_compute(&base, &cpu) / total_compute(&fused, &cpu)
+    );
+
+    let sb = stencil::build(&stencil::StencilParams::default());
+    let sblk = stencil::build(&stencil::StencilParams {
+        blocked: true,
+        ..stencil::StencilParams::default()
+    });
+    println!("stencil breakdown:");
+    kernel_breakdown(&sb, &cpu);
+    println!(
+        "  stencil speedup (blocked): {:.3}",
+        total_compute(&sb, &cpu) / total_compute(&sblk, &cpu)
+    );
+
+    let mb = md::build(&md::MdParams::default());
+    let mr = md::build(&md::MdParams {
+        decades: 2,
+        rebuild_every: 80,
+        ..md::MdParams::default()
+    });
+    println!("md breakdown:");
+    kernel_breakdown(&mb, &cpu);
+    println!(
+        "  md speedup (reuse): {:.3}",
+        total_compute(&mb, &cpu) / total_compute(&mr, &cpu)
+    );
+}

@@ -1,0 +1,224 @@
+//! Analytical multi-level cache model.
+//!
+//! The paper ran on real hardware and read real cache-miss counters. Our
+//! substitute must produce miss *rates* that (a) are stationary while a
+//! kernel runs — the property phase detection rests on — and (b) respond to
+//! working-set size and access locality the way a real hierarchy does, so
+//! the case-study optimisations (blocking, fusion) move the counters in the
+//! right direction.
+//!
+//! The model: for a kernel with working set `W` and a cache level of
+//! capacity `C`, the hit probability of a non-compulsory access follows a
+//! smooth occupancy curve `p_hit = 1 / (1 + (W/C)^s)` — a logistic in
+//! log-space, the shape empirical reuse-distance profiles typically take.
+//! Compulsory (streaming) misses add a floor of one miss per cache line of
+//! freshly streamed data.
+
+/// Geometry and latencies of the simulated memory hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheConfig {
+    /// L1 data capacity in bytes.
+    pub l1_bytes: f64,
+    /// L2 capacity in bytes.
+    pub l2_bytes: f64,
+    /// L3 capacity in bytes.
+    pub l3_bytes: f64,
+    /// Cache line size in bytes.
+    pub line_bytes: f64,
+    /// Sharpness of the occupancy curve (higher = steeper knee).
+    pub sharpness: f64,
+    /// Added latency of an L1 miss hitting L2 (cycles).
+    pub l2_latency: f64,
+    /// Added latency of an L2 miss hitting L3 (cycles).
+    pub l3_latency: f64,
+    /// Added latency of an L3 miss going to memory (cycles).
+    pub mem_latency: f64,
+    /// Fraction of miss latency hidden by out-of-order overlap, in `[0, 1)`.
+    pub overlap: f64,
+}
+
+impl Default for CacheConfig {
+    fn default() -> CacheConfig {
+        CacheConfig {
+            l1_bytes: 32.0 * 1024.0,
+            l2_bytes: 256.0 * 1024.0,
+            l3_bytes: 20.0 * 1024.0 * 1024.0,
+            line_bytes: 64.0,
+            sharpness: 1.6,
+            l2_latency: 10.0,
+            l3_latency: 30.0,
+            mem_latency: 180.0,
+            overlap: 0.6,
+        }
+    }
+}
+
+/// Per-iteration cache behaviour of a kernel, as produced by
+/// [`CacheConfig::misses_per_iter`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CacheOutcome {
+    /// L1 data misses per iteration.
+    pub l1_misses: f64,
+    /// L2 misses per iteration.
+    pub l2_misses: f64,
+    /// L3 misses per iteration.
+    pub l3_misses: f64,
+    /// Effective stall cycles per iteration after overlap.
+    pub stall_cycles: f64,
+}
+
+/// Memory-access pattern of a kernel, the inputs to the cache model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccessPattern {
+    /// Memory accesses (loads + stores) per iteration.
+    pub accesses_per_iter: f64,
+    /// Resident working set repeatedly touched by the kernel (bytes).
+    pub working_set_bytes: f64,
+    /// Freshly streamed bytes per iteration (compulsory traffic).
+    pub streamed_bytes_per_iter: f64,
+    /// Locality factor in `[0, 1]`: 1 = perfectly dense/line-friendly,
+    /// 0 = pointer-chasing (every access its own line).
+    pub locality: f64,
+}
+
+impl CacheConfig {
+    /// Hit probability of a capacity-governed access at a level of capacity
+    /// `cap` for working set `ws`.
+    pub fn hit_probability(&self, ws: f64, cap: f64) -> f64 {
+        if ws <= 0.0 {
+            return 1.0;
+        }
+        1.0 / (1.0 + (ws / cap).powf(self.sharpness))
+    }
+
+    /// Evaluates the model for one kernel iteration.
+    pub fn misses_per_iter(&self, pattern: &AccessPattern) -> CacheOutcome {
+        let acc = pattern.accesses_per_iter.max(0.0);
+        let ws = pattern.working_set_bytes.max(0.0);
+        let locality = pattern.locality.clamp(0.0, 1.0);
+        // Compulsory line fetches: streamed data, denser layouts share lines.
+        let lines_per_byte = 1.0 / self.line_bytes;
+        let compulsory =
+            pattern.streamed_bytes_per_iter.max(0.0) * lines_per_byte * (2.0 - locality);
+
+        // Capacity misses at each level.
+        let p1 = self.hit_probability(ws, self.l1_bytes);
+        let p2 = self.hit_probability(ws, self.l2_bytes);
+        let p3 = self.hit_probability(ws, self.l3_bytes);
+        // Poor locality multiplies effective capacity pressure.
+        let cap_factor = 1.0 + (1.0 - locality) * 3.0;
+
+        let l1_capacity = acc * (1.0 - p1) * cap_factor * 0.25;
+        let l1 = (l1_capacity + compulsory).min(acc.max(compulsory));
+        // Misses filter down the hierarchy; compulsory traffic misses
+        // every level on its first touch.
+        let l2 = (l1 - compulsory).max(0.0) * (1.0 - p2) + compulsory;
+        let l3 = (l2 - compulsory).max(0.0) * (1.0 - p3) + compulsory;
+
+        let raw_stall = (l1 - l2).max(0.0) * self.l2_latency
+            + (l2 - l3).max(0.0) * self.l3_latency
+            + l3 * self.mem_latency;
+        CacheOutcome {
+            l1_misses: l1,
+            l2_misses: l2,
+            l3_misses: l3,
+            stall_cycles: raw_stall * (1.0 - self.overlap.clamp(0.0, 0.99)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern(ws: f64) -> AccessPattern {
+        AccessPattern {
+            accesses_per_iter: 100.0,
+            working_set_bytes: ws,
+            streamed_bytes_per_iter: 0.0,
+            locality: 1.0,
+        }
+    }
+
+    #[test]
+    fn tiny_working_set_hits_everywhere() {
+        let c = CacheConfig::default();
+        let out = c.misses_per_iter(&pattern(1024.0));
+        assert!(out.l1_misses < 1.0, "{out:?}");
+        assert!(out.stall_cycles < 10.0);
+    }
+
+    #[test]
+    fn misses_monotone_in_working_set() {
+        let c = CacheConfig::default();
+        let sizes = [1e3, 1e4, 1e5, 1e6, 1e7, 1e8];
+        let mut prev = CacheOutcome::default();
+        for (i, &ws) in sizes.iter().enumerate() {
+            let out = c.misses_per_iter(&pattern(ws));
+            if i > 0 {
+                assert!(out.l1_misses >= prev.l1_misses - 1e-9, "ws={ws}");
+                assert!(out.l2_misses >= prev.l2_misses - 1e-9, "ws={ws}");
+                assert!(out.l3_misses >= prev.l3_misses - 1e-9, "ws={ws}");
+                assert!(out.stall_cycles >= prev.stall_cycles - 1e-9, "ws={ws}");
+            }
+            prev = out;
+        }
+    }
+
+    #[test]
+    fn hierarchy_ordering_holds() {
+        let c = CacheConfig::default();
+        for &ws in &[1e3, 1e5, 3e5, 1e7, 1e9] {
+            let out = c.misses_per_iter(&pattern(ws));
+            assert!(out.l1_misses >= out.l2_misses - 1e-9, "ws={ws} {out:?}");
+            assert!(out.l2_misses >= out.l3_misses - 1e-9, "ws={ws} {out:?}");
+            assert!(out.l1_misses <= 100.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn streaming_adds_compulsory_misses_at_all_levels() {
+        let c = CacheConfig::default();
+        let mut p = pattern(1024.0);
+        p.streamed_bytes_per_iter = 640.0; // 10 lines
+        let out = c.misses_per_iter(&p);
+        assert!(out.l3_misses >= 10.0 - 1e-9, "{out:?}");
+    }
+
+    #[test]
+    fn poor_locality_hurts() {
+        let c = CacheConfig::default();
+        let mut dense = pattern(512.0 * 1024.0);
+        let mut sparse = dense;
+        dense.locality = 1.0;
+        sparse.locality = 0.1;
+        let d = c.misses_per_iter(&dense);
+        let s = c.misses_per_iter(&sparse);
+        assert!(s.l1_misses > d.l1_misses);
+        assert!(s.stall_cycles > d.stall_cycles);
+    }
+
+    #[test]
+    fn hit_probability_is_half_at_capacity() {
+        let c = CacheConfig::default();
+        let p = c.hit_probability(c.l2_bytes, c.l2_bytes);
+        assert!((p - 0.5).abs() < 1e-12);
+        assert_eq!(c.hit_probability(0.0, c.l1_bytes), 1.0);
+    }
+
+    #[test]
+    fn overlap_reduces_stalls() {
+        let mut c = CacheConfig::default();
+        let p = AccessPattern {
+            accesses_per_iter: 50.0,
+            working_set_bytes: 1e8,
+            streamed_bytes_per_iter: 3200.0,
+            locality: 0.8,
+        };
+        c.overlap = 0.0;
+        let no_overlap = c.misses_per_iter(&p).stall_cycles;
+        c.overlap = 0.8;
+        let with_overlap = c.misses_per_iter(&p).stall_cycles;
+        assert!(with_overlap < no_overlap * 0.25);
+    }
+}

@@ -1,0 +1,250 @@
+//! Program execution: unrolls the region tree into one rank's *script* —
+//! the ordered list of compute intervals, communication operations and
+//! region enter/exit markers, with noise applied.
+//!
+//! The script carries durations but no absolute times; the SPMD scheduler
+//! ([`crate::spmd`]) assigns the clock once inter-rank synchronisation is
+//! resolved.
+
+use crate::kernel::CpuConfig;
+use crate::noise::{NoiseConfig, NoiseModel};
+use crate::program::{Block, Program};
+use phasefold_model::{CommKind, CounterSet, RegionId};
+
+/// One compute interval: a kernel execution with stationary counter rates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComputeSpec {
+    /// Wall duration in seconds (noise included).
+    pub dur_s: f64,
+    /// Counter deltas accumulated over the interval.
+    pub counters: CounterSet,
+    /// Kernel region.
+    pub region: RegionId,
+    /// Source line of the hot statement.
+    pub line: u32,
+    /// Full region stack, outermost first (including `region`).
+    pub stack: Vec<RegionId>,
+}
+
+/// One item of a rank's execution script.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScriptItem {
+    /// Enter a function/loop region (zero duration marker).
+    Enter(RegionId),
+    /// Exit a function/loop region (zero duration marker).
+    Exit(RegionId),
+    /// Run a kernel.
+    Compute(ComputeSpec),
+    /// Perform a communication operation.
+    Comm {
+        /// Operation kind.
+        kind: CommKind,
+        /// Payload size in bytes.
+        bytes: f64,
+    },
+}
+
+/// Unrolls `program` for one rank.
+///
+/// `seed` individualises the noise stream per rank; with
+/// [`NoiseConfig::NONE`] the script is exactly repeatable and identical
+/// across ranks.
+pub fn unroll(
+    program: &Program,
+    cpu: &CpuConfig,
+    noise: NoiseConfig,
+    seed: u64,
+) -> Vec<ScriptItem> {
+    unroll_scaled(program, cpu, noise, seed, 1.0)
+}
+
+/// Like [`unroll`], with a per-rank `speed` factor (> 0): compute durations
+/// scale by `1/speed`, counters unchanged. Models systematic load imbalance
+/// or heterogeneous cores — a faster rank (`speed > 1`) finishes its bursts
+/// sooner and waits in collectives.
+pub fn unroll_scaled(
+    program: &Program,
+    cpu: &CpuConfig,
+    noise: NoiseConfig,
+    seed: u64,
+    speed: f64,
+) -> Vec<ScriptItem> {
+    assert!(speed > 0.0, "rank speed factor must be positive");
+    let mut out = Vec::new();
+    let mut stack: Vec<RegionId> = Vec::new();
+    let mut noise = NoiseModel::new(noise, seed);
+    walk(&program.root, cpu, &mut noise, &mut stack, &mut out, 1.0 / speed);
+    out
+}
+
+fn walk(
+    block: &Block,
+    cpu: &CpuConfig,
+    noise: &mut NoiseModel,
+    stack: &mut Vec<RegionId>,
+    out: &mut Vec<ScriptItem>,
+    dur_scale: f64,
+) {
+    match block {
+        Block::Seq(blocks) => {
+            for b in blocks {
+                walk(b, cpu, noise, stack, out, dur_scale);
+            }
+        }
+        Block::Function { region, body } => {
+            out.push(ScriptItem::Enter(*region));
+            stack.push(*region);
+            walk(body, cpu, noise, stack, out, dur_scale);
+            stack.pop();
+            out.push(ScriptItem::Exit(*region));
+        }
+        Block::Loop { region, count, body } => {
+            out.push(ScriptItem::Enter(*region));
+            stack.push(*region);
+            for _ in 0..*count {
+                walk(body, cpu, noise, stack, out, dur_scale);
+            }
+            stack.pop();
+            out.push(ScriptItem::Exit(*region));
+        }
+        Block::Kernel { region, line, iters, profile } => {
+            let base_dur = profile.seconds_per_iter(cpu) * *iters as f64 * dur_scale;
+            let factor = noise.duration_factor();
+            let jitter = noise.jitter_for(base_dur);
+            let dur_s = base_dur * factor + jitter;
+            let counters = profile.counters_per_iter(cpu).scale(*iters as f64);
+            let mut stack_snapshot = stack.clone();
+            stack_snapshot.push(*region);
+            out.push(ScriptItem::Compute(ComputeSpec {
+                dur_s,
+                counters,
+                region: *region,
+                line: *line,
+                stack: stack_snapshot,
+            }));
+        }
+        Block::Comm { kind, bytes } => {
+            out.push(ScriptItem::Comm { kind: *kind, bytes: *bytes });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelProfile;
+    use crate::program::ProgramBuilder;
+    use phasefold_model::CounterKind;
+
+    fn tiny() -> Program {
+        let mut b = ProgramBuilder::new("tiny");
+        let k = b.kernel("k", "t.c", 10, 100, KernelProfile::balanced());
+        let c = b.comm(CommKind::Collective, 8.0);
+        let lp = b.loop_block("it", "t.c", 5, 3, ProgramBuilder::seq(vec![k, c]));
+        let main = b.function("main", "t.c", 1, lp);
+        b.finish(main)
+    }
+
+    #[test]
+    fn unroll_shape() {
+        let p = tiny();
+        let script = unroll(&p, &CpuConfig::default(), NoiseConfig::NONE, 0);
+        // main enter, loop enter, 3×(compute, comm), loop exit, main exit
+        let computes = script
+            .iter()
+            .filter(|s| matches!(s, ScriptItem::Compute(_)))
+            .count();
+        let comms = script
+            .iter()
+            .filter(|s| matches!(s, ScriptItem::Comm { .. }))
+            .count();
+        assert_eq!(computes, 3);
+        assert_eq!(comms, 3);
+        assert!(matches!(script[0], ScriptItem::Enter(_)));
+        assert!(matches!(script[script.len() - 1], ScriptItem::Exit(_)));
+    }
+
+    #[test]
+    fn markers_nest_properly() {
+        let p = tiny();
+        let script = unroll(&p, &CpuConfig::default(), NoiseConfig::NONE, 0);
+        let mut depth: i32 = 0;
+        for item in &script {
+            match item {
+                ScriptItem::Enter(_) => depth += 1,
+                ScriptItem::Exit(_) => {
+                    depth -= 1;
+                    assert!(depth >= 0);
+                }
+                _ => assert!(depth > 0, "compute outside any region"),
+            }
+        }
+        assert_eq!(depth, 0);
+    }
+
+    #[test]
+    fn compute_stack_includes_ancestry() {
+        let p = tiny();
+        let script = unroll(&p, &CpuConfig::default(), NoiseConfig::NONE, 0);
+        let spec = script
+            .iter()
+            .find_map(|s| match s {
+                ScriptItem::Compute(c) => Some(c),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(spec.stack.len(), 3); // main > it > k
+        assert_eq!(spec.stack[2], spec.region);
+        assert_eq!(spec.line, 10);
+    }
+
+    #[test]
+    fn noiseless_script_is_deterministic_and_rank_independent() {
+        let p = tiny();
+        let cpu = CpuConfig::default();
+        let a = unroll(&p, &cpu, NoiseConfig::NONE, 1);
+        let b = unroll(&p, &cpu, NoiseConfig::NONE, 99);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn noise_perturbs_durations_not_counters() {
+        let p = tiny();
+        let cpu = CpuConfig::default();
+        let clean = unroll(&p, &cpu, NoiseConfig::NONE, 7);
+        let noisy = unroll(&p, &cpu, NoiseConfig::noisy(), 7);
+        let durs = |s: &[ScriptItem]| -> Vec<f64> {
+            s.iter()
+                .filter_map(|i| match i {
+                    ScriptItem::Compute(c) => Some(c.dur_s),
+                    _ => None,
+                })
+                .collect()
+        };
+        let ins = |s: &[ScriptItem]| -> Vec<f64> {
+            s.iter()
+                .filter_map(|i| match i {
+                    ScriptItem::Compute(c) => Some(c.counters[CounterKind::Instructions]),
+                    _ => None,
+                })
+                .collect()
+        };
+        assert_ne!(durs(&clean), durs(&noisy));
+        assert_eq!(ins(&clean), ins(&noisy));
+    }
+
+    #[test]
+    fn kernel_counters_scale_with_iters() {
+        let p = tiny();
+        let script = unroll(&p, &CpuConfig::default(), NoiseConfig::NONE, 0);
+        let spec = script
+            .iter()
+            .find_map(|s| match s {
+                ScriptItem::Compute(c) => Some(c),
+                _ => None,
+            })
+            .unwrap();
+        // 100 iterations × 100 instructions each.
+        assert_eq!(spec.counters[CounterKind::Instructions], 10_000.0);
+    }
+}

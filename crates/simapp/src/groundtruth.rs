@@ -1,0 +1,304 @@
+//! Ground truth for evaluation: the *true* phase structure of every
+//! computation burst.
+//!
+//! The paper validates phase detection by expert reading of known codes; a
+//! simulator can do better. From the **noiseless** script we derive, for
+//! each distinct burst shape (*template*), the exact phase boundaries (as
+//! fractions of the burst) and per-phase counter rates. Experiments compare
+//! detected breakpoints/slopes against these.
+
+use crate::engine::{ComputeSpec, ScriptItem};
+use phasefold_model::{CounterSet, RegionId};
+use std::collections::HashMap;
+
+/// One true phase inside a burst template.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TruePhase {
+    /// Phase start as a fraction of the burst duration.
+    pub frac_start: f64,
+    /// Phase end as a fraction of the burst duration.
+    pub frac_end: f64,
+    /// Kernel region executing during the phase.
+    pub region: RegionId,
+    /// Hot source line.
+    pub line: u32,
+    /// Stationary counter rates (per second).
+    pub rates: CounterSet,
+}
+
+/// The exact structure of one distinct burst shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BurstTemplate {
+    /// Phases in execution order, covering `[0, 1]` without gaps.
+    pub phases: Vec<TruePhase>,
+    /// Noiseless burst duration in seconds.
+    pub total_dur_s: f64,
+    /// Counter totals over the burst.
+    pub total_counters: CounterSet,
+    /// How many bursts of one rank's run follow this template.
+    pub occurrences: usize,
+}
+
+impl BurstTemplate {
+    /// Interior phase boundaries (fractions), i.e. the breakpoints a
+    /// perfect detector should report.
+    pub fn boundaries(&self) -> Vec<f64> {
+        self.phases
+            .iter()
+            .skip(1)
+            .map(|p| p.frac_start)
+            .collect()
+    }
+
+    /// Number of phases.
+    pub fn num_phases(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// True normalised accumulated value of `counter` at burst fraction
+    /// `x ∈ [0, 1]` — the curve folding reconstructs.
+    pub fn normalized_accumulation(&self, counter: phasefold_model::CounterKind, x: f64) -> f64 {
+        let total = self.total_counters[counter];
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let x = x.clamp(0.0, 1.0);
+        let mut acc = 0.0;
+        for p in &self.phases {
+            if x <= p.frac_start {
+                break;
+            }
+            let seg_end = x.min(p.frac_end);
+            let frac_of_phase = (seg_end - p.frac_start) / (p.frac_end - p.frac_start).max(1e-300);
+            let phase_total =
+                p.rates[counter] * (p.frac_end - p.frac_start) * self.total_dur_s;
+            acc += phase_total * frac_of_phase;
+        }
+        acc / total
+    }
+}
+
+/// Ground truth of a whole run (per rank it is identical: SPMD, noiseless).
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruth {
+    /// Distinct burst templates.
+    pub templates: Vec<BurstTemplate>,
+    /// Template index of each burst, in burst-ordinal order.
+    pub burst_templates: Vec<usize>,
+}
+
+impl GroundTruth {
+    /// Extracts the ground truth from a **noiseless** script.
+    pub fn from_script(script: &[ScriptItem]) -> GroundTruth {
+        let mut gt = GroundTruth::default();
+        let mut key_to_template: HashMap<Vec<(u32, u64)>, usize> = HashMap::new();
+        let mut current: Vec<&ComputeSpec> = Vec::new();
+        // The prologue before the first comm is not a burst (no leading
+        // boundary read); mirror burst extraction and skip it.
+        let mut seen_comm = false;
+        for item in script {
+            match item {
+                ScriptItem::Compute(spec) => {
+                    if seen_comm {
+                        current.push(spec);
+                    }
+                }
+                ScriptItem::Comm { .. } => {
+                    if seen_comm && !current.is_empty() {
+                        gt.record_burst(&current, &mut key_to_template);
+                    }
+                    current.clear();
+                    seen_comm = true;
+                }
+                ScriptItem::Enter(_) | ScriptItem::Exit(_) => {}
+            }
+        }
+        gt
+    }
+
+    fn record_burst(
+        &mut self,
+        specs: &[&ComputeSpec],
+        key_to_template: &mut HashMap<Vec<(u32, u64)>, usize>,
+    ) {
+        let key: Vec<(u32, u64)> = specs
+            .iter()
+            .map(|s| (s.region.0, s.dur_s.to_bits()))
+            .collect();
+        if let Some(&idx) = key_to_template.get(&key) {
+            self.templates[idx].occurrences += 1;
+            self.burst_templates.push(idx);
+            return;
+        }
+        let total_dur: f64 = specs.iter().map(|s| s.dur_s).sum();
+        let mut total_counters = CounterSet::ZERO;
+        for s in specs {
+            total_counters.add_assign(&s.counters);
+        }
+        let mut phases = Vec::with_capacity(specs.len());
+        let mut acc = 0.0;
+        for s in specs {
+            let frac_start = acc / total_dur;
+            acc += s.dur_s;
+            let frac_end = acc / total_dur;
+            phases.push(TruePhase {
+                frac_start,
+                frac_end,
+                region: s.region,
+                line: s.line,
+                rates: s.counters.scale(1.0 / s.dur_s.max(1e-300)),
+            });
+        }
+        // Merge adjacent phases of the same region (e.g. a kernel split
+        // across loop iterations inside one burst): they are one phase to
+        // any detector.
+        let phases = merge_adjacent(phases);
+        let idx = self.templates.len();
+        key_to_template.insert(key, idx);
+        self.templates.push(BurstTemplate {
+            phases,
+            total_dur_s: total_dur,
+            total_counters,
+            occurrences: 1,
+        });
+        self.burst_templates.push(idx);
+    }
+
+    /// The template most bursts follow (the "main iteration body"), if any.
+    pub fn dominant_template(&self) -> Option<&BurstTemplate> {
+        self.templates.iter().max_by_key(|t| t.occurrences)
+    }
+}
+
+fn merge_adjacent(phases: Vec<TruePhase>) -> Vec<TruePhase> {
+    let mut out: Vec<TruePhase> = Vec::with_capacity(phases.len());
+    for p in phases {
+        if let Some(last) = out.last_mut() {
+            if last.region == p.region && (last.frac_end - p.frac_start).abs() < 1e-12 {
+                // Weighted-average the rates (they are identical for a
+                // deterministic kernel, but stay correct in general).
+                let w1 = last.frac_end - last.frac_start;
+                let w2 = p.frac_end - p.frac_start;
+                let total = (w1 + w2).max(1e-300);
+                last.rates = last
+                    .rates
+                    .scale(w1 / total)
+                    .add(&p.rates.scale(w2 / total));
+                last.frac_end = p.frac_end;
+                continue;
+            }
+        }
+        out.push(p);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::unroll;
+    use crate::kernel::{CpuConfig, KernelProfile};
+    use crate::noise::NoiseConfig;
+    use crate::program::ProgramBuilder;
+    use phasefold_model::{CommKind, CounterKind};
+
+    fn script_for(phase_ipcs: &[f64], loops: u64) -> Vec<ScriptItem> {
+        let mut b = ProgramBuilder::new("gt");
+        let mut kernels = Vec::new();
+        for (i, &ipc) in phase_ipcs.iter().enumerate() {
+            let mut prof = KernelProfile::balanced();
+            prof.base_ipc = ipc;
+            prof.working_set_bytes = 256.0; // negligible cache effect
+            prof.branch_misp_rate = 0.0; // effective IPC == base IPC
+            kernels.push(b.kernel(&format!("k{i}"), "gt.c", 10 + i as u32, 10_000, prof));
+        }
+        kernels.push(b.comm(CommKind::Collective, 8.0));
+        let lp = b.loop_block("it", "gt.c", 5, loops, ProgramBuilder::seq(kernels));
+        let main = b.function("main", "gt.c", 1, lp);
+        let p = b.finish(main);
+        unroll(&p, &CpuConfig::default(), NoiseConfig::NONE, 0)
+    }
+
+    #[test]
+    fn repeated_bursts_collapse_to_one_template() {
+        let gt = GroundTruth::from_script(&script_for(&[2.0, 1.0], 10));
+        // First burst is skipped (prologue); 9 bursts recorded.
+        assert_eq!(gt.templates.len(), 1);
+        assert_eq!(gt.burst_templates.len(), 9);
+        assert_eq!(gt.templates[0].occurrences, 9);
+    }
+
+    #[test]
+    fn phases_cover_unit_interval() {
+        let gt = GroundTruth::from_script(&script_for(&[2.0, 0.5, 1.5], 4));
+        let t = gt.dominant_template().unwrap();
+        assert_eq!(t.num_phases(), 3);
+        assert_eq!(t.phases[0].frac_start, 0.0);
+        assert!((t.phases.last().unwrap().frac_end - 1.0).abs() < 1e-12);
+        for w in t.phases.windows(2) {
+            assert!((w[0].frac_end - w[1].frac_start).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn boundary_positions_reflect_ipc_ratio() {
+        // Two kernels, same instructions; IPC 2.0 vs 1.0 means durations
+        // 1:2, so the boundary sits at 1/3.
+        let gt = GroundTruth::from_script(&script_for(&[2.0, 1.0], 3));
+        let t = gt.dominant_template().unwrap();
+        let bounds = t.boundaries();
+        assert_eq!(bounds.len(), 1);
+        // Residual cache-model noise shifts the boundary by < 0.1 %.
+        assert!((bounds[0] - 1.0 / 3.0).abs() < 1e-3, "{bounds:?}");
+    }
+
+    #[test]
+    fn rates_match_profiles() {
+        let gt = GroundTruth::from_script(&script_for(&[2.0, 1.0], 3));
+        let t = gt.dominant_template().unwrap();
+        let cpu = CpuConfig::default();
+        // IPC 2.0 kernel -> instruction rate = 2.0 * clock.
+        let r0 = t.phases[0].rates[CounterKind::Instructions];
+        assert!((r0 - 2.0 * cpu.clock_hz).abs() < 1e-2 * r0, "r0 = {r0}");
+        let r1 = t.phases[1].rates[CounterKind::Instructions];
+        assert!((r1 - 1.0 * cpu.clock_hz).abs() < 1e-2 * r1, "r1 = {r1}");
+    }
+
+    #[test]
+    fn normalized_accumulation_is_piecewise_linear_and_monotone() {
+        let gt = GroundTruth::from_script(&script_for(&[2.0, 0.5], 3));
+        let t = gt.dominant_template().unwrap();
+        let mut prev = 0.0;
+        for i in 0..=20 {
+            let x = i as f64 / 20.0;
+            let y = t.normalized_accumulation(CounterKind::Instructions, x);
+            assert!(y >= prev - 1e-12);
+            prev = y;
+        }
+        assert!((t.normalized_accumulation(CounterKind::Instructions, 1.0) - 1.0).abs() < 1e-9);
+        assert_eq!(t.normalized_accumulation(CounterKind::Instructions, 0.0), 0.0);
+    }
+
+    #[test]
+    fn adjacent_same_region_phases_merge() {
+        // One kernel twice in a row inside the burst -> single phase.
+        let mut b = ProgramBuilder::new("m");
+        let prof = KernelProfile::balanced();
+        let k1 = b.kernel("k", "m.c", 1, 1000, prof);
+        let k2 = b.kernel("k", "m.c", 1, 1000, prof);
+        let c = b.comm(CommKind::Collective, 0.0);
+        let lp = b.loop_block("it", "m.c", 2, 4, ProgramBuilder::seq(vec![k1, k2, c]));
+        let main = b.function("main", "m.c", 1, lp);
+        let p = b.finish(main);
+        let script = unroll(&p, &CpuConfig::default(), NoiseConfig::NONE, 0);
+        let gt = GroundTruth::from_script(&script);
+        assert_eq!(gt.dominant_template().unwrap().num_phases(), 1);
+    }
+
+    #[test]
+    fn empty_script_is_empty_truth() {
+        let gt = GroundTruth::from_script(&[]);
+        assert!(gt.templates.is_empty());
+        assert!(gt.dominant_template().is_none());
+    }
+}

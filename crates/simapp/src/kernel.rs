@@ -1,0 +1,239 @@
+//! Kernel cost model: turns a kernel's static description into stationary
+//! hardware-counter *rates*.
+//!
+//! A kernel is the innermost unit of computation (a straight-line loop
+//! body). While it runs, every counter accumulates at a constant rate —
+//! exactly the "performance phase" the paper detects. The rates follow from
+//! an instruction mix, a base (issue-limited) IPC, the cache model
+//! ([`crate::cache`]) and a branch-misprediction penalty.
+
+use crate::cache::{AccessPattern, CacheConfig};
+use phasefold_model::{CounterKind, CounterSet};
+
+/// Clock frequency and pipeline parameters of the simulated core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuConfig {
+    /// Core clock in Hz.
+    pub clock_hz: f64,
+    /// Branch misprediction penalty in cycles.
+    pub branch_penalty: f64,
+    /// Memory hierarchy.
+    pub cache: CacheConfig,
+}
+
+impl Default for CpuConfig {
+    fn default() -> CpuConfig {
+        CpuConfig {
+            clock_hz: 2.5e9,
+            branch_penalty: 14.0,
+            cache: CacheConfig::default(),
+        }
+    }
+}
+
+/// Static description of a kernel's per-iteration behaviour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelProfile {
+    /// Instructions retired per iteration.
+    pub instr_per_iter: f64,
+    /// Fraction of instructions that are loads.
+    pub frac_loads: f64,
+    /// Fraction of instructions that are stores.
+    pub frac_stores: f64,
+    /// Fraction of instructions that are floating-point operations.
+    pub frac_fp: f64,
+    /// Fraction of instructions that are branches.
+    pub frac_branches: f64,
+    /// Misprediction probability per branch.
+    pub branch_misp_rate: f64,
+    /// Issue-limited IPC with a perfect memory system.
+    pub base_ipc: f64,
+    /// Resident working set in bytes.
+    pub working_set_bytes: f64,
+    /// Freshly streamed bytes per iteration.
+    pub streamed_bytes_per_iter: f64,
+    /// Access locality in `[0, 1]` (see [`AccessPattern::locality`]).
+    pub locality: f64,
+}
+
+impl KernelProfile {
+    /// A balanced, cache-friendly compute kernel; a convenient base to
+    /// customise from in tests and workloads.
+    pub fn balanced() -> KernelProfile {
+        KernelProfile {
+            instr_per_iter: 100.0,
+            frac_loads: 0.25,
+            frac_stores: 0.10,
+            frac_fp: 0.30,
+            frac_branches: 0.08,
+            branch_misp_rate: 0.02,
+            base_ipc: 2.2,
+            working_set_bytes: 16.0 * 1024.0,
+            streamed_bytes_per_iter: 0.0,
+            locality: 0.95,
+        }
+    }
+
+    /// Validates internal consistency (fractions within `[0, 1]`, positive
+    /// instruction count and IPC). Panics with a description otherwise —
+    /// profiles are static data, so this is a programming error.
+    pub fn validate(&self) {
+        assert!(self.instr_per_iter > 0.0, "instr_per_iter must be positive");
+        assert!(self.base_ipc > 0.0, "base_ipc must be positive");
+        let fracs = [self.frac_loads, self.frac_stores, self.frac_fp, self.frac_branches];
+        for f in fracs {
+            assert!((0.0..=1.0).contains(&f), "instruction-mix fraction out of range");
+        }
+        assert!(
+            fracs.iter().sum::<f64>() <= 1.0 + 1e-9,
+            "instruction-mix fractions exceed 1"
+        );
+        assert!((0.0..=1.0).contains(&self.branch_misp_rate));
+        assert!((0.0..=1.0).contains(&self.locality));
+        assert!(self.working_set_bytes >= 0.0);
+        assert!(self.streamed_bytes_per_iter >= 0.0);
+    }
+
+    /// Cycles consumed by one iteration under `cpu`.
+    pub fn cycles_per_iter(&self, cpu: &CpuConfig) -> f64 {
+        let issue = self.instr_per_iter / self.base_ipc;
+        let cache = cpu.cache.misses_per_iter(&self.access_pattern());
+        let branch =
+            self.instr_per_iter * self.frac_branches * self.branch_misp_rate * cpu.branch_penalty;
+        issue + cache.stall_cycles + branch
+    }
+
+    /// Wall-clock seconds consumed by one iteration under `cpu`.
+    pub fn seconds_per_iter(&self, cpu: &CpuConfig) -> f64 {
+        self.cycles_per_iter(cpu) / cpu.clock_hz
+    }
+
+    /// Effective IPC under `cpu` (≤ `base_ipc`).
+    pub fn effective_ipc(&self, cpu: &CpuConfig) -> f64 {
+        self.instr_per_iter / self.cycles_per_iter(cpu)
+    }
+
+    /// Counter deltas accumulated by one iteration under `cpu`.
+    pub fn counters_per_iter(&self, cpu: &CpuConfig) -> CounterSet {
+        let cache = cpu.cache.misses_per_iter(&self.access_pattern());
+        let mut c = CounterSet::ZERO;
+        c[CounterKind::Instructions] = self.instr_per_iter;
+        c[CounterKind::Cycles] = self.cycles_per_iter(cpu);
+        c[CounterKind::L1DMisses] = cache.l1_misses;
+        c[CounterKind::L2Misses] = cache.l2_misses;
+        c[CounterKind::L3Misses] = cache.l3_misses;
+        c[CounterKind::Loads] = self.instr_per_iter * self.frac_loads;
+        c[CounterKind::Stores] = self.instr_per_iter * self.frac_stores;
+        c[CounterKind::FpOps] = self.instr_per_iter * self.frac_fp;
+        c[CounterKind::Branches] = self.instr_per_iter * self.frac_branches;
+        c[CounterKind::BranchMisses] =
+            self.instr_per_iter * self.frac_branches * self.branch_misp_rate;
+        c
+    }
+
+    /// Counter *rates* per second: the stationary signature of the phase.
+    pub fn counter_rates(&self, cpu: &CpuConfig) -> CounterSet {
+        self.counters_per_iter(cpu)
+            .scale(1.0 / self.seconds_per_iter(cpu))
+    }
+
+    fn access_pattern(&self) -> AccessPattern {
+        AccessPattern {
+            accesses_per_iter: self.instr_per_iter * (self.frac_loads + self.frac_stores),
+            working_set_bytes: self.working_set_bytes,
+            streamed_bytes_per_iter: self.streamed_bytes_per_iter,
+            locality: self.locality,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_profile_validates() {
+        KernelProfile::balanced().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "instruction-mix fractions exceed 1")]
+    fn overfull_mix_panics() {
+        let mut p = KernelProfile::balanced();
+        p.frac_loads = 0.9;
+        p.frac_fp = 0.9;
+        p.validate();
+    }
+
+    #[test]
+    fn effective_ipc_bounded_by_base() {
+        let cpu = CpuConfig::default();
+        let mut p = KernelProfile::balanced();
+        for ws in [1e3, 1e6, 1e9] {
+            p.working_set_bytes = ws;
+            let ipc = p.effective_ipc(&cpu);
+            assert!(ipc > 0.0 && ipc <= p.base_ipc + 1e-9, "ws={ws} ipc={ipc}");
+        }
+    }
+
+    #[test]
+    fn bigger_working_set_is_slower() {
+        let cpu = CpuConfig::default();
+        let mut small = KernelProfile::balanced();
+        small.working_set_bytes = 8.0 * 1024.0;
+        let mut big = small;
+        big.working_set_bytes = 256.0 * 1024.0 * 1024.0;
+        assert!(big.seconds_per_iter(&cpu) > 2.0 * small.seconds_per_iter(&cpu));
+        assert!(big.effective_ipc(&cpu) < small.effective_ipc(&cpu));
+    }
+
+    #[test]
+    fn counters_are_consistent_with_mix() {
+        let cpu = CpuConfig::default();
+        let p = KernelProfile::balanced();
+        let c = p.counters_per_iter(&cpu);
+        assert_eq!(c[CounterKind::Instructions], 100.0);
+        assert_eq!(c[CounterKind::Loads], 25.0);
+        assert_eq!(c[CounterKind::Stores], 10.0);
+        assert_eq!(c[CounterKind::FpOps], 30.0);
+        assert_eq!(c[CounterKind::Branches], 8.0);
+        assert!((c[CounterKind::BranchMisses] - 0.16).abs() < 1e-12);
+        assert!(c[CounterKind::Cycles] >= 100.0 / p.base_ipc);
+    }
+
+    #[test]
+    fn rates_scale_counters_by_time() {
+        let cpu = CpuConfig::default();
+        let p = KernelProfile::balanced();
+        let per_iter = p.counters_per_iter(&cpu);
+        let rates = p.counter_rates(&cpu);
+        let secs = p.seconds_per_iter(&cpu);
+        for (k, v) in per_iter.iter() {
+            assert!((rates[k] * secs - v).abs() < 1e-6 * v.max(1.0), "{k}");
+        }
+        // MIPS sanity: a healthy kernel on a 2.5 GHz core runs 100s-1000s
+        // of millions of instructions per second.
+        let mips = rates[CounterKind::Instructions] / 1e6;
+        assert!(mips > 100.0 && mips < 10_000.0, "mips={mips}");
+    }
+
+    #[test]
+    fn branchy_kernel_pays_penalty() {
+        let cpu = CpuConfig::default();
+        let mut smooth = KernelProfile::balanced();
+        smooth.branch_misp_rate = 0.0;
+        let mut branchy = smooth;
+        branchy.branch_misp_rate = 0.3;
+        assert!(branchy.cycles_per_iter(&cpu) > smooth.cycles_per_iter(&cpu));
+    }
+
+    #[test]
+    fn cycle_rate_equals_clock() {
+        // Cycles accumulate at the clock frequency regardless of kernel.
+        let cpu = CpuConfig::default();
+        let mut p = KernelProfile::balanced();
+        p.working_set_bytes = 1e8;
+        let rates = p.counter_rates(&cpu);
+        assert!((rates[CounterKind::Cycles] - cpu.clock_hz).abs() < 1.0);
+    }
+}

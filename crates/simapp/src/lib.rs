@@ -1,0 +1,57 @@
+//! # phasefold-simapp
+//!
+//! Synthetic SPMD application substrate for the `phasefold` workspace — the
+//! stand-in for the in-production MPI applications (and the hardware they
+//! ran on) used by *"Identifying Code Phases Using Piece-Wise Linear
+//! Regressions"* (Servat et al., IPDPS 2014).
+//!
+//! The substitution is behaviour-preserving for the analysis under test:
+//! the folding + PWLR pipeline consumes only (a) communication-boundary
+//! events with exact counter reads and (b) sparse samples of monotonically
+//! accumulating counters plus call stacks. This crate produces exactly that
+//! signal — from programs with real syntactic structure (functions, loops,
+//! kernels with `file:line`), an analytical processor/cache cost model,
+//! per-rank noise, and SPMD communication coupling — while *additionally*
+//! exposing the exact ground truth (true phase boundaries and rates) that
+//! real systems cannot provide.
+//!
+//! Module map:
+//!
+//! * [`cache`] / [`kernel`] — the processor cost model: working-set driven
+//!   multi-level cache misses, branch penalties, stationary counter rates,
+//! * [`program`] — region-tree program descriptions with interned source
+//!   locations,
+//! * [`engine`] — unrolls a program into a rank's script (noise applied),
+//! * [`spmd`] — assigns absolute time, resolving collective and
+//!   neighbour synchronisation across ranks,
+//! * [`timeline`] — queryable continuous counter evolution (the simulated
+//!   PMU),
+//! * [`noise`] — log-normal duration noise and OS jitter,
+//! * [`groundtruth`] — exact per-burst phase structure for evaluation,
+//! * [`workloads`] — CG-solver, hydro-stencil, molecular-dynamics and
+//!   fully-synthetic application archetypes (baseline + optimised variants),
+//! * [`sim`] — one-call driver producing per-rank timelines + ground truth.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod cache;
+pub mod engine;
+pub mod groundtruth;
+pub mod kernel;
+pub mod noise;
+pub mod program;
+pub mod sim;
+pub mod spmd;
+pub mod timeline;
+pub mod workloads;
+
+pub use cache::{AccessPattern, CacheConfig};
+pub use engine::{unroll, ComputeSpec, ScriptItem};
+pub use groundtruth::{BurstTemplate, GroundTruth, TruePhase};
+pub use kernel::{CpuConfig, KernelProfile};
+pub use noise::{NoiseConfig, NoiseModel};
+pub use program::{Block, Program, ProgramBuilder};
+pub use sim::{simulate, SimConfig, SimOutput};
+pub use spmd::{schedule, CommConfig, ScheduledRank, TimedItem};
+pub use timeline::{RankTimeline, Segment, SegmentKind};

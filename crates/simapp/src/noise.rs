@@ -1,0 +1,196 @@
+//! Execution-time noise models.
+//!
+//! Real burst instances never repeat exactly: cache state, frequency
+//! scaling, OS preemption and network contention perturb durations. Folding
+//! must survive this — and its outlier pruning exists because of it — so the
+//! simulator models two components:
+//!
+//! * **multiplicative duration noise**: each kernel execution's duration is
+//!   scaled by a log-normal factor `exp(σ·z)` (counters unchanged ⇒ the
+//!   achieved rate wiggles around the stationary truth);
+//! * **OS jitter**: rare preemption slices that add wall time during which
+//!   the application makes no progress at all (the classic source of the
+//!   extreme outlier instances MAD-pruning removes).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the noise model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseConfig {
+    /// σ of the log-normal duration factor (0 disables).
+    pub duration_sigma: f64,
+    /// Expected preemptions per second of compute (0 disables).
+    pub jitter_rate_hz: f64,
+    /// Duration of one preemption slice in seconds.
+    pub jitter_slice_s: f64,
+}
+
+impl NoiseConfig {
+    /// No noise at all (exact, repeatable instances).
+    pub const NONE: NoiseConfig = NoiseConfig {
+        duration_sigma: 0.0,
+        jitter_rate_hz: 0.0,
+        jitter_slice_s: 0.0,
+    };
+
+    /// Mild noise typical of a well-managed HPC node.
+    pub fn quiet() -> NoiseConfig {
+        NoiseConfig {
+            duration_sigma: 0.02,
+            jitter_rate_hz: 1.0,
+            jitter_slice_s: 200e-6,
+        }
+    }
+
+    /// Heavy noise (shared node / misconfigured system).
+    pub fn noisy() -> NoiseConfig {
+        NoiseConfig {
+            duration_sigma: 0.08,
+            jitter_rate_hz: 20.0,
+            jitter_slice_s: 1e-3,
+        }
+    }
+}
+
+impl Default for NoiseConfig {
+    fn default() -> NoiseConfig {
+        NoiseConfig::quiet()
+    }
+}
+
+/// Stateful per-rank noise source. Deterministic given its seed.
+#[derive(Debug, Clone)]
+pub struct NoiseModel {
+    config: NoiseConfig,
+    rng: StdRng,
+    spare_normal: Option<f64>,
+}
+
+impl NoiseModel {
+    /// Builds a noise source for one rank.
+    pub fn new(config: NoiseConfig, seed: u64) -> NoiseModel {
+        NoiseModel { config, rng: StdRng::seed_from_u64(seed), spare_normal: None }
+    }
+
+    /// A standard normal variate (Box–Muller; `rand` itself provides only
+    /// uniform distributions).
+    fn standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        // Box–Muller transform.
+        let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare_normal = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Multiplicative duration factor for one kernel execution.
+    pub fn duration_factor(&mut self) -> f64 {
+        if self.config.duration_sigma <= 0.0 {
+            return 1.0;
+        }
+        (self.config.duration_sigma * self.standard_normal()).exp()
+    }
+
+    /// Total OS-jitter seconds to add to a compute interval of `dur_s`
+    /// seconds (Poisson-thinned preemption slices).
+    pub fn jitter_for(&mut self, dur_s: f64) -> f64 {
+        if self.config.jitter_rate_hz <= 0.0 || self.config.jitter_slice_s <= 0.0 {
+            return 0.0;
+        }
+        let expected = self.config.jitter_rate_hz * dur_s;
+        // Sample a Poisson count by inversion for small means, normal
+        // approximation for large ones.
+        let count = if expected < 30.0 {
+            let l = (-expected).exp();
+            let mut k = 0u64;
+            let mut p = 1.0;
+            loop {
+                p *= self.rng.gen_range(0.0..1.0f64);
+                if p <= l || k > 10_000 {
+                    break;
+                }
+                k += 1;
+            }
+            k as f64
+        } else {
+            (expected + expected.sqrt() * self.standard_normal()).max(0.0).round()
+        };
+        count * self.config.jitter_slice_s
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> NoiseConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_noise_is_exact() {
+        let mut m = NoiseModel::new(NoiseConfig::NONE, 1);
+        for _ in 0..10 {
+            assert_eq!(m.duration_factor(), 1.0);
+            assert_eq!(m.jitter_for(1.0), 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = NoiseModel::new(NoiseConfig::noisy(), 42);
+        let mut b = NoiseModel::new(NoiseConfig::noisy(), 42);
+        for _ in 0..100 {
+            assert_eq!(a.duration_factor(), b.duration_factor());
+            assert_eq!(a.jitter_for(0.01), b.jitter_for(0.01));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = NoiseModel::new(NoiseConfig::noisy(), 1);
+        let mut b = NoiseModel::new(NoiseConfig::noisy(), 2);
+        let same = (0..20).filter(|_| a.duration_factor() == b.duration_factor()).count();
+        assert!(same < 20);
+    }
+
+    #[test]
+    fn duration_factor_centred_near_one() {
+        let mut m = NoiseModel::new(
+            NoiseConfig { duration_sigma: 0.05, ..NoiseConfig::NONE },
+            7,
+        );
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| m.duration_factor()).sum::<f64>() / n as f64;
+        // E[lognormal(0, σ)] = exp(σ²/2) ≈ 1.00125
+        assert!((mean - 1.0).abs() < 0.02, "mean={mean}");
+    }
+
+    #[test]
+    fn jitter_scales_with_duration() {
+        let cfg = NoiseConfig { jitter_rate_hz: 100.0, jitter_slice_s: 1e-3, duration_sigma: 0.0 };
+        let mut m = NoiseModel::new(cfg, 11);
+        let n = 2000;
+        let short: f64 = (0..n).map(|_| m.jitter_for(0.01)).sum::<f64>() / n as f64;
+        let long: f64 = (0..n).map(|_| m.jitter_for(0.1)).sum::<f64>() / n as f64;
+        // Expected jitter: 0.001 s and 0.01 s respectively.
+        assert!((short - 0.001).abs() < 3e-4, "short={short}");
+        assert!((long - 0.01).abs() < 2e-3, "long={long}");
+    }
+
+    #[test]
+    fn poisson_large_mean_path() {
+        let cfg = NoiseConfig { jitter_rate_hz: 1000.0, jitter_slice_s: 1e-4, duration_sigma: 0.0 };
+        let mut m = NoiseModel::new(cfg, 13);
+        // mean count = 100 -> normal approximation path.
+        let j = m.jitter_for(0.1);
+        assert!(j > 0.0);
+        assert!((j - 0.01).abs() < 0.01, "j={j}");
+    }
+}

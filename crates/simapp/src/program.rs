@@ -1,0 +1,241 @@
+//! Region-tree program descriptions.
+//!
+//! A simulated application is a tree of *blocks*: functions and labelled
+//! loops (which become interned [`RegionId`]s with real `file:line`
+//! attribution), kernels (leaves with a [`KernelProfile`]) and communication
+//! operations. The tree is the "syntactical structure" the paper maps
+//! detected phases back onto.
+
+use crate::kernel::KernelProfile;
+use phasefold_model::{CommKind, RegionId, RegionKind, SourceRegistry};
+
+/// A node of the program tree.
+#[derive(Debug, Clone)]
+pub enum Block {
+    /// Sequential composition.
+    Seq(Vec<Block>),
+    /// A counted loop; the body runs `count` times.
+    Loop {
+        /// Loop label region (interned).
+        region: RegionId,
+        /// Trip count.
+        count: u64,
+        /// Loop body.
+        body: Box<Block>,
+    },
+    /// A function; enter/exit events are instrumented by the tracer.
+    Function {
+        /// Function region (interned).
+        region: RegionId,
+        /// Function body.
+        body: Box<Block>,
+    },
+    /// An innermost computational kernel.
+    Kernel {
+        /// Kernel region (interned).
+        region: RegionId,
+        /// Source line of the kernel's hot statement.
+        line: u32,
+        /// Iterations executed per encounter.
+        iters: u64,
+        /// Cost model.
+        profile: KernelProfile,
+    },
+    /// A communication operation (burst boundary).
+    Comm {
+        /// Operation kind.
+        kind: CommKind,
+        /// Message payload in bytes (0 for pure synchronisation).
+        bytes: f64,
+    },
+}
+
+/// A complete simulated application.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Application name (used in reports).
+    pub name: String,
+    /// Interned regions of the tree.
+    pub registry: SourceRegistry,
+    /// Root block (conventionally a `Function` named `main`).
+    pub root: Block,
+}
+
+impl Program {
+    /// Validates every kernel profile in the tree (panics on inconsistent
+    /// profiles; these are static bugs in workload definitions).
+    pub fn validate(&self) {
+        fn walk(b: &Block) {
+            match b {
+                Block::Seq(v) => v.iter().for_each(walk),
+                Block::Loop { body, .. } | Block::Function { body, .. } => walk(body),
+                Block::Kernel { profile, iters, .. } => {
+                    profile.validate();
+                    assert!(*iters > 0, "kernel with zero iterations");
+                }
+                Block::Comm { bytes, .. } => assert!(*bytes >= 0.0),
+            }
+        }
+        walk(&self.root);
+    }
+
+    /// Total kernel iterations executed by one run (loop-expanded).
+    pub fn total_kernel_iters(&self) -> u64 {
+        fn walk(b: &Block) -> u64 {
+            match b {
+                Block::Seq(v) => v.iter().map(walk).sum(),
+                Block::Loop { count, body, .. } => count * walk(body),
+                Block::Function { body, .. } => walk(body),
+                Block::Kernel { iters, .. } => *iters,
+                Block::Comm { .. } => 0,
+            }
+        }
+        walk(&self.root)
+    }
+
+    /// Number of communication operations executed by one run.
+    pub fn total_comms(&self) -> u64 {
+        fn walk(b: &Block) -> u64 {
+            match b {
+                Block::Seq(v) => v.iter().map(walk).sum(),
+                Block::Loop { count, body, .. } => count * walk(body),
+                Block::Function { body, .. } => walk(body),
+                Block::Kernel { .. } => 0,
+                Block::Comm { .. } => 1,
+            }
+        }
+        walk(&self.root)
+    }
+}
+
+/// Fluent builder interning regions as the tree is assembled.
+///
+/// ```
+/// use phasefold_simapp::{KernelProfile, ProgramBuilder};
+/// use phasefold_model::CommKind;
+///
+/// let mut b = ProgramBuilder::new("demo");
+/// let kernel = b.kernel("solve/axpy", "solve.c", 42, 10_000, KernelProfile::balanced());
+/// let sync = b.comm(CommKind::Collective, 8.0);
+/// let body = ProgramBuilder::seq(vec![kernel, sync]);
+/// let iter = b.loop_block("solve/iter", "solve.c", 40, 100, body);
+/// let main = b.function("main", "main.c", 1, iter);
+/// let program = b.finish(main);
+///
+/// assert_eq!(program.total_kernel_iters(), 1_000_000);
+/// assert_eq!(program.total_comms(), 100);
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    name: String,
+    registry: SourceRegistry,
+}
+
+impl ProgramBuilder {
+    /// Starts a program named `name`.
+    pub fn new(name: &str) -> ProgramBuilder {
+        ProgramBuilder { name: name.to_string(), registry: SourceRegistry::new() }
+    }
+
+    /// Access to the registry being built (for tests / ground truth).
+    pub fn registry(&self) -> &SourceRegistry {
+        &self.registry
+    }
+
+    /// Interns and wraps a function.
+    pub fn function(&mut self, name: &str, file: &str, line: u32, body: Block) -> Block {
+        let region = self.registry.intern(name, RegionKind::Function, file, line);
+        Block::Function { region, body: Box::new(body) }
+    }
+
+    /// Interns and wraps a labelled loop.
+    pub fn loop_block(
+        &mut self,
+        name: &str,
+        file: &str,
+        line: u32,
+        count: u64,
+        body: Block,
+    ) -> Block {
+        let region = self.registry.intern(name, RegionKind::Loop, file, line);
+        Block::Loop { region, count, body: Box::new(body) }
+    }
+
+    /// Interns a kernel leaf.
+    pub fn kernel(
+        &mut self,
+        name: &str,
+        file: &str,
+        line: u32,
+        iters: u64,
+        profile: KernelProfile,
+    ) -> Block {
+        let region = self.registry.intern(name, RegionKind::Kernel, file, line);
+        Block::Kernel { region, line, iters, profile }
+    }
+
+    /// A communication leaf (no region needed; the tracer knows comm kinds).
+    pub fn comm(&self, kind: CommKind, bytes: f64) -> Block {
+        Block::Comm { kind, bytes }
+    }
+
+    /// Sequential composition helper.
+    pub fn seq(blocks: Vec<Block>) -> Block {
+        Block::Seq(blocks)
+    }
+
+    /// Finalises the program with `root`.
+    pub fn finish(self, root: Block) -> Program {
+        let program = Program { name: self.name, registry: self.registry, root };
+        program.validate();
+        program
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_program() -> Program {
+        let mut b = ProgramBuilder::new("tiny");
+        let k = b.kernel("k", "tiny.c", 10, 50, KernelProfile::balanced());
+        let c = b.comm(CommKind::Collective, 1024.0);
+        let lp = b.loop_block("iter", "tiny.c", 5, 3, ProgramBuilder::seq(vec![k, c]));
+        let main = b.function("main", "tiny.c", 1, lp);
+        b.finish(main)
+    }
+
+    #[test]
+    fn builder_interns_regions() {
+        let p = tiny_program();
+        assert_eq!(p.registry.len(), 3);
+        assert!(p.registry.lookup("main").is_some());
+        assert!(p.registry.lookup("iter").is_some());
+        assert!(p.registry.lookup("k").is_some());
+    }
+
+    #[test]
+    fn static_counts_respect_loops() {
+        let p = tiny_program();
+        assert_eq!(p.total_kernel_iters(), 150);
+        assert_eq!(p.total_comms(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero iterations")]
+    fn zero_iteration_kernel_rejected() {
+        let mut b = ProgramBuilder::new("bad");
+        let k = b.kernel("k", "bad.c", 1, 0, KernelProfile::balanced());
+        b.finish(k);
+    }
+
+    #[test]
+    fn nested_loops_multiply() {
+        let mut b = ProgramBuilder::new("nest");
+        let k = b.kernel("k", "n.c", 1, 2, KernelProfile::balanced());
+        let inner = b.loop_block("inner", "n.c", 2, 10, k);
+        let outer = b.loop_block("outer", "n.c", 3, 4, inner);
+        let p = b.finish(outer);
+        assert_eq!(p.total_kernel_iters(), 80);
+    }
+}

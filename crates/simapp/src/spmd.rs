@@ -1,0 +1,365 @@
+//! SPMD scheduling: assigns absolute timestamps to every rank's script,
+//! resolving inter-rank synchronisation.
+//!
+//! All ranks run the same program (SPMD), so their communication sequences
+//! are structurally identical; only compute durations differ (noise). The
+//! scheduler walks the ranks' scripts in lock-step over communication
+//! *ordinals*:
+//!
+//! * `Collective` — all ranks leave together: `exit = maxᵣ(enter) + cost`;
+//! * `Send`/`Recv` — ring-neighbour synchronisation (halo-exchange
+//!   semantics): `exitᵣ = max(enterᵣ₋₁, enterᵣ, enterᵣ₊₁) + cost`;
+//! * `Wait` — purely local: `exit = enter + cost`.
+//!
+//! This is the behaviour the burst-clustering step depends on: computation
+//! bursts between synchronisations line up across ranks, and load imbalance
+//! turns into waiting time inside communication.
+
+use crate::engine::{ComputeSpec, ScriptItem};
+use phasefold_model::{CommKind, RegionId, TimeNs};
+
+/// Cost model for communication operations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommConfig {
+    /// Fixed per-message latency in seconds.
+    pub latency_s: f64,
+    /// Inverse bandwidth in seconds per byte.
+    pub s_per_byte: f64,
+    /// Base cost of a collective in seconds.
+    pub collective_base_s: f64,
+    /// Additional collective cost per `log2(ranks)` step, in seconds.
+    pub collective_log_s: f64,
+}
+
+impl Default for CommConfig {
+    fn default() -> CommConfig {
+        CommConfig {
+            latency_s: 2e-6,
+            s_per_byte: 1.0 / 10e9, // 10 GB/s
+            collective_base_s: 5e-6,
+            collective_log_s: 2e-6,
+        }
+    }
+}
+
+impl CommConfig {
+    /// Cost of one operation of `kind` carrying `bytes`, among `ranks`.
+    pub fn cost_s(&self, kind: CommKind, bytes: f64, ranks: usize) -> f64 {
+        match kind {
+            CommKind::Send | CommKind::Recv => self.latency_s + bytes * self.s_per_byte,
+            CommKind::Wait => self.latency_s,
+            CommKind::Collective => {
+                let log = (ranks.max(1) as f64).log2().ceil().max(1.0);
+                self.collective_base_s + log * self.collective_log_s + bytes * self.s_per_byte
+            }
+        }
+    }
+}
+
+/// A scheduled item on a rank's absolute timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TimedItem {
+    /// Region entry marker.
+    Enter {
+        /// Timestamp.
+        at: TimeNs,
+        /// Region entered.
+        region: RegionId,
+    },
+    /// Region exit marker.
+    Exit {
+        /// Timestamp.
+        at: TimeNs,
+        /// Region left.
+        region: RegionId,
+    },
+    /// A compute interval `[start, end)`.
+    Compute {
+        /// Interval start.
+        start: TimeNs,
+        /// Interval end.
+        end: TimeNs,
+        /// What ran.
+        spec: ComputeSpec,
+    },
+    /// A communication interval `[start, end)` (waiting included).
+    Comm {
+        /// Interval start (when the rank called the operation).
+        start: TimeNs,
+        /// Interval end (when the operation completed).
+        end: TimeNs,
+        /// Operation kind.
+        kind: CommKind,
+    },
+}
+
+impl TimedItem {
+    /// Start (or marker) timestamp.
+    pub fn start(&self) -> TimeNs {
+        match self {
+            TimedItem::Enter { at, .. } | TimedItem::Exit { at, .. } => *at,
+            TimedItem::Compute { start, .. } | TimedItem::Comm { start, .. } => *start,
+        }
+    }
+}
+
+/// One rank's fully-scheduled execution.
+#[derive(Debug, Clone, Default)]
+pub struct ScheduledRank {
+    /// Items in time order.
+    pub items: Vec<TimedItem>,
+}
+
+/// Schedules all ranks' scripts. Panics if the scripts' communication
+/// sequences are structurally divergent (not SPMD), which would indicate a
+/// bug in the workload definition.
+pub fn schedule(scripts: &[Vec<ScriptItem>], comm: &CommConfig) -> Vec<ScheduledRank> {
+    let n_ranks = scripts.len();
+    if n_ranks == 0 {
+        return Vec::new();
+    }
+    // Split each script into alternating compute chunks and comm ops.
+    struct Cursor<'a> {
+        items: &'a [ScriptItem],
+        pos: usize,
+        clock_s: f64,
+        out: Vec<TimedItem>,
+    }
+    let mut cursors: Vec<Cursor> = scripts
+        .iter()
+        .map(|s| Cursor { items: s, pos: 0, clock_s: 0.0, out: Vec::with_capacity(s.len()) })
+        .collect();
+
+    /// Advances a cursor through markers and compute until the next comm
+    /// (exclusive); returns the pending comm `(kind, bytes)` if any.
+    fn run_to_comm(c: &mut Cursor<'_>) -> Option<(CommKind, f64)> {
+        while c.pos < c.items.len() {
+            match &c.items[c.pos] {
+                ScriptItem::Enter(r) => {
+                    c.out.push(TimedItem::Enter { at: TimeNs::from_secs_f64(c.clock_s), region: *r });
+                    c.pos += 1;
+                }
+                ScriptItem::Exit(r) => {
+                    c.out.push(TimedItem::Exit { at: TimeNs::from_secs_f64(c.clock_s), region: *r });
+                    c.pos += 1;
+                }
+                ScriptItem::Compute(spec) => {
+                    let start = TimeNs::from_secs_f64(c.clock_s);
+                    c.clock_s += spec.dur_s;
+                    let end = TimeNs::from_secs_f64(c.clock_s);
+                    c.out.push(TimedItem::Compute { start, end, spec: spec.clone() });
+                    c.pos += 1;
+                }
+                ScriptItem::Comm { kind, bytes } => {
+                    c.pos += 1;
+                    return Some((*kind, *bytes));
+                }
+            }
+        }
+        None
+    }
+
+    loop {
+        // Advance every rank to its next comm.
+        let pending: Vec<Option<(CommKind, f64)>> =
+            cursors.iter_mut().map(run_to_comm).collect();
+        if pending.iter().all(Option::is_none) {
+            break;
+        }
+        assert!(
+            pending.iter().all(Option::is_some),
+            "non-SPMD scripts: ranks disagree on communication count"
+        );
+        let kinds: Vec<(CommKind, f64)> = pending.into_iter().map(Option::unwrap).collect();
+        let kind0 = kinds[0].0;
+        assert!(
+            kinds.iter().all(|(k, _)| *k == kind0),
+            "non-SPMD scripts: ranks disagree on communication kind"
+        );
+        let enters: Vec<f64> = cursors.iter().map(|c| c.clock_s).collect();
+        match kind0 {
+            CommKind::Collective => {
+                let max_enter = enters.iter().cloned().fold(0.0f64, f64::max);
+                for (r, c) in cursors.iter_mut().enumerate() {
+                    let cost = comm.cost_s(kind0, kinds[r].1, n_ranks);
+                    let start = TimeNs::from_secs_f64(c.clock_s);
+                    c.clock_s = max_enter + cost;
+                    c.out.push(TimedItem::Comm {
+                        start,
+                        end: TimeNs::from_secs_f64(c.clock_s),
+                        kind: kind0,
+                    });
+                }
+            }
+            CommKind::Send | CommKind::Recv => {
+                let mut exits = vec![0.0f64; n_ranks];
+                for r in 0..n_ranks {
+                    let left = enters[(r + n_ranks - 1) % n_ranks];
+                    let right = enters[(r + 1) % n_ranks];
+                    let sync = enters[r].max(left).max(right);
+                    exits[r] = sync + comm.cost_s(kind0, kinds[r].1, n_ranks);
+                }
+                for (r, c) in cursors.iter_mut().enumerate() {
+                    let start = TimeNs::from_secs_f64(c.clock_s);
+                    c.clock_s = exits[r];
+                    c.out.push(TimedItem::Comm {
+                        start,
+                        end: TimeNs::from_secs_f64(c.clock_s),
+                        kind: kind0,
+                    });
+                }
+            }
+            CommKind::Wait => {
+                for (r, c) in cursors.iter_mut().enumerate() {
+                    let cost = comm.cost_s(kind0, kinds[r].1, n_ranks);
+                    let start = TimeNs::from_secs_f64(c.clock_s);
+                    c.clock_s += cost;
+                    c.out.push(TimedItem::Comm {
+                        start,
+                        end: TimeNs::from_secs_f64(c.clock_s),
+                        kind: kind0,
+                    });
+                }
+            }
+        }
+    }
+
+    cursors
+        .into_iter()
+        .map(|c| ScheduledRank { items: c.out })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{CpuConfig, KernelProfile};
+    use phasefold_model::CounterSet;
+
+    fn compute(dur_s: f64) -> ScriptItem {
+        ScriptItem::Compute(ComputeSpec {
+            dur_s,
+            counters: CounterSet::ZERO,
+            region: RegionId(0),
+            line: 1,
+            stack: vec![RegionId(0)],
+        })
+    }
+
+    fn comm(kind: CommKind) -> ScriptItem {
+        ScriptItem::Comm { kind, bytes: 0.0 }
+    }
+
+    #[test]
+    fn collective_synchronises_all_ranks() {
+        let fast = vec![compute(0.1), comm(CommKind::Collective), compute(0.1)];
+        let slow = vec![compute(0.5), comm(CommKind::Collective), compute(0.1)];
+        let cfg = CommConfig::default();
+        let sched = schedule(&[fast, slow], &cfg);
+        // Both ranks leave the collective at the same time.
+        let exit = |s: &ScheduledRank| {
+            s.items
+                .iter()
+                .find_map(|i| match i {
+                    TimedItem::Comm { end, .. } => Some(*end),
+                    _ => None,
+                })
+                .unwrap()
+        };
+        assert_eq!(exit(&sched[0]), exit(&sched[1]));
+        // The fast rank's wait shows up as a long comm interval.
+        let comm_dur = |s: &ScheduledRank| {
+            s.items
+                .iter()
+                .find_map(|i| match i {
+                    TimedItem::Comm { start, end, .. } => {
+                        Some(end.as_secs_f64() - start.as_secs_f64())
+                    }
+                    _ => None,
+                })
+                .unwrap()
+        };
+        assert!(comm_dur(&sched[0]) > 0.39);
+        assert!(comm_dur(&sched[1]) < 0.01);
+    }
+
+    #[test]
+    fn wait_is_local() {
+        let a = vec![compute(0.1), comm(CommKind::Wait)];
+        let b = vec![compute(0.9), comm(CommKind::Wait)];
+        let sched = schedule(&[a, b], &CommConfig::default());
+        let end = |s: &ScheduledRank| s.items.last().unwrap().start();
+        assert!(end(&sched[0]) < end(&sched[1]));
+    }
+
+    #[test]
+    fn ring_sync_couples_neighbours_only() {
+        // Four ranks; rank 2 is slow. After one Send, ranks 1, 2, 3 are
+        // delayed (neighbours of 2 in the ring), rank 0 is delayed only via
+        // the ring wrap (it neighbours 3 and 1, both on time at enter).
+        let mk = |d: f64| vec![compute(d), comm(CommKind::Send), compute(0.01)];
+        let sched = schedule(&[mk(0.1), mk(0.1), mk(0.8), mk(0.1)], &CommConfig::default());
+        let comm_exit = |s: &ScheduledRank| {
+            s.items
+                .iter()
+                .find_map(|i| match i {
+                    TimedItem::Comm { end, .. } => Some(end.as_secs_f64()),
+                    _ => None,
+                })
+                .unwrap()
+        };
+        assert!(comm_exit(&sched[1]) > 0.79);
+        assert!(comm_exit(&sched[3]) > 0.79);
+        assert!(comm_exit(&sched[2]) > 0.79);
+        assert!(comm_exit(&sched[0]) < 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-SPMD")]
+    fn divergent_scripts_panic() {
+        let a = vec![compute(0.1), comm(CommKind::Collective)];
+        let b = vec![compute(0.1)];
+        schedule(&[a, b], &CommConfig::default());
+    }
+
+    #[test]
+    fn cost_model_shapes() {
+        let cfg = CommConfig::default();
+        // Bigger messages cost more.
+        assert!(cfg.cost_s(CommKind::Send, 1e6, 4) > cfg.cost_s(CommKind::Send, 1e3, 4));
+        // Collectives grow with rank count.
+        assert!(
+            cfg.cost_s(CommKind::Collective, 0.0, 64) > cfg.cost_s(CommKind::Collective, 0.0, 2)
+        );
+    }
+
+    #[test]
+    fn schedules_real_unrolled_program() {
+        use crate::engine::unroll;
+        use crate::noise::NoiseConfig;
+        use crate::program::ProgramBuilder;
+        let mut b = ProgramBuilder::new("t");
+        let k = b.kernel("k", "t.c", 1, 1000, KernelProfile::balanced());
+        let c = b.comm(CommKind::Collective, 64.0);
+        let lp = b.loop_block("it", "t.c", 2, 10, ProgramBuilder::seq(vec![k, c]));
+        let main = b.function("main", "t.c", 1, lp);
+        let p = b.finish(main);
+        let cpu = CpuConfig::default();
+        let scripts: Vec<_> = (0..4)
+            .map(|r| unroll(&p, &cpu, NoiseConfig::quiet(), r))
+            .collect();
+        let sched = schedule(&scripts, &CommConfig::default());
+        assert_eq!(sched.len(), 4);
+        for s in &sched {
+            // Items are time ordered.
+            for w in s.items.windows(2) {
+                assert!(w[0].start() <= w[1].start());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(schedule(&[], &CommConfig::default()).is_empty());
+    }
+}

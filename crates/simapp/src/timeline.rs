@@ -1,0 +1,316 @@
+//! Ground-truth timelines: continuous counter evolution with O(log n)
+//! point queries.
+//!
+//! This is the signal the real machine would expose through its PMU: at any
+//! instant `t`, the accumulated value of every counter, the current call
+//! stack and the current source line. The tracer samples it; evaluation
+//! experiments (E1) compare analysis output against it directly.
+
+use crate::spmd::{ScheduledRank, TimedItem};
+use phasefold_model::{CallStack, CommKind, CounterSet, RegionId, TimeNs};
+
+/// What was running during a timeline segment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SegmentKind {
+    /// A kernel: the region, its hot line and the full region stack.
+    Compute {
+        /// Kernel region.
+        region: RegionId,
+        /// Hot source line.
+        line: u32,
+        /// Region stack, outermost first.
+        stack: Vec<RegionId>,
+    },
+    /// A communication operation (incl. waiting).
+    Comm {
+        /// Operation kind.
+        kind: CommKind,
+    },
+    /// Idle gap (should not normally occur).
+    Idle,
+}
+
+/// A half-open interval `[start, end)` of stationary behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segment {
+    /// Interval start.
+    pub start: TimeNs,
+    /// Interval end.
+    pub end: TimeNs,
+    /// Accumulated counters at `start`.
+    pub base_counters: CounterSet,
+    /// Counter deltas over the interval.
+    pub delta: CounterSet,
+    /// What ran.
+    pub kind: SegmentKind,
+}
+
+impl Segment {
+    /// Instantaneous counter rates (per second) during the segment.
+    pub fn rates(&self) -> CounterSet {
+        let dur = self.end.saturating_since(self.start).as_secs_f64();
+        if dur <= 0.0 {
+            CounterSet::ZERO
+        } else {
+            self.delta.scale(1.0 / dur)
+        }
+    }
+}
+
+/// One rank's queryable ground-truth timeline.
+#[derive(Debug, Clone, Default)]
+pub struct RankTimeline {
+    segments: Vec<Segment>,
+    /// Region enter/exit markers in time order (for the tracer).
+    markers: Vec<(TimeNs, RegionId, bool)>, // (time, region, is_enter)
+}
+
+impl RankTimeline {
+    /// Builds a timeline from a scheduled rank. Communication intervals
+    /// accrue a small cycle count (spin-waiting) and nothing else.
+    pub fn from_scheduled(rank: &ScheduledRank, clock_hz: f64) -> RankTimeline {
+        let mut segments = Vec::new();
+        let mut markers = Vec::new();
+        let mut acc = CounterSet::ZERO;
+        for item in &rank.items {
+            match item {
+                TimedItem::Enter { at, region } => markers.push((*at, *region, true)),
+                TimedItem::Exit { at, region } => markers.push((*at, *region, false)),
+                TimedItem::Compute { start, end, spec } => {
+                    segments.push(Segment {
+                        start: *start,
+                        end: *end,
+                        base_counters: acc,
+                        delta: spec.counters,
+                        kind: SegmentKind::Compute {
+                            region: spec.region,
+                            line: spec.line,
+                            stack: spec.stack.clone(),
+                        },
+                    });
+                    acc.add_assign(&spec.counters);
+                }
+                TimedItem::Comm { start, end, kind } => {
+                    let dur = end.saturating_since(*start).as_secs_f64();
+                    let mut delta = CounterSet::ZERO;
+                    // Cycles keep ticking while spinning in the runtime.
+                    delta[phasefold_model::CounterKind::Cycles] = dur * clock_hz;
+                    // A trickle of runtime instructions (polling loop).
+                    delta[phasefold_model::CounterKind::Instructions] = dur * clock_hz * 0.3;
+                    delta[phasefold_model::CounterKind::Branches] = dur * clock_hz * 0.1;
+                    segments.push(Segment {
+                        start: *start,
+                        end: *end,
+                        base_counters: acc,
+                        delta,
+                        kind: SegmentKind::Comm { kind: *kind },
+                    });
+                    acc.add_assign(&delta);
+                }
+            }
+        }
+        RankTimeline { segments, markers }
+    }
+
+    /// The segments in time order.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Region markers in time order, `(time, region, is_enter)`.
+    pub fn markers(&self) -> &[(TimeNs, RegionId, bool)] {
+        &self.markers
+    }
+
+    /// End of the last segment (t = 0 for an empty timeline).
+    pub fn end_time(&self) -> TimeNs {
+        self.segments.last().map_or(TimeNs::ZERO, |s| s.end)
+    }
+
+    /// The segment covering `t`, if any.
+    pub fn segment_at(&self, t: TimeNs) -> Option<&Segment> {
+        if self.segments.is_empty() {
+            return None;
+        }
+        let idx = self.segments.partition_point(|s| s.end <= t);
+        self.segments.get(idx).filter(|s| s.start <= t)
+    }
+
+    /// Accumulated counters at time `t` (piece-wise linear interpolation —
+    /// exactly what a PMU read at `t` would return).
+    pub fn counters_at(&self, t: TimeNs) -> CounterSet {
+        if self.segments.is_empty() {
+            return CounterSet::ZERO;
+        }
+        let idx = self.segments.partition_point(|s| s.end <= t);
+        if idx >= self.segments.len() {
+            let last = self.segments.last().unwrap();
+            return last.base_counters.add(&last.delta);
+        }
+        let seg = &self.segments[idx];
+        if t <= seg.start {
+            return seg.base_counters;
+        }
+        let frac = t.normalized_within(seg.start, seg.end);
+        seg.base_counters.add(&seg.delta.scale(frac))
+    }
+
+    /// Call stack a sampling interrupt at `t` would capture. Communication
+    /// and idle intervals return an empty stack (the PC is in the runtime).
+    pub fn callstack_at(&self, t: TimeNs) -> CallStack {
+        match self.segment_at(t).map(|s| &s.kind) {
+            Some(SegmentKind::Compute { line, stack, .. }) => {
+                CallStack::new(stack.clone(), *line)
+            }
+            _ => CallStack::empty(),
+        }
+    }
+
+    /// Instantaneous rates at `t` (zero outside any segment).
+    pub fn rates_at(&self, t: TimeNs) -> CounterSet {
+        self.segment_at(t).map_or(CounterSet::ZERO, Segment::rates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{unroll, ScriptItem};
+    use crate::kernel::{CpuConfig, KernelProfile};
+    use crate::noise::NoiseConfig;
+    use crate::program::{Program, ProgramBuilder};
+    use crate::spmd::{schedule, CommConfig};
+    use phasefold_model::CounterKind;
+
+    fn simple_timeline() -> RankTimeline {
+        let p = two_kernel_program();
+        let cpu = CpuConfig::default();
+        let scripts = vec![unroll(&p, &cpu, NoiseConfig::NONE, 0)];
+        let sched = schedule(&scripts, &CommConfig::default());
+        RankTimeline::from_scheduled(&sched[0], cpu.clock_hz)
+    }
+
+    fn two_kernel_program() -> Program {
+        let mut b = ProgramBuilder::new("two");
+        let mut fast = KernelProfile::balanced();
+        fast.working_set_bytes = 1024.0;
+        let mut slow = KernelProfile::balanced();
+        slow.working_set_bytes = 64.0 * 1024.0 * 1024.0;
+        let k1 = b.kernel("fast", "two.c", 5, 20_000, fast);
+        let k2 = b.kernel("slow", "two.c", 9, 20_000, slow);
+        let c = b.comm(CommKind::Collective, 8.0);
+        let lp = b.loop_block("it", "two.c", 3, 4, ProgramBuilder::seq(vec![k1, k2, c]));
+        let main = b.function("main", "two.c", 1, lp);
+        b.finish(main)
+    }
+
+    #[test]
+    fn counters_are_monotone_along_time() {
+        let tl = simple_timeline();
+        let end = tl.end_time();
+        let mut prev = CounterSet::ZERO;
+        for i in 0..=50 {
+            let t = TimeNs((end.0 as f64 * i as f64 / 50.0) as u64);
+            let c = tl.counters_at(t);
+            assert!(c.dominates(&prev, 1e-6), "t={t}");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn counters_at_segment_boundaries_are_continuous() {
+        let tl = simple_timeline();
+        for seg in tl.segments() {
+            let at_start = tl.counters_at(seg.start);
+            let expect = seg.base_counters;
+            for (k, v) in expect.iter() {
+                assert!(
+                    (at_start[k] - v).abs() <= 1e-6 * v.max(1.0),
+                    "{k} at {:?}",
+                    seg.start
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn midpoint_interpolates_half_delta() {
+        let tl = simple_timeline();
+        let seg = &tl.segments()[0];
+        let mid = TimeNs((seg.start.0 + seg.end.0) / 2);
+        let c = tl.counters_at(mid);
+        let expect = seg.base_counters.add(&seg.delta.scale(0.5));
+        let k = CounterKind::Instructions;
+        assert!((c[k] - expect[k]).abs() < 1e-3 * expect[k].max(1.0));
+    }
+
+    #[test]
+    fn callstack_resolves_inside_compute_only() {
+        let tl = simple_timeline();
+        let compute_seg = tl
+            .segments()
+            .iter()
+            .find(|s| matches!(s.kind, SegmentKind::Compute { .. }))
+            .unwrap();
+        let mid = TimeNs((compute_seg.start.0 + compute_seg.end.0) / 2);
+        let cs = tl.callstack_at(mid);
+        assert_eq!(cs.depth(), 3); // main > it > kernel
+        let comm_seg = tl
+            .segments()
+            .iter()
+            .find(|s| matches!(s.kind, SegmentKind::Comm { .. }))
+            .unwrap();
+        let mid = TimeNs((comm_seg.start.0 + comm_seg.end.0) / 2);
+        assert!(tl.callstack_at(mid).is_empty());
+    }
+
+    #[test]
+    fn rates_differ_between_fast_and_slow_kernels() {
+        let tl = simple_timeline();
+        let mut rates = Vec::new();
+        for seg in tl.segments() {
+            if let SegmentKind::Compute { .. } = seg.kind {
+                rates.push(seg.rates()[CounterKind::Instructions]);
+            }
+        }
+        // Alternating fast/slow kernels -> at least 2x rate contrast.
+        let max = rates.iter().cloned().fold(0.0f64, f64::max);
+        let min = rates.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max > 2.0 * min, "max={max} min={min}");
+    }
+
+    #[test]
+    fn query_beyond_end_returns_totals() {
+        let tl = simple_timeline();
+        let total = tl.counters_at(TimeNs(u64::MAX));
+        let sum: f64 = tl
+            .segments()
+            .iter()
+            .map(|s| s.delta[CounterKind::Instructions])
+            .sum();
+        assert!((total[CounterKind::Instructions] - sum).abs() < 1e-3 * sum);
+    }
+
+    #[test]
+    fn markers_match_script() {
+        let p = two_kernel_program();
+        let cpu = CpuConfig::default();
+        let script = unroll(&p, &cpu, NoiseConfig::NONE, 0);
+        let n_markers = script
+            .iter()
+            .filter(|i| matches!(i, ScriptItem::Enter(_) | ScriptItem::Exit(_)))
+            .count();
+        let sched = schedule(&[script], &CommConfig::default());
+        let tl = RankTimeline::from_scheduled(&sched[0], cpu.clock_hz);
+        assert_eq!(tl.markers().len(), n_markers);
+    }
+
+    #[test]
+    fn empty_timeline_queries() {
+        let tl = RankTimeline::default();
+        assert_eq!(tl.counters_at(TimeNs(5)), CounterSet::ZERO);
+        assert!(tl.segment_at(TimeNs(5)).is_none());
+        assert_eq!(tl.end_time(), TimeNs::ZERO);
+        assert!(tl.callstack_at(TimeNs(5)).is_empty());
+    }
+}

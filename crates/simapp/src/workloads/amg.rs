@@ -1,0 +1,207 @@
+//! Algebraic-multigrid V-cycle archetype.
+//!
+//! Each V-cycle descends a level hierarchy (smooth → restrict per level),
+//! solves the coarsest level directly, and ascends (prolong → smooth).
+//! Every level's kernels work on a grid 4× smaller than the previous one,
+//! so one application produces *many* burst templates of widely different
+//! granularity — the multi-density stress case for structure detection, and
+//! the "very fine granularity" regime the paper's title advertises: coarse
+//! levels run in microseconds, far below any sane sampling period.
+
+use crate::kernel::KernelProfile;
+use crate::program::{Block, Program, ProgramBuilder};
+use phasefold_model::CommKind;
+
+/// Parameters of the AMG archetype.
+#[derive(Debug, Clone, Copy)]
+pub struct AmgParams {
+    /// V-cycles to run.
+    pub cycles: u64,
+    /// Unknowns per rank on the finest level.
+    pub fine_rows: u64,
+    /// Number of levels (≥ 2; each level is 4× coarser).
+    pub levels: u32,
+}
+
+impl Default for AmgParams {
+    fn default() -> AmgParams {
+        AmgParams { cycles: 60, fine_rows: 120_000, levels: 4 }
+    }
+}
+
+fn smooth_profile(rows: u64) -> KernelProfile {
+    // Jacobi/spmv-like; working set shrinks with the level.
+    KernelProfile {
+        instr_per_iter: 58.0,
+        frac_loads: 0.40,
+        frac_stores: 0.08,
+        frac_fp: 0.32,
+        frac_branches: 0.06,
+        branch_misp_rate: 0.01,
+        base_ipc: 2.6,
+        working_set_bytes: rows as f64 * 88.0,
+        streamed_bytes_per_iter: 88.0,
+        locality: 0.8,
+    }
+}
+
+fn transfer_profile(rows: u64) -> KernelProfile {
+    // Restriction/prolongation: lighter, strided access.
+    KernelProfile {
+        instr_per_iter: 24.0,
+        frac_loads: 0.38,
+        frac_stores: 0.15,
+        frac_fp: 0.22,
+        frac_branches: 0.05,
+        branch_misp_rate: 0.005,
+        base_ipc: 2.8,
+        working_set_bytes: rows as f64 * 48.0,
+        streamed_bytes_per_iter: 48.0,
+        locality: 0.9,
+    }
+}
+
+fn coarse_solve_profile(rows: u64) -> KernelProfile {
+    // Dense-ish direct solve on a tiny system: cache-resident, high IPC.
+    KernelProfile {
+        instr_per_iter: 300.0,
+        frac_loads: 0.28,
+        frac_stores: 0.10,
+        frac_fp: 0.45,
+        frac_branches: 0.04,
+        branch_misp_rate: 0.004,
+        base_ipc: 3.2,
+        working_set_bytes: (rows as f64 * 24.0).min(128.0 * 1024.0),
+        streamed_bytes_per_iter: 4.0,
+        locality: 1.0,
+    }
+}
+
+/// Rows on level `l` (level 0 = finest).
+fn level_rows(p: &AmgParams, level: u32) -> u64 {
+    (p.fine_rows >> (2 * level)).max(64)
+}
+
+/// Builds the AMG program.
+pub fn build(p: &AmgParams) -> Program {
+    assert!(p.levels >= 2, "need at least two levels");
+    let mut b = ProgramBuilder::new("amg");
+    let mut down: Vec<Block> = Vec::new();
+    let mut up: Vec<Block> = Vec::new();
+    for level in 0..p.levels - 1 {
+        let rows = level_rows(p, level);
+        let halo = b.comm(CommKind::Send, (rows as f64).sqrt() * 64.0);
+        let smooth = b.kernel(
+            &format!("vcycle/smooth_l{level}"),
+            "amg.c",
+            200 + 10 * level,
+            rows,
+            smooth_profile(rows),
+        );
+        let restrict = b.kernel(
+            &format!("vcycle/restrict_l{level}"),
+            "amg.c",
+            205 + 10 * level,
+            level_rows(p, level + 1),
+            transfer_profile(level_rows(p, level + 1)),
+        );
+        down.push(ProgramBuilder::seq(vec![halo, smooth, restrict]));
+
+        let rows_up = level_rows(p, level);
+        let halo_up = b.comm(CommKind::Send, (rows_up as f64).sqrt() * 64.0);
+        let prolong = b.kernel(
+            &format!("vcycle/prolong_l{level}"),
+            "amg.c",
+            305 + 10 * level,
+            rows_up,
+            transfer_profile(rows_up),
+        );
+        let smooth_up = b.kernel(
+            &format!("vcycle/smooth_up_l{level}"),
+            "amg.c",
+            300 + 10 * level,
+            rows_up,
+            smooth_profile(rows_up),
+        );
+        up.push(ProgramBuilder::seq(vec![halo_up, prolong, smooth_up]));
+    }
+    up.reverse();
+
+    let coarse_rows = level_rows(p, p.levels - 1);
+    let coarse_sync = b.comm(CommKind::Collective, coarse_rows as f64 * 8.0);
+    let coarse = b.kernel(
+        "vcycle/coarse_solve",
+        "amg.c",
+        400,
+        coarse_rows,
+        coarse_solve_profile(coarse_rows),
+    );
+    let residual_norm = b.comm(CommKind::Collective, 8.0);
+
+    let mut cycle_body = down;
+    cycle_body.push(ProgramBuilder::seq(vec![coarse_sync, coarse]));
+    cycle_body.extend(up);
+    cycle_body.push(residual_norm);
+    let cycle = b.loop_block(
+        "vcycle/loop",
+        "amg.c",
+        100,
+        p.cycles,
+        ProgramBuilder::seq(cycle_body),
+    );
+    let vcycle = b.function("vcycle", "amg.c", 90, cycle);
+    let main = b.function("main", "amg_main.c", 20, vcycle);
+    b.finish(main)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::unroll;
+    use crate::groundtruth::GroundTruth;
+    use crate::kernel::CpuConfig;
+    use crate::noise::NoiseConfig;
+
+    #[test]
+    fn builds_and_counts() {
+        let p = build(&AmgParams::default());
+        p.validate();
+        // Per cycle: (levels−1) halos down + coarse collective + (levels−1)
+        // halos up + residual collective = 2·(levels−1)+2 = 8 comms.
+        assert_eq!(p.total_comms(), 60 * 8);
+    }
+
+    #[test]
+    fn produces_many_distinct_templates() {
+        let prog = build(&AmgParams { cycles: 5, ..AmgParams::default() });
+        let script = unroll(&prog, &CpuConfig::default(), NoiseConfig::NONE, 0);
+        let gt = GroundTruth::from_script(&script);
+        // Distinct burst shapes per level direction + coarse solve.
+        assert!(gt.templates.len() >= 5, "only {} templates", gt.templates.len());
+    }
+
+    #[test]
+    fn burst_granularity_spans_orders_of_magnitude() {
+        let prog = build(&AmgParams { cycles: 3, ..AmgParams::default() });
+        let script = unroll(&prog, &CpuConfig::default(), NoiseConfig::NONE, 0);
+        let gt = GroundTruth::from_script(&script);
+        let durs: Vec<f64> = gt.templates.iter().map(|t| t.total_dur_s).collect();
+        let max = durs.iter().cloned().fold(0.0f64, f64::max);
+        let min = durs.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max / min > 20.0, "granularity ratio {}", max / min);
+    }
+
+    #[test]
+    fn coarser_levels_shrink() {
+        let p = AmgParams::default();
+        assert_eq!(level_rows(&p, 0), 120_000);
+        assert_eq!(level_rows(&p, 1), 30_000);
+        assert_eq!(level_rows(&p, 2), 7_500);
+    }
+
+    #[test]
+    #[should_panic(expected = "two levels")]
+    fn single_level_rejected() {
+        build(&AmgParams { levels: 1, ..AmgParams::default() });
+    }
+}

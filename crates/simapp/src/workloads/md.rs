@@ -1,0 +1,177 @@
+//! Molecular dynamics archetype.
+//!
+//! Per step: force computation (FP-dense, cache-friendly pair loops),
+//! integration (streaming), global energy reduction. Every `rebuild_every`
+//! steps the neighbour list is rebuilt first — a branchy, irregular kernel
+//! that dominates those steps. The optimised variant raises the rebuild
+//! interval (larger skin radius), the classic neighbour-list-reuse tuning.
+
+use crate::kernel::KernelProfile;
+use crate::program::{Program, ProgramBuilder};
+use phasefold_model::CommKind;
+
+/// Parameters of the MD archetype.
+#[derive(Debug, Clone, Copy)]
+pub struct MdParams {
+    /// Outer "decades": the program runs `decades × rebuild_every` steps.
+    pub decades: u64,
+    /// Atoms per rank.
+    pub local_atoms: u64,
+    /// Steps between neighbour-list rebuilds.
+    pub rebuild_every: u64,
+}
+
+impl Default for MdParams {
+    fn default() -> MdParams {
+        MdParams {
+            decades: 8,
+            local_atoms: 60_000,
+            rebuild_every: 20,
+        }
+    }
+}
+
+fn neighbor_profile(p: &MdParams) -> KernelProfile {
+    KernelProfile {
+        instr_per_iter: 600.0,
+        frac_loads: 0.38,
+        frac_stores: 0.12,
+        frac_fp: 0.12,
+        frac_branches: 0.18,
+        branch_misp_rate: 0.08,
+        base_ipc: 1.7,
+        working_set_bytes: p.local_atoms as f64 * 120.0,
+        streamed_bytes_per_iter: 160.0,
+        locality: 0.25,
+    }
+}
+
+fn force_profile(p: &MdParams) -> KernelProfile {
+    // Larger skin (longer reuse) means slightly more pairs per atom.
+    let pair_factor = 1.0 + 0.0008 * p.rebuild_every as f64;
+    KernelProfile {
+        instr_per_iter: 420.0 * pair_factor,
+        frac_loads: 0.30,
+        frac_stores: 0.08,
+        frac_fp: 0.48,
+        frac_branches: 0.05,
+        branch_misp_rate: 0.01,
+        base_ipc: 2.7,
+        working_set_bytes: p.local_atoms as f64 * 64.0,
+        streamed_bytes_per_iter: 48.0,
+        locality: 0.9,
+    }
+}
+
+fn integrate_profile(p: &MdParams) -> KernelProfile {
+    KernelProfile {
+        instr_per_iter: 36.0,
+        frac_loads: 0.30,
+        frac_stores: 0.20,
+        frac_fp: 0.35,
+        frac_branches: 0.03,
+        branch_misp_rate: 0.002,
+        base_ipc: 3.0,
+        working_set_bytes: p.local_atoms as f64 * 48.0,
+        streamed_bytes_per_iter: 48.0,
+        locality: 1.0,
+    }
+}
+
+/// Builds the MD program.
+pub fn build(p: &MdParams) -> Program {
+    assert!(p.rebuild_every >= 2, "rebuild interval must be >= 2");
+    let mut b = ProgramBuilder::new(if p.rebuild_every > 20 { "md-reuse" } else { "md" });
+    let atoms = p.local_atoms;
+
+    let neigh = b.kernel("md_step/neighbor_build", "md.c", 410, atoms, neighbor_profile(p));
+    let force = b.kernel("md_step/force", "md.c", 455, atoms, force_profile(p));
+    let integrate = b.kernel("md_step/integrate", "md.c", 501, atoms, integrate_profile(p));
+    let energy = b.comm(CommKind::Collective, 16.0);
+    let ghost = b.comm(CommKind::Send, (p.local_atoms as f64).powf(2.0 / 3.0) * 32.0);
+
+    // Step with rebuild, then (rebuild_every − 1) plain steps.
+    let rebuild_step = ProgramBuilder::seq(vec![
+        ghost.clone(),
+        neigh,
+        force.clone(),
+        integrate.clone(),
+        energy.clone(),
+    ]);
+    let plain_step = ProgramBuilder::seq(vec![ghost, force, integrate, energy]);
+    let plain_loop = b.loop_block(
+        "md_step/plain",
+        "md.c",
+        402,
+        p.rebuild_every - 1,
+        plain_step,
+    );
+    let decade = ProgramBuilder::seq(vec![rebuild_step, plain_loop]);
+    let lp = b.loop_block("md_step/loop", "md.c", 400, p.decades, decade);
+    let step_fn = b.function("md_step", "md.c", 390, lp);
+    let main = b.function("main", "md_main.c", 15, step_fn);
+    b.finish(main)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{unroll, ScriptItem};
+    use crate::groundtruth::GroundTruth;
+    use crate::kernel::CpuConfig;
+    use crate::noise::NoiseConfig;
+
+    #[test]
+    fn builds_and_counts() {
+        let p = build(&MdParams::default());
+        p.validate();
+        // Per decade: 20 steps × 2 comms (ghost + energy).
+        assert_eq!(p.total_comms(), 8 * 20 * 2);
+    }
+
+    #[test]
+    fn two_distinct_burst_templates_exist() {
+        // Rebuild steps and plain steps give different burst shapes.
+        let prog = build(&MdParams { decades: 2, ..MdParams::default() });
+        let script = unroll(&prog, &CpuConfig::default(), NoiseConfig::NONE, 0);
+        let gt = GroundTruth::from_script(&script);
+        assert!(gt.templates.len() >= 2, "only {} templates", gt.templates.len());
+        // The dominant template is the plain step (19 of 20).
+        let dom = gt.dominant_template().unwrap();
+        assert!(dom.occurrences > gt.templates.iter().map(|t| t.occurrences).sum::<usize>() / 2);
+    }
+
+    #[test]
+    fn reuse_variant_is_faster() {
+        let cpu = CpuConfig::default();
+        let total = |prog: &Program| -> f64 {
+            unroll(prog, &cpu, NoiseConfig::NONE, 0)
+                .iter()
+                .filter_map(|i| match i {
+                    ScriptItem::Compute(c) => Some(c.dur_s),
+                    _ => None,
+                })
+                .sum()
+        };
+        // Same total step count: decades × rebuild_every.
+        let base = build(&MdParams::default()); // 8 × 20 steps
+        let reuse = build(&MdParams { decades: 2, rebuild_every: 80, ..MdParams::default() });
+        let speedup = total(&base) / total(&reuse);
+        assert!(speedup > 1.02 && speedup < 1.5, "speedup {speedup}");
+    }
+
+    #[test]
+    fn neighbor_kernel_is_the_irregular_one() {
+        let cpu = CpuConfig::default();
+        let p = MdParams::default();
+        assert!(
+            neighbor_profile(&p).effective_ipc(&cpu) < force_profile(&p).effective_ipc(&cpu)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "rebuild interval")]
+    fn tiny_rebuild_interval_rejected() {
+        build(&MdParams { rebuild_every: 1, ..MdParams::default() });
+    }
+}

@@ -1,0 +1,102 @@
+//! Workload library: the simulated applications the evaluation runs on.
+//!
+//! The IPDPS'14 paper demonstrates its methodology on optimized
+//! in-production MPI applications. We model three application archetypes
+//! that exercise the same analysis paths — a conjugate-gradient solver
+//! ([`cg`]), an explicit hydrodynamics stencil ([`stencil`]) and a molecular
+//! dynamics step loop ([`md`]) — each with a *baseline* and an *optimised*
+//! variant whose transformation mirrors a classic small code change
+//! (loop fusion, cache blocking, neighbour-list reuse). [`synthetic`]
+//! provides fully-parameterised multi-phase kernels for the controlled
+//! accuracy experiments.
+
+pub mod amg;
+pub mod cg;
+pub mod fft;
+pub mod md;
+pub mod stencil;
+pub mod synthetic;
+
+use crate::program::Program;
+
+/// A named workload builder for sweep-style experiments.
+pub struct WorkloadEntry {
+    /// Stable workload name.
+    pub name: &'static str,
+    /// Short description for reports.
+    pub description: &'static str,
+    /// Builds the program at default parameters.
+    pub build: fn() -> Program,
+}
+
+/// The three case-study workloads at default parameters (baseline
+/// variants; each has an optimised counterpart for E6).
+pub fn all_baselines() -> Vec<WorkloadEntry> {
+    vec![
+        WorkloadEntry {
+            name: "cg",
+            description: "conjugate-gradient solver (spmv + dots + axpys, halo exchange)",
+            build: || cg::build(&cg::CgParams::default()),
+        },
+        WorkloadEntry {
+            name: "stencil",
+            description: "explicit hydro stencil (flux + update + eos, ring exchange)",
+            build: || stencil::build(&stencil::StencilParams::default()),
+        },
+        WorkloadEntry {
+            name: "md",
+            description: "molecular dynamics (neighbour build + forces + integrate)",
+            build: || md::build(&md::MdParams::default()),
+        },
+    ]
+}
+
+/// The extended workload set: case studies plus the stress archetypes
+/// (multigrid's multi-granularity hierarchy, FFT's comm-heavy pattern).
+pub fn all_extended() -> Vec<WorkloadEntry> {
+    let mut v = all_baselines();
+    v.push(WorkloadEntry {
+        name: "amg",
+        description: "algebraic multigrid V-cycle (per-level smooth/restrict/prolong)",
+        build: || amg::build(&amg::AmgParams::default()),
+    });
+    v.push(WorkloadEntry {
+        name: "fft",
+        description: "spectral transform (fft stages around all-to-all transposes)",
+        build: || fft::build(&fft::FftParams::default()),
+    });
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_baselines_build_and_validate() {
+        for entry in all_baselines() {
+            let p = (entry.build)();
+            p.validate();
+            assert!(p.total_comms() > 0, "{} has no comms", entry.name);
+            assert!(p.total_kernel_iters() > 0, "{} has no work", entry.name);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: Vec<&str> = all_extended().iter().map(|e| e.name).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(names.len(), dedup.len());
+    }
+
+    #[test]
+    fn extended_set_builds() {
+        for entry in all_extended() {
+            let p = (entry.build)();
+            p.validate();
+            assert!(p.total_comms() > 0, "{} has no comms", entry.name);
+        }
+    }
+}

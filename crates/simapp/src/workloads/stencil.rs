@@ -1,0 +1,180 @@
+//! Explicit hydrodynamics stencil archetype ("HydroC"-like).
+//!
+//! Per time step: ring halo exchange, a flux kernel (FP-heavy, reads a full
+//! grid slab), a conservative update (streaming) and an equation-of-state
+//! kernel (branchy, table lookups). Every tenth step ends with a global dt
+//! reduction. The optimised variant *blocks* the flux kernel so its working
+//! set fits in L2 — the cache-blocking transformation.
+
+use crate::kernel::KernelProfile;
+use crate::program::{Program, ProgramBuilder};
+use phasefold_model::CommKind;
+
+/// Parameters of the stencil archetype.
+#[derive(Debug, Clone, Copy)]
+pub struct StencilParams {
+    /// Time steps.
+    pub steps: u64,
+    /// Grid cells per rank.
+    pub local_cells: u64,
+    /// Apply cache blocking to the flux kernel.
+    pub blocked: bool,
+}
+
+impl Default for StencilParams {
+    fn default() -> StencilParams {
+        StencilParams {
+            steps: 120,
+            local_cells: 120_000,
+            blocked: false,
+        }
+    }
+}
+
+fn flux_profile(p: &StencilParams) -> KernelProfile {
+    // 5-point stencil on several state arrays: big slab working set unless
+    // blocked into L2-sized tiles.
+    let bytes_per_cell = 7.0 * 8.0;
+    let working_set = if p.blocked {
+        512.0 * 1024.0 // tile a couple of L2s big: L3-resident, not ideal
+    } else {
+        p.local_cells as f64 * bytes_per_cell
+    };
+    KernelProfile {
+        instr_per_iter: 95.0,
+        frac_loads: 0.30,
+        frac_stores: 0.08,
+        frac_fp: 0.45,
+        frac_branches: 0.04,
+        branch_misp_rate: 0.005,
+        base_ipc: 2.4,
+        working_set_bytes: working_set,
+        streamed_bytes_per_iter: bytes_per_cell,
+        locality: if p.blocked { 0.97 } else { 0.85 },
+    }
+}
+
+fn update_profile(p: &StencilParams) -> KernelProfile {
+    KernelProfile {
+        instr_per_iter: 30.0,
+        frac_loads: 0.33,
+        frac_stores: 0.20,
+        frac_fp: 0.30,
+        frac_branches: 0.04,
+        branch_misp_rate: 0.003,
+        base_ipc: 2.9,
+        working_set_bytes: p.local_cells as f64 * 40.0,
+        streamed_bytes_per_iter: 40.0,
+        locality: 1.0,
+    }
+}
+
+fn eos_profile(_p: &StencilParams) -> KernelProfile {
+    KernelProfile {
+        instr_per_iter: 55.0,
+        frac_loads: 0.28,
+        frac_stores: 0.10,
+        frac_fp: 0.25,
+        frac_branches: 0.16,
+        branch_misp_rate: 0.09,
+        base_ipc: 1.9,
+        working_set_bytes: 512.0 * 1024.0, // lookup tables
+        streamed_bytes_per_iter: 16.0,
+        locality: 0.8,
+    }
+}
+
+/// Builds the stencil program.
+pub fn build(p: &StencilParams) -> Program {
+    let mut b = ProgramBuilder::new(if p.blocked { "stencil-blocked" } else { "stencil" });
+    let cells = p.local_cells;
+    let halo_bytes = (p.local_cells as f64).sqrt() * 7.0 * 8.0;
+    assert!(p.steps % 10 == 0, "steps must be a multiple of 10");
+
+    let flux = b.kernel("hydro_step/flux", "hydro.c", 210, cells, flux_profile(p));
+    let update = b.kernel("hydro_step/update", "hydro.c", 260, cells, update_profile(p));
+    let eos = b.kernel("hydro_step/eos", "hydro.c", 305, cells, eos_profile(p));
+    let exchange = b.comm(CommKind::Send, halo_bytes);
+    let dt_reduce = b.comm(CommKind::Collective, 8.0);
+
+    // Nine plain steps then one step with the dt reduction.
+    let plain = ProgramBuilder::seq(vec![
+        exchange.clone(),
+        flux.clone(),
+        update.clone(),
+        eos.clone(),
+    ]);
+    let with_reduce = ProgramBuilder::seq(vec![exchange, flux, update, eos, dt_reduce]);
+    let nine = b.loop_block("hydro_step/inner", "hydro.c", 202, 9, plain);
+    let decade = ProgramBuilder::seq(vec![nine, with_reduce]);
+    let lp = b.loop_block("hydro_step/loop", "hydro.c", 200, p.steps / 10, decade);
+    let step_fn = b.function("hydro_step", "hydro.c", 190, lp);
+    let main = b.function("main", "hydro_main.c", 12, step_fn);
+    b.finish(main)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{unroll, ScriptItem};
+    use crate::kernel::CpuConfig;
+    use crate::noise::NoiseConfig;
+    use phasefold_model::CounterKind;
+
+    #[test]
+    fn builds_with_expected_comm_count() {
+        let p = build(&StencilParams::default());
+        p.validate();
+        // 120 exchanges + 12 reductions.
+        assert_eq!(p.total_comms(), 132);
+    }
+
+    #[test]
+    fn blocking_cuts_l2_misses_and_time() {
+        let cpu = CpuConfig::default();
+        let base = flux_profile(&StencilParams::default());
+        let blocked = flux_profile(&StencilParams { blocked: true, ..StencilParams::default() });
+        let r_base = base.counter_rates(&cpu);
+        let r_blocked = blocked.counter_rates(&cpu);
+        let miss_per_kins = |c: &phasefold_model::CounterSet| {
+            1000.0 * c[CounterKind::L2Misses] / c[CounterKind::Instructions]
+        };
+        assert!(miss_per_kins(&r_base) > 1.5 * miss_per_kins(&r_blocked));
+        assert!(blocked.seconds_per_iter(&cpu) < base.seconds_per_iter(&cpu));
+    }
+
+    #[test]
+    fn whole_app_speedup_in_plausible_band() {
+        let cpu = CpuConfig::default();
+        let total = |prog: &Program| -> f64 {
+            unroll(prog, &cpu, NoiseConfig::NONE, 0)
+                .iter()
+                .filter_map(|i| match i {
+                    ScriptItem::Compute(c) => Some(c.dur_s),
+                    _ => None,
+                })
+                .sum()
+        };
+        let t_base = total(&build(&StencilParams::default()));
+        let t_blk = total(&build(&StencilParams { blocked: true, ..StencilParams::default() }));
+        let speedup = t_base / t_blk;
+        assert!(speedup > 1.08 && speedup < 1.8, "speedup {speedup}");
+    }
+
+    #[test]
+    fn eos_is_branch_heavy() {
+        let cpu = CpuConfig::default();
+        let eos = eos_profile(&StencilParams::default()).counter_rates(&cpu);
+        let upd = update_profile(&StencilParams::default()).counter_rates(&cpu);
+        let misp_ratio = |c: &phasefold_model::CounterSet| {
+            c[CounterKind::BranchMisses] / c[CounterKind::Branches]
+        };
+        assert!(misp_ratio(&eos) > 10.0 * misp_ratio(&upd));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 10")]
+    fn odd_step_count_rejected() {
+        build(&StencilParams { steps: 7, ..StencilParams::default() });
+    }
+}

@@ -1,0 +1,161 @@
+//! Fully-parameterised synthetic multi-phase workloads for controlled
+//! accuracy experiments (E2, E3, E7, E10).
+//!
+//! Each phase is a kernel whose effective IPC is pinned (tiny working set ⇒
+//! no cache effects), so the true instruction-rate profile of a burst is an
+//! exact step function with known boundaries — the cleanest possible test
+//! of the PWLR machinery.
+
+use crate::kernel::KernelProfile;
+use crate::program::{Program, ProgramBuilder};
+use phasefold_model::CommKind;
+
+/// One synthetic phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseSpec {
+    /// Target effective IPC of the phase (0 < ipc ≤ 4).
+    pub ipc: f64,
+    /// Relative duration of the phase within the burst (any positive unit).
+    pub rel_duration: f64,
+}
+
+/// Parameters of [`build`].
+#[derive(Debug, Clone)]
+pub struct SyntheticParams {
+    /// Phases in execution order (≥ 1).
+    pub phases: Vec<PhaseSpec>,
+    /// Number of burst instances (outer loop count).
+    pub iterations: u64,
+    /// Approximate burst duration in seconds (sets kernel trip counts).
+    pub burst_duration_s: f64,
+}
+
+impl Default for SyntheticParams {
+    fn default() -> SyntheticParams {
+        SyntheticParams {
+            phases: vec![
+                PhaseSpec { ipc: 2.4, rel_duration: 1.0 },
+                PhaseSpec { ipc: 0.6, rel_duration: 1.5 },
+                PhaseSpec { ipc: 1.5, rel_duration: 0.8 },
+            ],
+            iterations: 200,
+            burst_duration_s: 2e-3,
+        }
+    }
+}
+
+/// True interior phase boundaries (burst fractions) implied by `params`.
+pub fn true_boundaries(params: &SyntheticParams) -> Vec<f64> {
+    let total: f64 = params.phases.iter().map(|p| p.rel_duration).sum();
+    let mut acc = 0.0;
+    params
+        .phases
+        .iter()
+        .take(params.phases.len().saturating_sub(1))
+        .map(|p| {
+            acc += p.rel_duration;
+            acc / total
+        })
+        .collect()
+}
+
+/// Builds the synthetic program.
+pub fn build(params: &SyntheticParams) -> Program {
+    assert!(!params.phases.is_empty(), "need at least one phase");
+    let mut b = ProgramBuilder::new("synthetic");
+    let clock = 2.5e9; // matches CpuConfig::default(); only sets trip counts
+    let total_rel: f64 = params.phases.iter().map(|p| p.rel_duration).sum();
+    let mut kernels = Vec::new();
+    for (i, phase) in params.phases.iter().enumerate() {
+        assert!(phase.ipc > 0.0 && phase.rel_duration > 0.0);
+        let mut prof = KernelProfile::balanced();
+        prof.base_ipc = phase.ipc;
+        prof.working_set_bytes = 256.0;
+        prof.streamed_bytes_per_iter = 0.0;
+        prof.branch_misp_rate = 0.0;
+        let dur_target = params.burst_duration_s * phase.rel_duration / total_rel;
+        let secs_per_iter = prof.instr_per_iter / (phase.ipc * clock);
+        let iters = (dur_target / secs_per_iter).round().max(1.0) as u64;
+        kernels.push(b.kernel(
+            &format!("phase{i}"),
+            "synthetic.c",
+            (100 + 10 * i) as u32,
+            iters,
+            prof,
+        ));
+    }
+    kernels.push(b.comm(CommKind::Collective, 64.0));
+    let lp = b.loop_block(
+        "timestep",
+        "synthetic.c",
+        50,
+        params.iterations,
+        ProgramBuilder::seq(kernels),
+    );
+    let main = b.function("main", "synthetic.c", 1, lp);
+    b.finish(main)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::unroll;
+    use crate::groundtruth::GroundTruth;
+    use crate::kernel::CpuConfig;
+    use crate::noise::NoiseConfig;
+
+    #[test]
+    fn default_builds() {
+        let p = build(&SyntheticParams::default());
+        p.validate();
+        assert_eq!(p.total_comms(), 200);
+    }
+
+    #[test]
+    fn true_boundaries_match_ground_truth_extraction() {
+        let params = SyntheticParams::default();
+        let p = build(&params);
+        let script = unroll(&p, &CpuConfig::default(), NoiseConfig::NONE, 0);
+        let gt = GroundTruth::from_script(&script);
+        let template = gt.dominant_template().unwrap();
+        let expected = true_boundaries(&params);
+        let actual = template.boundaries();
+        assert_eq!(actual.len(), expected.len());
+        for (a, e) in actual.iter().zip(&expected) {
+            // Trip-count rounding moves boundaries slightly.
+            assert!((a - e).abs() < 0.01, "actual {a} vs expected {e}");
+        }
+    }
+
+    #[test]
+    fn single_phase_has_no_boundaries() {
+        let params = SyntheticParams {
+            phases: vec![PhaseSpec { ipc: 1.0, rel_duration: 1.0 }],
+            iterations: 3,
+            burst_duration_s: 1e-3,
+        };
+        assert!(true_boundaries(&params).is_empty());
+        let p = build(&params);
+        p.validate();
+    }
+
+    #[test]
+    fn burst_duration_is_respected() {
+        let params = SyntheticParams::default();
+        let p = build(&params);
+        let script = unroll(&p, &CpuConfig::default(), NoiseConfig::NONE, 0);
+        let gt = GroundTruth::from_script(&script);
+        let t = gt.dominant_template().unwrap();
+        assert!(
+            (t.total_dur_s - params.burst_duration_s).abs() < 0.05 * params.burst_duration_s,
+            "burst lasts {}",
+            t.total_dur_s
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_phases_rejected() {
+        build(&SyntheticParams { phases: vec![], iterations: 1, burst_duration_s: 1e-3 });
+    }
+}

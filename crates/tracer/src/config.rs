@@ -1,0 +1,128 @@
+//! Tracer configuration.
+
+use phasefold_model::{CounterKind, DurNs};
+
+/// How the sampling interrupts read the (limited) PMU registers.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum MultiplexMode {
+    /// Every sample reads the full counter set (idealised PMU; the
+    /// configuration the accuracy experiments use).
+    #[default]
+    ReadAll,
+    /// Samples cycle round-robin through counter groups; each sample
+    /// carries only its group's counters (realistic PMU with few
+    /// programmable registers). Groups must be non-empty.
+    RoundRobin(Vec<Vec<CounterKind>>),
+}
+
+/// Cost model of the instrumentation itself (experiment E5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverheadConfig {
+    /// Wall-clock cost of one sampling interrupt (signal delivery, counter
+    /// reads, unwinding), in seconds.
+    pub per_sample_s: f64,
+    /// Wall-clock cost of one instrumented event (communication boundary or
+    /// region marker), in seconds.
+    pub per_event_s: f64,
+}
+
+impl Default for OverheadConfig {
+    fn default() -> OverheadConfig {
+        OverheadConfig {
+            per_sample_s: 5e-6, // ~µs-scale signal + unwind, as in Extrae
+            per_event_s: 0.3e-6,
+        }
+    }
+}
+
+impl OverheadConfig {
+    /// Zero-cost instrumentation (for experiments isolating accuracy from
+    /// perturbation).
+    pub const FREE: OverheadConfig = OverheadConfig { per_sample_s: 0.0, per_event_s: 0.0 };
+}
+
+/// Full tracer configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracerConfig {
+    /// Sampling period. The paper's regime of interest is *coarse*:
+    /// periods several times longer than a burst.
+    pub sampling_period: DurNs,
+    /// Uniform jitter applied to each sampling interval, as a fraction of
+    /// the period (`0.0` = perfectly periodic). Jitter is what lets folded
+    /// samples cover the whole burst instead of aliasing.
+    pub jitter_fraction: f64,
+    /// PMU multiplexing behaviour.
+    pub multiplex: MultiplexMode,
+    /// Capture call stacks on samples.
+    pub capture_callstacks: bool,
+    /// Instrumentation cost model.
+    pub overhead: OverheadConfig,
+    /// Seed of the per-rank jitter streams.
+    pub seed: u64,
+}
+
+impl Default for TracerConfig {
+    fn default() -> TracerConfig {
+        TracerConfig {
+            sampling_period: DurNs::from_millis(10),
+            jitter_fraction: 0.25,
+            multiplex: MultiplexMode::ReadAll,
+            capture_callstacks: true,
+            overhead: OverheadConfig::default(),
+            seed: 0x7AC3,
+        }
+    }
+}
+
+impl TracerConfig {
+    /// Validates the configuration, panicking on nonsense values (these are
+    /// static experiment definitions, not runtime inputs).
+    pub fn validate(&self) {
+        assert!(!self.sampling_period.is_zero(), "sampling period must be positive");
+        assert!(
+            (0.0..1.0).contains(&self.jitter_fraction),
+            "jitter fraction must be in [0, 1)"
+        );
+        if let MultiplexMode::RoundRobin(groups) = &self.multiplex {
+            assert!(!groups.is_empty(), "multiplexing needs at least one group");
+            assert!(
+                groups.iter().all(|g| !g.is_empty()),
+                "multiplex groups must be non-empty"
+            );
+        }
+        assert!(self.overhead.per_sample_s >= 0.0);
+        assert!(self.overhead.per_event_s >= 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        TracerConfig::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling period")]
+    fn zero_period_rejected() {
+        TracerConfig { sampling_period: DurNs::ZERO, ..TracerConfig::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter fraction")]
+    fn unit_jitter_rejected() {
+        TracerConfig { jitter_fraction: 1.0, ..TracerConfig::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_multiplex_group_rejected() {
+        TracerConfig {
+            multiplex: MultiplexMode::RoundRobin(vec![vec![CounterKind::Instructions], vec![]]),
+            ..TracerConfig::default()
+        }
+        .validate();
+    }
+}

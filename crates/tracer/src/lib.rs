@@ -1,0 +1,27 @@
+//! # phasefold-tracer
+//!
+//! Extrae/MPItrace stand-in for the `phasefold` workspace: records the
+//! **minimal-instrumentation + coarse-grain-sampling** signal that
+//! *"Identifying Code Phases Using Piece-Wise Linear Regressions"* (Servat
+//! et al., IPDPS 2014) builds on.
+//!
+//! Given the simulated ground-truth timelines of `phasefold-simapp`, the
+//! tracer emits per-rank [`phasefold_model::Trace`] streams containing:
+//!
+//! * **instrumented communication boundaries** with exact full counter
+//!   reads (delimiting computation bursts),
+//! * **function enter/exit markers** (the "minimal instrumentation"),
+//! * **periodic samples** with jitter, carrying accumulated counters — the
+//!   full set or a multiplexed subset — and captured call stacks.
+//!
+//! An explicit [`config::OverheadConfig`] dilates recorded timestamps so
+//! the perturbation-vs-frequency trade-off (experiment E5) is measurable.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod config;
+pub mod trace_run;
+
+pub use config::{MultiplexMode, OverheadConfig, TracerConfig};
+pub use trace_run::{trace_run, trace_run_with_overhead, OverheadReport};

@@ -1,0 +1,62 @@
+//! The paper's methodology applied to "first-time-seen" applications.
+//!
+//! ```text
+//! cargo run --release --example first_time_seen
+//! ```
+//!
+//! The IPDPS'14 paper introduces a methodology to describe the node-level
+//! performance of a parallel application *you have never seen before*:
+//!
+//! 1. run it once with minimal instrumentation + coarse sampling,
+//! 2. detect the computation structure (burst clustering),
+//! 3. fold each cluster and fit piece-wise linear regressions,
+//! 4. read off the phases: where time goes, how each phase performs, and
+//!    which source lines they correspond to.
+//!
+//! This example plays the analyst: it is handed three unknown applications
+//! and produces a structured description of each.
+
+use phasefold::report::{render_report, suggest_optimization};
+use phasefold::{run_study, AnalysisConfig};
+use phasefold_simapp::workloads::all_baselines;
+use phasefold_simapp::SimConfig;
+use phasefold_tracer::TracerConfig;
+
+fn main() {
+    for entry in all_baselines() {
+        let program = (entry.build)();
+        println!("────────────────────────────────────────────────────────");
+        println!("application `{}` — {}", entry.name, entry.description);
+        println!("────────────────────────────────────────────────────────");
+
+        let study = run_study(
+            &program,
+            &SimConfig { ranks: 8, ..SimConfig::default() },
+            &TracerConfig::default(),
+            &AnalysisConfig::default(),
+        );
+
+        println!("{}", render_report(&study.analysis, &study.trace.registry));
+
+        // The analyst's summary paragraph.
+        let a = &study.analysis;
+        println!(
+            "summary: {} burst shapes detected (SPMD consistency {:.2}).",
+            a.clustering.num_clusters, a.clustering.spmd_score
+        );
+        if let Some(model) = a.dominant_model() {
+            println!(
+                "the application spends most of its compute time in cluster {} \
+                 ({} instances, {:.2} s total), which splits into {} phases.",
+                model.cluster,
+                model.instances,
+                model.total_time_s(),
+                model.phases.len()
+            );
+        }
+        if let Some(hint) = suggest_optimization(a, &study.trace.registry) {
+            println!("first place to look: {hint}");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,60 @@
+//! On-line monitoring: analyse the application *while it runs*.
+//!
+//! ```text
+//! cargo run --release --example online_monitoring
+//! ```
+//!
+//! The companion on-line framework (Llort et al., IPDPS'10) performs the
+//! structure detection during execution and refines it as data streams in.
+//! This example replays a recorded run through the [`OnlineAnalyzer`] in
+//! chunks — as if records were arriving over a tree-based reduction
+//! network — printing a snapshot after every "monitoring interval".
+
+use phasefold::report::render_report;
+use phasefold::{AnalysisConfig, OnlineAnalyzer};
+use phasefold_simapp::workloads::cg::{build, CgParams};
+use phasefold_simapp::{simulate, SimConfig};
+use phasefold_tracer::{trace_run, TracerConfig};
+
+fn main() {
+    let program = build(&CgParams::default());
+    let sim = simulate(&program, &SimConfig { ranks: 4, ..SimConfig::default() });
+    let trace = trace_run(&program.registry, &sim.timelines, &TracerConfig::default());
+
+    let mut online = OnlineAnalyzer::new(AnalysisConfig::default(), 200);
+    let streams: Vec<_> = trace.iter_ranks().collect();
+    let max_len = streams.iter().map(|(_, s)| s.len()).max().unwrap_or(0);
+    let chunk = 400;
+    let mut offset = 0;
+    let mut interval = 0;
+    while offset < max_len {
+        for (rank, stream) in &streams {
+            let records = stream.records();
+            let end = (offset + chunk).min(records.len());
+            if offset < end {
+                online.push_records(*rank, &records[offset..end]);
+            }
+        }
+        offset += chunk;
+        interval += 1;
+        println!(
+            "── monitoring interval {interval}: {} bursts seen, warm: {} ──",
+            online.bursts_seen(),
+            online.is_warm()
+        );
+        let snapshot = online.snapshot();
+        if let Some(model) = snapshot.dominant_model() {
+            println!(
+                "   dominant cluster: {} phases from {} folded samples (R² {:.4})",
+                model.phases.len(),
+                model.folded_samples,
+                model.r2()
+            );
+        } else {
+            println!("   no model yet (warm-up or too few folded samples)");
+        }
+    }
+
+    println!("\nfinal on-line report:\n");
+    println!("{}", render_report(&online.snapshot(), &trace.registry));
+}

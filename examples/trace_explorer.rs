@@ -1,0 +1,64 @@
+//! Trace round-trip and exploration: write a `.prv`-like trace file, read
+//! it back, and analyse the parsed copy.
+//!
+//! ```text
+//! cargo run --release --example trace_explorer [output.prv]
+//! ```
+//!
+//! The original tool-chain decouples recording (Extrae) from analysis
+//! (Paraver + folding) through trace files. This example demonstrates the
+//! same decoupling: the analysis at the end runs purely on the re-parsed
+//! file, without access to the simulator.
+
+use phasefold::report::render_report;
+use phasefold::{analyze_trace, AnalysisConfig};
+use phasefold_model::prv;
+use phasefold_simapp::workloads::stencil::{build, StencilParams};
+use phasefold_simapp::{simulate, SimConfig};
+use phasefold_tracer::{trace_run, TracerConfig};
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target/stencil_trace.prv".to_string());
+
+    // Record.
+    let program = build(&StencilParams::default());
+    let sim = simulate(&program, &SimConfig { ranks: 4, ..SimConfig::default() });
+    let trace = trace_run(&program.registry, &sim.timelines, &TracerConfig::default());
+    let text = prv::write_trace(&trace);
+    std::fs::write(&path, &text).expect("write trace file");
+    println!(
+        "wrote {path}: {} ranks, {} records, {} bytes",
+        trace.num_ranks(),
+        trace.total_records(),
+        text.len()
+    );
+
+    // Re-read and explore.
+    let parsed = prv::parse_trace(&std::fs::read_to_string(&path).expect("read trace file"))
+        .expect("parse trace file");
+    let mut samples = 0usize;
+    let mut comms = 0usize;
+    let mut markers = 0usize;
+    for (_, stream) in parsed.iter_ranks() {
+        for r in stream.records() {
+            if r.is_sample() {
+                samples += 1;
+            } else if r.is_comm() {
+                comms += 1;
+            } else {
+                markers += 1;
+            }
+        }
+    }
+    println!("parsed back: {samples} samples, {comms} comm boundaries, {markers} region markers");
+    println!("regions in trace:");
+    for (_, info) in parsed.registry.iter() {
+        println!("  [{}] {} @ {}", info.kind.tag(), info.name, info.location);
+    }
+
+    // Analyse the parsed copy only.
+    let analysis = analyze_trace(&parsed, &AnalysisConfig::default());
+    println!("\n{}", render_report(&analysis, &parsed.registry));
+}

@@ -1,0 +1,168 @@
+//! Robustness: the analysis must degrade gracefully — never panic — on
+//! degenerate or adversarial traces (no communication, samples only,
+//! unbalanced markers, single burst, zero-duration artifacts).
+
+use phasefold::{analyze_trace, AnalysisConfig};
+use phasefold_model::{
+    CallStack, CommKind, CounterKind, CounterSet, PartialCounterSet, RankId, Record, Sample,
+    SourceRegistry, TimeNs, Trace,
+};
+
+fn counters(ins: f64) -> CounterSet {
+    let mut c = CounterSet::ZERO;
+    c[CounterKind::Instructions] = ins;
+    c[CounterKind::Cycles] = ins * 2.0;
+    c
+}
+
+fn sample(t: u64, ins: f64) -> Record {
+    Record::Sample(Sample {
+        time: TimeNs(t),
+        counters: PartialCounterSet::from_full(&counters(ins)),
+        callstack: CallStack::empty(),
+    })
+}
+
+#[test]
+fn empty_trace() {
+    let trace = Trace::default();
+    let analysis = analyze_trace(&trace, &AnalysisConfig::default());
+    assert_eq!(analysis.num_bursts, 0);
+    assert!(analysis.models.is_empty());
+}
+
+#[test]
+fn samples_only_no_communication() {
+    let mut trace = Trace::with_ranks(SourceRegistry::new(), 1);
+    let stream = trace.rank_mut(RankId(0)).unwrap();
+    for i in 0..100u64 {
+        stream.push(sample(i * 1_000_000, i as f64 * 1000.0)).unwrap();
+    }
+    let analysis = analyze_trace(&trace, &AnalysisConfig::default());
+    // No boundaries -> no bursts -> no models, but no panic either.
+    assert_eq!(analysis.num_bursts, 0);
+    assert!(analysis.models.is_empty());
+}
+
+#[test]
+fn single_burst_is_not_enough_to_fold() {
+    let mut trace = Trace::with_ranks(SourceRegistry::new(), 1);
+    let stream = trace.rank_mut(RankId(0)).unwrap();
+    stream
+        .push(Record::CommExit { time: TimeNs(0), kind: CommKind::Wait, counters: counters(0.0) })
+        .unwrap();
+    stream.push(sample(500_000, 500.0)).unwrap();
+    stream
+        .push(Record::CommEnter {
+            time: TimeNs(1_000_000),
+            kind: CommKind::Wait,
+            counters: counters(1000.0),
+        })
+        .unwrap();
+    let analysis = analyze_trace(&trace, &AnalysisConfig::default());
+    assert_eq!(analysis.num_bursts, 1);
+    assert!(analysis.models.is_empty());
+}
+
+#[test]
+fn unbalanced_region_markers_are_tolerated() {
+    let mut registry = SourceRegistry::new();
+    let r0 = registry.intern("f", phasefold_model::RegionKind::Function, "f.c", 1);
+    let mut trace = Trace::with_ranks(registry, 1);
+    let stream = trace.rank_mut(RankId(0)).unwrap();
+    // Exit without enter, then enter without exit, wrapped around bursts.
+    stream
+        .push(Record::RegionExit { time: TimeNs(0), region: r0 })
+        .unwrap();
+    for i in 0..40u64 {
+        let t0 = 1_000_000 * (2 * i + 1);
+        let t1 = 1_000_000 * (2 * i + 2);
+        stream
+            .push(Record::CommExit {
+                time: TimeNs(t0),
+                kind: CommKind::Collective,
+                counters: counters(i as f64 * 1000.0),
+            })
+            .unwrap();
+        stream.push(sample(t0 + 500_000, i as f64 * 1000.0 + 500.0)).unwrap();
+        stream
+            .push(Record::CommEnter {
+                time: TimeNs(t1),
+                kind: CommKind::Collective,
+                counters: counters((i + 1) as f64 * 1000.0),
+            })
+            .unwrap();
+    }
+    stream
+        .push(Record::RegionEnter { time: TimeNs(200_000_000), region: r0 })
+        .unwrap();
+    let analysis = analyze_trace(&trace, &AnalysisConfig::default());
+    assert_eq!(analysis.num_bursts, 40);
+    // Identical 1 ms bursts with linear counters: one cluster, one phase.
+    assert_eq!(analysis.models.len(), 1);
+    assert_eq!(analysis.models[0].phases.len(), 1);
+}
+
+#[test]
+fn counters_frozen_at_boundaries_yield_no_model_but_no_panic() {
+    // Bursts whose counter totals are all zero (e.g. counters unavailable).
+    let mut trace = Trace::with_ranks(SourceRegistry::new(), 1);
+    let stream = trace.rank_mut(RankId(0)).unwrap();
+    for i in 0..30u64 {
+        let t0 = 1_000_000 * (2 * i);
+        let t1 = 1_000_000 * (2 * i + 1);
+        stream
+            .push(Record::CommExit {
+                time: TimeNs(t0),
+                kind: CommKind::Collective,
+                counters: CounterSet::ZERO,
+            })
+            .unwrap();
+        stream
+            .push(Record::Sample(Sample {
+                time: TimeNs(t0 + 500_000),
+                counters: PartialCounterSet::from_full(&CounterSet::ZERO),
+                callstack: CallStack::empty(),
+            }))
+            .unwrap();
+        stream
+            .push(Record::CommEnter {
+                time: TimeNs(t1),
+                kind: CommKind::Collective,
+                counters: CounterSet::ZERO,
+            })
+            .unwrap();
+    }
+    let analysis = analyze_trace(&trace, &AnalysisConfig::default());
+    // Zero totals mean no foldable points -> no models.
+    assert!(analysis.models.is_empty());
+    assert_eq!(analysis.num_bursts, 30);
+}
+
+#[test]
+fn many_ranks_few_records_each() {
+    let mut trace = Trace::with_ranks(SourceRegistry::new(), 64);
+    for r in 0..64u32 {
+        let stream = trace.rank_mut(RankId(r)).unwrap();
+        stream
+            .push(Record::CommExit {
+                time: TimeNs(0),
+                kind: CommKind::Collective,
+                counters: counters(0.0),
+            })
+            .unwrap();
+        stream.push(sample(500_000, 500.0)).unwrap();
+        stream
+            .push(Record::CommEnter {
+                time: TimeNs(1_000_000),
+                kind: CommKind::Collective,
+                counters: counters(1000.0),
+            })
+            .unwrap();
+    }
+    let analysis = analyze_trace(&trace, &AnalysisConfig::default());
+    // 64 identical bursts pooled across ranks fold fine.
+    assert_eq!(analysis.num_bursts, 64);
+    assert_eq!(analysis.models.len(), 1);
+    assert_eq!(analysis.models[0].instances, 64);
+}

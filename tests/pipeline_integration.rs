@@ -1,0 +1,123 @@
+//! End-to-end integration: simulate → trace → analyse each workload
+//! archetype, checking the analysis output against the simulator's ground
+//! truth.
+
+use phasefold::{match_models_to_templates, rate_profile_error, score_boundaries, AnalysisConfig};
+use phasefold_model::CounterKind;
+use phasefold_simapp::workloads::{cg, md, stencil};
+use phasefold_simapp::{Program, SimConfig};
+use phasefold_tracer::TracerConfig;
+
+fn study(program: &Program, ranks: usize) -> phasefold::StudyOutput {
+    phasefold::run_study(
+        program,
+        &SimConfig { ranks, ..SimConfig::default() },
+        &TracerConfig::default(),
+        &AnalysisConfig::default(),
+    )
+}
+
+#[test]
+fn cg_phases_are_detected_and_attributed() {
+    let program = cg::build(&cg::CgParams::default());
+    let s = study(&program, 4);
+    assert!(!s.analysis.models.is_empty());
+    // The dominant cluster must split into more than one phase (spmv+dot or
+    // axpy+axpy+dot bursts) with good fit quality.
+    let model = s.analysis.dominant_model().unwrap();
+    assert!(model.r2() > 0.95, "r2 = {}", model.r2());
+    assert!(model.phases.len() >= 2, "{} phases", model.phases.len());
+    // Attributions must name cg regions.
+    let attributed = model.phases.iter().filter(|p| p.source.is_some()).count();
+    assert!(attributed >= model.phases.len() / 2);
+    for p in &model.phases {
+        if let Some(src) = &p.source {
+            let name = s.trace.registry.name(src.region).to_string();
+            assert!(name.starts_with("cg_solve/"), "unexpected region {name}");
+        }
+    }
+}
+
+#[test]
+fn stencil_boundaries_match_ground_truth() {
+    let program = stencil::build(&stencil::StencilParams::default());
+    let s = study(&program, 4);
+    let pairs = match_models_to_templates(&s.analysis.models, &s.sim.ground_truth);
+    assert!(!pairs.is_empty(), "no model/template match");
+    let mut checked = 0;
+    for (mi, ti) in pairs {
+        let model = &s.analysis.models[mi];
+        let template = &s.sim.ground_truth.templates[ti];
+        if model.instances < 40 {
+            continue; // poorly-sampled minority template
+        }
+        let score = score_boundaries(model.breakpoints(), &template.boundaries(), 0.06);
+        assert!(
+            score.recall >= 0.5,
+            "template {ti}: recall {} (detected {:?} vs truth {:?})",
+            score.recall,
+            model.breakpoints(),
+            template.boundaries()
+        );
+        checked += 1;
+    }
+    assert!(checked > 0);
+}
+
+#[test]
+fn md_detects_both_burst_templates() {
+    let program = md::build(&md::MdParams::default());
+    let s = study(&program, 4);
+    // Plain steps and rebuild steps have different shapes.
+    assert!(
+        s.analysis.clustering.num_clusters >= 2,
+        "only {} clusters",
+        s.analysis.clustering.num_clusters
+    );
+    assert!(s.analysis.clustering.spmd_score > 0.85);
+}
+
+#[test]
+fn rate_profiles_are_accurate_for_dominant_cluster() {
+    let program = cg::build(&cg::CgParams::default());
+    let s = study(&program, 4);
+    let pairs = match_models_to_templates(&s.analysis.models, &s.sim.ground_truth);
+    let model0 = s.analysis.dominant_model().unwrap();
+    let (mi, ti) = pairs
+        .iter()
+        .find(|(mi, _)| std::ptr::eq(&s.analysis.models[*mi], model0))
+        .copied()
+        .expect("dominant model matched to a template");
+    let err = rate_profile_error(
+        &s.analysis.models[mi],
+        &s.sim.ground_truth.templates[ti],
+        CounterKind::Instructions,
+        256,
+    );
+    // The folding-accuracy claim: mean absolute difference below ~5 %
+    // (allow 10 % here: the integration config uses default noise).
+    assert!(err < 0.10, "instruction-rate profile error {err}");
+}
+
+#[test]
+fn analysis_orders_models_by_total_time() {
+    let program = md::build(&md::MdParams::default());
+    let s = study(&program, 2);
+    let times: Vec<f64> = s.analysis.models.iter().map(|m| m.total_time_s()).collect();
+    for w in times.windows(2) {
+        assert!(w[0] >= w[1], "{times:?}");
+    }
+}
+
+#[test]
+fn run_study_is_deterministic() {
+    let program = stencil::build(&stencil::StencilParams::default());
+    let a = study(&program, 2);
+    let b = study(&program, 2);
+    assert_eq!(a.trace.total_records(), b.trace.total_records());
+    assert_eq!(a.analysis.models.len(), b.analysis.models.len());
+    for (ma, mb) in a.analysis.models.iter().zip(&b.analysis.models) {
+        assert_eq!(ma.breakpoints(), mb.breakpoints());
+        assert_eq!(ma.instances, mb.instances);
+    }
+}

@@ -1,0 +1,52 @@
+//! The analysis must be insensitive to a trace-file round trip: recording
+//! and analysing are decoupled through the `.prv`-like format.
+
+use phasefold::{analyze_trace, AnalysisConfig};
+use phasefold_model::prv;
+use phasefold_simapp::workloads::cg::{build, CgParams};
+use phasefold_simapp::{simulate, SimConfig};
+use phasefold_tracer::{trace_run, TracerConfig};
+
+#[test]
+fn analysis_identical_after_prv_roundtrip() {
+    let program = build(&CgParams { iterations: 60, ..CgParams::default() });
+    let sim = simulate(&program, &SimConfig { ranks: 2, ..SimConfig::default() });
+    let trace = trace_run(&program.registry, &sim.timelines, &TracerConfig::default());
+
+    let text = prv::write_trace(&trace);
+    let parsed = prv::parse_trace(&text).expect("parse");
+
+    let cfg = AnalysisConfig::default();
+    let direct = analyze_trace(&trace, &cfg);
+    let roundtrip = analyze_trace(&parsed, &cfg);
+
+    assert_eq!(direct.num_bursts, roundtrip.num_bursts);
+    assert_eq!(direct.clustering.num_clusters, roundtrip.clustering.num_clusters);
+    assert_eq!(direct.models.len(), roundtrip.models.len());
+    for (a, b) in direct.models.iter().zip(&roundtrip.models) {
+        assert_eq!(a.instances, b.instances);
+        assert_eq!(a.folded_samples, b.folded_samples);
+        assert_eq!(a.breakpoints(), b.breakpoints());
+        for (pa, pb) in a.phases.iter().zip(&b.phases) {
+            assert!((pa.metrics.mips - pb.metrics.mips).abs() < 1e-6 * pa.metrics.mips.max(1.0));
+            assert_eq!(
+                pa.source.as_ref().map(|s| s.region),
+                pb.source.as_ref().map(|s| s.region)
+            );
+        }
+    }
+}
+
+#[test]
+fn trace_file_is_reasonably_sized_and_stable() {
+    let program = build(&CgParams { iterations: 40, ..CgParams::default() });
+    let sim = simulate(&program, &SimConfig { ranks: 2, ..SimConfig::default() });
+    let trace = trace_run(&program.registry, &sim.timelines, &TracerConfig::default());
+    let text1 = prv::write_trace(&trace);
+    let text2 = prv::write_trace(&prv::parse_trace(&text1).unwrap());
+    assert_eq!(text1, text2, "write→parse→write must be byte-stable");
+    // Coarse sampling keeps traces small: far fewer samples than events.
+    let samples = text1.lines().filter(|l| l.starts_with("S ")).count();
+    let comms = text1.lines().filter(|l| l.starts_with("C ")).count();
+    assert!(samples < comms, "samples {samples} vs comm records {comms}");
+}

@@ -1,0 +1,98 @@
+//! Robustness integration: the tracer's realistic imperfections
+//! (multiplexed counters, instrumentation overhead, system noise) must not
+//! break structure detection or folding.
+
+use phasefold::{analyze_trace, AnalysisConfig};
+use phasefold_cluster::{adjusted_rand_index, cluster_bursts, ClusterConfig};
+use phasefold_model::{extract_bursts, CounterKind, DurNs};
+use phasefold_simapp::workloads::md::{build as build_md, MdParams};
+use phasefold_simapp::workloads::synthetic::{build as build_syn, SyntheticParams};
+use phasefold_simapp::{simulate, NoiseConfig, SimConfig};
+use phasefold_tracer::{trace_run, MultiplexMode, OverheadConfig, TracerConfig};
+
+#[test]
+fn clustering_matches_ground_truth_templates() {
+    let program = build_md(&MdParams::default());
+    let sim_cfg = SimConfig { ranks: 4, ..SimConfig::default() };
+    let out = simulate(&program, &sim_cfg);
+    let trace = trace_run(&program.registry, &out.timelines, &TracerConfig::default());
+    let bursts = extract_bursts(&trace, DurNs::from_micros(10));
+    let clustering = cluster_bursts(&bursts, &ClusterConfig::default());
+
+    // Ground truth: per-rank template sequence (identical across ranks,
+    // prologue skipped — same convention as burst extraction).
+    let per_rank_truth = &out.ground_truth.burst_templates;
+    let mut truth = Vec::with_capacity(bursts.len());
+    let mut labels = Vec::with_capacity(bursts.len());
+    let mut cursor_per_rank = std::collections::HashMap::new();
+    for (burst, label) in bursts.iter().zip(&clustering.labels) {
+        let cursor = cursor_per_rank.entry(burst.id.rank).or_insert(0usize);
+        if *cursor < per_rank_truth.len() {
+            truth.push(per_rank_truth[*cursor]);
+            labels.push(*label);
+        }
+        *cursor += 1;
+    }
+    let ari = adjusted_rand_index(&labels, &truth);
+    assert!(ari > 0.8, "ARI {ari} with {} clusters", clustering.num_clusters);
+}
+
+#[test]
+fn multiplexing_still_recovers_phases() {
+    let program = build_syn(&SyntheticParams { iterations: 600, ..SyntheticParams::default() });
+    let out = simulate(&program, &SimConfig { ranks: 4, ..SimConfig::default() });
+    let groups = vec![
+        vec![CounterKind::Instructions, CounterKind::Cycles, CounterKind::L1DMisses],
+        vec![CounterKind::Instructions, CounterKind::Cycles, CounterKind::L2Misses],
+        vec![CounterKind::Instructions, CounterKind::Cycles, CounterKind::L3Misses],
+    ];
+    let cfg = TracerConfig {
+        multiplex: MultiplexMode::RoundRobin(groups),
+        ..TracerConfig::default()
+    };
+    let trace = trace_run(&program.registry, &out.timelines, &cfg);
+    let analysis = analyze_trace(&trace, &AnalysisConfig::default());
+    let model = analysis.dominant_model().expect("model under multiplexing");
+    assert_eq!(model.phases.len(), 3, "candidates {:?}", model.fit.candidates);
+    // Miss-rate metrics are estimated from one third of the samples but
+    // must still be finite and ordered sensibly.
+    for p in &model.phases {
+        assert!(p.metrics.l2_mpki.is_finite());
+        assert!(p.metrics.l1_mpki >= p.metrics.l3_mpki - 1e-6);
+    }
+}
+
+#[test]
+fn heavy_noise_is_survivable() {
+    let program = build_syn(&SyntheticParams { iterations: 800, ..SyntheticParams::default() });
+    let out = simulate(
+        &program,
+        &SimConfig { ranks: 4, noise: NoiseConfig::noisy(), ..SimConfig::default() },
+    );
+    let trace = trace_run(&program.registry, &out.timelines, &TracerConfig::default());
+    let analysis = analyze_trace(&trace, &AnalysisConfig::default());
+    let model = analysis.dominant_model().expect("model under heavy noise");
+    // MAD pruning must have discarded the preempted stragglers.
+    assert!(model.instances_pruned > 0, "expected pruned outliers under noisy config");
+    // Structure still recovered (±1 phase tolerated under heavy noise).
+    assert!(
+        (2..=4).contains(&model.phases.len()),
+        "{} phases, candidates {:?}",
+        model.phases.len(),
+        model.fit.candidates
+    );
+}
+
+#[test]
+fn overhead_perturbs_but_does_not_destroy() {
+    let program = build_syn(&SyntheticParams { iterations: 500, ..SyntheticParams::default() });
+    let out = simulate(&program, &SimConfig { ranks: 2, ..SimConfig::default() });
+    let cfg = TracerConfig {
+        overhead: OverheadConfig { per_sample_s: 20e-6, per_event_s: 1e-6 },
+        ..TracerConfig::default()
+    };
+    let trace = trace_run(&program.registry, &out.timelines, &cfg);
+    let analysis = analyze_trace(&trace, &AnalysisConfig::default());
+    let model = analysis.dominant_model().expect("model despite overhead");
+    assert_eq!(model.phases.len(), 3, "candidates {:?}", model.fit.candidates);
+}
