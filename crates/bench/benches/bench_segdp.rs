@@ -1,0 +1,57 @@
+//! Criterion micro-bench: segmentation DP — the exact branch-and-bound
+//! `segment_dp` against the quadratic reference, across scatter sizes and
+//! segment counts. The pruned scan's advantage grows with n (the bound
+//! kills whole blocks of split candidates), so the gap should widen from
+//! ~2× at n = 1 000 to ≥10× at n = 10 000 on phase-structured data.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use phasefold_regress::segdp::{segment_dp, segment_dp_quadratic};
+
+/// Phase-structured scatter: `k` true linear pieces plus mild noise, the
+/// shape of a binned folded profile.
+fn scatter(n: usize, k: usize) -> (Vec<f64>, Vec<f64>) {
+    let slopes = [2.5, 0.4, 1.8, 0.2, 3.0, 0.9, 1.4, 0.6];
+    let seg_len = 1.0 / k as f64;
+    let mut edges = vec![0.0f64];
+    for s in 0..k {
+        edges.push(edges[s] + slopes[s % slopes.len()] * seg_len);
+    }
+    let mut xs = Vec::with_capacity(n);
+    let mut ys = Vec::with_capacity(n);
+    for i in 0..n {
+        let x = (i as f64 + 0.5) / n as f64;
+        let seg = ((x / seg_len) as usize).min(k - 1);
+        let y = edges[seg] + slopes[seg % slopes.len()] * (x - seg as f64 * seg_len);
+        let noise =
+            0.005 * ((((i as u64).wrapping_mul(2_654_435_761)) % 1000) as f64 / 500.0 - 1.0);
+        xs.push(x);
+        ys.push(y + noise);
+    }
+    (xs, ys)
+}
+
+fn bench_segdp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("segdp");
+    group.sample_size(10);
+    for &n in &[1_000usize, 4_000, 10_000] {
+        for &k in &[4usize, 8] {
+            let (xs, ys) = scatter(n, k);
+            group.bench_with_input(BenchmarkId::new(format!("pruned_{k}seg"), n), &n, |b, _| {
+                b.iter(|| segment_dp(&xs, &ys, None, k, 3))
+            });
+            // The quadratic reference is too slow to sweep fully; bench it
+            // at the smallest size only, as the scaling anchor.
+            if n == 1_000 {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("quadratic_{k}seg"), n),
+                    &n,
+                    |b, _| b.iter(|| segment_dp_quadratic(&xs, &ys, None, k, 3)),
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_segdp);
+criterion_main!(benches);

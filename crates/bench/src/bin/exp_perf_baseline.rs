@@ -1,0 +1,222 @@
+//! **E-PERF — Performance baseline** (machine-readable): wall-clock cost of
+//! the two hot paths this workspace optimises, written as
+//! `BENCH_pipeline.json` at the repository root so regressions are
+//! diffable across commits (see `scripts/bench.sh`).
+//!
+//! Two measurements:
+//!
+//! 1. **Segmentation DP**: the exact branch-and-bound `segment_dp` against
+//!    the retained O(k·n²) reference `segment_dp_quadratic` on an
+//!    n = 10 000, k = 8 binned-profile-like input, asserting bit-identical
+//!    output while recording the speedup.
+//! 2. **End-to-end pipeline**: `analyze_trace` on small/medium/large
+//!    synthetic traces, single-threaded vs the work-stealing pool at the
+//!    host's available parallelism. On a 1-core host both columns coincide
+//!    (the pool is bypassed); the JSON records `host_threads` so readers
+//!    can tell.
+//!
+//! ```text
+//! cargo run --release -p phasefold-bench --bin exp_perf_baseline [out.json]
+//! ```
+
+use phasefold::{analyze_trace, AnalysisConfig};
+use phasefold_bench::{banner, fmt, Table};
+use phasefold_regress::segdp::{segment_dp, segment_dp_quadratic, Segmentation};
+use phasefold_simapp::workloads::synthetic::{build, SyntheticParams};
+use phasefold_simapp::{simulate, SimConfig};
+use phasefold_tracer::{trace_run, OverheadConfig, TracerConfig};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Default output path: the repository root, resolved at compile time.
+const DEFAULT_OUT: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
+
+/// A phase-structured scatter shaped like a binned folded profile: k true
+/// linear pieces, mild deterministic noise.
+fn segdp_input(n: usize, k: usize) -> (Vec<f64>, Vec<f64>) {
+    let slopes = [2.5, 0.4, 1.8, 0.2, 3.0, 0.9, 1.4, 0.6];
+    let seg_len = 1.0 / k as f64;
+    let mut edges = vec![0.0f64];
+    for s in 0..k {
+        edges.push(edges[s] + slopes[s % slopes.len()] * seg_len);
+    }
+    let mut xs = Vec::with_capacity(n);
+    let mut ys = Vec::with_capacity(n);
+    for i in 0..n {
+        let x = (i as f64 + 0.5) / n as f64;
+        let seg = ((x / seg_len) as usize).min(k - 1);
+        let y = edges[seg] + slopes[seg % slopes.len()] * (x - seg as f64 * seg_len);
+        let noise =
+            0.005 * ((((i as u64).wrapping_mul(2_654_435_761)) % 1000) as f64 / 500.0 - 1.0);
+        xs.push(x);
+        ys.push(y + noise);
+    }
+    (xs, ys)
+}
+
+fn same_segmentations(a: &[Segmentation], b: &[Segmentation]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.num_segments == y.num_segments
+                && x.sse.to_bits() == y.sse.to_bits()
+                && x.breakpoints.len() == y.breakpoints.len()
+                && x.breakpoints
+                    .iter()
+                    .zip(&y.breakpoints)
+                    .all(|(p, q)| p.to_bits() == q.to_bits())
+        })
+}
+
+fn time_ms<T>(f: impl FnOnce() -> T) -> (f64, T) {
+    let t0 = Instant::now();
+    let out = f();
+    (t0.elapsed().as_secs_f64() * 1e3, out)
+}
+
+struct PipelineRow {
+    label: &'static str,
+    ranks: usize,
+    iterations: u64,
+    records: usize,
+    seq_ms: f64,
+    par_ms: f64,
+}
+
+fn bench_pipeline(label: &'static str, iterations: u64, ranks: usize, threads: usize) -> PipelineRow {
+    let params = SyntheticParams { iterations, ..SyntheticParams::default() };
+    let program = build(&params);
+    let out = simulate(&program, &SimConfig { ranks, ..SimConfig::default() });
+    let tracer = TracerConfig { overhead: OverheadConfig::FREE, ..TracerConfig::default() };
+    let trace = trace_run(&program.registry, &out.timelines, &tracer);
+    let seq_cfg = AnalysisConfig { threads: Some(1), ..AnalysisConfig::default() };
+    let par_cfg = AnalysisConfig { threads: Some(threads), ..AnalysisConfig::default() };
+    // Warm-up run, then min-of-two per configuration: the minimum filters
+    // out frequency-scaling and allocator-growth noise, which a 15 %
+    // regression gate (`scripts/bench.sh`) cannot tolerate.
+    let _ = analyze_trace(&trace, &seq_cfg);
+    let (seq_ms_a, seq) = time_ms(|| analyze_trace(&trace, &seq_cfg));
+    let (par_ms_a, par) = time_ms(|| analyze_trace(&trace, &par_cfg));
+    let (seq_ms_b, _) = time_ms(|| analyze_trace(&trace, &seq_cfg));
+    let (par_ms_b, _) = time_ms(|| analyze_trace(&trace, &par_cfg));
+    let seq_ms = seq_ms_a.min(seq_ms_b);
+    let par_ms = par_ms_a.min(par_ms_b);
+    assert_eq!(
+        seq.models.len(),
+        par.models.len(),
+        "{label}: thread count changed the analysis"
+    );
+    for (a, b) in seq.models.iter().zip(&par.models) {
+        assert_eq!(a.breakpoints(), b.breakpoints(), "{label}: non-deterministic breakpoints");
+    }
+    PipelineRow { label, ranks, iterations, records: trace.total_records(), seq_ms, par_ms }
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| DEFAULT_OUT.to_string());
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    banner(
+        "E-PERF",
+        "performance baseline: segmentation DP + end-to-end pipeline",
+        "wall-clock numbers behind BENCH_pipeline.json / scripts/bench.sh",
+    );
+
+    // 1. Segmentation DP: pruned vs quadratic on n = 10 000, k = 8.
+    let (n, k, min_points) = (10_000usize, 8usize, 3usize);
+    let (xs, ys) = segdp_input(n, k);
+    let (quad_ms, quad) = time_ms(|| segment_dp_quadratic(&xs, &ys, None, k, min_points));
+    // Median of three for the fast path (it is short enough to jitter).
+    let mut pruned_ms = Vec::new();
+    let mut pruned = Vec::new();
+    for _ in 0..3 {
+        let (ms, out) = time_ms(|| segment_dp(&xs, &ys, None, k, min_points));
+        pruned_ms.push(ms);
+        pruned = out;
+    }
+    pruned_ms.sort_by(f64::total_cmp);
+    let pruned_ms = pruned_ms[1];
+    let identical = same_segmentations(&quad, &pruned);
+    assert!(identical, "segment_dp diverged from the quadratic reference");
+    let segdp_speedup = quad_ms / pruned_ms;
+
+    let mut seg_table = Table::new(&["variant", "n", "k", "ms", "speedup"]);
+    seg_table.row(vec![
+        "quadratic".into(),
+        n.to_string(),
+        k.to_string(),
+        fmt(quad_ms, 1),
+        "1.0".into(),
+    ]);
+    seg_table.row(vec![
+        "pruned".into(),
+        n.to_string(),
+        k.to_string(),
+        fmt(pruned_ms, 1),
+        fmt(segdp_speedup, 1),
+    ]);
+    println!("{}", seg_table.render_text());
+
+    // 2. End-to-end pipeline on three trace sizes.
+    let rows = vec![
+        bench_pipeline("small", 150, 2, host_threads),
+        bench_pipeline("medium", 400, 4, host_threads),
+        bench_pipeline("large", 1000, 8, host_threads),
+    ];
+    let mut pipe_table = Table::new(&[
+        "trace",
+        "ranks",
+        "iterations",
+        "records",
+        "seq_ms",
+        "par_ms",
+        "speedup",
+    ]);
+    for r in &rows {
+        pipe_table.row(vec![
+            r.label.into(),
+            r.ranks.to_string(),
+            r.iterations.to_string(),
+            r.records.to_string(),
+            fmt(r.seq_ms, 1),
+            fmt(r.par_ms, 1),
+            fmt(r.seq_ms / r.par_ms, 2),
+        ]);
+    }
+    println!("{}", pipe_table.render_text());
+    if host_threads == 1 {
+        println!("note: 1-core host — the parallel column runs the same sequential path.");
+    }
+
+    // Machine-readable artifact, one scalar per line so `scripts/bench.sh`
+    // can diff it with plain awk.
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"schema\": \"phasefold-bench-pipeline/1\",");
+    let _ = writeln!(json, "  \"host_threads\": {host_threads},");
+    let _ = writeln!(json, "  \"segdp_n\": {n},");
+    let _ = writeln!(json, "  \"segdp_k\": {k},");
+    let _ = writeln!(json, "  \"segdp_min_points\": {min_points},");
+    let _ = writeln!(json, "  \"segdp_quadratic_ms\": {quad_ms:.3},");
+    let _ = writeln!(json, "  \"segdp_pruned_ms\": {pruned_ms:.3},");
+    let _ = writeln!(json, "  \"segdp_speedup\": {segdp_speedup:.3},");
+    let _ = writeln!(json, "  \"segdp_identical\": {identical},");
+    let _ = writeln!(json, "  \"pipeline\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{ \"trace\": \"{}\", \"ranks\": {}, \"iterations\": {}, \"records\": {}, \
+             \"seq_ms\": {:.3}, \"par_ms\": {:.3}, \"speedup\": {:.3} }}{comma}",
+            r.label,
+            r.ranks,
+            r.iterations,
+            r.records,
+            r.seq_ms,
+            r.par_ms,
+            r.seq_ms / r.par_ms,
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    std::fs::write(&out_path, &json).expect("write BENCH_pipeline.json");
+    println!("json written to {out_path}");
+}

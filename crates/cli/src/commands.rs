@@ -157,12 +157,21 @@ fn load_trace(path: &str) -> Result<Trace, CliError> {
     Ok(prv::parse_trace(&text)?)
 }
 
+/// Parses `--threads N` into the analysis thread setting (0 = auto).
+fn threads_option(p: &crate::args::Parsed) -> Result<Option<usize>, CliError> {
+    match p.get_parsed::<usize>("threads", 0)? {
+        0 => Ok(None), // auto: use the machine's available parallelism
+        n => Ok(Some(n)),
+    }
+}
+
 /// `phasefold analyze`
 pub fn analyze(argv: &[String], out: &mut String) -> Result<(), CliError> {
-    let p = parse(argv, &[], &["bootstrap", "markdown"])?;
+    let p = parse(argv, &["threads"], &["bootstrap", "markdown"])?;
     let path = p.positional(0, "trace file")?;
     let trace = load_trace(path)?;
     let mut config = AnalysisConfig::default();
+    config.threads = threads_option(&p)?;
     if p.has_flag("bootstrap") {
         config.bootstrap = Some(phasefold_regress::BootstrapConfig::default());
     }
@@ -194,12 +203,12 @@ pub fn info(argv: &[String], out: &mut String) -> Result<(), CliError> {
 
 /// `phasefold compare`
 pub fn compare(argv: &[String], out: &mut String) -> Result<(), CliError> {
-    let p = parse(argv, &[], &[])?;
+    let p = parse(argv, &["threads"], &[])?;
     let base_path = p.positional(0, "baseline trace file")?;
     let cand_path = p.positional(1, "candidate trace file")?;
     let base_trace = load_trace(base_path)?;
     let cand_trace = load_trace(cand_path)?;
-    let config = AnalysisConfig::default();
+    let config = AnalysisConfig { threads: threads_option(&p)?, ..AnalysisConfig::default() };
     let base = analyze_trace(&base_trace, &config);
     let cand = analyze_trace(&cand_trace, &config);
     let cmp = phasefold::compare_analyses(&base, &cand);

@@ -70,9 +70,10 @@ commands:
       [--ranks N] [--seed S] [--noise none|quiet|noisy]
       [--period-ms P] [--imbalance F] [--optimized]
   analyze <F.prv>                   phase analysis report of a trace
-      [--bootstrap] [--markdown]
+      [--bootstrap] [--markdown] [--threads N (0 = auto)]
   info <F.prv>                      trace summary statistics + region table
   compare <base.prv> <cand.prv>     per-phase metric deltas between two runs
+      [--threads N (0 = auto)]
   period <F.prv>                    detect the iterative period
       [--rank R] [--bins B]
   reconstruct <F.prv>               unfolded fine-grain rate timeline (CSV)
@@ -223,6 +224,22 @@ mod tests {
             "simulate", "stencil", "--ranks", "2", "--optimized", "--out", &path,
         ]);
         assert!(out.contains("stencil-blocked"), "{out}");
+    }
+
+    #[test]
+    fn analyze_threads_flag_accepted_and_identical() {
+        let path = tmp("cli_threads.prv");
+        run_ok(&["simulate", "synthetic", "--ranks", "2", "--iterations", "120", "--out", &path]);
+        let seq = run_ok(&["analyze", &path, "--threads", "1"]);
+        let par = run_ok(&["analyze", &path, "--threads", "4"]);
+        let auto = run_ok(&["analyze", &path, "--threads", "0"]);
+        assert_eq!(seq, par, "thread count must not change the report");
+        assert_eq!(seq, auto);
+        let mut out = String::new();
+        assert!(matches!(
+            run(&argv(&["analyze", &path, "--threads", "lots"]), &mut out),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

@@ -26,6 +26,11 @@ pub struct AnalysisConfig {
     /// (`None` skips it; it multiplies fitting cost by ~2× the replicate
     /// count).
     pub bootstrap: Option<BootstrapConfig>,
+    /// Worker threads for the model-building stage. `None` uses the
+    /// machine's available parallelism; `Some(1)` forces the fully
+    /// sequential path (no worker threads are spawned at all). The analysis
+    /// result is bit-identical regardless of the setting.
+    pub threads: Option<usize>,
 }
 
 impl Default for AnalysisConfig {
@@ -37,6 +42,7 @@ impl Default for AnalysisConfig {
             pwlr: PwlrConfig::default(),
             min_folded_points: 30,
             bootstrap: None,
+            threads: None,
         }
     }
 }

@@ -53,6 +53,7 @@ pub mod export;
 pub mod metrics;
 pub mod phase;
 pub mod pipeline;
+pub mod pool;
 pub mod online;
 pub mod report;
 pub mod signal;

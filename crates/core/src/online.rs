@@ -58,7 +58,7 @@ struct FrozenClustering {
 #[derive(Debug, Default)]
 struct OnlineFold {
     points: [Vec<FoldedPoint>; NUM_COUNTERS],
-    stacks: Vec<(f64, phasefold_model::CallStack)>,
+    stacks: Vec<(f64, std::sync::Arc<phasefold_model::CallStack>)>,
     totals: [f64; NUM_COUNTERS],
     total_dur_s: f64,
     instances: u32,
@@ -219,7 +219,9 @@ impl OnlineAnalyzer {
             fold.samples += 1;
             let x = sample.time.normalized_within(burst.start, burst.end);
             if !sample.callstack.is_empty() {
-                fold.stacks.push((x, sample.callstack.clone()));
+                // One deep copy out of the record buffer; later snapshot
+                // clones of the fold only bump the refcount.
+                fold.stacks.push((x, std::sync::Arc::new(sample.callstack.clone())));
             }
             for (kind, absolute) in sample.counters.iter() {
                 let total = burst.counters[kind];
@@ -256,11 +258,7 @@ impl OnlineAnalyzer {
             }
             labels_placeholder.push(Some(cluster));
         }
-        models.sort_by(|a, b| {
-            b.total_time_s()
-                .partial_cmp(&a.total_time_s())
-                .expect("finite total times")
-        });
+        crate::pipeline::sort_models_by_total_time(&mut models);
         Analysis {
             clustering: Clustering {
                 labels: labels_placeholder,

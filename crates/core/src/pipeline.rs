@@ -5,12 +5,15 @@
 use crate::config::AnalysisConfig;
 use crate::metrics::PhaseMetrics;
 use crate::phase::{ClusterPhaseModel, Phase};
+use crate::pool::{self, Job};
 use crate::srcmap::{attribute_span, span_histogram};
 use phasefold_cluster::{cluster_bursts, Clustering};
 use phasefold_folding::{fold_trace, ClusterFold};
-use phasefold_model::{extract_bursts, CounterKind, CounterSet, Trace};
+use phasefold_model::{extract_bursts, CounterKind, CounterSet, Trace, NUM_COUNTERS};
 use phasefold_regress::hinge::fit_hinge_monotone;
 use phasefold_regress::{fit_pwlr, PwlrFit};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// The result of analysing one trace.
 #[derive(Debug, Clone)]
@@ -41,40 +44,145 @@ pub fn analyze_trace(trace: &Trace, config: &AnalysisConfig) -> Analysis {
     let bursts = extract_bursts(trace, config.min_burst_duration);
     let clustering = cluster_bursts(&bursts, &config.cluster);
     let folds = fold_trace(trace, &bursts, &clustering, &config.fold);
-
-    // Independent per-cluster model building, fanned out across threads.
-    let mut models: Vec<Option<ClusterPhaseModel>> = Vec::new();
-    models.resize_with(folds.len(), || None);
-    let threads = std::thread::available_parallelism()
-        .map_or(4, |n| n.get())
-        .min(folds.len().max(1));
-    let chunk = folds.len().div_ceil(threads).max(1);
-    crossbeam::thread::scope(|scope| {
-        for (fold_chunk, model_chunk) in folds.chunks(chunk).zip(models.chunks_mut(chunk)) {
-            scope.spawn(move |_| {
-                for (fold, slot) in fold_chunk.iter().zip(model_chunk.iter_mut()) {
-                    *slot = build_model_from_fold(fold, config);
-                }
-            });
-        }
-    })
-    .expect("per-cluster model building panicked");
-
-    let mut models: Vec<ClusterPhaseModel> = models.into_iter().flatten().collect();
-    models.sort_by(|a, b| {
-        b.total_time_s()
-            .partial_cmp(&a.total_time_s())
-            .expect("total times are finite")
-    });
+    let mut models = build_models(&folds, config);
+    sort_models_by_total_time(&mut models);
     Analysis { clustering, num_bursts: bursts.len(), models }
 }
 
-/// Fits one cluster's folded profiles into a phase model. Shared by the
-/// batch pipeline and the streaming analyzer.
-pub(crate) fn build_model_from_fold(
-    fold: &ClusterFold,
-    config: &AnalysisConfig,
-) -> Option<ClusterPhaseModel> {
+/// Sorts models by descending total time. `f64::total_cmp` keeps the sort
+/// well-defined on NaN durations (degenerate traces) instead of panicking;
+/// NaN models sink to the end so [`Analysis::dominant_model`] stays
+/// meaningful.
+pub(crate) fn sort_models_by_total_time(models: &mut [ClusterPhaseModel]) {
+    models.sort_by(|a, b| {
+        let (ta, tb) = (a.total_time_s(), b.total_time_s());
+        match (ta.is_nan(), tb.is_nan()) {
+            (true, true) => std::cmp::Ordering::Equal,
+            (true, false) => std::cmp::Ordering::Greater,
+            (false, true) => std::cmp::Ordering::Less,
+            (false, false) => tb.total_cmp(&ta),
+        }
+    });
+}
+
+/// Threads the model-building stage may use.
+fn resolved_threads(config: &AnalysisConfig) -> usize {
+    config
+        .threads
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+        .max(1)
+}
+
+/// Builds one model per foldable cluster (in fold order, gaps removed).
+///
+/// Work is scheduled on the work-stealing pool as *two* kinds of items —
+/// whole-fold structural fits, which then fan out into per-counter refits —
+/// so a trace with one giant cluster still spreads its counters across
+/// cores instead of serialising behind a single chunk. With one thread the
+/// pool is bypassed entirely and the models are built in a plain loop; the
+/// output is bit-identical either way because every task writes only its
+/// own slot and the stages exchange exactly the same inputs.
+fn build_models(folds: &[ClusterFold], config: &AnalysisConfig) -> Vec<ClusterPhaseModel> {
+    // Per-counter refits are the finest work grain: more threads than
+    // counter tasks cannot help.
+    let threads = resolved_threads(config).min(folds.len() * NUM_COUNTERS).max(1);
+    if threads == 1 {
+        return folds
+            .iter()
+            .filter_map(|fold| build_model_from_fold(fold, config))
+            .collect();
+    }
+
+    /// Shared state of one in-flight fold: the structural fit parked
+    /// between stages, the per-counter slope slots, and a countdown that
+    /// lets the last counter task assemble the model.
+    struct FoldCell {
+        structure: Mutex<Option<FoldStructure>>,
+        slopes: Vec<Mutex<Vec<f64>>>,
+        remaining: AtomicUsize,
+        out: Mutex<Option<ClusterPhaseModel>>,
+    }
+
+    let cells: Vec<FoldCell> = folds
+        .iter()
+        .map(|_| FoldCell {
+            structure: Mutex::new(None),
+            slopes: (0..NUM_COUNTERS).map(|_| Mutex::new(Vec::new())).collect(),
+            remaining: AtomicUsize::new(0),
+            out: Mutex::new(None),
+        })
+        .collect();
+
+    fn finish_cell(cell: &FoldCell, fold: &ClusterFold, config: &AnalysisConfig) {
+        let structure = cell
+            .structure
+            .lock()
+            .unwrap()
+            .take()
+            .expect("structure fitted before counters");
+        let per_counter_slopes: Vec<Vec<f64>> = cell
+            .slopes
+            .iter()
+            .map(|slot| std::mem::take(&mut *slot.lock().unwrap()))
+            .collect();
+        let model = assemble_model(fold, structure, per_counter_slopes, config);
+        *cell.out.lock().unwrap() = Some(model);
+    }
+
+    let seeds: Vec<Job<'_>> = folds
+        .iter()
+        .zip(&cells)
+        .map(|(fold, cell)| -> Job<'_> {
+            Box::new(move |sp| {
+                let Some(structure) = fit_structure(fold, config) else {
+                    return;
+                };
+                let num_segments = structure.fit.num_segments();
+                let breakpoints = structure.breakpoints.clone();
+                *cell.slopes[CounterKind::Instructions.index()].lock().unwrap() =
+                    structure.fit.slopes().to_vec();
+                *cell.structure.lock().unwrap() = Some(structure);
+                let others: Vec<CounterKind> = CounterKind::ALL
+                    .into_iter()
+                    .filter(|k| *k != CounterKind::Instructions)
+                    .collect();
+                if others.is_empty() {
+                    finish_cell(cell, fold, config);
+                    return;
+                }
+                cell.remaining.store(others.len(), Ordering::SeqCst);
+                for kind in others {
+                    let bps = breakpoints.clone();
+                    sp.spawn(move |_| {
+                        let slopes = refit_counter(fold, kind, &bps, num_segments, config);
+                        *cell.slopes[kind.index()].lock().unwrap() = slopes;
+                        if cell.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+                            finish_cell(cell, fold, config);
+                        }
+                    });
+                }
+            })
+        })
+        .collect();
+    pool::run(threads, seeds);
+
+    cells
+        .into_iter()
+        .filter_map(|cell| cell.out.into_inner().unwrap())
+        .collect()
+}
+
+/// Stage-1 output: the instruction-profile fit that defines the phase
+/// structure, parked between the structural and assembly stages.
+struct FoldStructure {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    fit: PwlrFit,
+    breakpoints: Vec<f64>,
+}
+
+/// Stage 1: fit the instruction profile (the expensive free-order PWLR).
+fn fit_structure(fold: &ClusterFold, config: &AnalysisConfig) -> Option<FoldStructure> {
     let instr = fold.profile(CounterKind::Instructions);
     if instr.points.len() < config.min_folded_points {
         return None;
@@ -82,30 +190,57 @@ pub(crate) fn build_model_from_fold(
     let (xs, ys) = instr.xy();
     let fit: PwlrFit = fit_pwlr(&xs, &ys, None, &config.pwlr).ok()?;
     let breakpoints = fit.breakpoints().to_vec();
+    Some(FoldStructure { xs, ys, fit, breakpoints })
+}
 
-    // Re-fit every other counter with the instruction breakpoints fixed:
-    // the structure is shared, only the per-phase rates differ by counter.
-    let num_segments = fit.num_segments();
-    let mut per_counter_slopes: Vec<Vec<f64>> =
-        vec![vec![0.0; num_segments]; phasefold_model::NUM_COUNTERS];
+/// Stage 2: re-fit one non-instruction counter with the instruction
+/// breakpoints held fixed — the structure is shared, only the per-phase
+/// rates differ by counter.
+fn refit_counter(
+    fold: &ClusterFold,
+    kind: CounterKind,
+    breakpoints: &[f64],
+    num_segments: usize,
+    config: &AnalysisConfig,
+) -> Vec<f64> {
+    let profile = fold.profile(kind);
+    if profile.points.len() < config.min_folded_points || profile.mean_total <= 0.0 {
+        return vec![0.0; num_segments];
+    }
+    let (cxs, cys) = profile.xy();
+    match fit_hinge_monotone(&cxs, &cys, None, breakpoints, 0.0, 1.0) {
+        Ok(h) => h.slopes,
+        Err(_) => vec![0.0; num_segments],
+    }
+}
+
+/// Fits one cluster's folded profiles into a phase model, sequentially.
+/// Shared by the single-threaded batch path and the streaming analyzer.
+pub(crate) fn build_model_from_fold(
+    fold: &ClusterFold,
+    config: &AnalysisConfig,
+) -> Option<ClusterPhaseModel> {
+    let structure = fit_structure(fold, config)?;
+    let num_segments = structure.fit.num_segments();
+    let mut per_counter_slopes: Vec<Vec<f64>> = vec![Vec::new(); NUM_COUNTERS];
     for kind in CounterKind::ALL {
         per_counter_slopes[kind.index()] = if kind == CounterKind::Instructions {
-            fit.slopes().to_vec()
+            structure.fit.slopes().to_vec()
         } else {
-            let profile = fold.profile(kind);
-            if profile.points.len() < config.min_folded_points || profile.mean_total <= 0.0 {
-                vec![0.0; num_segments]
-            } else {
-                let (cxs, cys) = profile.xy();
-                match fit_hinge_monotone(&cxs, &cys, None, &breakpoints, 0.0, 1.0) {
-                    Ok(h) => h.slopes,
-                    Err(_) => vec![0.0; num_segments],
-                }
-            }
+            refit_counter(fold, kind, &structure.breakpoints, num_segments, config)
         };
     }
+    Some(assemble_model(fold, structure, per_counter_slopes, config))
+}
 
-    // Assemble phases.
+/// Stage 3: spans, rates, source attribution, and the optional bootstrap.
+fn assemble_model(
+    fold: &ClusterFold,
+    structure: FoldStructure,
+    per_counter_slopes: Vec<Vec<f64>>,
+    config: &AnalysisConfig,
+) -> ClusterPhaseModel {
+    let FoldStructure { xs, ys, fit, breakpoints: _ } = structure;
     let spans = fit.fit.segment_spans();
     let mut phases = Vec::with_capacity(spans.len());
     for (i, (x0, x1)) in spans.into_iter().enumerate() {
@@ -135,14 +270,14 @@ pub(crate) fn build_model_from_fold(
         phasefold_regress::bootstrap_pwlr(
             &xs,
             &ys,
-            &instr.instance_ids(),
+            &fold.profile(CounterKind::Instructions).instance_ids(),
             &config.pwlr,
             fit.num_segments(),
             bcfg,
         )
     });
 
-    Some(ClusterPhaseModel {
+    ClusterPhaseModel {
         cluster: fold.cluster,
         instances: fold.instances_used,
         instances_pruned: fold.instances_pruned,
@@ -151,7 +286,7 @@ pub(crate) fn build_model_from_fold(
         phases,
         fit,
         bootstrap,
-    })
+    }
 }
 
 #[cfg(test)]
@@ -241,6 +376,82 @@ mod tests {
         for (ma, mb) in a.models.iter().zip(&b.models) {
             assert_eq!(ma.breakpoints(), mb.breakpoints());
         }
+    }
+
+    #[test]
+    fn parallel_pool_matches_sequential_bit_for_bit() {
+        // The work-stealing pool schedules per-fold and per-counter items in
+        // a nondeterministic order, but every task writes only its own slot:
+        // the analysis must be identical to the single-threaded path.
+        let params = SyntheticParams { iterations: 300, ..SyntheticParams::default() };
+        let program = build(&params);
+        let out = simulate(&program, &SimConfig { ranks: 4, ..SimConfig::default() });
+        let tracer = TracerConfig { overhead: OverheadConfig::FREE, ..TracerConfig::default() };
+        let trace = trace_run(&program.registry, &out.timelines, &tracer);
+        let seq_cfg = AnalysisConfig { threads: Some(1), ..AnalysisConfig::default() };
+        let par_cfg = AnalysisConfig { threads: Some(4), ..AnalysisConfig::default() };
+        let seq = analyze_trace(&trace, &seq_cfg);
+        let par = analyze_trace(&trace, &par_cfg);
+        assert_eq!(seq.models.len(), par.models.len());
+        for (a, b) in seq.models.iter().zip(&par.models) {
+            assert_eq!(a.cluster, b.cluster);
+            assert_eq!(a.breakpoints(), b.breakpoints());
+            assert_eq!(a.phases.len(), b.phases.len());
+            for (pa, pb) in a.phases.iter().zip(&b.phases) {
+                assert_eq!(pa.x0.to_bits(), pb.x0.to_bits());
+                assert_eq!(pa.x1.to_bits(), pb.x1.to_bits());
+                for kind in CounterKind::ALL {
+                    assert_eq!(pa.rates[kind].to_bits(), pb.rates[kind].to_bits());
+                }
+                assert_eq!(pa.source, pb.source);
+            }
+        }
+    }
+
+    #[test]
+    fn nan_total_time_sorts_last_without_panicking() {
+        use crate::metrics::PhaseMetrics;
+        use phasefold_regress::hinge::HingeFit;
+        let model = |cluster: usize, mean_duration_s: f64| ClusterPhaseModel {
+            cluster,
+            instances: 10,
+            instances_pruned: 0,
+            folded_samples: 50,
+            mean_duration_s,
+            phases: vec![Phase {
+                index: 0,
+                x0: 0.0,
+                x1: 1.0,
+                duration_s: mean_duration_s,
+                rates: CounterSet::ZERO,
+                metrics: PhaseMetrics::from_rates(&CounterSet::ZERO),
+                source: None,
+                source_histogram: Vec::new(),
+            }],
+            fit: PwlrFit {
+                fit: HingeFit {
+                    lo: 0.0,
+                    hi: 1.0,
+                    breakpoints: Vec::new(),
+                    intercept: 0.0,
+                    slopes: vec![1.0],
+                    sse: 0.0,
+                    r2: 1.0,
+                    n: 50,
+                },
+                score: 0.0,
+                candidates: Vec::new(),
+            },
+            bootstrap: None,
+        };
+        let mut models =
+            vec![model(0, 2e-3), model(1, f64::NAN), model(2, 5e-3), model(3, f64::NAN)];
+        sort_models_by_total_time(&mut models);
+        // Finite totals descending, NaN models deterministically last.
+        assert_eq!(models[0].cluster, 2);
+        assert_eq!(models[1].cluster, 0);
+        assert!(models[2].total_time_s().is_nan());
+        assert!(models[3].total_time_s().is_nan());
     }
 
     #[test]

@@ -1,0 +1,242 @@
+//! A small work-stealing thread pool for the analysis pipeline.
+//!
+//! Built from the workspace's `crossbeam` deque types plus scoped threads —
+//! no external dependencies and no `'static` bounds, so jobs borrow the
+//! pipeline's folds and config directly. [`run`] executes a batch of seed
+//! jobs across a fixed number of workers; a running job may spawn further
+//! jobs through its [`Spawner`], which lands them on the *executing worker's
+//! own deque* (popped LIFO by the owner, stolen FIFO by idle siblings). That
+//! gives the classic work-stealing properties: children run hot in their
+//! parent's cache while idle workers drain whatever is left, so irregular
+//! task trees — per-cluster model builds fanning out into per-counter
+//! refits of very different sizes — load-balance without static chunking.
+//!
+//! With `threads <= 1` no worker threads are spawned at all: the calling
+//! thread drains the queue itself, so a single-threaded configuration pays
+//! zero synchronisation or spawning overhead beyond one `VecDeque`.
+//!
+//! A panicking job does not wedge the pool: the payload is captured, the
+//! remaining jobs still run, and the first payload is re-raised on the
+//! calling thread once the pool drains.
+
+use crossbeam::deque::{Injector, Stealer, Worker};
+use crossbeam::utils::Backoff;
+use std::any::Any;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A unit of work. Receives a [`Spawner`] so it can enqueue child jobs.
+pub type Job<'env> = Box<dyn FnOnce(&Spawner<'_, 'env>) + Send + 'env>;
+
+/// Handle passed to every running job for spawning child jobs onto the
+/// executing worker's deque.
+pub struct Spawner<'pool, 'env> {
+    local: &'pool Worker<Job<'env>>,
+    pending: &'pool AtomicUsize,
+}
+
+impl<'pool, 'env> Spawner<'pool, 'env> {
+    /// Enqueues a child job on this worker's deque. The child may run on any
+    /// worker (idle siblings steal from the cold end).
+    pub fn spawn<F>(&self, job: F)
+    where
+        F: FnOnce(&Spawner<'_, 'env>) + Send + 'env,
+    {
+        // Increment before the push so `pending` never under-counts work
+        // that is visible in a queue.
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        self.local.push(Box::new(job));
+    }
+}
+
+/// Runs `seeds` — and everything they spawn — to completion on `threads`
+/// workers. Returns once every job has finished.
+pub fn run(threads: usize, seeds: Vec<Job<'_>>) {
+    if seeds.is_empty() {
+        return;
+    }
+    if threads <= 1 {
+        run_sequential(seeds);
+        return;
+    }
+
+    let injector: Injector<Job<'_>> = Injector::new();
+    let pending = AtomicUsize::new(seeds.len());
+    for seed in seeds {
+        injector.push(seed);
+    }
+    let workers: Vec<Worker<Job<'_>>> = (0..threads).map(|_| Worker::new_lifo()).collect();
+    let stealers: Vec<Stealer<Job<'_>>> = workers.iter().map(Worker::stealer).collect();
+    // First panic payload from any job; re-raised after the pool drains.
+    let panicked: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+
+    std::thread::scope(|scope| {
+        for (me, local) in workers.into_iter().enumerate() {
+            let injector = &injector;
+            let stealers = &stealers[..];
+            let pending = &pending;
+            let panicked = &panicked;
+            scope.spawn(move || {
+                let backoff = Backoff::new();
+                while pending.load(Ordering::SeqCst) > 0 {
+                    let job = local
+                        .pop()
+                        .or_else(|| injector.steal().success())
+                        .or_else(|| {
+                            stealers
+                                .iter()
+                                .enumerate()
+                                .filter(|(victim, _)| *victim != me)
+                                .find_map(|(_, s)| s.steal().success())
+                        });
+                    match job {
+                        Some(job) => {
+                            let spawner = Spawner { local: &local, pending };
+                            let result =
+                                panic::catch_unwind(AssertUnwindSafe(|| job(&spawner)));
+                            if let Err(payload) = result {
+                                let mut slot = panicked.lock().unwrap();
+                                if slot.is_none() {
+                                    *slot = Some(payload);
+                                }
+                            }
+                            // Decrement only after children (spawned during
+                            // execution) have been counted in.
+                            pending.fetch_sub(1, Ordering::SeqCst);
+                            backoff.reset();
+                        }
+                        None => backoff.snooze(),
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some(payload) = panicked.into_inner().unwrap() {
+        panic::resume_unwind(payload);
+    }
+}
+
+/// Drains the job graph on the calling thread, seeds in order, children
+/// depth-first (matching the LIFO discipline of the parallel owners).
+fn run_sequential(seeds: Vec<Job<'_>>) {
+    let local: Worker<Job<'_>> = Worker::new_lifo();
+    let pending = AtomicUsize::new(0); // kept honest by Spawner, never polled
+    for seed in seeds.into_iter().rev() {
+        pending.fetch_add(1, Ordering::SeqCst);
+        local.push(seed);
+    }
+    while let Some(job) = local.pop() {
+        let spawner = Spawner { local: &local, pending: &pending };
+        job(&spawner);
+        pending.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn counting_seeds<'a>(n: usize, hits: &'a AtomicUsize) -> Vec<Job<'a>> {
+        (0..n)
+            .map(|_| -> Job<'a> {
+                Box::new(move |_| {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn runs_every_seed_job() {
+        for threads in [1, 2, 5] {
+            let hits = AtomicUsize::new(0);
+            run(threads, counting_seeds(23, &hits));
+            assert_eq!(hits.load(Ordering::SeqCst), 23, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_seed_set_is_a_nop() {
+        run(4, Vec::new());
+    }
+
+    #[test]
+    fn more_threads_than_jobs_terminates() {
+        let hits = AtomicUsize::new(0);
+        run(8, counting_seeds(2, &hits));
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn spawned_children_all_run() {
+        for threads in [1, 4] {
+            let hits = AtomicUsize::new(0);
+            let seeds: Vec<Job<'_>> = (0..6)
+                .map(|_| -> Job<'_> {
+                    let hits = &hits;
+                    Box::new(move |sp| {
+                        for _ in 0..5 {
+                            sp.spawn(move |_| {
+                                hits.fetch_add(1, Ordering::SeqCst);
+                            });
+                        }
+                    })
+                })
+                .collect();
+            run(threads, seeds);
+            assert_eq!(hits.load(Ordering::SeqCst), 30, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn grandchildren_run_too() {
+        let hits = AtomicUsize::new(0);
+        let hits_ref = &hits;
+        let seed: Job<'_> = Box::new(move |sp| {
+            sp.spawn(move |sp| {
+                sp.spawn(move |_| {
+                    hits_ref.fetch_add(1, Ordering::SeqCst);
+                });
+                hits_ref.fetch_add(1, Ordering::SeqCst);
+            });
+            hits_ref.fetch_add(1, Ordering::SeqCst);
+        });
+        run(3, vec![seed]);
+        assert_eq!(hits.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn results_written_through_borrows() {
+        let mut out = vec![0usize; 16];
+        let seeds: Vec<Job<'_>> = out
+            .iter_mut()
+            .enumerate()
+            .map(|(i, slot)| -> Job<'_> {
+                Box::new(move |_| {
+                    *slot = i * i;
+                })
+            })
+            .collect();
+        run(4, seeds);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+    }
+
+    #[test]
+    fn panicking_job_propagates_without_wedging() {
+        let hits = AtomicUsize::new(0);
+        let hits_ref = &hits;
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            let mut seeds: Vec<Job<'_>> = vec![Box::new(|_| panic!("boom"))];
+            seeds.extend(counting_seeds(10, hits_ref));
+            run(3, seeds);
+        }));
+        assert!(result.is_err(), "panic must propagate");
+        // The healthy jobs still ran to completion.
+        assert_eq!(hits.load(Ordering::SeqCst), 10);
+    }
+}

@@ -8,6 +8,7 @@
 
 use phasefold_model::{CallStack, RegionId, SourceRegistry};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Source attribution of one phase.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,7 +37,7 @@ impl SourceAttribution {
 ///
 /// Returns `None` if no stack sample falls inside the span.
 pub fn attribute_span(
-    stacks: &[(f64, CallStack)],
+    stacks: &[(f64, Arc<CallStack>)],
     x0: f64,
     x1: f64,
 ) -> Option<SourceAttribution> {
@@ -77,7 +78,7 @@ pub fn attribute_span(
 /// (merged performance-identical kernels), the histogram still names every
 /// kernel the phase covers.
 pub fn span_histogram(
-    stacks: &[(f64, CallStack)],
+    stacks: &[(f64, Arc<CallStack>)],
     x0: f64,
     x1: f64,
 ) -> Vec<(RegionId, f64)> {
@@ -108,8 +109,8 @@ mod tests {
     use super::*;
     use phasefold_model::RegionKind;
 
-    fn stack(region: u32, line: u32) -> CallStack {
-        CallStack::new(vec![RegionId(0), RegionId(region)], line)
+    fn stack(region: u32, line: u32) -> Arc<CallStack> {
+        Arc::new(CallStack::new(vec![RegionId(0), RegionId(region)], line))
     }
 
     #[test]
@@ -145,7 +146,7 @@ mod tests {
 
     #[test]
     fn empty_stacks_do_not_vote() {
-        let stacks = vec![(0.1, CallStack::empty()), (0.2, stack(3, 7))];
+        let stacks = vec![(0.1, Arc::new(CallStack::empty())), (0.2, stack(3, 7))];
         let attr = attribute_span(&stacks, 0.0, 1.0).unwrap();
         assert_eq!(attr.region, RegionId(3));
         assert_eq!(attr.votes, 1);

@@ -4,6 +4,7 @@ use crate::instance::{collect_instances, FoldInstance};
 use crate::outlier::prune_outliers;
 use phasefold_cluster::Clustering;
 use phasefold_model::{Burst, CallStack, CounterKind, Trace, NUM_COUNTERS};
+use std::sync::Arc;
 
 /// Folding configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -64,8 +65,10 @@ pub struct ClusterFold {
     /// Per-counter folded profiles (indexed by [`CounterKind::index`]).
     pub profiles: [FoldedProfile; NUM_COUNTERS],
     /// Call-stack observations: `(x, stack)` for every sample that carried
-    /// a stack — the raw material of the source-structure mapping.
-    pub stacks: Vec<(f64, CallStack)>,
+    /// a stack — the raw material of the source-structure mapping. Stacks
+    /// are shared (`Arc`), so cloning a fold or snapshotting the streaming
+    /// analyzer bumps refcounts instead of deep-copying frame vectors.
+    pub stacks: Vec<(f64, Arc<CallStack>)>,
     /// Mean burst duration (seconds) over the surviving instances.
     pub mean_duration_s: f64,
     /// Instances folded.
@@ -133,7 +136,7 @@ fn fold_cluster(
         for sample in &inst.samples {
             samples += 1;
             if !sample.callstack.is_empty() {
-                stacks.push((sample.x, sample.callstack.clone()));
+                stacks.push((sample.x, Arc::clone(&sample.callstack)));
             }
             for (kind, absolute) in sample.counters.iter() {
                 let total = burst.counters[kind];

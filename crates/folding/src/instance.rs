@@ -3,6 +3,7 @@
 
 use phasefold_cluster::Clustering;
 use phasefold_model::{burst::samples_within, Burst, CallStack, PartialCounterSet, Trace};
+use std::sync::Arc;
 
 /// One sample inside one burst instance, with times made burst-relative.
 #[derive(Debug, Clone, PartialEq)]
@@ -11,8 +12,10 @@ pub struct InstanceSample {
     pub x: f64,
     /// Accumulated counters at the sample instant (absolute readings).
     pub counters: PartialCounterSet,
-    /// Captured call stack.
-    pub callstack: CallStack,
+    /// Captured call stack, shared rather than deep-copied: downstream
+    /// stages (folding, snapshots) alias the same frames instead of
+    /// re-cloning the frame vector per stage.
+    pub callstack: Arc<CallStack>,
 }
 
 /// One burst instance prepared for folding.
@@ -44,7 +47,7 @@ pub fn collect_instances(
             .map(|s| InstanceSample {
                 x: s.time.normalized_within(burst.start, burst.end),
                 counters: s.counters,
-                callstack: s.callstack.clone(),
+                callstack: Arc::new(s.callstack.clone()),
             })
             .collect();
         per_cluster[*cluster].push(FoldInstance {

@@ -9,7 +9,7 @@
 //! far the true breakpoint is from `ψ_j`, and the update
 //! `ψ_j ← ψ_j + δ_j/γ_j` converges in a handful of iterations.
 
-use crate::linalg::{wls, Mat};
+use crate::linalg::{wls_into, LsScratch, Mat};
 
 /// Controls for [`refine_breakpoints`].
 #[derive(Debug, Clone, Copy)]
@@ -37,6 +37,23 @@ impl Default for RefineConfig {
     }
 }
 
+/// Reusable buffers for [`refine_breakpoints_with`]: the design matrix and
+/// solver scratch survive across Muggeo iterations *and* across calls, so
+/// refining many candidates allocates nothing on the hot path.
+#[derive(Default)]
+pub struct RefineScratch {
+    design: Mat,
+    ls: LsScratch,
+    next: Vec<f64>,
+}
+
+impl RefineScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> RefineScratch {
+        RefineScratch::default()
+    }
+}
+
 /// Iteratively refines `breakpoints` on `(xs, ys)` within `[lo, hi]`.
 ///
 /// Returns the refined, sorted breakpoints. Breakpoints that collapse onto a
@@ -52,6 +69,21 @@ pub fn refine_breakpoints(
     hi: f64,
     config: &RefineConfig,
 ) -> Vec<f64> {
+    refine_breakpoints_with(xs, ys, weights, breakpoints, lo, hi, config, &mut RefineScratch::new())
+}
+
+/// [`refine_breakpoints`] using caller-provided scratch buffers.
+#[allow(clippy::too_many_arguments)]
+pub fn refine_breakpoints_with(
+    xs: &[f64],
+    ys: &[f64],
+    weights: Option<&[f64]>,
+    breakpoints: &[f64],
+    lo: f64,
+    hi: f64,
+    config: &RefineConfig,
+    scratch: &mut RefineScratch,
+) -> Vec<f64> {
     let mut psi: Vec<f64> = breakpoints.to_vec();
     psi.sort_by(|a, b| a.partial_cmp(b).unwrap());
     psi = enforce_separation(psi, lo, hi, config.min_separation);
@@ -61,8 +93,11 @@ pub fn refine_breakpoints(
 
     for _ in 0..config.max_iters {
         let k = psi.len();
-        // Design: [1, x, (x−ψ_j)₊ …, −I(x>ψ_j) …]
-        let mut design = Mat::zeros(xs.len(), 2 + 2 * k);
+        // Design: [1, x, (x−ψ_j)₊ …, −I(x>ψ_j) …]. The matrix is reshaped in
+        // place: `k` can shrink between iterations when a breakpoint
+        // collapses and is dropped by `enforce_separation`.
+        let design = &mut scratch.design;
+        design.reshape_zeroed(xs.len(), 2 + 2 * k);
         for (i, &x) in xs.iter().enumerate() {
             let row = design.row_mut(i);
             row[0] = 1.0;
@@ -72,11 +107,13 @@ pub fn refine_breakpoints(
                 row[2 + k + j] = if x > p { -1.0 } else { 0.0 };
             }
         }
-        let Ok(beta) = wls(&design, ys, weights) else {
+        let Ok(beta) = wls_into(&scratch.design, ys, weights, &mut scratch.ls) else {
             break;
         };
         let mut max_move: f64 = 0.0;
-        let mut next = psi.clone();
+        let next = &mut scratch.next;
+        next.clear();
+        next.extend_from_slice(&psi);
         for j in 0..k {
             let gamma = beta[2 + j];
             let delta = beta[2 + k + j];
@@ -88,7 +125,9 @@ pub fn refine_breakpoints(
             max_move = max_move.max(step.abs());
         }
         next.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        psi = enforce_separation(next, lo, hi, config.min_separation);
+        psi.clear();
+        psi.extend_from_slice(next);
+        psi = enforce_separation(psi, lo, hi, config.min_separation);
         if psi.is_empty() || max_move < config.tol {
             break;
         }

@@ -14,7 +14,7 @@
 //! counters (`s_j ≥ 0`) a plain non-negativity bound — solvable exactly by
 //! NNLS — and reads directly as "per-phase counter rate".
 
-use crate::linalg::{nnls, wls, LinalgError, Mat};
+use crate::linalg::{nnls_into, wls_into, LinalgError, LsScratch, Mat, NnlsScratch};
 use crate::stats::r_squared;
 
 /// A fitted continuous piece-wise linear model.
@@ -125,20 +125,42 @@ fn validate_breakpoints(breakpoints: &[f64], lo: f64, hi: f64) -> Result<(), Fit
     Ok(())
 }
 
+/// Reusable buffers for the hinge fits: one instance (per thread) makes
+/// repeated fitting allocation-free apart from the returned [`HingeFit`].
+#[derive(Default)]
+pub struct HingeScratch {
+    design: Mat,
+    base: Mat,
+    edges: Vec<f64>,
+    b: Vec<f64>,
+    pred: Vec<f64>,
+    ls: LsScratch,
+    nnls: NnlsScratch,
+}
+
+impl HingeScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> HingeScratch {
+        HingeScratch::default()
+    }
+}
+
 /// Builds the slope-space design matrix: one column per segment holding the
 /// overlap of `[lo, x_i]` with that segment, plus (optionally) a leading
 /// intercept column.
-fn slope_design(
+fn slope_design_into(
     xs: &[f64],
     breakpoints: &[f64],
     lo: f64,
     hi: f64,
     with_intercept: bool,
-) -> Mat {
+    edges: &mut Vec<f64>,
+    m: &mut Mat,
+) {
     let k = breakpoints.len();
     let p = k + 1 + usize::from(with_intercept);
-    let mut m = Mat::zeros(xs.len(), p);
-    let mut edges = Vec::with_capacity(k + 2);
+    m.reshape_zeroed(xs.len(), p);
+    edges.clear();
     edges.push(lo);
     edges.extend_from_slice(breakpoints);
     edges.push(hi);
@@ -158,7 +180,6 @@ fn slope_design(
             row[col + j] = (x - e0).clamp(lower, upper);
         }
     }
-    m
 }
 
 /// Fits the continuous PWL model by (weighted) least squares with **no**
@@ -171,15 +192,29 @@ pub fn fit_hinge(
     lo: f64,
     hi: f64,
 ) -> Result<HingeFit, FitError> {
+    fit_hinge_with(xs, ys, weights, breakpoints, lo, hi, &mut HingeScratch::new())
+}
+
+/// [`fit_hinge`] using caller-provided scratch buffers.
+pub fn fit_hinge_with(
+    xs: &[f64],
+    ys: &[f64],
+    weights: Option<&[f64]>,
+    breakpoints: &[f64],
+    lo: f64,
+    hi: f64,
+    scratch: &mut HingeScratch,
+) -> Result<HingeFit, FitError> {
     assert_eq!(xs.len(), ys.len());
     validate_breakpoints(breakpoints, lo, hi)?;
     let p = breakpoints.len() + 2;
     if xs.len() < p {
         return Err(FitError::TooFewPoints { n: xs.len(), p });
     }
-    let design = slope_design(xs, breakpoints, lo, hi, true);
-    let beta = wls(&design, ys, weights)?;
-    finish(xs, ys, weights, breakpoints, lo, hi, beta[0], beta[1..].to_vec())
+    slope_design_into(xs, breakpoints, lo, hi, true, &mut scratch.edges, &mut scratch.design);
+    let beta = wls_into(&scratch.design, ys, weights, &mut scratch.ls)?;
+    let (intercept, slopes) = (beta[0], beta[1..].to_vec());
+    finish(xs, ys, weights, breakpoints, lo, hi, intercept, slopes, &mut scratch.pred)
 }
 
 /// Fits the continuous PWL model with all slopes constrained to be
@@ -195,6 +230,19 @@ pub fn fit_hinge_monotone(
     lo: f64,
     hi: f64,
 ) -> Result<HingeFit, FitError> {
+    fit_hinge_monotone_with(xs, ys, weights, breakpoints, lo, hi, &mut HingeScratch::new())
+}
+
+/// [`fit_hinge_monotone`] using caller-provided scratch buffers.
+pub fn fit_hinge_monotone_with(
+    xs: &[f64],
+    ys: &[f64],
+    weights: Option<&[f64]>,
+    breakpoints: &[f64],
+    lo: f64,
+    hi: f64,
+    scratch: &mut HingeScratch,
+) -> Result<HingeFit, FitError> {
     assert_eq!(xs.len(), ys.len());
     validate_breakpoints(breakpoints, lo, hi)?;
     let k = breakpoints.len();
@@ -202,11 +250,15 @@ pub fn fit_hinge_monotone(
     if xs.len() < p {
         return Err(FitError::TooFewPoints { n: xs.len(), p });
     }
-    let base = slope_design(xs, breakpoints, lo, hi, false);
+    slope_design_into(xs, breakpoints, lo, hi, false, &mut scratch.edges, &mut scratch.base);
     // Columns: [+1, −1, slopes…]; apply sqrt-weights to rows for WLS-as-OLS.
     let n = xs.len();
-    let mut design = Mat::zeros(n, p + 1);
-    let mut b = vec![0.0; n];
+    let base = &scratch.base;
+    let design = &mut scratch.design;
+    design.reshape_zeroed(n, p + 1);
+    let b = &mut scratch.b;
+    b.clear();
+    b.resize(n, 0.0);
     for i in 0..n {
         let sw = weights.map_or(1.0, |w| w[i].max(0.0)).sqrt();
         let row = design.row_mut(i);
@@ -217,12 +269,13 @@ pub fn fit_hinge_monotone(
         }
         b[i] = sw * ys[i];
     }
-    let sol = nnls(&design, &b, 50 * (p + 1))?;
+    let sol = nnls_into(&scratch.design, &scratch.b, 50 * (p + 1), &mut scratch.nnls)?;
     let intercept = sol[0] - sol[1];
     let slopes = sol[2..].to_vec();
-    finish(xs, ys, weights, breakpoints, lo, hi, intercept, slopes)
+    finish(xs, ys, weights, breakpoints, lo, hi, intercept, slopes, &mut scratch.pred)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn finish(
     xs: &[f64],
     ys: &[f64],
@@ -232,6 +285,7 @@ fn finish(
     hi: f64,
     intercept: f64,
     slopes: Vec<f64>,
+    pred: &mut Vec<f64>,
 ) -> Result<HingeFit, FitError> {
     let fit = HingeFit {
         lo,
@@ -243,7 +297,8 @@ fn finish(
         r2: 0.0,
         n: xs.len(),
     };
-    let pred: Vec<f64> = xs.iter().map(|&x| fit.predict(x)).collect();
+    pred.clear();
+    pred.extend(xs.iter().map(|&x| fit.predict(x)));
     let sse = pred
         .iter()
         .zip(ys)
@@ -253,7 +308,7 @@ fn finish(
             w * (p - y) * (p - y)
         })
         .sum();
-    let r2 = r_squared(&pred, ys);
+    let r2 = r_squared(pred, ys);
     Ok(HingeFit { sse, r2, ..fit })
 }
 

@@ -21,6 +21,15 @@ impl Mat {
         Mat { rows, cols, data: vec![0.0; rows * cols] }
     }
 
+    /// Reshapes in place to `rows × cols`, zero-filled, reusing the existing
+    /// allocation when it is large enough.
+    pub fn reshape_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// The `n × n` identity.
     pub fn identity(n: usize) -> Mat {
         let mut m = Mat::zeros(n, n);
@@ -70,10 +79,25 @@ impl Mat {
             .collect()
     }
 
+    /// [`Mat::mul_vec`] writing into a reusable buffer.
+    pub fn mul_vec_into(&self, v: &[f64], out: &mut Vec<f64>) {
+        assert_eq!(v.len(), self.cols);
+        out.clear();
+        out.extend((0..self.rows).map(|i| dot(self.row(i), v)));
+    }
+
     /// `selfᵀ · v` for a vector `v` of length `rows`.
     pub fn tmul_vec(&self, v: &[f64]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.tmul_vec_into(v, &mut out);
+        out
+    }
+
+    /// [`Mat::tmul_vec`] writing into a reusable buffer.
+    pub fn tmul_vec_into(&self, v: &[f64], out: &mut Vec<f64>) {
         assert_eq!(v.len(), self.rows);
-        let mut out = vec![0.0; self.cols];
+        out.clear();
+        out.resize(self.cols, 0.0);
         for i in 0..self.rows {
             let row = self.row(i);
             let vi = v[i];
@@ -81,13 +105,19 @@ impl Mat {
                 *o += r * vi;
             }
         }
-        out
     }
 
     /// Gram matrix `selfᵀ · diag(w) · self` (`w = None` means unit weights).
     pub fn gram(&self, w: Option<&[f64]>) -> Mat {
+        let mut g = Mat::zeros(0, 0);
+        self.gram_into(w, &mut g);
+        g
+    }
+
+    /// [`Mat::gram`] writing into a reusable matrix.
+    pub fn gram_into(&self, w: Option<&[f64]>, g: &mut Mat) {
         let p = self.cols;
-        let mut g = Mat::zeros(p, p);
+        g.reshape_zeroed(p, p);
         for i in 0..self.rows {
             let row = self.row(i);
             let wi = w.map_or(1.0, |w| w[i]);
@@ -107,7 +137,6 @@ impl Mat {
                 g[(a, b)] = g[(b, a)];
             }
         }
-        g
     }
 }
 
@@ -160,12 +189,61 @@ impl fmt::Display for LinalgError {
 
 impl std::error::Error for LinalgError {}
 
+/// Reusable buffers for the Cholesky solve ([`solve_spd_into`]).
+#[derive(Default)]
+pub struct SpdScratch {
+    chol: Mat,
+    fwd: Vec<f64>,
+    sol: Vec<f64>,
+}
+
+impl SpdScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> SpdScratch {
+        SpdScratch::default()
+    }
+}
+
+/// Reusable buffers for the least-squares solvers. One instance per thread
+/// (or per caller) makes the Muggeo/hinge hot path allocation-free.
+#[derive(Default)]
+pub struct LsScratch {
+    gram: Mat,
+    rhs: Vec<f64>,
+    wy: Vec<f64>,
+    spd: SpdScratch,
+}
+
+impl LsScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> LsScratch {
+        LsScratch::default()
+    }
+}
+
+impl Default for Mat {
+    fn default() -> Mat {
+        Mat::zeros(0, 0)
+    }
+}
+
 /// Solves the symmetric positive-definite system `A x = b` by Cholesky.
 ///
 /// If the factorisation breaks down (near-singular `A`, which happens when
 /// two breakpoints nearly coincide), retries with progressively larger ridge
 /// regularisation `A + λI` before giving up.
 pub fn solve_spd(a: &Mat, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let mut s = SpdScratch::new();
+    solve_spd_into(a, b, &mut s).map(|x| x.to_vec())
+}
+
+/// [`solve_spd`] using caller-provided scratch; the solution borrows from
+/// the scratch and stays valid until its next use.
+pub fn solve_spd_into<'s>(
+    a: &Mat,
+    b: &[f64],
+    s: &'s mut SpdScratch,
+) -> Result<&'s [f64], LinalgError> {
     let n = a.rows();
     if a.cols() != n || b.len() != n {
         return Err(LinalgError::DimensionMismatch);
@@ -173,17 +251,18 @@ pub fn solve_spd(a: &Mat, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
     let trace: f64 = (0..n).map(|i| a[(i, i)]).sum();
     let base = (trace / n.max(1) as f64).abs().max(1e-300);
     for &ridge in &[0.0, 1e-12, 1e-9, 1e-6] {
-        if let Some(x) = try_cholesky_solve(a, b, ridge * base) {
-            return Ok(x);
+        if try_cholesky_solve(a, b, ridge * base, s) {
+            return Ok(&s.sol);
         }
     }
     Err(LinalgError::Singular)
 }
 
-fn try_cholesky_solve(a: &Mat, b: &[f64], ridge: f64) -> Option<Vec<f64>> {
+fn try_cholesky_solve(a: &Mat, b: &[f64], ridge: f64, s: &mut SpdScratch) -> bool {
     let n = a.rows();
     // Factor A + ridge·I = L·Lᵀ.
-    let mut l = Mat::zeros(n, n);
+    let l = &mut s.chol;
+    l.reshape_zeroed(n, n);
     for i in 0..n {
         for j in 0..=i {
             let mut sum = a[(i, j)] + if i == j { ridge } else { 0.0 };
@@ -192,7 +271,7 @@ fn try_cholesky_solve(a: &Mat, b: &[f64], ridge: f64) -> Option<Vec<f64>> {
             }
             if i == j {
                 if sum <= 0.0 || !sum.is_finite() {
-                    return None;
+                    return false;
                 }
                 l[(i, j)] = sum.sqrt();
             } else {
@@ -201,7 +280,9 @@ fn try_cholesky_solve(a: &Mat, b: &[f64], ridge: f64) -> Option<Vec<f64>> {
         }
     }
     // Forward substitution L y = b.
-    let mut y = vec![0.0; n];
+    let y = &mut s.fwd;
+    y.clear();
+    y.resize(n, 0.0);
     for i in 0..n {
         let mut sum = b[i];
         for k in 0..i {
@@ -210,7 +291,9 @@ fn try_cholesky_solve(a: &Mat, b: &[f64], ridge: f64) -> Option<Vec<f64>> {
         y[i] = sum / l[(i, i)];
     }
     // Back substitution Lᵀ x = y.
-    let mut x = vec![0.0; n];
+    let x = &mut s.sol;
+    x.clear();
+    x.resize(n, 0.0);
     for i in (0..n).rev() {
         let mut sum = y[i];
         for k in i + 1..n {
@@ -218,11 +301,7 @@ fn try_cholesky_solve(a: &Mat, b: &[f64], ridge: f64) -> Option<Vec<f64>> {
         }
         x[i] = sum / l[(i, i)];
     }
-    if x.iter().all(|v| v.is_finite()) {
-        Some(x)
-    } else {
-        None
-    }
+    x.iter().all(|v| v.is_finite())
 }
 
 /// Solves the general square system `A x = b` by LU with partial pivoting.
@@ -286,6 +365,18 @@ pub fn solve_lu(a: &Mat, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
 /// Weighted least squares `min ||W^{1/2}(X β − y)||²` via the normal
 /// equations; `w = None` means unit weights.
 pub fn wls(x: &Mat, y: &[f64], w: Option<&[f64]>) -> Result<Vec<f64>, LinalgError> {
+    let mut s = LsScratch::new();
+    wls_into(x, y, w, &mut s).map(|b| b.to_vec())
+}
+
+/// [`wls`] using caller-provided scratch; the coefficient vector borrows
+/// from the scratch and stays valid until its next use.
+pub fn wls_into<'s>(
+    x: &Mat,
+    y: &[f64],
+    w: Option<&[f64]>,
+    s: &'s mut LsScratch,
+) -> Result<&'s [f64], LinalgError> {
     if y.len() != x.rows() {
         return Err(LinalgError::DimensionMismatch);
     }
@@ -294,15 +385,74 @@ pub fn wls(x: &Mat, y: &[f64], w: Option<&[f64]>) -> Result<Vec<f64>, LinalgErro
             return Err(LinalgError::DimensionMismatch);
         }
     }
-    let gram = x.gram(w);
-    let rhs = match w {
+    match w {
         Some(w) => {
-            let wy: Vec<f64> = y.iter().zip(w).map(|(a, b)| a * b).collect();
-            x.tmul_vec(&wy)
+            s.wy.clear();
+            s.wy.extend(y.iter().zip(w).map(|(a, b)| a * b));
+            x.tmul_vec_into(&s.wy, &mut s.rhs);
         }
-        None => x.tmul_vec(y),
-    };
-    solve_spd(&gram, &rhs)
+        None => x.tmul_vec_into(y, &mut s.rhs),
+    }
+    x.gram_into(w, &mut s.gram);
+    solve_spd_into(&s.gram, &s.rhs, &mut s.spd)
+}
+
+/// Reusable buffers for [`nnls_into`].
+#[derive(Default)]
+pub struct NnlsScratch {
+    x: Vec<f64>,
+    passive: Vec<bool>,
+    atb: Vec<f64>,
+    gram: Mat,
+    idx: Vec<usize>,
+    sub_gram: Mat,
+    sub_rhs: Vec<f64>,
+    full: Vec<f64>,
+    gx: Vec<f64>,
+    grad: Vec<f64>,
+    spd: SpdScratch,
+}
+
+impl NnlsScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> NnlsScratch {
+        NnlsScratch::default()
+    }
+}
+
+/// Solves the restricted normal equations over the passive set, scattering
+/// the solution into `full` (zeros elsewhere).
+#[allow(clippy::too_many_arguments)]
+fn nnls_solve_passive(
+    gram: &Mat,
+    atb: &[f64],
+    passive: &[bool],
+    idx: &mut Vec<usize>,
+    sub_gram: &mut Mat,
+    sub_rhs: &mut Vec<f64>,
+    full: &mut Vec<f64>,
+    spd: &mut SpdScratch,
+) -> Result<(), LinalgError> {
+    let n = passive.len();
+    idx.clear();
+    idx.extend((0..n).filter(|&j| passive[j]));
+    let p = idx.len();
+    sub_gram.reshape_zeroed(p, p);
+    sub_rhs.clear();
+    sub_rhs.resize(p, 0.0);
+    for (ii, &gi) in idx.iter().enumerate() {
+        sub_rhs[ii] = atb[gi];
+        for (jj, &gj) in idx.iter().enumerate() {
+            sub_gram[(ii, jj)] = gram[(gi, gj)];
+        }
+    }
+    let z = solve_spd_into(sub_gram, sub_rhs, spd)?;
+    full.clear();
+    full.resize(n, 0.0);
+    for (ii, &gi) in idx.iter().enumerate() {
+        full[gi] = z[ii];
+    }
+    Ok(())
 }
 
 /// Non-negative least squares `min ||A x − b||² s.t. x ≥ 0` by the
@@ -311,63 +461,69 @@ pub fn wls(x: &Mat, y: &[f64], w: Option<&[f64]>) -> Result<Vec<f64>, LinalgErro
 /// Used by the monotone PWLR fit: slopes of an accumulating counter profile
 /// cannot be negative.
 pub fn nnls(a: &Mat, b: &[f64], max_iter: usize) -> Result<Vec<f64>, LinalgError> {
+    let mut s = NnlsScratch::new();
+    nnls_into(a, b, max_iter, &mut s).map(|x| x.to_vec())
+}
+
+/// [`nnls`] using caller-provided scratch; the solution borrows from the
+/// scratch and stays valid until its next use.
+pub fn nnls_into<'s>(
+    a: &Mat,
+    b: &[f64],
+    max_iter: usize,
+    s: &'s mut NnlsScratch,
+) -> Result<&'s [f64], LinalgError> {
     let (m, n) = (a.rows(), a.cols());
     if b.len() != m {
         return Err(LinalgError::DimensionMismatch);
     }
-    let mut x = vec![0.0f64; n];
-    let mut passive = vec![false; n];
-    let atb = a.tmul_vec(b);
-    let gram = a.gram(None);
-    let tol = 1e-10 * atb.iter().map(|v| v.abs()).fold(1.0f64, f64::max);
-
-    let solve_passive = |passive: &[bool]| -> Result<Vec<f64>, LinalgError> {
-        let idx: Vec<usize> = (0..n).filter(|&j| passive[j]).collect();
-        let p = idx.len();
-        let mut g = Mat::zeros(p, p);
-        let mut rhs = vec![0.0; p];
-        for (ii, &gi) in idx.iter().enumerate() {
-            rhs[ii] = atb[gi];
-            for (jj, &gj) in idx.iter().enumerate() {
-                g[(ii, jj)] = gram[(gi, gj)];
-            }
-        }
-        let z = solve_spd(&g, &rhs)?;
-        let mut full = vec![0.0; n];
-        for (ii, &gi) in idx.iter().enumerate() {
-            full[gi] = z[ii];
-        }
-        Ok(full)
-    };
+    s.x.clear();
+    s.x.resize(n, 0.0);
+    s.passive.clear();
+    s.passive.resize(n, false);
+    a.tmul_vec_into(b, &mut s.atb);
+    a.gram_into(None, &mut s.gram);
+    let tol = 1e-10 * s.atb.iter().map(|v| v.abs()).fold(1.0f64, f64::max);
 
     for _outer in 0..max_iter {
         // Gradient of ½||Ax−b||² is Aᵀ(Ax−b); w = −gradient.
-        let gx = gram.mul_vec(&x);
-        let w: Vec<f64> = atb.iter().zip(&gx).map(|(t, g)| t - g).collect();
+        s.gram.mul_vec_into(&s.x, &mut s.gx);
+        s.grad.clear();
+        s.grad.extend(s.atb.iter().zip(&s.gx).map(|(t, g)| t - g));
         // Most-violating inactive variable.
         let cand = (0..n)
-            .filter(|&j| !passive[j])
-            .max_by(|&i, &j| w[i].partial_cmp(&w[j]).unwrap());
+            .filter(|&j| !s.passive[j])
+            .max_by(|&i, &j| s.grad[i].partial_cmp(&s.grad[j]).unwrap());
         let Some(j_star) = cand else { break };
-        if w[j_star] <= tol {
+        if s.grad[j_star] <= tol {
             break; // KKT satisfied.
         }
-        passive[j_star] = true;
+        s.passive[j_star] = true;
 
         loop {
-            let z = solve_passive(&passive)?;
-            let all_pos = (0..n).filter(|&j| passive[j]).all(|j| z[j] > 0.0);
+            nnls_solve_passive(
+                &s.gram,
+                &s.atb,
+                &s.passive,
+                &mut s.idx,
+                &mut s.sub_gram,
+                &mut s.sub_rhs,
+                &mut s.full,
+                &mut s.spd,
+            )?;
+            let z = &s.full;
+            let all_pos = (0..n).filter(|&j| s.passive[j]).all(|j| z[j] > 0.0);
             if all_pos {
-                x = z;
+                std::mem::swap(&mut s.x, &mut s.full);
                 break;
             }
             // Step toward z, stopping at the first variable hitting zero.
             let mut alpha = f64::INFINITY;
-            for j in (0..n).filter(|&j| passive[j]) {
+            for j in (0..n).filter(|&j| s.passive[j]) {
                 if z[j] <= 0.0 {
-                    let denom = x[j] - z[j];
+                    let denom = s.x[j] - z[j];
                     if denom > 0.0 {
-                        alpha = alpha.min(x[j] / denom);
+                        alpha = alpha.min(s.x[j] / denom);
                     } else {
                         alpha = 0.0;
                     }
@@ -375,22 +531,22 @@ pub fn nnls(a: &Mat, b: &[f64], max_iter: usize) -> Result<Vec<f64>, LinalgError
             }
             let alpha = alpha.clamp(0.0, 1.0);
             for j in 0..n {
-                if passive[j] {
-                    x[j] += alpha * (z[j] - x[j]);
+                if s.passive[j] {
+                    s.x[j] += alpha * (s.full[j] - s.x[j]);
                 }
             }
             for j in 0..n {
-                if passive[j] && x[j] <= 1e-14 {
-                    x[j] = 0.0;
-                    passive[j] = false;
+                if s.passive[j] && s.x[j] <= 1e-14 {
+                    s.x[j] = 0.0;
+                    s.passive[j] = false;
                 }
             }
-            if !passive.iter().any(|&p| p) {
+            if !s.passive.iter().any(|&p| p) {
                 break;
             }
         }
     }
-    Ok(x)
+    Ok(&s.x)
 }
 
 #[cfg(test)]

@@ -14,9 +14,12 @@
 //! 5. keep the segment count minimising the selection criterion
 //!    ([`crate::model_select`]).
 
-use crate::breakpoints::{enforce_separation, refine_breakpoints, RefineConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::breakpoints::{enforce_separation, refine_breakpoints_with, RefineConfig, RefineScratch};
 use crate::grid::bin_series;
-use crate::hinge::{fit_hinge, fit_hinge_monotone, FitError, HingeFit};
+use crate::hinge::{fit_hinge_monotone_with, fit_hinge_with, FitError, HingeFit, HingeScratch};
 use crate::model_select::{score, SelectionCriterion};
 use crate::segdp::segment_dp;
 
@@ -46,6 +49,12 @@ pub struct PwlrConfig {
     pub refine: RefineConfig,
     /// Domain of the profile (`[0, 1]` for folded profiles).
     pub domain: (f64, f64),
+    /// Upper bound on threads used to refine + fit the per-`m` candidates
+    /// concurrently. `<= 1` keeps everything on the calling thread. The
+    /// result is bit-identical either way: candidate preparation is
+    /// deterministic per `m`, and model selection replays sequentially in
+    /// ascending-`m` order.
+    pub candidate_threads: usize,
 }
 
 impl Default for PwlrConfig {
@@ -61,6 +70,7 @@ impl Default for PwlrConfig {
             margin_abs: 10.0,
             refine: RefineConfig::default(),
             domain: (0.0, 1.0),
+            candidate_threads: 1,
         }
     }
 }
@@ -161,28 +171,41 @@ pub fn fit_pwlr(
         Vec::new()
     };
 
-    let do_fit = |bps: &[f64]| -> Result<HingeFit, FitError> {
-        if config.monotone {
-            fit_hinge_monotone(&sx, &sy, sw.as_deref(), bps, lo, hi)
-        } else {
-            fit_hinge(&sx, &sy, sw.as_deref(), bps, lo, hi)
-        }
+    // Candidate breakpoint *inputs*, ascending by m: the plain line first,
+    // then every multi-segment DP proposal.
+    let mut inputs: Vec<&[f64]> = vec![&[]];
+    inputs.extend(
+        proposals
+            .iter()
+            .filter(|p| !p.breakpoints.is_empty())
+            .map(|p| p.breakpoints.as_slice()),
+    );
+
+    // Refine + fit every candidate. The per-candidate work (Muggeo
+    // iterations + hinge fit) is independent, so it can fan out across
+    // threads; each worker carries its own scratch buffers.
+    let ctx = CandidateCtx { sx: &sx, sy: &sy, sw: sw.as_deref(), lo, hi, min_sep, config };
+    let threads = config.candidate_threads.clamp(1, inputs.len().max(1));
+    let prepared: Vec<Option<(Vec<f64>, HingeFit)>> = if threads > 1 {
+        prepare_parallel(&ctx, &inputs, threads)
+    } else {
+        let mut scratch = CandidateScratch::default();
+        inputs.iter().map(|bps| prepare_candidate(&ctx, bps, &mut scratch)).collect()
     };
 
+    // Model selection replays sequentially in ascending-m order, so the
+    // incumbent/margin semantics (and hence the result) do not depend on
+    // the number of threads used above.
     let mut candidates = Vec::new();
     let mut best: Option<(f64, HingeFit)> = None;
-
-    // Always consider the plain line (m = 1).
-    let consider = |bps: Vec<f64>, candidates: &mut Vec<Candidate>,
-                        best: &mut Option<(f64, HingeFit)>| {
-        let Ok(fit) = do_fit(&bps) else { return };
+    for (bps, fit) in prepared.into_iter().flatten() {
         let s = score(config.criterion, fit.n, fit.sse, bps.len());
         candidates.push(Candidate {
             num_segments: bps.len() + 1,
             sse: fit.sse,
             score: s,
         });
-        let better = match best {
+        let better = match &best {
             None => true,
             Some((bs, incumbent)) => {
                 if bs.is_finite() && bps.len() > incumbent.breakpoints.len() {
@@ -195,38 +218,7 @@ pub fn fit_pwlr(
             }
         };
         if better {
-            *best = Some((s, fit));
-        }
-    };
-
-    consider(Vec::new(), &mut candidates, &mut best);
-    for proposal in &proposals {
-        if proposal.breakpoints.is_empty() {
-            continue; // m = 1 already considered
-        }
-        let mut refine_cfg = config.refine;
-        refine_cfg.min_separation = refine_cfg.min_separation.max(min_sep);
-        let refined = refine_breakpoints(
-            &sx,
-            &sy,
-            sw.as_deref(),
-            &proposal.breakpoints,
-            lo,
-            hi,
-            &refine_cfg,
-        );
-        let refined = enforce_separation(refined, lo, hi, min_sep.max(1e-12));
-        if refined.len() != proposal.breakpoints.len() {
-            // Refinement collapsed segments: also try the raw proposal so
-            // the candidate list covers every m the DP produced.
-            let raw = enforce_separation(proposal.breakpoints.clone(), lo, hi, min_sep.max(1e-12));
-            if raw.len() == proposal.breakpoints.len() {
-                consider(raw, &mut candidates, &mut best);
-                continue;
-            }
-        }
-        if !refined.is_empty() {
-            consider(refined, &mut candidates, &mut best);
+            best = Some((s, fit));
         }
     }
 
@@ -237,7 +229,8 @@ pub fn fit_pwlr(
         Some((s, fit)) => Ok(PwlrFit { fit, score: s, candidates }),
         None => {
             // Even m=1 failed: surface that error.
-            do_fit(&[]).map(|fit| {
+            let mut scratch = CandidateScratch::default();
+            do_fit(&ctx, &[], &mut scratch.hinge).map(|fit| {
                 let s = score(config.criterion, fit.n, fit.sse, 0);
                 PwlrFit {
                     fit,
@@ -247,6 +240,114 @@ pub fn fit_pwlr(
             })
         }
     }
+}
+
+/// Shared read-only inputs for candidate preparation.
+struct CandidateCtx<'a> {
+    sx: &'a [f64],
+    sy: &'a [f64],
+    sw: Option<&'a [f64]>,
+    lo: f64,
+    hi: f64,
+    min_sep: f64,
+    config: &'a PwlrConfig,
+}
+
+/// Per-worker scratch: one hinge-fit buffer set + one Muggeo buffer set.
+#[derive(Default)]
+struct CandidateScratch {
+    hinge: HingeScratch,
+    refine: RefineScratch,
+}
+
+fn do_fit(
+    ctx: &CandidateCtx<'_>,
+    bps: &[f64],
+    scratch: &mut HingeScratch,
+) -> Result<HingeFit, FitError> {
+    if ctx.config.monotone {
+        fit_hinge_monotone_with(ctx.sx, ctx.sy, ctx.sw, bps, ctx.lo, ctx.hi, scratch)
+    } else {
+        fit_hinge_with(ctx.sx, ctx.sy, ctx.sw, bps, ctx.lo, ctx.hi, scratch)
+    }
+}
+
+/// Refines one DP proposal and fits it: the per-`m` unit of work.
+///
+/// Returns `None` when the candidate collapses away entirely or its fit
+/// fails; the selection loop then just skips it.
+fn prepare_candidate(
+    ctx: &CandidateCtx<'_>,
+    proposal: &[f64],
+    scratch: &mut CandidateScratch,
+) -> Option<(Vec<f64>, HingeFit)> {
+    let sep = ctx.min_sep.max(1e-12);
+    let bps = if proposal.is_empty() {
+        Vec::new()
+    } else {
+        let mut refine_cfg = ctx.config.refine;
+        refine_cfg.min_separation = refine_cfg.min_separation.max(ctx.min_sep);
+        let refined = refine_breakpoints_with(
+            ctx.sx,
+            ctx.sy,
+            ctx.sw,
+            proposal,
+            ctx.lo,
+            ctx.hi,
+            &refine_cfg,
+            &mut scratch.refine,
+        );
+        let refined = enforce_separation(refined, ctx.lo, ctx.hi, sep);
+        if refined.len() != proposal.len() {
+            // Refinement collapsed segments: fall back to the raw proposal
+            // (when it survives separation at full order) so the candidate
+            // list covers every m the DP produced.
+            let raw = enforce_separation(proposal.to_vec(), ctx.lo, ctx.hi, sep);
+            if raw.len() == proposal.len() {
+                raw
+            } else if !refined.is_empty() {
+                refined
+            } else {
+                return None;
+            }
+        } else if refined.is_empty() {
+            return None;
+        } else {
+            refined
+        }
+    };
+    let fit = do_fit(ctx, &bps, &mut scratch.hinge).ok()?;
+    Some((bps, fit))
+}
+
+/// Fans [`prepare_candidate`] out over `threads` scoped workers pulling
+/// indices from a shared counter. Slot `i` of the result corresponds to
+/// `inputs[i]`, so downstream selection order is unaffected.
+fn prepare_parallel(
+    ctx: &CandidateCtx<'_>,
+    inputs: &[&[f64]],
+    threads: usize,
+) -> Vec<Option<(Vec<f64>, HingeFit)>> {
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<(Vec<f64>, HingeFit)>>> =
+        inputs.iter().map(|_| Mutex::new(None)).collect();
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| {
+                let mut scratch = CandidateScratch::default();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= inputs.len() {
+                        break;
+                    }
+                    let prepared = prepare_candidate(ctx, inputs[i], &mut scratch);
+                    *slots[i].lock().unwrap() = prepared;
+                }
+            });
+        }
+    })
+    .expect("candidate worker panicked");
+    slots.into_iter().map(|m| m.into_inner().unwrap()).collect()
 }
 
 #[cfg(test)]
@@ -369,6 +470,33 @@ mod tests {
     fn too_few_points_fails_gracefully() {
         let r = fit_pwlr(&[0.5], &[0.5], None, &PwlrConfig::default());
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn parallel_candidates_match_sequential_exactly() {
+        let xs = grid(900);
+        let truth = |x: f64| {
+            if x < 0.3 {
+                2.2 * x
+            } else if x < 0.6 {
+                0.66 + 0.4 * (x - 0.3)
+            } else {
+                0.78 + 1.7 * (x - 0.6)
+            }
+        };
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| truth(x) + 0.008 * noise(i))
+            .collect();
+        let seq = fit_pwlr(&xs, &ys, None, &PwlrConfig::default()).unwrap();
+        let par_cfg = PwlrConfig { candidate_threads: 4, ..PwlrConfig::default() };
+        let par = fit_pwlr(&xs, &ys, None, &par_cfg).unwrap();
+        assert_eq!(seq.score.to_bits(), par.score.to_bits());
+        assert_eq!(seq.fit.sse.to_bits(), par.fit.sse.to_bits());
+        assert_eq!(seq.fit.breakpoints, par.fit.breakpoints);
+        assert_eq!(seq.fit.slopes, par.fit.slopes);
+        assert_eq!(seq.candidates, par.candidates);
     }
 
     #[test]

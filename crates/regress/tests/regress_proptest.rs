@@ -7,7 +7,7 @@ use phasefold_regress::grid::bin_series;
 use phasefold_regress::hinge::{fit_hinge, fit_hinge_monotone};
 use phasefold_regress::linalg::{nnls, Mat};
 use phasefold_regress::pwlr::{fit_pwlr, PwlrConfig};
-use phasefold_regress::segdp::segment_dp;
+use phasefold_regress::segdp::{segment_dp, segment_dp_quadratic, Segmentation};
 use phasefold_regress::stats::{mad, median, quantile, Moments};
 
 fn dense_grid(n: usize) -> Vec<f64> {
@@ -31,6 +31,23 @@ fn arb_pwl() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
                 v.insert(0, intercept);
                 v
             })
+        })
+}
+
+/// Bit-level equality of two segmentation ladders: same segment counts, the
+/// exact same SSE bits, the exact same breakpoint bits. This is the contract
+/// the pruned branch-and-bound `segment_dp` makes against the quadratic
+/// reference — not "close", identical.
+fn same_segmentations(a: &[Segmentation], b: &[Segmentation]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.num_segments == y.num_segments
+                && x.sse.to_bits() == y.sse.to_bits()
+                && x.breakpoints.len() == y.breakpoints.len()
+                && x.breakpoints
+                    .iter()
+                    .zip(&y.breakpoints)
+                    .all(|(p, q)| p.to_bits() == q.to_bits())
         })
 }
 
@@ -97,6 +114,52 @@ proptest! {
         for w in segs.windows(2) {
             prop_assert!(w[1].sse <= w[0].sse + 1e-9);
         }
+    }
+
+    /// The pruned branch-and-bound DP is bit-identical to the quadratic
+    /// reference on arbitrary unweighted data, across segment budgets.
+    #[test]
+    fn segdp_pruned_matches_quadratic(
+        ys in proptest::collection::vec(-2.0f64..2.0, 12..90),
+        max_segments in 1usize..6,
+    ) {
+        let xs = dense_grid(ys.len());
+        let pruned = segment_dp(&xs, &ys, None, max_segments, 2);
+        let quad = segment_dp_quadratic(&xs, &ys, None, max_segments, 2);
+        prop_assert!(same_segmentations(&pruned, &quad),
+            "pruned != quadratic: {pruned:?} vs {quad:?}");
+    }
+
+    /// Same bit-identity with per-point weights in play — the pruning bounds
+    /// must account for weighted partial sums exactly.
+    #[test]
+    fn segdp_pruned_matches_quadratic_weighted(
+        points in proptest::collection::vec((-2.0f64..2.0, 0.1f64..4.0), 12..70),
+        max_segments in 1usize..5,
+    ) {
+        let ys: Vec<f64> = points.iter().map(|p| p.0).collect();
+        let ws: Vec<f64> = points.iter().map(|p| p.1).collect();
+        let xs = dense_grid(ys.len());
+        let pruned = segment_dp(&xs, &ys, Some(&ws), max_segments, 2);
+        let quad = segment_dp_quadratic(&xs, &ys, Some(&ws), max_segments, 2);
+        prop_assert!(same_segmentations(&pruned, &quad),
+            "weighted pruned != quadratic: {pruned:?} vs {quad:?}");
+    }
+
+    /// Same bit-identity under a binding `min_points` constraint, which
+    /// shrinks each row's feasible split range and exercises the block
+    /// bounds at their clipped edges.
+    #[test]
+    fn segdp_pruned_matches_quadratic_min_points(
+        ys in proptest::collection::vec(-2.0f64..2.0, 16..80),
+        max_segments in 1usize..5,
+        min_points in 1usize..8,
+    ) {
+        let xs = dense_grid(ys.len());
+        let pruned = segment_dp(&xs, &ys, None, max_segments, min_points);
+        let quad = segment_dp_quadratic(&xs, &ys, None, max_segments, min_points);
+        prop_assert!(same_segmentations(&pruned, &quad),
+            "min_points={min_points} pruned != quadratic: {pruned:?} vs {quad:?}");
     }
 
     /// NNLS output is entry-wise non-negative and at least as good as zero.

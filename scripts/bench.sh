@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Performance regression gate.
+#
+# Builds the workspace in release mode, runs the E-PERF baseline experiment
+# (`exp_perf_baseline`), and compares the fresh timings against the committed
+# baseline `BENCH_pipeline.json` at the repository root. Fails (exit 1) if
+# any tracked timing regressed by more than 15 %.
+#
+# Usage:
+#   scripts/bench.sh            # compare against committed baseline
+#   scripts/bench.sh --update   # run and overwrite the committed baseline
+#
+# Needs only cargo + POSIX awk/grep; the JSON is written one scalar per line
+# exactly so this script can stay dependency-free.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=BENCH_pipeline.json
+FRESH=$(mktemp /tmp/bench_pipeline.XXXXXX.json)
+trap 'rm -f "$FRESH"' EXIT
+THRESHOLD=1.15
+
+echo "== release build =="
+cargo build --release -p phasefold-bench
+
+echo "== running exp_perf_baseline =="
+if [[ "${1:-}" == "--update" ]]; then
+    cargo run --release -q -p phasefold-bench --bin exp_perf_baseline -- "$BASELINE"
+    echo "baseline updated: $BASELINE"
+    exit 0
+fi
+
+cargo run --release -q -p phasefold-bench --bin exp_perf_baseline -- "$FRESH"
+
+if [[ ! -f "$BASELINE" ]]; then
+    cp "$FRESH" "$BASELINE"
+    echo "no committed baseline found; wrote initial $BASELINE"
+    exit 0
+fi
+
+# Extracts the value of a scalar `"key": value` line; for keys inside the
+# pipeline array, pass the trace label as the second argument.
+extract() {
+    local key=$1 trace=${2:-} file=$3
+    if [[ -n "$trace" ]]; then
+        grep "\"trace\": \"$trace\"" "$file" \
+            | sed "s/.*\"$key\": \([0-9.]*\).*/\1/"
+    else
+        grep "\"$key\":" "$file" | head -1 | sed "s/.*\"$key\": \([0-9.truefalse]*\),*/\1/"
+    fi
+}
+
+fail=0
+check() {
+    local label=$1 base=$2 fresh=$3
+    if [[ -z "$base" || -z "$fresh" ]]; then
+        echo "?? $label: missing measurement (base='$base' fresh='$fresh')"
+        fail=1
+        return
+    fi
+    awk -v b="$base" -v f="$fresh" -v t="$THRESHOLD" -v l="$label" 'BEGIN {
+        ratio = (b > 0) ? f / b : 1;
+        status = (ratio > t) ? "REGRESSED" : "ok";
+        printf "%-22s base %10.3f ms   now %10.3f ms   ratio %.3f   %s\n", l, b, f, ratio, status;
+        exit (ratio > t) ? 1 : 0;
+    }' || fail=1
+}
+
+echo "== comparing against $BASELINE (fail threshold: >15% slower) =="
+check "segdp_pruned" \
+    "$(extract segdp_pruned_ms "" "$BASELINE")" \
+    "$(extract segdp_pruned_ms "" "$FRESH")"
+for trace in small medium large; do
+    check "pipeline_${trace}_seq" \
+        "$(extract seq_ms "$trace" "$BASELINE")" \
+        "$(extract seq_ms "$trace" "$FRESH")"
+done
+
+# The pruned DP must also still match the quadratic reference bit-for-bit
+# (the binary asserts this itself, but make the gate explicit).
+identical=$(extract segdp_identical "" "$FRESH")
+if [[ "$identical" != "true" ]]; then
+    echo "segdp_identical = $identical — pruned DP diverged from reference"
+    fail=1
+fi
+
+# And the headline speedup must not collapse below the 10x target.
+awk -v s="$(extract segdp_speedup "" "$FRESH")" 'BEGIN {
+    printf "segdp speedup vs quadratic: %.1fx (target >= 10x)\n", s;
+    exit (s >= 10.0) ? 0 : 1;
+}' || fail=1
+
+if [[ $fail -ne 0 ]]; then
+    echo "FAIL: performance regression detected"
+    exit 1
+fi
+echo "OK: no regression beyond threshold"

@@ -1,0 +1,338 @@
+//! Minimal offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the surface this workspace uses:
+//!
+//! * [`thread::scope`] — scoped threads with the crossbeam calling
+//!   convention (`spawn` closures receive `&Scope`), implemented on top of
+//!   `std::thread::scope` (Rust >= 1.63).
+//! * [`deque`] — `Injector` / `Worker` / `Stealer` with the crossbeam-deque
+//!   API shape. Internally these are mutex-guarded `VecDeque`s rather than
+//!   lock-free Chase-Lev deques: correctness and API compatibility over raw
+//!   throughput. Queue operations in this workspace hand out coarse tasks
+//!   (a whole fold or counter refit per pop), so lock contention is
+//!   negligible next to task cost.
+//! * [`utils::Backoff`] — spin/yield backoff for idle workers.
+
+/// Scoped threads in the crossbeam calling convention.
+pub mod thread {
+    use std::any::Any;
+
+    /// Result type of [`scope`]: `Err` carries a spawned thread's panic
+    /// payload.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// Handle passed to the scope closure and to every spawned thread.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. As in crossbeam, the closure receives a
+        /// `&Scope` so it can spawn further siblings.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Creates a scope in which threads may borrow from the enclosing stack
+    /// frame. All spawned threads are joined before `scope` returns.
+    ///
+    /// Panic semantics differ slightly from real crossbeam: a panicking
+    /// child re-raises on join (std behaviour) instead of being collected
+    /// into the `Err` variant, so the `Err` arm is unreachable in practice.
+    /// Workspace callers only `.expect()` the result, which is compatible.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+/// Work-stealing deques (mutex-backed stand-in for `crossbeam-deque`).
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Outcome of a steal attempt.
+    #[derive(Debug)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// A task was stolen.
+        Success(T),
+        /// The operation lost a race and should be retried.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// Returns the stolen task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+
+        /// True if the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+    }
+
+    /// FIFO injector queue shared by all workers.
+    pub struct Injector<T> {
+        q: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        pub fn new() -> Self {
+            Injector { q: Mutex::new(VecDeque::new()) }
+        }
+
+        /// Pushes a task onto the back of the queue.
+        pub fn push(&self, task: T) {
+            self.q.lock().unwrap().push_back(task);
+        }
+
+        /// Steals a task from the front of the queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.q.lock().unwrap().pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// True if the queue has no tasks.
+        pub fn is_empty(&self) -> bool {
+            self.q.lock().unwrap().is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            self.q.lock().unwrap().len()
+        }
+    }
+
+    #[derive(Clone, Copy)]
+    enum Flavor {
+        Fifo,
+        Lifo,
+    }
+
+    /// A worker-owned deque. The owner pushes and pops at one end; thieves
+    /// steal from the other through [`Stealer`] handles.
+    pub struct Worker<T> {
+        q: Arc<Mutex<VecDeque<T>>>,
+        flavor: Flavor,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates a LIFO worker queue (owner pops the most recent push).
+        pub fn new_lifo() -> Self {
+            Worker { q: Arc::new(Mutex::new(VecDeque::new())), flavor: Flavor::Lifo }
+        }
+
+        /// Creates a FIFO worker queue.
+        pub fn new_fifo() -> Self {
+            Worker { q: Arc::new(Mutex::new(VecDeque::new())), flavor: Flavor::Fifo }
+        }
+
+        /// Pushes a task onto the owner end.
+        pub fn push(&self, task: T) {
+            self.q.lock().unwrap().push_back(task);
+        }
+
+        /// Pops a task from the owner end.
+        pub fn pop(&self) -> Option<T> {
+            let mut q = self.q.lock().unwrap();
+            match self.flavor {
+                Flavor::Lifo => q.pop_back(),
+                Flavor::Fifo => q.pop_front(),
+            }
+        }
+
+        /// True if the deque has no tasks.
+        pub fn is_empty(&self) -> bool {
+            self.q.lock().unwrap().is_empty()
+        }
+
+        /// Creates a stealer handle for other threads.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer { q: Arc::clone(&self.q) }
+        }
+    }
+
+    /// A handle that steals from the opposite end of a [`Worker`]'s deque.
+    pub struct Stealer<T> {
+        q: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer { q: Arc::clone(&self.q) }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals a task from the victim's cold end.
+        pub fn steal(&self) -> Steal<T> {
+            match self.q.lock().unwrap().pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// True if the victim's deque was observed empty.
+        pub fn is_empty(&self) -> bool {
+            self.q.lock().unwrap().is_empty()
+        }
+    }
+}
+
+/// Miscellaneous utilities.
+pub mod utils {
+    use std::cell::Cell;
+
+    const SPIN_LIMIT: u32 = 6;
+    const YIELD_LIMIT: u32 = 10;
+
+    /// Exponential backoff for spin loops, mirroring
+    /// `crossbeam_utils::Backoff`.
+    pub struct Backoff {
+        step: Cell<u32>,
+    }
+
+    impl Default for Backoff {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl Backoff {
+        /// Creates a fresh backoff counter.
+        pub fn new() -> Self {
+            Backoff { step: Cell::new(0) }
+        }
+
+        /// Resets the counter.
+        pub fn reset(&self) {
+            self.step.set(0);
+        }
+
+        /// Backs off briefly after a failed attempt (spin only).
+        pub fn spin(&self) {
+            for _ in 0..1u32 << self.step.get().min(SPIN_LIMIT) {
+                std::hint::spin_loop();
+            }
+            if self.step.get() <= SPIN_LIMIT {
+                self.step.set(self.step.get() + 1);
+            }
+        }
+
+        /// Backs off while waiting for another thread to make progress,
+        /// escalating from spinning to yielding the OS scheduler.
+        pub fn snooze(&self) {
+            if self.step.get() <= SPIN_LIMIT {
+                for _ in 0..1u32 << self.step.get() {
+                    std::hint::spin_loop();
+                }
+            } else {
+                std::thread::yield_now();
+            }
+            if self.step.get() <= YIELD_LIMIT {
+                self.step.set(self.step.get() + 1);
+            }
+        }
+
+        /// True once backoff has escalated far enough that the caller
+        /// should block instead of spinning.
+        pub fn is_completed(&self) -> bool {
+            self.step.get() > YIELD_LIMIT
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::deque::{Injector, Worker};
+
+    #[test]
+    fn scoped_threads_join_and_borrow() {
+        let data = vec![1u64, 2, 3, 4];
+        let mut outputs = vec![0u64; 4];
+        crate::thread::scope(|scope| {
+            for (slot, &v) in outputs.iter_mut().zip(&data) {
+                scope.spawn(move |_| {
+                    *slot = v * 10;
+                });
+            }
+        })
+        .expect("join");
+        assert_eq!(outputs, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_argument() {
+        let counter = std::sync::atomic::AtomicUsize::new(0);
+        crate::thread::scope(|scope| {
+            scope.spawn(|inner| {
+                counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                inner.spawn(|_| {
+                    counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                });
+            });
+        })
+        .expect("join");
+        assert_eq!(counter.load(std::sync::atomic::Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn deque_lifo_and_steal_order() {
+        let w: Worker<u32> = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        // Owner pops newest first.
+        assert_eq!(w.pop(), Some(3));
+        // Thief steals oldest first.
+        assert_eq!(s.steal().success(), Some(1));
+        assert_eq!(w.pop(), Some(2));
+        assert!(w.pop().is_none());
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn injector_is_fifo_across_threads() {
+        let inj: Injector<usize> = Injector::new();
+        for i in 0..100 {
+            inj.push(i);
+        }
+        let sum = std::sync::atomic::AtomicUsize::new(0);
+        crate::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| {
+                    while let Some(v) = inj.steal().success() {
+                        sum.fetch_add(v, std::sync::atomic::Ordering::Relaxed);
+                    }
+                });
+            }
+        })
+        .expect("join");
+        assert_eq!(sum.load(std::sync::atomic::Ordering::Relaxed), 4950);
+        assert!(inj.is_empty());
+    }
+}

@@ -1,0 +1,639 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! The registry is unreachable in this build environment, so the workspace
+//! vendors the subset of proptest it actually uses: the `proptest!` macro,
+//! `Strategy` + `prop_map`/`boxed`, range / tuple / `Just` / `Union`
+//! strategies, `collection::vec`, `array::uniform10`, regex-string
+//! strategies for simple patterns, and the `prop_assert*` macros.
+//!
+//! Deliberate divergences from upstream:
+//!
+//! * **No shrinking.** A failing case panics with the generated values in
+//!   scope; there is no minimisation pass.
+//! * **Deterministic seeding.** Each test function derives its RNG seed
+//!   from its fully-qualified name, so failures reproduce exactly across
+//!   runs — there is no `PROPTEST_` env handling or failure persistence
+//!   file.
+//! * **Default case count is 64** (upstream: 256) to keep the offline CI
+//!   budget small; tests that need more set it explicitly via
+//!   `ProptestConfig::with_cases`.
+
+/// Deterministic RNG + per-test configuration.
+pub mod test_runner {
+    /// SplitMix64 generator seeded from the test's qualified name.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds from an arbitrary string (FNV-1a), e.g. a test name.
+        pub fn deterministic(name: &str) -> Self {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Seeds directly from a 64-bit value.
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform integer in `[0, n)`. Panics if `n == 0`.
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0, "below(0)");
+            self.next_u64() % n
+        }
+    }
+
+    /// Per-block configuration (`#![proptest_config(...)]`).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per test function.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Configuration with an explicit case count.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+}
+
+/// The `Strategy` trait and combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::Range;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; panics on an empty option list.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "Union of zero strategies");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].generate(rng)
+        }
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty f64 range strategy");
+            let v = self.start + rng.unit_f64() * (self.end - self.start);
+            if v >= self.end {
+                self.start.max(self.end - (self.end - self.start) * f64::EPSILON)
+            } else {
+                v.max(self.start)
+            }
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            (Range { start: self.start as f64, end: self.end as f64 }).generate(rng) as f32
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty integer range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($S:ident/$v:ident),+) => {
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($v,)+) = self;
+                    ($($v.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A/a);
+    impl_tuple_strategy!(A/a, B/b);
+    impl_tuple_strategy!(A/a, B/b, C/c);
+    impl_tuple_strategy!(A/a, B/b, C/c, D/d);
+    impl_tuple_strategy!(A/a, B/b, C/c, D/d, E/e);
+    impl_tuple_strategy!(A/a, B/b, C/c, D/d, E/e, F/f);
+
+    /// String strategy from a regex-like pattern (see [`crate::pattern`]).
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let seq = crate::pattern::parse(self);
+            let mut out = String::new();
+            crate::pattern::generate(&seq, rng, &mut out);
+            out
+        }
+    }
+
+    impl Strategy for String {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            self.as_str().generate(rng)
+        }
+    }
+
+    /// Helper carrying a `PhantomData` for potential future `any::<T>()`
+    /// support; kept private-ish but public for macro use.
+    pub struct Unit<T>(pub PhantomData<T>);
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive-lo / exclusive-hi size specification for collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo).max(1) as u64;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+/// Fixed-size array strategies.
+pub mod array {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `[S::Value; N]`, one independent draw per slot.
+    pub struct UniformArray<S, const N: usize>(S);
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+        type Value = [S::Value; N];
+        fn generate(&self, rng: &mut TestRng) -> [S::Value; N] {
+            std::array::from_fn(|_| self.0.generate(rng))
+        }
+    }
+
+    /// `proptest::array::uniform10(strategy)`.
+    pub fn uniform10<S: Strategy>(strategy: S) -> UniformArray<S, 10> {
+        UniformArray(strategy)
+    }
+}
+
+/// Tiny regex-subset parser/generator backing the `&str` strategy.
+///
+/// Supported syntax: literal chars, `\`-escapes, character classes
+/// `[a-z0-9_]` (ranges and singletons), groups with alternation
+/// `(ab|cd)`, and quantifiers `?`, `*`, `+`, `{m}`, `{m,n}` on the
+/// preceding atom. Unbounded repetition is capped at 8.
+pub mod pattern {
+    use crate::test_runner::TestRng;
+
+    const UNBOUNDED_CAP: u32 = 8;
+
+    #[derive(Debug, Clone)]
+    pub enum Atom {
+        Literal(char),
+        Class(Vec<(char, char)>),
+        Group(Vec<Seq>),
+    }
+
+    /// A sequence of (atom, repetition range) pairs; max is inclusive.
+    pub type Seq = Vec<(Atom, (u32, u32))>;
+
+    /// Parses `pattern`; panics on syntax outside the supported subset.
+    pub fn parse(pattern: &str) -> Seq {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0;
+        let alts = parse_alternatives(&chars, &mut pos);
+        assert!(pos == chars.len(), "unbalanced pattern: {pattern}");
+        if alts.len() == 1 {
+            alts.into_iter().next().unwrap()
+        } else {
+            vec![(Atom::Group(alts), (1, 1))]
+        }
+    }
+
+    fn parse_alternatives(chars: &[char], pos: &mut usize) -> Vec<Seq> {
+        let mut alts = vec![parse_seq(chars, pos)];
+        while *pos < chars.len() && chars[*pos] == '|' {
+            *pos += 1;
+            alts.push(parse_seq(chars, pos));
+        }
+        alts
+    }
+
+    fn parse_seq(chars: &[char], pos: &mut usize) -> Seq {
+        let mut seq = Seq::new();
+        while *pos < chars.len() {
+            let atom = match chars[*pos] {
+                ')' | '|' => break,
+                '(' => {
+                    *pos += 1;
+                    let alts = parse_alternatives(chars, pos);
+                    assert!(
+                        *pos < chars.len() && chars[*pos] == ')',
+                        "unclosed group in pattern"
+                    );
+                    *pos += 1;
+                    Atom::Group(alts)
+                }
+                '[' => {
+                    *pos += 1;
+                    let mut ranges = Vec::new();
+                    while *pos < chars.len() && chars[*pos] != ']' {
+                        let lo = if chars[*pos] == '\\' {
+                            *pos += 1;
+                            chars[*pos]
+                        } else {
+                            chars[*pos]
+                        };
+                        *pos += 1;
+                        if *pos + 1 < chars.len() && chars[*pos] == '-' && chars[*pos + 1] != ']' {
+                            let hi = chars[*pos + 1];
+                            *pos += 2;
+                            ranges.push((lo, hi));
+                        } else {
+                            ranges.push((lo, lo));
+                        }
+                    }
+                    assert!(*pos < chars.len(), "unclosed class in pattern");
+                    *pos += 1; // consume ']'
+                    Atom::Class(ranges)
+                }
+                '\\' => {
+                    *pos += 1;
+                    assert!(*pos < chars.len(), "dangling escape in pattern");
+                    let c = chars[*pos];
+                    *pos += 1;
+                    Atom::Literal(c)
+                }
+                c => {
+                    assert!(
+                        !matches!(c, '*' | '+' | '?' | '{'),
+                        "quantifier without atom in pattern"
+                    );
+                    *pos += 1;
+                    Atom::Literal(c)
+                }
+            };
+            let quant = parse_quant(chars, pos);
+            seq.push((atom, quant));
+        }
+        seq
+    }
+
+    fn parse_quant(chars: &[char], pos: &mut usize) -> (u32, u32) {
+        if *pos >= chars.len() {
+            return (1, 1);
+        }
+        match chars[*pos] {
+            '?' => {
+                *pos += 1;
+                (0, 1)
+            }
+            '*' => {
+                *pos += 1;
+                (0, UNBOUNDED_CAP)
+            }
+            '+' => {
+                *pos += 1;
+                (1, UNBOUNDED_CAP)
+            }
+            '{' => {
+                *pos += 1;
+                let mut lo = 0u32;
+                while chars[*pos].is_ascii_digit() {
+                    lo = lo * 10 + chars[*pos].to_digit(10).unwrap();
+                    *pos += 1;
+                }
+                let hi = if chars[*pos] == ',' {
+                    *pos += 1;
+                    let mut h = 0u32;
+                    while chars[*pos].is_ascii_digit() {
+                        h = h * 10 + chars[*pos].to_digit(10).unwrap();
+                        *pos += 1;
+                    }
+                    h
+                } else {
+                    lo
+                };
+                assert!(chars[*pos] == '}', "malformed {{m,n}} quantifier");
+                *pos += 1;
+                (lo, hi)
+            }
+            _ => (1, 1),
+        }
+    }
+
+    /// Appends one random expansion of `seq` to `out`.
+    pub fn generate(seq: &Seq, rng: &mut TestRng, out: &mut String) {
+        for (atom, (lo, hi)) in seq {
+            let reps = lo + rng.below((hi - lo + 1) as u64) as u32;
+            for _ in 0..reps {
+                match atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(ranges) => {
+                        let (a, b) = ranges[rng.below(ranges.len() as u64) as usize];
+                        let span = b as u32 - a as u32 + 1;
+                        let c = char::from_u32(a as u32 + rng.below(span as u64) as u32)
+                            .expect("class range stays in valid chars");
+                        out.push(c);
+                    }
+                    Atom::Group(alts) => {
+                        let alt = &alts[rng.below(alts.len() as u64) as usize];
+                        generate(alt, rng, out);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines `#[test]` functions over generated inputs.
+///
+/// Each function runs `config.cases` times with values drawn from its
+/// strategies; assertion macros panic on failure (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$attr:meta])*
+     fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let __config = $config;
+            let mut __rng = $crate::test_runner::TestRng::deterministic(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__config.cases {
+                let _ = __case;
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+/// Boolean property assertion (plain `assert!` here — no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Equality property assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Inequality property assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Uniform choice between strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = TestRng::from_seed(9);
+        let s = (0u32..7, -3i64..3, 0.25f64..0.75);
+        for _ in 0..1000 {
+            let (a, b, c) = s.generate(&mut rng);
+            assert!(a < 7);
+            assert!((-3..3).contains(&b));
+            assert!((0.25..0.75).contains(&c));
+        }
+    }
+
+    #[test]
+    fn vec_sizes_respect_range() {
+        let mut rng = TestRng::from_seed(10);
+        let s = crate::collection::vec(0.0f64..1.0, 4..12);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((4..12).contains(&v.len()));
+        }
+        let exact = crate::collection::vec(0u32..5, 3);
+        assert_eq!(exact.generate(&mut rng).len(), 3);
+    }
+
+    #[test]
+    fn regex_subset_matches_shape() {
+        let mut rng = TestRng::from_seed(11);
+        for _ in 0..200 {
+            let name = "[a-z]{1,8}( [a-z]{1,4})?".generate(&mut rng);
+            assert!(!name.is_empty() && name.len() <= 13);
+            assert!(name.chars().all(|c| c.is_ascii_lowercase() || c == ' '));
+            let file = "[a-z]{1,8}\\.(c|f90)".generate(&mut rng);
+            assert!(file.ends_with(".c") || file.ends_with(".f90"), "{file}");
+        }
+    }
+
+    #[test]
+    fn oneof_and_just_cover_all_arms() {
+        let mut rng = TestRng::from_seed(12);
+        let s = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_generates_and_loops(xs in crate::collection::vec(0.0f64..1.0, 1..10), k in 1usize..5) {
+            prop_assert!(!xs.is_empty());
+            prop_assert!(k >= 1 && k < 5, "k was {}", k);
+            prop_assert_eq!(xs.len(), xs.len());
+        }
+    }
+}
