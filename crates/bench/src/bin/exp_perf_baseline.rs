@@ -14,6 +14,13 @@
 //!    host's available parallelism. On a 1-core host both columns coincide
 //!    (the pool is bypassed); the JSON records `host_threads` so readers
 //!    can tell.
+//! 3. **Instrumentation overhead**: the medium pipeline with `phasefold-obs`
+//!    recording enabled vs disabled (interleaved, min-of-two each). The
+//!    ratio is gated at <5 % by `scripts/bench.sh`.
+//!
+//! A `meta` block (thread count, build profile, host cores) is embedded in
+//! the JSON so the comparison script can refuse to gate apples against
+//! oranges when baselines were recorded on a different machine shape.
 //!
 //! ```text
 //! cargo run --release -p phasefold-bench --bin exp_perf_baseline [out.json]
@@ -111,6 +118,34 @@ fn bench_pipeline(label: &'static str, iterations: u64, ranks: usize, threads: u
     PipelineRow { label, ranks, iterations, records: trace.total_records(), seq_ms, par_ms }
 }
 
+/// Medium pipeline with obs recording enabled vs disabled, interleaved so
+/// frequency drift hits both columns equally; min-of-three each (the true
+/// overhead is ~1%, well under run-to-run jitter, so the gate needs the
+/// minimum of several rounds to stay meaningful). Returns `(off_ms,
+/// on_ms)`. Leaves recording disabled and buffers drained.
+fn bench_obs_overhead(threads: usize) -> (f64, f64) {
+    let params = SyntheticParams { iterations: 400, ..SyntheticParams::default() };
+    let program = build(&params);
+    let out = simulate(&program, &SimConfig { ranks: 4, ..SimConfig::default() });
+    let tracer = TracerConfig { overhead: OverheadConfig::FREE, ..TracerConfig::default() };
+    let trace = trace_run(&program.registry, &out.timelines, &tracer);
+    let cfg = AnalysisConfig { threads: Some(threads), ..AnalysisConfig::default() };
+    let _ = analyze_trace(&trace, &cfg); // warm-up
+    let (mut off_ms, mut on_ms) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..3 {
+        phasefold_obs::set_enabled(false);
+        let (ms, _) = time_ms(|| analyze_trace(&trace, &cfg));
+        off_ms = off_ms.min(ms);
+        phasefold_obs::reset();
+        phasefold_obs::set_enabled(true);
+        let (ms, _) = time_ms(|| analyze_trace(&trace, &cfg));
+        on_ms = on_ms.min(ms);
+        phasefold_obs::set_enabled(false);
+        phasefold_obs::reset();
+    }
+    (off_ms, on_ms)
+}
+
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| DEFAULT_OUT.to_string());
     let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -186,12 +221,35 @@ fn main() {
         println!("note: 1-core host — the parallel column runs the same sequential path.");
     }
 
+    // 3. Self-instrumentation overhead on the medium pipeline.
+    let (obs_off_ms, obs_on_ms) = bench_obs_overhead(host_threads);
+    let obs_overhead_ratio = if obs_off_ms > 0.0 { obs_on_ms / obs_off_ms } else { 1.0 };
+    println!(
+        "obs overhead (medium pipeline): off {} ms, on {} ms, ratio {}",
+        fmt(obs_off_ms, 1),
+        fmt(obs_on_ms, 1),
+        fmt(obs_overhead_ratio, 3),
+    );
+
     // Machine-readable artifact, one scalar per line so `scripts/bench.sh`
     // can diff it with plain awk.
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": \"phasefold-bench-pipeline/1\",");
+    let _ = writeln!(json, "  \"schema\": \"phasefold-bench-pipeline/2\",");
+    let _ = writeln!(json, "  \"meta\": {{");
+    let _ = writeln!(json, "    \"threads\": {host_threads},");
+    let _ = writeln!(
+        json,
+        "    \"build_profile\": \"{}\",",
+        if cfg!(debug_assertions) { "debug" } else { "release" }
+    );
+    let _ = writeln!(json, "    \"host_cores\": {host_threads},");
+    let _ = writeln!(json, "    \"debug_assertions\": {}", cfg!(debug_assertions));
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"host_threads\": {host_threads},");
+    let _ = writeln!(json, "  \"obs_off_ms\": {obs_off_ms:.3},");
+    let _ = writeln!(json, "  \"obs_on_ms\": {obs_on_ms:.3},");
+    let _ = writeln!(json, "  \"obs_overhead_ratio\": {obs_overhead_ratio:.4},");
     let _ = writeln!(json, "  \"segdp_n\": {n},");
     let _ = writeln!(json, "  \"segdp_k\": {k},");
     let _ = writeln!(json, "  \"segdp_min_points\": {min_points},");

@@ -14,23 +14,48 @@ pub struct Parsed {
 }
 
 /// Parses `args` against a declared set of `--key value` option names and
-/// boolean `--flag` names.
+/// boolean `--flag` names. Both `--key value` and `--key=value` spellings
+/// are accepted for options; `--flag=value` is a usage error.
+///
+/// A name declared as *both* an option and a flag is rejected up front:
+/// flags used to shadow same-named options, so `--key value` silently
+/// dropped `value` into the positionals instead of binding it — an
+/// ambiguity the caller must resolve, not the parser.
 pub fn parse(
     args: &[String],
     option_names: &[&str],
     flag_names: &[&str],
 ) -> Result<Parsed, CliError> {
+    if let Some(name) = option_names.iter().find(|n| flag_names.contains(n)) {
+        return Err(CliError::Usage(format!(
+            "--{name} is declared both as an option and as a flag; \
+             `--{name} value` would be ambiguous"
+        )));
+    }
     let mut out = Parsed::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         if let Some(name) = arg.strip_prefix("--") {
+            let (name, inline_value) = match name.split_once('=') {
+                Some((n, v)) => (n, Some(v)),
+                None => (name, None),
+            };
             if flag_names.contains(&name) {
+                if let Some(v) = inline_value {
+                    return Err(CliError::Usage(format!(
+                        "--{name} is a flag and takes no value (got --{name}={v})"
+                    )));
+                }
                 out.flags.push(name.to_string());
             } else if option_names.contains(&name) {
-                let value = it
-                    .next()
-                    .ok_or_else(|| CliError::Usage(format!("--{name} needs a value")))?;
-                out.options.insert(name.to_string(), value.clone());
+                let value = match inline_value {
+                    Some(v) => v.to_string(),
+                    None => it
+                        .next()
+                        .ok_or_else(|| CliError::Usage(format!("--{name} needs a value")))?
+                        .clone(),
+                };
+                out.options.insert(name.to_string(), value);
             } else {
                 return Err(CliError::Usage(format!("unknown option --{name}")));
             }
@@ -116,5 +141,37 @@ mod tests {
     fn missing_positional_reported() {
         let p = parse(&s(&[]), &[], &[]).unwrap();
         assert!(p.positional(0, "workload").is_err());
+    }
+
+    #[test]
+    fn flag_option_collision_is_a_usage_error() {
+        // With "bootstrap" declared both ways, `--bootstrap 32` used to
+        // match the flag arm and silently push "32" into the positionals.
+        let err = parse(&s(&["--bootstrap", "32"]), &["bootstrap"], &["bootstrap"]).unwrap_err();
+        match err {
+            CliError::Usage(msg) => assert!(msg.contains("both"), "{msg}"),
+            other => panic!("expected Usage error, got {other:?}"),
+        }
+        // Collision is rejected even when the colliding name is not passed.
+        assert!(parse(&s(&["cg"]), &["x", "ranks"], &["ranks"]).is_err());
+    }
+
+    #[test]
+    fn key_equals_value_binds_options() {
+        let p = parse(&s(&["--ranks=16", "cg"]), &["ranks"], &[]).unwrap();
+        assert_eq!(p.get_parsed::<usize>("ranks", 8).unwrap(), 16);
+        assert_eq!(p.positional(0, "workload").unwrap(), "cg");
+        // Empty value after `=` is preserved verbatim.
+        let p = parse(&s(&["--noise="]), &["noise"], &[]).unwrap();
+        assert_eq!(p.get("noise"), Some(""));
+    }
+
+    #[test]
+    fn flag_with_inline_value_rejected() {
+        let err = parse(&s(&["--bootstrap=yes"]), &[], &["bootstrap"]).unwrap_err();
+        match err {
+            CliError::Usage(msg) => assert!(msg.contains("takes no value"), "{msg}"),
+            other => panic!("expected Usage error, got {other:?}"),
+        }
     }
 }

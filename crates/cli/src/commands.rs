@@ -1,14 +1,64 @@
 //! Command implementations.
 
-use crate::args::parse;
+use crate::args::{parse, Parsed};
 use crate::CliError;
 use phasefold::report::{render_report, suggest_optimization};
 use phasefold::{analyze_trace, AnalysisConfig};
 use phasefold_model::{prv, CounterKind, DurNs, RankId, TimeNs, Trace};
+use phasefold_obs as obs;
 use phasefold_simapp::workloads::{all_extended, amg, cg, fft, md, stencil, synthetic};
 use phasefold_simapp::{simulate as sim_run, NoiseConfig, Program, SimConfig};
 use phasefold_tracer::{trace_run, TracerConfig};
 use std::fmt::Write as _;
+
+/// Observability options shared by `analyze`, `compare`, and `selfcheck`.
+const OBS_OPTIONS: [&str; 3] = ["log-level", "profile", "metrics"];
+
+/// Parsed observability request: where exports go, and whether span/metric
+/// recording was switched on for this command.
+struct ObsRequest {
+    profile: Option<String>,
+    metrics: Option<String>,
+    recording: bool,
+}
+
+impl ObsRequest {
+    /// Applies `--log-level`, and — if any exporter was requested (or
+    /// `force` is set, as in `selfcheck`) — enables recording and clears
+    /// data left over from earlier commands in this process.
+    fn setup(p: &Parsed, force: bool) -> Result<ObsRequest, CliError> {
+        if let Some(level) = p.get("log-level") {
+            let level: obs::Level = level.parse().map_err(CliError::Usage)?;
+            obs::set_log_level(level);
+        }
+        let profile = p.get("profile").map(str::to_string);
+        let metrics = p.get("metrics").map(str::to_string);
+        let recording = force || profile.is_some() || metrics.is_some();
+        if recording {
+            obs::reset();
+            obs::set_enabled(true);
+            obs::span::set_lane_name("main");
+        }
+        Ok(ObsRequest { profile, metrics, recording })
+    }
+
+    /// Stops recording and writes the requested export files. Returns the
+    /// snapshot for commands that also render it (e.g. `selfcheck`).
+    fn finish(&self) -> Result<Option<obs::Snapshot>, CliError> {
+        if !self.recording {
+            return Ok(None);
+        }
+        obs::set_enabled(false);
+        let snap = obs::snapshot();
+        if let Some(path) = &self.profile {
+            std::fs::write(path, obs::export::chrome_trace_json(&snap))?;
+        }
+        if let Some(path) = &self.metrics {
+            std::fs::write(path, obs::export::metrics_json(&snap))?;
+        }
+        Ok(Some(snap))
+    }
+}
 
 /// `phasefold workloads`
 pub fn workloads(argv: &[String], out: &mut String) -> Result<(), CliError> {
@@ -167,8 +217,13 @@ fn threads_option(p: &crate::args::Parsed) -> Result<Option<usize>, CliError> {
 
 /// `phasefold analyze`
 pub fn analyze(argv: &[String], out: &mut String) -> Result<(), CliError> {
-    let p = parse(argv, &["threads"], &["bootstrap", "markdown"])?;
+    let p = parse(
+        argv,
+        &["threads", "log-level", "profile", "metrics"],
+        &["bootstrap", "markdown"],
+    )?;
     let path = p.positional(0, "trace file")?;
+    let obs_req = ObsRequest::setup(&p, false)?;
     let trace = load_trace(path)?;
     let mut config = AnalysisConfig::default();
     config.threads = threads_option(&p)?;
@@ -184,6 +239,7 @@ pub fn analyze(argv: &[String], out: &mut String) -> Result<(), CliError> {
     if let Some(hint) = suggest_optimization(&analysis, &trace.registry) {
         let _ = writeln!(out, "\nsuggested optimisation target:\n  {hint}");
     }
+    obs_req.finish()?;
     Ok(())
 }
 
@@ -203,9 +259,10 @@ pub fn info(argv: &[String], out: &mut String) -> Result<(), CliError> {
 
 /// `phasefold compare`
 pub fn compare(argv: &[String], out: &mut String) -> Result<(), CliError> {
-    let p = parse(argv, &["threads"], &[])?;
+    let p = parse(argv, &["threads", "log-level", "profile", "metrics"], &[])?;
     let base_path = p.positional(0, "baseline trace file")?;
     let cand_path = p.positional(1, "candidate trace file")?;
+    let obs_req = ObsRequest::setup(&p, false)?;
     let base_trace = load_trace(base_path)?;
     let cand_trace = load_trace(cand_path)?;
     let config = AnalysisConfig { threads: threads_option(&p)?, ..AnalysisConfig::default() };
@@ -222,6 +279,77 @@ pub fn compare(argv: &[String], out: &mut String) -> Result<(), CliError> {
             t_base / t_cand
         );
     }
+    obs_req.finish()?;
+    Ok(())
+}
+
+/// `phasefold selfcheck`: runs a canned synthetic workload through the
+/// whole stack with observability enabled and prints stage timings, pool
+/// utilisation, and pipeline counters — the tool profiling itself.
+pub fn selfcheck(argv: &[String], out: &mut String) -> Result<(), CliError> {
+    let mut option_names = vec!["threads", "iterations", "ranks"];
+    option_names.extend(OBS_OPTIONS);
+    let p = parse(argv, &option_names, &[])?;
+    let threads = threads_option(&p)?;
+    let iterations: u64 = p.get_parsed("iterations", 300)?;
+    let ranks: usize = p.get_parsed("ranks", 4)?;
+    let obs_req = ObsRequest::setup(&p, true)?;
+
+    let t0 = std::time::Instant::now();
+    let params = synthetic::SyntheticParams { iterations, ..synthetic::SyntheticParams::default() };
+    let program = synthetic::build(&params);
+    let sim = sim_run(&program, &SimConfig { ranks, ..SimConfig::default() });
+    let trace = trace_run(&program.registry, &sim.timelines, &TracerConfig::default());
+    let config = AnalysisConfig { threads, ..AnalysisConfig::default() };
+    let analysis = analyze_trace(&trace, &config);
+    let wall = t0.elapsed();
+
+    let snap = obs_req.finish()?.expect("selfcheck always records");
+    let resolved_threads = threads
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+        .max(1);
+    let _ = writeln!(out, "phasefold selfcheck");
+    let _ = writeln!(out, "===================");
+    let _ = writeln!(
+        out,
+        "workload: synthetic ({iterations} iterations, {ranks} ranks, {} records), \
+         {resolved_threads} analysis thread(s)",
+        trace.total_records()
+    );
+    let _ = writeln!(out, "\nstage timings (spans):");
+    out.push_str(&obs::export::summary_table(&snap));
+
+    // Pool utilisation: summed task time over the workers' wall-clock
+    // capacity. With one thread the pool is bypassed, so report the
+    // sequential path's share of the whole run instead.
+    let counters: std::collections::BTreeMap<&str, u64> =
+        snap.counters.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+    let task_ns = counters.get("pool.task_ns").copied().unwrap_or(0);
+    let wall_ns = wall.as_nanos().max(1) as u64;
+    let utilization = task_ns as f64 / (resolved_threads as u64 * wall_ns) as f64;
+    let _ = writeln!(
+        out,
+        "\npool: {} scheduled, {} completed, {} steals, queue depth peak {}, \
+         utilization {:.1}%",
+        counters.get("pool.tasks_scheduled").copied().unwrap_or(0),
+        counters.get("pool.tasks_completed").copied().unwrap_or(0),
+        counters.get("pool.steals").copied().unwrap_or(0),
+        counters.get("pool.queue_depth_max").copied().unwrap_or(0),
+        100.0 * utilization,
+    );
+
+    if analysis.models.is_empty() {
+        return Err(CliError::Other(
+            "selfcheck FAILED: canned workload produced no phase models".into(),
+        ));
+    }
+    let _ = writeln!(
+        out,
+        "\nselfcheck OK: {} model(s), {} phase(s), wall {:.1} ms",
+        analysis.models.len(),
+        analysis.total_phases(),
+        wall.as_secs_f64() * 1e3,
+    );
     Ok(())
 }
 

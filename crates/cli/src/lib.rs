@@ -71,13 +71,25 @@ commands:
       [--period-ms P] [--imbalance F] [--optimized]
   analyze <F.prv>                   phase analysis report of a trace
       [--bootstrap] [--markdown] [--threads N (0 = auto)]
+      [--profile out.json] [--metrics out.json] [--log-level L]
   info <F.prv>                      trace summary statistics + region table
   compare <base.prv> <cand.prv>     per-phase metric deltas between two runs
       [--threads N (0 = auto)]
+      [--profile out.json] [--metrics out.json] [--log-level L]
   period <F.prv>                    detect the iterative period
       [--rank R] [--bins B]
   reconstruct <F.prv>               unfolded fine-grain rate timeline (CSV)
       [--rank R] [--points N]
+  selfcheck                         profile the analysis stack on a canned
+      workload: stage timings + pool utilization
+      [--threads N] [--iterations N] [--ranks N]
+      [--profile out.json] [--metrics out.json] [--log-level L]
+
+observability:
+  --profile out.json    Chrome-trace/Perfetto span export of the run
+                        (open in chrome://tracing or ui.perfetto.dev)
+  --metrics out.json    JSON dump of pipeline counters/gauges/span stats
+  --log-level L         stderr logging: off|error|warn|info|debug|trace
 ";
 
 /// Runs one CLI invocation, writing human output into `out`.
@@ -94,6 +106,7 @@ pub fn run(argv: &[String], out: &mut String) -> Result<(), CliError> {
         "compare" => commands::compare(rest, out),
         "period" => commands::period(rest, out),
         "reconstruct" => commands::reconstruct(rest, out),
+        "selfcheck" => commands::selfcheck(rest, out),
         "help" | "--help" | "-h" => {
             out.push_str(USAGE);
             Ok(())

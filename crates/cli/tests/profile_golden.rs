@@ -1,0 +1,398 @@
+//! Golden-file validation of the observability exporters, driven through
+//! the real CLI: `--profile` must emit a valid Chrome-trace JSON array
+//! covering every pipeline stage and the pool worker lanes, and enabling
+//! the instrumentation must not change a single byte of the report.
+//!
+//! The JSON checker below is a deliberately small recursive-descent parser
+//! (the workspace has no JSON dependency): strict enough to reject
+//! malformed output, small enough to audit at a glance.
+
+use phasefold_cli::run;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Serialises the tests: `--profile` toggles process-global obs state.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+// ---------------------------------------------------------------- mini JSON
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Parser<'a> {
+        Parser { bytes: text.as_bytes(), pos: 0 }
+    }
+
+    fn error(&self, what: &str) -> String {
+        format!("{what} at byte {} of {}", self.pos, self.bytes.len())
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected {lit:?}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.eat_literal("true").map(|_| Json::Bool(true)),
+            Some(b'f') => self.eat_literal("false").map(|_| Json::Bool(false)),
+            Some(b'n') => self.eat_literal("null").map(|_| Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.error("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.error("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek().ok_or_else(|| self.error("unterminated string"))? {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.error("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.error("short \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        other => return Err(self.error(&format!("bad escape \\{}", other as char))),
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 scalar (multi-byte sequences pass
+                    // through byte-wise; the input is a &str so it is valid).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xC0) == 0x80 {
+                        self.pos += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .unwrap()
+            .parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| self.error(&format!("bad number: {e}")))
+    }
+}
+
+fn parse_json(text: &str) -> Json {
+    let mut p = Parser::new(text);
+    let v = p.value().unwrap_or_else(|e| panic!("invalid JSON: {e}"));
+    p.skip_ws();
+    assert_eq!(p.pos, p.bytes.len(), "trailing garbage after JSON value");
+    v
+}
+
+// ----------------------------------------------------------------- helpers
+
+fn argv(v: &[&str]) -> Vec<String> {
+    v.iter().map(|s| s.to_string()).collect()
+}
+
+fn run_ok(v: &[&str]) -> String {
+    let mut out = String::new();
+    run(&argv(v), &mut out).unwrap_or_else(|e| panic!("command {v:?} failed: {e}"));
+    out
+}
+
+fn tmp(name: &str) -> String {
+    let dir = std::env::temp_dir().join("phasefold-profile-golden");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name).to_string_lossy().into_owned()
+}
+
+fn simulate_trace(name: &str) -> String {
+    let path = tmp(name);
+    run_ok(&[
+        "simulate", "synthetic", "--ranks", "2", "--iterations", "200", "--out", &path,
+    ]);
+    path
+}
+
+// ------------------------------------------------------------------- tests
+
+#[test]
+fn profile_is_valid_chrome_trace_covering_all_stages() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    let trace = simulate_trace("golden.prv");
+    let profile = tmp("golden_profile.json");
+    let metrics = tmp("golden_metrics.json");
+    run_ok(&[
+        "analyze", &trace, "--threads", "4", "--profile", &profile, "--metrics", &metrics,
+    ]);
+
+    let doc = parse_json(&std::fs::read_to_string(&profile).unwrap());
+    let Json::Arr(events) = &doc else {
+        panic!("Chrome trace must be a top-level array");
+    };
+    assert!(events.len() > 10, "only {} trace events", events.len());
+
+    let mut span_names = Vec::new();
+    let mut lane_names = Vec::new();
+    let mut last_ts_per_tid: BTreeMap<i64, f64> = BTreeMap::new();
+    for ev in events {
+        let ph = ev.get("ph").and_then(Json::as_str).expect("event without ph");
+        assert!(
+            matches!(ph, "M" | "X" | "B" | "E"),
+            "unexpected event phase {ph:?}"
+        );
+        let pid = ev.get("pid").and_then(Json::as_num).expect("event without pid");
+        assert!(pid >= 0.0);
+        match ph {
+            "M" => {
+                let meta = ev.get("name").and_then(Json::as_str).unwrap();
+                if meta == "thread_name" {
+                    let name = ev
+                        .get("args")
+                        .and_then(|a| a.get("name"))
+                        .and_then(Json::as_str)
+                        .expect("thread_name without args.name");
+                    lane_names.push(name.to_string());
+                }
+            }
+            _ => {
+                let name = ev.get("name").and_then(Json::as_str).expect("span without name");
+                let ts = ev.get("ts").and_then(Json::as_num).expect("span without ts");
+                let dur = ev.get("dur").and_then(Json::as_num).expect("span without dur");
+                let tid = ev.get("tid").and_then(Json::as_num).expect("span without tid") as i64;
+                assert!(ts >= 0.0 && dur >= 0.0, "negative time in {name}");
+                // Export promises (lane, start) ordering for stable viewing.
+                let last = last_ts_per_tid.entry(tid).or_insert(-1.0);
+                assert!(ts >= *last, "{name}: ts {ts} out of order on tid {tid}");
+                *last = ts;
+                span_names.push(name.to_string());
+            }
+        }
+    }
+
+    // Every pipeline stage must be covered: fold, segment, fit, cluster,
+    // plus the top-level orchestration spans.
+    for stage in [
+        "pipeline.analyze_trace",
+        "pipeline.extract_bursts",
+        "pipeline.cluster_bursts",
+        "pipeline.fold_trace",
+        "pipeline.build_models",
+        "pipeline.fit_structure",
+        "folding.fold_cluster",
+        "regress.fit_pwlr",
+        "regress.segment_dp",
+        "cluster.dbscan",
+    ] {
+        assert!(
+            span_names.iter().any(|n| n.starts_with(stage)),
+            "no span covering stage {stage}; got {span_names:?}"
+        );
+    }
+    // The main thread and at least one pool worker have named lanes.
+    assert!(lane_names.iter().any(|n| n == "main"), "lanes: {lane_names:?}");
+    assert!(
+        lane_names.iter().any(|n| n.starts_with("pool-worker-")),
+        "no per-worker pool lane in {lane_names:?}"
+    );
+
+    // The metrics dump is valid JSON too, with balanced pool counters.
+    let m = parse_json(&std::fs::read_to_string(&metrics).unwrap());
+    let counters = m.get("counters").expect("metrics without counters section");
+    let scheduled = counters
+        .get("pool.tasks_scheduled")
+        .and_then(Json::as_num)
+        .expect("missing pool.tasks_scheduled");
+    let completed = counters
+        .get("pool.tasks_completed")
+        .and_then(Json::as_num)
+        .expect("missing pool.tasks_completed");
+    assert!(scheduled > 0.0);
+    assert_eq!(scheduled, completed, "scheduled != completed in metrics dump");
+    assert!(m.get("gauges").is_some() && m.get("spans").is_some());
+}
+
+#[test]
+fn report_is_bit_identical_with_and_without_instrumentation() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    let trace = simulate_trace("golden_identical.prv");
+    let plain = run_ok(&["analyze", &trace]);
+    let profiled = run_ok(&[
+        "analyze",
+        &trace,
+        "--profile",
+        &tmp("identical_profile.json"),
+        "--metrics",
+        &tmp("identical_metrics.json"),
+        "--log-level",
+        "off",
+    ]);
+    assert_eq!(
+        plain, profiled,
+        "enabling observability changed the analysis report"
+    );
+    // And again with the pool engaged.
+    let plain_par = run_ok(&["analyze", &trace, "--threads", "4"]);
+    let profiled_par = run_ok(&[
+        "analyze", &trace, "--threads", "4", "--profile", &tmp("identical_par.json"),
+    ]);
+    assert_eq!(plain_par, profiled_par);
+    assert_eq!(plain, plain_par, "thread count changed the report");
+}
+
+#[test]
+fn selfcheck_smoke() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    let profile = tmp("selfcheck_profile.json");
+    let out = run_ok(&["selfcheck", "--threads", "2", "--profile", &profile]);
+    assert!(out.contains("phasefold selfcheck"), "{out}");
+    assert!(out.contains("selfcheck OK"), "{out}");
+    assert!(out.contains("pool"), "{out}");
+    // Its profile export is valid Chrome-trace JSON as well.
+    let doc = parse_json(&std::fs::read_to_string(&profile).unwrap());
+    assert!(matches!(doc, Json::Arr(_)));
+}

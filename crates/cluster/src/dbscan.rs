@@ -87,9 +87,12 @@ pub fn dbscan<const D: usize>(points: &[[f64; D]], params: &DbscanParams) -> Dbs
         }
         visited[start] = true;
         let neighbours = tree.within(&points[start], params.eps);
+        phasefold_obs::counter!("dbscan.range_queries", 1);
+        phasefold_obs::counter!("dbscan.neighbors_scanned", neighbours.len() as u64);
         if neighbours.len() < params.min_pts {
             continue; // noise (may later be claimed as a border point)
         }
+        phasefold_obs::counter!("dbscan.core_points", 1);
         // New cluster: flood fill through core points.
         let cluster = num_clusters;
         num_clusters += 1;
@@ -106,7 +109,10 @@ pub fn dbscan<const D: usize>(points: &[[f64; D]], params: &DbscanParams) -> Dbs
             }
             visited[p] = true;
             let pn = tree.within(&points[p], params.eps);
+            phasefold_obs::counter!("dbscan.range_queries", 1);
+            phasefold_obs::counter!("dbscan.neighbors_scanned", pn.len() as u64);
             if pn.len() >= params.min_pts {
+                phasefold_obs::counter!("dbscan.core_points", 1);
                 for q in pn {
                     if !visited[q] || labels[q].is_none() {
                         queue.push(q);

@@ -57,20 +57,26 @@ impl Clustering {
 /// Detects the computation structure of `bursts`.
 pub fn cluster_bursts(bursts: &[Burst], config: &ClusterConfig) -> Clustering {
     let features = extract_features(bursts);
-    let eps = config
-        .eps
-        .unwrap_or_else(|| suggest_eps(&features.points, config.min_pts, 0.90).max(config.min_eps));
-    let result: DbscanResult = if config.refine {
-        refine(
-            &features.points,
-            &RefineParams {
-                eps: eps * 0.5,
-                min_pts: config.min_pts,
-                spread_limit: 2.5,
-            },
-        )
-    } else {
-        dbscan(&features.points, &DbscanParams { eps, min_pts: config.min_pts })
+    let eps = {
+        let _sp = phasefold_obs::span!("cluster.suggest_eps");
+        config.eps.unwrap_or_else(|| {
+            suggest_eps(&features.points, config.min_pts, 0.90).max(config.min_eps)
+        })
+    };
+    let result: DbscanResult = {
+        let _sp = phasefold_obs::span!("cluster.dbscan");
+        if config.refine {
+            refine(
+                &features.points,
+                &RefineParams {
+                    eps: eps * 0.5,
+                    min_pts: config.min_pts,
+                    spread_limit: 2.5,
+                },
+            )
+        } else {
+            dbscan(&features.points, &DbscanParams { eps, min_pts: config.min_pts })
+        }
     };
 
     // Per-rank label sequences for the SPMD score (noise skipped).
@@ -81,11 +87,15 @@ pub fn cluster_bursts(bursts: &[Burst], config: &ClusterConfig) -> Clustering {
         }
     }
     let seqs: Vec<Vec<usize>> = sequences.into_values().collect();
+    let spmd = spmd_score(&seqs);
+    phasefold_obs::gauge!("cluster.eps", eps);
+    phasefold_obs::gauge!("cluster.num_clusters", result.num_clusters);
+    phasefold_obs::gauge!("cluster.spmd_score", spmd);
     Clustering {
         labels: result.labels,
         num_clusters: result.num_clusters,
         eps,
-        spmd_score: spmd_score(&seqs),
+        spmd_score: spmd,
     }
 }
 

@@ -25,7 +25,11 @@ pub fn run_study(
     tracer: &TracerConfig,
     analysis: &AnalysisConfig,
 ) -> StudyOutput {
-    let sim_out = simulate(program, sim);
+    let _sp = phasefold_obs::span!("driver.run_study {}", program.name);
+    let sim_out = {
+        let _sp = phasefold_obs::span!("driver.simulate");
+        simulate(program, sim)
+    };
     let trace = trace_run(&program.registry, &sim_out.timelines, tracer);
     let result = analyze_trace(&trace, analysis);
     StudyOutput { sim: sim_out, trace, analysis: result }

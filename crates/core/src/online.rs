@@ -127,6 +127,7 @@ impl OnlineAnalyzer {
     }
 
     fn process_burst(&mut self, burst: Burst, rank_idx: usize) {
+        phasefold_obs::counter!("online.bursts_streamed", 1);
         self.bursts_seen += 1;
         self.bump_rank_count(rank_idx);
         if self.frozen.is_none() {
@@ -145,6 +146,7 @@ impl OnlineAnalyzer {
 
     /// Runs the batch clustering on the warm-up bursts and freezes it.
     fn freeze(&mut self) {
+        let _sp = phasefold_obs::span!("online.freeze");
         let clustering: Clustering = cluster_bursts(&self.warmup, &self.config.cluster);
         let features = phasefold_cluster::extract_features(&self.warmup);
         let mut centroids = vec![[0.0f64; 2]; clustering.num_clusters];
@@ -238,6 +240,7 @@ impl OnlineAnalyzer {
     /// Fits the current state into a regular [`Analysis`]. Cheap enough to
     /// call periodically; the folds are not consumed.
     pub fn snapshot(&self) -> Analysis {
+        let _sp = phasefold_obs::span!("online.snapshot");
         let mut models = Vec::new();
         let mut labels_placeholder = Vec::new();
         for (cluster, fold) in self.folds.iter().enumerate() {

@@ -10,6 +10,7 @@ use crate::srcmap::{attribute_span, span_histogram};
 use phasefold_cluster::{cluster_bursts, Clustering};
 use phasefold_folding::{fold_trace, ClusterFold};
 use phasefold_model::{extract_bursts, CounterKind, CounterSet, Trace, NUM_COUNTERS};
+use phasefold_obs::Level;
 use phasefold_regress::hinge::fit_hinge_monotone;
 use phasefold_regress::{fit_pwlr, PwlrFit};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -41,11 +42,35 @@ impl Analysis {
 
 /// Runs the full analysis over a trace.
 pub fn analyze_trace(trace: &Trace, config: &AnalysisConfig) -> Analysis {
-    let bursts = extract_bursts(trace, config.min_burst_duration);
-    let clustering = cluster_bursts(&bursts, &config.cluster);
-    let folds = fold_trace(trace, &bursts, &clustering, &config.fold);
-    let mut models = build_models(&folds, config);
+    let _sp = phasefold_obs::span!("pipeline.analyze_trace");
+    let bursts = {
+        let _sp = phasefold_obs::span!("pipeline.extract_bursts");
+        extract_bursts(trace, config.min_burst_duration)
+    };
+    phasefold_obs::gauge!("pipeline.bursts", bursts.len());
+    phasefold_obs::log!(Level::Info, "analyze: {} bursts extracted", bursts.len());
+    let clustering = {
+        let _sp = phasefold_obs::span!("pipeline.cluster_bursts");
+        cluster_bursts(&bursts, &config.cluster)
+    };
+    phasefold_obs::log!(
+        Level::Info,
+        "analyze: {} clusters at eps {:.4}",
+        clustering.num_clusters,
+        clustering.eps
+    );
+    let folds = {
+        let _sp = phasefold_obs::span!("pipeline.fold_trace");
+        fold_trace(trace, &bursts, &clustering, &config.fold)
+    };
+    phasefold_obs::gauge!("pipeline.folds", folds.len());
+    let mut models = {
+        let _sp = phasefold_obs::span!("pipeline.build_models");
+        build_models(&folds, config)
+    };
     sort_models_by_total_time(&mut models);
+    phasefold_obs::gauge!("pipeline.models", models.len());
+    phasefold_obs::log!(Level::Info, "analyze: {} models built", models.len());
     Analysis { clustering, num_bursts: bursts.len(), models }
 }
 
@@ -183,13 +208,28 @@ struct FoldStructure {
 
 /// Stage 1: fit the instruction profile (the expensive free-order PWLR).
 fn fit_structure(fold: &ClusterFold, config: &AnalysisConfig) -> Option<FoldStructure> {
+    let _sp = phasefold_obs::span!("pipeline.fit_structure #c{}", fold.cluster);
     let instr = fold.profile(CounterKind::Instructions);
     if instr.points.len() < config.min_folded_points {
+        phasefold_obs::log!(
+            Level::Debug,
+            "cluster {}: {} folded points < {} minimum, skipped",
+            fold.cluster,
+            instr.points.len(),
+            config.min_folded_points
+        );
         return None;
     }
     let (xs, ys) = instr.xy();
     let fit: PwlrFit = fit_pwlr(&xs, &ys, None, &config.pwlr).ok()?;
     let breakpoints = fit.breakpoints().to_vec();
+    phasefold_obs::log!(
+        Level::Debug,
+        "cluster {}: structural fit with {} segments (r2 {:.4})",
+        fold.cluster,
+        fit.num_segments(),
+        fit.fit.r2
+    );
     Some(FoldStructure { xs, ys, fit, breakpoints })
 }
 
@@ -203,6 +243,7 @@ fn refit_counter(
     num_segments: usize,
     config: &AnalysisConfig,
 ) -> Vec<f64> {
+    let _sp = phasefold_obs::span!("pipeline.refit_counter #c{} {}", fold.cluster, kind);
     let profile = fold.profile(kind);
     if profile.points.len() < config.min_folded_points || profile.mean_total <= 0.0 {
         return vec![0.0; num_segments];
@@ -240,6 +281,7 @@ fn assemble_model(
     per_counter_slopes: Vec<Vec<f64>>,
     config: &AnalysisConfig,
 ) -> ClusterPhaseModel {
+    let _sp = phasefold_obs::span!("pipeline.assemble_model #c{}", fold.cluster);
     let FoldStructure { xs, ys, fit, breakpoints: _ } = structure;
     let spans = fit.fit.segment_spans();
     let mut phases = Vec::with_capacity(spans.len());

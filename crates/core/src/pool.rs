@@ -21,10 +21,12 @@
 
 use crossbeam::deque::{Injector, Stealer, Worker};
 use crossbeam::utils::Backoff;
+use phasefold_obs::{counter, counter_peak};
 use std::any::Any;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// A unit of work. Receives a [`Spawner`] so it can enqueue child jobs.
 pub type Job<'env> = Box<dyn FnOnce(&Spawner<'_, 'env>) + Send + 'env>;
@@ -45,7 +47,9 @@ impl<'pool, 'env> Spawner<'pool, 'env> {
     {
         // Increment before the push so `pending` never under-counts work
         // that is visible in a queue.
-        self.pending.fetch_add(1, Ordering::SeqCst);
+        let depth = self.pending.fetch_add(1, Ordering::SeqCst) + 1;
+        counter!("pool.tasks_scheduled", 1);
+        counter_peak!("pool.queue_depth_max", depth);
         self.local.push(Box::new(job));
     }
 }
@@ -63,6 +67,8 @@ pub fn run(threads: usize, seeds: Vec<Job<'_>>) {
 
     let injector: Injector<Job<'_>> = Injector::new();
     let pending = AtomicUsize::new(seeds.len());
+    counter!("pool.tasks_scheduled", seeds.len() as u64);
+    counter_peak!("pool.queue_depth_max", seeds.len() as u64);
     for seed in seeds {
         injector.push(seed);
     }
@@ -78,20 +84,26 @@ pub fn run(threads: usize, seeds: Vec<Job<'_>>) {
             let pending = &pending;
             let panicked = &panicked;
             scope.spawn(move || {
+                let obs_on = phasefold_obs::enabled();
+                if obs_on {
+                    phasefold_obs::span::set_lane_name(&format!("pool-worker-{me}"));
+                }
                 let backoff = Backoff::new();
                 while pending.load(Ordering::SeqCst) > 0 {
-                    let job = local
-                        .pop()
-                        .or_else(|| injector.steal().success())
-                        .or_else(|| {
-                            stealers
-                                .iter()
-                                .enumerate()
-                                .filter(|(victim, _)| *victim != me)
-                                .find_map(|(_, s)| s.steal().success())
-                        });
+                    let job = local.pop().or_else(|| injector.steal().success()).or_else(|| {
+                        let stolen = stealers
+                            .iter()
+                            .enumerate()
+                            .filter(|(victim, _)| *victim != me)
+                            .find_map(|(_, s)| s.steal().success());
+                        if stolen.is_some() {
+                            counter!("pool.steals", 1);
+                        }
+                        stolen
+                    });
                     match job {
                         Some(job) => {
+                            let t0 = obs_on.then(Instant::now);
                             let spawner = Spawner { local: &local, pending };
                             let result =
                                 panic::catch_unwind(AssertUnwindSafe(|| job(&spawner)));
@@ -101,6 +113,10 @@ pub fn run(threads: usize, seeds: Vec<Job<'_>>) {
                                     *slot = Some(payload);
                                 }
                             }
+                            if let Some(t0) = t0 {
+                                counter!("pool.task_ns", t0.elapsed().as_nanos() as u64);
+                            }
+                            counter!("pool.tasks_completed", 1);
                             // Decrement only after children (spawned during
                             // execution) have been counted in.
                             pending.fetch_sub(1, Ordering::SeqCst);
@@ -109,6 +125,7 @@ pub fn run(threads: usize, seeds: Vec<Job<'_>>) {
                         None => backoff.snooze(),
                     }
                 }
+                phasefold_obs::span::flush_thread();
             });
         }
     });
@@ -123,13 +140,21 @@ pub fn run(threads: usize, seeds: Vec<Job<'_>>) {
 fn run_sequential(seeds: Vec<Job<'_>>) {
     let local: Worker<Job<'_>> = Worker::new_lifo();
     let pending = AtomicUsize::new(0); // kept honest by Spawner, never polled
+    counter!("pool.tasks_scheduled", seeds.len() as u64);
+    counter_peak!("pool.queue_depth_max", seeds.len() as u64);
     for seed in seeds.into_iter().rev() {
         pending.fetch_add(1, Ordering::SeqCst);
         local.push(seed);
     }
+    let obs_on = phasefold_obs::enabled();
     while let Some(job) = local.pop() {
+        let t0 = obs_on.then(Instant::now);
         let spawner = Spawner { local: &local, pending: &pending };
         job(&spawner);
+        if let Some(t0) = t0 {
+            counter!("pool.task_ns", t0.elapsed().as_nanos() as u64);
+        }
+        counter!("pool.tasks_completed", 1);
         pending.fetch_sub(1, Ordering::SeqCst);
     }
 }

@@ -10,6 +10,7 @@ use std::fmt::Write as _;
 
 /// Renders the full analysis as a plain-text report.
 pub fn render_report(analysis: &Analysis, registry: &SourceRegistry) -> String {
+    let _sp = phasefold_obs::span!("report.render_report");
     let mut out = String::new();
     let _ = writeln!(out, "phasefold analysis report");
     let _ = writeln!(out, "=========================");

@@ -106,11 +106,16 @@ pub fn fold_trace(
     let per_cluster = collect_instances(trace, bursts, clustering);
     let mut out = Vec::new();
     for (cluster, instances) in per_cluster.into_iter().enumerate() {
+        let _sp = phasefold_obs::span!("folding.fold_cluster #c{cluster}");
         let (kept, pruned) = prune_outliers(instances, config.mad_k);
+        phasefold_obs::counter!("folding.instances_pruned", pruned.len() as u64);
         if kept.len() < config.min_instances {
             continue;
         }
-        out.push(fold_cluster(cluster, bursts, &kept, pruned.len()));
+        phasefold_obs::counter!("folding.instances_used", kept.len() as u64);
+        let fold = fold_cluster(cluster, bursts, &kept, pruned.len());
+        phasefold_obs::counter!("folding.samples", fold.samples as u64);
+        out.push(fold);
     }
     out
 }

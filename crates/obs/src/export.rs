@@ -1,0 +1,226 @@
+//! Exporters: Chrome-trace JSON, metrics JSON, and a human summary table.
+
+use crate::span::SpanEvent;
+use crate::Snapshot;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the snapshot as a Chrome-trace / Perfetto `trace_event` JSON
+/// array: one `ph:"M"` metadata event per named lane, then one complete
+/// (`ph:"X"`) event per span with microsecond timestamps. Load the file in
+/// `chrome://tracing` or <https://ui.perfetto.dev>.
+pub fn chrome_trace_json(snap: &Snapshot) -> String {
+    let mut events: Vec<String> = Vec::with_capacity(snap.spans.len() + snap.lanes.len() + 1);
+    events.push(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+         \"args\":{\"name\":\"phasefold\"}}"
+            .to_string(),
+    );
+    for (lane, name) in &snap.lanes {
+        events.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{lane},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            json_escape(name)
+        ));
+    }
+    // Stable viewer ordering: by lane, then start time.
+    let mut spans: Vec<&SpanEvent> = snap.spans.iter().collect();
+    spans.sort_by(|a, b| (a.lane, a.start_ns).cmp(&(b.lane, b.start_ns)));
+    for s in spans {
+        events.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"phasefold\",\"ph\":\"X\",\"pid\":1,\
+             \"tid\":{},\"ts\":{:.3},\"dur\":{:.3}}}",
+            json_escape(&s.name),
+            s.lane,
+            s.start_ns as f64 / 1e3,
+            s.dur_ns as f64 / 1e3,
+        ));
+    }
+    let mut out = String::from("[\n");
+    out.push_str(&events.join(",\n"));
+    out.push_str("\n]\n");
+    out
+}
+
+/// Renders counters, gauges, and per-span-name aggregates as a JSON
+/// object (one scalar per line, so shell tooling can grep it).
+pub fn metrics_json(snap: &Snapshot) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"phasefold-obs-metrics/1\",");
+    let _ = writeln!(out, "  \"counters\": {{");
+    for (i, (name, v)) in snap.counters.iter().enumerate() {
+        let comma = if i + 1 < snap.counters.len() { "," } else { "" };
+        let _ = writeln!(out, "    \"{}\": {v}{comma}", json_escape(name));
+    }
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"gauges\": {{");
+    for (i, (name, v)) in snap.gauges.iter().enumerate() {
+        let comma = if i + 1 < snap.gauges.len() { "," } else { "" };
+        let v = if v.is_finite() { format!("{v}") } else { "null".to_string() };
+        let _ = writeln!(out, "    \"{}\": {v}{comma}", json_escape(name));
+    }
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"spans\": {{");
+    let aggs = aggregate_spans(&snap.spans);
+    for (i, (name, a)) in aggs.iter().enumerate() {
+        let comma = if i + 1 < aggs.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    \"{}\": {{ \"count\": {}, \"total_ms\": {:.3}, \"max_ms\": {:.3} }}{comma}",
+            json_escape(name),
+            a.count,
+            a.total_ns as f64 / 1e6,
+            a.max_ns as f64 / 1e6,
+        );
+    }
+    let _ = writeln!(out, "  }}");
+    out.push_str("}\n");
+    out
+}
+
+/// Per-span-name aggregate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanAgg {
+    /// Completed spans with this name.
+    pub count: u64,
+    /// Summed duration.
+    pub total_ns: u64,
+    /// Longest single span.
+    pub max_ns: u64,
+}
+
+/// Aggregates spans by name. Names carrying per-item suffixes are grouped
+/// by their stem (text before the first ` #`), so `refit #3` and
+/// `refit #7` aggregate as `refit`.
+pub fn aggregate_spans(spans: &[SpanEvent]) -> BTreeMap<String, SpanAgg> {
+    let mut out: BTreeMap<String, SpanAgg> = BTreeMap::new();
+    for s in spans {
+        let stem = s.name.split(" #").next().unwrap_or(&s.name).to_string();
+        let a = out.entry(stem).or_default();
+        a.count += 1;
+        a.total_ns += s.dur_ns;
+        a.max_ns = a.max_ns.max(s.dur_ns);
+    }
+    out
+}
+
+/// Renders a human-readable summary: span aggregates sorted by total time
+/// (descending), then counters and gauges.
+pub fn summary_table(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    let mut aggs: Vec<(String, SpanAgg)> = aggregate_spans(&snap.spans).into_iter().collect();
+    aggs.sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then(a.0.cmp(&b.0)));
+    if !aggs.is_empty() {
+        let _ = writeln!(
+            out,
+            "{:<32} {:>8} {:>12} {:>12} {:>12}",
+            "span", "count", "total ms", "mean ms", "max ms"
+        );
+        for (name, a) in &aggs {
+            let mean = a.total_ns as f64 / a.count.max(1) as f64;
+            let _ = writeln!(
+                out,
+                "{:<32} {:>8} {:>12.3} {:>12.3} {:>12.3}",
+                name,
+                a.count,
+                a.total_ns as f64 / 1e6,
+                mean / 1e6,
+                a.max_ns as f64 / 1e6,
+            );
+        }
+    }
+    if !snap.counters.is_empty() {
+        let _ = writeln!(out, "\n{:<40} {:>16}", "counter", "value");
+        for (name, v) in &snap.counters {
+            let _ = writeln!(out, "{:<40} {:>16}", name, v);
+        }
+    }
+    if !snap.gauges.is_empty() {
+        let _ = writeln!(out, "\n{:<40} {:>16}", "gauge", "value");
+        for (name, v) in &snap.gauges {
+            let _ = writeln!(out, "{:<40} {:>16.6}", name, v);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> Snapshot {
+        Snapshot {
+            spans: vec![
+                SpanEvent { name: "fold #0".into(), lane: 0, start_ns: 1000, dur_ns: 500 },
+                SpanEvent { name: "fold #1".into(), lane: 1, start_ns: 1200, dur_ns: 700 },
+                SpanEvent { name: "fit".into(), lane: 0, start_ns: 2000, dur_ns: 100 },
+            ],
+            lanes: vec![(0, "main".into()), (1, "pool-worker-0".into())],
+            counters: vec![("pool.steals".into(), 3)],
+            gauges: vec![("cluster.eps".into(), 0.125)],
+        }
+    }
+
+    #[test]
+    fn chrome_trace_has_metadata_and_complete_events() {
+        let json = chrome_trace_json(&sample_snapshot());
+        assert!(json.trim_start().starts_with('['));
+        assert!(json.trim_end().ends_with(']'));
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"name\":\"pool-worker-0\""));
+        assert!(json.contains("\"ts\":1.000"));
+        assert!(json.contains("\"dur\":0.500"));
+    }
+
+    #[test]
+    fn metrics_json_lists_all_sections() {
+        let json = metrics_json(&sample_snapshot());
+        assert!(json.contains("\"pool.steals\": 3"));
+        assert!(json.contains("\"cluster.eps\": 0.125"));
+        assert!(json.contains("\"fold\": { \"count\": 2"));
+    }
+
+    #[test]
+    fn aggregation_groups_by_stem() {
+        let aggs = aggregate_spans(&sample_snapshot().spans);
+        assert_eq!(aggs["fold"].count, 2);
+        assert_eq!(aggs["fold"].total_ns, 1200);
+        assert_eq!(aggs["fold"].max_ns, 700);
+        assert_eq!(aggs["fit"].count, 1);
+    }
+
+    #[test]
+    fn summary_sorts_by_total_time() {
+        let text = summary_table(&sample_snapshot());
+        let fold_pos = text.find("fold").unwrap();
+        let fit_pos = text.find("fit").unwrap();
+        assert!(fold_pos < fit_pos, "{text}");
+        assert!(text.contains("pool.steals"));
+        assert!(text.contains("cluster.eps"));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+    }
+}

@@ -1,0 +1,172 @@
+//! Counters and gauges: a global registry of named atomic cells with a
+//! thread-local cache, so the hot path is one lock-free atomic op.
+//!
+//! Names are `&'static str` literals (they *are* the registry keys). The
+//! first time a thread touches a name it resolves the shared cell under
+//! the registry lock and caches the `Arc` thread-locally; every later
+//! update on that thread is a single `fetch_add` / `store` / `fetch_max`
+//! with `Relaxed` ordering — totals are read only after the threads that
+//! wrote them have joined.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// What a cell's `u64` payload means.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CellKind {
+    /// Monotonic sum (`fetch_add`), or high-water mark (`fetch_max`) — both
+    /// export as integer counters.
+    Counter,
+    /// `f64` bits, last write wins.
+    Gauge,
+}
+
+#[derive(Debug)]
+struct Cell {
+    value: AtomicU64,
+    kind: CellKind,
+}
+
+type Registry = Mutex<BTreeMap<&'static str, Arc<Cell>>>;
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+thread_local! {
+    /// Per-thread name → cell cache; avoids the registry lock on the hot
+    /// path.
+    static CACHE: RefCell<BTreeMap<&'static str, Arc<Cell>>> =
+        const { RefCell::new(BTreeMap::new()) };
+}
+
+/// Resolves (registering on first global use) the cell for `name`.
+fn cell(name: &'static str, kind: CellKind) -> Arc<Cell> {
+    CACHE.with(|cache| {
+        if let Some(c) = cache.borrow().get(name) {
+            return Arc::clone(c);
+        }
+        let shared = {
+            let mut reg = registry().lock().unwrap();
+            Arc::clone(reg.entry(name).or_insert_with(|| {
+                Arc::new(Cell { value: AtomicU64::new(0), kind })
+            }))
+        };
+        cache.borrow_mut().insert(name, Arc::clone(&shared));
+        shared
+    })
+}
+
+/// Adds `delta` to the monotonic counter `name`.
+pub fn counter_add(name: &'static str, delta: u64) {
+    cell(name, CellKind::Counter).value.fetch_add(delta, Ordering::Relaxed);
+}
+
+/// Raises the watermark counter `name` to at least `value`.
+pub fn counter_max(name: &'static str, value: u64) {
+    cell(name, CellKind::Counter).value.fetch_max(value, Ordering::Relaxed);
+}
+
+/// Sets the gauge `name` to `value` (last write wins).
+pub fn gauge_set(name: &'static str, value: f64) {
+    cell(name, CellKind::Gauge).value.store(value.to_bits(), Ordering::Relaxed);
+}
+
+/// Current value of counter `name` (0 if never touched).
+pub fn counter_value(name: &'static str) -> u64 {
+    registry()
+        .lock()
+        .unwrap()
+        .get(name)
+        .map_or(0, |c| c.value.load(Ordering::Relaxed))
+}
+
+/// Current value of gauge `name` (`None` if never set).
+pub fn gauge_value(name: &'static str) -> Option<f64> {
+    registry().lock().unwrap().get(name).and_then(|c| match c.kind {
+        CellKind::Gauge => Some(f64::from_bits(c.value.load(Ordering::Relaxed))),
+        CellKind::Counter => None,
+    })
+}
+
+/// All counters and gauges, name-sorted.
+pub fn metrics_snapshot() -> (Vec<(String, u64)>, Vec<(String, f64)>) {
+    let reg = registry().lock().unwrap();
+    let mut counters = Vec::new();
+    let mut gauges = Vec::new();
+    for (name, c) in reg.iter() {
+        let raw = c.value.load(Ordering::Relaxed);
+        match c.kind {
+            CellKind::Counter => counters.push((name.to_string(), raw)),
+            CellKind::Gauge => gauges.push((name.to_string(), f64::from_bits(raw))),
+        }
+    }
+    (counters, gauges)
+}
+
+/// Zeroes every registered cell (registrations survive, so thread-local
+/// caches stay valid).
+pub fn reset_metrics() {
+    let reg = registry().lock().unwrap();
+    for c in reg.values() {
+        c.value.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Distinct names per test: the registry is process-global and the test
+    // harness runs tests concurrently.
+
+    #[test]
+    fn counters_accumulate_across_threads() {
+        const NAME: &str = "test.m.accumulate";
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        counter_add(NAME, 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(counter_value(NAME), 4000);
+    }
+
+    #[test]
+    fn watermark_keeps_the_max() {
+        const NAME: &str = "test.m.peak";
+        counter_max(NAME, 3);
+        counter_max(NAME, 17);
+        counter_max(NAME, 5);
+        assert_eq!(counter_value(NAME), 17);
+    }
+
+    #[test]
+    fn gauges_last_write_wins() {
+        const NAME: &str = "test.m.gauge";
+        assert_eq!(gauge_value(NAME), None);
+        gauge_set(NAME, 1.5);
+        gauge_set(NAME, -2.25);
+        assert_eq!(gauge_value(NAME), Some(-2.25));
+    }
+
+    #[test]
+    fn snapshot_separates_kinds() {
+        counter_add("test.m.snap_counter", 7);
+        gauge_set("test.m.snap_gauge", 0.5);
+        let (counters, gauges) = metrics_snapshot();
+        assert!(counters.iter().any(|(n, v)| n == "test.m.snap_counter" && *v >= 7));
+        assert!(gauges.iter().any(|(n, _)| n == "test.m.snap_gauge"));
+        // Name-sorted.
+        let names: Vec<&String> = counters.iter().map(|(n, _)| n).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+    }
+}

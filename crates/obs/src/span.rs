@@ -1,0 +1,194 @@
+//! Structured spans with thread-local buffering.
+//!
+//! A [`SpanGuard`] stamps its start on construction and records one
+//! [`SpanEvent`] into the executing thread's local buffer when dropped.
+//! The buffer flushes into the global registry in whole chunks — on
+//! overflow, on thread exit (thread-local destructor), or when a snapshot
+//! drains the calling thread — so workers almost never touch the global
+//! lock.
+
+use crate::now_ns;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEvent {
+    /// Human-readable name (Chrome-trace `name`).
+    pub name: String,
+    /// Lane (thread) the span executed on (Chrome-trace `tid`).
+    pub lane: u32,
+    /// Start, nanoseconds since the process epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Spans buffered per thread before this many trigger a flush.
+const FLUSH_AT: usize = 256;
+
+/// Globally flushed spans plus registered lane names.
+#[derive(Default)]
+struct Registry {
+    spans: Vec<SpanEvent>,
+    lane_names: Vec<(u32, String)>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Registry::default()))
+}
+
+static NEXT_LANE: AtomicU32 = AtomicU32::new(0);
+
+/// Thread-local span buffer; its destructor flushes whatever is left when
+/// the thread exits, so pool workers never lose spans.
+struct ThreadBuf {
+    lane: u32,
+    buf: Vec<SpanEvent>,
+}
+
+impl ThreadBuf {
+    fn new() -> ThreadBuf {
+        ThreadBuf { lane: NEXT_LANE.fetch_add(1, Ordering::Relaxed), buf: Vec::new() }
+    }
+
+    fn flush(&mut self) {
+        if !self.buf.is_empty() {
+            registry().lock().unwrap().spans.append(&mut self.buf);
+        }
+    }
+}
+
+impl Drop for ThreadBuf {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+thread_local! {
+    static TLS: RefCell<ThreadBuf> = RefCell::new(ThreadBuf::new());
+}
+
+/// Names the calling thread's lane in exported traces (e.g.
+/// `pool-worker-3`). Last registration for a lane wins.
+pub fn set_lane_name(name: &str) {
+    let lane = TLS.with(|t| t.borrow().lane);
+    let mut reg = registry().lock().unwrap();
+    if let Some(entry) = reg.lane_names.iter_mut().find(|(l, _)| *l == lane) {
+        entry.1 = name.to_string();
+    } else {
+        reg.lane_names.push((lane, name.to_string()));
+    }
+}
+
+/// Flushes the calling thread's buffered spans into the global registry.
+pub fn flush_thread() {
+    TLS.with(|t| t.borrow_mut().flush());
+}
+
+/// Drains all flushed spans (after flushing the calling thread) and the
+/// lane-name table. Spans buffered on *other live* threads stay there
+/// until those threads flush or exit.
+pub fn take_spans() -> (Vec<SpanEvent>, Vec<(u32, String)>) {
+    flush_thread();
+    let mut reg = registry().lock().unwrap();
+    (std::mem::take(&mut reg.spans), reg.lane_names.clone())
+}
+
+/// RAII span: stamps the clock on construction, records on drop.
+///
+/// Construct through [`crate::span!`], which wraps the name in a closure
+/// so it is only built when observability is enabled.
+#[must_use = "a span measures until the guard drops"]
+pub struct SpanGuard {
+    open: Option<(String, u64)>,
+}
+
+impl SpanGuard {
+    /// Opens a span named by `name()` if observability is enabled;
+    /// otherwise returns an inert guard without evaluating `name`.
+    pub fn begin(name: impl FnOnce() -> String) -> SpanGuard {
+        if !crate::enabled() {
+            return SpanGuard { open: None };
+        }
+        SpanGuard { open: Some((name(), now_ns())) }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some((name, start_ns)) = self.open.take() else {
+            return;
+        };
+        let dur_ns = now_ns().saturating_sub(start_ns);
+        TLS.with(|t| {
+            let mut t = t.borrow_mut();
+            let lane = t.lane;
+            t.buf.push(SpanEvent { name, lane, start_ns, dur_ns });
+            if t.buf.len() >= FLUSH_AT {
+                t.flush();
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The span registry and the enabled flag are process-global; these
+    // tests serialise on a module lock and filter drained spans by their
+    // own names so the rest of the suite cannot interfere.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_spans_record_nothing_and_skip_the_name() {
+        let _serial = TEST_LOCK.lock().unwrap();
+        crate::set_enabled(false);
+        let mut evaluated = false;
+        {
+            let _g = SpanGuard::begin(|| {
+                evaluated = true;
+                "test.s.disabled".into()
+            });
+        }
+        assert!(!evaluated, "name closure must not run when disabled");
+        let (spans, _) = take_spans();
+        assert!(spans.iter().all(|s| s.name != "test.s.disabled"));
+    }
+
+    #[test]
+    fn enabled_spans_are_recorded_with_consistent_times() {
+        let _serial = TEST_LOCK.lock().unwrap();
+        crate::set_enabled(true);
+        {
+            let _outer = crate::span!("test.s.outer");
+            let _inner = crate::span!("test.s.inner {}", 42);
+        }
+        crate::set_enabled(false);
+        let (spans, _) = take_spans();
+        let outer = spans.iter().find(|s| s.name == "test.s.outer").expect("outer span");
+        let inner = spans.iter().find(|s| s.name == "test.s.inner 42").expect("inner span");
+        assert!(inner.start_ns >= outer.start_ns);
+        assert!(inner.start_ns + inner.dur_ns <= outer.start_ns + outer.dur_ns);
+        assert_eq!(inner.lane, outer.lane);
+    }
+
+    #[test]
+    fn worker_thread_spans_flush_on_exit() {
+        let _serial = TEST_LOCK.lock().unwrap();
+        crate::set_enabled(true);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                set_lane_name("test-worker");
+                let _g = crate::span!("test.s.worker");
+            });
+        });
+        crate::set_enabled(false);
+        let (spans, lanes) = take_spans();
+        let ev = spans.iter().find(|s| s.name == "test.s.worker").expect("worker span flushed");
+        assert!(lanes.iter().any(|(l, n)| *l == ev.lane && n == "test-worker"));
+    }
+}

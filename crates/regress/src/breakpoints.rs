@@ -92,6 +92,7 @@ pub fn refine_breakpoints_with(
     }
 
     for _ in 0..config.max_iters {
+        phasefold_obs::counter!("regress.muggeo_iters", 1);
         let k = psi.len();
         // Design: [1, x, (x−ψ_j)₊ …, −I(x>ψ_j) …]. The matrix is reshaped in
         // place: `k` can shrink between iterations when a breakpoint

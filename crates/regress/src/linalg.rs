@@ -250,11 +250,15 @@ pub fn solve_spd_into<'s>(
     }
     let trace: f64 = (0..n).map(|i| a[(i, i)]).sum();
     let base = (trace / n.max(1) as f64).abs().max(1e-300);
-    for &ridge in &[0.0, 1e-12, 1e-9, 1e-6] {
+    for (attempt, &ridge) in [0.0, 1e-12, 1e-9, 1e-6].iter().enumerate() {
+        if attempt > 0 {
+            phasefold_obs::counter!("regress.cholesky_retries", 1);
+        }
         if try_cholesky_solve(a, b, ridge * base, s) {
             return Ok(&s.sol);
         }
     }
+    phasefold_obs::counter!("regress.cholesky_singular", 1);
     Err(LinalgError::Singular)
 }
 

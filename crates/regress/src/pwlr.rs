@@ -147,6 +147,7 @@ pub fn fit_pwlr(
     config: &PwlrConfig,
 ) -> Result<PwlrFit, FitError> {
     assert_eq!(xs.len(), ys.len());
+    let _sp = phasefold_obs::span!("regress.fit_pwlr");
     let (lo, hi) = config.domain;
     assert!(hi > lo, "empty domain");
     let min_sep = config.min_separation_fraction * (hi - lo);
@@ -160,6 +161,7 @@ pub fn fit_pwlr(
 
     let binned = bin_series(&sx, &sy, sw.as_deref(), config.grid_bins.max(2), lo, hi);
     let proposals = if binned.len() >= 2 {
+        let _sp = phasefold_obs::span!("regress.segment_dp");
         segment_dp(
             &binned.x,
             &binned.y,

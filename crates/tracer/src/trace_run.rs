@@ -22,12 +22,40 @@ pub fn trace_run(
     timelines: &[RankTimeline],
     config: &TracerConfig,
 ) -> Trace {
+    let _sp = phasefold_obs::span!("tracer.trace_run");
     config.validate();
     let mut trace = Trace::with_ranks(registry.clone(), timelines.len());
     for (r, timeline) in timelines.iter().enumerate() {
         let rank = RankId(r as u32);
         let stream = trace_rank(timeline, config, r as u64);
         *trace.rank_mut(rank).expect("rank exists") = stream;
+    }
+    if phasefold_obs::enabled() {
+        // Sampling-overhead gauges: how much data the tracer produced and
+        // how far its overhead model dilated the run.
+        let (mut samples, mut events) = (0usize, 0usize);
+        for (_, stream) in trace.iter_ranks() {
+            for r in stream.records() {
+                if r.is_sample() {
+                    samples += 1;
+                } else {
+                    events += 1;
+                }
+            }
+        }
+        let base_wall_s =
+            timelines.iter().map(|t| t.end_time().as_secs_f64()).fold(0.0, f64::max);
+        let dilated_wall_s = trace.end_time().as_secs_f64();
+        phasefold_obs::gauge!("tracer.samples", samples);
+        phasefold_obs::gauge!("tracer.events", events);
+        phasefold_obs::gauge!(
+            "tracer.sampling_period_s",
+            config.sampling_period.as_secs_f64()
+        );
+        phasefold_obs::gauge!(
+            "tracer.relative_dilation",
+            if base_wall_s > 0.0 { (dilated_wall_s - base_wall_s) / base_wall_s } else { 0.0 }
+        );
     }
     trace
 }

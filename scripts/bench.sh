@@ -67,6 +67,26 @@ check() {
     }' || fail=1
 }
 
+# Compare the recorded machine shape first. A baseline captured with a
+# different thread count (or build profile) is not comparable ms-for-ms, so
+# mismatches WARN instead of letting the timing gate fail spuriously.
+meta_line() {
+    grep "\"$1\":" "$2" | head -1 | sed 's/^ *//; s/,$//'
+}
+base_threads=$(extract threads "" "$BASELINE")
+fresh_threads=$(extract threads "" "$FRESH")
+if [[ -z "$base_threads" ]]; then
+    echo "warning: $BASELINE has no meta block (pre-meta schema); timings may not be comparable"
+elif [[ "$base_threads" != "$fresh_threads" ]]; then
+    echo "warning: thread count mismatch (baseline: $base_threads, host: $fresh_threads);" \
+         "timings are not apples-to-apples — regenerate with scripts/bench.sh --update"
+fi
+base_profile=$(meta_line build_profile "$BASELINE")
+fresh_profile=$(meta_line build_profile "$FRESH")
+if [[ -n "$base_profile" && "$base_profile" != "$fresh_profile" ]]; then
+    echo "warning: build profile mismatch (baseline: $base_profile, fresh: $fresh_profile)"
+fi
+
 echo "== comparing against $BASELINE (fail threshold: >15% slower) =="
 check "segdp_pruned" \
     "$(extract segdp_pruned_ms "" "$BASELINE")" \
@@ -90,6 +110,20 @@ awk -v s="$(extract segdp_speedup "" "$FRESH")" 'BEGIN {
     printf "segdp speedup vs quadratic: %.1fx (target >= 10x)\n", s;
     exit (s >= 10.0) ? 0 : 1;
 }' || fail=1
+
+# Self-instrumentation must stay cheap: the medium pipeline with obs
+# recording enabled may cost at most 5% over the uninstrumented run.
+obs_ratio=$(extract obs_overhead_ratio "" "$FRESH")
+if [[ -z "$obs_ratio" ]]; then
+    echo "?? obs_overhead_ratio: missing from fresh run"
+    fail=1
+else
+    awk -v r="$obs_ratio" 'BEGIN {
+        status = (r < 1.05) ? "ok" : "TOO SLOW";
+        printf "obs instrumentation overhead: ratio %.4f (gate < 1.05)   %s\n", r, status;
+        exit (r < 1.05) ? 0 : 1;
+    }' || fail=1
+fi
 
 if [[ $fail -ne 0 ]]; then
     echo "FAIL: performance regression detected"

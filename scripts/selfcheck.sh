@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Self-profiling smoke test.
+#
+# Builds the CLI in release mode and runs `phasefold selfcheck`: a canned
+# synthetic workload pushed through simulate -> trace -> analyze with
+# observability recording on, printing per-stage timings and pool
+# utilization. Exits non-zero if the pipeline produces no models.
+#
+# Usage:
+#   scripts/selfcheck.sh                 # default canned workload
+#   scripts/selfcheck.sh --threads 4     # extra args forwarded to selfcheck
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release -q -p phasefold-cli --bin phasefold -- selfcheck "$@"
