@@ -1,0 +1,124 @@
+//! **E15 (extension) — fault tolerance under deterministic corruption**:
+//! seeded corruptors damage a recorded trace at increasing rates; the
+//! lenient pipeline must keep producing a phase model, quarantine the
+//! damage into the fault report, and degrade *gracefully* — measured as
+//! boundary recovery against the clean run's breakpoints.
+//!
+//! ```text
+//! cargo run --release -p phasefold-bench --bin exp_fault_tolerance
+//! ```
+
+use phasefold::{analyze_trace, score_boundaries, AnalysisConfig};
+use phasefold_bench::{banner, fmt, write_results, Table};
+use phasefold_chaos::ChaosConfig;
+use phasefold_model::prv;
+use phasefold_simapp::workloads::synthetic::{build, SyntheticParams};
+use phasefold_simapp::{simulate, SimConfig};
+use phasefold_tracer::{trace_run, TracerConfig};
+
+const SEED: u64 = 0xE15;
+const RATES: [f64; 6] = [0.0, 0.02, 0.05, 0.1, 0.2, 0.4];
+
+/// One corruptor dimension: name + config builder for a given rate.
+const CORRUPTORS: [(&str, fn(f64) -> ChaosConfig); 6] = [
+    ("drop", |r| ChaosConfig { drop: r, ..ChaosConfig::clean(SEED) }),
+    ("truncate", |r| ChaosConfig { truncate: r, ..ChaosConfig::clean(SEED) }),
+    ("shuffle", |r| ChaosConfig { shuffle: r, ..ChaosConfig::clean(SEED) }),
+    ("saturate", |r| ChaosConfig { saturate: r, ..ChaosConfig::clean(SEED) }),
+    ("nan", |r| ChaosConfig { nan: r, ..ChaosConfig::clean(SEED) }),
+    ("all", |r| ChaosConfig::uniform(SEED, r)),
+];
+
+fn main() {
+    banner(
+        "E15",
+        "fault tolerance under deterministic corruption",
+        "quarantine-and-degrade: corrupted records cost accuracy, never the run",
+    );
+
+    let params = SyntheticParams { iterations: 300, ..SyntheticParams::default() };
+    let program = build(&params);
+    let sim = simulate(&program, &SimConfig { ranks: 4, ..SimConfig::default() });
+    let trace = trace_run(&program.registry, &sim.timelines, &TracerConfig::default());
+    let clean_text = prv::write_trace(&trace);
+
+    let config = AnalysisConfig::default();
+    let clean = analyze_trace(&trace, &config);
+    let clean_bps: Vec<f64> = match clean.analysis_breakpoints() {
+        Some(bps) => bps,
+        None => {
+            eprintln!("clean run produced no dominant model; cannot measure recovery");
+            std::process::exit(1);
+        }
+    };
+
+    let mut table = Table::new(&[
+        "corruptor",
+        "rate",
+        "corrupted_lines",
+        "parse_faults",
+        "analysis_faults",
+        "models",
+        "recovery",
+    ]);
+
+    for (name, make) in CORRUPTORS {
+        for rate in RATES {
+            let (text, stats) = phasefold_chaos::corrupt_trace_text(&clean_text, &make(rate));
+            let (dirty_trace, parse_report) = match prv::parse_trace_lenient(&text) {
+                Ok(ok) => ok,
+                Err(fault) => {
+                    // Structural damage: the run is lost, recovery is zero.
+                    eprintln!("{name}@{rate}: structurally unreadable: {fault}");
+                    table.row(vec![
+                        name.to_string(),
+                        format!("{rate}"),
+                        stats.total().to_string(),
+                        "-".into(),
+                        "-".into(),
+                        "0".into(),
+                        fmt(0.0, 3),
+                    ]);
+                    continue;
+                }
+            };
+            let analysis = analyze_trace(&dirty_trace, &config);
+            let recovery = match analysis.analysis_breakpoints() {
+                Some(bps) => score_boundaries(&bps, &clean_bps, 0.05).recall,
+                None => 0.0,
+            };
+            table.row(vec![
+                name.to_string(),
+                format!("{rate}"),
+                stats.total().to_string(),
+                parse_report.len().to_string(),
+                analysis.faults.len().to_string(),
+                analysis.models.len().to_string(),
+                fmt(recovery, 3),
+            ]);
+        }
+    }
+
+    println!("{}", table.render_text());
+    let path = write_results("e15_fault_tolerance.csv", &table.render_csv());
+    println!("csv written to {}", path.display());
+    println!(
+        "\nexpected shape: at rate 0 every corruptor recovers the clean model\n\
+         exactly (recovery 1.000, zero faults). As the rate grows, dropped and\n\
+         NaN-poisoned samples thin the folded profiles and saturated counters\n\
+         quarantine, costing recall gradually; shuffled timestamps and truncated\n\
+         records are quarantined at parse time. The run itself never aborts —\n\
+         the fault report grows instead."
+    );
+}
+
+/// Breakpoints of the dominant model, the structure recovery is scored on.
+trait AnalysisBreakpoints {
+    fn analysis_breakpoints(&self) -> Option<Vec<f64>>;
+}
+
+impl AnalysisBreakpoints for phasefold::Analysis {
+    fn analysis_breakpoints(&self) -> Option<Vec<f64>> {
+        self.dominant_model().map(|m| m.breakpoints().to_vec())
+    }
+}

@@ -1,0 +1,327 @@
+//! # phasefold-chaos
+//!
+//! Deterministic fault-injection for phasefold's `.prv`-like text traces.
+//!
+//! Production telemetry is imperfect: collectors truncate records when
+//! buffers fill, clock adjustments reorder timestamps, PMUs saturate, and
+//! sampling glitches inject NaN runs or drop samples outright. This crate
+//! reproduces those defects *deterministically* — a fixed seed and
+//! configuration always yield byte-identical corruption — so the
+//! fault-tolerance of the analysis pipeline can be measured and regression
+//! tested (see the `exp_fault_tolerance` experiment and `phasefold chaos`).
+//!
+//! The corruptors operate on the text form, exactly where real damage
+//! happens (after the tracer, before the parser). Header lines (`#…`) are
+//! never touched: structural defects make a trace unreadable in any
+//! format, which is a different failure class from record-level damage.
+//!
+//! Per body line the corruptors draw in a fixed order — drop, truncate,
+//! shuffle, saturate, NaN — and the first that fires wins, so corruption
+//! sites depend only on the seed, the rates and the line sequence, never
+//! on map iteration order or wall-clock anything.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Counter values at or above this are considered saturated (a pegged or
+/// wrapped 64-bit PMU register, rendered to f64).
+pub const SATURATED_COUNTER: f64 = u64::MAX as f64;
+
+/// Corruption rates (per body line, in `[0, 1]`) plus the seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosConfig {
+    /// Seed of the deterministic corruption stream.
+    pub seed: u64,
+    /// Probability of dropping a sample (`S`) line entirely.
+    pub drop: f64,
+    /// Probability of truncating a body line mid-record (a collector dying
+    /// or a buffer filling while flushing).
+    pub truncate: f64,
+    /// Probability of swapping a record's timestamp with the previous body
+    /// line's on the same rank — producing non-monotonic time.
+    pub shuffle: f64,
+    /// Probability of saturating a communication (`C`) line's counters to
+    /// [`SATURATED_COUNTER`].
+    pub saturate: f64,
+    /// Probability of replacing a sample (`S`) line's counter values with
+    /// NaN.
+    pub nan: f64,
+}
+
+impl ChaosConfig {
+    /// No corruption at all (rates zero); useful as a baseline.
+    pub fn clean(seed: u64) -> ChaosConfig {
+        ChaosConfig { seed, drop: 0.0, truncate: 0.0, shuffle: 0.0, saturate: 0.0, nan: 0.0 }
+    }
+
+    /// Every corruptor at the same `rate`.
+    pub fn uniform(seed: u64, rate: f64) -> ChaosConfig {
+        ChaosConfig {
+            seed,
+            drop: rate,
+            truncate: rate,
+            shuffle: rate,
+            saturate: rate,
+            nan: rate,
+        }
+    }
+}
+
+/// What [`corrupt_trace_text`] actually did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CorruptionStats {
+    /// Body lines examined.
+    pub lines_seen: usize,
+    /// Sample lines removed.
+    pub dropped: usize,
+    /// Lines cut mid-record.
+    pub truncated: usize,
+    /// Timestamp pairs swapped.
+    pub shuffled: usize,
+    /// Comm lines with counters pegged to [`SATURATED_COUNTER`].
+    pub saturated: usize,
+    /// Sample lines with counter values replaced by NaN.
+    pub nan_injected: usize,
+}
+
+impl CorruptionStats {
+    /// Total corrupted lines (each line is hit by at most one corruptor).
+    pub fn total(&self) -> usize {
+        self.dropped + self.truncated + self.shuffled + self.saturated + self.nan_injected
+    }
+}
+
+/// Rank and timestamp-token position of a body line, if it has one.
+fn time_slot(fields: &[&str]) -> Option<(String, usize)> {
+    match fields.first().copied() {
+        // R <rank> <dir> <time> <region> / C <rank> <dir> <time> <kind> …
+        Some("R") | Some("C") if fields.len() > 3 => Some((fields[1].to_string(), 3)),
+        // S <rank> <time> <counters> <stack>
+        Some("S") if fields.len() > 2 => Some((fields[1].to_string(), 2)),
+        _ => None,
+    }
+}
+
+/// Applies the configured corruptors to a trace's text form, returning the
+/// corrupted text and what was done. Deterministic: same input, same
+/// config → byte-identical output.
+pub fn corrupt_trace_text(text: &str, config: &ChaosConfig) -> (String, CorruptionStats) {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut stats = CorruptionStats::default();
+    let mut out: Vec<String> = Vec::new();
+    // Per rank: index into `out` of the last body line carrying a time.
+    let mut last_timed: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+
+    for line in text.lines() {
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            out.push(trimmed.to_string());
+            continue;
+        }
+        stats.lines_seen += 1;
+        let fields: Vec<&str> = trimmed.split_whitespace().collect();
+        let tag = fields.first().copied().unwrap_or("");
+
+        // Fixed draw order; first corruptor that fires wins. Every rate is
+        // drawn even when inapplicable to this tag so the random stream
+        // stays aligned across configs with the same seed.
+        let drop = rng.gen_bool(config.drop) && tag == "S";
+        let truncate = rng.gen_bool(config.truncate);
+        let shuffle = rng.gen_bool(config.shuffle);
+        let saturate = rng.gen_bool(config.saturate) && tag == "C";
+        let nan = rng.gen_bool(config.nan) && tag == "S";
+
+        if drop {
+            stats.dropped += 1;
+            continue;
+        }
+        if truncate && fields.len() > 1 {
+            stats.truncated += 1;
+            // Keep a random non-empty prefix of the fields: a record cut
+            // mid-flush.
+            let keep = rng.gen_range(1..fields.len());
+            out.push(fields[..keep].join(" "));
+            continue;
+        }
+        if shuffle {
+            if let Some((rank, slot)) = time_slot(&fields) {
+                if let Some(&prev_idx) = last_timed.get(&rank) {
+                    let prev_fields: Vec<String> =
+                        out[prev_idx].split_whitespace().map(str::to_string).collect();
+                    if let Some((_, prev_slot)) =
+                        time_slot(&prev_fields.iter().map(String::as_str).collect::<Vec<_>>())
+                    {
+                        stats.shuffled += 1;
+                        let mut cur: Vec<String> =
+                            fields.iter().map(|f| f.to_string()).collect();
+                        let mut prev = prev_fields;
+                        std::mem::swap(&mut cur[slot], &mut prev[prev_slot]);
+                        out[prev_idx] = prev.join(" ");
+                        let idx = out.len();
+                        out.push(cur.join(" "));
+                        last_timed.insert(rank, idx);
+                        continue;
+                    }
+                }
+            }
+        }
+        // C <rank> <dir> <time> <kind> <v0..v9>: counters start at field 5.
+        if saturate && fields.len() > 5 {
+            stats.saturated += 1;
+            let mut cur: Vec<String> = fields.iter().map(|f| f.to_string()).collect();
+            for v in cur.iter_mut().skip(5) {
+                *v = format!("{SATURATED_COUNTER}");
+            }
+            let idx = out.len();
+            if let Some((rank, _)) = time_slot(&fields) {
+                last_timed.insert(rank, idx);
+            }
+            out.push(cur.join(" "));
+            continue;
+        }
+        if nan && fields.len() > 3 && fields[2] != "-" {
+            // S <rank> <time> <counters> <stack>: poison each K:V value.
+            stats.nan_injected += 1;
+            let poisoned: String = fields[3]
+                .split(',')
+                .map(|pair| match pair.split_once(':') {
+                    Some((k, _)) => format!("{k}:NaN"),
+                    None => pair.to_string(),
+                })
+                .collect::<Vec<_>>()
+                .join(",");
+            let mut cur: Vec<String> = fields.iter().map(|f| f.to_string()).collect();
+            cur[3] = poisoned;
+            let idx = out.len();
+            if let Some((rank, _)) = time_slot(&fields) {
+                last_timed.insert(rank, idx);
+            }
+            out.push(cur.join(" "));
+            continue;
+        }
+
+        let idx = out.len();
+        if let Some((rank, _)) = time_slot(&fields) {
+            last_timed.insert(rank, idx);
+        }
+        out.push(trimmed.to_string());
+    }
+
+    let mut joined = out.join("\n");
+    joined.push('\n');
+    (joined, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TRACE: &str = "#PHASEFOLD_TRACE v1\n\
+        #RANKS 2\n\
+        #REGION 0 F main main.c 1\n\
+        R 0 E 100 0\n\
+        C 0 E 1000 COLL 1 2 3 4 5 6 7 8 9 10\n\
+        S 0 1500 INS:5,CYC:9 0\n\
+        S 0 2500 INS:6,CYC:11 0\n\
+        S 1 300 INS:1 -\n\
+        C 0 X 3000 COLL 2 3 4 5 6 7 8 9 10 11\n\
+        R 0 X 4000 0\n";
+
+    #[test]
+    fn clean_config_is_identity_modulo_line_endings() {
+        let (text, stats) = corrupt_trace_text(TRACE, &ChaosConfig::clean(7));
+        assert_eq!(text, TRACE);
+        assert_eq!(stats.total(), 0);
+        assert_eq!(stats.lines_seen, 7);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = ChaosConfig::uniform(42, 0.5);
+        let (a, sa) = corrupt_trace_text(TRACE, &cfg);
+        let (b, sb) = corrupt_trace_text(TRACE, &cfg);
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+        let (c, _) = corrupt_trace_text(TRACE, &ChaosConfig::uniform(43, 0.5));
+        assert_ne!(a, c, "different seeds corrupt differently");
+    }
+
+    #[test]
+    fn headers_survive_any_corruption_rate() {
+        let (text, _) = corrupt_trace_text(TRACE, &ChaosConfig::uniform(1, 1.0));
+        assert!(text.starts_with("#PHASEFOLD_TRACE v1\n"));
+        assert!(text.contains("#RANKS 2"));
+        assert!(text.contains("#REGION 0"));
+    }
+
+    #[test]
+    fn drop_removes_only_sample_lines() {
+        let cfg = ChaosConfig { drop: 1.0, ..ChaosConfig::clean(3) };
+        let (text, stats) = corrupt_trace_text(TRACE, &cfg);
+        assert_eq!(stats.dropped, 3);
+        assert!(!text.contains("\nS "));
+        assert!(text.contains("\nR 0 E 100 0\n"));
+        assert!(text.contains("\nC 0 E 1000"));
+    }
+
+    #[test]
+    fn nan_poisons_sample_counters_only() {
+        let cfg = ChaosConfig { nan: 1.0, ..ChaosConfig::clean(3) };
+        let (text, stats) = corrupt_trace_text(TRACE, &cfg);
+        assert_eq!(stats.nan_injected, 3);
+        assert!(text.contains("INS:NaN,CYC:NaN"), "{text}");
+        // C-line counters untouched.
+        assert!(text.contains("C 0 E 1000 COLL 1 2 3 4 5 6 7 8 9 10"), "{text}");
+    }
+
+    #[test]
+    fn saturate_pegs_comm_counters() {
+        let cfg = ChaosConfig { saturate: 1.0, ..ChaosConfig::clean(3) };
+        let (text, stats) = corrupt_trace_text(TRACE, &cfg);
+        assert_eq!(stats.saturated, 2);
+        assert!(text.contains(&format!("COLL {SATURATED_COUNTER}")), "{text}");
+    }
+
+    #[test]
+    fn shuffle_creates_non_monotonic_time() {
+        let cfg = ChaosConfig { shuffle: 1.0, ..ChaosConfig::clean(3) };
+        let (text, stats) = corrupt_trace_text(TRACE, &cfg);
+        assert!(stats.shuffled > 0);
+        // Rank 0's first two timed lines got their timestamps swapped at
+        // least once somewhere: the text differs but keeps every token set.
+        assert_ne!(text, TRACE);
+        assert_eq!(text.lines().count(), TRACE.lines().count());
+    }
+
+    #[test]
+    fn truncate_cuts_records_short() {
+        let cfg = ChaosConfig { truncate: 1.0, ..ChaosConfig::clean(9) };
+        let (text, stats) = corrupt_trace_text(TRACE, &cfg);
+        assert_eq!(stats.truncated, 7);
+        // With only truncation active, body lines map 1:1 to the originals;
+        // each must have strictly fewer fields than it started with.
+        let originals: Vec<&str> = TRACE.lines().filter(|l| !l.starts_with('#')).collect();
+        let corrupted: Vec<&str> = text.lines().filter(|l| !l.starts_with('#')).collect();
+        assert_eq!(originals.len(), corrupted.len());
+        for (orig, cut) in originals.iter().zip(&corrupted) {
+            assert!(
+                cut.split_whitespace().count() < orig.split_whitespace().count(),
+                "truncated line must be shorter: {cut:?} vs {orig:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_trace_still_parses_leniently() {
+        use phasefold_model::prv;
+        let (text, stats) = corrupt_trace_text(TRACE, &ChaosConfig::uniform(11, 0.4));
+        assert!(stats.total() > 0);
+        let (trace, report) = prv::parse_trace_lenient(&text).expect("structure intact");
+        // Lenient parsing quarantines the damage instead of failing.
+        assert!(trace.total_records() <= 7);
+        let _ = report;
+    }
+}

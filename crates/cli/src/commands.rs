@@ -3,8 +3,8 @@
 use crate::args::{parse, Parsed};
 use crate::CliError;
 use phasefold::report::{render_report, suggest_optimization};
-use phasefold::{analyze_trace, AnalysisConfig};
-use phasefold_model::{prv, CounterKind, DurNs, RankId, TimeNs, Trace};
+use phasefold::{analyze_trace, try_analyze_trace, AnalysisConfig};
+use phasefold_model::{prv, CounterKind, DurNs, FaultPolicy, FaultReport, RankId, TimeNs, Trace};
 use phasefold_obs as obs;
 use phasefold_simapp::workloads::{all_extended, amg, cg, fft, md, stencil, synthetic};
 use phasefold_simapp::{simulate as sim_run, NoiseConfig, Program, SimConfig};
@@ -215,22 +215,47 @@ fn threads_option(p: &crate::args::Parsed) -> Result<Option<usize>, CliError> {
     }
 }
 
+/// Parses `--fault-policy lenient|strict` (default lenient).
+fn fault_policy_option(p: &crate::args::Parsed) -> Result<FaultPolicy, CliError> {
+    match p.get("fault-policy").unwrap_or("lenient") {
+        "lenient" => Ok(FaultPolicy::Lenient),
+        "strict" => Ok(FaultPolicy::Strict),
+        other => Err(CliError::Usage(format!(
+            "bad --fault-policy {other:?}; expected lenient or strict"
+        ))),
+    }
+}
+
 /// `phasefold analyze`
 pub fn analyze(argv: &[String], out: &mut String) -> Result<(), CliError> {
     let p = parse(
         argv,
-        &["threads", "log-level", "profile", "metrics"],
+        &["threads", "fault-policy", "log-level", "profile", "metrics"],
         &["bootstrap", "markdown"],
     )?;
     let path = p.positional(0, "trace file")?;
+    let policy = fault_policy_option(&p)?;
     let obs_req = ObsRequest::setup(&p, false)?;
-    let trace = load_trace(path)?;
+    // Lenient parsing quarantines defective records and carries their
+    // faults into the analysis report; strict parsing fails on the first.
+    let (trace, parse_faults) = match policy {
+        FaultPolicy::Strict => (load_trace(path)?, FaultReport::new()),
+        FaultPolicy::Lenient => {
+            let text = std::fs::read_to_string(path)?;
+            prv::parse_trace_lenient(&text)?
+        }
+    };
     let mut config = AnalysisConfig::default();
     config.threads = threads_option(&p)?;
+    config.fault_policy = policy;
     if p.has_flag("bootstrap") {
         config.bootstrap = Some(phasefold_regress::BootstrapConfig::default());
     }
-    let analysis = analyze_trace(&trace, &config);
+    let mut analysis = try_analyze_trace(&trace, &config)?;
+    // Parse-stage faults come first: they happened first.
+    let mut faults = parse_faults;
+    faults.extend(std::mem::take(&mut analysis.faults));
+    analysis.faults = faults;
     if p.has_flag("markdown") {
         out.push_str(&phasefold::report::render_markdown(&analysis, &trace.registry));
     } else {
@@ -349,6 +374,61 @@ pub fn selfcheck(argv: &[String], out: &mut String) -> Result<(), CliError> {
         analysis.models.len(),
         analysis.total_phases(),
         wall.as_secs_f64() * 1e3,
+    );
+    Ok(())
+}
+
+/// `phasefold chaos`: deterministically corrupts a trace file with the
+/// seeded fault injectors — the CLI face of the fault-tolerance harness.
+pub fn chaos(argv: &[String], out: &mut String) -> Result<(), CliError> {
+    let p = parse(
+        argv,
+        &["seed", "rate", "drop", "truncate", "shuffle", "saturate", "nan", "out"],
+        &[],
+    )?;
+    let path = p.positional(0, "trace file")?;
+    let out_path = p
+        .get("out")
+        .ok_or_else(|| CliError::Usage("--out <file.prv> is required".into()))?
+        .to_string();
+    let seed: u64 = p.get_parsed("seed", 0xC4A05)?;
+    let rate: f64 = p.get_parsed("rate", 0.0)?;
+    let cfg = phasefold_chaos::ChaosConfig {
+        seed,
+        drop: p.get_parsed("drop", rate)?,
+        truncate: p.get_parsed("truncate", rate)?,
+        shuffle: p.get_parsed("shuffle", rate)?,
+        saturate: p.get_parsed("saturate", rate)?,
+        nan: p.get_parsed("nan", rate)?,
+    };
+    for (name, r) in [
+        ("rate", rate),
+        ("drop", cfg.drop),
+        ("truncate", cfg.truncate),
+        ("shuffle", cfg.shuffle),
+        ("saturate", cfg.saturate),
+        ("nan", cfg.nan),
+    ] {
+        if !(0.0..=1.0).contains(&r) {
+            return Err(CliError::Usage(format!(
+                "--{name} must be a probability in [0, 1], got {r}"
+            )));
+        }
+    }
+    let text = std::fs::read_to_string(path)?;
+    let (corrupted, stats) = phasefold_chaos::corrupt_trace_text(&text, &cfg);
+    std::fs::write(&out_path, &corrupted)?;
+    let _ = writeln!(
+        out,
+        "wrote {out_path}: {} of {} body lines corrupted \
+         (dropped {}, truncated {}, shuffled {}, saturated {}, nan {}) [seed {seed}]",
+        stats.total(),
+        stats.lines_seen,
+        stats.dropped,
+        stats.truncated,
+        stats.shuffled,
+        stats.saturated,
+        stats.nan_injected,
     );
     Ok(())
 }

@@ -6,7 +6,8 @@
 //! phasefold workloads
 //! phasefold simulate <workload> [--ranks N] [--seed S] [--noise none|quiet|noisy]
 //!                     [--period-ms P] [--imbalance F] --out trace.prv
-//! phasefold analyze <trace.prv> [--bootstrap] [--period-ms is recorded in the trace]
+//! phasefold analyze <trace.prv> [--bootstrap] [--fault-policy lenient|strict]
+//! phasefold chaos <trace.prv> --out corrupted.prv [--seed N] [--rate R]
 //! phasefold period <trace.prv> [--rank R] [--bins B]
 //! phasefold reconstruct <trace.prv> [--rank R] [--points N]
 //! ```
@@ -31,6 +32,8 @@ pub enum CliError {
     Io(std::io::Error),
     /// Trace could not be parsed.
     Trace(phasefold_model::ModelError),
+    /// A typed analysis fault surfaced under `--fault-policy strict`.
+    Fault(phasefold_model::Fault),
     /// Anything else (workload unknown, analysis empty, …).
     Other(String),
 }
@@ -41,6 +44,7 @@ impl fmt::Display for CliError {
             CliError::Usage(m) => write!(f, "{m}\n\n{USAGE}"),
             CliError::Io(e) => write!(f, "io: {e}"),
             CliError::Trace(e) => write!(f, "trace: {e}"),
+            CliError::Fault(e) => write!(f, "fault: {e}"),
             CliError::Other(m) => f.write_str(m),
         }
     }
@@ -60,6 +64,23 @@ impl From<phasefold_model::ModelError> for CliError {
     }
 }
 
+impl From<phasefold_model::Fault> for CliError {
+    fn from(e: phasefold_model::Fault) -> CliError {
+        CliError::Fault(e)
+    }
+}
+
+/// Process exit code for an error: `2` for usage errors (bad flags,
+/// missing arguments — the caller's fault), `1` for everything else
+/// (I/O, defective traces, analysis faults — the input's fault). Keeping
+/// the mapping here, not in `main`, makes it unit-testable.
+pub fn exit_code(error: &CliError) -> u8 {
+    match error {
+        CliError::Usage(_) => 2,
+        CliError::Io(_) | CliError::Trace(_) | CliError::Fault(_) | CliError::Other(_) => 1,
+    }
+}
+
 /// Top-level usage text.
 pub const USAGE: &str = "\
 usage: phasefold <command> [options]
@@ -71,7 +92,11 @@ commands:
       [--period-ms P] [--imbalance F] [--optimized]
   analyze <F.prv>                   phase analysis report of a trace
       [--bootstrap] [--markdown] [--threads N (0 = auto)]
+      [--fault-policy lenient|strict]
       [--profile out.json] [--metrics out.json] [--log-level L]
+  chaos <F.prv> --out G.prv         deterministically corrupt a trace
+      [--seed N] [--rate R (all corruptors)]
+      [--drop R] [--truncate R] [--shuffle R] [--saturate R] [--nan R]
   info <F.prv>                      trace summary statistics + region table
   compare <base.prv> <cand.prv>     per-phase metric deltas between two runs
       [--threads N (0 = auto)]
@@ -90,6 +115,11 @@ observability:
                         (open in chrome://tracing or ui.perfetto.dev)
   --metrics out.json    JSON dump of pipeline counters/gauges/span stats
   --log-level L         stderr logging: off|error|warn|info|debug|trace
+
+fault handling:
+  --fault-policy lenient   quarantine defective records/folds, keep going,
+                           append a fault report section (default)
+  --fault-policy strict    abort on the first Error-severity fault
 ";
 
 /// Runs one CLI invocation, writing human output into `out`.
@@ -102,6 +132,7 @@ pub fn run(argv: &[String], out: &mut String) -> Result<(), CliError> {
         "workloads" => commands::workloads(rest, out),
         "simulate" => commands::simulate(rest, out),
         "analyze" => commands::analyze(rest, out),
+        "chaos" => commands::chaos(rest, out),
         "info" => commands::info(rest, out),
         "compare" => commands::compare(rest, out),
         "period" => commands::period(rest, out),
@@ -283,6 +314,84 @@ mod tests {
         let out = run_ok(&["compare", &base, &opt]);
         assert!(out.contains("speedup"), "{out}");
         assert!(out.contains("->"));
+    }
+
+    #[test]
+    fn exit_codes_distinguish_usage_from_runtime_failures() {
+        assert_eq!(exit_code(&CliError::Usage("bad".into())), 2);
+        assert_eq!(exit_code(&CliError::Other("nope".into())), 1);
+        assert_eq!(
+            exit_code(&CliError::Io(std::io::Error::from(std::io::ErrorKind::NotFound))),
+            1
+        );
+        assert_eq!(
+            exit_code(&CliError::Fault(phasefold_model::Fault::new(
+                phasefold_model::FaultKind::NanSamples,
+                "x"
+            ))),
+            1
+        );
+    }
+
+    #[test]
+    fn chaos_corrupts_deterministically() {
+        let clean = tmp("cli_chaos_clean.prv");
+        run_ok(&["simulate", "synthetic", "--ranks", "2", "--iterations", "80", "--out", &clean]);
+        let a = tmp("cli_chaos_a.prv");
+        let b = tmp("cli_chaos_b.prv");
+        let msg =
+            run_ok(&["chaos", &clean, "--rate", "0.2", "--seed", "7", "--out", &a]);
+        assert!(msg.contains("body lines corrupted"), "{msg}");
+        run_ok(&["chaos", &clean, "--rate", "0.2", "--seed", "7", "--out", &b]);
+        let ta = std::fs::read_to_string(&a).unwrap();
+        let tb = std::fs::read_to_string(&b).unwrap();
+        assert_eq!(ta, tb, "same seed+rate must corrupt identically");
+        assert_ne!(ta, std::fs::read_to_string(&clean).unwrap());
+
+        // Bad probabilities are usage errors (exit code 2 territory).
+        let mut out = String::new();
+        let err = run(
+            &argv(&["chaos", &clean, "--rate", "1.5", "--out", &b]),
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+    }
+
+    #[test]
+    fn fault_policy_governs_corrupted_trace_analysis() {
+        let clean = tmp("cli_policy_clean.prv");
+        run_ok(&["simulate", "synthetic", "--ranks", "2", "--iterations", "120", "--out", &clean]);
+        let bad = tmp("cli_policy_bad.prv");
+        run_ok(&["chaos", &clean, "--nan", "0.3", "--seed", "5", "--out", &bad]);
+
+        // Lenient (default): analysis completes and surfaces the damage.
+        let report = run_ok(&["analyze", &bad]);
+        assert!(report.contains("phasefold analysis report"), "{report}");
+        assert!(report.contains("fault report"), "{report}");
+
+        // Strict: the first Error-severity fault aborts.
+        let mut out = String::new();
+        let err = run(&argv(&["analyze", &bad, "--fault-policy", "strict"]), &mut out)
+            .unwrap_err();
+        assert!(
+            matches!(err, CliError::Fault(_) | CliError::Trace(_)),
+            "strict must surface a typed fault, got {err:?}"
+        );
+
+        // Unknown policy value is a usage error.
+        let err = run(
+            &argv(&["analyze", &bad, "--fault-policy", "yolo"]),
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+
+        // A clean trace analyses identically under both policies.
+        let lenient = run_ok(&["analyze", &clean]);
+        let strict = run_ok(&["analyze", &clean, "--fault-policy", "strict"]);
+        assert_eq!(lenient, strict);
+        assert!(!lenient.contains("fault report"));
     }
 
     #[test]

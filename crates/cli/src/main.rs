@@ -15,7 +15,7 @@ fn main() -> ExitCode {
         Err(e) => {
             print!("{stdout}");
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(phasefold_cli::exit_code(&e))
         }
     }
 }

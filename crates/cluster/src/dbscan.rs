@@ -136,7 +136,7 @@ pub fn suggest_eps<const D: usize>(points: &[[f64; D]], min_pts: usize, quantile
     if kd.is_empty() {
         return 1.0;
     }
-    kd.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    kd.sort_by(|a, b| a.total_cmp(b));
     let pos = ((kd.len() - 1) as f64 * quantile.clamp(0.0, 1.0)) as usize;
     (kd[pos] * 1.05).max(1e-12)
 }

@@ -88,7 +88,7 @@ impl<const D: usize> KdTree<D> {
                 .filter(|&j| j != i)
                 .map(|j| dist2(&points[i], &points[j]).sqrt())
                 .collect();
-            dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            dists.sort_by(|a, b| a.total_cmp(b));
             out.push(dists.get(k.saturating_sub(1)).copied().unwrap_or(f64::INFINITY));
         }
         out
@@ -104,7 +104,7 @@ fn build_recursive<const D: usize>(points: &mut [[f64; D]], original: &mut [usiz
     // Median partition along the axis (select_nth keeps pairing intact via
     // co-sorting through an index permutation).
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&a, &b| points[a][axis].partial_cmp(&points[b][axis]).unwrap());
+    idx.sort_by(|&a, &b| points[a][axis].total_cmp(&points[b][axis]));
     let reordered_pts: Vec<[f64; D]> = idx.iter().map(|&i| points[i]).collect();
     let reordered_orig: Vec<usize> = idx.iter().map(|&i| original[i]).collect();
     points.copy_from_slice(&reordered_pts);

@@ -86,7 +86,7 @@ fn match_clusters<'a>(
             pairs.push((d_dur + d_ins, bi, ci));
         }
     }
-    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+    pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
     let mut used_b = vec![false; baseline.models.len()];
     let mut used_c = vec![false; candidate.models.len()];
     let mut out = Vec::new();

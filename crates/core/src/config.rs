@@ -2,7 +2,7 @@
 
 use phasefold_cluster::ClusterConfig;
 use phasefold_folding::FoldConfig;
-use phasefold_model::DurNs;
+use phasefold_model::{DurNs, FaultPolicy};
 use phasefold_regress::{BootstrapConfig, PwlrConfig};
 
 /// Configuration of the end-to-end phase analysis.
@@ -31,6 +31,12 @@ pub struct AnalysisConfig {
     /// sequential path (no worker threads are spawned at all). The analysis
     /// result is bit-identical regardless of the setting.
     pub threads: Option<usize>,
+    /// How faults recorded during the analysis change control flow:
+    /// [`FaultPolicy::Lenient`] (the default) quarantines the offending
+    /// counter/fold and completes with a populated fault report;
+    /// [`FaultPolicy::Strict`] makes [`crate::try_analyze_trace`] return
+    /// the first `Error`-severity fault instead of a result.
+    pub fault_policy: FaultPolicy,
 }
 
 impl Default for AnalysisConfig {
@@ -43,6 +49,7 @@ impl Default for AnalysisConfig {
             min_folded_points: 30,
             bootstrap: None,
             threads: None,
+            fault_policy: FaultPolicy::default(),
         }
     }
 }

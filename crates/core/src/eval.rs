@@ -49,7 +49,7 @@ pub fn score_boundaries(detected: &[f64], truth: &[f64], tol: f64) -> BoundarySc
             }
         }
     }
-    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
     let mut used_d = vec![false; detected.len()];
     let mut used_t = vec![false; truth.len()];
     let mut matched = 0usize;
@@ -122,7 +122,7 @@ pub fn match_models_to_templates(
             candidates.push((gap, mi, ti));
         }
     }
-    candidates.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    candidates.sort_by(|a, b| a.0.total_cmp(&b.0));
     let mut used_m = vec![false; models.len()];
     let mut used_t = vec![false; truth.templates.len()];
     let mut out = Vec::new();

@@ -3,8 +3,13 @@
 
 use crate::phase::ClusterPhaseModel;
 use phasefold_folding::ClusterFold;
-use phasefold_model::CounterKind;
+use phasefold_model::{CounterKind, Fault, FaultKind};
 use std::fmt::Write as _;
+
+/// Wraps a filesystem failure in the fault taxonomy, keeping the path.
+fn io_fault(path: &std::path::Path, e: std::io::Error) -> Fault {
+    Fault::new(FaultKind::Io, format!("cannot write {}", path.display())).caused_by(e.to_string())
+}
 
 /// Folded scatter of one counter as `x,y` CSV (header included).
 pub fn folded_points_csv(fold: &ClusterFold, counter: CounterKind) -> String {
@@ -45,17 +50,19 @@ pub fn phases_csv(model: &ClusterPhaseModel) -> String {
 /// A complete gnuplot figure for one counter of one cluster: writes
 /// `<stem>.dat` (folded scatter), `<stem>_fit.dat` (fitted accumulated
 /// curve) and `<stem>.gp` (script producing `<stem>.png`) into `dir`.
-/// Returns the script path.
+/// Returns the script path; filesystem failures surface as typed
+/// [`FaultKind::Io`] faults carrying the offending path.
 pub fn write_gnuplot_figure(
     dir: &std::path::Path,
     stem: &str,
     fold: &ClusterFold,
     model: &ClusterPhaseModel,
     counter: CounterKind,
-) -> std::io::Result<std::path::PathBuf> {
-    std::fs::create_dir_all(dir)?;
+) -> Result<std::path::PathBuf, Fault> {
+    std::fs::create_dir_all(dir).map_err(|e| io_fault(dir, e))?;
     let scatter_path = dir.join(format!("{stem}.dat"));
-    std::fs::write(&scatter_path, folded_points_csv(fold, counter).replace(',', " "))?;
+    std::fs::write(&scatter_path, folded_points_csv(fold, counter).replace(',', " "))
+        .map_err(|e| io_fault(&scatter_path, e))?;
 
     let mut fit = String::from("x y\n");
     for i in 0..=200 {
@@ -63,7 +70,7 @@ pub fn write_gnuplot_figure(
         let _ = writeln!(fit, "{} {}", x, model.fit.fit.predict(x));
     }
     let fit_path = dir.join(format!("{stem}_fit.dat"));
-    std::fs::write(&fit_path, fit)?;
+    std::fs::write(&fit_path, fit).map_err(|e| io_fault(&fit_path, e))?;
 
     let mut script = String::new();
     let _ = writeln!(script, "set terminal pngcairo size 900,600");
@@ -86,7 +93,7 @@ pub fn write_gnuplot_figure(
         "plot '{stem}.dat' skip 1 with dots title 'folded samples', \\\n     '{stem}_fit.dat' skip 1 with lines lw 2 title 'PWLR fit'"
     );
     let script_path = dir.join(format!("{stem}.gp"));
-    std::fs::write(&script_path, script)?;
+    std::fs::write(&script_path, script).map_err(|e| io_fault(&script_path, e))?;
     Ok(script_path)
 }
 
@@ -142,5 +149,13 @@ mod tests {
         assert!(dir.join("demo_fit.dat").exists());
         let fit = std::fs::read_to_string(dir.join("demo_fit.dat")).unwrap();
         assert_eq!(fit.lines().count(), 202);
+
+        // Filesystem failures are typed faults, not panics: using an
+        // existing *file* as the output directory must fail cleanly.
+        let not_a_dir = dir.join("demo.dat");
+        let err = write_gnuplot_figure(&not_a_dir, "x", &folds[0], model, CounterKind::Cycles)
+            .unwrap_err();
+        assert_eq!(err.kind, phasefold_model::FaultKind::Io);
+        assert!(err.to_string().contains("demo.dat"), "{err}");
     }
 }

@@ -66,11 +66,18 @@ pub use driver::{run_study, StudyOutput};
 pub use eval::{match_models_to_templates, rate_profile_error, score_boundaries, BoundaryScore};
 pub use metrics::{Bottleneck, PhaseMetrics};
 pub use phase::{ClusterPhaseModel, Phase};
-pub use pipeline::{analyze_trace, Analysis};
+pub use pipeline::{analyze_trace, try_analyze_trace, Analysis};
+pub use pool::TaskPanic;
 pub use online::OnlineAnalyzer;
 pub use signal::{activity_signal, detect_trace_period, ActivitySignal, TracePeriod};
 pub use srcmap::SourceAttribution;
 pub use unfold::{reconstruct, RankReconstruction, ReconSegment};
+
+// The fault taxonomy lives in the dependency-free base crate so every
+// stage can speak it; re-exported here as `phasefold::fault` because the
+// pipeline is where policies are applied.
+pub use phasefold_model::fault;
+pub use phasefold_model::{Fault, FaultKind, FaultPolicy, FaultReport, Severity};
 
 // Re-export the substrate crates so downstream users need a single
 // dependency.

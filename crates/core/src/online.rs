@@ -17,7 +17,7 @@
 //! folded profiles — the property that makes on-line use viable.
 
 use crate::config::AnalysisConfig;
-use crate::pipeline::{build_model_from_fold, Analysis};
+use crate::pipeline::Analysis;
 use phasefold_cluster::{cluster_bursts, Clustering};
 use phasefold_folding::fold::{ClusterFold, FoldedPoint, FoldedProfile};
 use phasefold_model::{
@@ -242,6 +242,7 @@ impl OnlineAnalyzer {
     pub fn snapshot(&self) -> Analysis {
         let _sp = phasefold_obs::span!("online.snapshot");
         let mut models = Vec::new();
+        let mut faults = phasefold_model::FaultReport::new();
         let mut labels_placeholder = Vec::new();
         for (cluster, fold) in self.folds.iter().enumerate() {
             let cluster_fold = ClusterFold {
@@ -256,7 +257,9 @@ impl OnlineAnalyzer {
                 instances_pruned: 0,
                 samples: fold.samples,
             };
-            if let Some(model) = build_model_from_fold(&cluster_fold, &self.config) {
+            if let Some(model) =
+                crate::pipeline::build_model_checked(&cluster_fold, &self.config, &mut faults.faults)
+            {
                 models.push(model);
             }
             labels_placeholder.push(Some(cluster));
@@ -271,6 +274,7 @@ impl OnlineAnalyzer {
             },
             num_bursts: self.bursts_seen,
             models,
+            faults,
         }
     }
 }

@@ -1,18 +1,33 @@
 //! The end-to-end analysis pipeline: trace → bursts → clusters → folded
 //! profiles → piece-wise linear fits → phases with metrics and source
 //! attribution.
+//!
+//! The pipeline is fault-tolerant: degenerate folds, NaN-poisoned
+//! counters, diverging fits and panicking tasks are *quarantined* —
+//! recorded in [`Analysis::faults`] with kind + provenance — while every
+//! healthy counter and fold still produces its model, bit-identical to a
+//! clean run at any thread count. [`try_analyze_trace`] layers the
+//! caller's [`FaultPolicy`] on top: `Strict` turns the first
+//! `Error`-severity fault into an `Err`, `Lenient` (the default) ships the
+//! partial result plus the report.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use crate::config::AnalysisConfig;
 use crate::metrics::PhaseMetrics;
 use crate::phase::{ClusterPhaseModel, Phase};
-use crate::pool::{self, Job};
+use crate::pool::{self, Job, TaskPanic};
 use crate::srcmap::{attribute_span, span_histogram};
 use phasefold_cluster::{cluster_bursts, Clustering};
 use phasefold_folding::{fold_trace, ClusterFold};
-use phasefold_model::{extract_bursts, CounterKind, CounterSet, Trace, NUM_COUNTERS};
+use phasefold_model::{
+    extract_bursts, CounterKind, CounterSet, Fault, FaultKind, FaultPolicy, FaultReport,
+    Severity, Trace, NUM_COUNTERS,
+};
 use phasefold_obs::Level;
 use phasefold_regress::hinge::fit_hinge_monotone;
-use phasefold_regress::{fit_pwlr, PwlrFit};
+use phasefold_regress::{fit_pwlr, FitError, PwlrFit};
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -26,6 +41,11 @@ pub struct Analysis {
     /// One phase model per foldable cluster, ordered by descending total
     /// time (the most important cluster first).
     pub models: Vec<ClusterPhaseModel>,
+    /// Everything that was quarantined on the way: degenerate folds,
+    /// NaN-poisoned counters, diverging fits, isolated task panics. Empty
+    /// on a clean run; deterministic (fold order, then counter order) at
+    /// any thread count.
+    pub faults: FaultReport,
 }
 
 impl Analysis {
@@ -64,14 +84,38 @@ pub fn analyze_trace(trace: &Trace, config: &AnalysisConfig) -> Analysis {
         fold_trace(trace, &bursts, &clustering, &config.fold)
     };
     phasefold_obs::gauge!("pipeline.folds", folds.len());
-    let mut models = {
+    let (mut models, faults) = {
         let _sp = phasefold_obs::span!("pipeline.build_models");
         build_models(&folds, config)
     };
     sort_models_by_total_time(&mut models);
     phasefold_obs::gauge!("pipeline.models", models.len());
-    phasefold_obs::log!(Level::Info, "analyze: {} models built", models.len());
-    Analysis { clustering, num_bursts: bursts.len(), models }
+    phasefold_obs::gauge!("pipeline.faults", faults.len());
+    phasefold_obs::log!(
+        Level::Info,
+        "analyze: {} models built, {} faults quarantined",
+        models.len(),
+        faults.len()
+    );
+    Analysis { clustering, num_bursts: bursts.len(), models, faults }
+}
+
+/// Runs the full analysis honouring `config.fault_policy`.
+///
+/// Under [`FaultPolicy::Lenient`] this always returns `Ok`: offending
+/// counters/folds are quarantined and listed in [`Analysis::faults`].
+/// Under [`FaultPolicy::Strict`] the first fault of `Error` severity or
+/// worse (in the report's deterministic order) aborts the analysis and is
+/// returned as the error; `Warning`-severity faults never abort.
+pub fn try_analyze_trace(trace: &Trace, config: &AnalysisConfig) -> Result<Analysis, Fault> {
+    let analysis = analyze_trace(trace, config);
+    match config.fault_policy {
+        FaultPolicy::Lenient => Ok(analysis),
+        FaultPolicy::Strict => match analysis.faults.first_error() {
+            Some(fault) => Err(fault.clone()),
+            None => Ok(analysis),
+        },
+    }
 }
 
 /// Sorts models by descending total time. `f64::total_cmp` keeps the sort
@@ -98,34 +142,68 @@ fn resolved_threads(config: &AnalysisConfig) -> usize {
         .max(1)
 }
 
-/// Builds one model per foldable cluster (in fold order, gaps removed).
+/// Recovers a possibly-poisoned mutex guard; the protected data is plain
+/// (no invariants can be half-updated across the panic points we isolate).
+fn relock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+/// Converts an isolated panic into its `TaskPanicked` fault.
+fn panic_fault(cluster: usize, stage: &str, message: &str) -> Fault {
+    Fault::new(FaultKind::TaskPanicked, format!("{stage} panicked: {message}"))
+        .in_cluster(cluster)
+}
+
+/// Fault-slot layout of one fold: structure first, then one slot per
+/// counter (in counter-index order), then assembly. Draining the slots in
+/// this order after the pool finishes reproduces exactly the sequence the
+/// single-threaded path records, so fault reports are deterministic at any
+/// thread count.
+const FAULT_SLOT_STRUCTURE: usize = 0;
+const FAULT_SLOT_ASSEMBLE: usize = NUM_COUNTERS + 1;
+const FAULT_SLOTS: usize = NUM_COUNTERS + 2;
+
+fn fault_slot_for(kind: CounterKind) -> usize {
+    1 + kind.index()
+}
+
+/// Builds one model per foldable cluster (in fold order, gaps removed),
+/// together with every fault quarantined on the way.
 ///
 /// Work is scheduled on the work-stealing pool as *two* kinds of items —
 /// whole-fold structural fits, which then fan out into per-counter refits —
 /// so a trace with one giant cluster still spreads its counters across
 /// cores instead of serialising behind a single chunk. With one thread the
 /// pool is bypassed entirely and the models are built in a plain loop; the
-/// output is bit-identical either way because every task writes only its
-/// own slot and the stages exchange exactly the same inputs.
-fn build_models(folds: &[ClusterFold], config: &AnalysisConfig) -> Vec<ClusterPhaseModel> {
+/// output (models *and* fault report) is bit-identical either way because
+/// every task writes only its own slot and the stages exchange exactly the
+/// same inputs.
+fn build_models(
+    folds: &[ClusterFold],
+    config: &AnalysisConfig,
+) -> (Vec<ClusterPhaseModel>, FaultReport) {
     // Per-counter refits are the finest work grain: more threads than
     // counter tasks cannot help.
     let threads = resolved_threads(config).min(folds.len() * NUM_COUNTERS).max(1);
+    let mut report = FaultReport::new();
     if threads == 1 {
-        return folds
+        let models = folds
             .iter()
-            .filter_map(|fold| build_model_from_fold(fold, config))
+            .filter_map(|fold| build_model_checked(fold, config, &mut report.faults))
             .collect();
+        return (models, report);
     }
 
     /// Shared state of one in-flight fold: the structural fit parked
-    /// between stages, the per-counter slope slots, and a countdown that
-    /// lets the last counter task assemble the model.
+    /// between stages, the per-counter slope slots, a countdown that lets
+    /// the last counter task assemble the model, and the per-stage fault
+    /// slots (see [`FAULT_SLOT_STRUCTURE`]).
     struct FoldCell {
         structure: Mutex<Option<FoldStructure>>,
         slopes: Vec<Mutex<Vec<f64>>>,
         remaining: AtomicUsize,
         out: Mutex<Option<ClusterPhaseModel>>,
+        faults: Vec<Mutex<Vec<Fault>>>,
     }
 
     let cells: Vec<FoldCell> = folds
@@ -135,23 +213,31 @@ fn build_models(folds: &[ClusterFold], config: &AnalysisConfig) -> Vec<ClusterPh
             slopes: (0..NUM_COUNTERS).map(|_| Mutex::new(Vec::new())).collect(),
             remaining: AtomicUsize::new(0),
             out: Mutex::new(None),
+            faults: (0..FAULT_SLOTS).map(|_| Mutex::new(Vec::new())).collect(),
         })
         .collect();
 
     fn finish_cell(cell: &FoldCell, fold: &ClusterFold, config: &AnalysisConfig) {
-        let structure = cell
-            .structure
-            .lock()
-            .unwrap()
-            .take()
-            .expect("structure fitted before counters");
-        let per_counter_slopes: Vec<Vec<f64>> = cell
-            .slopes
-            .iter()
-            .map(|slot| std::mem::take(&mut *slot.lock().unwrap()))
-            .collect();
-        let model = assemble_model(fold, structure, per_counter_slopes, config);
-        *cell.out.lock().unwrap() = Some(model);
+        let Some(structure) = relock(&cell.structure).take() else {
+            relock(&cell.faults[FAULT_SLOT_ASSEMBLE]).push(panic_fault(
+                fold.cluster,
+                "model assembly",
+                "internal invariant breach: structure missing",
+            ));
+            return;
+        };
+        let per_counter_slopes: Vec<Vec<f64>> =
+            cell.slopes.iter().map(|slot| std::mem::take(&mut *relock(slot))).collect();
+        match panic::catch_unwind(AssertUnwindSafe(|| {
+            assemble_model(fold, structure, per_counter_slopes, config)
+        })) {
+            Ok(model) => *relock(&cell.out) = Some(model),
+            Err(payload) => relock(&cell.faults[FAULT_SLOT_ASSEMBLE]).push(panic_fault(
+                fold.cluster,
+                "model assembly",
+                &pool::panic_message(&*payload),
+            )),
+        }
     }
 
     let seeds: Vec<Job<'_>> = folds
@@ -159,14 +245,35 @@ fn build_models(folds: &[ClusterFold], config: &AnalysisConfig) -> Vec<ClusterPh
         .zip(&cells)
         .map(|(fold, cell)| -> Job<'_> {
             Box::new(move |sp| {
-                let Some(structure) = fit_structure(fold, config) else {
-                    return;
+                let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+                    let mut local = Vec::new();
+                    let structure = fit_structure(fold, config, &mut local);
+                    (structure, local)
+                }));
+                let structure = match outcome {
+                    Ok((structure, local)) => {
+                        if !local.is_empty() {
+                            relock(&cell.faults[FAULT_SLOT_STRUCTURE]).extend(local);
+                        }
+                        match structure {
+                            Some(s) => s,
+                            None => return,
+                        }
+                    }
+                    Err(payload) => {
+                        relock(&cell.faults[FAULT_SLOT_STRUCTURE]).push(panic_fault(
+                            fold.cluster,
+                            "structural fit",
+                            &pool::panic_message(&*payload),
+                        ));
+                        return;
+                    }
                 };
                 let num_segments = structure.fit.num_segments();
                 let breakpoints = structure.breakpoints.clone();
-                *cell.slopes[CounterKind::Instructions.index()].lock().unwrap() =
+                *relock(&cell.slopes[CounterKind::Instructions.index()]) =
                     structure.fit.slopes().to_vec();
-                *cell.structure.lock().unwrap() = Some(structure);
+                *relock(&cell.structure) = Some(structure);
                 let others: Vec<CounterKind> = CounterKind::ALL
                     .into_iter()
                     .filter(|k| *k != CounterKind::Instructions)
@@ -179,8 +286,38 @@ fn build_models(folds: &[ClusterFold], config: &AnalysisConfig) -> Vec<ClusterPh
                 for kind in others {
                     let bps = breakpoints.clone();
                     sp.spawn(move |_| {
-                        let slopes = refit_counter(fold, kind, &bps, num_segments, config);
-                        *cell.slopes[kind.index()].lock().unwrap() = slopes;
+                        let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+                            let mut local = Vec::new();
+                            let slopes = refit_counter(
+                                fold,
+                                kind,
+                                &bps,
+                                num_segments,
+                                config,
+                                &mut local,
+                            );
+                            (slopes, local)
+                        }));
+                        let slopes = match outcome {
+                            Ok((slopes, local)) => {
+                                if !local.is_empty() {
+                                    relock(&cell.faults[fault_slot_for(kind)]).extend(local);
+                                }
+                                slopes
+                            }
+                            Err(payload) => {
+                                relock(&cell.faults[fault_slot_for(kind)]).push(
+                                    panic_fault(
+                                        fold.cluster,
+                                        "counter refit",
+                                        &pool::panic_message(&*payload),
+                                    )
+                                    .on_counter(kind),
+                                );
+                                vec![0.0; num_segments]
+                            }
+                        };
+                        *relock(&cell.slopes[kind.index()]) = slopes;
                         if cell.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
                             finish_cell(cell, fold, config);
                         }
@@ -189,12 +326,28 @@ fn build_models(folds: &[ClusterFold], config: &AnalysisConfig) -> Vec<ClusterPh
             })
         })
         .collect();
-    pool::run(threads, seeds);
+    let pool_panics: Vec<TaskPanic> = pool::run(threads, seeds);
 
-    cells
-        .into_iter()
-        .filter_map(|cell| cell.out.into_inner().unwrap())
-        .collect()
+    // Drain per-fold fault slots in deterministic (fold, stage) order.
+    let mut models = Vec::new();
+    for cell in cells {
+        for slot in &cell.faults {
+            report.faults.extend(std::mem::take(&mut *relock(slot)));
+        }
+        if let Some(model) = relock(&cell.out).take() {
+            models.push(model);
+        }
+    }
+    // Backstop: panics that escaped the per-stage isolation above (e.g. in
+    // the scheduling glue itself). Appended last because their order is
+    // scheduling-dependent; on the expected path this is empty.
+    for p in pool_panics {
+        report.push(Fault::new(
+            FaultKind::TaskPanicked,
+            format!("pool worker {} isolated a panic: {}", p.worker, p.message),
+        ));
+    }
+    (models, report)
 }
 
 /// Stage-1 output: the instruction-profile fit that defines the phase
@@ -207,9 +360,25 @@ struct FoldStructure {
 }
 
 /// Stage 1: fit the instruction profile (the expensive free-order PWLR).
-fn fit_structure(fold: &ClusterFold, config: &AnalysisConfig) -> Option<FoldStructure> {
+///
+/// `None` quarantines the whole fold; the reason (if it is a defect rather
+/// than mere sparsity below the configured minimum on a healthy profile)
+/// lands in `faults`.
+fn fit_structure(
+    fold: &ClusterFold,
+    config: &AnalysisConfig,
+    faults: &mut Vec<Fault>,
+) -> Option<FoldStructure> {
     let _sp = phasefold_obs::span!("pipeline.fit_structure #c{}", fold.cluster);
     let instr = fold.profile(CounterKind::Instructions);
+    if instr.points.is_empty() {
+        faults.push(
+            Fault::new(FaultKind::DegenerateFold, "cluster folded to zero samples")
+                .in_cluster(fold.cluster)
+                .on_counter(CounterKind::Instructions),
+        );
+        return None;
+    }
     if instr.points.len() < config.min_folded_points {
         phasefold_obs::log!(
             Level::Debug,
@@ -218,10 +387,76 @@ fn fit_structure(fold: &ClusterFold, config: &AnalysisConfig) -> Option<FoldStru
             instr.points.len(),
             config.min_folded_points
         );
+        faults.push(
+            Fault::new(
+                FaultKind::DegenerateFold,
+                format!(
+                    "only {} folded points, below the {} minimum",
+                    instr.points.len(),
+                    config.min_folded_points
+                ),
+            )
+            .severity(Severity::Warning)
+            .in_cluster(fold.cluster)
+            .on_counter(CounterKind::Instructions),
+        );
         return None;
     }
+    // Point-level quarantine: non-finite samples are reported and removed,
+    // and the structure is fitted on the healthy majority. Only when too
+    // few finite points survive is the whole fold given up.
+    let bad = instr.nonfinite_points();
+    let filtered;
+    let instr = if bad > 0 {
+        faults.push(
+            Fault::new(
+                FaultKind::NanSamples,
+                format!(
+                    "{bad} of {} folded instruction points are not finite; \
+                     fitting the finite remainder",
+                    instr.points.len()
+                ),
+            )
+            .in_cluster(fold.cluster)
+            .on_counter(CounterKind::Instructions),
+        );
+        filtered = instr.finite_subset();
+        if filtered.points.len() < config.min_folded_points {
+            faults.push(
+                Fault::new(
+                    FaultKind::DegenerateFold,
+                    format!(
+                        "only {} finite folded points remain, below the {} minimum",
+                        filtered.points.len(),
+                        config.min_folded_points
+                    ),
+                )
+                .in_cluster(fold.cluster)
+                .on_counter(CounterKind::Instructions),
+            );
+            return None;
+        }
+        &filtered
+    } else {
+        instr
+    };
     let (xs, ys) = instr.xy();
-    let fit: PwlrFit = fit_pwlr(&xs, &ys, None, &config.pwlr).ok()?;
+    let fit: PwlrFit = match fit_pwlr(&xs, &ys, None, &config.pwlr) {
+        Ok(fit) => fit,
+        Err(e) => {
+            let kind = match e {
+                FitError::NonFinite => FaultKind::NanSamples,
+                _ => FaultKind::FitDiverged,
+            };
+            faults.push(
+                Fault::new(kind, "structural piece-wise linear fit failed")
+                    .in_cluster(fold.cluster)
+                    .on_counter(CounterKind::Instructions)
+                    .caused_by(format!("{e:?}")),
+            );
+            return None;
+        }
+    };
     let breakpoints = fit.breakpoints().to_vec();
     phasefold_obs::log!(
         Level::Debug,
@@ -236,43 +471,153 @@ fn fit_structure(fold: &ClusterFold, config: &AnalysisConfig) -> Option<FoldStru
 /// Stage 2: re-fit one non-instruction counter with the instruction
 /// breakpoints held fixed — the structure is shared, only the per-phase
 /// rates differ by counter.
+///
+/// Quarantined counters (NaN-poisoned profiles, diverging refits) come
+/// back as all-zero slopes with a fault recorded; sparse profiles below
+/// the folding minimum stay silently zero — that is expected multiplexing
+/// behaviour, not a defect.
 fn refit_counter(
     fold: &ClusterFold,
     kind: CounterKind,
     breakpoints: &[f64],
     num_segments: usize,
     config: &AnalysisConfig,
+    faults: &mut Vec<Fault>,
 ) -> Vec<f64> {
     let _sp = phasefold_obs::span!("pipeline.refit_counter #c{} {}", fold.cluster, kind);
     let profile = fold.profile(kind);
-    if profile.points.len() < config.min_folded_points || profile.mean_total <= 0.0 {
+    if profile.points.len() < config.min_folded_points {
+        return vec![0.0; num_segments];
+    }
+    // Same point-level quarantine as the structural fit: report the
+    // non-finite samples, refit on the finite remainder, and only zero the
+    // counter when nothing usable is left (or the rescaling total itself
+    // is poisoned — there is no physical rate without it).
+    let bad = profile.nonfinite_points();
+    let filtered;
+    let profile = if bad > 0 || !profile.mean_total.is_finite() {
+        faults.push(
+            Fault::new(
+                FaultKind::NanSamples,
+                format!(
+                    "{bad} of {} folded points are not finite (mean total {})",
+                    profile.points.len(),
+                    profile.mean_total
+                ),
+            )
+            .in_cluster(fold.cluster)
+            .on_counter(kind),
+        );
+        if !profile.mean_total.is_finite() {
+            return vec![0.0; num_segments];
+        }
+        filtered = profile.finite_subset();
+        if filtered.points.len() < config.min_folded_points {
+            return vec![0.0; num_segments];
+        }
+        &filtered
+    } else {
+        profile
+    };
+    if profile.mean_total <= 0.0 {
         return vec![0.0; num_segments];
     }
     let (cxs, cys) = profile.xy();
     match fit_hinge_monotone(&cxs, &cys, None, breakpoints, 0.0, 1.0) {
         Ok(h) => h.slopes,
-        Err(_) => vec![0.0; num_segments],
+        Err(e) => {
+            faults.push(
+                Fault::new(FaultKind::FitDiverged, "fixed-breakpoint counter refit failed")
+                    .in_cluster(fold.cluster)
+                    .on_counter(kind)
+                    .caused_by(format!("{e:?}")),
+            );
+            vec![0.0; num_segments]
+        }
     }
 }
 
-/// Fits one cluster's folded profiles into a phase model, sequentially.
-/// Shared by the single-threaded batch path and the streaming analyzer.
-pub(crate) fn build_model_from_fold(
+/// Fits one cluster's folded profiles into a phase model, sequentially,
+/// with each stage's panics isolated and every quarantine recorded in
+/// `faults` — in exactly the (structure, counters-by-index, assembly)
+/// order the parallel path's fault slots drain in.
+pub(crate) fn build_model_checked(
     fold: &ClusterFold,
     config: &AnalysisConfig,
+    faults: &mut Vec<Fault>,
 ) -> Option<ClusterPhaseModel> {
-    let structure = fit_structure(fold, config)?;
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+        let mut local = Vec::new();
+        let structure = fit_structure(fold, config, &mut local);
+        (structure, local)
+    }));
+    let structure = match outcome {
+        Ok((structure, local)) => {
+            faults.extend(local);
+            structure?
+        }
+        Err(payload) => {
+            faults.push(panic_fault(
+                fold.cluster,
+                "structural fit",
+                &pool::panic_message(&*payload),
+            ));
+            return None;
+        }
+    };
     let num_segments = structure.fit.num_segments();
     let mut per_counter_slopes: Vec<Vec<f64>> = vec![Vec::new(); NUM_COUNTERS];
     for kind in CounterKind::ALL {
         per_counter_slopes[kind.index()] = if kind == CounterKind::Instructions {
             structure.fit.slopes().to_vec()
         } else {
-            refit_counter(fold, kind, &structure.breakpoints, num_segments, config)
+            let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+                let mut local = Vec::new();
+                let slopes = refit_counter(
+                    fold,
+                    kind,
+                    &structure.breakpoints,
+                    num_segments,
+                    config,
+                    &mut local,
+                );
+                (slopes, local)
+            }));
+            match outcome {
+                Ok((slopes, local)) => {
+                    faults.extend(local);
+                    slopes
+                }
+                Err(payload) => {
+                    faults.push(
+                        panic_fault(
+                            fold.cluster,
+                            "counter refit",
+                            &pool::panic_message(&*payload),
+                        )
+                        .on_counter(kind),
+                    );
+                    vec![0.0; num_segments]
+                }
+            }
         };
     }
-    Some(assemble_model(fold, structure, per_counter_slopes, config))
+    match panic::catch_unwind(AssertUnwindSafe(|| {
+        assemble_model(fold, structure, per_counter_slopes, config)
+    })) {
+        Ok(model) => Some(model),
+        Err(payload) => {
+            faults.push(panic_fault(
+                fold.cluster,
+                "model assembly",
+                &pool::panic_message(&*payload),
+            ));
+            None
+        }
+    }
 }
+
+
 
 /// Stage 3: spans, rates, source attribution, and the optional bootstrap.
 fn assemble_model(
@@ -332,6 +677,7 @@ fn assemble_model(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use phasefold_simapp::workloads::synthetic::{build, true_boundaries, SyntheticParams};

@@ -15,9 +15,15 @@
 //! thread drains the queue itself, so a single-threaded configuration pays
 //! zero synchronisation or spawning overhead beyond one `VecDeque`.
 //!
-//! A panicking job does not wedge the pool: the payload is captured, the
-//! remaining jobs still run, and the first payload is re-raised on the
-//! calling thread once the pool drains.
+//! A panicking job is *isolated*, not propagated: the payload is captured
+//! as a [`TaskPanic`] (worker index + rendered message), the remaining DAG
+//! keeps executing, and [`run`] returns every captured panic once the pool
+//! drains. Callers convert them into `TaskPanicked` faults; the pool itself
+//! never re-raises, so one poisoned fold fit cannot take down a multi-rank
+//! analysis. Each capture also bumps the `pool.task_panics` obs counter on
+//! the worker's lane.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use crossbeam::deque::{Injector, Stealer, Worker};
 use crossbeam::utils::Backoff;
@@ -27,6 +33,28 @@ use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
+
+/// One isolated panic captured from a pool job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskPanic {
+    /// Index of the worker the job was executing on (0 for the
+    /// single-threaded drain path).
+    pub worker: usize,
+    /// The panic payload rendered to text (`&str`/`String` payloads pass
+    /// through; anything else becomes a placeholder).
+    pub message: String,
+}
+
+/// Renders a `catch_unwind` payload to text.
+pub(crate) fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
 
 /// A unit of work. Receives a [`Spawner`] so it can enqueue child jobs.
 pub type Job<'env> = Box<dyn FnOnce(&Spawner<'_, 'env>) + Send + 'env>;
@@ -55,14 +83,18 @@ impl<'pool, 'env> Spawner<'pool, 'env> {
 }
 
 /// Runs `seeds` — and everything they spawn — to completion on `threads`
-/// workers. Returns once every job has finished.
-pub fn run(threads: usize, seeds: Vec<Job<'_>>) {
+/// workers. Returns once every job has finished, yielding the panics it
+/// isolated along the way (empty on a healthy run). The returned order is
+/// scheduling order, which is only deterministic for `threads <= 1`;
+/// callers that need deterministic reports should capture faults inside
+/// their jobs and use the pool's panics as a backstop.
+#[must_use = "isolated panics must be surfaced as TaskPanicked faults"]
+pub fn run(threads: usize, seeds: Vec<Job<'_>>) -> Vec<TaskPanic> {
     if seeds.is_empty() {
-        return;
+        return Vec::new();
     }
     if threads <= 1 {
-        run_sequential(seeds);
-        return;
+        return run_sequential(seeds);
     }
 
     let injector: Injector<Job<'_>> = Injector::new();
@@ -74,8 +106,8 @@ pub fn run(threads: usize, seeds: Vec<Job<'_>>) {
     }
     let workers: Vec<Worker<Job<'_>>> = (0..threads).map(|_| Worker::new_lifo()).collect();
     let stealers: Vec<Stealer<Job<'_>>> = workers.iter().map(Worker::stealer).collect();
-    // First panic payload from any job; re-raised after the pool drains.
-    let panicked: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+    // Panics isolated from jobs; returned to the caller after the drain.
+    let panicked: Mutex<Vec<TaskPanic>> = Mutex::new(Vec::new());
 
     std::thread::scope(|scope| {
         for (me, local) in workers.into_iter().enumerate() {
@@ -108,10 +140,13 @@ pub fn run(threads: usize, seeds: Vec<Job<'_>>) {
                             let result =
                                 panic::catch_unwind(AssertUnwindSafe(|| job(&spawner)));
                             if let Err(payload) = result {
-                                let mut slot = panicked.lock().unwrap();
-                                if slot.is_none() {
-                                    *slot = Some(payload);
-                                }
+                                counter!("pool.task_panics", 1);
+                                let isolated =
+                                    TaskPanic { worker: me, message: panic_message(&*payload) };
+                                panicked
+                                    .lock()
+                                    .unwrap_or_else(|poison| poison.into_inner())
+                                    .push(isolated);
                             }
                             if let Some(t0) = t0 {
                                 counter!("pool.task_ns", t0.elapsed().as_nanos() as u64);
@@ -130,14 +165,14 @@ pub fn run(threads: usize, seeds: Vec<Job<'_>>) {
         }
     });
 
-    if let Some(payload) = panicked.into_inner().unwrap() {
-        panic::resume_unwind(payload);
-    }
+    panicked.into_inner().unwrap_or_else(|poison| poison.into_inner())
 }
 
 /// Drains the job graph on the calling thread, seeds in order, children
 /// depth-first (matching the LIFO discipline of the parallel owners).
-fn run_sequential(seeds: Vec<Job<'_>>) {
+/// Panics are isolated exactly as in the parallel path, so fault semantics
+/// do not depend on the thread count.
+fn run_sequential(seeds: Vec<Job<'_>>) -> Vec<TaskPanic> {
     let local: Worker<Job<'_>> = Worker::new_lifo();
     let pending = AtomicUsize::new(0); // kept honest by Spawner, never polled
     counter!("pool.tasks_scheduled", seeds.len() as u64);
@@ -147,22 +182,34 @@ fn run_sequential(seeds: Vec<Job<'_>>) {
         local.push(seed);
     }
     let obs_on = phasefold_obs::enabled();
+    let mut panicked = Vec::new();
     while let Some(job) = local.pop() {
         let t0 = obs_on.then(Instant::now);
         let spawner = Spawner { local: &local, pending: &pending };
-        job(&spawner);
+        if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| job(&spawner))) {
+            counter!("pool.task_panics", 1);
+            panicked.push(TaskPanic { worker: 0, message: panic_message(&*payload) });
+        }
         if let Some(t0) = t0 {
             counter!("pool.task_ns", t0.elapsed().as_nanos() as u64);
         }
         counter!("pool.tasks_completed", 1);
         pending.fetch_sub(1, Ordering::SeqCst);
     }
+    panicked
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Asserts a healthy run isolated nothing.
+    fn run_clean(threads: usize, seeds: Vec<Job<'_>>) {
+        let panics = run(threads, seeds);
+        assert!(panics.is_empty(), "unexpected panics: {panics:?}");
+    }
 
     fn counting_seeds<'a>(n: usize, hits: &'a AtomicUsize) -> Vec<Job<'a>> {
         (0..n)
@@ -178,20 +225,20 @@ mod tests {
     fn runs_every_seed_job() {
         for threads in [1, 2, 5] {
             let hits = AtomicUsize::new(0);
-            run(threads, counting_seeds(23, &hits));
+            run_clean(threads, counting_seeds(23, &hits));
             assert_eq!(hits.load(Ordering::SeqCst), 23, "threads={threads}");
         }
     }
 
     #[test]
     fn empty_seed_set_is_a_nop() {
-        run(4, Vec::new());
+        run_clean(4, Vec::new());
     }
 
     #[test]
     fn more_threads_than_jobs_terminates() {
         let hits = AtomicUsize::new(0);
-        run(8, counting_seeds(2, &hits));
+        run_clean(8, counting_seeds(2, &hits));
         assert_eq!(hits.load(Ordering::SeqCst), 2);
     }
 
@@ -211,7 +258,7 @@ mod tests {
                     })
                 })
                 .collect();
-            run(threads, seeds);
+            run_clean(threads, seeds);
             assert_eq!(hits.load(Ordering::SeqCst), 30, "threads={threads}");
         }
     }
@@ -229,7 +276,7 @@ mod tests {
             });
             hits_ref.fetch_add(1, Ordering::SeqCst);
         });
-        run(3, vec![seed]);
+        run_clean(3, vec![seed]);
         assert_eq!(hits.load(Ordering::SeqCst), 3);
     }
 
@@ -245,23 +292,49 @@ mod tests {
                 })
             })
             .collect();
-        run(4, seeds);
+        run_clean(4, seeds);
         for (i, v) in out.iter().enumerate() {
             assert_eq!(*v, i * i);
         }
     }
 
     #[test]
-    fn panicking_job_propagates_without_wedging() {
+    fn panicking_job_is_isolated_not_propagated() {
+        for threads in [1, 3] {
+            let hits = AtomicUsize::new(0);
+            let mut seeds: Vec<Job<'_>> = vec![Box::new(|_| panic!("boom"))];
+            seeds.extend(counting_seeds(10, &hits));
+            let panics = run(threads, seeds);
+            // The healthy jobs still ran to completion and the panic came
+            // back as data instead of unwinding through the caller.
+            assert_eq!(hits.load(Ordering::SeqCst), 10, "threads={threads}");
+            assert_eq!(panics.len(), 1, "threads={threads}");
+            assert_eq!(panics[0].message, "boom");
+            assert!(panics[0].worker < threads.max(1));
+        }
+    }
+
+    #[test]
+    fn panicking_child_is_isolated_too() {
         let hits = AtomicUsize::new(0);
         let hits_ref = &hits;
-        let result = panic::catch_unwind(AssertUnwindSafe(|| {
-            let mut seeds: Vec<Job<'_>> = vec![Box::new(|_| panic!("boom"))];
-            seeds.extend(counting_seeds(10, hits_ref));
-            run(3, seeds);
-        }));
-        assert!(result.is_err(), "panic must propagate");
-        // The healthy jobs still ran to completion.
-        assert_eq!(hits.load(Ordering::SeqCst), 10);
+        let seed: Job<'_> = Box::new(move |sp| {
+            sp.spawn(|_| panic!("child boom"));
+            sp.spawn(move |_| {
+                hits_ref.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        let panics = run(2, vec![seed]);
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        assert_eq!(panics.len(), 1);
+        assert_eq!(panics[0].message, "child boom");
+    }
+
+    #[test]
+    fn non_string_payloads_get_placeholder() {
+        let seed: Job<'_> = Box::new(|_| std::panic::panic_any(42_u32));
+        let panics = run(1, vec![seed]);
+        assert_eq!(panics.len(), 1);
+        assert_eq!(panics[0].message, "<non-string panic payload>");
     }
 }

@@ -26,6 +26,13 @@ pub fn render_report(analysis: &Analysis, registry: &SourceRegistry) -> String {
         out.push('\n');
         render_model(&mut out, model, registry);
     }
+    // Quarantined items, if any. Omitted entirely on clean runs so clean
+    // reports stay byte-identical to pre-fault-report output.
+    if !analysis.faults.is_empty() {
+        out.push('\n');
+        let _ = writeln!(out, "fault report — {} quarantined item(s)", analysis.faults.len());
+        out.push_str(&analysis.faults.render());
+    }
     out
 }
 
@@ -163,6 +170,13 @@ pub fn render_markdown(analysis: &Analysis, registry: &SourceRegistry) -> String
                 m.bottleneck(),
                 source,
             );
+        }
+        out.push('\n');
+    }
+    if !analysis.faults.is_empty() {
+        let _ = writeln!(out, "## Fault report\n");
+        for fault in &analysis.faults.faults {
+            let _ = writeln!(out, "- {fault}");
         }
         out.push('\n');
     }
@@ -336,9 +350,39 @@ mod tests {
             },
             num_bursts: 0,
             models: vec![],
+            faults: phasefold_model::FaultReport::new(),
         };
         let report = render_report(&a, &SourceRegistry::new());
         assert!(report.contains("bursts: 0"));
+        assert!(!report.contains("fault report"), "clean runs carry no fault section");
         assert!(suggest_optimization(&a, &SourceRegistry::new()).is_none());
+    }
+
+    #[test]
+    fn fault_report_section_renders_when_populated() {
+        use phasefold_model::{Fault, FaultKind};
+        let mut a = Analysis {
+            clustering: phasefold_cluster::Clustering {
+                labels: vec![],
+                num_clusters: 0,
+                eps: 0.1,
+                spmd_score: 1.0,
+            },
+            num_bursts: 0,
+            models: vec![],
+            faults: phasefold_model::FaultReport::new(),
+        };
+        a.faults.push(
+            Fault::new(FaultKind::NanSamples, "poisoned counter")
+                .in_cluster(2)
+                .on_counter(CounterKind::Cycles),
+        );
+        let report = render_report(&a, &SourceRegistry::new());
+        assert!(report.contains("fault report — 1 quarantined item(s)"), "{report}");
+        assert!(report.contains("nan-samples"), "{report}");
+        assert!(report.contains("counter=CYC cluster=2"), "{report}");
+        let md = render_markdown(&a, &SourceRegistry::new());
+        assert!(md.contains("## Fault report"), "{md}");
+        assert!(md.contains("nan-samples"), "{md}");
     }
 }

@@ -96,11 +96,7 @@ pub fn span_histogram(
         .into_iter()
         .map(|(r, v)| (r, v as f64 / total.max(1) as f64))
         .collect();
-    out.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1)
-            .expect("finite shares")
-            .then(a.0 .0.cmp(&b.0 .0))
-    });
+    out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0 .0.cmp(&b.0 .0)));
     out
 }
 

@@ -67,7 +67,8 @@ fn spawn_tree(threads: usize, seeds: usize, hits: &AtomicUsize) -> usize {
             })
         })
         .collect();
-    run(threads, jobs);
+    let panics = run(threads, jobs);
+    assert!(panics.is_empty(), "healthy tree must not panic: {panics:?}");
     total
 }
 

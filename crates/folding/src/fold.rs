@@ -51,6 +51,25 @@ impl FoldedProfile {
         (xs, ys)
     }
 
+    /// Number of points whose folded value is not finite (NaN/∞ counter
+    /// samples survive the fold's clamp untouched). The analysis stage
+    /// quarantines profiles where this is non-zero and reports them as
+    /// `NanSamples` faults instead of fitting garbage.
+    pub fn nonfinite_points(&self) -> usize {
+        self.points.iter().filter(|p| !p.y.is_finite()).count()
+    }
+
+    /// A copy with the non-finite points quarantined away (same
+    /// `mean_total`: boundary totals, not samples, define the rescale).
+    /// Point-level quarantine lets a fit proceed on the healthy majority
+    /// instead of discarding the whole profile.
+    pub fn finite_subset(&self) -> FoldedProfile {
+        FoldedProfile {
+            points: self.points.iter().filter(|p| p.y.is_finite()).cloned().collect(),
+            mean_total: self.mean_total,
+        }
+    }
+
     /// Parallel instance ids of the points (bootstrap resampling units).
     pub fn instance_ids(&self) -> Vec<u64> {
         self.points.iter().map(|p| p.instance as u64).collect()
@@ -91,7 +110,14 @@ impl ClusterFold {
         if self.mean_duration_s <= 0.0 {
             return 0.0;
         }
-        slope * self.profiles[counter.index()].mean_total / self.mean_duration_s
+        let rate = slope * self.profiles[counter.index()].mean_total / self.mean_duration_s;
+        // A quarantined counter (NaN samples poisoning its mean total) must
+        // not leak NaN rates into the phase model.
+        if rate.is_finite() {
+            rate
+        } else {
+            0.0
+        }
     }
 }
 

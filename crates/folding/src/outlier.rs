@@ -24,10 +24,10 @@ pub fn prune_outliers(
         return (instances, Vec::new());
     }
     let mut durations: Vec<f64> = instances.iter().map(|i| i.dur_s).collect();
-    durations.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    durations.sort_by(f64::total_cmp);
     let median = durations[durations.len() / 2];
     let mut deviations: Vec<f64> = durations.iter().map(|d| (d - median).abs()).collect();
-    deviations.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    deviations.sort_by(f64::total_cmp);
     let mad = deviations[deviations.len() / 2];
     let scale = mad.max(median * 1e-3);
     if scale <= 0.0 {

@@ -1,0 +1,399 @@
+//! The fault taxonomy of the analysis stack.
+//!
+//! The paper targets *first-time-seen, in-production* applications, so the
+//! pipeline has to survive the traces such systems actually emit: truncated
+//! records, non-monotonic timestamps, saturated or multiplexed counters,
+//! NaN-laden samples, and folds too degenerate to fit. Every recoverable
+//! defect anywhere in the stack is described by one [`Fault`]: a typed
+//! [`FaultKind`], a [`Severity`], a [`Provenance`] locating the offending
+//! trace/rank/counter/fold, a human-readable detail, and an optional chain
+//! of underlying causes.
+//!
+//! Stages never decide policy themselves — they *record* faults into a
+//! [`FaultReport`] and quarantine the offending item (skip the line, zero
+//! the counter, drop the fold). The caller picks the [`FaultPolicy`]:
+//! `Lenient` (the default) completes the analysis and ships the report next
+//! to the results; `Strict` aborts on the first `Error`-severity fault.
+//!
+//! The module is dependency-free (std only) and lives in the bottom crate
+//! of the workspace so every stage — `prv` parsing, tracer, folding,
+//! regression adapters, clustering, the pipeline — can speak the same
+//! vocabulary.
+
+use crate::counter::CounterKind;
+use crate::error::ModelError;
+use std::fmt;
+
+/// What went wrong, as a closed taxonomy the tooling can match on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A trace record could not be parsed (truncated line, bad field,
+    /// unknown tag, undeclared rank).
+    MalformedTrace,
+    /// A record carried a timestamp earlier than its predecessor on the
+    /// same rank.
+    NonMonotonicTime,
+    /// A counter value hit its saturation ceiling (wrapped or pegged PMU).
+    CounterOverflow,
+    /// Samples carried NaN/∞ counter values and were quarantined.
+    NanSamples,
+    /// A fold (or one counter's profile within it) was too degenerate to
+    /// fit: zero samples, too few points, or a non-finite normalisation.
+    DegenerateFold,
+    /// The regression failed to converge or hit a numerical singularity
+    /// (Muggeo non-convergence, singular Cholesky, NNLS stall).
+    FitDiverged,
+    /// A pipeline task panicked; the panic was isolated and converted.
+    TaskPanicked,
+    /// An input/output operation failed after the analysis itself finished
+    /// (exports, figure bundles).
+    Io,
+}
+
+impl FaultKind {
+    /// Stable lower-case name (report rendering, greppable output).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::MalformedTrace => "malformed-trace",
+            FaultKind::NonMonotonicTime => "non-monotonic-time",
+            FaultKind::CounterOverflow => "counter-overflow",
+            FaultKind::NanSamples => "nan-samples",
+            FaultKind::DegenerateFold => "degenerate-fold",
+            FaultKind::FitDiverged => "fit-diverged",
+            FaultKind::TaskPanicked => "task-panicked",
+            FaultKind::Io => "io",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How bad a fault is. Ordered: `Warning < Error < Fatal`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Quality degraded but the affected item still produced output
+    /// (e.g. a sparsely-multiplexed counter).
+    Warning,
+    /// The affected item was quarantined; the rest of the analysis is
+    /// unaffected. Aborts the run under [`FaultPolicy::Strict`].
+    Error,
+    /// Nothing could be produced at all (unreadable header, empty input).
+    Fatal,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+            Severity::Fatal => "fatal",
+        })
+    }
+}
+
+/// Where a fault happened. Every field is optional — a parse error knows
+/// its line but not its cluster; a refit failure knows its fold and counter
+/// but not a line.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Provenance {
+    /// Trace identifier (usually the input path), when known.
+    pub trace: Option<String>,
+    /// Rank the offending record belonged to.
+    pub rank: Option<u32>,
+    /// Hardware counter involved.
+    pub counter: Option<CounterKind>,
+    /// Cluster/fold id the fault arose in.
+    pub cluster: Option<usize>,
+    /// 1-based line number in the trace file.
+    pub line: Option<usize>,
+}
+
+impl Provenance {
+    /// True when no locating information is attached at all.
+    pub fn is_empty(&self) -> bool {
+        self.trace.is_none()
+            && self.rank.is_none()
+            && self.counter.is_none()
+            && self.cluster.is_none()
+            && self.line.is_none()
+    }
+}
+
+impl fmt::Display for Provenance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        let mut part = |f: &mut fmt::Formatter<'_>, s: String| -> fmt::Result {
+            if !first {
+                f.write_str(" ")?;
+            }
+            first = false;
+            f.write_str(&s)
+        };
+        if let Some(t) = &self.trace {
+            part(f, format!("trace={t}"))?;
+        }
+        if let Some(r) = self.rank {
+            part(f, format!("rank={r}"))?;
+        }
+        if let Some(c) = self.counter {
+            part(f, format!("counter={}", c.mnemonic()))?;
+        }
+        if let Some(c) = self.cluster {
+            part(f, format!("cluster={c}"))?;
+        }
+        if let Some(l) = self.line {
+            part(f, format!("line={l}"))?;
+        }
+        if first {
+            f.write_str("-")?;
+        }
+        Ok(())
+    }
+}
+
+/// One recoverable defect: kind, severity, provenance, detail, causes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fault {
+    /// Taxonomy entry.
+    pub kind: FaultKind,
+    /// How bad it is.
+    pub severity: Severity,
+    /// Where it happened.
+    pub provenance: Provenance,
+    /// One human-readable sentence.
+    pub detail: String,
+    /// Underlying causes, outermost first (the "fault chain").
+    pub chain: Vec<String>,
+}
+
+impl Fault {
+    /// A new `Error`-severity fault with empty provenance.
+    pub fn new(kind: FaultKind, detail: impl Into<String>) -> Fault {
+        Fault {
+            kind,
+            severity: Severity::Error,
+            provenance: Provenance::default(),
+            detail: detail.into(),
+            chain: Vec::new(),
+        }
+    }
+
+    /// Overrides the severity.
+    pub fn severity(mut self, severity: Severity) -> Fault {
+        self.severity = severity;
+        self
+    }
+
+    /// Attaches the trace identifier.
+    pub fn in_trace(mut self, trace: impl Into<String>) -> Fault {
+        self.provenance.trace = Some(trace.into());
+        self
+    }
+
+    /// Attaches the rank.
+    pub fn on_rank(mut self, rank: u32) -> Fault {
+        self.provenance.rank = Some(rank);
+        self
+    }
+
+    /// Attaches the counter.
+    pub fn on_counter(mut self, counter: CounterKind) -> Fault {
+        self.provenance.counter = Some(counter);
+        self
+    }
+
+    /// Attaches the cluster/fold id.
+    pub fn in_cluster(mut self, cluster: usize) -> Fault {
+        self.provenance.cluster = Some(cluster);
+        self
+    }
+
+    /// Attaches the trace line number.
+    pub fn at_line(mut self, line: usize) -> Fault {
+        self.provenance.line = Some(line);
+        self
+    }
+
+    /// Appends an underlying cause to the fault chain.
+    pub fn caused_by(mut self, cause: impl Into<String>) -> Fault {
+        self.chain.push(cause.into());
+        self
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} ({}): {}",
+            self.severity, self.kind, self.provenance, self.detail
+        )?;
+        for cause in &self.chain {
+            write!(f, "; caused by: {cause}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for Fault {}
+
+impl From<ModelError> for Fault {
+    fn from(e: ModelError) -> Fault {
+        match e {
+            ModelError::OutOfOrder { at, previous } => Fault::new(
+                FaultKind::NonMonotonicTime,
+                format!("record at {at} is earlier than previous record at {previous}"),
+            ),
+            ModelError::Parse { line, message } => {
+                Fault::new(FaultKind::MalformedTrace, message).at_line(line)
+            }
+            ModelError::UnknownRank(r) => Fault::new(
+                FaultKind::MalformedTrace,
+                format!("record references undeclared rank {r}"),
+            )
+            .on_rank(r),
+        }
+    }
+}
+
+/// How faults change control flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultPolicy {
+    /// The first `Error`-or-worse fault aborts the analysis with that
+    /// fault as the error value. Warnings are still only recorded.
+    Strict,
+    /// Quarantine the offending counter/fold/record, keep going, and ship
+    /// a [`FaultReport`] next to the (partial) results.
+    #[default]
+    Lenient,
+}
+
+/// Every fault one run recorded, in deterministic pipeline order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultReport {
+    /// The recorded faults, in the order the (deterministically scheduled)
+    /// stages recorded them.
+    pub faults: Vec<Fault>,
+}
+
+impl FaultReport {
+    /// An empty report.
+    pub fn new() -> FaultReport {
+        FaultReport::default()
+    }
+
+    /// Records one fault.
+    pub fn push(&mut self, fault: Fault) {
+        self.faults.push(fault);
+    }
+
+    /// Absorbs another report's faults (in order).
+    pub fn extend(&mut self, other: FaultReport) {
+        self.faults.extend(other.faults);
+    }
+
+    /// Number of recorded faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The first fault at `Error` severity or worse — what
+    /// [`FaultPolicy::Strict`] aborts with.
+    pub fn first_error(&self) -> Option<&Fault> {
+        self.faults.iter().find(|f| f.severity >= Severity::Error)
+    }
+
+    /// Faults of one kind.
+    pub fn of_kind(&self, kind: FaultKind) -> impl Iterator<Item = &Fault> {
+        self.faults.iter().filter(move |f| f.kind == kind)
+    }
+
+    /// Highest severity recorded, if any.
+    pub fn max_severity(&self) -> Option<Severity> {
+        self.faults.iter().map(|f| f.severity).max()
+    }
+
+    /// Renders the report as indented plain text, one fault per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for fault in &self.faults {
+            out.push_str("  ");
+            out.push_str(&fault.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_is_ordered() {
+        assert!(Severity::Warning < Severity::Error);
+        assert!(Severity::Error < Severity::Fatal);
+    }
+
+    #[test]
+    fn builder_fills_provenance() {
+        let f = Fault::new(FaultKind::NanSamples, "all-NaN profile")
+            .on_counter(CounterKind::Cycles)
+            .in_cluster(3)
+            .on_rank(1)
+            .caused_by("fold produced 0 finite points");
+        assert_eq!(f.provenance.counter, Some(CounterKind::Cycles));
+        assert_eq!(f.provenance.cluster, Some(3));
+        let s = f.to_string();
+        assert!(s.contains("nan-samples"), "{s}");
+        assert!(s.contains("counter=CYC"), "{s}");
+        assert!(s.contains("cluster=3"), "{s}");
+        assert!(s.contains("caused by"), "{s}");
+    }
+
+    #[test]
+    fn model_errors_convert() {
+        let f: Fault = ModelError::Parse { line: 7, message: "bad field".into() }.into();
+        assert_eq!(f.kind, FaultKind::MalformedTrace);
+        assert_eq!(f.provenance.line, Some(7));
+        let f: Fault = ModelError::OutOfOrder {
+            at: crate::time::TimeNs(5),
+            previous: crate::time::TimeNs(9),
+        }
+        .into();
+        assert_eq!(f.kind, FaultKind::NonMonotonicTime);
+        let f: Fault = ModelError::UnknownRank(4).into();
+        assert_eq!(f.provenance.rank, Some(4));
+    }
+
+    #[test]
+    fn report_first_error_skips_warnings() {
+        let mut r = FaultReport::new();
+        r.push(Fault::new(FaultKind::DegenerateFold, "sparse").severity(Severity::Warning));
+        assert!(r.first_error().is_none());
+        assert_eq!(r.max_severity(), Some(Severity::Warning));
+        r.push(Fault::new(FaultKind::FitDiverged, "singular"));
+        let first = r.first_error().expect("error recorded");
+        assert_eq!(first.kind, FaultKind::FitDiverged);
+        assert_eq!(r.of_kind(FaultKind::FitDiverged).count(), 1);
+        assert_eq!(r.len(), 2);
+        let text = r.render();
+        assert!(text.contains("degenerate-fold") && text.contains("fit-diverged"));
+    }
+
+    #[test]
+    fn default_policy_is_lenient() {
+        assert_eq!(FaultPolicy::default(), FaultPolicy::Lenient);
+        assert!(Provenance::default().is_empty());
+        assert_eq!(Provenance::default().to_string(), "-");
+    }
+}

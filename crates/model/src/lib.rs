@@ -33,6 +33,7 @@ pub mod callstack;
 pub mod counter;
 pub mod error;
 pub mod event;
+pub mod fault;
 pub mod prv;
 pub mod stats;
 pub mod time;
@@ -42,6 +43,7 @@ pub use burst::{extract_bursts, extract_rank_bursts, Burst, BurstId};
 pub use callstack::{CallStack, RegionId, RegionInfo, RegionKind, SourceLocation, SourceRegistry};
 pub use counter::{CounterKind, CounterSet, PartialCounterSet, NUM_COUNTERS};
 pub use error::ModelError;
+pub use fault::{Fault, FaultKind, FaultPolicy, FaultReport, Provenance, Severity};
 pub use event::{CommKind, Record, Sample};
 pub use stats::{trace_stats, TraceStats};
 pub use time::{DurNs, TimeNs};

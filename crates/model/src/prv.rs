@@ -22,10 +22,13 @@
 //! write → parse → write is byte-stable. Tokens (region names, files) are
 //! percent-escaped so they may contain spaces.
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use crate::callstack::{CallStack, RegionId, RegionKind, SourceRegistry};
 use crate::counter::{CounterKind, CounterSet, PartialCounterSet, NUM_COUNTERS};
 use crate::error::ModelError;
 use crate::event::{CommKind, Record, Sample};
+use crate::fault::{Fault, FaultReport, Severity};
 use crate::time::TimeNs;
 use crate::trace::{RankId, Trace};
 use std::fmt::Write as _;
@@ -219,7 +222,32 @@ impl<'a> LineParser<'a> {
 }
 
 /// Parses the `.prv`-like text format back into a [`Trace`].
+///
+/// Strict: the first defective line aborts with a typed [`ModelError`].
 pub fn parse_trace(input: &str) -> Result<Trace, ModelError> {
+    parse_impl(input, None)
+}
+
+/// Lenient variant of [`parse_trace`]: defective *body records* (truncated
+/// fields, bad values, undeclared ranks, non-monotonic timestamps) are
+/// quarantined — recorded in the returned [`FaultReport`] with their line
+/// number — and parsing continues with the next line.
+///
+/// Structural defects that make the whole trace unreadable (bad magic
+/// header, missing `#RANKS`, non-dense region table) are still fatal and
+/// returned as an `Err` with [`Severity::Fatal`].
+pub fn parse_trace_lenient(input: &str) -> Result<(Trace, FaultReport), Fault> {
+    let mut report = FaultReport::new();
+    match parse_impl(input, Some(&mut report)) {
+        Ok(trace) => Ok((trace, report)),
+        Err(e) => Err(Fault::from(e).severity(Severity::Fatal)),
+    }
+}
+
+/// Shared parser core. With `faults: None` every error propagates (strict
+/// mode); with `Some(report)` body-record errors are recorded and the line
+/// skipped, while header/structure errors still propagate.
+fn parse_impl(input: &str, mut faults: Option<&mut FaultReport>) -> Result<Trace, ModelError> {
     let mut lines = input.lines().enumerate();
     let (_, header) = lines.next().ok_or(ModelError::Parse {
         line: 1,
@@ -243,7 +271,10 @@ pub fn parse_trace(input: &str) -> Result<Trace, ModelError> {
             continue;
         }
         let mut p = LineParser { line_no, fields: line.split_whitespace() };
-        let tag = p.next("record tag")?;
+        let tag = match p.next("record tag") {
+            Ok(t) => t,
+            Err(_) => continue, // whitespace-only line
+        };
         match tag {
             "#RANKS" => {
                 n_ranks = Some(p.next_u32("rank count")? as usize);
@@ -260,7 +291,8 @@ pub fn parse_trace(input: &str) -> Result<Trace, ModelError> {
                 pending_regions.push((id, kind, name, file, line_nr));
             }
             "R" | "C" | "S" => {
-                // First body record: freeze the header.
+                // First body record: freeze the header. Structural errors
+                // here are fatal in both modes.
                 if trace.is_none() {
                     let ranks = n_ranks.ok_or_else(|| p.err("missing #RANKS header"))?;
                     pending_regions.sort_by_key(|(id, ..)| *id);
@@ -276,52 +308,26 @@ pub fn parse_trace(input: &str) -> Result<Trace, ModelError> {
                     }
                     trace = Some(Trace::with_ranks(std::mem::take(&mut registry), ranks));
                 }
-                let trace = trace.as_mut().expect("just initialised");
-                let rank = p.next_u32("rank")?;
-                let record = match tag {
-                    "R" => {
-                        let dir = p.next("direction")?;
-                        let time = TimeNs(p.next_u64("time")?);
-                        let region = RegionId(p.next_u32("region")?);
-                        match dir {
-                            "E" => Record::RegionEnter { time, region },
-                            "X" => Record::RegionExit { time, region },
-                            other => return Err(p.err(format!("bad direction {other:?}"))),
-                        }
-                    }
-                    "C" => {
-                        let dir = p.next("direction")?;
-                        let time = TimeNs(p.next_u64("time")?);
-                        let kind_tok = p.next("comm kind")?;
-                        let kind = CommKind::from_mnemonic(kind_tok)
-                            .ok_or_else(|| p.err(format!("bad comm kind {kind_tok:?}")))?;
-                        let counters = p.counter_set()?;
-                        match dir {
-                            "E" => Record::CommEnter { time, kind, counters },
-                            "X" => Record::CommExit { time, kind, counters },
-                            other => return Err(p.err(format!("bad direction {other:?}"))),
-                        }
-                    }
-                    "S" => {
-                        let time = TimeNs(p.next_u64("time")?);
-                        let counters_tok = p.next("sample counters")?;
-                        let stack_tok = p.next("sample callstack")?;
-                        let counters = parse_sample_counters(&p, counters_tok)?;
-                        let callstack = parse_callstack(&p, stack_tok)?;
-                        Record::Sample(Sample { time, counters, callstack })
-                    }
-                    _ => unreachable!(),
+                let Some(trace) = trace.as_mut() else {
+                    unreachable!("trace initialised above");
                 };
-                let stream = trace
-                    .rank_mut(RankId(rank))
-                    .ok_or(ModelError::UnknownRank(rank))?;
-                stream.push(record)?;
+                match parse_body_record(&mut p, tag, trace) {
+                    Ok(()) => {}
+                    Err(e) => match faults.as_deref_mut() {
+                        Some(report) => report.push(Fault::from(e).at_line(line_no)),
+                        None => return Err(e),
+                    },
+                }
             }
             other => {
-                return Err(ModelError::Parse {
+                let e = ModelError::Parse {
                     line: line_no,
                     message: format!("unknown record tag {other:?}"),
-                });
+                };
+                match faults.as_deref_mut() {
+                    Some(report) => report.push(Fault::from(e)),
+                    None => return Err(e),
+                }
             }
         }
     }
@@ -342,6 +348,53 @@ pub fn parse_trace(input: &str) -> Result<Trace, ModelError> {
             Ok(Trace::with_ranks(registry, ranks))
         }
     }
+}
+
+/// Parses one `R`/`C`/`S` body line and pushes it onto its rank's stream.
+fn parse_body_record(
+    p: &mut LineParser<'_>,
+    tag: &str,
+    trace: &mut Trace,
+) -> Result<(), ModelError> {
+    let rank = p.next_u32("rank")?;
+    let record = match tag {
+        "R" => {
+            let dir = p.next("direction")?;
+            let time = TimeNs(p.next_u64("time")?);
+            let region = RegionId(p.next_u32("region")?);
+            match dir {
+                "E" => Record::RegionEnter { time, region },
+                "X" => Record::RegionExit { time, region },
+                other => return Err(p.err(format!("bad direction {other:?}"))),
+            }
+        }
+        "C" => {
+            let dir = p.next("direction")?;
+            let time = TimeNs(p.next_u64("time")?);
+            let kind_tok = p.next("comm kind")?;
+            let kind = CommKind::from_mnemonic(kind_tok)
+                .ok_or_else(|| p.err(format!("bad comm kind {kind_tok:?}")))?;
+            let counters = p.counter_set()?;
+            match dir {
+                "E" => Record::CommEnter { time, kind, counters },
+                "X" => Record::CommExit { time, kind, counters },
+                other => return Err(p.err(format!("bad direction {other:?}"))),
+            }
+        }
+        "S" => {
+            let time = TimeNs(p.next_u64("time")?);
+            let counters_tok = p.next("sample counters")?;
+            let stack_tok = p.next("sample callstack")?;
+            let counters = parse_sample_counters(p, counters_tok)?;
+            let callstack = parse_callstack(p, stack_tok)?;
+            Record::Sample(Sample { time, counters, callstack })
+        }
+        other => return Err(p.err(format!("unknown record tag {other:?}"))),
+    };
+    let stream = trace
+        .rank_mut(RankId(rank))
+        .ok_or(ModelError::UnknownRank(rank))?;
+    stream.push(record)
 }
 
 fn parse_sample_counters(
@@ -390,9 +443,11 @@ fn parse_callstack(p: &LineParser<'_>, tok: &str) -> Result<CallStack, ModelErro
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::callstack::RegionKind;
+    use crate::fault::FaultKind;
 
     fn sample_trace() -> Trace {
         let mut registry = SourceRegistry::new();
@@ -500,6 +555,57 @@ mod tests {
             Err(ModelError::Parse { line, .. }) => assert_eq!(line, 3),
             other => panic!("expected parse error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn lenient_skips_truncated_line_and_reports_it() {
+        let input = "#PHASEFOLD_TRACE v1\n#RANKS 1\nR 0 E 100 0\nR 0 X\nS 0 500 - -\n";
+        let (t, report) = parse_trace_lenient(input).unwrap();
+        assert_eq!(t.total_records(), 2, "good lines around the bad one survive");
+        assert_eq!(report.len(), 1);
+        let f = &report.faults[0];
+        assert_eq!(f.kind, FaultKind::MalformedTrace);
+        assert_eq!(f.provenance.line, Some(4));
+        // Strict mode rejects the same input.
+        assert!(parse_trace(input).is_err());
+    }
+
+    #[test]
+    fn lenient_skips_non_monotonic_records() {
+        let input = "#PHASEFOLD_TRACE v1\n#RANKS 1\nS 0 500 - -\nS 0 100 - -\nS 0 600 - -\n";
+        let (t, report) = parse_trace_lenient(input).unwrap();
+        assert_eq!(t.total_records(), 2);
+        assert_eq!(report.len(), 1);
+        assert_eq!(report.faults[0].kind, FaultKind::NonMonotonicTime);
+        assert_eq!(report.faults[0].provenance.line, Some(4));
+        assert!(matches!(parse_trace(input), Err(ModelError::OutOfOrder { .. })));
+    }
+
+    #[test]
+    fn lenient_skips_unknown_rank_and_tag() {
+        let input = "#PHASEFOLD_TRACE v1\n#RANKS 1\nR 5 E 0 0\nQ what is this\nS 0 1 - -\n";
+        let (t, report) = parse_trace_lenient(input).unwrap();
+        assert_eq!(t.total_records(), 1);
+        assert_eq!(report.len(), 2);
+        assert_eq!(report.faults[0].kind, FaultKind::MalformedTrace);
+        assert_eq!(report.faults[0].provenance.rank, Some(5));
+        assert_eq!(report.faults[1].kind, FaultKind::MalformedTrace);
+    }
+
+    #[test]
+    fn lenient_still_rejects_structural_defects() {
+        let fatal = parse_trace_lenient("#NOT_A_TRACE\n").unwrap_err();
+        assert_eq!(fatal.severity, Severity::Fatal);
+        assert!(parse_trace_lenient("#PHASEFOLD_TRACE v1\nS 0 1 - -\n").is_err());
+    }
+
+    #[test]
+    fn lenient_matches_strict_on_clean_input() {
+        let text = write_trace(&sample_trace());
+        let strict = parse_trace(&text).unwrap();
+        let (lenient, report) = parse_trace_lenient(&text).unwrap();
+        assert!(report.is_empty());
+        assert_eq!(write_trace(&lenient), write_trace(&strict));
     }
 
     #[test]

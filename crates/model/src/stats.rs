@@ -50,7 +50,7 @@ pub fn trace_stats(trace: &Trace) -> TraceStats {
     let wall_s = trace.end_time().as_secs_f64();
     let bursts = extract_bursts(trace, DurNs::ZERO);
     let mut durations: Vec<f64> = bursts.iter().map(|b| b.duration().as_secs_f64()).collect();
-    durations.sort_by(|a, b| a.partial_cmp(b).expect("finite durations"));
+    durations.sort_by(f64::total_cmp);
     let q = |p: f64| -> f64 {
         if durations.is_empty() {
             return 0.0;

@@ -85,7 +85,7 @@ pub fn refine_breakpoints_with(
     scratch: &mut RefineScratch,
 ) -> Vec<f64> {
     let mut psi: Vec<f64> = breakpoints.to_vec();
-    psi.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    psi.sort_by(|a, b| a.total_cmp(b));
     psi = enforce_separation(psi, lo, hi, config.min_separation);
     if psi.is_empty() || xs.len() < 2 * psi.len() + 2 {
         return psi;
@@ -125,7 +125,7 @@ pub fn refine_breakpoints_with(
             next[j] = (psi[j] + step).clamp(lo, hi);
             max_move = max_move.max(step.abs());
         }
-        next.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        next.sort_by(|a, b| a.total_cmp(b));
         psi.clear();
         psi.extend_from_slice(next);
         psi = enforce_separation(psi, lo, hi, config.min_separation);
@@ -139,7 +139,7 @@ pub fn refine_breakpoints_with(
 /// Sorts and de-duplicates breakpoints, dropping any that violate the
 /// minimum separation from a neighbour or the domain edges.
 pub fn enforce_separation(mut psi: Vec<f64>, lo: f64, hi: f64, min_sep: f64) -> Vec<f64> {
-    psi.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    psi.sort_by(|a, b| a.total_cmp(b));
     let mut out: Vec<f64> = Vec::with_capacity(psi.len());
     for p in psi {
         let ok_lo = p >= lo + min_sep;

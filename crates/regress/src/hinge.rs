@@ -92,6 +92,8 @@ pub enum FitError {
     Numerical(LinalgError),
     /// Breakpoints were not strictly ascending inside the domain.
     BadBreakpoints,
+    /// The input data contained NaN or infinite values.
+    NonFinite,
 }
 
 impl std::fmt::Display for FitError {
@@ -102,6 +104,7 @@ impl std::fmt::Display for FitError {
             }
             FitError::Numerical(e) => write!(f, "numerical failure: {e}"),
             FitError::BadBreakpoints => write!(f, "breakpoints not strictly ascending in domain"),
+            FitError::NonFinite => write!(f, "input data contains non-finite values"),
         }
     }
 }

@@ -47,7 +47,7 @@ pub mod smooth;
 pub mod stats;
 
 pub use bootstrap::{bootstrap_pwlr, BootstrapConfig, BootstrapResult, Interval};
-pub use hinge::HingeFit;
+pub use hinge::{FitError, HingeFit};
 pub use model_select::SelectionCriterion;
 pub use pwlr::{fit_pwlr, PwlrConfig, PwlrFit};
 pub use robust::{theil_sen, theil_sen_sampled, RobustFit};

@@ -148,13 +148,18 @@ pub fn fit_pwlr(
 ) -> Result<PwlrFit, FitError> {
     assert_eq!(xs.len(), ys.len());
     let _sp = phasefold_obs::span!("regress.fit_pwlr");
+    // NaN/∞ inputs are a typed error, not a panic: corrupted counters are
+    // expected in production traces and must be quarantinable.
+    if xs.iter().chain(ys).any(|v| !v.is_finite()) {
+        return Err(FitError::NonFinite);
+    }
     let (lo, hi) = config.domain;
     assert!(hi > lo, "empty domain");
     let min_sep = config.min_separation_fraction * (hi - lo);
 
     // Sort a copy by x once; every stage wants ordered data.
     let mut order: Vec<usize> = (0..xs.len()).collect();
-    order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("NaN x in fit_pwlr"));
+    order.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
     let sx: Vec<f64> = order.iter().map(|&i| xs[i]).collect();
     let sy: Vec<f64> = order.iter().map(|&i| ys[i]).collect();
     let sw: Option<Vec<f64>> = weights.map(|w| order.iter().map(|&i| w[i]).collect());

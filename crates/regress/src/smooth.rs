@@ -25,7 +25,7 @@ impl KernelSmoother {
         assert_eq!(xs.len(), ys.len());
         assert!(bandwidth > 0.0, "bandwidth must be positive");
         let mut idx: Vec<usize> = (0..xs.len()).collect();
-        idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("NaN x"));
+        idx.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
         KernelSmoother {
             xs: idx.iter().map(|&i| xs[i]).collect(),
             ys: idx.iter().map(|&i| ys[i]).collect(),

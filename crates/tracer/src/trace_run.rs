@@ -28,7 +28,14 @@ pub fn trace_run(
     for (r, timeline) in timelines.iter().enumerate() {
         let rank = RankId(r as u32);
         let stream = trace_rank(timeline, config, r as u64);
-        *trace.rank_mut(rank).expect("rank exists") = stream;
+        // `with_ranks(timelines.len())` guarantees the slot exists; if the
+        // invariant ever breaks, drop the rank instead of aborting the run.
+        match trace.rank_mut(rank) {
+            Some(slot) => *slot = stream,
+            None => {
+                phasefold_obs::counter!("tracer.ranks_dropped", 1);
+            }
+        }
     }
     if phasefold_obs::enabled() {
         // Sampling-overhead gauges: how much data the tracer produced and
@@ -201,7 +208,13 @@ fn trace_rank(timeline: &RankTimeline, config: &TracerConfig, rank_salt: u64) ->
                 stream.push(Record::Sample(Sample { time: dilate(at, shift_s), counters, callstack }))
             }
         };
-        result.expect("raw records are time-sorted and dilation is monotone");
+        // Raw records are time-sorted and dilation is monotone, so pushes
+        // cannot go backwards in time on the expected path; a breach (e.g.
+        // float rounding at extreme dilations) drops the record rather than
+        // aborting the whole tracing run.
+        if result.is_err() {
+            phasefold_obs::counter!("tracer.records_dropped", 1);
+        }
     }
     stream
 }

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Fault-tolerance smoke gate.
+#
+# Builds the workspace in release mode, runs the E15 fault-injection
+# experiment (`exp_fault_tolerance`, fixed seed — fully deterministic),
+# and enforces the recovery floor on results/e15_fault_tolerance.csv:
+#
+#   1. every rate-0 row must recover the clean model exactly (1.000);
+#   2. the mean recovery across corruptors at rates <= 0.1 must stay
+#      at or above FLOOR (default 0.85);
+#   3. every row at rates <= 0.1 must still produce at least one model —
+#      corruption may cost accuracy, never the whole run.
+#
+# Usage:
+#   scripts/chaos.sh            # default floor
+#   FLOOR=0.9 scripts/chaos.sh  # stricter floor
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FLOOR="${FLOOR:-0.85}"
+CSV=results/e15_fault_tolerance.csv
+
+echo "== release build =="
+cargo build --release -p phasefold-bench
+
+echo "== running exp_fault_tolerance =="
+cargo run --release -q -p phasefold-bench --bin exp_fault_tolerance >/dev/null
+
+[[ -f "$CSV" ]] || { echo "FAIL: $CSV not produced"; exit 1; }
+
+awk -F, -v floor="$FLOOR" '
+    NR == 1 { next }                      # header
+    $2 == 0 && $7 != "1.000" {
+        printf "FAIL: %s at rate 0 must recover exactly (got %s)\n", $1, $7
+        bad = 1
+    }
+    $2 + 0 <= 0.1 {
+        if ($6 + 0 < 1) {
+            printf "FAIL: %s at rate %s produced no model\n", $1, $2
+            bad = 1
+        }
+        sum += $7; n += 1
+    }
+    END {
+        if (n == 0) { print "FAIL: no low-rate rows found"; exit 1 }
+        mean = sum / n
+        printf "mean recovery at rates <= 0.1: %.3f (floor %.2f, %d rows)\n", mean, floor, n
+        if (mean < floor) { printf "FAIL: recovery floor violated\n"; bad = 1 }
+        exit bad
+    }
+' "$CSV"
+
+echo "chaos gate OK"

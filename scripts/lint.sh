@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Lint gate for the fault-critical paths.
+#
+# The files where a stray unwrap can take down a whole analysis —
+# crates/core/src/pipeline.rs, crates/core/src/pool.rs, and
+# crates/model/src/prv.rs — carry file-scoped
+# `#![deny(clippy::unwrap_used, clippy::expect_used)]` attributes, so any
+# unwrap/expect reintroduced there is a hard *error* under clippy (test
+# modules opt back in explicitly with #[allow]). Plain rustc accepts the
+# tool-lint attributes silently; this script runs clippy on the two owning
+# crates so the deny actually bites.
+#
+# Usage:
+#   scripts/lint.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== clippy: fault-critical crates (unwrap/expect are hard errors) =="
+cargo clippy -q -p phasefold -p phasefold-model --all-targets
+
+echo "lint OK"
