@@ -483,3 +483,73 @@ pub fn reconstruct(argv: &[String], out: &mut String) -> Result<(), CliError> {
     }
     Ok(())
 }
+
+/// `phasefold serve`
+pub fn serve(argv: &[String], out: &mut String) -> Result<(), CliError> {
+    let p = parse(
+        argv,
+        &[
+            "addr",
+            "threads",
+            "workers",
+            "queue-depth",
+            "cache-entries",
+            "cache-dir",
+            "fault-policy",
+            "port-file",
+            "max-seconds",
+        ],
+        &[],
+    )?;
+    let mut analysis = AnalysisConfig::default();
+    analysis.threads = threads_option(&p)?;
+    analysis.fault_policy = fault_policy_option(&p)?;
+    let config = phasefold_serve::ServeConfig {
+        addr: p.get("addr").unwrap_or("127.0.0.1:8191").to_string(),
+        workers: p.get_parsed("workers", 2usize)?.max(1),
+        queue_depth: p.get_parsed("queue-depth", 32usize)?.max(1),
+        cache_entries: p.get_parsed("cache-entries", 64usize)?.max(1),
+        cache_dir: p.get("cache-dir").map(std::path::PathBuf::from),
+        analysis,
+        ..phasefold_serve::ServeConfig::default()
+    };
+    let max_seconds: u64 = p.get_parsed("max-seconds", 0)?; // 0 = run forever
+
+    phasefold_serve::shutdown::install();
+    let handle = phasefold_serve::serve(config)?;
+    let addr = handle.addr();
+    // The bound address (with any ephemeral port resolved) goes to the
+    // port file first, so scripts can wait for it before connecting.
+    if let Some(path) = p.get("port-file") {
+        std::fs::write(path, format!("{addr}\n"))?;
+    }
+    let _ = writeln!(out, "phasefold-serve listening on {addr}");
+    let _ = writeln!(out, "  POST /v1/analyze | POST /v1/streams/<id>/records");
+    let _ = writeln!(out, "  GET /v1/streams/<id>/phases | GET /healthz | GET /metrics");
+
+    let stats = if max_seconds == 0 {
+        handle.join()
+    } else {
+        // Test/script hook: bounded lifetime without an external signal.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(max_seconds);
+        let poll = std::time::Duration::from_millis(100);
+        loop {
+            if std::time::Instant::now() >= deadline {
+                break handle.shutdown();
+            }
+            std::thread::sleep(poll);
+        }
+    };
+    let _ = writeln!(
+        out,
+        "drained: requests={} rejected={} jobs_completed={} jobs_panicked={} clean={}",
+        stats.requests, stats.rejected, stats.jobs_completed, stats.jobs_panicked, stats.clean
+    );
+    if !stats.clean {
+        return Err(CliError::Other(format!(
+            "non-graceful shutdown: {} connections and {} jobs still alive at exit",
+            stats.connections_at_exit, stats.jobs_at_exit
+        )));
+    }
+    Ok(())
+}

@@ -10,6 +10,7 @@
 //! phasefold chaos <trace.prv> --out corrupted.prv [--seed N] [--rate R]
 //! phasefold period <trace.prv> [--rank R] [--bins B]
 //! phasefold reconstruct <trace.prv> [--rank R] [--points N]
+//! phasefold serve [--addr H:P] [--workers N] [--queue-depth N] [--cache-dir D]
 //! ```
 //!
 //! All output goes to the supplied writer (`String` in tests, stdout in the
@@ -109,6 +110,13 @@ commands:
       workload: stage timings + pool utilization
       [--threads N] [--iterations N] [--ranks N]
       [--profile out.json] [--metrics out.json] [--log-level L]
+  serve                             analysis daemon (HTTP/1.1 on std::net)
+      [--addr H:P (default 127.0.0.1:8191, port 0 = ephemeral)]
+      [--threads N (0 = auto)] [--workers N] [--queue-depth N]
+      [--cache-entries N] [--cache-dir DIR]
+      [--fault-policy lenient|strict]
+      [--port-file F (bound address is written here)]
+      [--max-seconds S (0 = until SIGTERM/SIGINT or POST /admin/shutdown)]
 
 observability:
   --profile out.json    Chrome-trace/Perfetto span export of the run
@@ -138,6 +146,7 @@ pub fn run(argv: &[String], out: &mut String) -> Result<(), CliError> {
         "period" => commands::period(rest, out),
         "reconstruct" => commands::reconstruct(rest, out),
         "selfcheck" => commands::selfcheck(rest, out),
+        "serve" => commands::serve(rest, out),
         "help" | "--help" | "-h" => {
             out.push_str(USAGE);
             Ok(())

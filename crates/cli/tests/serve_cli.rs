@@ -1,0 +1,97 @@
+//! `phasefold serve` driven through the real CLI entry point: ephemeral
+//! port + port file, a live analyze round trip through the daemon, and a
+//! clean admin-driven drain reported in the command output.
+
+use phasefold_cli::run;
+
+fn argv(v: &[&str]) -> Vec<String> {
+    v.iter().map(|s| s.to_string()).collect()
+}
+
+#[test]
+fn serve_binds_ephemeral_port_serves_and_drains() {
+    let dir = std::env::temp_dir().join(format!("phasefold-serve-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let port_file = dir.join("addr.txt");
+    let port_file_str = port_file.to_string_lossy().into_owned();
+
+    // Run the daemon on a CLI thread; an ephemeral port avoids collisions.
+    let server = std::thread::spawn({
+        let port_file_str = port_file_str.clone();
+        move || {
+            let mut out = String::new();
+            let result = run(
+                &argv(&[
+                    "serve",
+                    "--addr",
+                    "127.0.0.1:0",
+                    "--workers",
+                    "2",
+                    "--queue-depth",
+                    "8",
+                    "--port-file",
+                    &port_file_str,
+                ]),
+                &mut out,
+            );
+            (result, out)
+        }
+    });
+
+    // Wait for the port file to appear, then talk to the daemon.
+    let addr = {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            if let Ok(text) = std::fs::read_to_string(&port_file) {
+                let addr = text.trim().to_string();
+                if !addr.is_empty() {
+                    break addr;
+                }
+            }
+            assert!(std::time::Instant::now() < deadline, "port file never appeared");
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+    };
+
+    let health = phasefold_serve::one_shot(&addr, "GET", "/healthz", b"").unwrap();
+    assert_eq!(health.status, 200);
+
+    // A real analysis through the daemon the CLI booted.
+    let trace = {
+        use phasefold_simapp::workloads::synthetic::{build, SyntheticParams};
+        use phasefold_simapp::{simulate, SimConfig};
+        use phasefold_tracer::{trace_run, TracerConfig};
+        let program = build(&SyntheticParams { iterations: 80, ..SyntheticParams::default() });
+        let out = simulate(&program, &SimConfig { ranks: 1, ..SimConfig::default() });
+        phasefold_model::prv::write_trace(&trace_run(
+            &program.registry,
+            &out.timelines,
+            &TracerConfig::default(),
+        ))
+    };
+    let report = phasefold_serve::one_shot(&addr, "POST", "/v1/analyze", trace.as_bytes()).unwrap();
+    assert_eq!(report.status, 200, "analyze failed: {}", report.text());
+    assert!(report.text().contains("cluster"));
+
+    // Drain via the admin endpoint; the CLI must report a clean shutdown.
+    let down = phasefold_serve::one_shot(&addr, "POST", "/admin/shutdown", b"").unwrap();
+    assert_eq!(down.status, 200);
+    let (result, out) = server.join().unwrap();
+    result.unwrap_or_else(|e| panic!("serve command failed: {e}\noutput:\n{out}"));
+    assert!(out.contains("listening on"), "missing banner: {out}");
+    assert!(out.contains("clean=true"), "drain not clean: {out}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_rejects_bad_options() {
+    let mut out = String::new();
+    let err = run(&argv(&["serve", "--fault-policy", "sloppy"]), &mut out)
+        .expect_err("bad policy accepted");
+    assert_eq!(phasefold_cli::exit_code(&err), 2);
+
+    let err = run(&argv(&["serve", "--bogus-flag", "1"]), &mut out)
+        .expect_err("unknown option accepted");
+    assert_eq!(phasefold_cli::exit_code(&err), 2);
+}

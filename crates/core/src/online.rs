@@ -21,7 +21,9 @@ use crate::pipeline::Analysis;
 use phasefold_cluster::{cluster_bursts, Clustering};
 use phasefold_folding::fold::{ClusterFold, FoldedPoint, FoldedProfile};
 use phasefold_model::{
-    extract_rank_bursts, Burst, CounterKind, RankId, RankTrace, Record, NUM_COUNTERS,
+    extract_rank_bursts_checked, Burst, CounterKind, Fault, FaultPolicy, FaultReport, RankId,
+    RankTrace,
+    Record, NUM_COUNTERS,
 };
 
 /// Streaming analyzer state.
@@ -40,8 +42,15 @@ pub struct OnlineAnalyzer {
     /// Bursts already consumed from each rank's buffer (burst extraction
     /// over the growing buffer is idempotent; this is the resume cursor).
     per_rank_counts: Vec<usize>,
+    /// Extraction faults already reported per rank (same resume-cursor
+    /// discipline as `per_rank_counts`).
+    per_rank_fault_counts: Vec<usize>,
     bursts_seen: usize,
     noise_bursts: usize,
+    /// Defective streamed records quarantined so far (lenient path), in
+    /// arrival order; carried into every [`OnlineAnalyzer::snapshot`].
+    stream_faults: FaultReport,
+    records_quarantined: usize,
 }
 
 #[derive(Debug)]
@@ -77,8 +86,11 @@ impl OnlineAnalyzer {
             frozen: None,
             folds: Vec::new(),
             per_rank_counts: Vec::new(),
+            per_rank_fault_counts: Vec::new(),
             bursts_seen: 0,
             noise_bursts: 0,
+            stream_faults: FaultReport::new(),
+            records_quarantined: 0,
         }
     }
 
@@ -97,29 +109,115 @@ impl OnlineAnalyzer {
         self.noise_bursts
     }
 
-    /// Feeds a batch of records for `rank` (must arrive in time order per
+    /// Defective records quarantined from the stream so far.
+    pub fn records_quarantined(&self) -> usize {
+        self.records_quarantined
+    }
+
+    /// The faults quarantined from the stream so far (lenient path). They
+    /// are also carried into every [`OnlineAnalyzer::snapshot`].
+    pub fn stream_faults(&self) -> &FaultReport {
+        &self.stream_faults
+    }
+
+    /// Feeds a batch of records for `rank` (expected in time order per
     /// rank). Bursts complete as their closing communication record
     /// arrives.
+    ///
+    /// This is the always-lenient entry point: a defective record (e.g. a
+    /// non-monotonic timestamp from a glitching collector clock) is
+    /// quarantined into [`OnlineAnalyzer::stream_faults`] and skipped —
+    /// it never poisons the session. Callers that want the configured
+    /// [`FaultPolicy`] to govern streaming use
+    /// [`OnlineAnalyzer::try_push_records`].
     pub fn push_records(&mut self, rank: RankId, records: &[Record]) {
+        // Forced-lenient: the Err arm is unreachable by construction.
+        let _ = self.push_inner(rank, records, FaultPolicy::Lenient);
+    }
+
+    /// Feeds a batch of records for `rank`, honouring the analyzer's
+    /// configured [`FaultPolicy`] — the streaming mirror of
+    /// [`crate::try_analyze_trace`].
+    ///
+    /// Under [`FaultPolicy::Lenient`] defective records are quarantined
+    /// (recorded in [`OnlineAnalyzer::stream_faults`] with rank
+    /// provenance) and the healthy remainder is processed; returns the
+    /// number of records accepted. Under [`FaultPolicy::Strict`] the first
+    /// defective record aborts the batch with its fault; records before it
+    /// are kept and bursts they complete are still processed.
+    pub fn try_push_records(
+        &mut self,
+        rank: RankId,
+        records: &[Record],
+    ) -> Result<usize, Fault> {
+        self.push_inner(rank, records, self.config.fault_policy)
+    }
+
+    fn push_inner(
+        &mut self,
+        rank: RankId,
+        records: &[Record],
+        policy: FaultPolicy,
+    ) -> Result<usize, Fault> {
         let idx = rank.0 as usize;
         while self.pending.len() <= idx {
             self.pending.push(RankTrace::new());
         }
+        let mut accepted = 0usize;
+        let mut aborted: Option<Fault> = None;
         for r in records {
-            self.pending[idx]
-                .push(r.clone())
-                .expect("records must arrive in time order per rank");
+            match self.pending[idx].push(r.clone()) {
+                Ok(()) => accepted += 1,
+                Err(e) => {
+                    let fault = Fault::from(e).on_rank(rank.0);
+                    match policy {
+                        FaultPolicy::Strict => {
+                            aborted = Some(fault);
+                            break;
+                        }
+                        FaultPolicy::Lenient => {
+                            phasefold_obs::counter!("online.records_quarantined", 1);
+                            self.records_quarantined += 1;
+                            self.stream_faults.push(fault);
+                        }
+                    }
+                }
+            }
         }
+        // Records accepted before an abort are real: complete their bursts
+        // either way so the session state stays consistent.
         self.drain_completed(rank);
+        match aborted {
+            Some(fault) => Err(fault),
+            None => Ok(accepted),
+        }
     }
 
     /// Extracts completed bursts from the rank buffer and processes them.
     fn drain_completed(&mut self, rank: RankId) {
         let idx = rank.0 as usize;
         let stream = &self.pending[idx];
-        let bursts = extract_rank_bursts(rank, stream, self.config.min_burst_duration);
+        let mut extraction_faults = FaultReport::new();
+        let bursts = extract_rank_bursts_checked(
+            rank,
+            stream,
+            self.config.min_burst_duration,
+            &mut extraction_faults,
+        );
         // Only process bursts not yet seen for this rank (extraction over
-        // the growing buffer is idempotent; skip the consumed prefix).
+        // the growing buffer is idempotent; skip the consumed prefix). The
+        // same cursor discipline applies to extraction faults: re-running
+        // over the grown buffer re-reports the old ones, so only the tail
+        // is new.
+        while self.per_rank_fault_counts.len() <= idx {
+            self.per_rank_fault_counts.push(0);
+        }
+        let faults_seen = self.per_rank_fault_counts[idx];
+        for fault in extraction_faults.faults.into_iter().skip(faults_seen) {
+            phasefold_obs::counter!("online.bursts_quarantined", 1);
+            self.per_rank_fault_counts[idx] += 1;
+            self.stream_faults.push(fault);
+        }
         let already = self.per_rank_counts.get(idx).copied().unwrap_or(0);
         for burst in bursts.into_iter().skip(already) {
             self.process_burst(burst, idx);
@@ -242,7 +340,8 @@ impl OnlineAnalyzer {
     pub fn snapshot(&self) -> Analysis {
         let _sp = phasefold_obs::span!("online.snapshot");
         let mut models = Vec::new();
-        let mut faults = phasefold_model::FaultReport::new();
+        // Stream-level quarantines come first: they happened first.
+        let mut faults = self.stream_faults.clone();
         let mut labels_placeholder = Vec::new();
         for (cluster, fold) in self.folds.iter().enumerate() {
             let cluster_fold = ClusterFold {
@@ -358,6 +457,58 @@ mod tests {
         let early_samples = early.models.first().map_or(0, |m| m.folded_samples);
         let late_samples = late.models.first().map_or(0, |m| m.folded_samples);
         assert!(late_samples > early_samples);
+    }
+
+    #[test]
+    fn lenient_stream_quarantines_out_of_order_records() {
+        let trace = traced();
+        let (rank, stream) = trace.iter_ranks().next().unwrap();
+        let records = stream.records();
+        let mut online = OnlineAnalyzer::new(AnalysisConfig::default(), 80);
+        // Interleave a corrupt batch: records [100..200] replayed after
+        // [0..300] all carry stale timestamps.
+        online.push_records(rank, &records[..300]);
+        online.push_records(rank, &records[100..200]);
+        assert_eq!(online.records_quarantined(), 100);
+        assert_eq!(online.stream_faults().len(), 100);
+        assert_eq!(
+            online.stream_faults().faults[0].kind,
+            phasefold_model::FaultKind::NonMonotonicTime
+        );
+        assert_eq!(online.stream_faults().faults[0].provenance.rank, Some(rank.0));
+        // The session is not poisoned: the rest of the stream still folds
+        // and the snapshot carries the quarantine report.
+        online.push_records(rank, &records[300..]);
+        assert!(online.is_warm());
+        let snap = online.snapshot();
+        assert!(!snap.models.is_empty());
+        assert!(snap.faults.len() >= 100);
+        assert_eq!(
+            snap.faults.faults[0].kind,
+            phasefold_model::FaultKind::NonMonotonicTime
+        );
+    }
+
+    #[test]
+    fn strict_stream_aborts_on_first_bad_record() {
+        use phasefold_model::FaultPolicy;
+        let trace = traced();
+        let (rank, stream) = trace.iter_ranks().next().unwrap();
+        let records = stream.records();
+        let config =
+            AnalysisConfig { fault_policy: FaultPolicy::Strict, ..AnalysisConfig::default() };
+        let mut online = OnlineAnalyzer::new(config, 80);
+        assert_eq!(online.try_push_records(rank, &records[..200]).unwrap(), 200);
+        let err = online.try_push_records(rank, &records[..50]).unwrap_err();
+        assert_eq!(err.kind, phasefold_model::FaultKind::NonMonotonicTime);
+        assert_eq!(err.provenance.rank, Some(rank.0));
+        // Nothing was quarantined silently under strict.
+        assert_eq!(online.records_quarantined(), 0);
+        // The session keeps working with well-formed batches.
+        assert_eq!(
+            online.try_push_records(rank, &records[200..]).unwrap(),
+            records.len() - 200
+        );
     }
 
     #[test]

@@ -21,7 +21,7 @@ use crate::srcmap::{attribute_span, span_histogram};
 use phasefold_cluster::{cluster_bursts, Clustering};
 use phasefold_folding::{fold_trace, ClusterFold};
 use phasefold_model::{
-    extract_bursts, CounterKind, CounterSet, Fault, FaultKind, FaultPolicy, FaultReport,
+    extract_bursts_checked, CounterKind, CounterSet, Fault, FaultKind, FaultPolicy, FaultReport,
     Severity, Trace, NUM_COUNTERS,
 };
 use phasefold_obs::Level;
@@ -63,9 +63,10 @@ impl Analysis {
 /// Runs the full analysis over a trace.
 pub fn analyze_trace(trace: &Trace, config: &AnalysisConfig) -> Analysis {
     let _sp = phasefold_obs::span!("pipeline.analyze_trace");
+    let mut extraction_faults = FaultReport::new();
     let bursts = {
         let _sp = phasefold_obs::span!("pipeline.extract_bursts");
-        extract_bursts(trace, config.min_burst_duration)
+        extract_bursts_checked(trace, config.min_burst_duration, &mut extraction_faults)
     };
     phasefold_obs::gauge!("pipeline.bursts", bursts.len());
     phasefold_obs::log!(Level::Info, "analyze: {} bursts extracted", bursts.len());
@@ -84,10 +85,13 @@ pub fn analyze_trace(trace: &Trace, config: &AnalysisConfig) -> Analysis {
         fold_trace(trace, &bursts, &clustering, &config.fold)
     };
     phasefold_obs::gauge!("pipeline.folds", folds.len());
-    let (mut models, faults) = {
+    let (mut models, model_faults) = {
         let _sp = phasefold_obs::span!("pipeline.build_models");
         build_models(&folds, config)
     };
+    // Extraction-time quarantines come first: they happened first.
+    let mut faults = extraction_faults;
+    faults.extend(model_faults);
     sort_models_by_total_time(&mut models);
     phasefold_obs::gauge!("pipeline.models", models.len());
     phasefold_obs::gauge!("pipeline.faults", faults.len());

@@ -9,6 +9,7 @@
 use crate::callstack::RegionId;
 use crate::counter::CounterSet;
 use crate::event::Record;
+use crate::fault::{Fault, FaultKind, FaultReport, Severity};
 use crate::time::{DurNs, TimeNs};
 use crate::trace::{RankId, RankTrace, Trace};
 
@@ -57,6 +58,21 @@ impl Burst {
 /// Bursts shorter than `min_duration` are discarded: the paper filters very
 /// short bursts, which are dominated by instrumentation noise.
 pub fn extract_rank_bursts(rank: RankId, stream: &RankTrace, min_duration: DurNs) -> Vec<Burst> {
+    let mut faults = FaultReport::new();
+    extract_rank_bursts_checked(rank, stream, min_duration, &mut faults)
+}
+
+/// Like [`extract_rank_bursts`], additionally quarantining bursts whose
+/// boundary counters *decreased* — wrap-around, saturation, or corruption —
+/// as [`FaultKind::CounterOverflow`] faults instead of producing a
+/// nonsensical delta. Quarantined bursts are skipped; the surviving burst
+/// list is what the unchecked variant would return on clean data.
+pub fn extract_rank_bursts_checked(
+    rank: RankId,
+    stream: &RankTrace,
+    min_duration: DurNs,
+    faults: &mut FaultReport,
+) -> Vec<Burst> {
     let mut bursts = Vec::new();
     let mut region_stack: Vec<RegionId> = Vec::new();
     // Pending burst start: set on CommExit, consumed on next CommEnter.
@@ -77,6 +93,24 @@ pub fn extract_rank_bursts(rank: RankId, stream: &RankTrace, min_duration: DurNs
             Record::CommEnter { time, counters, .. } => {
                 if let Some((start, start_counters, enclosing)) = open.take() {
                     if time.saturating_since(start) >= min_duration && *time > start {
+                        if let Some(kind) = counters.first_decrease_since(&start_counters) {
+                            faults.push(
+                                Fault::new(
+                                    FaultKind::CounterOverflow,
+                                    format!(
+                                        "counter decreased across burst at t={}..{} ({} -> {}); burst quarantined",
+                                        start.0,
+                                        time.0,
+                                        start_counters.as_array()[kind.index()],
+                                        counters.as_array()[kind.index()],
+                                    ),
+                                )
+                                .on_rank(rank.0)
+                                .on_counter(kind)
+                                .severity(Severity::Warning),
+                            );
+                            continue;
+                        }
                         let ordinal = bursts.len() as u32;
                         bursts.push(Burst {
                             id: BurstId { rank, ordinal },
@@ -97,9 +131,20 @@ pub fn extract_rank_bursts(rank: RankId, stream: &RankTrace, min_duration: DurNs
 
 /// Extracts all computation bursts of a trace, rank by rank.
 pub fn extract_bursts(trace: &Trace, min_duration: DurNs) -> Vec<Burst> {
+    let mut faults = FaultReport::new();
+    extract_bursts_checked(trace, min_duration, &mut faults)
+}
+
+/// Fault-aware variant of [`extract_bursts`]; see
+/// [`extract_rank_bursts_checked`].
+pub fn extract_bursts_checked(
+    trace: &Trace,
+    min_duration: DurNs,
+    faults: &mut FaultReport,
+) -> Vec<Burst> {
     let mut out = Vec::new();
     for (rank, stream) in trace.iter_ranks() {
-        out.extend(extract_rank_bursts(rank, stream, min_duration));
+        out.extend(extract_rank_bursts_checked(rank, stream, min_duration, faults));
     }
     out
 }
@@ -186,6 +231,31 @@ mod tests {
         let rt = build_stream(vec![sample(10), comm_enter(100, 5.0), comm_exit(120, 5.0)]);
         let bursts = extract_rank_bursts(RankId(0), &rt, DurNs::ZERO);
         assert!(bursts.is_empty());
+    }
+
+    #[test]
+    fn decreasing_counters_quarantine_the_burst() {
+        // Burst 1 is clean; burst 2's counters go backwards (saturation or
+        // wrap-around) and must be quarantined, not produce a bogus delta.
+        let rt = build_stream(vec![
+            comm_exit(100, 10.0),
+            comm_enter(200, 60.0),
+            comm_exit(250, 1e19), // saturated boundary read
+            comm_enter(400, 200.0),
+            comm_exit(450, 200.0),
+            comm_enter(600, 320.0),
+        ]);
+        let mut faults = FaultReport::new();
+        let bursts = extract_rank_bursts_checked(RankId(0), &rt, DurNs::ZERO, &mut faults);
+        assert_eq!(bursts.len(), 2, "clean bursts must survive");
+        assert_eq!(bursts[0].counters[CounterKind::Instructions], 50.0);
+        assert_eq!(bursts[1].counters[CounterKind::Instructions], 120.0);
+        assert_eq!(faults.len(), 1);
+        let fault = &faults.faults[0];
+        assert_eq!(fault.kind, FaultKind::CounterOverflow);
+        assert_eq!(fault.severity, Severity::Warning);
+        // The unchecked wrapper silently skips the same burst.
+        assert_eq!(extract_rank_bursts(RankId(0), &rt, DurNs::ZERO).len(), 2);
     }
 
     #[test]

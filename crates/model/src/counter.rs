@@ -121,10 +121,26 @@ impl CounterSet {
         &self.values
     }
 
+    /// First counter that *decreased* from `earlier` to `self`, beyond
+    /// floating-point tolerance. Accumulating counters never legitimately
+    /// decrease, so a hit means wrap-around, saturation, or corruption —
+    /// callers quarantine the enclosing interval as a
+    /// [`crate::FaultKind::CounterOverflow`] instead of trusting the delta.
+    pub fn first_decrease_since(&self, earlier: &CounterSet) -> Option<CounterKind> {
+        for (i, kind) in CounterKind::ALL.iter().enumerate() {
+            let d = self.values[i] - earlier.values[i];
+            if d < -1e-6 * self.values[i].abs().max(1.0) {
+                return Some(*kind);
+            }
+        }
+        None
+    }
+
     /// Element-wise `self - earlier`, the counter delta over an interval.
     ///
     /// Debug-asserts monotonicity (accumulating counters never decrease);
-    /// in release builds negative deltas clamp to zero.
+    /// in release builds negative deltas clamp to zero. Callers handling
+    /// untrusted data gate on [`CounterSet::first_decrease_since`] first.
     pub fn delta_since(&self, earlier: &CounterSet) -> CounterSet {
         let mut out = [0.0; NUM_COUNTERS];
         for (i, o) in out.iter_mut().enumerate() {

@@ -39,7 +39,10 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use burst::{extract_bursts, extract_rank_bursts, Burst, BurstId};
+pub use burst::{
+    extract_bursts, extract_bursts_checked, extract_rank_bursts, extract_rank_bursts_checked,
+    Burst, BurstId,
+};
 pub use callstack::{CallStack, RegionId, RegionInfo, RegionKind, SourceLocation, SourceRegistry};
 pub use counter::{CounterKind, CounterSet, PartialCounterSet, NUM_COUNTERS};
 pub use error::ModelError;

@@ -350,12 +350,29 @@ fn parse_impl(input: &str, mut faults: Option<&mut FaultReport>) -> Result<Trace
     }
 }
 
-/// Parses one `R`/`C`/`S` body line and pushes it onto its rank's stream.
-fn parse_body_record(
+/// Parses one standalone `R`/`C`/`S` body line into its rank and record,
+/// without a surrounding trace. This is the streaming-ingestion entry
+/// point: a served session receives raw record lines one chunk at a time
+/// and feeds them to an `OnlineAnalyzer`, so there is no header block and
+/// no rank stream to push onto. Header lines (`#…`) and unknown tags are
+/// rejected with a [`ModelError::Parse`] carrying `line_no`.
+pub fn parse_record_line(line: &str, line_no: usize) -> Result<(RankId, Record), ModelError> {
+    let mut p = LineParser { line_no, fields: line.split_whitespace() };
+    let tag = p.next("record tag")?;
+    match tag {
+        "R" | "C" | "S" => {
+            let (rank, record) = parse_record_fields(&mut p, tag)?;
+            Ok((RankId(rank), record))
+        }
+        other => Err(p.err(format!("unknown record tag {other:?}"))),
+    }
+}
+
+/// Parses the fields of one `R`/`C`/`S` body line (after the tag).
+fn parse_record_fields(
     p: &mut LineParser<'_>,
     tag: &str,
-    trace: &mut Trace,
-) -> Result<(), ModelError> {
+) -> Result<(u32, Record), ModelError> {
     let rank = p.next_u32("rank")?;
     let record = match tag {
         "R" => {
@@ -391,6 +408,16 @@ fn parse_body_record(
         }
         other => return Err(p.err(format!("unknown record tag {other:?}"))),
     };
+    Ok((rank, record))
+}
+
+/// Parses one `R`/`C`/`S` body line and pushes it onto its rank's stream.
+fn parse_body_record(
+    p: &mut LineParser<'_>,
+    tag: &str,
+    trace: &mut Trace,
+) -> Result<(), ModelError> {
+    let (rank, record) = parse_record_fields(p, tag)?;
     let stream = trace
         .rank_mut(RankId(rank))
         .ok_or(ModelError::UnknownRank(rank))?;
@@ -606,6 +633,36 @@ mod tests {
         let (lenient, report) = parse_trace_lenient(&text).unwrap();
         assert!(report.is_empty());
         assert_eq!(write_trace(&lenient), write_trace(&strict));
+    }
+
+    #[test]
+    fn record_line_parses_standalone() {
+        let (rank, rec) = parse_record_line("R 3 E 1000 7", 12).unwrap();
+        assert_eq!(rank, RankId(3));
+        assert!(matches!(
+            rec,
+            Record::RegionEnter { time: TimeNs(1000), region: RegionId(7) }
+        ));
+        let (rank, rec) = parse_record_line("S 1 500 INS:0.5 -", 1).unwrap();
+        assert_eq!(rank, RankId(1));
+        assert!(matches!(rec, Record::Sample(_)));
+        // Errors carry the caller-supplied line number.
+        match parse_record_line("R 0 E notatime 0", 42) {
+            Err(ModelError::Parse { line, .. }) => assert_eq!(line, 42),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        assert!(parse_record_line("#RANKS 2", 1).is_err());
+        assert!(parse_record_line("Q nonsense", 1).is_err());
+        // Round trip: every record a trace writer emits parses back.
+        let trace = sample_trace();
+        let text = write_trace(&trace);
+        for (no, line) in text.lines().enumerate() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (rank, rec) = parse_record_line(line, no + 1).unwrap();
+            assert!(trace.rank(rank).unwrap().records().contains(&rec));
+        }
     }
 
     #[test]

@@ -1,0 +1,235 @@
+//! Content-addressed result cache.
+//!
+//! A submitted trace is *canonicalized* — parsed and re-serialized through
+//! [`phasefold_model::prv`], whose writer is byte-stable — so two
+//! submissions that differ only in whitespace, trailing newlines, or
+//! quarantined garbage lines still address the same cache entry. The key
+//! combines the FNV-1a hash of those canonical bytes with a fingerprint of
+//! every semantically relevant [`AnalysisConfig`] field; `threads` is
+//! deliberately excluded because the analysis is bit-identical at any
+//! thread count (asserted by the pipeline's golden tests).
+//!
+//! The cache stores *rendered reports* (the exact bytes a cold run would
+//! answer with), in a small in-memory LRU, optionally spilled to disk under
+//! a `--cache-dir` so repeated submissions survive a daemon restart.
+
+use phasefold::AnalysisConfig;
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// 64-bit FNV-1a over arbitrary bytes. Dependency-free and stable across
+/// platforms/runs — exactly what a content address needs (this is a cache
+/// key, not a security boundary).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A content address: canonical-trace hash + config fingerprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// FNV-1a of the canonicalized trace bytes.
+    pub trace: u64,
+    /// FNV-1a of the canonical config description.
+    pub config: u64,
+}
+
+impl CacheKey {
+    /// Derives the key for canonical trace bytes under a config.
+    pub fn derive(canonical_trace: &str, config: &AnalysisConfig) -> CacheKey {
+        CacheKey {
+            trace: fnv1a64(canonical_trace.as_bytes()),
+            config: config_fingerprint(config),
+        }
+    }
+
+    /// Filesystem-safe hex form, used as the spill file stem.
+    pub fn hex(&self) -> String {
+        format!("{:016x}-{:016x}", self.trace, self.config)
+    }
+}
+
+/// Fingerprints the semantically relevant analysis configuration.
+///
+/// Built from the `Debug` rendering of the config with `threads`
+/// normalized out: every other field (burst filter, clustering, folding,
+/// PWLR, bootstrap, fault policy) changes the analysis output, so any
+/// mutation must — and does — change the fingerprint. `Debug` for floats
+/// is Rust's shortest-round-trip form, which is stable.
+pub fn config_fingerprint(config: &AnalysisConfig) -> u64 {
+    let mut canon = config.clone();
+    canon.threads = None; // bit-identical at any thread count
+    fnv1a64(format!("{canon:?}").as_bytes())
+}
+
+struct Entry {
+    report: String,
+    last_used: u64,
+}
+
+/// Cache hit/miss tallies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from memory or disk.
+    pub hits: u64,
+    /// Lookups that fell through to analysis.
+    pub misses: u64,
+    /// Entries evicted from memory (still on disk when spill is on).
+    pub evictions: u64,
+}
+
+/// In-memory LRU of rendered reports with optional disk spill.
+pub struct ResultCache {
+    entries: HashMap<CacheKey, Entry>,
+    capacity: usize,
+    tick: u64,
+    spill_dir: Option<PathBuf>,
+    stats: CacheStats,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` reports in memory, spilling to
+    /// `spill_dir` when given (the directory is created eagerly so a bad
+    /// path fails at startup, not mid-request).
+    pub fn new(capacity: usize, spill_dir: Option<PathBuf>) -> std::io::Result<ResultCache> {
+        if let Some(dir) = &spill_dir {
+            std::fs::create_dir_all(dir)?;
+        }
+        Ok(ResultCache {
+            entries: HashMap::new(),
+            capacity: capacity.max(1),
+            tick: 0,
+            spill_dir,
+            stats: CacheStats::default(),
+        })
+    }
+
+    fn spill_path(&self, key: &CacheKey) -> Option<PathBuf> {
+        self.spill_dir.as_ref().map(|d| d.join(format!("{}.report", key.hex())))
+    }
+
+    /// Looks the key up in memory, then on disk. Disk hits are promoted
+    /// back into memory.
+    pub fn get(&mut self, key: &CacheKey) -> Option<String> {
+        self.tick += 1;
+        if let Some(entry) = self.entries.get_mut(key) {
+            entry.last_used = self.tick;
+            self.stats.hits += 1;
+            phasefold_obs::counter!("serve.cache_hits", 1);
+            return Some(entry.report.clone());
+        }
+        if let Some(path) = self.spill_path(key) {
+            if let Ok(report) = std::fs::read_to_string(&path) {
+                self.stats.hits += 1;
+                phasefold_obs::counter!("serve.cache_hits", 1);
+                self.insert_memory(*key, report.clone());
+                return Some(report);
+            }
+        }
+        self.stats.misses += 1;
+        phasefold_obs::counter!("serve.cache_misses", 1);
+        None
+    }
+
+    /// Inserts a rendered report, evicting the least-recently-used entry
+    /// when over capacity, and writing the spill file when enabled. A
+    /// failed spill write is silently ignored: the disk layer is an
+    /// optimisation, never a correctness dependency.
+    pub fn insert(&mut self, key: CacheKey, report: String) {
+        if let Some(path) = self.spill_path(&key) {
+            let _ = std::fs::write(&path, &report);
+        }
+        self.insert_memory(key, report);
+    }
+
+    fn insert_memory(&mut self, key: CacheKey, report: String) {
+        self.tick += 1;
+        while self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            let lru = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k);
+            match lru {
+                Some(k) => {
+                    self.entries.remove(&k);
+                    self.stats.evictions += 1;
+                    phasefold_obs::counter!("serve.cache_evictions", 1);
+                }
+                None => break,
+            }
+        }
+        self.entries.insert(key, Entry { report, last_used: self.tick });
+    }
+
+    /// Entries currently held in memory.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached in memory.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Hit/miss/eviction counters since construction.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Standard FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut cache = ResultCache::new(2, None).unwrap();
+        let k = |i: u64| CacheKey { trace: i, config: 0 };
+        cache.insert(k(1), "one".into());
+        cache.insert(k(2), "two".into());
+        assert_eq!(cache.get(&k(1)).as_deref(), Some("one")); // touch 1
+        cache.insert(k(3), "three".into()); // evicts 2
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&k(2)).is_none());
+        assert_eq!(cache.get(&k(1)).as_deref(), Some("one"));
+        assert_eq!(cache.get(&k(3)).as_deref(), Some("three"));
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn disk_spill_survives_memory_eviction() {
+        let dir = std::env::temp_dir().join("phasefold-serve-cache-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cache = ResultCache::new(1, Some(dir.clone())).unwrap();
+        let k = |i: u64| CacheKey { trace: i, config: 7 };
+        cache.insert(k(1), "spilled report".into());
+        cache.insert(k(2), "other".into()); // evicts 1 from memory
+        assert_eq!(cache.len(), 1);
+        // …but the spill file brings it back.
+        assert_eq!(cache.get(&k(1)).as_deref(), Some("spilled report"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn threads_do_not_change_the_fingerprint() {
+        let a = AnalysisConfig { threads: Some(1), ..AnalysisConfig::default() };
+        let b = AnalysisConfig { threads: Some(8), ..AnalysisConfig::default() };
+        assert_eq!(config_fingerprint(&a), config_fingerprint(&b));
+        let c = AnalysisConfig { min_folded_points: 31, ..AnalysisConfig::default() };
+        assert_ne!(config_fingerprint(&a), config_fingerprint(&c));
+    }
+}

@@ -1,0 +1,168 @@
+//! Std-only HTTP/1.1 client for the daemon.
+//!
+//! Shared by the integration tests, the chaos harness, the load
+//! generator (`exp_serve_load`), and the CLI — one implementation, so a
+//! protocol change breaks loudly everywhere at once. Keep-alive is the
+//! default: one [`Client`] maps to one TCP connection reused across
+//! requests, which is what the closed-loop load test needs.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One parsed response.
+#[derive(Debug)]
+pub struct Response {
+    /// Status code (200, 503, …).
+    pub status: u16,
+    /// Header `(name, value)` pairs, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// First value of a (lower-case) header name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Body as (lossy) text.
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// True when the server marked this answer as served from cache.
+    pub fn cache_hit(&self) -> bool {
+        self.header("x-cache") == Some("hit")
+    }
+}
+
+/// A keep-alive connection to the daemon.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to `addr` (`host:port`) with a read timeout so a wedged
+    /// server fails the caller instead of hanging it.
+    pub fn connect(addr: &str, timeout: Duration) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client { writer: stream, reader })
+    }
+
+    /// Sends one request with a `Content-Length` body and reads the
+    /// response.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        extra_headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> std::io::Result<Response> {
+        let mut head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: phasefold\r\ncontent-length: {}\r\n",
+            body.len()
+        );
+        for (name, value) in extra_headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str("\r\n");
+        self.writer.write_all(head.as_bytes())?;
+        self.writer.write_all(body)?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// Sends one request with a `Transfer-Encoding: chunked` body, one
+    /// chunk per slice — how streamed PRV batches go over the wire.
+    pub fn request_chunked(
+        &mut self,
+        method: &str,
+        path: &str,
+        chunks: &[&[u8]],
+    ) -> std::io::Result<Response> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: phasefold\r\ntransfer-encoding: chunked\r\n\r\n"
+        );
+        self.writer.write_all(head.as_bytes())?;
+        for chunk in chunks.iter().filter(|c| !c.is_empty()) {
+            self.writer.write_all(format!("{:x}\r\n", chunk.len()).as_bytes())?;
+            self.writer.write_all(chunk)?;
+            self.writer.write_all(b"\r\n")?;
+        }
+        self.writer.write_all(b"0\r\n\r\n")?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> std::io::Result<Response> {
+        let status_line = self.read_line()?;
+        let mut parts = status_line.split_whitespace();
+        let _version = parts.next();
+        let status: u16 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad_data(format!("bad status line {status_line:?}")))?;
+
+        let mut headers = Vec::new();
+        let mut content_length = 0usize;
+        loop {
+            let line = self.read_line()?;
+            if line.is_empty() {
+                break;
+            }
+            let (name, value) = line
+                .split_once(':')
+                .ok_or_else(|| bad_data(format!("bad header {line:?}")))?;
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
+                content_length = value
+                    .parse()
+                    .map_err(|_| bad_data(format!("bad content-length {value:?}")))?;
+            }
+            headers.push((name, value));
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        Ok(Response { status, headers, body })
+    }
+
+    fn read_line(&mut self) -> std::io::Result<String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed connection",
+            ));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+}
+
+fn bad_data(msg: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}
+
+/// Convenience: one request over a fresh connection.
+pub fn one_shot(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> std::io::Result<Response> {
+    let mut client = Client::connect(addr, Duration::from_secs(30))?;
+    client.request(method, path, &[], body)
+}

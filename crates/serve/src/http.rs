@@ -1,0 +1,277 @@
+//! Minimal HTTP/1.1 on `std::net` — exactly the subset the daemon needs.
+//!
+//! Request side: request line, headers (with a hard byte cap so oversized
+//! or hostile headers cannot balloon memory), and bodies sent either with
+//! `Content-Length` or `Transfer-Encoding: chunked` — the latter is what
+//! streaming trace ingestion uses, one chunk per batch of PRV record
+//! lines. Response side: status line + headers + `Content-Length` body
+//! (the server never chunk-encodes responses).
+//!
+//! Every defect is a typed [`HttpError`] that maps onto a 4xx status; the
+//! connection loop answers well-formed requests that *follow* a defective
+//! one, so one bad client write never takes a connection pool down.
+
+use std::io::{BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Hard cap on the summed bytes of the request line + all header lines.
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+
+/// Hard cap on a single request body (64 MiB — a large trace is ~10 MiB).
+pub const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
+
+/// What went wrong while reading a request, mapped to a response status.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Malformed request line, header, or chunk framing → 400.
+    BadRequest(String),
+    /// Request line + headers exceeded [`MAX_HEADER_BYTES`] → 431.
+    HeadersTooLarge,
+    /// Body exceeded the configured cap → 413.
+    BodyTooLarge,
+    /// The socket read timed out mid-request (slow writer) → 408.
+    Timeout,
+    /// The peer closed the connection before or mid-request; nothing to
+    /// answer.
+    Closed,
+    /// Any other transport failure; nothing to answer.
+    Io(std::io::Error),
+}
+
+impl HttpError {
+    /// The status code a still-writable connection should answer with
+    /// (`None` when the peer is gone).
+    pub fn status(&self) -> Option<(u16, &'static str)> {
+        match self {
+            HttpError::BadRequest(_) => Some((400, "Bad Request")),
+            HttpError::HeadersTooLarge => Some((431, "Request Header Fields Too Large")),
+            HttpError::BodyTooLarge => Some((413, "Payload Too Large")),
+            HttpError::Timeout => Some((408, "Request Timeout")),
+            HttpError::Closed | HttpError::Io(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> HttpError {
+        match e.kind() {
+            // A read timeout surfaces as WouldBlock (unix) or TimedOut.
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => HttpError::Timeout,
+            std::io::ErrorKind::UnexpectedEof
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::BrokenPipe => HttpError::Closed,
+            _ => HttpError::Io(e),
+        }
+    }
+}
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, `DELETE`, …).
+    pub method: String,
+    /// Path without the query string, e.g. `/v1/streams/abc/records`.
+    pub path: String,
+    /// Raw query string (text after `?`), empty when absent.
+    pub query: String,
+    /// Header `(name, value)` pairs; names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The (already de-chunked) body.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a (lower-case) header name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Value of one `key=value` pair in the query string.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .split('&')
+            .filter_map(|kv| kv.split_once('='))
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Whether the client asked to keep the connection open (HTTP/1.1
+    /// default unless `Connection: close`).
+    pub fn keep_alive(&self) -> bool {
+        !self
+            .header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Reads one CRLF- (or bare-LF-) terminated line, enforcing the shared
+/// header budget. Returns `None` on a clean EOF at a line boundary.
+fn read_line(
+    reader: &mut BufReader<TcpStream>,
+    budget: &mut usize,
+) -> Result<Option<String>, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(HttpError::Closed);
+            }
+            Ok(_) => {
+                *budget = budget.checked_sub(1).ok_or(HttpError::HeadersTooLarge)?;
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return String::from_utf8(line)
+                        .map(Some)
+                        .map_err(|_| HttpError::BadRequest("non-UTF-8 header line".into()));
+                }
+                line.push(byte[0]);
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
+/// Reads and parses one request. `Ok(None)` means the peer closed the
+/// connection cleanly between requests (normal keep-alive end).
+pub fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    max_body: usize,
+) -> Result<Option<Request>, HttpError> {
+    let mut budget = MAX_HEADER_BYTES;
+    let Some(request_line) = read_line(reader, &mut budget)? else {
+        return Ok(None);
+    };
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("empty request line".into()))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("missing request target".into()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("missing HTTP version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest(format!("unsupported version {version:?}")));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+
+    let mut headers = Vec::new();
+    loop {
+        let Some(line) = read_line(reader, &mut budget)? else {
+            return Err(HttpError::Closed);
+        };
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::BadRequest(format!("malformed header {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let mut req = Request { method, path, query, headers, body: Vec::new() };
+    let chunked = req
+        .header("transfer-encoding")
+        .is_some_and(|v| v.to_ascii_lowercase().contains("chunked"));
+    if chunked {
+        req.body = read_chunked_body(reader, max_body)?;
+    } else if let Some(len) = req.header("content-length") {
+        let len: usize = len
+            .parse()
+            .map_err(|_| HttpError::BadRequest(format!("bad content-length {len:?}")))?;
+        if len > max_body {
+            return Err(HttpError::BodyTooLarge);
+        }
+        let mut body = vec![0u8; len];
+        reader.read_exact(&mut body)?;
+        req.body = body;
+    }
+    Ok(Some(req))
+}
+
+/// Decodes a `Transfer-Encoding: chunked` body.
+fn read_chunked_body(
+    reader: &mut BufReader<TcpStream>,
+    max_body: usize,
+) -> Result<Vec<u8>, HttpError> {
+    let mut body = Vec::new();
+    loop {
+        // Chunk-size lines share the header byte discipline (tiny cap per
+        // line; a hex length never needs more).
+        let mut budget = 256usize;
+        let Some(size_line) = read_line(reader, &mut budget)? else {
+            return Err(HttpError::Closed);
+        };
+        let size_hex = size_line.split(';').next().unwrap_or("").trim();
+        let size = usize::from_str_radix(size_hex, 16)
+            .map_err(|_| HttpError::BadRequest(format!("bad chunk size {size_line:?}")))?;
+        if size == 0 {
+            // Trailer section: discard until the blank line.
+            loop {
+                let mut budget = 1024usize;
+                match read_line(reader, &mut budget)? {
+                    None => return Err(HttpError::Closed),
+                    Some(l) if l.is_empty() => return Ok(body),
+                    Some(_) => {}
+                }
+            }
+        }
+        if body.len() + size > max_body {
+            return Err(HttpError::BodyTooLarge);
+        }
+        let start = body.len();
+        body.resize(start + size, 0);
+        reader.read_exact(&mut body[start..])?;
+        // The CRLF after the chunk data.
+        let mut crlf = [0u8; 2];
+        reader.read_exact(&mut crlf)?;
+        if &crlf != b"\r\n" {
+            return Err(HttpError::BadRequest("missing CRLF after chunk".into()));
+        }
+    }
+}
+
+/// Writes one response with a `Content-Length` body. `extra_headers` are
+/// `(name, value)` pairs appended verbatim.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\n",
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str(if keep_alive {
+        "connection: keep-alive\r\n\r\n"
+    } else {
+        "connection: close\r\n\r\n"
+    });
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}

@@ -1,0 +1,37 @@
+//! # phasefold-serve
+//!
+//! A dependency-free analysis daemon over the phasefold pipeline:
+//! `std::net` HTTP/1.1, a bounded job queue with backpressure, streaming
+//! PRV ingestion into [`phasefold::OnlineAnalyzer`] sessions, and a
+//! content-addressed result cache (FNV-1a of canonicalized trace bytes +
+//! config fingerprint → rendered report, LRU with optional disk spill).
+//!
+//! ```no_run
+//! use phasefold_serve::{serve, ServeConfig};
+//!
+//! let handle = serve(ServeConfig::default())?;
+//! println!("listening on {}", handle.addr());
+//! let stats = handle.join(); // until SIGTERM or POST /admin/shutdown
+//! assert!(stats.clean);
+//! # Ok::<(), std::io::Error>(())
+//! ```
+//!
+//! Network-facing code must degrade, not die: the whole crate denies
+//! `unwrap`/`expect` (tests excepted), worker panics are isolated by the
+//! queue, and every protocol defect maps onto a 4xx/5xx answer.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)] // overridden only in `shutdown` for signal(2)
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod queue;
+pub mod server;
+pub mod shutdown;
+
+pub use cache::{CacheKey, CacheStats, ResultCache};
+pub use client::{one_shot, Client, Response};
+pub use queue::{JobQueue, SubmitError};
+pub use server::{serve, DrainStats, ServeConfig, ServerHandle};

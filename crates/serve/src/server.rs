@@ -1,0 +1,622 @@
+//! The daemon: accept loop, routing, sessions, and graceful drain.
+//!
+//! ## Endpoints
+//!
+//! | Method | Path | Purpose |
+//! |---|---|---|
+//! | `POST` | `/v1/analyze` | Full trace → rendered report (cached) |
+//! | `POST` | `/v1/streams/{id}/records` | Stream PRV record lines into a session |
+//! | `GET`  | `/v1/streams/{id}/phases` | Incremental snapshot of a session |
+//! | `DELETE` | `/v1/streams/{id}` | Drop a session |
+//! | `GET`  | `/healthz` | Liveness + session/queue gauges |
+//! | `GET`  | `/metrics` | Server counters + phasefold-obs metrics |
+//! | `POST` | `/admin/shutdown` | Ask the daemon to drain and exit |
+//!
+//! Analysis requests are scheduled on a bounded [`JobQueue`]; a full queue
+//! answers `503` with `Retry-After` so load sheds instead of piling up.
+//! Shutdown — via [`ServerHandle::shutdown`], `/admin/shutdown`, or
+//! SIGTERM/SIGINT — stops accepting, lets in-flight connections and jobs
+//! finish, and reports whether the drain was clean.
+
+use crate::cache::{CacheKey, ResultCache};
+use crate::http::{self, Request};
+use crate::queue::{lock_recover, JobQueue, SubmitError};
+use crate::shutdown;
+use phasefold::report::render_report;
+use phasefold::{try_analyze_trace, AnalysisConfig, FaultPolicy, OnlineAnalyzer};
+use phasefold_model::prv;
+use phasefold_model::{Record, RankId};
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Everything tunable about one daemon instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port `0` picks an ephemeral port (tests, scripts).
+    pub addr: String,
+    /// Worker threads executing analysis jobs.
+    pub workers: usize,
+    /// Jobs the queue holds beyond the ones executing; the backpressure
+    /// bound.
+    pub queue_depth: usize,
+    /// Reports kept in the in-memory cache.
+    pub cache_entries: usize,
+    /// Directory for cache spill files (`None` = memory only).
+    pub cache_dir: Option<PathBuf>,
+    /// Analysis settings applied to submitted traces (per-request
+    /// `?fault-policy=` overrides just the policy).
+    pub analysis: AnalysisConfig,
+    /// Streaming sessions freeze their clustering after this many bursts.
+    pub warmup_bursts: usize,
+    /// Per-read socket timeout; a slower writer gets `408` and is cut off.
+    pub read_timeout: Duration,
+    /// Largest accepted request body.
+    pub max_body: usize,
+    /// How long a drain waits for connections and jobs before giving up.
+    pub drain_deadline: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_depth: 32,
+            cache_entries: 64,
+            cache_dir: None,
+            analysis: AnalysisConfig::default(),
+            warmup_bursts: 64,
+            read_timeout: Duration::from_secs(5),
+            max_body: http::MAX_BODY_BYTES,
+            drain_deadline: Duration::from_secs(10),
+        }
+    }
+}
+
+/// How the daemon went down.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DrainStats {
+    /// Requests answered over the daemon's lifetime.
+    pub requests: u64,
+    /// Requests rejected with `503` (queue full / shutting down).
+    pub rejected: u64,
+    /// Analysis jobs that ran to completion.
+    pub jobs_completed: usize,
+    /// Analysis jobs isolated after a panic.
+    pub jobs_panicked: usize,
+    /// True when every connection closed and every job finished before the
+    /// drain deadline.
+    pub clean: bool,
+    /// Connections still open when the drain gave up (0 when clean).
+    pub connections_at_exit: usize,
+    /// Jobs still in flight when the drain gave up (0 when clean).
+    pub jobs_at_exit: usize,
+}
+
+struct State {
+    config: ServeConfig,
+    cache: Mutex<ResultCache>,
+    queue: JobQueue,
+    sessions: Mutex<HashMap<String, Arc<Mutex<OnlineAnalyzer>>>>,
+    shutdown: AtomicBool,
+    requests: AtomicU64,
+    rejected: AtomicU64,
+    active_connections: AtomicUsize,
+    started: Instant,
+}
+
+impl State {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    fn session_count(&self) -> usize {
+        lock_recover(&self.sessions).len()
+    }
+}
+
+/// Decrements the live-connection gauge even when a handler panics.
+struct ConnGuard(Arc<State>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.active_connections.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// A running daemon. Dropping the handle shuts the daemon down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<State>,
+    thread: Option<JoinHandle<DrainStats>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests a drain and waits for it; returns the drain outcome.
+    pub fn shutdown(mut self) -> DrainStats {
+        self.state.request_shutdown();
+        self.join_inner()
+    }
+
+    /// Blocks until the daemon exits on its own (signal or
+    /// `/admin/shutdown`).
+    pub fn join(mut self) -> DrainStats {
+        self.join_inner()
+    }
+
+    fn join_inner(&mut self) -> DrainStats {
+        match self.thread.take() {
+            Some(t) => t.join().unwrap_or_default(),
+            None => DrainStats::default(),
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.state.request_shutdown();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Binds and starts a daemon; returns once the listener is accepting.
+pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    phasefold_obs::set_enabled(true);
+    let state = Arc::new(State {
+        cache: Mutex::new(ResultCache::new(config.cache_entries, config.cache_dir.clone())?),
+        queue: JobQueue::new(config.workers, config.queue_depth),
+        sessions: Mutex::new(HashMap::new()),
+        shutdown: AtomicBool::new(false),
+        requests: AtomicU64::new(0),
+        rejected: AtomicU64::new(0),
+        active_connections: AtomicUsize::new(0),
+        started: Instant::now(),
+        config,
+    });
+    let run_state = Arc::clone(&state);
+    let thread = std::thread::Builder::new()
+        .name("serve-accept".to_string())
+        .spawn(move || run(&run_state, &listener))?;
+    Ok(ServerHandle { addr, state, thread: Some(thread) })
+}
+
+fn run(state: &Arc<State>, listener: &TcpListener) -> DrainStats {
+    let mut conn_threads: Vec<JoinHandle<()>> = Vec::new();
+    while !state.shutting_down() {
+        if shutdown::signalled() {
+            state.request_shutdown();
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // The accepted socket must not inherit the listener's
+                // non-blocking mode.
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                state.active_connections.fetch_add(1, Ordering::SeqCst);
+                let conn_state = Arc::clone(state);
+                let spawned = std::thread::Builder::new()
+                    .name("serve-conn".to_string())
+                    .spawn(move || {
+                        let guard = ConnGuard(Arc::clone(&conn_state));
+                        handle_connection(&conn_state, stream);
+                        drop(guard);
+                    });
+                match spawned {
+                    Ok(h) => conn_threads.push(h),
+                    Err(_) => {
+                        state.active_connections.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
+                conn_threads.retain(|h| !h.is_finished());
+            }
+            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+
+    // Drain: no new connections are accepted; wait for the open ones and
+    // the queued jobs to finish.
+    let deadline = Instant::now() + state.config.drain_deadline;
+    loop {
+        let conns = state.active_connections.load(Ordering::SeqCst);
+        let jobs = state.queue.in_flight();
+        if conns == 0 && jobs == 0 {
+            break;
+        }
+        if Instant::now() >= deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    state.queue.drain();
+    for h in conn_threads {
+        if h.is_finished() {
+            let _ = h.join();
+        }
+    }
+    let connections_at_exit = state.active_connections.load(Ordering::SeqCst);
+    let jobs_at_exit = state.queue.in_flight();
+    DrainStats {
+        requests: state.requests.load(Ordering::SeqCst),
+        rejected: state.rejected.load(Ordering::SeqCst),
+        jobs_completed: state.queue.completed(),
+        jobs_panicked: state.queue.panicked(),
+        clean: connections_at_exit == 0 && jobs_at_exit == 0,
+        connections_at_exit,
+        jobs_at_exit,
+    }
+}
+
+fn handle_connection(state: &Arc<State>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(state.config.read_timeout));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    loop {
+        if state.shutting_down() {
+            return;
+        }
+        match http::read_request(&mut reader, state.config.max_body) {
+            Ok(None) => return, // clean keep-alive close
+            Ok(Some(req)) => {
+                state.requests.fetch_add(1, Ordering::SeqCst);
+                phasefold_obs::counter!("serve.requests", 1);
+                let keep_alive = req.keep_alive() && !state.shutting_down();
+                let reply = route(state, &req);
+                let headers: Vec<(&str, &str)> = reply
+                    .headers
+                    .iter()
+                    .map(|(n, v)| (n.as_str(), v.as_str()))
+                    .collect();
+                if http::write_response(
+                    &mut writer,
+                    reply.status,
+                    reply.reason,
+                    reply.content_type,
+                    &headers,
+                    &reply.body,
+                    keep_alive,
+                )
+                .is_err()
+                    || !keep_alive
+                {
+                    return;
+                }
+            }
+            Err(e) => {
+                // Framing is unreliable after a defect: answer what we can
+                // attribute a status to, then close.
+                if let Some((status, reason)) = e.status() {
+                    let _ = http::write_response(
+                        &mut writer,
+                        status,
+                        reason,
+                        "text/plain",
+                        &[],
+                        reason.as_bytes(),
+                        false,
+                    );
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// One routed answer, ready to serialize.
+struct Reply {
+    status: u16,
+    reason: &'static str,
+    content_type: &'static str,
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+}
+
+impl Reply {
+    fn new(status: u16, reason: &'static str, content_type: &'static str, body: Vec<u8>) -> Reply {
+        Reply { status, reason, content_type, headers: Vec::new(), body }
+    }
+
+    fn json(status: u16, reason: &'static str, body: String) -> Reply {
+        Reply::new(status, reason, "application/json", body.into_bytes())
+    }
+
+    fn text(status: u16, reason: &'static str, body: String) -> Reply {
+        Reply::new(status, reason, "text/plain", body.into_bytes())
+    }
+
+    fn bad_request(msg: String) -> Reply {
+        Reply::text(400, "Bad Request", msg)
+    }
+
+    fn not_found() -> Reply {
+        Reply::text(404, "Not Found", "no such resource\n".to_string())
+    }
+
+    fn header(mut self, name: &str, value: String) -> Reply {
+        self.headers.push((name.to_string(), value));
+        self
+    }
+}
+
+fn route(state: &Arc<State>, req: &Request) -> Reply {
+    let path = req.path.as_str();
+    match (req.method.as_str(), path) {
+        ("GET", "/healthz") => healthz(state),
+        ("GET", "/metrics") => metrics(state),
+        ("POST", "/v1/analyze") => analyze(state, req),
+        ("POST", "/admin/shutdown") => {
+            state.request_shutdown();
+            Reply::json(200, "OK", "{\"draining\": true}\n".to_string())
+        }
+        _ => {
+            if let Some(rest) = path.strip_prefix("/v1/streams/") {
+                return match (req.method.as_str(), rest.split_once('/')) {
+                    ("POST", Some((id, "records"))) => stream_records(state, req, id),
+                    ("GET", Some((id, "phases"))) => stream_phases(state, id),
+                    ("DELETE", None) => stream_delete(state, rest),
+                    _ => Reply::not_found(),
+                };
+            }
+            Reply::not_found()
+        }
+    }
+}
+
+fn healthz(state: &Arc<State>) -> Reply {
+    let body = format!(
+        "{{\n\"status\": \"ok\",\n\"uptime_ms\": {},\n\"sessions\": {},\n\"jobs_in_flight\": {},\n\"active_connections\": {},\n\"requests\": {}\n}}\n",
+        state.started.elapsed().as_millis(),
+        state.session_count(),
+        state.queue.in_flight(),
+        state.active_connections.load(Ordering::SeqCst),
+        state.requests.load(Ordering::SeqCst),
+    );
+    Reply::json(200, "OK", body)
+}
+
+fn metrics(state: &Arc<State>) -> Reply {
+    let cache_stats = lock_recover(&state.cache).stats();
+    let cache_len = lock_recover(&state.cache).len();
+    // Server-level gauges first (authoritative, monotone across scrapes),
+    // then the obs export (spans drain per scrape, by design).
+    let mut body = format!(
+        "{{\n\"schema\": \"phasefold-serve-metrics/1\",\n\"uptime_ms\": {},\n\"requests\": {},\n\"rejected\": {},\n\"sessions\": {},\n\"jobs_in_flight\": {},\n\"jobs_completed\": {},\n\"jobs_panicked\": {},\n\"cache_hits\": {},\n\"cache_misses\": {},\n\"cache_evictions\": {},\n\"cache_entries\": {}\n}}\n",
+        state.started.elapsed().as_millis(),
+        state.requests.load(Ordering::SeqCst),
+        state.rejected.load(Ordering::SeqCst),
+        state.session_count(),
+        state.queue.in_flight(),
+        state.queue.completed(),
+        state.queue.panicked(),
+        cache_stats.hits,
+        cache_stats.misses,
+        cache_stats.evictions,
+        cache_len,
+    );
+    body.push_str(&phasefold_obs::export::metrics_json(&phasefold_obs::snapshot()));
+    Reply::json(200, "OK", body)
+}
+
+/// Applies a `?fault-policy=` override to the configured analysis.
+fn effective_config(state: &Arc<State>, req: &Request) -> Result<AnalysisConfig, Reply> {
+    let mut config = state.config.analysis.clone();
+    match req.query_param("fault-policy") {
+        None => {}
+        Some("strict") => config.fault_policy = FaultPolicy::Strict,
+        Some("lenient") => config.fault_policy = FaultPolicy::Lenient,
+        Some(other) => {
+            return Err(Reply::bad_request(format!(
+                "unknown fault-policy {other:?} (want strict|lenient)\n"
+            )))
+        }
+    }
+    Ok(config)
+}
+
+fn analyze(state: &Arc<State>, req: &Request) -> Reply {
+    let config = match effective_config(state, req) {
+        Ok(c) => c,
+        Err(reply) => return reply,
+    };
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return Reply::bad_request("trace body is not UTF-8\n".to_string());
+    };
+    // Parse according to policy; lenient quarantines defective lines.
+    let (trace, parse_quarantined) = match config.fault_policy {
+        FaultPolicy::Strict => match prv::parse_trace(text) {
+            Ok(t) => (t, 0usize),
+            Err(e) => return Reply::text(422, "Unprocessable Entity", format!("{e}\n")),
+        },
+        FaultPolicy::Lenient => match prv::parse_trace_lenient(text) {
+            Ok((t, report)) => {
+                let n = report.faults.len();
+                (t, n)
+            }
+            Err(fault) => return Reply::text(422, "Unprocessable Entity", format!("{fault}\n")),
+        },
+    };
+
+    // Content address: canonical bytes + config fingerprint.
+    let canonical = prv::write_trace(&trace);
+    let key = CacheKey::derive(&canonical, &config);
+    if let Some(report) = lock_recover(&state.cache).get(&key) {
+        return Reply::text(200, "OK", report)
+            .header("x-cache", "hit".to_string())
+            .header("x-parse-quarantined", parse_quarantined.to_string());
+    }
+
+    // Miss: schedule the analysis on the bounded queue and wait for it.
+    let (tx, rx) = mpsc::channel::<Result<String, String>>();
+    let job = Box::new(move || {
+        let _sp = phasefold_obs::span!("serve.analyze_job");
+        let outcome = match try_analyze_trace(&trace, &config) {
+            Ok(analysis) => Ok(render_report(&analysis, &trace.registry)),
+            Err(fault) => Err(format!("{fault}")),
+        };
+        let _ = tx.send(outcome);
+    });
+    match state.queue.try_submit(job) {
+        Ok(()) => {}
+        Err(SubmitError::Full) => {
+            state.rejected.fetch_add(1, Ordering::SeqCst);
+            return Reply::text(503, "Service Unavailable", "queue full, retry shortly\n".into())
+                .header("retry-after", "1".to_string());
+        }
+        Err(SubmitError::ShuttingDown) => {
+            state.rejected.fetch_add(1, Ordering::SeqCst);
+            return Reply::text(503, "Service Unavailable", "daemon is draining\n".into());
+        }
+    }
+    // A worker panic would drop `tx`; the disconnect below turns that into
+    // a 500 instead of a hang.
+    match rx.recv_timeout(Duration::from_secs(600)) {
+        Ok(Ok(report)) => {
+            lock_recover(&state.cache).insert(key, report.clone());
+            Reply::text(200, "OK", report)
+                .header("x-cache", "miss".to_string())
+                .header("x-parse-quarantined", parse_quarantined.to_string())
+        }
+        Ok(Err(fault)) => Reply::text(422, "Unprocessable Entity", format!("{fault}\n")),
+        Err(_) => Reply::text(
+            500,
+            "Internal Server Error",
+            "analysis job died or timed out\n".to_string(),
+        ),
+    }
+}
+
+/// Gets (or lazily creates) the streaming session `id`.
+fn session(state: &Arc<State>, req: &Request, id: &str) -> Result<Arc<Mutex<OnlineAnalyzer>>, Reply> {
+    if id.is_empty() || id.len() > 128 || !id.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_') {
+        return Err(Reply::bad_request(format!(
+            "stream id {id:?} must be 1-128 chars of [A-Za-z0-9_-]\n"
+        )));
+    }
+    let config = effective_config(state, req)?;
+    let warmup = state.config.warmup_bursts;
+    let mut sessions = lock_recover(&state.sessions);
+    Ok(Arc::clone(sessions.entry(id.to_string()).or_insert_with(|| {
+        phasefold_obs::counter!("serve.sessions_created", 1);
+        Arc::new(Mutex::new(OnlineAnalyzer::new(config, warmup)))
+    })))
+}
+
+fn stream_records(state: &Arc<State>, req: &Request, id: &str) -> Reply {
+    let analyzer = match session(state, req, id) {
+        Ok(a) => a,
+        Err(reply) => return reply,
+    };
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return Reply::bad_request("record body is not UTF-8\n".to_string());
+    };
+
+    // Parse the batch, grouping consecutive same-rank records so
+    // `try_push_records` sees few large batches instead of many singletons.
+    let mut batches: Vec<(RankId, Vec<Record>)> = Vec::new();
+    let mut malformed = 0usize;
+    let strict = matches!(
+        effective_config(state, req).map(|c| c.fault_policy),
+        Ok(FaultPolicy::Strict)
+    );
+    for (line_no, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue; // headers/comments are legal but carry no records
+        }
+        match prv::parse_record_line(line, line_no + 1) {
+            Ok((rank, record)) => match batches.last_mut() {
+                Some((last_rank, batch)) if *last_rank == rank => batch.push(record),
+                _ => batches.push((rank, vec![record])),
+            },
+            Err(e) if strict => {
+                return Reply::text(422, "Unprocessable Entity", format!("{e}\n"));
+            }
+            Err(_) => malformed += 1,
+        }
+    }
+
+    let mut accepted = 0usize;
+    let (quarantined, faults_total) = {
+        let mut analyzer = lock_recover(&analyzer);
+        let before = analyzer.records_quarantined();
+        for (rank, batch) in &batches {
+            match analyzer.try_push_records(*rank, batch) {
+                Ok(n) => accepted += n,
+                Err(fault) => {
+                    // Strict session: the batch aborted on this fault.
+                    return Reply::text(422, "Unprocessable Entity", format!("{fault}\n"));
+                }
+            }
+        }
+        (
+            analyzer.records_quarantined() - before,
+            analyzer.stream_faults().faults.len(),
+        )
+    };
+    Reply::json(
+        200,
+        "OK",
+        format!(
+            "{{\n\"session\": \"{id}\",\n\"accepted\": {accepted},\n\"quarantined\": {quarantined},\n\"malformed\": {malformed},\n\"stream_faults\": {faults_total}\n}}\n"
+        ),
+    )
+}
+
+fn stream_phases(state: &Arc<State>, id: &str) -> Reply {
+    let analyzer = {
+        let sessions = lock_recover(&state.sessions);
+        match sessions.get(id) {
+            Some(a) => Arc::clone(a),
+            None => return Reply::not_found(),
+        }
+    };
+    let analyzer = lock_recover(&analyzer);
+    let analysis = analyzer.snapshot();
+    let num_phases: usize = analysis.models.iter().map(|m| m.phases.len()).sum();
+    let body = format!(
+        "{{\n\"session\": \"{id}\",\n\"warm\": {},\n\"bursts_seen\": {},\n\"noise_bursts\": {},\n\"records_quarantined\": {},\n\"num_clusters\": {},\n\"num_models\": {},\n\"num_phases\": {num_phases},\n\"faults\": {}\n}}\n",
+        analyzer.is_warm(),
+        analyzer.bursts_seen(),
+        analyzer.noise_bursts(),
+        analyzer.records_quarantined(),
+        analysis.clustering.num_clusters,
+        analysis.models.len(),
+        analysis.faults.faults.len(),
+    );
+    Reply::json(200, "OK", body)
+}
+
+fn stream_delete(state: &Arc<State>, id: &str) -> Reply {
+    match lock_recover(&state.sessions).remove(id) {
+        Some(_) => Reply::json(200, "OK", format!("{{\"deleted\": \"{id}\"}}\n")),
+        None => Reply::not_found(),
+    }
+}

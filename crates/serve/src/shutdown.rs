@@ -1,0 +1,74 @@
+//! SIGTERM / SIGINT → shutdown flag, without any dependency.
+//!
+//! The daemon polls [`signalled`] from its accept loop; the handler only
+//! flips an `AtomicBool` (the one operation that is async-signal-safe),
+//! and the graceful drain happens on normal threads. On non-unix targets
+//! installation is a no-op and shutdown relies on `/admin/shutdown` or the
+//! in-process [`crate::server::ServerHandle`].
+
+#[cfg(unix)]
+mod imp {
+    // The one unsafe block in the workspace outside vendored code: binding
+    // signal(2) directly, since std exposes no handler API and external
+    // crates are off the table.
+    #![allow(unsafe_code)]
+
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        SIGNALLED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        let handler = on_signal as extern "C" fn(i32) as usize;
+        // SAFETY: signal(2) with a handler that only stores to an atomic;
+        // both arguments are valid for the whole program lifetime.
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+
+    pub fn signalled() -> bool {
+        SIGNALLED.load(Ordering::SeqCst)
+    }
+
+    pub fn reset() {
+        SIGNALLED.store(false, Ordering::SeqCst);
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+
+    pub fn signalled() -> bool {
+        false
+    }
+
+    pub fn reset() {}
+}
+
+/// Installs handlers for SIGINT and SIGTERM (no-op off unix). Idempotent.
+pub fn install() {
+    imp::install();
+}
+
+/// True once SIGINT or SIGTERM has been received since the last [`reset`].
+pub fn signalled() -> bool {
+    imp::signalled()
+}
+
+/// Clears the flag (used by tests and by repeated serve invocations).
+pub fn reset() {
+    imp::reset();
+}

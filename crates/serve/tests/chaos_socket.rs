@@ -1,0 +1,159 @@
+//! Chaos at the socket: hostile bytes, hostile timing, hostile framing.
+//!
+//! Reuses the `phasefold-chaos` corruptors for payload-level damage and
+//! drives protocol-level damage (malformed HTTP, truncation, oversized
+//! headers, early close, slow writers) over raw sockets. The liveness
+//! invariant throughout: after every abuse the daemon still answers a
+//! well-formed `/healthz`, and no streaming session leaks.
+
+mod common;
+
+use common::{boot, test_config, trace_text};
+use phasefold_chaos::{corrupt_trace_text, ChaosConfig};
+use phasefold_serve::{one_shot, ServeConfig};
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn assert_alive(addr: &str, context: &str) {
+    let health = one_shot(addr, "GET", "/healthz", b"").unwrap_or_else(|e| {
+        panic!("daemon dead after {context}: {e}");
+    });
+    assert_eq!(health.status, 200, "daemon unhealthy after {context}");
+}
+
+fn session_count(addr: &str) -> usize {
+    let health = one_shot(addr, "GET", "/healthz", b"").expect("healthz");
+    let text = health.text();
+    text.lines()
+        .find_map(|l| l.strip_prefix("\"sessions\": "))
+        .and_then(|v| v.trim_end_matches(',').trim().parse().ok())
+        .unwrap_or_else(|| panic!("healthz without sessions gauge: {text}"))
+}
+
+#[test]
+fn corrupted_trace_bodies_never_kill_the_daemon() {
+    let (handle, addr) = boot(test_config());
+    let clean = trace_text(80, 1, 5);
+    for seed in 0..8u64 {
+        let (corrupted, stats) =
+            corrupt_trace_text(&clean, &ChaosConfig::uniform(seed, 0.05 + seed as f64 * 0.05));
+        let resp = one_shot(&addr, "POST", "/v1/analyze", corrupted.as_bytes())
+            .expect("connection died on corrupt payload");
+        assert!(
+            resp.status == 200 || resp.status == 422 || resp.status == 503,
+            "seed {seed} ({} corruptions): unexpected status {}",
+            stats.total(),
+            resp.status
+        );
+        assert_alive(&addr, &format!("corrupt payload seed {seed}"));
+    }
+    let stats = handle.shutdown();
+    assert!(stats.clean, "drain was not clean: {stats:?}");
+}
+
+#[test]
+fn corrupted_stream_chunks_quarantine_not_poison() {
+    let (handle, addr) = boot(test_config());
+    let clean = trace_text(120, 1, 6);
+    let (corrupted, _) = corrupt_trace_text(&clean, &ChaosConfig::uniform(11, 0.10));
+
+    let mut client =
+        phasefold_serve::Client::connect(&addr, Duration::from_secs(30)).expect("connect");
+    let push = client
+        .request_chunked("POST", "/v1/streams/chaos-1/records", &[corrupted.as_bytes()])
+        .expect("stream push died");
+    assert_eq!(push.status, 200, "lenient session rejected batch: {}", push.text());
+
+    // The snapshot endpoint still works on the partially-quarantined
+    // session.
+    let phases = client.request("GET", "/v1/streams/chaos-1/phases", &[], b"").expect("phases");
+    assert_eq!(phases.status, 200);
+
+    assert_eq!(session_count(&addr), 1);
+    let del = client.request("DELETE", "/v1/streams/chaos-1", &[], b"").expect("delete");
+    assert_eq!(del.status, 200);
+    assert_eq!(session_count(&addr), 0, "session leaked after delete");
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_http_is_answered_or_dropped_never_fatal() {
+    let (handle, addr) = boot(test_config());
+    let abuses: &[&[u8]] = &[
+        b"\x00\x01\x02\x03garbage\r\n\r\n",
+        b"GET\r\n\r\n",                           // no target
+        b"FROB /v1/analyze HTTP/1.1\r\n\r\n",     // unknown method → 404 route
+        b"GET / SPDY/99\r\n\r\n",                 // bad version
+        b"POST /v1/analyze HTTP/1.1\r\ncontent-length: notanumber\r\n\r\n",
+        b"POST /v1/analyze HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\nZZZ\r\n",
+        b"POST /v1/analyze HTTP/1.1\r\nno-colon-here\r\n\r\n",
+        b"POST /v1/analyze HTTP/1.1\r\ncontent-length: 999999999999\r\n\r\n",
+    ];
+    for (i, abuse) in abuses.iter().enumerate() {
+        let mut s = TcpStream::connect(&addr).expect("connect");
+        let _ = s.write_all(abuse);
+        let _ = s.flush();
+        drop(s); // we do not care what (if anything) came back
+        assert_alive(&addr, &format!("malformed request #{i}"));
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_headers_are_bounded() {
+    let (handle, addr) = boot(test_config());
+    let mut s = TcpStream::connect(&addr).expect("connect");
+    s.write_all(b"GET /healthz HTTP/1.1\r\n").expect("write");
+    // Pour far more header bytes than the 16 KiB budget.
+    let filler = format!("x-filler: {}\r\n", "a".repeat(1000));
+    for _ in 0..64 {
+        if s.write_all(filler.as_bytes()).is_err() {
+            break; // server already cut us off — that is fine
+        }
+    }
+    drop(s);
+    assert_alive(&addr, "oversized headers");
+    handle.shutdown();
+}
+
+#[test]
+fn early_close_and_truncation_leak_nothing() {
+    let (handle, addr) = boot(test_config());
+    for i in 0..16 {
+        let mut s = TcpStream::connect(&addr).expect("connect");
+        // Truncate at a different point each round.
+        let full = b"POST /v1/streams/leak/records HTTP/1.1\r\ncontent-length: 100\r\n\r\nR 0";
+        let cut = (i * 7) % full.len();
+        let _ = s.write_all(&full[..cut]);
+        drop(s); // close mid-request
+    }
+    assert_alive(&addr, "early closes");
+    // The truncated posts never reached routing, so no session appeared.
+    assert_eq!(session_count(&addr), 0, "early-closed requests leaked sessions");
+    let stats = handle.shutdown();
+    assert!(stats.clean, "drain was not clean: {stats:?}");
+}
+
+#[test]
+fn slow_writer_hits_the_read_timeout() {
+    let config = ServeConfig {
+        read_timeout: Duration::from_millis(300),
+        ..test_config()
+    };
+    let (handle, addr) = boot(config);
+    let started = std::time::Instant::now();
+    let mut s = TcpStream::connect(&addr).expect("connect");
+    s.write_all(b"GET /healthz HTT").expect("write");
+    // …then stall well past the read timeout.
+    std::thread::sleep(Duration::from_millis(900));
+    // Either the write fails (connection cut) or whatever comes back is
+    // irrelevant; the invariant is that the daemon cut us off instead of
+    // dedicating a thread to us forever, and stays healthy.
+    let _ = s.write_all(b"P/1.1\r\n\r\n");
+    drop(s);
+    assert!(started.elapsed() >= Duration::from_millis(900));
+    assert_alive(&addr, "slow writer");
+    let stats = handle.shutdown();
+    assert!(stats.clean, "drain was not clean: {stats:?}");
+}

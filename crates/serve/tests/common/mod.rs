@@ -1,0 +1,40 @@
+//! Shared helpers for the serve integration tests: synthetic traces and a
+//! daemon booted on an ephemeral port.
+
+use phasefold_model::prv;
+use phasefold_model::Trace;
+use phasefold_serve::{serve, ServeConfig, ServerHandle};
+use phasefold_simapp::workloads::synthetic::{build, SyntheticParams};
+use phasefold_simapp::{simulate, SimConfig};
+use phasefold_tracer::{trace_run, TracerConfig};
+
+/// A small synthetic trace; `seed` varies the noise streams so different
+/// seeds produce different canonical bytes (distinct cache keys).
+pub fn traced(iterations: u64, ranks: usize, seed: u64) -> Trace {
+    let program = build(&SyntheticParams { iterations, ..SyntheticParams::default() });
+    let out = simulate(&program, &SimConfig { ranks, seed, ..SimConfig::default() });
+    trace_run(&program.registry, &out.timelines, &TracerConfig::default())
+}
+
+/// The same trace in wire (PRV text) form.
+pub fn trace_text(iterations: u64, ranks: usize, seed: u64) -> String {
+    prv::write_trace(&traced(iterations, ranks, seed))
+}
+
+/// Boots a daemon on an ephemeral port and returns `(handle, "host:port")`.
+pub fn boot(config: ServeConfig) -> (ServerHandle, String) {
+    let handle = serve(config).expect("daemon failed to boot");
+    let addr = handle.addr().to_string();
+    (handle, addr)
+}
+
+/// A serve config tuned for tests: small queue, quick read timeout.
+pub fn test_config() -> ServeConfig {
+    ServeConfig {
+        workers: 2,
+        queue_depth: 16,
+        read_timeout: std::time::Duration::from_secs(2),
+        drain_deadline: std::time::Duration::from_secs(15),
+        ..ServeConfig::default()
+    }
+}

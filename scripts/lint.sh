@@ -4,10 +4,12 @@
 # The files where a stray unwrap can take down a whole analysis —
 # crates/core/src/pipeline.rs, crates/core/src/pool.rs, and
 # crates/model/src/prv.rs — carry file-scoped
-# `#![deny(clippy::unwrap_used, clippy::expect_used)]` attributes, so any
-# unwrap/expect reintroduced there is a hard *error* under clippy (test
+# `#![deny(clippy::unwrap_used, clippy::expect_used)]` attributes, and
+# phasefold-serve denies them crate-wide (a panic on a connection thread
+# kills a live client; the daemon must never unwrap request-derived data).
+# Any unwrap/expect reintroduced there is a hard *error* under clippy (test
 # modules opt back in explicitly with #[allow]). Plain rustc accepts the
-# tool-lint attributes silently; this script runs clippy on the two owning
+# tool-lint attributes silently; this script runs clippy on the owning
 # crates so the deny actually bites.
 #
 # Usage:
@@ -17,6 +19,6 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== clippy: fault-critical crates (unwrap/expect are hard errors) =="
-cargo clippy -q -p phasefold -p phasefold-model --all-targets
+cargo clippy -q -p phasefold -p phasefold-model -p phasefold-serve --all-targets
 
 echo "lint OK"

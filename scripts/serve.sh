@@ -1,0 +1,171 @@
+#!/usr/bin/env bash
+# Serving smoke + load gate.
+#
+# Boots `phasefold serve` on an ephemeral port (discovered via --port-file),
+# fires smoke requests at /healthz, /metrics, and /v1/analyze (cold miss
+# then byte-identical cache hit), then points a low-concurrency
+# exp_serve_load run at the live daemon. Gates:
+#
+#   - every smoke request answers with the expected status,
+#   - the warm /v1/analyze answer is byte-identical to the cold one and
+#     carries `x-cache: hit`,
+#   - worst p99 latency across load levels stays under P99_GATE_MS,
+#   - overall cache hit ratio stays above HIT_RATIO_GATE,
+#   - zero dropped well-formed requests,
+#   - the daemon drains gracefully (the serve command itself exits non-zero
+#     on a non-clean drain, and its output must say clean=true).
+#
+# Usage:
+#   scripts/serve.sh
+#
+# Needs only cargo + POSIX shell tools; exp_serve_load writes its JSON one
+# scalar per line exactly so this script can stay dependency-free.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+P99_GATE_MS=${P99_GATE_MS:-2000}
+HIT_RATIO_GATE=${HIT_RATIO_GATE:-0.5}
+
+WORK=$(mktemp -d /tmp/phasefold-serve.XXXXXX)
+PORT_FILE="$WORK/addr.txt"
+SERVE_LOG="$WORK/serve.log"
+LOAD_JSON="$WORK/load.json"
+SERVER_PID=""
+cleanup() {
+    if [[ -n "$SERVER_PID" ]] && kill -0 "$SERVER_PID" 2>/dev/null; then
+        kill "$SERVER_PID" 2>/dev/null || true
+        wait "$SERVER_PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "== release build =="
+cargo build --release -p phasefold-cli -p phasefold-bench
+
+PHASEFOLD=target/release/phasefold
+LOADGEN=target/release/exp_serve_load
+
+echo "== booting daemon on an ephemeral port =="
+"$PHASEFOLD" serve --addr 127.0.0.1:0 --workers 4 --queue-depth 32 \
+    --cache-dir "$WORK/cache" --port-file "$PORT_FILE" >"$SERVE_LOG" 2>&1 &
+SERVER_PID=$!
+
+ADDR=""
+for _ in $(seq 1 100); do
+    if [[ -s "$PORT_FILE" ]]; then
+        ADDR=$(cat "$PORT_FILE")
+        break
+    fi
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+        echo "FAIL: daemon died during boot"; cat "$SERVE_LOG"; exit 1
+    fi
+    sleep 0.1
+done
+if [[ -z "$ADDR" ]]; then
+    echo "FAIL: port file never appeared"; cat "$SERVE_LOG"; exit 1
+fi
+echo "daemon at $ADDR (pid $SERVER_PID)"
+
+# Minimal HTTP client on /dev/tcp so the smoke path needs no curl. Prints
+# the full response (headers + body) to stdout.
+request() {
+    local method=$1 path=$2 body=${3:-}
+    local host=${ADDR%:*} port=${ADDR##*:}
+    exec 3<>"/dev/tcp/$host/$port"
+    {
+        printf '%s %s HTTP/1.1\r\n' "$method" "$path"
+        printf 'Host: %s\r\nContent-Length: %s\r\nConnection: close\r\n\r\n' \
+            "$ADDR" "${#body}"
+        printf '%s' "$body"
+    } >&3
+    cat <&3
+    exec 3<&- 3>&-
+}
+
+expect_status() {
+    local label=$1 want=$2 response=$3
+    local got
+    got=$(printf '%s' "$response" | head -1 | awk '{print $2}' | tr -d '\r')
+    if [[ "$got" != "$want" ]]; then
+        echo "FAIL: $label answered $got (wanted $want)"
+        printf '%s\n' "$response" | head -20
+        exit 1
+    fi
+    echo "ok: $label -> $got"
+}
+
+echo "== smoke requests =="
+expect_status "GET /healthz" 200 "$(request GET /healthz)"
+expect_status "GET /metrics" 200 "$(request GET /metrics)"
+expect_status "GET /nonexistent" 404 "$(request GET /nonexistent)"
+expect_status "POST /v1/analyze (garbage)" 422 "$(request POST /v1/analyze 'not a trace')"
+
+echo "== cold/warm analyze round trip =="
+TRACE="$WORK/smoke.prv"
+"$PHASEFOLD" simulate synthetic --iterations 60 --ranks 1 \
+    --out "$TRACE" >/dev/null
+COLD=$(request POST /v1/analyze "$(cat "$TRACE")")
+expect_status "POST /v1/analyze (cold)" 200 "$COLD"
+WARM=$(request POST /v1/analyze "$(cat "$TRACE")")
+expect_status "POST /v1/analyze (warm)" 200 "$WARM"
+if ! printf '%s' "$WARM" | grep -qi '^x-cache: hit'; then
+    echo "FAIL: warm analyze was not served from cache"
+    printf '%s\n' "$WARM" | head -10
+    exit 1
+fi
+body_of() { printf '%s' "$1" | awk 'body {print} /^\r?$/ {body=1}'; }
+if [[ "$(body_of "$COLD")" != "$(body_of "$WARM")" ]]; then
+    echo "FAIL: cache hit body differs from cold-run body"
+    exit 1
+fi
+echo "ok: cache hit is byte-identical to the cold run"
+
+echo "== low-concurrency load against the live daemon =="
+"$LOADGEN" "$LOAD_JSON" --addr "$ADDR" --requests 64 --levels 1,4
+
+extract() {
+    grep "\"$1\":" "$LOAD_JSON" | head -1 | sed "s/.*\"$1\": \([0-9.truefalse]*\),*/\1/"
+}
+
+fail=0
+p99=$(extract worst_p99_ms)
+hit=$(extract overall_hit_ratio)
+dropped=$(extract dropped_requests)
+awk -v p="$p99" -v gate="$P99_GATE_MS" 'BEGIN {
+    status = (p <= gate) ? "ok" : "TOO SLOW";
+    printf "worst p99: %.2f ms (gate <= %d ms)   %s\n", p, gate, status;
+    exit (p <= gate) ? 0 : 1;
+}' || fail=1
+awk -v h="$hit" -v gate="$HIT_RATIO_GATE" 'BEGIN {
+    status = (h >= gate) ? "ok" : "TOO COLD";
+    printf "overall cache hit ratio: %.3f (gate >= %.2f)   %s\n", h, gate, status;
+    exit (h >= gate) ? 0 : 1;
+}' || fail=1
+if [[ "$dropped" != "0" ]]; then
+    echo "dropped_requests = $dropped (must be 0)"
+    fail=1
+fi
+
+echo "== graceful shutdown =="
+expect_status "POST /admin/shutdown" 200 "$(request POST /admin/shutdown)"
+if ! wait "$SERVER_PID"; then
+    echo "FAIL: serve command exited non-zero (non-graceful drain)"
+    cat "$SERVE_LOG"
+    exit 1
+fi
+SERVER_PID=""
+if ! grep -q 'clean=true' "$SERVE_LOG"; then
+    echo "FAIL: daemon did not report a clean drain"
+    cat "$SERVE_LOG"
+    exit 1
+fi
+echo "ok: daemon drained cleanly"
+cat "$SERVE_LOG"
+
+if [[ $fail -ne 0 ]]; then
+    echo "FAIL: serving gate"
+    exit 1
+fi
+echo "OK: serve smoke + load gates passed"
