@@ -496,6 +496,8 @@ pub fn serve(argv: &[String], out: &mut String) -> Result<(), CliError> {
             "cache-entries",
             "cache-dir",
             "fault-policy",
+            "max-connections",
+            "max-stream-ranks",
             "port-file",
             "max-seconds",
         ],
@@ -511,6 +513,8 @@ pub fn serve(argv: &[String], out: &mut String) -> Result<(), CliError> {
         cache_entries: p.get_parsed("cache-entries", 64usize)?.max(1),
         cache_dir: p.get("cache-dir").map(std::path::PathBuf::from),
         analysis,
+        max_connections: p.get_parsed("max-connections", 256usize)?.max(1),
+        max_stream_ranks: p.get_parsed("max-stream-ranks", 1usize << 16)?.max(1),
         ..phasefold_serve::ServeConfig::default()
     };
     let max_seconds: u64 = p.get_parsed("max-seconds", 0)?; // 0 = run forever

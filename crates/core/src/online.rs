@@ -21,16 +21,25 @@ use crate::pipeline::Analysis;
 use phasefold_cluster::{cluster_bursts, Clustering};
 use phasefold_folding::fold::{ClusterFold, FoldedPoint, FoldedProfile};
 use phasefold_model::{
-    extract_rank_bursts_checked, Burst, CounterKind, Fault, FaultPolicy, FaultReport, RankId,
-    RankTrace,
-    Record, NUM_COUNTERS,
+    extract_rank_bursts_checked, Burst, CounterKind, Fault, FaultKind, FaultPolicy, FaultReport,
+    RankId, RankTrace, Record, NUM_COUNTERS,
 };
+
+/// Default cap on rank ids a session accepts. The per-rank buffers grow to
+/// the largest rank id seen, so an unbounded id is an allocation
+/// amplifier: one record claiming rank `u32::MAX` would otherwise demand
+/// billions of `RankTrace` slots. Streamed rank ids at or above the cap
+/// are faults, not allocations; see [`OnlineAnalyzer::with_max_ranks`].
+pub const DEFAULT_MAX_RANKS: usize = 1 << 16;
 
 /// Streaming analyzer state.
 #[derive(Debug)]
 pub struct OnlineAnalyzer {
     config: AnalysisConfig,
     warmup_bursts: usize,
+    /// Highest accepted rank id is `max_ranks - 1`; higher ids fault
+    /// instead of growing the per-rank buffers.
+    max_ranks: usize,
     /// Per-rank record buffers, drained after burst extraction.
     pending: Vec<RankTrace>,
     /// Bursts buffered during warm-up.
@@ -81,6 +90,7 @@ impl OnlineAnalyzer {
         OnlineAnalyzer {
             config,
             warmup_bursts: warmup_bursts.max(8),
+            max_ranks: DEFAULT_MAX_RANKS,
             pending: Vec::new(),
             warmup: Vec::new(),
             frozen: None,
@@ -92,6 +102,21 @@ impl OnlineAnalyzer {
             stream_faults: FaultReport::new(),
             records_quarantined: 0,
         }
+    }
+
+    /// Overrides [`DEFAULT_MAX_RANKS`]. Records for rank ids at or above
+    /// the cap are rejected as faults (strict) or quarantined (lenient)
+    /// rather than allocating per-rank state, so a hostile rank id cannot
+    /// balloon the session's memory.
+    #[must_use]
+    pub fn with_max_ranks(mut self, max_ranks: usize) -> OnlineAnalyzer {
+        self.max_ranks = max_ranks.max(1);
+        self
+    }
+
+    /// The rank-id cap this session enforces.
+    pub fn max_ranks(&self) -> usize {
+        self.max_ranks
     }
 
     /// True once the structure has been frozen.
@@ -160,6 +185,22 @@ impl OnlineAnalyzer {
         policy: FaultPolicy,
     ) -> Result<usize, Fault> {
         let idx = rank.0 as usize;
+        if idx >= self.max_ranks {
+            let fault = Fault::new(
+                FaultKind::MalformedTrace,
+                format!("rank {} exceeds the session rank cap {}", rank.0, self.max_ranks),
+            )
+            .on_rank(rank.0);
+            return match policy {
+                FaultPolicy::Strict => Err(fault),
+                FaultPolicy::Lenient => {
+                    phasefold_obs::counter!("online.records_quarantined", records.len());
+                    self.records_quarantined += records.len();
+                    self.stream_faults.push(fault);
+                    Ok(0)
+                }
+            };
+        }
         while self.pending.len() <= idx {
             self.pending.push(RankTrace::new());
         }
@@ -509,6 +550,35 @@ mod tests {
             online.try_push_records(rank, &records[200..]).unwrap(),
             records.len() - 200
         );
+    }
+
+    #[test]
+    fn hostile_rank_id_faults_instead_of_allocating() {
+        use phasefold_model::FaultPolicy;
+        let trace = traced();
+        let (rank, stream) = trace.iter_ranks().next().unwrap();
+        let records = stream.records();
+
+        // Lenient (default): the batch is quarantined wholesale, nothing
+        // is allocated for the bogus rank, and the session stays usable.
+        let mut online = OnlineAnalyzer::new(AnalysisConfig::default(), 80);
+        online.push_records(RankId(u32::MAX), &records[..50]);
+        assert_eq!(online.records_quarantined(), 50);
+        assert_eq!(
+            online.stream_faults().faults[0].kind,
+            phasefold_model::FaultKind::MalformedTrace
+        );
+        assert_eq!(online.stream_faults().faults[0].provenance.rank, Some(u32::MAX));
+        online.push_records(rank, records);
+        assert!(online.is_warm());
+
+        // Strict: the batch aborts with the fault; later batches work.
+        let config =
+            AnalysisConfig { fault_policy: FaultPolicy::Strict, ..AnalysisConfig::default() };
+        let mut strict = OnlineAnalyzer::new(config, 80).with_max_ranks(4);
+        let err = strict.try_push_records(RankId(4), &records[..10]).unwrap_err();
+        assert_eq!(err.kind, phasefold_model::FaultKind::MalformedTrace);
+        assert_eq!(strict.try_push_records(RankId(3), &records[..10]).unwrap(), 10);
     }
 
     #[test]

@@ -33,6 +33,14 @@ use crate::time::TimeNs;
 use crate::trace::{RankId, Trace};
 use std::fmt::Write as _;
 
+/// Upper bound on the rank count a `#RANKS` header may declare. Each
+/// declared rank pre-allocates a `RankTrace`, so an unvalidated header is
+/// an allocation amplifier: untrusted input (the serve daemon feeds this
+/// parser straight from request bodies) could otherwise request tens of
+/// GiB with a dozen bytes. Real deployments are orders of magnitude below
+/// this.
+pub const MAX_DECLARED_RANKS: usize = 1 << 20;
+
 /// Percent-escapes spaces, `%` and control characters in a token.
 fn escape(token: &str) -> String {
     let mut out = String::with_capacity(token.len());
@@ -277,7 +285,20 @@ fn parse_impl(input: &str, mut faults: Option<&mut FaultReport>) -> Result<Trace
         };
         match tag {
             "#RANKS" => {
-                n_ranks = Some(p.next_u32("rank count")? as usize);
+                let n = p.next_u32("rank count")? as usize;
+                // The header is structural, so this is fatal in both
+                // modes. A trace cannot meaningfully declare more ranks
+                // than it has bytes: every real rank costs at least one
+                // record line, and the byte bound keeps a tiny hostile
+                // body from forcing a huge per-rank allocation.
+                if n > MAX_DECLARED_RANKS || n > input.len() {
+                    return Err(p.err(format!(
+                        "declared rank count {n} exceeds the allowed maximum \
+                         (min of {MAX_DECLARED_RANKS} and the input size {})",
+                        input.len()
+                    )));
+                }
+                n_ranks = Some(n);
             }
             "#REGION" => {
                 let id = p.next_u32("region id")?;
@@ -564,6 +585,23 @@ mod tests {
     fn rejects_sparse_region_ids() {
         let input = "#PHASEFOLD_TRACE v1\n#RANKS 1\n#REGION 3 F main main.c 1\nR 0 E 0 0\n";
         assert!(matches!(parse_trace(input), Err(ModelError::Parse { .. })));
+    }
+
+    #[test]
+    fn rejects_hostile_rank_counts() {
+        // A few bytes must not be able to demand a multi-GiB allocation:
+        // the declared rank count is bounded by the input size…
+        let tiny = "#PHASEFOLD_TRACE v1\n#RANKS 4000000000\n";
+        assert!(matches!(parse_trace(tiny), Err(ModelError::Parse { .. })));
+        // …and lenient mode treats it as fatal too (structural defect).
+        assert!(parse_trace_lenient(tiny).is_err());
+        // Even a body padded past the absolute cap is rejected.
+        let padded = format!(
+            "#PHASEFOLD_TRACE v1\n#RANKS {}\n{}",
+            MAX_DECLARED_RANKS + 1,
+            " ".repeat(MAX_DECLARED_RANKS + 64)
+        );
+        assert!(matches!(parse_trace(&padded), Err(ModelError::Parse { .. })));
     }
 
     #[test]

@@ -196,11 +196,35 @@ pub fn read_request(
         if len > max_body {
             return Err(HttpError::BodyTooLarge);
         }
-        let mut body = vec![0u8; len];
-        reader.read_exact(&mut body)?;
+        let mut body = Vec::new();
+        read_exact_growing(reader, &mut body, len)?;
         req.body = body;
     }
     Ok(Some(req))
+}
+
+/// Step size for growing a body buffer: memory is committed as data
+/// actually arrives, never up-front from a client-claimed length.
+const BODY_GROW_STEP: usize = 256 * 1024;
+
+/// Reads exactly `len` more bytes into `body`, growing the buffer in
+/// [`BODY_GROW_STEP`] increments. A client that claims a large
+/// `Content-Length` (or chunk size) and then stalls costs one step of
+/// memory, not the whole claim.
+fn read_exact_growing(
+    reader: &mut BufReader<TcpStream>,
+    body: &mut Vec<u8>,
+    len: usize,
+) -> Result<(), HttpError> {
+    let mut remaining = len;
+    while remaining > 0 {
+        let step = remaining.min(BODY_GROW_STEP);
+        let start = body.len();
+        body.resize(start + step, 0);
+        reader.read_exact(&mut body[start..])?;
+        remaining -= step;
+    }
+    Ok(())
 }
 
 /// Decodes a `Transfer-Encoding: chunked` body.
@@ -233,9 +257,7 @@ fn read_chunked_body(
         if body.len() + size > max_body {
             return Err(HttpError::BodyTooLarge);
         }
-        let start = body.len();
-        body.resize(start + size, 0);
-        reader.read_exact(&mut body[start..])?;
+        read_exact_growing(reader, &mut body, size)?;
         // The CRLF after the chunk data.
         let mut crlf = [0u8; 2];
         reader.read_exact(&mut crlf)?;

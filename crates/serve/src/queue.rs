@@ -124,6 +124,30 @@ impl JobQueue {
             let _ = h.join();
         }
     }
+
+    /// Deadline-aware [`JobQueue::drain`]: stops accepting new jobs, then
+    /// waits for queued and executing jobs only until `deadline`. Workers
+    /// still running a job at the deadline are detached — they finish (or
+    /// the process exits) on their own; the daemon's shutdown must not
+    /// block behind a slow or hung analysis. Returns the number of jobs
+    /// still in flight when the drain gave up (0 = clean). Idempotent.
+    pub fn drain_until(&self, deadline: std::time::Instant) -> usize {
+        lock_recover(&self.tx).take();
+        while self.in_flight() > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        let handles: Vec<JoinHandle<()>> = lock_recover(&self.workers).drain(..).collect();
+        let timed_out = self.in_flight() > 0;
+        for h in handles {
+            // With no jobs left every worker observes the disconnect
+            // immediately, so an unconditional join is prompt. After a
+            // timeout only the already-idle workers are joined.
+            if !timed_out || h.is_finished() {
+                let _ = h.join();
+            }
+        }
+        self.in_flight()
+    }
 }
 
 impl Drop for JobQueue {
@@ -223,6 +247,43 @@ mod tests {
         assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), 42);
         q.drain();
         assert_eq!(q.panicked(), 1);
+        assert_eq!(q.completed(), 1);
+    }
+
+    #[test]
+    fn drain_until_gives_up_on_overrunning_jobs() {
+        use std::time::Instant;
+        let q = JobQueue::new(1, 4);
+        let (release_tx, release_rx) = channel::<()>();
+        q.try_submit(Box::new(move || {
+            let _ = release_rx.recv_timeout(Duration::from_secs(30));
+        }))
+        .unwrap();
+        // Wait for the worker to pick the job up so in_flight is honest.
+        let pickup = Instant::now() + Duration::from_secs(5);
+        while q.in_flight() == 0 && Instant::now() < pickup {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let start = Instant::now();
+        let left = q.drain_until(Instant::now() + Duration::from_millis(100));
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "drain_until blocked past its deadline"
+        );
+        assert_eq!(left, 1, "the hung job must be reported, not waited out");
+        assert_eq!(q.try_submit(Box::new(|| {})), Err(SubmitError::ShuttingDown));
+        // Release the detached worker so the test process exits cleanly.
+        release_tx.send(()).unwrap();
+    }
+
+    #[test]
+    fn drain_until_is_prompt_when_idle() {
+        let q = JobQueue::new(2, 4);
+        let (tx, rx) = channel();
+        q.try_submit(Box::new(move || tx.send(1u8).unwrap())).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), 1);
+        let left = q.drain_until(std::time::Instant::now() + Duration::from_secs(30));
+        assert_eq!(left, 0);
         assert_eq!(q.completed(), 1);
     }
 

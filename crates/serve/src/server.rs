@@ -58,6 +58,13 @@ pub struct ServeConfig {
     pub read_timeout: Duration,
     /// Largest accepted request body.
     pub max_body: usize,
+    /// Simultaneously open connections; the accept loop answers `503` past
+    /// this, bounding both connection threads and per-connection buffers.
+    pub max_connections: usize,
+    /// Largest rank id (+1) a streaming session accepts. Sessions allocate
+    /// per-rank buffers up to the highest rank seen, so this bounds what a
+    /// hostile record line can make a session allocate.
+    pub max_stream_ranks: usize,
     /// How long a drain waits for connections and jobs before giving up.
     pub drain_deadline: Duration,
 }
@@ -74,6 +81,8 @@ impl Default for ServeConfig {
             warmup_bursts: 64,
             read_timeout: Duration::from_secs(5),
             max_body: http::MAX_BODY_BYTES,
+            max_connections: 256,
+            max_stream_ranks: 1 << 16,
             drain_deadline: Duration::from_secs(10),
         }
     }
@@ -99,11 +108,19 @@ pub struct DrainStats {
     pub jobs_at_exit: usize,
 }
 
+/// One streaming session: the fault policy is fixed at creation and kept
+/// beside the analyzer so every later request is handled under the same
+/// policy it was created with (parse strictness included).
+struct StreamSession {
+    policy: FaultPolicy,
+    analyzer: Mutex<OnlineAnalyzer>,
+}
+
 struct State {
     config: ServeConfig,
     cache: Mutex<ResultCache>,
     queue: JobQueue,
-    sessions: Mutex<HashMap<String, Arc<Mutex<OnlineAnalyzer>>>>,
+    sessions: Mutex<HashMap<String, Arc<StreamSession>>>,
     shutdown: AtomicBool,
     requests: AtomicU64,
     rejected: AtomicU64,
@@ -214,6 +231,25 @@ fn run(state: &Arc<State>, listener: &TcpListener) -> DrainStats {
                 if stream.set_nonblocking(false).is_err() {
                     continue;
                 }
+                // Bound the connection-thread pool: past the cap, shed the
+                // connection immediately instead of spawning a thread that
+                // could sit on request buffers.
+                if state.active_connections.load(Ordering::SeqCst) >= state.config.max_connections
+                {
+                    state.rejected.fetch_add(1, Ordering::SeqCst);
+                    phasefold_obs::counter!("serve.connections_shed", 1);
+                    let mut stream = stream;
+                    let _ = http::write_response(
+                        &mut stream,
+                        503,
+                        "Service Unavailable",
+                        "text/plain",
+                        &[("retry-after", "1")],
+                        b"too many connections, retry shortly\n",
+                        false,
+                    );
+                    continue;
+                }
                 state.active_connections.fetch_add(1, Ordering::SeqCst);
                 let conn_state = Arc::clone(state);
                 let spawned = std::thread::Builder::new()
@@ -238,28 +274,21 @@ fn run(state: &Arc<State>, listener: &TcpListener) -> DrainStats {
         }
     }
 
-    // Drain: no new connections are accepted; wait for the open ones and
-    // the queued jobs to finish.
+    // Drain: no new connections are accepted. Wait for the open
+    // connections first (they may still be waiting on job results), then
+    // drain the queue — all against the same deadline, so a hung analysis
+    // or stalled client cannot wedge shutdown past `drain_deadline`.
     let deadline = Instant::now() + state.config.drain_deadline;
-    loop {
-        let conns = state.active_connections.load(Ordering::SeqCst);
-        let jobs = state.queue.in_flight();
-        if conns == 0 && jobs == 0 {
-            break;
-        }
-        if Instant::now() >= deadline {
-            break;
-        }
+    while state.active_connections.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
         std::thread::sleep(Duration::from_millis(10));
     }
-    state.queue.drain();
+    let jobs_at_exit = state.queue.drain_until(deadline);
     for h in conn_threads {
         if h.is_finished() {
             let _ = h.join();
         }
     }
     let connections_at_exit = state.active_connections.load(Ordering::SeqCst);
-    let jobs_at_exit = state.queue.in_flight();
     DrainStats {
         requests: state.requests.load(Ordering::SeqCst),
         rejected: state.rejected.load(Ordering::SeqCst),
@@ -513,25 +542,50 @@ fn analyze(state: &Arc<State>, req: &Request) -> Reply {
     }
 }
 
-/// Gets (or lazily creates) the streaming session `id`.
-fn session(state: &Arc<State>, req: &Request, id: &str) -> Result<Arc<Mutex<OnlineAnalyzer>>, Reply> {
+/// Gets (or lazily creates) the streaming session `id`. A session's fault
+/// policy is fixed when it is created; a later request whose explicit
+/// `?fault-policy=` differs is answered `409` instead of being silently
+/// handled under the session's policy.
+fn session(state: &Arc<State>, req: &Request, id: &str) -> Result<Arc<StreamSession>, Reply> {
     if id.is_empty() || id.len() > 128 || !id.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_') {
         return Err(Reply::bad_request(format!(
             "stream id {id:?} must be 1-128 chars of [A-Za-z0-9_-]\n"
         )));
     }
     let config = effective_config(state, req)?;
+    let overridden = req.query_param("fault-policy").is_some();
     let warmup = state.config.warmup_bursts;
+    let max_ranks = state.config.max_stream_ranks;
     let mut sessions = lock_recover(&state.sessions);
-    Ok(Arc::clone(sessions.entry(id.to_string()).or_insert_with(|| {
+    let entry = sessions.entry(id.to_string()).or_insert_with(|| {
         phasefold_obs::counter!("serve.sessions_created", 1);
-        Arc::new(Mutex::new(OnlineAnalyzer::new(config, warmup)))
-    })))
+        Arc::new(StreamSession {
+            policy: config.fault_policy,
+            analyzer: Mutex::new(
+                OnlineAnalyzer::new(config.clone(), warmup).with_max_ranks(max_ranks),
+            ),
+        })
+    });
+    if overridden && entry.policy != config.fault_policy {
+        let created_as = match entry.policy {
+            FaultPolicy::Strict => "strict",
+            FaultPolicy::Lenient => "lenient",
+        };
+        return Err(Reply::text(
+            409,
+            "Conflict",
+            format!(
+                "session {id:?} was created with fault-policy {created_as}; \
+                 delete it to change the policy\n"
+            ),
+        ));
+    }
+    Ok(Arc::clone(entry))
 }
 
 fn stream_records(state: &Arc<State>, req: &Request, id: &str) -> Reply {
-    let analyzer = match session(state, req, id) {
-        Ok(a) => a,
+    let session = match session(state, req, id) {
+        Ok(s) => s,
         Err(reply) => return reply,
     };
     let Ok(text) = std::str::from_utf8(&req.body) else {
@@ -540,18 +594,35 @@ fn stream_records(state: &Arc<State>, req: &Request, id: &str) -> Reply {
 
     // Parse the batch, grouping consecutive same-rank records so
     // `try_push_records` sees few large batches instead of many singletons.
+    // Parse strictness follows the session's policy, the same policy the
+    // analyzer pushes under — never a per-request override.
     let mut batches: Vec<(RankId, Vec<Record>)> = Vec::new();
     let mut malformed = 0usize;
-    let strict = matches!(
-        effective_config(state, req).map(|c| c.fault_policy),
-        Ok(FaultPolicy::Strict)
-    );
+    let strict = session.policy == FaultPolicy::Strict;
+    let max_ranks = state.config.max_stream_ranks;
     for (line_no, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue; // headers/comments are legal but carry no records
         }
         match prv::parse_record_line(line, line_no + 1) {
+            // An out-of-range rank id would make the session allocate
+            // per-rank state up to it: reject before it reaches the
+            // analyzer (which enforces the same cap as a backstop).
+            Ok((rank, _)) if rank.0 as usize >= max_ranks => {
+                if strict {
+                    return Reply::text(
+                        422,
+                        "Unprocessable Entity",
+                        format!(
+                            "line {}: rank {} exceeds the per-session rank cap {max_ranks}\n",
+                            line_no + 1,
+                            rank.0
+                        ),
+                    );
+                }
+                malformed += 1;
+            }
             Ok((rank, record)) => match batches.last_mut() {
                 Some((last_rank, batch)) if *last_rank == rank => batch.push(record),
                 _ => batches.push((rank, vec![record])),
@@ -565,7 +636,7 @@ fn stream_records(state: &Arc<State>, req: &Request, id: &str) -> Reply {
 
     let mut accepted = 0usize;
     let (quarantined, faults_total) = {
-        let mut analyzer = lock_recover(&analyzer);
+        let mut analyzer = lock_recover(&session.analyzer);
         let before = analyzer.records_quarantined();
         for (rank, batch) in &batches {
             match analyzer.try_push_records(*rank, batch) {
@@ -591,14 +662,14 @@ fn stream_records(state: &Arc<State>, req: &Request, id: &str) -> Reply {
 }
 
 fn stream_phases(state: &Arc<State>, id: &str) -> Reply {
-    let analyzer = {
+    let session = {
         let sessions = lock_recover(&state.sessions);
         match sessions.get(id) {
-            Some(a) => Arc::clone(a),
+            Some(s) => Arc::clone(s),
             None => return Reply::not_found(),
         }
     };
-    let analyzer = lock_recover(&analyzer);
+    let analyzer = lock_recover(&session.analyzer);
     let analysis = analyzer.snapshot();
     let num_phases: usize = analysis.models.iter().map(|m| m.phases.len()).sum();
     let body = format!(

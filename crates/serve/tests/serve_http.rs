@@ -126,6 +126,110 @@ fn streaming_session_lifecycle() {
 }
 
 #[test]
+fn analyze_rejects_hostile_rank_header() {
+    // A tiny body declaring billions of ranks must be a 422, not a
+    // multi-GiB allocation on the connection thread.
+    let (handle, addr) = boot(test_config());
+    for policy in ["", "?fault-policy=strict", "?fault-policy=lenient"] {
+        let path = format!("/v1/analyze{policy}");
+        let resp = phasefold_serve::one_shot(
+            &addr,
+            "POST",
+            &path,
+            b"#PHASEFOLD_TRACE v1\n#RANKS 4000000000\nR 0 E 1 0\n",
+        )
+        .unwrap();
+        assert_eq!(resp.status, 422, "policy {policy:?}: {}", resp.text());
+    }
+    let health = phasefold_serve::one_shot(&addr, "GET", "/healthz", b"").unwrap();
+    assert_eq!(health.status, 200);
+    handle.shutdown();
+}
+
+#[test]
+fn stream_rejects_hostile_rank_ids() {
+    // `R 4294967295 E 1 0` must not make the session allocate 4 billion
+    // per-rank buffers: lenient quarantines the line, strict answers 422.
+    let (handle, addr) = boot(test_config());
+    let mut client = Client::connect(&addr, Duration::from_secs(30)).unwrap();
+
+    let lenient = client
+        .request("POST", "/v1/streams/bigrank/records", &[], b"R 4294967295 E 1 0\n")
+        .unwrap();
+    assert_eq!(lenient.status, 200, "{}", lenient.text());
+    assert!(lenient.text().contains("\"accepted\": 0"), "{}", lenient.text());
+    assert!(lenient.text().contains("\"malformed\": 1"), "{}", lenient.text());
+
+    let strict = client
+        .request(
+            "POST",
+            "/v1/streams/bigrank-strict/records?fault-policy=strict",
+            &[],
+            b"R 4294967295 E 1 0\n",
+        )
+        .unwrap();
+    assert_eq!(strict.status, 422, "{}", strict.text());
+    assert!(strict.text().contains("rank cap"), "{}", strict.text());
+
+    // The daemon is alive and a well-formed push still lands.
+    let ok = client
+        .request("POST", "/v1/streams/bigrank/records", &[], b"R 0 E 1 0\n")
+        .unwrap();
+    assert_eq!(ok.status, 200);
+    assert!(ok.text().contains("\"accepted\": 1"), "{}", ok.text());
+    handle.shutdown();
+}
+
+#[test]
+fn stream_fault_policy_is_fixed_at_session_creation() {
+    let (handle, addr) = boot(test_config());
+    let mut client = Client::connect(&addr, Duration::from_secs(30)).unwrap();
+
+    // Created lenient (the default) — a later explicit strict override
+    // must be refused, not silently half-applied.
+    let create = client
+        .request("POST", "/v1/streams/pol/records", &[], b"R 0 E 1 0\n")
+        .unwrap();
+    assert_eq!(create.status, 200);
+    let conflict = client
+        .request(
+            "POST",
+            "/v1/streams/pol/records?fault-policy=strict",
+            &[],
+            b"R 0 E 2 0\n",
+        )
+        .unwrap();
+    assert_eq!(conflict.status, 409, "{}", conflict.text());
+    // Restating the session's own policy is not a conflict.
+    let same = client
+        .request(
+            "POST",
+            "/v1/streams/pol/records?fault-policy=lenient",
+            &[],
+            b"R 0 E 3 0\n",
+        )
+        .unwrap();
+    assert_eq!(same.status, 200, "{}", same.text());
+
+    // A strict session created with the override keeps rejecting
+    // malformed lines even when a later request omits the override.
+    let strict = client
+        .request(
+            "POST",
+            "/v1/streams/pol-strict/records?fault-policy=strict",
+            &[],
+            b"R 0 E 1 0\n",
+        )
+        .unwrap();
+    assert_eq!(strict.status, 200);
+    let still_strict = client
+        .request("POST", "/v1/streams/pol-strict/records", &[], b"R 0 bogus\n")
+        .unwrap();
+    assert_eq!(still_strict.status, 422, "{}", still_strict.text());
+    handle.shutdown();
+}
+
+#[test]
 fn full_queue_sheds_load_with_retry_after() {
     // One worker, one queue slot: the third concurrent analysis must see a
     // 503 with a Retry-After hint.
