@@ -557,3 +557,64 @@ pub fn serve(argv: &[String], out: &mut String) -> Result<(), CliError> {
     }
     Ok(())
 }
+
+/// `phasefold verify` — the differential/metamorphic correctness gate.
+pub fn verify(argv: &[String], out: &mut String) -> Result<(), CliError> {
+    let p = parse(argv, &["seeds", "start", "corpus", "write-corpus"], &["no-shrink"])?;
+    let seeds: u64 = p.get_parsed("seeds", 50)?;
+    let start: u64 = p.get_parsed("start", 0)?;
+    let shrink = !p.has_flag("no-shrink");
+
+    if let Some(dir) = p.get("write-corpus") {
+        let written = phasefold_verify::corpus::write_corpus(std::path::Path::new(dir))
+            .map_err(|e| CliError::Other(format!("writing corpus to {dir}: {e}")))?;
+        let _ = writeln!(out, "wrote {} corpus cases to {dir}:", written.len());
+        for name in written {
+            let _ = writeln!(out, "  {name}");
+        }
+        return Ok(());
+    }
+
+    let mut divergences = Vec::new();
+
+    if let Some(dir) = p.get("corpus") {
+        let (replayed, corpus_divergences) =
+            phasefold_verify::corpus::replay_dir(std::path::Path::new(dir));
+        let _ = writeln!(
+            out,
+            "corpus: replayed {replayed} case(s) from {dir}, {} divergence(s)",
+            corpus_divergences.len()
+        );
+        if replayed == 0 && corpus_divergences.is_empty() {
+            return Err(CliError::Other(format!("corpus {dir} contains no .case files")));
+        }
+        divergences.extend(corpus_divergences);
+    }
+
+    if seeds > 0 {
+        let summary = phasefold_verify::run_seeds(start, seeds, shrink);
+        let _ = writeln!(
+            out,
+            "fuzz: {} seed(s) [{start}..{}), {} generated bursts, {} divergence(s)",
+            summary.seeds_run,
+            start + seeds,
+            summary.bursts,
+            summary.divergences.len()
+        );
+        divergences.extend(summary.divergences);
+    }
+
+    if divergences.is_empty() {
+        let _ = writeln!(out, "verify: OK");
+        return Ok(());
+    }
+    for d in &divergences {
+        let _ = writeln!(out, "DIVERGENCE {d}");
+        if let Some(repro) = &d.repro {
+            let _ = writeln!(out, "--- minimized repro (corpus format) ---");
+            out.push_str(repro);
+            let _ = writeln!(out, "--- end repro ---");
+        }
+    }
+    Err(CliError::Other(format!("{} divergence(s) found", divergences.len())))
+}

@@ -117,6 +117,12 @@ commands:
       [--fault-policy lenient|strict]
       [--port-file F (bound address is written here)]
       [--max-seconds S (0 = until SIGTERM/SIGINT or POST /admin/shutdown)]
+  verify                            differential + metamorphic correctness
+      gate: fuzz seeded random traces against slow reference kernels and
+      paper-derived invariants; replay the minimized regression corpus
+      [--seeds N (default 50, 0 = corpus only)] [--start S]
+      [--corpus DIR (replay checked-in cases)] [--no-shrink]
+      [--write-corpus DIR (regenerate the curated corpus, then exit)]
 
 observability:
   --profile out.json    Chrome-trace/Perfetto span export of the run
@@ -147,6 +153,7 @@ pub fn run(argv: &[String], out: &mut String) -> Result<(), CliError> {
         "reconstruct" => commands::reconstruct(rest, out),
         "selfcheck" => commands::selfcheck(rest, out),
         "serve" => commands::serve(rest, out),
+        "verify" => commands::verify(rest, out),
         "help" | "--help" | "-h" => {
             out.push_str(USAGE);
             Ok(())

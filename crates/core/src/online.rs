@@ -134,6 +134,13 @@ impl OnlineAnalyzer {
         self.noise_bursts
     }
 
+    /// Bursts processed so far for `rank` (the per-rank resume cursor).
+    /// Lets batch/online equivalence checks compare burst sequences rank
+    /// by rank instead of only in aggregate.
+    pub fn rank_bursts_seen(&self, rank: RankId) -> usize {
+        self.per_rank_counts.get(rank.0 as usize).copied().unwrap_or(0)
+    }
+
     /// Defective records quarantined from the stream so far.
     pub fn records_quarantined(&self) -> usize {
         self.records_quarantined

@@ -48,6 +48,6 @@ pub use counter::{CounterKind, CounterSet, PartialCounterSet, NUM_COUNTERS};
 pub use error::ModelError;
 pub use fault::{Fault, FaultKind, FaultPolicy, FaultReport, Provenance, Severity};
 pub use event::{CommKind, Record, Sample};
-pub use stats::{trace_stats, TraceStats};
+pub use stats::{trace_stats, trace_stats_checked, TraceStats};
 pub use time::{DurNs, TimeNs};
 pub use trace::{RankId, RankTrace, Trace};

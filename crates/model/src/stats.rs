@@ -2,7 +2,8 @@
 //! analysis (record counts, sampling density, burst-granularity
 //! distribution).
 
-use crate::burst::extract_bursts;
+use crate::burst::extract_bursts_checked;
+use crate::fault::{FaultKind, FaultReport};
 use crate::time::DurNs;
 use crate::trace::Trace;
 
@@ -29,10 +30,26 @@ pub struct TraceStats {
     pub burst_duration_quartiles: [f64; 5],
     /// Fraction of wall time spent inside bursts (per rank, averaged).
     pub compute_fraction: f64,
+    /// Bursts quarantined because a boundary counter decreased (wrap-around
+    /// or saturation); excluded from every other statistic.
+    pub quarantined_bursts: usize,
 }
 
 /// Computes [`TraceStats`] for a trace.
+///
+/// Routes through the checked burst extractor so saturated or wrapped
+/// counters are quarantined (and counted in
+/// [`TraceStats::quarantined_bursts`]) instead of feeding nonsense deltas
+/// into the summary. Use [`trace_stats_checked`] to also receive the
+/// individual faults.
 pub fn trace_stats(trace: &Trace) -> TraceStats {
+    let mut faults = FaultReport::new();
+    trace_stats_checked(trace, &mut faults)
+}
+
+/// [`trace_stats`] that additionally appends every quarantine fault to
+/// `faults`, so callers can report *why* bursts were excluded.
+pub fn trace_stats_checked(trace: &Trace, faults: &mut FaultReport) -> TraceStats {
     let mut samples = 0usize;
     let mut comm_events = 0usize;
     let mut markers = 0usize;
@@ -48,7 +65,12 @@ pub fn trace_stats(trace: &Trace) -> TraceStats {
         }
     }
     let wall_s = trace.end_time().as_secs_f64();
-    let bursts = extract_bursts(trace, DurNs::ZERO);
+    let faults_before = faults.len();
+    let bursts = extract_bursts_checked(trace, DurNs::ZERO, faults);
+    let quarantined_bursts = faults.faults[faults_before..]
+        .iter()
+        .filter(|f| f.kind == FaultKind::CounterOverflow)
+        .count();
     let mut durations: Vec<f64> = bursts.iter().map(|b| b.duration().as_secs_f64()).collect();
     durations.sort_by(f64::total_cmp);
     let q = |p: f64| -> f64 {
@@ -79,6 +101,7 @@ pub fn trace_stats(trace: &Trace) -> TraceStats {
         } else {
             0.0
         },
+        quarantined_bursts,
     }
 }
 
@@ -96,6 +119,13 @@ impl std::fmt::Display for TraceStats {
             self.bursts,
             self.compute_fraction * 100.0
         )?;
+        if self.quarantined_bursts > 0 {
+            writeln!(
+                f,
+                "quarantined bursts (counter wrap/saturation): {}",
+                self.quarantined_bursts
+            )?;
+        }
         let [min, p25, med, p75, max] = self.burst_duration_quartiles;
         write!(
             f,
@@ -180,6 +210,55 @@ mod tests {
         assert!((stats.wall_s - 2e-3).abs() < 1e-9);
         // Compute fraction = 1.8 ms of 2 ms.
         assert!((stats.compute_fraction - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saturated_counter_is_quarantined_not_wrapped() {
+        // A burst whose instruction counter *decreases* across its span
+        // (saturation / wrap-around) must be quarantined — counted in
+        // `quarantined_bursts`, excluded from `bursts` — and the fault
+        // surfaced through the checked variant rather than discarded.
+        let mut trace = Trace::with_ranks(SourceRegistry::new(), 1);
+        let stream = trace.rank_mut(RankId(0)).unwrap();
+        stream
+            .push(Record::CommExit {
+                time: TimeNs(0),
+                kind: CommKind::Collective,
+                counters: counters(u64::MAX as f64),
+            })
+            .unwrap();
+        stream
+            .push(Record::CommEnter {
+                time: TimeNs(1_000_000),
+                kind: CommKind::Collective,
+                counters: counters(5.0), // saturated counter reset: decrease
+            })
+            .unwrap();
+        // And one clean burst after it.
+        stream
+            .push(Record::CommExit {
+                time: TimeNs(1_100_000),
+                kind: CommKind::Collective,
+                counters: counters(5.0),
+            })
+            .unwrap();
+        stream
+            .push(Record::CommEnter {
+                time: TimeNs(2_000_000),
+                kind: CommKind::Collective,
+                counters: counters(900.0),
+            })
+            .unwrap();
+
+        let mut faults = crate::fault::FaultReport::new();
+        let stats = crate::stats::trace_stats_checked(&trace, &mut faults);
+        assert_eq!(stats.bursts, 1, "only the clean burst survives");
+        assert_eq!(stats.quarantined_bursts, 1);
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults.faults[0].kind, crate::fault::FaultKind::CounterOverflow);
+        // The plain variant agrees on the counts (faults just discarded).
+        assert_eq!(trace_stats(&trace).quarantined_bursts, 1);
+        assert!(trace_stats(&trace).to_string().contains("quarantined bursts"));
     }
 
     #[test]

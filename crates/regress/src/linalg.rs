@@ -494,10 +494,14 @@ pub fn nnls_into<'s>(
         s.gram.mul_vec_into(&s.x, &mut s.gx);
         s.grad.clear();
         s.grad.extend(s.atb.iter().zip(&s.gx).map(|(t, g)| t - g));
-        // Most-violating inactive variable.
+        // Most-violating inactive variable. `total_cmp` keeps the selection
+        // total even when a non-finite design matrix poisons the gradient
+        // (`partial_cmp(..).unwrap()` would panic on NaN); a NaN "winner"
+        // then flows into the passive solve, whose Cholesky rejects it as
+        // not positive definite instead of crashing.
         let cand = (0..n)
             .filter(|&j| !s.passive[j])
-            .max_by(|&i, &j| s.grad[i].partial_cmp(&s.grad[j]).unwrap());
+            .max_by(|&i, &j| s.grad[i].total_cmp(&s.grad[j]));
         let Some(j_star) = cand else { break };
         if s.grad[j_star] <= tol {
             break; // KKT satisfied.
@@ -516,6 +520,12 @@ pub fn nnls_into<'s>(
                 &mut s.spd,
             )?;
             let z = &s.full;
+            // A non-finite sub-solution (NaN right-hand side through a
+            // finite Gram) can neither satisfy `z > 0` nor trip the
+            // `z <= 0` step logic, so it would spin here forever.
+            if (0..n).filter(|&j| s.passive[j]).any(|j| !z[j].is_finite()) {
+                return Err(LinalgError::Singular);
+            }
             let all_pos = (0..n).filter(|&j| s.passive[j]).all(|j| z[j] > 0.0);
             if all_pos {
                 std::mem::swap(&mut s.x, &mut s.full);
@@ -656,6 +666,25 @@ mod tests {
         let a = Mat::identity(3);
         let x = nnls(&a, &[0.0, 0.0, 0.0], 50).unwrap();
         assert_close(&x, &[0.0, 0.0, 0.0], 1e-12);
+    }
+
+    #[test]
+    fn nnls_nan_poisoned_design_does_not_panic() {
+        // A NaN in the design matrix makes AᵀA and the gradient NaN; the
+        // most-violating-variable scan must stay total (NaN sorts above
+        // every finite value under `total_cmp`) and the poisoned column's
+        // passive solve must be rejected as not-SPD rather than crashing.
+        let a = Mat::from_rows(&[
+            vec![1.0, f64::NAN],
+            vec![2.0, 1.0],
+            vec![3.0, 0.5],
+        ]);
+        let b = [1.0, 2.0, 3.0];
+        assert_eq!(nnls(&a, &b, 100), Err(LinalgError::Singular));
+        // All-NaN right-hand side through a sane matrix must not panic
+        // either (every gradient entry is NaN).
+        let ok = Mat::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]);
+        let _ = nnls(&ok, &[f64::NAN, f64::NAN], 100);
     }
 
     #[test]

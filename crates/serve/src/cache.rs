@@ -29,6 +29,42 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
+/// A second, independent 64-bit FNV-1a with a different offset basis (the
+/// low half of the 128-bit FNV basis) and a different odd multiplier (the
+/// 32-bit FNV prime, zero-extended). Two strings colliding under both
+/// [`fnv1a64`] *and* this hash *and* having equal length is what the cache
+/// treats as impossible in practice.
+pub fn fnv1a64_alt(bytes: &[u8]) -> u64 {
+    let mut h = 0x62b8_2175_6295_c58du64;
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0000_0100_0193);
+    }
+    h
+}
+
+/// Collision witness for a cache entry: checked on every hit before a
+/// stored report is served, because [`CacheKey`] addresses the trace by a
+/// *single* 64-bit hash and a colliding trace must not silently receive
+/// another trace's report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceWitness {
+    /// Length of the canonical trace bytes.
+    pub len: u64,
+    /// [`fnv1a64_alt`] of the canonical trace bytes.
+    pub alt: u64,
+}
+
+impl TraceWitness {
+    /// Derives the witness for canonical trace bytes.
+    pub fn derive(canonical_trace: &str) -> TraceWitness {
+        TraceWitness {
+            len: canonical_trace.len() as u64,
+            alt: fnv1a64_alt(canonical_trace.as_bytes()),
+        }
+    }
+}
+
 /// A content address: canonical-trace hash + config fingerprint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheKey {
@@ -68,6 +104,7 @@ pub fn config_fingerprint(config: &AnalysisConfig) -> u64 {
 
 struct Entry {
     report: String,
+    witness: TraceWitness,
     last_used: u64,
 }
 
@@ -80,6 +117,10 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries evicted from memory (still on disk when spill is on).
     pub evictions: u64,
+    /// Key hits whose [`TraceWitness`] did not match — a 64-bit key
+    /// collision (or corrupt spill file), answered as a miss. Also counted
+    /// in `misses`.
+    pub verify_failures: u64,
 }
 
 /// In-memory LRU of rendered reports with optional disk spill.
@@ -114,23 +155,51 @@ impl ResultCache {
 
     /// Looks the key up in memory, then on disk. Disk hits are promoted
     /// back into memory.
-    pub fn get(&mut self, key: &CacheKey) -> Option<String> {
+    ///
+    /// Every key hit is verified against `witness` before the stored
+    /// report is served: a mismatch means the requesting trace merely
+    /// *collides* with the stored one under the 64-bit key (or the spill
+    /// file is corrupt), and is answered as a miss — counted both in
+    /// `misses` and `verify_failures`.
+    pub fn get(&mut self, key: &CacheKey, witness: &TraceWitness) -> Option<String> {
         self.tick += 1;
         if let Some(entry) = self.entries.get_mut(key) {
-            entry.last_used = self.tick;
-            self.stats.hits += 1;
-            phasefold_obs::counter!("serve.cache_hits", 1);
-            return Some(entry.report.clone());
-        }
-        if let Some(path) = self.spill_path(key) {
-            if let Ok(report) = std::fs::read_to_string(&path) {
+            if entry.witness == *witness {
+                entry.last_used = self.tick;
                 self.stats.hits += 1;
                 phasefold_obs::counter!("serve.cache_hits", 1);
-                self.insert_memory(*key, report.clone());
-                return Some(report);
+                return Some(entry.report.clone());
+            }
+            // A colliding trace. The in-memory entry (and any spill file)
+            // belongs to the *other* trace; don't consult disk — it was
+            // written by the same insert and carries the same witness.
+            return self.verify_miss();
+        }
+        if let Some(path) = self.spill_path(key) {
+            if let Ok(raw) = std::fs::read_to_string(&path) {
+                match parse_spill(&raw) {
+                    Some((stored, report)) if stored == *witness => {
+                        self.stats.hits += 1;
+                        phasefold_obs::counter!("serve.cache_hits", 1);
+                        let report = report.to_string();
+                        self.insert_memory(*key, *witness, report.clone());
+                        return Some(report);
+                    }
+                    // Witness mismatch, a pre-witness (v1) file, or a
+                    // truncated write: unverifiable, so a miss.
+                    Some(_) | None => return self.verify_miss(),
+                }
             }
         }
         self.stats.misses += 1;
+        phasefold_obs::counter!("serve.cache_misses", 1);
+        None
+    }
+
+    fn verify_miss(&mut self) -> Option<String> {
+        self.stats.verify_failures += 1;
+        self.stats.misses += 1;
+        phasefold_obs::counter!("serve.cache_verify_failures", 1);
         phasefold_obs::counter!("serve.cache_misses", 1);
         None
     }
@@ -139,14 +208,14 @@ impl ResultCache {
     /// when over capacity, and writing the spill file when enabled. A
     /// failed spill write is silently ignored: the disk layer is an
     /// optimisation, never a correctness dependency.
-    pub fn insert(&mut self, key: CacheKey, report: String) {
+    pub fn insert(&mut self, key: CacheKey, witness: TraceWitness, report: String) {
         if let Some(path) = self.spill_path(&key) {
-            let _ = std::fs::write(&path, &report);
+            let _ = std::fs::write(&path, render_spill(&witness, &report));
         }
-        self.insert_memory(key, report);
+        self.insert_memory(key, witness, report);
     }
 
-    fn insert_memory(&mut self, key: CacheKey, report: String) {
+    fn insert_memory(&mut self, key: CacheKey, witness: TraceWitness, report: String) {
         self.tick += 1;
         while self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
             let lru = self
@@ -163,7 +232,7 @@ impl ResultCache {
                 None => break,
             }
         }
-        self.entries.insert(key, Entry { report, last_used: self.tick });
+        self.entries.insert(key, Entry { report, witness, last_used: self.tick });
     }
 
     /// Entries currently held in memory.
@@ -182,6 +251,27 @@ impl ResultCache {
     }
 }
 
+/// Spill file layout: a one-line witness header, then the raw report
+/// bytes. The header makes disk hits verifiable after a daemon restart,
+/// when the in-memory witness is gone.
+fn render_spill(witness: &TraceWitness, report: &str) -> String {
+    format!("phasefold-cache v2 {} {:016x}\n{report}", witness.len, witness.alt)
+}
+
+fn parse_spill(raw: &str) -> Option<(TraceWitness, &str)> {
+    let (header, report) = raw.split_once('\n')?;
+    let mut parts = header.split(' ');
+    if parts.next() != Some("phasefold-cache") || parts.next() != Some("v2") {
+        return None;
+    }
+    let len = parts.next()?.parse::<u64>().ok()?;
+    let alt = u64::from_str_radix(parts.next()?, 16).ok()?;
+    if parts.next().is_some() {
+        return None;
+    }
+    Some((TraceWitness { len, alt }, report))
+}
+
 #[cfg(test)]
 #[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
@@ -195,18 +285,22 @@ mod tests {
         assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
     }
 
+    fn w(i: u64) -> TraceWitness {
+        TraceWitness { len: i, alt: i.wrapping_mul(0x9e37_79b9_7f4a_7c15) }
+    }
+
     #[test]
     fn lru_evicts_least_recently_used() {
         let mut cache = ResultCache::new(2, None).unwrap();
         let k = |i: u64| CacheKey { trace: i, config: 0 };
-        cache.insert(k(1), "one".into());
-        cache.insert(k(2), "two".into());
-        assert_eq!(cache.get(&k(1)).as_deref(), Some("one")); // touch 1
-        cache.insert(k(3), "three".into()); // evicts 2
+        cache.insert(k(1), w(1), "one".into());
+        cache.insert(k(2), w(2), "two".into());
+        assert_eq!(cache.get(&k(1), &w(1)).as_deref(), Some("one")); // touch 1
+        cache.insert(k(3), w(3), "three".into()); // evicts 2
         assert_eq!(cache.len(), 2);
-        assert!(cache.get(&k(2)).is_none());
-        assert_eq!(cache.get(&k(1)).as_deref(), Some("one"));
-        assert_eq!(cache.get(&k(3)).as_deref(), Some("three"));
+        assert!(cache.get(&k(2), &w(2)).is_none());
+        assert_eq!(cache.get(&k(1), &w(1)).as_deref(), Some("one"));
+        assert_eq!(cache.get(&k(3), &w(3)).as_deref(), Some("three"));
         assert_eq!(cache.stats().evictions, 1);
     }
 
@@ -216,12 +310,69 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let mut cache = ResultCache::new(1, Some(dir.clone())).unwrap();
         let k = |i: u64| CacheKey { trace: i, config: 7 };
-        cache.insert(k(1), "spilled report".into());
-        cache.insert(k(2), "other".into()); // evicts 1 from memory
+        cache.insert(k(1), w(1), "spilled report".into());
+        cache.insert(k(2), w(2), "other".into()); // evicts 1 from memory
         assert_eq!(cache.len(), 1);
         // …but the spill file brings it back.
-        assert_eq!(cache.get(&k(1)).as_deref(), Some("spilled report"));
+        assert_eq!(cache.get(&k(1), &w(1)).as_deref(), Some("spilled report"));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn key_collision_is_a_verified_miss_not_a_wrong_report() {
+        // Two *different* traces that collide under the 64-bit key: the
+        // second must NOT be served the first one's report.
+        let mut cache = ResultCache::new(4, None).unwrap();
+        let key = CacheKey { trace: 0xdead_beef, config: 1 };
+        cache.insert(key, w(100), "report for trace A".into());
+        // Same key, different canonical bytes (different witness).
+        assert_eq!(cache.get(&key, &w(200)), None);
+        let stats = cache.stats();
+        assert_eq!(stats.verify_failures, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 0);
+        // The original owner still hits.
+        assert_eq!(cache.get(&key, &w(100)).as_deref(), Some("report for trace A"));
+    }
+
+    #[test]
+    fn disk_spill_collision_and_corruption_are_verified_misses() {
+        let dir = std::env::temp_dir().join("phasefold-serve-cache-collide-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cache = ResultCache::new(1, Some(dir.clone())).unwrap();
+        let k = |i: u64| CacheKey { trace: i, config: 9 };
+        cache.insert(k(1), w(1), "disk report".into());
+        cache.insert(k(2), w(2), "evictor".into()); // pushes k(1) to disk only
+        // Colliding trace hits the spill file but fails verification.
+        assert_eq!(cache.get(&k(1), &w(42)), None);
+        assert_eq!(cache.stats().verify_failures, 1);
+        // A pre-witness (header-less) spill file is unverifiable: miss.
+        std::fs::write(dir.join(k(3).hex() + ".report"), "legacy v1 body").unwrap();
+        assert_eq!(cache.get(&k(3), &w(3)), None);
+        assert_eq!(cache.stats().verify_failures, 2);
+        // The rightful owner of k(1) still gets its report back from disk.
+        assert_eq!(cache.get(&k(1), &w(1)).as_deref(), Some("disk report"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spill_header_round_trips() {
+        let witness = TraceWitness::derive("canonical bytes");
+        let raw = render_spill(&witness, "body\nwith\nnewlines");
+        let (parsed, body) = parse_spill(&raw).unwrap();
+        assert_eq!(parsed, witness);
+        assert_eq!(body, "body\nwith\nnewlines");
+        assert!(parse_spill("no header here").is_none());
+    }
+
+    #[test]
+    fn alt_hash_is_independent_of_primary() {
+        // The two hashes must not be related by a fixed transformation;
+        // spot-check that strings colliding in neither still differ and
+        // the constants differ from the primary's.
+        assert_ne!(fnv1a64(b""), fnv1a64_alt(b""));
+        assert_ne!(fnv1a64(b"abc"), fnv1a64_alt(b"abc"));
+        assert_ne!(fnv1a64_alt(b"abc"), fnv1a64_alt(b"abd"));
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! SIGTERM/SIGINT — stops accepting, lets in-flight connections and jobs
 //! finish, and reports whether the drain was clean.
 
-use crate::cache::{CacheKey, ResultCache};
+use crate::cache::{CacheKey, ResultCache, TraceWitness};
 use crate::http::{self, Request};
 use crate::queue::{lock_recover, JobQueue, SubmitError};
 use crate::shutdown;
@@ -437,7 +437,7 @@ fn metrics(state: &Arc<State>) -> Reply {
     // Server-level gauges first (authoritative, monotone across scrapes),
     // then the obs export (spans drain per scrape, by design).
     let mut body = format!(
-        "{{\n\"schema\": \"phasefold-serve-metrics/1\",\n\"uptime_ms\": {},\n\"requests\": {},\n\"rejected\": {},\n\"sessions\": {},\n\"jobs_in_flight\": {},\n\"jobs_completed\": {},\n\"jobs_panicked\": {},\n\"cache_hits\": {},\n\"cache_misses\": {},\n\"cache_evictions\": {},\n\"cache_entries\": {}\n}}\n",
+        "{{\n\"schema\": \"phasefold-serve-metrics/1\",\n\"uptime_ms\": {},\n\"requests\": {},\n\"rejected\": {},\n\"sessions\": {},\n\"jobs_in_flight\": {},\n\"jobs_completed\": {},\n\"jobs_panicked\": {},\n\"cache_hits\": {},\n\"cache_misses\": {},\n\"cache_evictions\": {},\n\"cache_verify_failures\": {},\n\"cache_entries\": {}\n}}\n",
         state.started.elapsed().as_millis(),
         state.requests.load(Ordering::SeqCst),
         state.rejected.load(Ordering::SeqCst),
@@ -448,6 +448,7 @@ fn metrics(state: &Arc<State>) -> Reply {
         cache_stats.hits,
         cache_stats.misses,
         cache_stats.evictions,
+        cache_stats.verify_failures,
         cache_len,
     );
     body.push_str(&phasefold_obs::export::metrics_json(&phasefold_obs::snapshot()));
@@ -493,10 +494,14 @@ fn analyze(state: &Arc<State>, req: &Request) -> Reply {
         },
     };
 
-    // Content address: canonical bytes + config fingerprint.
+    // Content address: canonical bytes + config fingerprint. The witness
+    // (length + independent second hash) is what `get` checks before
+    // serving a stored report, so a 64-bit key collision degrades to a
+    // recomputed miss instead of another trace's report.
     let canonical = prv::write_trace(&trace);
     let key = CacheKey::derive(&canonical, &config);
-    if let Some(report) = lock_recover(&state.cache).get(&key) {
+    let witness = TraceWitness::derive(&canonical);
+    if let Some(report) = lock_recover(&state.cache).get(&key, &witness) {
         return Reply::text(200, "OK", report)
             .header("x-cache", "hit".to_string())
             .header("x-parse-quarantined", parse_quarantined.to_string());
@@ -528,7 +533,7 @@ fn analyze(state: &Arc<State>, req: &Request) -> Reply {
     // a 500 instead of a hang.
     match rx.recv_timeout(Duration::from_secs(600)) {
         Ok(Ok(report)) => {
-            lock_recover(&state.cache).insert(key, report.clone());
+            lock_recover(&state.cache).insert(key, witness, report.clone());
             Reply::text(200, "OK", report)
                 .header("x-cache", "miss".to_string())
                 .header("x-parse-quarantined", parse_quarantined.to_string())

@@ -11,7 +11,7 @@ use phasefold::AnalysisConfig;
 use phasefold_model::{
     prv, CommKind, CounterSet, RankId, Record, RegionKind, SourceRegistry, TimeNs, Trace,
 };
-use phasefold_serve::cache::{config_fingerprint, CacheKey, ResultCache};
+use phasefold_serve::cache::{config_fingerprint, CacheKey, ResultCache, TraceWitness};
 use phasefold_serve::Client;
 use std::time::Duration;
 
@@ -161,8 +161,9 @@ fn cache_hit_is_byte_identical_to_cold_run() {
     let mut cache = ResultCache::new(4, None).expect("memory-only cache");
     let key = CacheKey { trace: 0xabcd, config: 0x1234 };
     let report = "phasefold report\ncluster 0: 3 phases\n".to_string();
-    cache.insert(key, report.clone());
-    assert_eq!(cache.get(&key).as_deref(), Some(report.as_str()));
+    let witness = TraceWitness::derive("the canonical trace bytes");
+    cache.insert(key, witness, report.clone());
+    assert_eq!(cache.get(&key, &witness).as_deref(), Some(report.as_str()));
 
     let (handle, addr) = common::boot(common::test_config());
     let body = common::trace_text(120, 2, 9);

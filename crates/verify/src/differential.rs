@@ -1,0 +1,323 @@
+//! Differential checks: fast kernel vs slow reference on the same input.
+//!
+//! Equality contracts, documented per check:
+//!
+//! | check            | contract |
+//! |------------------|----------|
+//! | segdp-exhaustive | SSE per segment count within `1e-6` relative (prefix sums vs direct moments round differently); returned breakpoints must describe a feasible partition whose direct SSE matches the reported one |
+//! | dbscan-brute     | exact: core set, cluster count, core partition up to relabeling, border adjacency, noise set |
+//! | fold-naive       | bit-exact on every folded point and mean; the two sides evaluate the same formula in the same order |
+
+use crate::generate::Case;
+use crate::reference;
+use crate::Divergence;
+use phasefold_cluster::{cluster_bursts, dbscan, DbscanParams};
+use phasefold_folding::fold_trace;
+use phasefold_model::{burst::extract_bursts_checked, fault::FaultReport};
+use phasefold_regress::segdp::segment_dp;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Relative SSE tolerance for the segmented-least-squares comparison. The
+/// production DP computes interval SSE from prefix-sum differences whose
+/// rounding error scales with the raw (uncentered) moments, while the
+/// reference centers first; agreement beyond ~1e-9 relative cannot be
+/// expected, and 1e-6 leaves three orders of margin without masking any
+/// structural mistake (choosing a wrong split changes SSE by orders more).
+pub const SEGDP_SSE_RTOL: f64 = 1e-6;
+
+fn sse_close(a: f64, b: f64, scale: f64) -> bool {
+    (a - b).abs() <= SEGDP_SSE_RTOL * (1.0 + scale.abs())
+}
+
+/// Differential check: `regress::segdp::segment_dp` against the exhaustive
+/// reference, on a random sorted instance drawn from `rng`.
+pub fn check_segdp(rng: &mut StdRng, seed: u64) -> Option<Divergence> {
+    // Small n keeps the exhaustive side honest *and* fast.
+    let n = rng.gen_range(4usize..22);
+    let min_points = rng.gen_range(1usize..4);
+    let max_segments = rng.gen_range(1usize..5);
+    let mut xs: Vec<f64> = Vec::with_capacity(n);
+    let mut x = 0.0f64;
+    for _ in 0..n {
+        x += rng.gen_range(0.01f64..1.0);
+        xs.push(x);
+    }
+    // Piece-wise linear ground truth + noise, so optimal splits exist but
+    // are not trivial.
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|&x| {
+            let base = if x < xs[n / 2] { 0.3 * x } else { 2.0 * x - 1.7 * xs[n / 2] };
+            base + rng.gen_range(-0.05f64..0.05)
+        })
+        .collect();
+    let weights: Option<Vec<f64>> = if rng.gen_bool(0.5) {
+        Some((0..n).map(|_| rng.gen_range(0.1f64..2.0)).collect())
+    } else {
+        None
+    };
+    let w = weights.as_deref();
+
+    let fast = segment_dp(&xs, &ys, w, max_segments, min_points);
+    let slow = reference::exhaustive_segmentations(&xs, &ys, w, max_segments, min_points);
+    let detail = compare_segdp(&xs, &ys, w, min_points, &fast, &slow)?;
+    Some(Divergence { check: "segdp-exhaustive", seed, detail, repro: None })
+}
+
+/// Compares a production segmentation set against the exhaustive optimum;
+/// `None` = agreement, `Some(detail)` = divergence.
+pub fn compare_segdp(
+    xs: &[f64],
+    ys: &[f64],
+    weights: Option<&[f64]>,
+    min_points: usize,
+    fast: &[phasefold_regress::segdp::Segmentation],
+    slow: &[(usize, f64)],
+) -> Option<String> {
+    if fast.len() != slow.len() {
+        return Some(format!(
+            "row count: fast returned {} segmentations, reference {} (n={}, min_points={})",
+            fast.len(),
+            slow.len(),
+            xs.len(),
+            min_points
+        ));
+    }
+    for (row, &(m, ref_sse)) in fast.iter().zip(slow) {
+        if row.num_segments != m {
+            return Some(format!("row order: fast m={} where reference m={m}", row.num_segments));
+        }
+        if !ref_sse.is_finite() {
+            continue; // infeasible row; DP reports inf as well or is absent
+        }
+        if !sse_close(row.sse, ref_sse, ref_sse) {
+            return Some(format!(
+                "m={m}: fast SSE {} vs exhaustive optimum {} (rtol {SEGDP_SSE_RTOL})",
+                row.sse, ref_sse
+            ));
+        }
+        // The breakpoints must describe a real partition achieving the
+        // claimed SSE: strictly inside the x range, sorted, segments of at
+        // least min_points, and the direct SSE of that partition equal to
+        // the reported one.
+        if row.breakpoints.len() + 1 != m {
+            return Some(format!(
+                "m={m}: {} breakpoints returned, expected {}",
+                row.breakpoints.len(),
+                m - 1
+            ));
+        }
+        if row.breakpoints.windows(2).any(|w| w[0] >= w[1]) {
+            return Some(format!("m={m}: breakpoints not strictly increasing: {:?}", row.breakpoints));
+        }
+        let mut start = 0usize;
+        let mut partition_sse = 0.0f64;
+        for (b, &bp) in row.breakpoints.iter().enumerate() {
+            let end = xs.partition_point(|&x| x < bp); // first index right of bp
+            if end <= start || end - start < min_points {
+                return Some(format!(
+                    "m={m}: breakpoint {b} at {bp} yields segment [{start}, {end}) shorter than min_points={min_points}"
+                ));
+            }
+            partition_sse += reference::line_sse_direct(xs, ys, weights, start, end - 1);
+            start = end;
+        }
+        if xs.len() - start < min_points {
+            return Some(format!(
+                "m={m}: final segment [{start}, {}) shorter than min_points={min_points}",
+                xs.len()
+            ));
+        }
+        partition_sse += reference::line_sse_direct(xs, ys, weights, start, xs.len() - 1);
+        if !sse_close(partition_sse, row.sse, ref_sse) {
+            return Some(format!(
+                "m={m}: reported SSE {} but the returned breakpoints achieve {} (rtol {SEGDP_SSE_RTOL})",
+                row.sse, partition_sse
+            ));
+        }
+    }
+    None
+}
+
+/// Differential check: kd-tree DBSCAN against the all-pairs reference, on
+/// random blob-plus-noise points drawn from `rng`.
+pub fn check_dbscan(rng: &mut StdRng, seed: u64) -> Option<Divergence> {
+    let blobs = rng.gen_range(1usize..4);
+    let mut points: Vec<[f64; 2]> = Vec::new();
+    for _ in 0..blobs {
+        let cx = rng.gen_range(0.0f64..1.0);
+        let cy = rng.gen_range(0.0f64..1.0);
+        let spread = rng.gen_range(0.005f64..0.08);
+        for _ in 0..rng.gen_range(4usize..40) {
+            points.push([
+                cx + rng.gen_range(-spread..spread),
+                cy + rng.gen_range(-spread..spread),
+            ]);
+        }
+    }
+    for _ in 0..rng.gen_range(0usize..12) {
+        points.push([rng.gen_range(-0.5f64..1.5), rng.gen_range(-0.5f64..1.5)]);
+    }
+    let eps = rng.gen_range(0.02f64..0.2);
+    let min_pts = rng.gen_range(2usize..6);
+
+    let fast = dbscan(&points, &DbscanParams { eps, min_pts });
+    let slow = reference::brute_dbscan(&points, eps, min_pts);
+    let detail = compare_dbscan(&fast, &slow)?;
+    Some(Divergence {
+        check: "dbscan-brute",
+        seed,
+        detail: format!("{detail} (n={}, eps={eps}, min_pts={min_pts})", points.len()),
+        repro: None,
+    })
+}
+
+/// Compares a production DBSCAN result against the brute-force ground
+/// truth; `None` = equivalent.
+pub fn compare_dbscan(
+    fast: &phasefold_cluster::DbscanResult,
+    slow: &reference::BruteDbscan,
+) -> Option<String> {
+    let n = slow.core.len();
+    if fast.labels.len() != n {
+        return Some(format!("label count {} != point count {n}", fast.labels.len()));
+    }
+    if fast.num_clusters != slow.num_components {
+        return Some(format!(
+            "cluster count: fast {} vs reference {}",
+            fast.num_clusters, slow.num_components
+        ));
+    }
+    // Core partition must match up to relabeling: build the bijection from
+    // fast labels to reference components over core points.
+    let mut fast_to_ref: HashMap<usize, usize> = HashMap::new();
+    let mut ref_to_fast: HashMap<usize, usize> = HashMap::new();
+    for i in 0..n {
+        if !slow.core[i] {
+            continue;
+        }
+        let Some(fl) = fast.labels[i] else {
+            return Some(format!("core point {i} labelled noise by fast path"));
+        };
+        let rl = match slow.component[i] {
+            Some(rl) => rl,
+            None => return Some(format!("reference lost core point {i}")),
+        };
+        if *fast_to_ref.entry(fl).or_insert(rl) != rl || *ref_to_fast.entry(rl).or_insert(fl) != fl
+        {
+            return Some(format!(
+                "core partition mismatch at point {i}: fast label {fl} vs reference component {rl} breaks the bijection"
+            ));
+        }
+    }
+    // Non-core points: label must be an adjacent component (border) or
+    // noise exactly when no core point is within ε.
+    for i in 0..n {
+        if slow.core[i] {
+            continue;
+        }
+        match fast.labels[i] {
+            Some(fl) => {
+                let Some(&rl) = fast_to_ref.get(&fl) else {
+                    return Some(format!("border point {i} carries unknown fast label {fl}"));
+                };
+                if !slow.adjacent[i].contains(&rl) {
+                    return Some(format!(
+                        "border point {i} assigned to component {rl}, not adjacent (adjacent: {:?})",
+                        slow.adjacent[i]
+                    ));
+                }
+            }
+            None => {
+                if !slow.adjacent[i].is_empty() {
+                    return Some(format!(
+                        "point {i} marked noise but is within ε of core component(s) {:?}",
+                        slow.adjacent[i]
+                    ));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Differential check: `folding::fold_trace` against the naive linear-scan
+/// re-fold, on the case's trace. Bit-exact.
+pub fn check_fold(case: &Case, seed: u64) -> Option<Divergence> {
+    let config = case.config.to_analysis();
+    let mut faults = FaultReport::new();
+    let bursts = extract_bursts_checked(&case.trace, config.min_burst_duration, &mut faults);
+    let clustering = cluster_bursts(&bursts, &config.cluster);
+    let fast = fold_trace(&case.trace, &bursts, &clustering, &config.fold);
+    let slow = reference::naive_refold(&case.trace, &bursts, &clustering, &config.fold);
+    let detail = compare_folds(&fast, &slow)?;
+    Some(Divergence { check: "fold-naive", seed, detail, repro: None })
+}
+
+/// Compares two fold outputs bit-exactly; `None` = identical.
+pub fn compare_folds(
+    fast: &[phasefold_folding::ClusterFold],
+    slow: &[phasefold_folding::ClusterFold],
+) -> Option<String> {
+    if fast.len() != slow.len() {
+        return Some(format!("fold count: fast {} vs reference {}", fast.len(), slow.len()));
+    }
+    for (f, s) in fast.iter().zip(slow) {
+        if f.cluster != s.cluster {
+            return Some(format!("cluster id {} vs {}", f.cluster, s.cluster));
+        }
+        if f.instances_used != s.instances_used || f.instances_pruned != s.instances_pruned {
+            return Some(format!(
+                "cluster {}: instances used/pruned {}/{} vs {}/{}",
+                f.cluster, f.instances_used, f.instances_pruned, s.instances_used, s.instances_pruned
+            ));
+        }
+        if f.samples != s.samples {
+            return Some(format!("cluster {}: samples {} vs {}", f.cluster, f.samples, s.samples));
+        }
+        if f.mean_duration_s.to_bits() != s.mean_duration_s.to_bits() {
+            return Some(format!(
+                "cluster {}: mean duration {} vs {} (bit mismatch)",
+                f.cluster, f.mean_duration_s, s.mean_duration_s
+            ));
+        }
+        if f.stacks.len() != s.stacks.len() {
+            return Some(format!(
+                "cluster {}: stack count {} vs {}",
+                f.cluster,
+                f.stacks.len(),
+                s.stacks.len()
+            ));
+        }
+        for (k, (fp, sp)) in f.profiles.iter().zip(&s.profiles).enumerate() {
+            if fp.mean_total.to_bits() != sp.mean_total.to_bits() {
+                return Some(format!(
+                    "cluster {} counter {k}: mean_total {} vs {}",
+                    f.cluster, fp.mean_total, sp.mean_total
+                ));
+            }
+            if fp.points.len() != sp.points.len() {
+                return Some(format!(
+                    "cluster {} counter {k}: {} points vs {}",
+                    f.cluster,
+                    fp.points.len(),
+                    sp.points.len()
+                ));
+            }
+            for (i, (a, b)) in fp.points.iter().zip(&sp.points).enumerate() {
+                if a.x.to_bits() != b.x.to_bits()
+                    || a.y.to_bits() != b.y.to_bits()
+                    || a.instance != b.instance
+                {
+                    return Some(format!(
+                        "cluster {} counter {k} point {i}: ({}, {}, inst {}) vs ({}, {}, inst {})",
+                        f.cluster, a.x, a.y, a.instance, b.x, b.y, b.instance
+                    ));
+                }
+            }
+        }
+    }
+    None
+}

@@ -1,0 +1,139 @@
+//! Greedy delta-debugging of a failing [`TraceSpec`] down to a minimal
+//! reproduction.
+//!
+//! Shrinking operates in spec space, never on trace text: dropping a rank,
+//! a burst, a sample, or a template segment always yields another *valid*
+//! trace, so the predicate only ever sees inputs from the generator's
+//! domain. The loop is the classic greedy ddmin-style descent — try each
+//! simplification, keep it if the case still fails, restart the pass after
+//! any success — and terminates because every accepted step strictly
+//! shrinks a finite structure.
+
+use crate::generate::{CaseConfig, TraceSpec};
+
+/// Upper bound on predicate evaluations per shrink, so a pathological case
+/// cannot stall the fuzz run. 400 evaluations minimizes every spec the
+/// generator can produce (≤ 4 ranks × ≤ 54 bursts) with a wide margin.
+const MAX_EVALS: usize = 400;
+
+/// Minimizes `spec` under `fails` (which must return `true` for the
+/// original spec). Returns the smallest spec found that still fails.
+pub fn shrink_spec(
+    spec: &TraceSpec,
+    config: &CaseConfig,
+    mut fails: impl FnMut(&TraceSpec, &CaseConfig) -> bool,
+) -> TraceSpec {
+    let mut best = spec.clone();
+    let mut evals = 0usize;
+    let mut check = |candidate: &TraceSpec, evals: &mut usize| -> bool {
+        if *evals >= MAX_EVALS || candidate.num_bursts() == 0 {
+            return false;
+        }
+        *evals += 1;
+        fails(candidate, config)
+    };
+
+    let mut progress = true;
+    while progress {
+        progress = false;
+
+        // Pass 1: drop whole ranks.
+        let mut r = 0;
+        while best.ranks.len() > 1 && r < best.ranks.len() {
+            let mut candidate = best.clone();
+            candidate.ranks.remove(r);
+            if check(&candidate, &mut evals) {
+                best = candidate;
+                progress = true;
+            } else {
+                r += 1;
+            }
+        }
+
+        // Pass 2: drop individual bursts, largest ranks first.
+        for r in 0..best.ranks.len() {
+            let mut b = 0;
+            while b < best.ranks[r].len() {
+                let mut candidate = best.clone();
+                candidate.ranks[r].remove(b);
+                if check(&candidate, &mut evals) {
+                    best = candidate;
+                    progress = true;
+                } else {
+                    b += 1;
+                }
+            }
+        }
+
+        // Pass 3: reduce per-burst sample counts (halve, then zero).
+        for r in 0..best.ranks.len() {
+            for b in 0..best.ranks[r].len() {
+                for target in [best.ranks[r][b].samples / 2, 0] {
+                    if best.ranks[r][b].samples <= target {
+                        continue;
+                    }
+                    let mut candidate = best.clone();
+                    candidate.ranks[r][b].samples = target;
+                    if check(&candidate, &mut evals) {
+                        best = candidate;
+                        progress = true;
+                    }
+                }
+            }
+        }
+
+        // Pass 4: flatten templates to a single rate segment.
+        for i in 0..best.templates.len() {
+            if best.templates[i].instr_rates.len() > 1 {
+                let mut candidate = best.clone();
+                candidate.templates[i].instr_rates.truncate(1);
+                if check(&candidate, &mut evals) {
+                    best = candidate;
+                    progress = true;
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::generate::{random_spec, rng_for, BurstInstance};
+
+    #[test]
+    fn shrinks_to_the_single_guilty_burst() {
+        let mut rng = rng_for(42, 99);
+        let (mut spec, config) = random_spec(&mut rng);
+        // Plant exactly one saturated burst; the predicate is "a saturated
+        // burst exists", so the minimum is one burst in one rank.
+        for rank in &mut spec.ranks {
+            for inst in rank.iter_mut() {
+                inst.saturate = false;
+            }
+        }
+        let at = 1.min(spec.ranks[0].len());
+        spec.ranks[0].insert(
+            at,
+            BurstInstance { template: 0, gap_ns: 5_000, dur_ns: 60_000, samples: 3, saturate: true },
+        );
+        let fails = |s: &TraceSpec, _: &CaseConfig| {
+            s.ranks.iter().flatten().any(|i| i.saturate)
+        };
+        let minimal = shrink_spec(&spec, &config, fails);
+        assert_eq!(minimal.ranks.len(), 1);
+        assert_eq!(minimal.num_bursts(), 1);
+        assert!(minimal.ranks[0][0].saturate);
+        assert_eq!(minimal.ranks[0][0].samples, 0);
+    }
+
+    #[test]
+    fn never_passing_predicate_returns_original() {
+        let mut rng = rng_for(43, 99);
+        let (spec, config) = random_spec(&mut rng);
+        let minimal = shrink_spec(&spec, &config, |_, _| false);
+        assert_eq!(minimal, spec);
+    }
+}

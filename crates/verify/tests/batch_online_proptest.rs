@@ -1,0 +1,150 @@
+//! Property: feeding the *same* records through the streaming
+//! [`OnlineAnalyzer`] and through batch parse-then-extract yields identical
+//! burst sequences and identical per-rank fault tallies — for arbitrary
+//! generated traces, arbitrary chunk sizes, and arbitrary interleavings of
+//! corrupted (saturated-counter) bursts.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use phasefold::OnlineAnalyzer;
+use phasefold_model::{
+    extract_rank_bursts_checked, prv, Burst, FaultReport,
+};
+use phasefold_verify::generate::{BurstInstance, BurstTemplate, TraceSpec};
+use phasefold_verify::CaseConfig;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn arb_spec() -> impl Strategy<Value = TraceSpec> {
+    let template = (30_000u64..400_000, proptest::collection::vec(0.2f64..6.0, 1..4), 0.5f64..4.0)
+        .prop_map(|(dur_ns, instr_rates, cycle_rate)| BurstTemplate {
+            dur_ns,
+            instr_rates,
+            cycle_rate,
+        });
+    let instance = (0usize..3, 1_000u64..60_000, 5_000u64..300_000, 0u32..8, 0u64..100)
+        .prop_map(|(template, gap_ns, dur_ns, samples, saturate_pct)| BurstInstance {
+            template,
+            gap_ns,
+            dur_ns,
+            samples,
+            saturate: saturate_pct < 8,
+        });
+    (
+        proptest::collection::vec(template, 1..3),
+        proptest::collection::vec(proptest::collection::vec(instance, 1..12), 1..4),
+    )
+        .prop_map(|(templates, ranks)| TraceSpec { templates, ranks })
+}
+
+fn burst_fingerprint(b: &Burst) -> (u32, u64, u64, u64) {
+    (b.id.rank.0, b.id.ordinal as u64, b.start.0, b.end.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn online_sees_exactly_the_batch_bursts_and_faults(
+        spec in arb_spec(),
+        chunk in 1usize..9,
+        min_burst_us in prop_oneof![Just(0u64), Just(10u64)],
+    ) {
+        let config = CaseConfig { min_burst_us, ..CaseConfig::default() };
+        let trace = spec.build(0, 1);
+
+        // Round-trip through the text format first: the online path in
+        // production consumes parsed lines, so the equivalence claim must
+        // hold for the *parsed* trace, not the in-memory original.
+        let text = prv::write_trace(&trace);
+        let (trace, parse_faults) = prv::parse_trace_lenient(&text).unwrap();
+        prop_assert!(parse_faults.is_empty(), "generated trace must parse clean");
+
+        // Batch side: per-rank checked extraction.
+        let analysis_config = config.to_analysis();
+        let mut batch_bursts: Vec<_> = Vec::new();
+        let mut batch_fault_ranks: HashMap<u32, usize> = HashMap::new();
+        for (rank, stream) in trace.iter_ranks() {
+            let mut faults = FaultReport::new();
+            batch_bursts.extend(
+                extract_rank_bursts_checked(
+                    rank,
+                    stream,
+                    analysis_config.min_burst_duration,
+                    &mut faults,
+                )
+                .iter()
+                .map(burst_fingerprint),
+            );
+            if !faults.is_empty() {
+                *batch_fault_ranks.entry(rank.0).or_insert(0) += faults.len();
+            }
+        }
+
+        // Online side: push the same records rank-interleaved in chunks.
+        let mut online = OnlineAnalyzer::new(analysis_config, 4);
+        let mut cursors: Vec<usize> = vec![0; trace.num_ranks()];
+        let streams: Vec<_> = trace.iter_ranks().collect();
+        loop {
+            let mut advanced = false;
+            for (i, (rank, stream)) in streams.iter().enumerate() {
+                let records = stream.records();
+                if cursors[i] < records.len() {
+                    let hi = (cursors[i] + chunk).min(records.len());
+                    online.push_records(*rank, &records[cursors[i]..hi]);
+                    cursors[i] = hi;
+                    advanced = true;
+                }
+            }
+            if !advanced {
+                break;
+            }
+        }
+
+        // Same total burst count, same per-rank counts.
+        prop_assert_eq!(online.bursts_seen(), batch_bursts.len());
+        for (rank, _) in &streams {
+            let batch_rank = batch_bursts.iter().filter(|f| f.0 == rank.0).count();
+            prop_assert_eq!(
+                online.rank_bursts_seen(*rank),
+                batch_rank,
+                "rank {} burst count",
+                rank.0
+            );
+        }
+
+        // Same fault volume, attributed to the same ranks.
+        let mut online_fault_ranks: HashMap<u32, usize> = HashMap::new();
+        for fault in &online.stream_faults().faults {
+            let rank = fault.provenance.rank.expect("stream faults carry rank provenance");
+            *online_fault_ranks.entry(rank).or_insert(0) += 1;
+        }
+        prop_assert_eq!(online_fault_ranks, batch_fault_ranks);
+    }
+
+    #[test]
+    fn prefix_feeding_never_overcounts(
+        spec in arb_spec(),
+        cut in 0usize..200,
+    ) {
+        // Feeding any prefix then the remainder equals feeding everything:
+        // the analyzer's resume cursors must not double-extract bursts that
+        // straddle a push boundary.
+        let config = CaseConfig::default().to_analysis();
+        let trace = spec.build(0, 1);
+        let mut whole = OnlineAnalyzer::new(config.clone(), 4);
+        let mut split = OnlineAnalyzer::new(config, 4);
+        for (rank, stream) in trace.iter_ranks() {
+            let records = stream.records();
+            whole.push_records(rank, records);
+            let cut = cut.min(records.len());
+            split.push_records(rank, &records[..cut]);
+            split.push_records(rank, &records[cut..]);
+        }
+        prop_assert_eq!(whole.bursts_seen(), split.bursts_seen());
+        for (rank, _) in trace.iter_ranks() {
+            prop_assert_eq!(whole.rank_bursts_seen(rank), split.rank_bursts_seen(rank));
+        }
+        prop_assert_eq!(whole.stream_faults().len(), split.stream_faults().len());
+    }
+}

@@ -1,0 +1,41 @@
+//! Replays the checked-in regression corpus (`tests/corpus/` at the repo
+//! root). Every case is a minimized trace pinned by a provenance header;
+//! replay runs the full differential + metamorphic check set over each.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus")
+}
+
+#[test]
+fn checked_in_corpus_replays_divergence_free() {
+    let dir = corpus_dir();
+    let (replayed, divergences) = phasefold_verify::corpus::replay_dir(&dir);
+    assert!(
+        replayed >= 10,
+        "expected at least 10 corpus cases in {}, found {replayed}",
+        dir.display()
+    );
+    assert!(
+        divergences.is_empty(),
+        "{} corpus divergence(s):\n{}",
+        divergences.len(),
+        divergences.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+    );
+}
+
+#[test]
+fn checked_in_corpus_matches_the_curated_set() {
+    // `verify --write-corpus` is the single source of truth; a corpus file
+    // edited by hand (or gone stale after a generator change) fails here.
+    let dir = corpus_dir();
+    for (name, case, origin) in phasefold_verify::corpus::curated_cases() {
+        let on_disk = std::fs::read_to_string(dir.join(&name))
+            .unwrap_or_else(|e| panic!("corpus file {name} unreadable: {e}"));
+        let expected = phasefold_verify::corpus::render_case(&case, &origin);
+        assert_eq!(on_disk, expected, "{name} differs from the curated generator output");
+    }
+}

@@ -1,0 +1,35 @@
+//! The standing differential/metamorphic gate: a fixed block of fuzz seeds
+//! must run divergence-free. `phasefold verify --seeds N` covers more
+//! ground; this keeps a floor under `cargo test`.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use phasefold_verify::run_seeds;
+
+#[test]
+fn fixed_seed_block_is_divergence_free() {
+    let summary = run_seeds(0, 40, false);
+    assert_eq!(summary.seeds_run, 40);
+    assert!(summary.bursts > 0, "generator produced no bursts at all");
+    assert!(
+        summary.divergences.is_empty(),
+        "{} divergence(s):\n{}",
+        summary.divergences.len(),
+        summary
+            .divergences
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn divergences_are_deterministic_across_runs() {
+    let a = run_seeds(100, 10, false);
+    let b = run_seeds(100, 10, false);
+    assert_eq!(a.divergences.len(), b.divergences.len());
+    for (x, y) in a.divergences.iter().zip(&b.divergences) {
+        assert_eq!(x.to_string(), y.to_string());
+    }
+}

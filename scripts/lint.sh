@@ -7,6 +7,8 @@
 # `#![deny(clippy::unwrap_used, clippy::expect_used)]` attributes, and
 # phasefold-serve denies them crate-wide (a panic on a connection thread
 # kills a live client; the daemon must never unwrap request-derived data).
+# phasefold-verify denies them crate-wide too: an oracle that panics
+# mid-fuzz hides every divergence the remaining seeds would have found.
 # Any unwrap/expect reintroduced there is a hard *error* under clippy (test
 # modules opt back in explicitly with #[allow]). Plain rustc accepts the
 # tool-lint attributes silently; this script runs clippy on the owning
@@ -19,6 +21,6 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== clippy: fault-critical crates (unwrap/expect are hard errors) =="
-cargo clippy -q -p phasefold -p phasefold-model -p phasefold-serve --all-targets
+cargo clippy -q -p phasefold -p phasefold-model -p phasefold-serve -p phasefold-verify --all-targets
 
 echo "lint OK"

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Differential & metamorphic correctness gate (E17).
+#
+# Builds the workspace in release mode and runs `phasefold verify`:
+#
+#   1. replays every minimized case in tests/corpus/ (the checked-in
+#      regression corpus — each file pins a shape that once exposed, or
+#      structurally could expose, a kernel divergence) through the full
+#      differential + metamorphic check set;
+#   2. fuzzes SEEDS seeded random trace/config cases (default 200) against
+#      the slow reference kernels and the paper-derived invariants.
+#
+# Any divergence fails the gate and prints a minimized repro in corpus
+# format, ready to be added to tests/corpus/.
+#
+# Usage:
+#   scripts/verify.sh             # 200 seeds + corpus replay
+#   SEEDS=1000 scripts/verify.sh  # deeper fuzz run
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEEDS="${SEEDS:-200}"
+
+echo "== release build =="
+cargo build --release -q -p phasefold-cli
+
+echo "== corpus replay + ${SEEDS}-seed fuzz =="
+cargo run --release -q -p phasefold-cli -- verify --seeds "$SEEDS" --corpus tests/corpus
+
+echo "verify gate OK"
