@@ -3,31 +3,38 @@
 //! `BENCH_pipeline.json` at the repository root so regressions are
 //! diffable across commits (see `scripts/bench.sh`).
 //!
-//! Two measurements:
+//! Measurements:
 //!
 //! 1. **Segmentation DP**: the exact branch-and-bound `segment_dp` against
 //!    the retained O(k·n²) reference `segment_dp_quadratic` on an
-//!    n = 10 000, k = 8 binned-profile-like input, asserting bit-identical
-//!    output while recording the speedup.
+//!    n = 10 000, k = 8 binned-profile-like input (n = 2 000 in `--quick`
+//!    mode), asserting bit-identical output while recording the speedup.
 //! 2. **End-to-end pipeline**: `analyze_trace` on small/medium/large
-//!    synthetic traces, single-threaded vs the work-stealing pool at the
-//!    host's available parallelism. On a 1-core host both columns coincide
-//!    (the pool is bypassed); the JSON records `host_threads` so readers
-//!    can tell.
-//! 3. **Instrumentation overhead**: the medium pipeline with `phasefold-obs`
-//!    recording enabled vs disabled (interleaved, min-of-two each). The
-//!    ratio is gated at <5 % by `scripts/bench.sh`.
+//!    synthetic traces, single-threaded. On a multi-core host, a parallel
+//!    column at the host's parallelism is added per trace.
+//! 3. **Scaling curve** (multi-core hosts only): the largest trace at
+//!    threads ∈ {1, 2, 4, 8}, asserting bit-identical models at every
+//!    thread count. On a 1-core host no parallel numbers are written at
+//!    all — `scaling_measured: false` plus a reason replaces them, because
+//!    a "parallel" run on one core measures scheduler overhead and thermal
+//!    drift, not scaling (an earlier baseline recorded a meaningless 0.83×
+//!    exactly this way).
+//! 4. **Instrumentation overhead** (full mode only): the medium pipeline
+//!    with `phasefold-obs` recording enabled vs disabled (interleaved,
+//!    min-of-three each). The ratio is gated at <5 % by `scripts/bench.sh`.
 //!
-//! A `meta` block (thread count, build profile, host cores) is embedded in
-//! the JSON so the comparison script can refuse to gate apples against
-//! oranges when baselines were recorded on a different machine shape.
+//! A `meta` block (thread count, build profile, host cores, mode) is
+//! embedded in the JSON so the comparison script can refuse to gate apples
+//! against oranges when baselines were recorded on a different machine
+//! shape or in a different mode.
 //!
 //! ```text
-//! cargo run --release -p phasefold-bench --bin exp_perf_baseline [out.json]
+//! cargo run --release -p phasefold-bench --bin exp_perf_baseline [--quick] [out.json]
 //! ```
 
 use phasefold::{analyze_trace, AnalysisConfig};
 use phasefold_bench::{banner, fmt, Table};
+use phasefold_model::Trace;
 use phasefold_regress::segdp::{segment_dp, segment_dp_quadratic, Segmentation};
 use phasefold_simapp::workloads::synthetic::{build, SyntheticParams};
 use phasefold_simapp::{simulate, SimConfig};
@@ -37,6 +44,9 @@ use std::time::Instant;
 
 /// Default output path: the repository root, resolved at compile time.
 const DEFAULT_OUT: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
+
+/// The thread counts the scaling curve sweeps (when the host has > 1 core).
+const SCALING_THREADS: [usize; 4] = [1, 2, 4, 8];
 
 /// A phase-structured scatter shaped like a binned folded profile: k true
 /// linear pieces, mild deterministic noise.
@@ -80,59 +90,119 @@ fn time_ms<T>(f: impl FnOnce() -> T) -> (f64, T) {
     (t0.elapsed().as_secs_f64() * 1e3, out)
 }
 
+fn synth_trace(iterations: u64, ranks: usize) -> Trace {
+    let params = SyntheticParams { iterations, ..SyntheticParams::default() };
+    let program = build(&params);
+    let out = simulate(&program, &SimConfig { ranks, ..SimConfig::default() });
+    let tracer = TracerConfig { overhead: OverheadConfig::FREE, ..TracerConfig::default() };
+    trace_run(&program.registry, &out.timelines, &tracer)
+}
+
 struct PipelineRow {
     label: &'static str,
     ranks: usize,
     iterations: u64,
     records: usize,
     seq_ms: f64,
-    par_ms: f64,
+    /// `None` on a 1-core host: there is nothing honest to measure.
+    par_ms: Option<f64>,
 }
 
-fn bench_pipeline(label: &'static str, iterations: u64, ranks: usize, threads: usize) -> PipelineRow {
-    let params = SyntheticParams { iterations, ..SyntheticParams::default() };
-    let program = build(&params);
-    let out = simulate(&program, &SimConfig { ranks, ..SimConfig::default() });
-    let tracer = TracerConfig { overhead: OverheadConfig::FREE, ..TracerConfig::default() };
-    let trace = trace_run(&program.registry, &out.timelines, &tracer);
+fn bench_pipeline(
+    label: &'static str,
+    iterations: u64,
+    ranks: usize,
+    host_threads: usize,
+) -> PipelineRow {
+    let trace = synth_trace(iterations, ranks);
     let seq_cfg = AnalysisConfig { threads: Some(1), ..AnalysisConfig::default() };
-    let par_cfg = AnalysisConfig { threads: Some(threads), ..AnalysisConfig::default() };
     // Warm-up run, then min-of-two per configuration: the minimum filters
     // out frequency-scaling and allocator-growth noise, which a 15 %
     // regression gate (`scripts/bench.sh`) cannot tolerate.
     let _ = analyze_trace(&trace, &seq_cfg);
-    let (seq_ms_a, seq) = time_ms(|| analyze_trace(&trace, &seq_cfg));
-    let (par_ms_a, par) = time_ms(|| analyze_trace(&trace, &par_cfg));
+    let par_ms = if host_threads > 1 {
+        let par_cfg = AnalysisConfig { threads: Some(host_threads), ..AnalysisConfig::default() };
+        let (seq_ms_a, seq) = time_ms(|| analyze_trace(&trace, &seq_cfg));
+        let (par_ms_a, par) = time_ms(|| analyze_trace(&trace, &par_cfg));
+        let (seq_ms_b, _) = time_ms(|| analyze_trace(&trace, &seq_cfg));
+        let (par_ms_b, _) = time_ms(|| analyze_trace(&trace, &par_cfg));
+        assert_eq!(
+            seq.models.len(),
+            par.models.len(),
+            "{label}: thread count changed the analysis"
+        );
+        for (a, b) in seq.models.iter().zip(&par.models) {
+            assert_eq!(a.breakpoints(), b.breakpoints(), "{label}: non-deterministic breakpoints");
+        }
+        return PipelineRow {
+            label,
+            ranks,
+            iterations,
+            records: trace.total_records(),
+            seq_ms: seq_ms_a.min(seq_ms_b),
+            par_ms: Some(par_ms_a.min(par_ms_b)),
+        };
+    } else {
+        None
+    };
+    let (seq_ms_a, _) = time_ms(|| analyze_trace(&trace, &seq_cfg));
     let (seq_ms_b, _) = time_ms(|| analyze_trace(&trace, &seq_cfg));
-    let (par_ms_b, _) = time_ms(|| analyze_trace(&trace, &par_cfg));
-    let seq_ms = seq_ms_a.min(seq_ms_b);
-    let par_ms = par_ms_a.min(par_ms_b);
-    assert_eq!(
-        seq.models.len(),
-        par.models.len(),
-        "{label}: thread count changed the analysis"
-    );
-    for (a, b) in seq.models.iter().zip(&par.models) {
-        assert_eq!(a.breakpoints(), b.breakpoints(), "{label}: non-deterministic breakpoints");
+    PipelineRow {
+        label,
+        ranks,
+        iterations,
+        records: trace.total_records(),
+        seq_ms: seq_ms_a.min(seq_ms_b),
+        par_ms,
     }
-    PipelineRow { label, ranks, iterations, records: trace.total_records(), seq_ms, par_ms }
+}
+
+struct ScalingPoint {
+    threads: usize,
+    ms: f64,
+    speedup: f64,
+}
+
+/// The threads ∈ {1, 2, 4, 8} scaling curve on one trace, min-of-two per
+/// point after a shared warm-up, asserting models stay bit-identical at
+/// every thread count. Only called when `host_cores > 1`.
+fn bench_scaling(trace: &Trace) -> Vec<ScalingPoint> {
+    let base_cfg = AnalysisConfig { threads: Some(1), ..AnalysisConfig::default() };
+    let baseline = analyze_trace(trace, &base_cfg); // warm-up + reference
+    let mut points: Vec<ScalingPoint> = Vec::new();
+    let mut base_ms = f64::NAN;
+    for &t in &SCALING_THREADS {
+        let cfg = AnalysisConfig { threads: Some(t), ..AnalysisConfig::default() };
+        let (ms_a, result) = time_ms(|| analyze_trace(trace, &cfg));
+        let (ms_b, _) = time_ms(|| analyze_trace(trace, &cfg));
+        let ms = ms_a.min(ms_b);
+        assert_eq!(
+            baseline.models.len(),
+            result.models.len(),
+            "threads={t} changed the analysis"
+        );
+        for (a, b) in baseline.models.iter().zip(&result.models) {
+            assert_eq!(a.breakpoints(), b.breakpoints(), "threads={t}: breakpoints diverged");
+        }
+        if t == 1 {
+            base_ms = ms;
+        }
+        points.push(ScalingPoint { threads: t, ms, speedup: base_ms / ms });
+    }
+    points
 }
 
 /// Medium pipeline with obs recording enabled vs disabled, interleaved so
-/// frequency drift hits both columns equally; min-of-three each (the true
-/// overhead is ~1%, well under run-to-run jitter, so the gate needs the
-/// minimum of several rounds to stay meaningful). Returns `(off_ms,
-/// on_ms)`. Leaves recording disabled and buffers drained.
+/// frequency drift hits both columns equally; min-of-five each (the true
+/// overhead is ~1%, well under run-to-run jitter on a bursty host, so the
+/// gate needs the minimum of several rounds to stay meaningful). Returns
+/// `(off_ms, on_ms)`. Leaves recording disabled and buffers drained.
 fn bench_obs_overhead(threads: usize) -> (f64, f64) {
-    let params = SyntheticParams { iterations: 400, ..SyntheticParams::default() };
-    let program = build(&params);
-    let out = simulate(&program, &SimConfig { ranks: 4, ..SimConfig::default() });
-    let tracer = TracerConfig { overhead: OverheadConfig::FREE, ..TracerConfig::default() };
-    let trace = trace_run(&program.registry, &out.timelines, &tracer);
+    let trace = synth_trace(400, 4);
     let cfg = AnalysisConfig { threads: Some(threads), ..AnalysisConfig::default() };
     let _ = analyze_trace(&trace, &cfg); // warm-up
     let (mut off_ms, mut on_ms) = (f64::INFINITY, f64::INFINITY);
-    for _ in 0..3 {
+    for _ in 0..5 {
         phasefold_obs::set_enabled(false);
         let (ms, _) = time_ms(|| analyze_trace(&trace, &cfg));
         off_ms = off_ms.min(ms);
@@ -147,28 +217,44 @@ fn bench_obs_overhead(threads: usize) -> (f64, f64) {
 }
 
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| DEFAULT_OUT.to_string());
+    let mut quick = false;
+    let mut out_path = DEFAULT_OUT.to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            quick = true;
+        } else {
+            out_path = arg;
+        }
+    }
     let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     banner(
         "E-PERF",
         "performance baseline: segmentation DP + end-to-end pipeline",
         "wall-clock numbers behind BENCH_pipeline.json / scripts/bench.sh",
     );
+    let mode = if quick { "quick" } else { "full" };
+    println!("mode: {mode}, host cores: {host_threads}");
 
-    // 1. Segmentation DP: pruned vs quadratic on n = 10 000, k = 8.
-    let (n, k, min_points) = (10_000usize, 8usize, 3usize);
+    // 1. Segmentation DP: pruned vs quadratic. Quick mode shrinks n so the
+    //    quadratic reference stays cheap enough for a CI tier-1 gate while
+    //    the bit-identity assertion keeps its teeth.
+    let (n, k, min_points) = if quick { (2_000usize, 8usize, 3usize) } else { (10_000, 8, 3) };
     let (xs, ys) = segdp_input(n, k);
-    let (quad_ms, quad) = time_ms(|| segment_dp_quadratic(&xs, &ys, None, k, min_points));
-    // Median of three for the fast path (it is short enough to jitter).
-    let mut pruned_ms = Vec::new();
+    // Min-of-two for the quadratic reference: one cold run can eat a burst
+    // of host noise and shift the speedup ratio across its gate.
+    let (quad_ms_a, quad) = time_ms(|| segment_dp_quadratic(&xs, &ys, None, k, min_points));
+    let (quad_ms_b, _) = time_ms(|| segment_dp_quadratic(&xs, &ys, None, k, min_points));
+    let quad_ms = quad_ms_a.min(quad_ms_b);
+    // Min-of-five for the fast path: it is short enough that a single
+    // scheduler preemption doubles the reading, and the median still lands
+    // on a noisy sample often enough to flip the speedup gate.
+    let mut pruned_ms = f64::INFINITY;
     let mut pruned = Vec::new();
-    for _ in 0..3 {
+    for _ in 0..5 {
         let (ms, out) = time_ms(|| segment_dp(&xs, &ys, None, k, min_points));
-        pruned_ms.push(ms);
+        pruned_ms = pruned_ms.min(ms);
         pruned = out;
     }
-    pruned_ms.sort_by(f64::total_cmp);
-    let pruned_ms = pruned_ms[1];
     let identical = same_segmentations(&quad, &pruned);
     assert!(identical, "segment_dp diverged from the quadratic reference");
     let segdp_speedup = quad_ms / pruned_ms;
@@ -190,12 +276,15 @@ fn main() {
     ]);
     println!("{}", seg_table.render_text());
 
-    // 2. End-to-end pipeline on three trace sizes.
-    let rows = vec![
+    // 2. End-to-end pipeline per trace size (quick mode drops the large
+    //    trace: it alone costs more than the rest of the gate combined).
+    let mut rows = vec![
         bench_pipeline("small", 150, 2, host_threads),
         bench_pipeline("medium", 400, 4, host_threads),
-        bench_pipeline("large", 1000, 8, host_threads),
     ];
+    if !quick {
+        rows.push(bench_pipeline("large", 1000, 8, host_threads));
+    }
     let mut pipe_table = Table::new(&[
         "trace",
         "ranks",
@@ -212,31 +301,54 @@ fn main() {
             r.iterations.to_string(),
             r.records.to_string(),
             fmt(r.seq_ms, 1),
-            fmt(r.par_ms, 1),
-            fmt(r.seq_ms / r.par_ms, 2),
+            r.par_ms.map_or("-".into(), |ms| fmt(ms, 1)),
+            r.par_ms.map_or("-".into(), |ms| fmt(r.seq_ms / ms, 2)),
         ]);
     }
     println!("{}", pipe_table.render_text());
-    if host_threads == 1 {
-        println!("note: 1-core host — the parallel column runs the same sequential path.");
-    }
 
-    // 3. Self-instrumentation overhead on the medium pipeline.
-    let (obs_off_ms, obs_on_ms) = bench_obs_overhead(host_threads);
-    let obs_overhead_ratio = if obs_off_ms > 0.0 { obs_on_ms / obs_off_ms } else { 1.0 };
-    println!(
-        "obs overhead (medium pipeline): off {} ms, on {} ms, ratio {}",
-        fmt(obs_off_ms, 1),
-        fmt(obs_on_ms, 1),
-        fmt(obs_overhead_ratio, 3),
-    );
+    // 3. Scaling curve on the largest benched trace — multi-core hosts
+    //    only. A 1-core host gets an explicit not-measured marker instead
+    //    of numbers that would only record scheduling overhead.
+    let scaling_trace_label = if quick { "medium" } else { "large" };
+    let scaling = if host_threads > 1 {
+        let trace = if quick { synth_trace(400, 4) } else { synth_trace(1000, 8) };
+        let points = bench_scaling(&trace);
+        let mut table = Table::new(&["threads", "ms", "speedup"]);
+        for p in &points {
+            table.row(vec![p.threads.to_string(), fmt(p.ms, 1), fmt(p.speedup, 2)]);
+        }
+        println!("scaling curve ({scaling_trace_label} trace):");
+        println!("{}", table.render_text());
+        Some(points)
+    } else {
+        println!(
+            "scaling: NOT MEASURED — host has 1 core; parallel timings on one core \
+             measure scheduler overhead, not scaling."
+        );
+        None
+    };
+
+    // 4. Self-instrumentation overhead on the medium pipeline (full only).
+    let obs = (!quick).then(|| {
+        let (obs_off_ms, obs_on_ms) = bench_obs_overhead(host_threads);
+        let ratio = if obs_off_ms > 0.0 { obs_on_ms / obs_off_ms } else { 1.0 };
+        println!(
+            "obs overhead (medium pipeline): off {} ms, on {} ms, ratio {}",
+            fmt(obs_off_ms, 1),
+            fmt(obs_on_ms, 1),
+            fmt(ratio, 3),
+        );
+        (obs_off_ms, obs_on_ms, ratio)
+    });
 
     // Machine-readable artifact, one scalar per line so `scripts/bench.sh`
     // can diff it with plain awk.
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": \"phasefold-bench-pipeline/2\",");
+    let _ = writeln!(json, "  \"schema\": \"phasefold-bench-pipeline/3\",");
     let _ = writeln!(json, "  \"meta\": {{");
+    let _ = writeln!(json, "    \"mode\": \"{mode}\",");
     let _ = writeln!(json, "    \"threads\": {host_threads},");
     let _ = writeln!(
         json,
@@ -247,9 +359,11 @@ fn main() {
     let _ = writeln!(json, "    \"debug_assertions\": {}", cfg!(debug_assertions));
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"host_threads\": {host_threads},");
-    let _ = writeln!(json, "  \"obs_off_ms\": {obs_off_ms:.3},");
-    let _ = writeln!(json, "  \"obs_on_ms\": {obs_on_ms:.3},");
-    let _ = writeln!(json, "  \"obs_overhead_ratio\": {obs_overhead_ratio:.4},");
+    if let Some((obs_off_ms, obs_on_ms, ratio)) = obs {
+        let _ = writeln!(json, "  \"obs_off_ms\": {obs_off_ms:.3},");
+        let _ = writeln!(json, "  \"obs_on_ms\": {obs_on_ms:.3},");
+        let _ = writeln!(json, "  \"obs_overhead_ratio\": {ratio:.4},");
+    }
     let _ = writeln!(json, "  \"segdp_n\": {n},");
     let _ = writeln!(json, "  \"segdp_k\": {k},");
     let _ = writeln!(json, "  \"segdp_min_points\": {min_points},");
@@ -257,20 +371,40 @@ fn main() {
     let _ = writeln!(json, "  \"segdp_pruned_ms\": {pruned_ms:.3},");
     let _ = writeln!(json, "  \"segdp_speedup\": {segdp_speedup:.3},");
     let _ = writeln!(json, "  \"segdp_identical\": {identical},");
+    let _ = writeln!(json, "  \"scaling_measured\": {},", scaling.is_some());
+    match &scaling {
+        Some(points) => {
+            let _ = writeln!(json, "  \"scaling_trace\": \"{scaling_trace_label}\",");
+            let _ = writeln!(json, "  \"scaling\": [");
+            for (i, p) in points.iter().enumerate() {
+                let comma = if i + 1 < points.len() { "," } else { "" };
+                let _ = writeln!(
+                    json,
+                    "    {{ \"threads\": {}, \"ms\": {:.3}, \"speedup\": {:.3} }}{comma}",
+                    p.threads, p.ms, p.speedup,
+                );
+            }
+            let _ = writeln!(json, "  ],");
+        }
+        None => {
+            let _ = writeln!(
+                json,
+                "  \"scaling_skipped_reason\": \"host has 1 core; parallel timings would \
+                 measure scheduling overhead, not scaling\","
+            );
+        }
+    }
     let _ = writeln!(json, "  \"pipeline\": [");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
+        let par = r.par_ms.map_or(String::new(), |ms| {
+            format!(", \"par_ms\": {:.3}, \"speedup\": {:.3}", ms, r.seq_ms / ms)
+        });
         let _ = writeln!(
             json,
             "    {{ \"trace\": \"{}\", \"ranks\": {}, \"iterations\": {}, \"records\": {}, \
-             \"seq_ms\": {:.3}, \"par_ms\": {:.3}, \"speedup\": {:.3} }}{comma}",
-            r.label,
-            r.ranks,
-            r.iterations,
-            r.records,
-            r.seq_ms,
-            r.par_ms,
-            r.seq_ms / r.par_ms,
+             \"seq_ms\": {:.3}{par} }}{comma}",
+            r.label, r.ranks, r.iterations, r.records, r.seq_ms,
         );
     }
     let _ = writeln!(json, "  ]");

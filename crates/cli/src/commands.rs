@@ -215,6 +215,13 @@ fn threads_option(p: &crate::args::Parsed) -> Result<Option<usize>, CliError> {
     }
 }
 
+/// Parses `--parallel-threshold N` (folded samples below which model
+/// building runs sequentially regardless of `--threads`; 0 = always honour
+/// the thread request). Defaults to the config default.
+fn parallel_threshold_option(p: &crate::args::Parsed) -> Result<usize, CliError> {
+    p.get_parsed("parallel-threshold", AnalysisConfig::default().parallel_threshold)
+}
+
 /// Parses `--fault-policy lenient|strict` (default lenient).
 fn fault_policy_option(p: &crate::args::Parsed) -> Result<FaultPolicy, CliError> {
     match p.get("fault-policy").unwrap_or("lenient") {
@@ -230,7 +237,7 @@ fn fault_policy_option(p: &crate::args::Parsed) -> Result<FaultPolicy, CliError>
 pub fn analyze(argv: &[String], out: &mut String) -> Result<(), CliError> {
     let p = parse(
         argv,
-        &["threads", "fault-policy", "log-level", "profile", "metrics"],
+        &["threads", "parallel-threshold", "fault-policy", "log-level", "profile", "metrics"],
         &["bootstrap", "markdown"],
     )?;
     let path = p.positional(0, "trace file")?;
@@ -247,6 +254,7 @@ pub fn analyze(argv: &[String], out: &mut String) -> Result<(), CliError> {
     };
     let mut config = AnalysisConfig::default();
     config.threads = threads_option(&p)?;
+    config.parallel_threshold = parallel_threshold_option(&p)?;
     config.fault_policy = policy;
     if p.has_flag("bootstrap") {
         config.bootstrap = Some(phasefold_regress::BootstrapConfig::default());
@@ -284,13 +292,17 @@ pub fn info(argv: &[String], out: &mut String) -> Result<(), CliError> {
 
 /// `phasefold compare`
 pub fn compare(argv: &[String], out: &mut String) -> Result<(), CliError> {
-    let p = parse(argv, &["threads", "log-level", "profile", "metrics"], &[])?;
+    let p = parse(argv, &["threads", "parallel-threshold", "log-level", "profile", "metrics"], &[])?;
     let base_path = p.positional(0, "baseline trace file")?;
     let cand_path = p.positional(1, "candidate trace file")?;
     let obs_req = ObsRequest::setup(&p, false)?;
     let base_trace = load_trace(base_path)?;
     let cand_trace = load_trace(cand_path)?;
-    let config = AnalysisConfig { threads: threads_option(&p)?, ..AnalysisConfig::default() };
+    let config = AnalysisConfig {
+        threads: threads_option(&p)?,
+        parallel_threshold: parallel_threshold_option(&p)?,
+        ..AnalysisConfig::default()
+    };
     let base = analyze_trace(&base_trace, &config);
     let cand = analyze_trace(&cand_trace, &config);
     let cmp = phasefold::compare_analyses(&base, &cand);
@@ -312,10 +324,11 @@ pub fn compare(argv: &[String], out: &mut String) -> Result<(), CliError> {
 /// whole stack with observability enabled and prints stage timings, pool
 /// utilisation, and pipeline counters — the tool profiling itself.
 pub fn selfcheck(argv: &[String], out: &mut String) -> Result<(), CliError> {
-    let mut option_names = vec!["threads", "iterations", "ranks"];
+    let mut option_names = vec!["threads", "parallel-threshold", "iterations", "ranks"];
     option_names.extend(OBS_OPTIONS);
     let p = parse(argv, &option_names, &[])?;
     let threads = threads_option(&p)?;
+    let parallel_threshold = parallel_threshold_option(&p)?;
     let iterations: u64 = p.get_parsed("iterations", 300)?;
     let ranks: usize = p.get_parsed("ranks", 4)?;
     let obs_req = ObsRequest::setup(&p, true)?;
@@ -325,7 +338,7 @@ pub fn selfcheck(argv: &[String], out: &mut String) -> Result<(), CliError> {
     let program = synthetic::build(&params);
     let sim = sim_run(&program, &SimConfig { ranks, ..SimConfig::default() });
     let trace = trace_run(&program.registry, &sim.timelines, &TracerConfig::default());
-    let config = AnalysisConfig { threads, ..AnalysisConfig::default() };
+    let config = AnalysisConfig { threads, parallel_threshold, ..AnalysisConfig::default() };
     let analysis = analyze_trace(&trace, &config);
     let wall = t0.elapsed();
 
@@ -362,6 +375,20 @@ pub fn selfcheck(argv: &[String], out: &mut String) -> Result<(), CliError> {
         counters.get("pool.queue_depth_max").copied().unwrap_or(0),
         100.0 * utilization,
     );
+
+    // Kernel roofline counters: how much work the hot loops actually did,
+    // and how much the pruning/layout optimisations saved. These are the
+    // numbers to watch when a kernel change claims a speedup.
+    let kc = |name: &str| counters.get(name).copied().unwrap_or(0);
+    let _ = writeln!(out, "\nkernel counters:");
+    let _ = writeln!(
+        out,
+        "  segdp:    {} DP cells evaluated, {} candidate blocks pruned",
+        kc("segdp.cells_evaluated"),
+        kc("segdp.blocks_pruned"),
+    );
+    let _ = writeln!(out, "  cholesky: {} panel factorisations", kc("cholesky.blocks"));
+    let _ = writeln!(out, "  kdtree:   {} nodes visited", kc("kdtree.nodes_visited"));
 
     if analysis.models.is_empty() {
         return Err(CliError::Other(

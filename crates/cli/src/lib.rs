@@ -93,6 +93,8 @@ commands:
       [--period-ms P] [--imbalance F] [--optimized]
   analyze <F.prv>                   phase analysis report of a trace
       [--bootstrap] [--markdown] [--threads N (0 = auto)]
+      [--parallel-threshold N (folded samples; below it model building
+       runs sequentially regardless of --threads; 0 = always parallel)]
       [--fault-policy lenient|strict]
       [--profile out.json] [--metrics out.json] [--log-level L]
   chaos <F.prv> --out G.prv         deterministically corrupt a trace
@@ -100,15 +102,15 @@ commands:
       [--drop R] [--truncate R] [--shuffle R] [--saturate R] [--nan R]
   info <F.prv>                      trace summary statistics + region table
   compare <base.prv> <cand.prv>     per-phase metric deltas between two runs
-      [--threads N (0 = auto)]
+      [--threads N (0 = auto)] [--parallel-threshold N]
       [--profile out.json] [--metrics out.json] [--log-level L]
   period <F.prv>                    detect the iterative period
       [--rank R] [--bins B]
   reconstruct <F.prv>               unfolded fine-grain rate timeline (CSV)
       [--rank R] [--points N]
   selfcheck                         profile the analysis stack on a canned
-      workload: stage timings + pool utilization
-      [--threads N] [--iterations N] [--ranks N]
+      workload: stage timings + pool utilization + kernel counters
+      [--threads N] [--parallel-threshold N] [--iterations N] [--ranks N]
       [--profile out.json] [--metrics out.json] [--log-level L]
   serve                             analysis daemon (HTTP/1.1 on std::net)
       [--addr H:P (default 127.0.0.1:8191, port 0 = ephemeral)]

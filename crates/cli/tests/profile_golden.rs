@@ -266,8 +266,12 @@ fn profile_is_valid_chrome_trace_covering_all_stages() {
     let trace = simulate_trace("golden.prv");
     let profile = tmp("golden_profile.json");
     let metrics = tmp("golden_metrics.json");
+    // --parallel-threshold 0: the trace is small enough that the default
+    // granularity floor would (correctly) bypass the pool, and this test
+    // exists precisely to see the pool worker lanes in the profile.
     run_ok(&[
-        "analyze", &trace, "--threads", "4", "--profile", &profile, "--metrics", &metrics,
+        "analyze", &trace, "--threads", "4", "--parallel-threshold", "0",
+        "--profile", &profile, "--metrics", &metrics,
     ]);
 
     let doc = parse_json(&std::fs::read_to_string(&profile).unwrap());
@@ -375,10 +379,13 @@ fn report_is_bit_identical_with_and_without_instrumentation() {
         plain, profiled,
         "enabling observability changed the analysis report"
     );
-    // And again with the pool engaged.
-    let plain_par = run_ok(&["analyze", &trace, "--threads", "4"]);
+    // And again with the pool engaged (threshold 0 forces it on this
+    // sub-threshold trace).
+    let plain_par =
+        run_ok(&["analyze", &trace, "--threads", "4", "--parallel-threshold", "0"]);
     let profiled_par = run_ok(&[
-        "analyze", &trace, "--threads", "4", "--profile", &tmp("identical_par.json"),
+        "analyze", &trace, "--threads", "4", "--parallel-threshold", "0",
+        "--profile", &tmp("identical_par.json"),
     ]);
     assert_eq!(plain_par, profiled_par);
     assert_eq!(plain, plain_par, "thread count changed the report");

@@ -80,13 +80,17 @@ pub fn dbscan<const D: usize>(points: &[[f64; D]], params: &DbscanParams) -> Dbs
     let mut labels: Vec<Label> = vec![None; n];
     let mut visited = vec![false; n];
     let mut num_clusters = 0usize;
+    // Neighbour and flood-fill buffers hoisted out of the loops: every
+    // range query refills `neighbours` in place (no per-query allocation).
+    let mut neighbours: Vec<usize> = Vec::new();
+    let mut queue: Vec<usize> = Vec::new();
 
     for start in 0..n {
         if visited[start] {
             continue;
         }
         visited[start] = true;
-        let neighbours = tree.within(&points[start], params.eps);
+        tree.within_into(&points[start], params.eps, &mut neighbours);
         phasefold_obs::counter!("dbscan.range_queries", 1);
         phasefold_obs::counter!("dbscan.neighbors_scanned", neighbours.len() as u64);
         if neighbours.len() < params.min_pts {
@@ -97,7 +101,8 @@ pub fn dbscan<const D: usize>(points: &[[f64; D]], params: &DbscanParams) -> Dbs
         let cluster = num_clusters;
         num_clusters += 1;
         labels[start] = Some(cluster);
-        let mut queue: Vec<usize> = neighbours;
+        queue.clear();
+        queue.extend_from_slice(&neighbours);
         while let Some(p) = queue.pop() {
             if labels[p].is_none() {
                 labels[p] = Some(cluster); // border or core, claimed now
@@ -108,12 +113,12 @@ pub fn dbscan<const D: usize>(points: &[[f64; D]], params: &DbscanParams) -> Dbs
                 continue;
             }
             visited[p] = true;
-            let pn = tree.within(&points[p], params.eps);
+            tree.within_into(&points[p], params.eps, &mut neighbours);
             phasefold_obs::counter!("dbscan.range_queries", 1);
-            phasefold_obs::counter!("dbscan.neighbors_scanned", pn.len() as u64);
-            if pn.len() >= params.min_pts {
+            phasefold_obs::counter!("dbscan.neighbors_scanned", neighbours.len() as u64);
+            if neighbours.len() >= params.min_pts {
                 phasefold_obs::counter!("dbscan.core_points", 1);
-                for q in pn {
+                for &q in &neighbours {
                     if !visited[q] || labels[q].is_none() {
                         queue.push(q);
                     }

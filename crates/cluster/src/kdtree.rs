@@ -1,121 +1,204 @@
 //! A k-d tree over fixed-dimension points, supporting the ε-range queries
 //! DBSCAN needs. Built once over all points (median split), queried many
 //! times; no external dependencies.
+//!
+//! The tree is stored as one flat, left-balanced array of nodes: the
+//! subtree over `lo..hi` has its root at `(lo + hi) / 2`, children in the
+//! two halves. No child pointers exist — the index arithmetic *is* the
+//! structure — so a node is exactly its point plus the original index,
+//! packed contiguously. Range and k-NN queries walk the array iteratively
+//! with a small explicit stack; no recursion, no per-query allocation
+//! (callers can reuse result buffers via [`KdTree::within_into`]).
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+/// One node of the flat tree: the point, plus the index it had in the
+/// build input. `u32` keeps the node at 3 machine words for `D = 2` —
+/// the burst sets this crate clusters never approach 4 G points.
+#[derive(Debug, Clone, Copy)]
+struct KdNode<const D: usize> {
+    point: [f64; D],
+    original: u32,
+}
+
+/// Upper bound on the traversal stack. Each level of the median-balanced
+/// tree contributes at most two frames, and `u32` originals cap the depth
+/// at 32 levels, so 128 frames can never overflow.
+const MAX_STACK: usize = 128;
 
 /// A k-d tree over `D`-dimensional points.
 #[derive(Debug, Clone)]
 pub struct KdTree<const D: usize> {
-    /// Points in tree order (reordered copy of the input).
-    points: Vec<[f64; D]>,
-    /// Original index of each tree-ordered point.
-    original: Vec<usize>,
+    /// Left-balanced implicit tree: root of `lo..hi` at `(lo + hi) / 2`.
+    nodes: Vec<KdNode<D>>,
 }
 
 impl<const D: usize> KdTree<D> {
     /// Builds a balanced tree (median splits) over `points`.
     pub fn build(points: &[[f64; D]]) -> KdTree<D> {
-        let mut original: Vec<usize> = (0..points.len()).collect();
-        let mut pts: Vec<[f64; D]> = points.to_vec();
-        if !pts.is_empty() {
-            build_recursive(&mut pts, &mut original, 0);
+        assert!(points.len() <= u32::MAX as usize, "point count exceeds u32 index space");
+        let mut nodes: Vec<KdNode<D>> = points
+            .iter()
+            .enumerate()
+            .map(|(i, &point)| KdNode { point, original: i as u32 })
+            .collect();
+        if !nodes.is_empty() {
+            build_in_place(&mut nodes, 0);
         }
-        KdTree { points: pts, original }
+        KdTree { nodes }
     }
 
     /// Number of points.
     pub fn len(&self) -> usize {
-        self.points.len()
+        self.nodes.len()
     }
 
     /// True if the tree is empty.
     pub fn is_empty(&self) -> bool {
-        self.points.is_empty()
+        self.nodes.is_empty()
     }
 
     /// Original indices of all points within Euclidean distance `eps` of
     /// `query` (inclusive). Includes the query point itself if present.
     pub fn within(&self, query: &[f64; D], eps: f64) -> Vec<usize> {
         let mut out = Vec::new();
-        if !self.points.is_empty() {
-            self.search(0, self.points.len(), 0, query, eps * eps, &mut out);
-        }
+        self.within_into(query, eps, &mut out);
         out
     }
 
-    fn search(
-        &self,
-        lo: usize,
-        hi: usize,
-        axis: usize,
-        query: &[f64; D],
-        eps2: f64,
-        out: &mut Vec<usize>,
-    ) {
-        if lo >= hi {
+    /// [`KdTree::within`] writing into a caller-owned buffer (cleared
+    /// first), so repeated queries — DBSCAN's flood fill — never allocate.
+    pub fn within_into(&self, query: &[f64; D], eps: f64, out: &mut Vec<usize>) {
+        out.clear();
+        if self.nodes.is_empty() {
             return;
         }
-        let mid = lo + (hi - lo) / 2;
-        let p = &self.points[mid];
-        if dist2(p, query) <= eps2 {
-            out.push(self.original[mid]);
-        }
-        let next_axis = (axis + 1) % D;
-        let delta = query[axis] - p[axis];
-        let eps = eps2.sqrt();
-        // Search the near side always; the far side only if the splitting
-        // plane is within eps.
-        if delta <= 0.0 {
-            self.search(lo, mid, next_axis, query, eps2, out);
-            if -delta <= eps {
-                self.search(mid + 1, hi, next_axis, query, eps2, out);
+        let eps2 = eps * eps;
+        let mut visited = 0u64;
+        let mut stack = [(0usize, 0usize, 0usize); MAX_STACK];
+        stack[0] = (0, self.nodes.len(), 0);
+        let mut top = 1;
+        while top > 0 {
+            top -= 1;
+            let (lo, hi, axis) = stack[top];
+            let mid = lo + (hi - lo) / 2;
+            let node = &self.nodes[mid];
+            visited += 1;
+            if dist2(&node.point, query) <= eps2 {
+                out.push(node.original as usize);
             }
-        } else {
-            self.search(mid + 1, hi, next_axis, query, eps2, out);
-            if delta <= eps {
-                self.search(lo, mid, next_axis, query, eps2, out);
+            let next_axis = (axis + 1) % D;
+            let delta = query[axis] - node.point[axis];
+            // Visit the near half always; the far half only when the
+            // splitting plane is within eps (squared compare — no sqrt).
+            let (near, far) = if delta <= 0.0 {
+                ((lo, mid), (mid + 1, hi))
+            } else {
+                ((mid + 1, hi), (lo, mid))
+            };
+            debug_assert!(top + 2 <= MAX_STACK);
+            if far.0 < far.1 && delta * delta <= eps2 {
+                stack[top] = (far.0, far.1, next_axis);
+                top += 1;
+            }
+            // Pushed last, popped first: preserves the recursive
+            // near-side-first visit order.
+            if near.0 < near.1 {
+                stack[top] = (near.0, near.1, next_axis);
+                top += 1;
             }
         }
+        phasefold_obs::counter!("kdtree.nodes_visited", visited);
     }
 
     /// Distance to the k-th nearest *other* point for every point (the
-    /// "k-dist" curve used to pick DBSCAN's ε). Brute force — used once at
-    /// parameterisation time on the (small) burst set.
+    /// "k-dist" curve used to pick DBSCAN's ε). Runs exact bounded k-NN
+    /// queries against the tree — O(n log n) on blob-structured data where
+    /// the old all-pairs scan was O(n² log n) — and returns exactly the
+    /// values the brute force would: the k-th smallest distance is a
+    /// multiset statistic, indifferent to tie order.
     pub fn k_dist(points: &[[f64; D]], k: usize) -> Vec<f64> {
         let n = points.len();
+        let k = k.max(1);
+        let tree = KdTree::build(points);
         let mut out = Vec::with_capacity(n);
-        for i in 0..n {
-            let mut dists: Vec<f64> = (0..n)
-                .filter(|&j| j != i)
-                .map(|j| dist2(&points[i], &points[j]).sqrt())
-                .collect();
-            dists.sort_by(|a, b| a.total_cmp(b));
-            out.push(dists.get(k.saturating_sub(1)).copied().unwrap_or(f64::INFINITY));
+        let mut best: Vec<f64> = Vec::with_capacity(k);
+        for (i, p) in points.iter().enumerate() {
+            tree.knn_excluding(i, p, k, &mut best);
+            out.push(if best.len() == k { best[k - 1].sqrt() } else { f64::INFINITY });
         }
         out
     }
+
+    /// Exact k-nearest-neighbour squared distances from `query`, skipping
+    /// the point whose original index is `skip`. `best` (reused across
+    /// calls) ends sorted ascending with at most `k` entries.
+    fn knn_excluding(&self, skip: usize, query: &[f64; D], k: usize, best: &mut Vec<f64>) {
+        best.clear();
+        if self.nodes.is_empty() {
+            return;
+        }
+        let mut visited = 0u64;
+        let mut stack = [(0usize, 0usize, 0usize); MAX_STACK];
+        stack[0] = (0, self.nodes.len(), 0);
+        let mut top = 1;
+        while top > 0 {
+            top -= 1;
+            let (lo, hi, axis) = stack[top];
+            let mid = lo + (hi - lo) / 2;
+            let node = &self.nodes[mid];
+            visited += 1;
+            if node.original as usize != skip {
+                let d2 = dist2(&node.point, query);
+                if best.len() < k {
+                    let pos = best.partition_point(|&b| b <= d2);
+                    best.insert(pos, d2);
+                } else if d2 < best[k - 1] {
+                    best.pop();
+                    let pos = best.partition_point(|&b| b <= d2);
+                    best.insert(pos, d2);
+                }
+            }
+            let next_axis = (axis + 1) % D;
+            let delta = query[axis] - node.point[axis];
+            let (near, far) = if delta <= 0.0 {
+                ((lo, mid), (mid + 1, hi))
+            } else {
+                ((mid + 1, hi), (lo, mid))
+            };
+            // The far half can only matter while the neighbour set is not
+            // full, or when the splitting plane is at most the current k-th
+            // distance away (`<=` keeps boundary ties exact).
+            let explore_far = best.len() < k || delta * delta <= best[k - 1];
+            debug_assert!(top + 2 <= MAX_STACK);
+            if far.0 < far.1 && explore_far {
+                stack[top] = (far.0, far.1, next_axis);
+                top += 1;
+            }
+            if near.0 < near.1 {
+                stack[top] = (near.0, near.1, next_axis);
+                top += 1;
+            }
+        }
+        phasefold_obs::counter!("kdtree.nodes_visited", visited);
+    }
 }
 
-fn build_recursive<const D: usize>(points: &mut [[f64; D]], original: &mut [usize], axis: usize) {
-    let n = points.len();
+/// Recursive in-place build: median-partition the node slice along the
+/// axis (`select_nth_unstable_by` — O(n) per level, no allocation, unlike
+/// the full sort + three fresh vectors per level this replaces), then
+/// recurse into the halves. Depth is log₂(n): the median split is exact.
+fn build_in_place<const D: usize>(nodes: &mut [KdNode<D>], axis: usize) {
+    let n = nodes.len();
     if n <= 1 {
         return;
     }
     let mid = n / 2;
-    // Median partition along the axis (select_nth keeps pairing intact via
-    // co-sorting through an index permutation).
-    let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&a, &b| points[a][axis].total_cmp(&points[b][axis]));
-    let reordered_pts: Vec<[f64; D]> = idx.iter().map(|&i| points[i]).collect();
-    let reordered_orig: Vec<usize> = idx.iter().map(|&i| original[i]).collect();
-    points.copy_from_slice(&reordered_pts);
-    original.copy_from_slice(&reordered_orig);
+    nodes.select_nth_unstable_by(mid, |a, b| a.point[axis].total_cmp(&b.point[axis]));
     let next = (axis + 1) % D;
-    let (left, rest) = points.split_at_mut(mid);
-    let (_, right) = rest.split_at_mut(1);
-    let (oleft, orest) = original.split_at_mut(mid);
-    let (_, oright) = orest.split_at_mut(1);
-    build_recursive(left, oleft, next);
-    build_recursive(right, oright, next);
+    let (left, rest) = nodes.split_at_mut(mid);
+    build_in_place(left, next);
+    build_in_place(&mut rest[1..], next);
 }
 
 fn dist2<const D: usize>(a: &[f64; D], b: &[f64; D]) -> f64 {
@@ -128,6 +211,7 @@ fn dist2<const D: usize>(a: &[f64; D], b: &[f64; D]) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -137,6 +221,20 @@ mod tests {
             .collect();
         v.sort_unstable();
         v
+    }
+
+    fn brute_k_dist(points: &[[f64; 2]], k: usize) -> Vec<f64> {
+        let n = points.len();
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut dists: Vec<f64> = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| dist2(&points[i], &points[j]).sqrt())
+                .collect();
+            dists.sort_by(|a, b| a.total_cmp(b));
+            out.push(dists.get(k.saturating_sub(1)).copied().unwrap_or(f64::INFINITY));
+        }
+        out
     }
 
     fn pseudo_points(n: usize) -> Vec<[f64; 2]> {
@@ -161,6 +259,17 @@ mod tests {
                 assert_eq!(got, want, "query {qi} eps {eps}");
             }
         }
+    }
+
+    #[test]
+    fn within_into_reuses_buffer() {
+        let pts = pseudo_points(100);
+        let tree = KdTree::build(&pts);
+        let mut buf = vec![999usize; 64]; // stale garbage must be cleared
+        tree.within_into(&pts[3], 0.15, &mut buf);
+        let mut got = buf.clone();
+        got.sort_unstable();
+        assert_eq!(got, brute_within(&pts, &pts[3], 0.15));
     }
 
     #[test]
@@ -207,6 +316,37 @@ mod tests {
         // End points' 2nd neighbour is 2 away; interior points' is 1.
         assert!((d2[0] - 2.0).abs() < 1e-12);
         assert!((d2[5] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_dist_matches_brute_force() {
+        let pts = pseudo_points(150);
+        for k in [1, 2, 4, 7] {
+            let fast = KdTree::k_dist(&pts, k);
+            let slow = brute_k_dist(&pts, k);
+            assert_eq!(fast.len(), slow.len());
+            for (i, (f, s)) in fast.iter().zip(&slow).enumerate() {
+                assert!(
+                    f.to_bits() == s.to_bits(),
+                    "k = {k} point {i}: tree {f} vs brute {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn k_dist_with_duplicates() {
+        // Duplicate coordinates: the other copies sit at distance 0 and
+        // must count as neighbours, exactly as the brute force counts them.
+        let mut pts = vec![[0.25, 0.25]; 4];
+        pts.extend(pseudo_points(40));
+        for k in [1, 3, 5] {
+            let fast = KdTree::k_dist(&pts, k);
+            let slow = brute_k_dist(&pts, k);
+            for (f, s) in fast.iter().zip(&slow) {
+                assert_eq!(f.to_bits(), s.to_bits());
+            }
+        }
     }
 
     #[test]

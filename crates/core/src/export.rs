@@ -14,7 +14,7 @@ fn io_fault(path: &std::path::Path, e: std::io::Error) -> Fault {
 /// Folded scatter of one counter as `x,y` CSV (header included).
 pub fn folded_points_csv(fold: &ClusterFold, counter: CounterKind) -> String {
     let mut out = String::from("x,y\n");
-    for p in &fold.profile(counter).points {
+    for p in fold.profile(counter).iter() {
         let _ = writeln!(out, "{},{}", p.x, p.y);
     }
     out

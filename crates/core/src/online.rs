@@ -394,9 +394,11 @@ impl OnlineAnalyzer {
         for (cluster, fold) in self.folds.iter().enumerate() {
             let cluster_fold = ClusterFold {
                 cluster,
-                profiles: std::array::from_fn(|i| FoldedProfile {
-                    points: fold.points[i].clone(),
-                    mean_total: fold.totals[i] / fold.instances.max(1) as f64,
+                profiles: std::array::from_fn(|i| {
+                    FoldedProfile::from_points(
+                        &fold.points[i],
+                        fold.totals[i] / fold.instances.max(1) as f64,
+                    )
                 }),
                 stacks: fold.stacks.clone(),
                 mean_duration_s: fold.total_dur_s / fold.instances.max(1) as f64,

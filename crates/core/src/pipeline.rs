@@ -188,7 +188,15 @@ fn build_models(
 ) -> (Vec<ClusterPhaseModel>, FaultReport) {
     // Per-counter refits are the finest work grain: more threads than
     // counter tasks cannot help.
-    let threads = resolved_threads(config).min(folds.len() * NUM_COUNTERS).max(1);
+    let mut threads = resolved_threads(config).min(folds.len() * NUM_COUNTERS).max(1);
+    // Sequential-fallback threshold: fitting cost scales with the folded
+    // sample count, and below the threshold the whole stage is cheaper
+    // than spawning the pool's worker threads. Tiny folds therefore never
+    // pay scheduling overhead (pool.tasks_scheduled stays 0).
+    let total_samples: usize = folds.iter().map(|f| f.samples).sum();
+    if total_samples < config.parallel_threshold {
+        threads = 1;
+    }
     let mut report = FaultReport::new();
     if threads == 1 {
         let models = folds
@@ -357,8 +365,10 @@ fn build_models(
 /// Stage-1 output: the instruction-profile fit that defines the phase
 /// structure, parked between the structural and assembly stages.
 struct FoldStructure {
-    xs: Vec<f64>,
-    ys: Vec<f64>,
+    /// The (possibly NaN-filtered) x/y data the structure was fitted on,
+    /// kept only when a bootstrap is configured — it is the sole consumer,
+    /// and the profile itself already owns the unfiltered arrays.
+    data: Option<(Vec<f64>, Vec<f64>)>,
     fit: PwlrFit,
     breakpoints: Vec<f64>,
 }
@@ -375,7 +385,7 @@ fn fit_structure(
 ) -> Option<FoldStructure> {
     let _sp = phasefold_obs::span!("pipeline.fit_structure #c{}", fold.cluster);
     let instr = fold.profile(CounterKind::Instructions);
-    if instr.points.is_empty() {
+    if instr.is_empty() {
         faults.push(
             Fault::new(FaultKind::DegenerateFold, "cluster folded to zero samples")
                 .in_cluster(fold.cluster)
@@ -383,12 +393,12 @@ fn fit_structure(
         );
         return None;
     }
-    if instr.points.len() < config.min_folded_points {
+    if instr.len() < config.min_folded_points {
         phasefold_obs::log!(
             Level::Debug,
             "cluster {}: {} folded points < {} minimum, skipped",
             fold.cluster,
-            instr.points.len(),
+            instr.len(),
             config.min_folded_points
         );
         faults.push(
@@ -396,7 +406,7 @@ fn fit_structure(
                 FaultKind::DegenerateFold,
                 format!(
                     "only {} folded points, below the {} minimum",
-                    instr.points.len(),
+                    instr.len(),
                     config.min_folded_points
                 ),
             )
@@ -418,20 +428,20 @@ fn fit_structure(
                 format!(
                     "{bad} of {} folded instruction points are not finite; \
                      fitting the finite remainder",
-                    instr.points.len()
+                    instr.len()
                 ),
             )
             .in_cluster(fold.cluster)
             .on_counter(CounterKind::Instructions),
         );
         filtered = instr.finite_subset();
-        if filtered.points.len() < config.min_folded_points {
+        if filtered.len() < config.min_folded_points {
             faults.push(
                 Fault::new(
                     FaultKind::DegenerateFold,
                     format!(
                         "only {} finite folded points remain, below the {} minimum",
-                        filtered.points.len(),
+                        filtered.len(),
                         config.min_folded_points
                     ),
                 )
@@ -444,8 +454,10 @@ fn fit_structure(
     } else {
         instr
     };
+    // SoA payoff: the profile hands out its x/y storage as borrowed slices;
+    // the structural fit streams them with no gather and no copy.
     let (xs, ys) = instr.xy();
-    let fit: PwlrFit = match fit_pwlr(&xs, &ys, None, &config.pwlr) {
+    let fit: PwlrFit = match fit_pwlr(xs, ys, None, &config.pwlr) {
         Ok(fit) => fit,
         Err(e) => {
             let kind = match e {
@@ -469,7 +481,9 @@ fn fit_structure(
         fit.num_segments(),
         fit.fit.r2
     );
-    Some(FoldStructure { xs, ys, fit, breakpoints })
+    // Only the bootstrap re-reads the fitted data; skip the copy otherwise.
+    let data = config.bootstrap.as_ref().map(|_| (xs.to_vec(), ys.to_vec()));
+    Some(FoldStructure { data, fit, breakpoints })
 }
 
 /// Stage 2: re-fit one non-instruction counter with the instruction
@@ -490,7 +504,7 @@ fn refit_counter(
 ) -> Vec<f64> {
     let _sp = phasefold_obs::span!("pipeline.refit_counter #c{} {}", fold.cluster, kind);
     let profile = fold.profile(kind);
-    if profile.points.len() < config.min_folded_points {
+    if profile.len() < config.min_folded_points {
         return vec![0.0; num_segments];
     }
     // Same point-level quarantine as the structural fit: report the
@@ -505,7 +519,7 @@ fn refit_counter(
                 FaultKind::NanSamples,
                 format!(
                     "{bad} of {} folded points are not finite (mean total {})",
-                    profile.points.len(),
+                    profile.len(),
                     profile.mean_total
                 ),
             )
@@ -516,7 +530,7 @@ fn refit_counter(
             return vec![0.0; num_segments];
         }
         filtered = profile.finite_subset();
-        if filtered.points.len() < config.min_folded_points {
+        if filtered.len() < config.min_folded_points {
             return vec![0.0; num_segments];
         }
         &filtered
@@ -527,7 +541,7 @@ fn refit_counter(
         return vec![0.0; num_segments];
     }
     let (cxs, cys) = profile.xy();
-    match fit_hinge_monotone(&cxs, &cys, None, breakpoints, 0.0, 1.0) {
+    match fit_hinge_monotone(cxs, cys, None, breakpoints, 0.0, 1.0) {
         Ok(h) => h.slopes,
         Err(e) => {
             faults.push(
@@ -631,7 +645,7 @@ fn assemble_model(
     config: &AnalysisConfig,
 ) -> ClusterPhaseModel {
     let _sp = phasefold_obs::span!("pipeline.assemble_model #c{}", fold.cluster);
-    let FoldStructure { xs, ys, fit, breakpoints: _ } = structure;
+    let FoldStructure { data, fit, breakpoints: _ } = structure;
     let spans = fit.fit.segment_spans();
     let mut phases = Vec::with_capacity(spans.len());
     for (i, (x0, x1)) in spans.into_iter().enumerate() {
@@ -657,10 +671,10 @@ fn assemble_model(
 
     // Optional instance-level bootstrap on the structural (instruction)
     // profile.
-    let bootstrap = config.bootstrap.as_ref().and_then(|bcfg| {
+    let bootstrap = config.bootstrap.as_ref().zip(data.as_ref()).and_then(|(bcfg, (xs, ys))| {
         phasefold_regress::bootstrap_pwlr(
-            &xs,
-            &ys,
+            xs,
+            ys,
             &fold.profile(CounterKind::Instructions).instance_ids(),
             &config.pwlr,
             fit.num_segments(),

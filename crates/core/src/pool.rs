@@ -32,7 +32,19 @@ use std::any::Any;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// How long an idle worker sleeps once its spin/yield backoff is spent.
+///
+/// `Backoff::snooze` never actually blocks — it spins, then yields — so a
+/// worker with nothing to steal keeps competing for a core with the workers
+/// that still have work. On a host with fewer cores than pool threads
+/// (oversubscription: the exact regime where the old bench saw parallel
+/// runs *slower* than sequential ones) that tail-spin directly slows the
+/// workers holding real tasks. 50 µs is long enough to surrender the core,
+/// and at most one scheduling quantum of extra latency on wake-up, which is
+/// noise against task granularity (fits run for milliseconds).
+const IDLE_SLEEP: Duration = Duration::from_micros(50);
 
 /// One isolated panic captured from a pool job.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -157,7 +169,15 @@ pub fn run(threads: usize, seeds: Vec<Job<'_>>) -> Vec<TaskPanic> {
                             pending.fetch_sub(1, Ordering::SeqCst);
                             backoff.reset();
                         }
-                        None => backoff.snooze(),
+                        None => {
+                            if backoff.is_completed() {
+                                // Spin budget exhausted: actually block so
+                                // busy siblings get the core (see IDLE_SLEEP).
+                                std::thread::sleep(IDLE_SLEEP);
+                            } else {
+                                backoff.snooze();
+                            }
+                        }
                     }
                 }
                 phasefold_obs::span::flush_thread();

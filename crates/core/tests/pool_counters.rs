@@ -133,6 +133,56 @@ fn disabled_obs_records_nothing() {
     );
 }
 
+/// Sub-threshold workloads must take the fully sequential path: a trace
+/// that folds to fewer samples than `parallel_threshold` never touches the
+/// pool (no worker spawned, no task scheduled), even when the caller asks
+/// for many threads — and the resulting models are identical to a run that
+/// forces the pool on.
+#[test]
+fn sub_threshold_workload_takes_sequential_path() {
+    use phasefold::{analyze_trace, AnalysisConfig};
+    use phasefold_simapp::workloads::synthetic::{build, SyntheticParams};
+    use phasefold_simapp::{simulate, SimConfig};
+    use phasefold_tracer::{trace_run, OverheadConfig, TracerConfig};
+
+    let _guard = OBS_LOCK.lock().unwrap();
+    let params = SyntheticParams { iterations: 120, ..SyntheticParams::default() };
+    let program = build(&params);
+    let sim = simulate(&program, &SimConfig { ranks: 2, ..SimConfig::default() });
+    let tracer = TracerConfig { overhead: OverheadConfig::FREE, ..TracerConfig::default() };
+    let trace = trace_run(&program.registry, &sim.timelines, &tracer);
+
+    // The default threshold (2048 samples) dwarfs this trace's fold.
+    let config = AnalysisConfig { threads: Some(4), ..AnalysisConfig::default() };
+    phasefold_obs::reset();
+    phasefold_obs::set_enabled(true);
+    let sequential = analyze_trace(&trace, &config);
+    phasefold_obs::set_enabled(false);
+    let c = pool_counters();
+    assert_eq!(c.scheduled, 0, "sub-threshold workload must bypass the pool");
+    assert_eq!(c.completed, 0);
+    assert!(!sequential.models.is_empty(), "the workload itself must still analyse");
+
+    // Disabling the threshold with the same thread request must schedule
+    // pool tasks — proving the previous run's zero came from the fallback,
+    // not from a broken counter.
+    let forced =
+        AnalysisConfig { threads: Some(4), parallel_threshold: 0, ..AnalysisConfig::default() };
+    phasefold_obs::reset();
+    phasefold_obs::set_enabled(true);
+    let parallel = analyze_trace(&trace, &forced);
+    phasefold_obs::set_enabled(false);
+    let c = pool_counters();
+    assert!(c.scheduled > 0, "threshold 0 must honour the thread request");
+
+    // Same analysis either way: the threshold changes the schedule only.
+    assert_eq!(sequential.models.len(), parallel.models.len());
+    for (a, b) in sequential.models.iter().zip(&parallel.models) {
+        assert_eq!(a.breakpoints(), b.breakpoints());
+    }
+    phasefold_obs::reset();
+}
+
 #[test]
 fn repeated_runs_accumulate_monotonically() {
     let _guard = OBS_LOCK.lock().unwrap();

@@ -34,21 +34,91 @@ pub struct FoldedPoint {
 }
 
 /// The folded profile of one counter within one cluster.
+///
+/// Stored struct-of-arrays: the regression kernels (`segment_dp`,
+/// `fit_pwlr`, the hinge refit) stream x and y independently, so keeping
+/// them as separate contiguous `f64` runs lets those inner loops issue
+/// unit-stride loads instead of gathering every third lane out of an
+/// array-of-structs. The instance ids (only read by the bootstrap) live in
+/// their own `u32` array so they never pollute the hot cache lines.
 #[derive(Debug, Clone, Default)]
 pub struct FoldedProfile {
-    /// Folded points, unordered.
-    pub points: Vec<FoldedPoint>,
+    /// Burst fractions, parallel to `ys`/`instances`, unordered.
+    xs: Vec<f64>,
+    /// Normalised accumulated counter values.
+    ys: Vec<f64>,
+    /// Ordinal of the surviving instance each point came from.
+    instances: Vec<u32>,
     /// Mean counter total per instance (rescales slopes to physical rates).
     pub mean_total: f64,
 }
 
 impl FoldedProfile {
-    /// Splits the points into parallel x/y vectors (for the regression
-    /// stage, which wants slices).
-    pub fn xy(&self) -> (Vec<f64>, Vec<f64>) {
-        let xs = self.points.iter().map(|p| p.x).collect();
-        let ys = self.points.iter().map(|p| p.y).collect();
-        (xs, ys)
+    /// Builds a profile from an existing point buffer (streaming analyzer
+    /// snapshots re-fold from per-counter `FoldedPoint` accumulators).
+    pub fn from_points(points: &[FoldedPoint], mean_total: f64) -> FoldedProfile {
+        let mut p = FoldedProfile {
+            xs: Vec::with_capacity(points.len()),
+            ys: Vec::with_capacity(points.len()),
+            instances: Vec::with_capacity(points.len()),
+            mean_total,
+        };
+        for pt in points {
+            p.push(*pt);
+        }
+        p
+    }
+
+    /// Appends one folded point.
+    pub fn push(&mut self, p: FoldedPoint) {
+        self.xs.push(p.x);
+        self.ys.push(p.y);
+        self.instances.push(p.instance);
+    }
+
+    /// Number of folded points.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// True when no points were folded.
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// The burst fractions as one contiguous slice (regression x inputs).
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// The normalised counter values as one contiguous slice (y inputs).
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// Parallel instance ordinals (bootstrap resampling units), raw.
+    pub fn instances(&self) -> &[u32] {
+        &self.instances
+    }
+
+    /// The i-th folded point, reassembled from the parallel arrays.
+    pub fn point(&self, i: usize) -> FoldedPoint {
+        FoldedPoint { x: self.xs[i], y: self.ys[i], instance: self.instances[i] }
+    }
+
+    /// Iterates the points in insertion order (AoS view of the SoA data).
+    pub fn iter(&self) -> impl Iterator<Item = FoldedPoint> + '_ {
+        self.xs
+            .iter()
+            .zip(&self.ys)
+            .zip(&self.instances)
+            .map(|((&x, &y), &instance)| FoldedPoint { x, y, instance })
+    }
+
+    /// Borrows the parallel x/y slices (for the regression stage). No
+    /// allocation: the storage already is two flat arrays.
+    pub fn xy(&self) -> (&[f64], &[f64]) {
+        (&self.xs, &self.ys)
     }
 
     /// Number of points whose folded value is not finite (NaN/∞ counter
@@ -56,7 +126,7 @@ impl FoldedProfile {
     /// quarantines profiles where this is non-zero and reports them as
     /// `NanSamples` faults instead of fitting garbage.
     pub fn nonfinite_points(&self) -> usize {
-        self.points.iter().filter(|p| !p.y.is_finite()).count()
+        self.ys.iter().filter(|y| !y.is_finite()).count()
     }
 
     /// A copy with the non-finite points quarantined away (same
@@ -64,15 +134,18 @@ impl FoldedProfile {
     /// Point-level quarantine lets a fit proceed on the healthy majority
     /// instead of discarding the whole profile.
     pub fn finite_subset(&self) -> FoldedProfile {
-        FoldedProfile {
-            points: self.points.iter().filter(|p| p.y.is_finite()).cloned().collect(),
-            mean_total: self.mean_total,
+        let mut out = FoldedProfile { mean_total: self.mean_total, ..Default::default() };
+        for p in self.iter() {
+            if p.y.is_finite() {
+                out.push(p);
+            }
         }
+        out
     }
 
     /// Parallel instance ids of the points (bootstrap resampling units).
     pub fn instance_ids(&self) -> Vec<u64> {
-        self.points.iter().map(|p| p.instance as u64).collect()
+        self.instances.iter().map(|&i| i as u64).collect()
     }
 }
 
@@ -176,7 +249,7 @@ fn fold_cluster(
                 }
                 let delta = absolute - burst.start_counters[kind];
                 let y = (delta / total).clamp(0.0, 1.0);
-                profiles[kind.index()].points.push(FoldedPoint {
+                profiles[kind.index()].push(FoldedPoint {
                     x: sample.x,
                     y,
                     instance: ordinal as u32,
@@ -233,7 +306,7 @@ mod tests {
         let (xs, ys) = fold.profile(CounterKind::Instructions).xy();
         assert!(xs.len() > 50, "only {} folded points", xs.len());
         assert_eq!(xs.len(), ys.len());
-        for (&x, &y) in xs.iter().zip(&ys) {
+        for (&x, &y) in xs.iter().zip(ys) {
             assert!((0.0..=1.0).contains(&x));
             assert!((0.0..=1.0).contains(&y));
         }
@@ -251,7 +324,7 @@ mod tests {
         let out = simulate(&program, &SimConfig { ranks: 1, ..SimConfig::default() });
         let template = out.ground_truth.dominant_template().unwrap();
         let mut worst: f64 = 0.0;
-        for p in &fold.profile(CounterKind::Instructions).points {
+        for p in fold.profile(CounterKind::Instructions).iter() {
             let truth = template.normalized_accumulation(CounterKind::Instructions, p.x);
             worst = worst.max((p.y - truth).abs());
         }

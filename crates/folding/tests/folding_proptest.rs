@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 
 use phasefold_cluster::Clustering;
-use phasefold_folding::{fold_trace, prune_outliers, FoldConfig, FoldInstance};
+use phasefold_folding::{fold_trace, prune_outliers, FoldConfig, FoldInstance, FoldedPoint, FoldedProfile};
 use phasefold_model::{
     CallStack, CommKind, CounterKind, CounterSet, PartialCounterSet, RankId, Record, Sample,
     SourceRegistry, TimeNs, Trace,
@@ -72,7 +72,7 @@ proptest! {
         let folds = fold_trace(&trace, &bursts, &clustering, &FoldConfig::default());
         if let Some(fold) = folds.first() {
             let profile = fold.profile(CounterKind::Instructions);
-            for p in &profile.points {
+            for p in profile.iter() {
                 prop_assert!((0.0..=1.0).contains(&p.x));
                 prop_assert!((0.0..=1.0).contains(&p.y));
                 prop_assert!((p.instance as usize) < fold.instances_used);
@@ -117,6 +117,44 @@ proptest! {
         prop_assert!(kept2.len() <= kept_n);
     }
 
+    /// SoA/AoS equivalence: a profile built by pushing points stores them
+    /// bit-identically in its column arrays, and every read path (per-point
+    /// accessor, iterator, column slices, bulk constructor) agrees with the
+    /// original array-of-structs source.
+    #[test]
+    fn soa_columns_match_aos_source(
+        raw in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0, 0u32..64), 0..80),
+        mean_total in 1.0f64..1e9,
+    ) {
+        let points: Vec<FoldedPoint> =
+            raw.iter().map(|&(x, y, instance)| FoldedPoint { x, y, instance }).collect();
+
+        let mut pushed = FoldedProfile::from_points(&[], mean_total);
+        for &p in &points {
+            pushed.push(p);
+        }
+        let bulk = FoldedProfile::from_points(&points, mean_total);
+
+        for profile in [&pushed, &bulk] {
+            prop_assert_eq!(profile.len(), points.len());
+            prop_assert_eq!(profile.is_empty(), points.is_empty());
+            let (xs, ys) = profile.xy();
+            prop_assert_eq!(xs.len(), points.len());
+            for (i, p) in points.iter().enumerate() {
+                // Bit-level equality: SoA is a storage change, not an
+                // arithmetic one.
+                prop_assert_eq!(profile.xs()[i].to_bits(), p.x.to_bits());
+                prop_assert_eq!(profile.ys()[i].to_bits(), p.y.to_bits());
+                prop_assert_eq!(xs[i].to_bits(), p.x.to_bits());
+                prop_assert_eq!(ys[i].to_bits(), p.y.to_bits());
+                prop_assert_eq!(profile.instances()[i], p.instance);
+                prop_assert_eq!(profile.point(i), *p);
+            }
+            let roundtrip: Vec<FoldedPoint> = profile.iter().collect();
+            prop_assert_eq!(&roundtrip, &points);
+        }
+    }
+
     /// Monotone-instance property: within an instance, sorting samples by
     /// x gives non-decreasing y (accumulating counters).
     #[test]
@@ -129,7 +167,7 @@ proptest! {
             let profile = fold.profile(CounterKind::Instructions);
             let mut by_instance: std::collections::HashMap<u32, Vec<(f64, f64)>> =
                 std::collections::HashMap::new();
-            for p in &profile.points {
+            for p in profile.iter() {
                 by_instance.entry(p.instance).or_default().push((p.x, p.y));
             }
             for (_, mut pts) in by_instance {

@@ -55,6 +55,8 @@
 //! surface is flat and every candidate is a near-tie), but phase-structured
 //! inputs — the only ones this crate is pointed at — prune hard.
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 /// Per-`m` result of the dynamic program.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Segmentation {
@@ -88,15 +90,14 @@ impl PrefixSums {
             wxy: vec![0.0; n + 1],
             wyy: vec![0.0; n + 1],
         };
-        for i in 0..n {
-            let w = weights.map_or(1.0, |w| w[i]);
-            let (x, y) = (xs[i], ys[i]);
-            p.w[i + 1] = p.w[i] + w;
-            p.wx[i + 1] = p.wx[i] + w * x;
-            p.wy[i + 1] = p.wy[i] + w * y;
-            p.wxx[i + 1] = p.wxx[i] + w * x * x;
-            p.wxy[i + 1] = p.wxy[i] + w * x * y;
-            p.wyy[i + 1] = p.wyy[i] + w * y * y;
+        // The per-element `weights.map_or` branch is hoisted into two
+        // monomorphised loops: at `WEIGHTED = false` the weight folds to the
+        // constant 1.0 and every `1.0 * v` multiply folds to `v`, which is
+        // exact in IEEE-754 — the unit loop stays bit-identical to the
+        // weighted loop fed all-ones, and both to the old branchy loop.
+        match weights {
+            Some(ws) => accumulate::<true>(xs, ys, ws, &mut p),
+            None => accumulate::<false>(xs, ys, &[], &mut p),
         }
         p
     }
@@ -119,6 +120,54 @@ impl PrefixSums {
         let cyy = syy - sy * sy / w;
         let sse = if cxx > 1e-300 { cyy - cxy * cxy / cxx } else { cyy };
         sse.max(0.0)
+    }
+}
+
+/// Number of accumulation steps unrolled per iteration of the prefix-sum
+/// fill loop. The six running sums are serial chains individually, but they
+/// are independent *of each other*, so a fixed-width straight-line body
+/// keeps all six chains plus the unit-stride stores in flight at once.
+const PREFIX_CHUNK: usize = 4;
+
+/// Branch-free prefix-sum accumulation, monomorphised over the presence of
+/// weights. The additions run in strict index order — chunking only unrolls
+/// the loop body, it never reassociates — so the sums are bit-identical to
+/// the naive one-element-at-a-time loop on every input.
+#[inline(always)]
+fn accumulate<const WEIGHTED: bool>(xs: &[f64], ys: &[f64], ws: &[f64], p: &mut PrefixSums) {
+    let n = xs.len();
+    let (mut w, mut wx, mut wy) = (0.0f64, 0.0f64, 0.0f64);
+    let (mut wxx, mut wxy, mut wyy) = (0.0f64, 0.0f64, 0.0f64);
+    macro_rules! step {
+        ($i:expr) => {{
+            let i = $i;
+            let (x, y) = (xs[i], ys[i]);
+            let wv = if WEIGHTED { ws[i] } else { 1.0 };
+            w += wv;
+            wx += wv * x;
+            wy += wv * y;
+            wxx += wv * x * x;
+            wxy += wv * x * y;
+            wyy += wv * y * y;
+            p.w[i + 1] = w;
+            p.wx[i + 1] = wx;
+            p.wy[i + 1] = wy;
+            p.wxx[i + 1] = wxx;
+            p.wxy[i + 1] = wxy;
+            p.wyy[i + 1] = wyy;
+        }};
+    }
+    let mut i = 0;
+    while i + PREFIX_CHUNK <= n {
+        step!(i);
+        step!(i + 1);
+        step!(i + 2);
+        step!(i + 3);
+        i += PREFIX_CHUNK;
+    }
+    while i < n {
+        step!(i);
+        i += 1;
     }
 }
 
@@ -214,6 +263,20 @@ impl RowBounds {
     }
 }
 
+/// Roofline accounting for one `segment_dp` run: how many split candidates
+/// the pruned scan actually evaluated, against how many [`BLOCK`]-sized
+/// candidate blocks it skipped outright. Accumulated in plain locals — the
+/// obs counters are touched once per DP run, never in the scan loop.
+#[derive(Default)]
+struct ScanStats {
+    /// Split candidates scored exactly (`dp_prev + line_sse` evaluations).
+    cells: u64,
+    /// Candidate blocks whose inner scan was entered.
+    blocks_entered: u64,
+    /// Candidate blocks in scan range (entered + pruned).
+    blocks_total: u64,
+}
+
 /// Solves one DP cell `(row, j)` exactly: returns `(best cost, argmin)`
 /// with leftmost tie-breaking, identical to an ascending strict-`<` scan.
 ///
@@ -229,6 +292,7 @@ fn solve_cell(
     j: usize,
     seed: Option<usize>,
     slack: f64,
+    stats: &mut ScanStats,
 ) -> (f64, usize) {
     let mut best = f64::INFINITY;
     let mut best_i = usize::MAX;
@@ -238,6 +302,7 @@ fn solve_cell(
         best_i = i0;
     }
     let k_hi = i_hi - i_lo;
+    stats.blocks_total += (k_hi / BLOCK + 1) as u64;
     let top_sup = k_hi / SUPER;
     'scan: for sb in (0..=top_sup).rev() {
         let sk_lo = sb * SUPER;
@@ -262,7 +327,9 @@ fn solve_cell(
             if bounds.bmin[b] + edge > best + slack {
                 continue;
             }
+            stats.blocks_entered += 1;
             for k in (bk_lo..=bk_hi).rev() {
+                stats.cells += 1;
                 let i = i_lo + k;
                 let ls = p.line_sse(i, j);
                 if bounds.pmin[k] + ls > best + slack {
@@ -327,6 +394,7 @@ pub fn segment_dp(
     }
     tables.final_sse[0] = dp_prev[n - 1];
     let mut bounds = RowBounds::new();
+    let mut stats = ScanStats::default();
     for m in 1..m_max {
         dp_cur.fill(inf);
         let back_row = &mut tables.back[m * n..(m + 1) * n];
@@ -349,8 +417,17 @@ pub fn segment_dp(
             // `(m, n−1)`, and no later row consumes this one.
             if j_lo <= n - 1 {
                 let j = n - 1;
-                let (best, best_i) =
-                    solve_cell(&p, &dp_prev, &bounds, i_lo, j + 1 - min_points, j, None, slack);
+                let (best, best_i) = solve_cell(
+                    &p,
+                    &dp_prev,
+                    &bounds,
+                    i_lo,
+                    j + 1 - min_points,
+                    j,
+                    None,
+                    slack,
+                    &mut stats,
+                );
                 dp_cur[j] = best;
                 back_row[j] = if best_i == usize::MAX { 0 } else { best_i };
             }
@@ -359,7 +436,8 @@ pub fn segment_dp(
             for j in j_lo..n {
                 let i_hi = j + 1 - min_points;
                 let seed = (prev_argmin >= i_lo && prev_argmin <= i_hi).then_some(prev_argmin);
-                let (best, best_i) = solve_cell(&p, &dp_prev, &bounds, i_lo, i_hi, j, seed, slack);
+                let (best, best_i) =
+                    solve_cell(&p, &dp_prev, &bounds, i_lo, i_hi, j, seed, slack, &mut stats);
                 dp_cur[j] = best;
                 back_row[j] = if best_i == usize::MAX { 0 } else { best_i };
                 prev_argmin = best_i;
@@ -368,6 +446,12 @@ pub fn segment_dp(
         std::mem::swap(&mut dp_prev, &mut dp_cur);
         tables.final_sse[m] = dp_prev[n - 1];
     }
+    // One counter touch per DP run (roofline accounting), not per cell.
+    phasefold_obs::counter!("segdp.cells_evaluated", stats.cells);
+    phasefold_obs::counter!(
+        "segdp.blocks_pruned",
+        stats.blocks_total.saturating_sub(stats.blocks_entered)
+    );
     assemble(xs, &tables)
 }
 
@@ -431,6 +515,7 @@ pub fn segment_dp_quadratic(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

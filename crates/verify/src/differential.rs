@@ -298,15 +298,15 @@ pub fn compare_folds(
                     f.cluster, fp.mean_total, sp.mean_total
                 ));
             }
-            if fp.points.len() != sp.points.len() {
+            if fp.len() != sp.len() {
                 return Some(format!(
                     "cluster {} counter {k}: {} points vs {}",
                     f.cluster,
-                    fp.points.len(),
-                    sp.points.len()
+                    fp.len(),
+                    sp.len()
                 ));
             }
-            for (i, (a, b)) in fp.points.iter().zip(&sp.points).enumerate() {
+            for (i, (a, b)) in fp.iter().zip(sp.iter()).enumerate() {
                 if a.x.to_bits() != b.x.to_bits()
                     || a.y.to_bits() != b.y.to_bits()
                     || a.instance != b.instance

@@ -219,11 +219,10 @@ pub fn check_time_scale(case: &Case, seed: u64) -> Option<Divergence> {
             });
         }
         for (k, (bp, sp)) in b.profiles.iter().zip(&s.profiles).enumerate() {
-            if bp.points.len() != sp.points.len()
+            if bp.len() != sp.len()
                 || bp
-                    .points
                     .iter()
-                    .zip(&sp.points)
+                    .zip(sp.iter())
                     .any(|(x, y)| x.x.to_bits() != y.x.to_bits() || x.y.to_bits() != y.y.to_bits())
             {
                 return Some(Divergence {
@@ -414,9 +413,9 @@ pub fn check_fold_reorder(case: &Case, rng: &mut StdRng, seed: u64) -> Option<Di
             // Point multiset: exact on (x, y) bits; instance ids are
             // renumbered by the permutation, so they are excluded.
             let mut pa: Vec<(u64, u64)> =
-                bp.points.iter().map(|p| (p.x.to_bits(), p.y.to_bits())).collect();
+                bp.iter().map(|p| (p.x.to_bits(), p.y.to_bits())).collect();
             let mut pb: Vec<(u64, u64)> =
-                rp.points.iter().map(|p| (p.x.to_bits(), p.y.to_bits())).collect();
+                rp.iter().map(|p| (p.x.to_bits(), p.y.to_bits())).collect();
             pa.sort_unstable();
             pb.sort_unstable();
             if pa != pb {

@@ -273,7 +273,7 @@ pub fn naive_refold(
                     }
                     // y = (reading − start) / total, clamped to [0, 1].
                     let y = ((absolute - burst.start_counters[*kind]) / total).clamp(0.0, 1.0);
-                    profiles[kind.index()].points.push(FoldedPoint {
+                    profiles[kind.index()].push(FoldedPoint {
                         x: *x,
                         y,
                         instance: ordinal as u32,

@@ -9,6 +9,10 @@
 # kills a live client; the daemon must never unwrap request-derived data).
 # phasefold-verify denies them crate-wide too: an oracle that panics
 # mid-fuzz hides every divergence the remaining seeds would have found.
+# The hot kernels — crates/regress/src/{segdp,linalg}.rs and
+# crates/cluster/src/kdtree.rs — carry the same file-scoped deny: a panic
+# there aborts every fit/clustering in flight, and the kernel rewrites
+# must stay total functions (bound checks, not unwraps).
 # Any unwrap/expect reintroduced there is a hard *error* under clippy (test
 # modules opt back in explicitly with #[allow]). Plain rustc accepts the
 # tool-lint attributes silently; this script runs clippy on the owning
@@ -21,6 +25,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== clippy: fault-critical crates (unwrap/expect are hard errors) =="
-cargo clippy -q -p phasefold -p phasefold-model -p phasefold-serve -p phasefold-verify --all-targets
+cargo clippy -q -p phasefold -p phasefold-model -p phasefold-serve -p phasefold-verify \
+    -p phasefold-regress -p phasefold-cluster --all-targets
 
 echo "lint OK"
