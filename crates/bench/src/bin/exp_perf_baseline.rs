@@ -195,9 +195,16 @@ fn bench_scaling(trace: &Trace) -> Vec<ScalingPoint> {
 /// Medium pipeline with obs recording enabled vs disabled, interleaved so
 /// frequency drift hits both columns equally; min-of-five each (the true
 /// overhead is ~1%, well under run-to-run jitter on a bursty host, so the
-/// gate needs the minimum of several rounds to stay meaningful). Returns
-/// `(off_ms, on_ms)`. Leaves recording disabled and buffers drained.
+/// gate needs the minimum of several rounds to stay meaningful).
+///
+/// The on-arm exercises the full serve-path telemetry stack per run, not
+/// just span recording: a minted [`TraceCtx`] with an active span capture
+/// (as `/debug/trace/{id}` retention does), an adopted root span around
+/// the analysis, and a latency histogram sample — so the
+/// `obs_overhead_ratio` gate covers request-scoped tracing too (E19).
+/// Returns `(off_ms, on_ms)`. Leaves recording disabled and drained.
 fn bench_obs_overhead(threads: usize) -> (f64, f64) {
+    use phasefold_obs::trace::TraceCtx;
     let trace = synth_trace(400, 4);
     let cfg = AnalysisConfig { threads: Some(threads), ..AnalysisConfig::default() };
     let _ = analyze_trace(&trace, &cfg); // warm-up
@@ -208,7 +215,23 @@ fn bench_obs_overhead(threads: usize) -> (f64, f64) {
         off_ms = off_ms.min(ms);
         phasefold_obs::reset();
         phasefold_obs::set_enabled(true);
-        let (ms, _) = time_ms(|| analyze_trace(&trace, &cfg));
+        let (ms, _) = time_ms(|| {
+            let ctx = TraceCtx::mint();
+            phasefold_obs::trace::begin_capture(ctx.trace_id());
+            let analysis = {
+                let _adopt = ctx.adopt();
+                let _root = phasefold_obs::span!("bench.request");
+                let t0 = std::time::Instant::now();
+                let analysis = analyze_trace(&trace, &cfg);
+                phasefold_obs::histogram!(
+                    "bench.request_latency",
+                    t0.elapsed().as_nanos() as u64
+                );
+                analysis
+            };
+            let _ = phasefold_obs::trace::end_capture(ctx.trace_id());
+            analysis
+        });
         on_ms = on_ms.min(ms);
         phasefold_obs::set_enabled(false);
         phasefold_obs::reset();

@@ -11,8 +11,17 @@
 //! criterion.
 //!
 //! Reported per level: throughput, p50/p99 latency, cache hit ratio, and
-//! the retry count. Written as `BENCH_serve.json` (one scalar per line,
-//! greppable by `scripts/serve.sh`) plus `results/e16_serve_load.csv`.
+//! the retry count. Right after the *first* (lowest-concurrency) level
+//! the generator also scrapes the daemon's own `/metrics` latency
+//! histogram (`serve.latency.analyze`), so `BENCH_serve.json` carries
+//! both the client-observed and the daemon-observed percentiles for that
+//! level — `scripts/serve.sh` gates on their self-consistency. The
+//! comparison is anchored at the lowest concurrency deliberately: with
+//! more clients than cores, client stopwatches include CPU-contention
+//! waits that the daemon's handler stopwatch legitimately never sees, so
+//! only the uncontended closed loop measures the same thing twice.
+//! Written as `BENCH_serve.json` (one scalar per line, greppable by
+//! `scripts/serve.sh`) plus `results/e16_serve_load.csv`.
 //!
 //! ```text
 //! cargo run --release -p phasefold-bench --bin exp_serve_load
@@ -61,6 +70,40 @@ fn make_traces() -> Vec<Arc<String>> {
         .collect()
 }
 
+/// Daemon-side latency as the daemon itself measured it.
+struct DaemonLatency {
+    p50_ms: f64,
+    p99_ms: f64,
+    count: u64,
+}
+
+/// Pulls one numeric field (`"name": 1.234`) out of a single-line JSON
+/// histogram entry.
+fn json_field(line: &str, name: &str) -> Option<f64> {
+    let rest = line.split(&format!("\"{name}\": ")).nth(1)?;
+    rest.split(|c: char| c == ',' || c == ' ' || c == '}')
+        .next()?
+        .parse()
+        .ok()
+}
+
+/// Scrapes `GET /metrics` and extracts the daemon's own
+/// `serve.latency.analyze` histogram (cumulative since daemon boot).
+fn scrape_daemon_latency(addr: &str) -> Option<DaemonLatency> {
+    let mut client = Client::connect(addr, Duration::from_secs(30)).ok()?;
+    let resp = client.request("GET", "/metrics", &[], b"").ok()?;
+    if resp.status != 200 {
+        return None;
+    }
+    let text = resp.text();
+    let line = text.lines().find(|l| l.contains("\"serve.latency.analyze\""))?;
+    Some(DaemonLatency {
+        p50_ms: json_field(line, "p50_ms")?,
+        p99_ms: json_field(line, "p99_ms")?,
+        count: json_field(line, "count")? as u64,
+    })
+}
+
 fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
@@ -92,6 +135,11 @@ fn run_level(
             let mut latencies = Vec::with_capacity(per_client);
             let mut client =
                 Client::connect(&addr, Duration::from_secs(120)).expect("connect to daemon");
+            // One untimed warmup request per connection: the daemon's
+            // accept + per-connection thread spawn would otherwise land
+            // entirely in the first timed sample, and steady-state request
+            // latency is the statistic every gate downstream consumes.
+            let _ = client.request("GET", "/healthz", &[], b"");
             for r in 0..per_client {
                 let body = &traces[(c + r) % traces.len()];
                 let t0 = Instant::now();
@@ -198,10 +246,16 @@ fn main() {
     );
 
     let mut results = Vec::new();
+    let mut all_latencies: Vec<f64> = Vec::new();
+    let mut daemon: Option<DaemonLatency> = None;
     for &concurrency in &levels {
+        let want_scrape = daemon.is_none(); // first level only — see module doc
         let (latencies, hits, retries, wall_ms, drain_clean) = match &external_addr {
             Some(addr) => {
                 let (l, h, r, w) = run_level(addr, concurrency, total_requests, &traces);
+                if want_scrape {
+                    daemon = scrape_daemon_latency(addr);
+                }
                 (l, h, r, w, true) // external daemon: lifecycle not ours
             }
             None => {
@@ -213,6 +267,12 @@ fn main() {
                 let handle = phasefold_serve::serve(config).expect("boot daemon");
                 let addr = handle.addr().to_string();
                 let (l, h, r, w) = run_level(&addr, concurrency, total_requests, &traces);
+                if want_scrape {
+                    // Scrape before the drain: the histogram registry is
+                    // process-global but this daemon's samples are exactly
+                    // this level's requests.
+                    daemon = scrape_daemon_latency(&addr);
+                }
                 let stats = handle.shutdown();
                 assert!(stats.clean, "daemon drain was not clean: {stats:?}");
                 (l, h, r, w, stats.clean)
@@ -221,6 +281,7 @@ fn main() {
         let mut sorted = latencies.clone();
         sorted.sort_by(f64::total_cmp);
         let requests = latencies.len();
+        all_latencies.extend_from_slice(&latencies);
         results.push(LevelResult {
             concurrency,
             requests,
@@ -265,6 +326,16 @@ fn main() {
     let overall_requests: usize = results.iter().map(|r| r.requests).sum();
     let worst_p99 = results.iter().map(|r| r.p99_ms).fold(0.0f64, f64::max);
     let all_clean = results.iter().all(|r| r.drain_clean);
+    all_latencies.sort_by(f64::total_cmp);
+    let client_p50 = percentile(&all_latencies, 0.50);
+    let client_p99 = percentile(&all_latencies, 0.99);
+    let daemon = daemon.expect("daemon /metrics had no serve.latency.analyze histogram");
+    let gate = &results[0]; // daemon was scraped right after this level
+    println!(
+        "self-consistency anchor (concurrency {}): client p50 {:.2} ms / p99 {:.2} ms, \
+         daemon p50 {:.2} ms / p99 {:.2} ms over {} samples",
+        gate.concurrency, gate.p50_ms, gate.p99_ms, daemon.p50_ms, daemon.p99_ms, daemon.count
+    );
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"schema\": \"phasefold-bench-serve/1\",");
@@ -283,6 +354,14 @@ fn main() {
         overall_hits / overall_requests as f64
     );
     let _ = writeln!(json, "  \"worst_p99_ms\": {worst_p99:.3},");
+    let _ = writeln!(json, "  \"client_p50_ms\": {client_p50:.3},");
+    let _ = writeln!(json, "  \"client_p99_ms\": {client_p99:.3},");
+    let _ = writeln!(json, "  \"gate_concurrency\": {},", gate.concurrency);
+    let _ = writeln!(json, "  \"gate_client_p50_ms\": {:.3},", gate.p50_ms);
+    let _ = writeln!(json, "  \"gate_client_p99_ms\": {:.3},", gate.p99_ms);
+    let _ = writeln!(json, "  \"daemon_p50_ms\": {:.3},", daemon.p50_ms);
+    let _ = writeln!(json, "  \"daemon_p99_ms\": {:.3},", daemon.p99_ms);
+    let _ = writeln!(json, "  \"daemon_latency_count\": {},", daemon.count);
     let _ = writeln!(json, "  \"all_drains_clean\": {all_clean},");
     let _ = writeln!(json, "  \"levels\": [");
     for (i, r) in results.iter().enumerate() {

@@ -12,13 +12,14 @@ use phasefold_tracer::{trace_run, TracerConfig};
 use std::fmt::Write as _;
 
 /// Observability options shared by `analyze`, `compare`, and `selfcheck`.
-const OBS_OPTIONS: [&str; 3] = ["log-level", "profile", "metrics"];
+const OBS_OPTIONS: [&str; 4] = ["log-level", "profile", "metrics", "prom"];
 
 /// Parsed observability request: where exports go, and whether span/metric
 /// recording was switched on for this command.
 struct ObsRequest {
     profile: Option<String>,
     metrics: Option<String>,
+    prom: Option<String>,
     recording: bool,
 }
 
@@ -33,13 +34,14 @@ impl ObsRequest {
         }
         let profile = p.get("profile").map(str::to_string);
         let metrics = p.get("metrics").map(str::to_string);
-        let recording = force || profile.is_some() || metrics.is_some();
+        let prom = p.get("prom").map(str::to_string);
+        let recording = force || profile.is_some() || metrics.is_some() || prom.is_some();
         if recording {
             obs::reset();
             obs::set_enabled(true);
             obs::span::set_lane_name("main");
         }
-        Ok(ObsRequest { profile, metrics, recording })
+        Ok(ObsRequest { profile, metrics, prom, recording })
     }
 
     /// Stops recording and writes the requested export files. Returns the
@@ -55,6 +57,9 @@ impl ObsRequest {
         }
         if let Some(path) = &self.metrics {
             std::fs::write(path, obs::export::metrics_json(&snap))?;
+        }
+        if let Some(path) = &self.prom {
+            std::fs::write(path, obs::export::prometheus_text(&snap))?;
         }
         Ok(Some(snap))
     }
@@ -237,7 +242,7 @@ fn fault_policy_option(p: &crate::args::Parsed) -> Result<FaultPolicy, CliError>
 pub fn analyze(argv: &[String], out: &mut String) -> Result<(), CliError> {
     let p = parse(
         argv,
-        &["threads", "parallel-threshold", "fault-policy", "log-level", "profile", "metrics"],
+        &["threads", "parallel-threshold", "fault-policy", "log-level", "profile", "metrics", "prom"],
         &["bootstrap", "markdown"],
     )?;
     let path = p.positional(0, "trace file")?;
@@ -292,7 +297,11 @@ pub fn info(argv: &[String], out: &mut String) -> Result<(), CliError> {
 
 /// `phasefold compare`
 pub fn compare(argv: &[String], out: &mut String) -> Result<(), CliError> {
-    let p = parse(argv, &["threads", "parallel-threshold", "log-level", "profile", "metrics"], &[])?;
+    let p = parse(
+        argv,
+        &["threads", "parallel-threshold", "log-level", "profile", "metrics", "prom"],
+        &[],
+    )?;
     let base_path = p.positional(0, "baseline trace file")?;
     let cand_path = p.positional(1, "candidate trace file")?;
     let obs_req = ObsRequest::setup(&p, false)?;
@@ -527,12 +536,20 @@ pub fn serve(argv: &[String], out: &mut String) -> Result<(), CliError> {
             "max-stream-ranks",
             "port-file",
             "max-seconds",
+            "access-log",
+            "trace-sample-rate",
         ],
         &[],
     )?;
     let mut analysis = AnalysisConfig::default();
     analysis.threads = threads_option(&p)?;
     analysis.fault_policy = fault_policy_option(&p)?;
+    let trace_sample_rate: f64 = p.get_parsed("trace-sample-rate", 1.0)?;
+    if !(0.0..=1.0).contains(&trace_sample_rate) {
+        return Err(CliError::Usage(format!(
+            "--trace-sample-rate must be in [0, 1], got {trace_sample_rate}"
+        )));
+    }
     let config = phasefold_serve::ServeConfig {
         addr: p.get("addr").unwrap_or("127.0.0.1:8191").to_string(),
         workers: p.get_parsed("workers", 2usize)?.max(1),
@@ -542,6 +559,8 @@ pub fn serve(argv: &[String], out: &mut String) -> Result<(), CliError> {
         analysis,
         max_connections: p.get_parsed("max-connections", 256usize)?.max(1),
         max_stream_ranks: p.get_parsed("max-stream-ranks", 1usize << 16)?.max(1),
+        access_log: p.get("access-log").map(std::path::PathBuf::from),
+        trace_sample_rate,
         ..phasefold_serve::ServeConfig::default()
     };
     let max_seconds: u64 = p.get_parsed("max-seconds", 0)?; // 0 = run forever

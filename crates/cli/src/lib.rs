@@ -96,14 +96,16 @@ commands:
       [--parallel-threshold N (folded samples; below it model building
        runs sequentially regardless of --threads; 0 = always parallel)]
       [--fault-policy lenient|strict]
-      [--profile out.json] [--metrics out.json] [--log-level L]
+      [--profile out.json] [--metrics out.json] [--prom out.prom]
+      [--log-level L]
   chaos <F.prv> --out G.prv         deterministically corrupt a trace
       [--seed N] [--rate R (all corruptors)]
       [--drop R] [--truncate R] [--shuffle R] [--saturate R] [--nan R]
   info <F.prv>                      trace summary statistics + region table
   compare <base.prv> <cand.prv>     per-phase metric deltas between two runs
       [--threads N (0 = auto)] [--parallel-threshold N]
-      [--profile out.json] [--metrics out.json] [--log-level L]
+      [--profile out.json] [--metrics out.json] [--prom out.prom]
+      [--log-level L]
   period <F.prv>                    detect the iterative period
       [--rank R] [--bins B]
   reconstruct <F.prv>               unfolded fine-grain rate timeline (CSV)
@@ -111,7 +113,8 @@ commands:
   selfcheck                         profile the analysis stack on a canned
       workload: stage timings + pool utilization + kernel counters
       [--threads N] [--parallel-threshold N] [--iterations N] [--ranks N]
-      [--profile out.json] [--metrics out.json] [--log-level L]
+      [--profile out.json] [--metrics out.json] [--prom out.prom]
+      [--log-level L]
   serve                             analysis daemon (HTTP/1.1 on std::net)
       [--addr H:P (default 127.0.0.1:8191, port 0 = ephemeral)]
       [--threads N (0 = auto)] [--workers N] [--queue-depth N]
@@ -119,6 +122,8 @@ commands:
       [--fault-policy lenient|strict]
       [--port-file F (bound address is written here)]
       [--max-seconds S (0 = until SIGTERM/SIGINT or POST /admin/shutdown)]
+      [--access-log F (structured JSON request log, append mode)]
+      [--trace-sample-rate R (share of requests traced + logged, default 1)]
   verify                            differential + metamorphic correctness
       gate: fuzz seeded random traces against slow reference kernels and
       paper-derived invariants; replay the minimized regression corpus
@@ -130,6 +135,7 @@ observability:
   --profile out.json    Chrome-trace/Perfetto span export of the run
                         (open in chrome://tracing or ui.perfetto.dev)
   --metrics out.json    JSON dump of pipeline counters/gauges/span stats
+  --prom out.prom       Prometheus text exposition of the same snapshot
   --log-level L         stderr logging: off|error|warn|info|debug|trace
 
 fault handling:

@@ -1,0 +1,113 @@
+//! Golden validation of the daemon's `/debug/trace/{id}` replay: the
+//! flight recorder's Chrome-trace export must survive the same strict
+//! mini JSON parser that validates the CLI's `--profile` output, and the
+//! span tree it carries must belong to one request id while crossing the
+//! connection/worker thread boundary.
+
+#[path = "common/json.rs"]
+mod json;
+
+use json::{parse_json, Json};
+use phasefold_cli::run;
+use phasefold_serve::{serve, Client, ServeConfig};
+use std::time::Duration;
+
+fn argv(v: &[&str]) -> Vec<String> {
+    v.iter().map(|s| s.to_string()).collect()
+}
+
+fn run_ok(v: &[&str]) -> String {
+    let mut out = String::new();
+    run(&argv(v), &mut out).unwrap_or_else(|e| panic!("command {v:?} failed: {e}"));
+    out
+}
+
+fn simulate_trace_bytes() -> Vec<u8> {
+    let dir = std::env::temp_dir().join("phasefold-debug-trace-golden");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("replay.prv").to_string_lossy().into_owned();
+    run_ok(&[
+        "simulate", "synthetic", "--ranks", "2", "--iterations", "80", "--out", &path,
+    ]);
+    std::fs::read(&path).unwrap()
+}
+
+#[test]
+fn debug_trace_replay_parses_as_chrome_trace_for_one_request() {
+    let config = ServeConfig {
+        workers: 2,
+        queue_depth: 16,
+        read_timeout: Duration::from_secs(5),
+        ..ServeConfig::default()
+    };
+    let handle = serve(config).expect("daemon failed to boot");
+    let addr = handle.addr().to_string();
+
+    let body = simulate_trace_bytes();
+    let mut client = Client::connect(&addr, Duration::from_secs(30)).expect("connect");
+    let resp = client.request("POST", "/v1/analyze", &[], &body).expect("analyze");
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    let id: u64 = client
+        .last_request_id()
+        .expect("analyze response carries x-request-id")
+        .parse()
+        .expect("numeric request id");
+
+    let replay = client
+        .request("GET", &format!("/debug/trace/{id}"), &[], b"")
+        .expect("debug trace");
+    assert_eq!(replay.status, 200, "{}", replay.text());
+
+    // The replay must be strictly valid JSON: a top-level array of
+    // Chrome-trace events, same schema the `--profile` golden test checks.
+    let doc = parse_json(&replay.text());
+    let Json::Arr(events) = &doc else {
+        panic!("/debug/trace must answer a top-level JSON array");
+    };
+    assert!(events.len() >= 3, "only {} replay events", events.len());
+
+    let mut span_tids: Vec<(String, f64)> = Vec::new();
+    let mut lane_names = Vec::new();
+    for ev in events {
+        let ph = ev.get("ph").and_then(Json::as_str).expect("event without ph");
+        assert!(matches!(ph, "M" | "X"), "unexpected event phase {ph:?}");
+        if ph == "M" {
+            if let Some(name) =
+                ev.get("args").and_then(|a| a.get("name")).and_then(Json::as_str)
+            {
+                lane_names.push(name.to_string());
+            }
+            continue;
+        }
+        let name = ev.get("name").and_then(Json::as_str).expect("span without name");
+        let tid = ev.get("tid").and_then(Json::as_num).expect("span without tid");
+        let ts = ev.get("ts").and_then(Json::as_num).expect("span without ts");
+        let dur = ev.get("dur").and_then(Json::as_num).expect("span without dur");
+        assert!(ts >= 0.0 && dur >= 0.0, "negative time in {name}");
+        // Every span is tagged with this request's trace id.
+        let args = ev.get("args").expect("traced span without args");
+        let trace_id = args.get("trace_id").and_then(Json::as_num).expect("no trace_id");
+        assert_eq!(trace_id, id as f64, "foreign span {name} leaked into the replay");
+        assert!(args.get("span_id").and_then(Json::as_num).is_some(), "{name}: no span_id");
+        span_tids.push((name.to_string(), tid));
+    }
+
+    // The root request span and the queued analyze job both appear, on
+    // different lanes: the tree crosses the queue/worker thread boundary.
+    let tid_of = |prefix: &str| {
+        span_tids
+            .iter()
+            .find(|(n, _)| n.starts_with(prefix))
+            .map(|(_, t)| *t)
+            .unwrap_or_else(|| panic!("no span starting with {prefix:?} in {span_tids:?}"))
+    };
+    let root_tid = tid_of("serve.request POST /v1/analyze");
+    let job_tid = tid_of("serve.analyze_job");
+    assert_ne!(root_tid, job_tid, "replay does not cross the thread boundary");
+    assert!(
+        lane_names.iter().any(|n| n.starts_with("serve-worker-")),
+        "worker lane not named in replay metadata: {lane_names:?}"
+    );
+
+    handle.shutdown();
+}

@@ -3,234 +3,22 @@
 //! covering every pipeline stage and the pool worker lanes, and enabling
 //! the instrumentation must not change a single byte of the report.
 //!
-//! The JSON checker below is a deliberately small recursive-descent parser
-//! (the workspace has no JSON dependency): strict enough to reject
-//! malformed output, small enough to audit at a glance.
+//! The JSON checker lives in `common/json.rs`: a deliberately small
+//! recursive-descent parser (the workspace has no JSON dependency),
+//! strict enough to reject malformed output, small enough to audit at a
+//! glance. `debug_trace_golden.rs` runs the daemon's `/debug/trace/{id}`
+//! replay through the same parser.
 
+#[path = "common/json.rs"]
+mod json;
+
+use json::{parse_json, Json};
 use phasefold_cli::run;
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 
 /// Serialises the tests: `--profile` toggles process-global obs state.
 static OBS_LOCK: Mutex<()> = Mutex::new(());
-
-// ---------------------------------------------------------------- mini JSON
-
-#[derive(Debug, Clone, PartialEq)]
-enum Json {
-    Null,
-    Bool(bool),
-    Num(f64),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    fn as_num(&self) -> Option<f64> {
-        match self {
-            Json::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn new(text: &'a str) -> Parser<'a> {
-        Parser { bytes: text.as_bytes(), pos: 0 }
-    }
-
-    fn error(&self, what: &str) -> String {
-        format!("{what} at byte {} of {}", self.pos, self.bytes.len())
-    }
-
-    fn skip_ws(&mut self) {
-        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn eat(&mut self, b: u8) -> Result<(), String> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(self.error(&format!("expected {:?}", b as char)))
-        }
-    }
-
-    fn eat_literal(&mut self, lit: &str) -> Result<(), String> {
-        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
-            self.pos += lit.len();
-            Ok(())
-        } else {
-            Err(self.error(&format!("expected {lit:?}")))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        self.skip_ws();
-        match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b't') => self.eat_literal("true").map(|_| Json::Bool(true)),
-            Some(b'f') => self.eat_literal("false").map(|_| Json::Bool(false)),
-            Some(b'n') => self.eat_literal("null").map(|_| Json::Null),
-            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
-            _ => Err(self.error("expected a JSON value")),
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, String> {
-        self.eat(b'{')?;
-        let mut fields = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Obj(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.eat(b':')?;
-            let value = self.value()?;
-            fields.push((key, value));
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Obj(fields));
-                }
-                _ => return Err(self.error("expected ',' or '}'")),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, String> {
-        self.eat(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                _ => return Err(self.error("expected ',' or ']'")),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.eat(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.peek().ok_or_else(|| self.error("unterminated string"))? {
-                b'"' => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                b'\\' => {
-                    self.pos += 1;
-                    let esc = self.peek().ok_or_else(|| self.error("bad escape"))?;
-                    self.pos += 1;
-                    match esc {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b'r' => out.push('\r'),
-                        b't' => out.push('\t'),
-                        b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .ok_or_else(|| self.error("short \\u escape"))?;
-                            let code = u32::from_str_radix(
-                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
-                                16,
-                            )
-                            .map_err(|e| e.to_string())?;
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                            self.pos += 4;
-                        }
-                        other => return Err(self.error(&format!("bad escape \\{}", other as char))),
-                    }
-                }
-                _ => {
-                    // Consume one UTF-8 scalar (multi-byte sequences pass
-                    // through byte-wise; the input is a &str so it is valid).
-                    let start = self.pos;
-                    self.pos += 1;
-                    while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xC0) == 0x80 {
-                        self.pos += 1;
-                    }
-                    out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
-                }
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        let start = self.pos;
-        if self.peek() == Some(b'-') {
-            self.pos += 1;
-        }
-        while let Some(c) = self.peek() {
-            if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-') {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-        std::str::from_utf8(&self.bytes[start..self.pos])
-            .unwrap()
-            .parse::<f64>()
-            .map(Json::Num)
-            .map_err(|e| self.error(&format!("bad number: {e}")))
-    }
-}
-
-fn parse_json(text: &str) -> Json {
-    let mut p = Parser::new(text);
-    let v = p.value().unwrap_or_else(|e| panic!("invalid JSON: {e}"));
-    p.skip_ws();
-    assert_eq!(p.pos, p.bytes.len(), "trailing garbage after JSON value");
-    v
-}
 
 // ----------------------------------------------------------------- helpers
 
@@ -402,4 +190,17 @@ fn selfcheck_smoke() {
     // Its profile export is valid Chrome-trace JSON as well.
     let doc = parse_json(&std::fs::read_to_string(&profile).unwrap());
     assert!(matches!(doc, Json::Arr(_)));
+}
+
+#[test]
+fn prom_export_writes_exposition_text() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    let prom_path = tmp("selfcheck.prom");
+    run_ok(&["selfcheck", "--threads", "2", "--prom", &prom_path]);
+    let prom = std::fs::read_to_string(&prom_path).unwrap();
+    assert!(prom.lines().any(|l| l.starts_with("# TYPE ")), "{prom}");
+    assert!(
+        prom.lines().any(|l| l.starts_with("pool_tasks_scheduled ")),
+        "pool counters missing from prom export:\n{prom}"
+    );
 }

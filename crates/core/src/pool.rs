@@ -120,6 +120,10 @@ pub fn run(threads: usize, seeds: Vec<Job<'_>>) -> Vec<TaskPanic> {
     let stealers: Vec<Stealer<Job<'_>>> = workers.iter().map(Worker::stealer).collect();
     // Panics isolated from jobs; returned to the caller after the drain.
     let panicked: Mutex<Vec<TaskPanic>> = Mutex::new(Vec::new());
+    // Carry the caller's request-scoped trace context (if any) onto every
+    // worker, so spans recorded inside jobs attach to the request tree
+    // even though they execute on pool threads.
+    let trace_ctx = phasefold_obs::trace::TraceCtx::current();
 
     std::thread::scope(|scope| {
         for (me, local) in workers.into_iter().enumerate() {
@@ -128,6 +132,7 @@ pub fn run(threads: usize, seeds: Vec<Job<'_>>) -> Vec<TaskPanic> {
             let pending = &pending;
             let panicked = &panicked;
             scope.spawn(move || {
+                let _trace = trace_ctx.map(phasefold_obs::trace::TraceCtx::adopt);
                 let obs_on = phasefold_obs::enabled();
                 if obs_on {
                     phasefold_obs::span::set_lane_name(&format!("pool-worker-{me}"));
@@ -356,5 +361,36 @@ mod tests {
         let panics = run(1, vec![seed]);
         assert_eq!(panics.len(), 1);
         assert_eq!(panics[0].message, "<non-string panic payload>");
+    }
+
+    #[test]
+    fn workers_inherit_the_callers_trace_context() {
+        use phasefold_obs::trace::{begin_capture, end_capture, TraceCtx};
+        phasefold_obs::set_enabled(true);
+        let ctx = TraceCtx::mint();
+        begin_capture(ctx.trace_id());
+        {
+            let _adopt = ctx.adopt();
+            let _root = phasefold_obs::span!("test.pool.request");
+            let seeds: Vec<Job<'_>> = (0..4)
+                .map(|i| -> Job<'_> {
+                    Box::new(move |_| {
+                        let _sp = phasefold_obs::span!("test.pool.task {i}");
+                    })
+                })
+                .collect();
+            let panics = run(3, seeds);
+            assert!(panics.is_empty());
+        }
+        phasefold_obs::set_enabled(false);
+        let spans = end_capture(ctx.trace_id());
+        let tasks: Vec<_> =
+            spans.iter().filter(|s| s.name.starts_with("test.pool.task")).collect();
+        assert_eq!(tasks.len(), 4, "all worker spans captured under the request trace");
+        assert!(tasks.iter().all(|s| s.trace_id == ctx.trace_id()));
+        let root =
+            spans.iter().find(|s| s.name == "test.pool.request").expect("root span captured");
+        // Worker spans parent under the span open at run() time.
+        assert!(tasks.iter().all(|s| s.parent_id == root.span_id));
     }
 }

@@ -1,4 +1,5 @@
-//! Exporters: Chrome-trace JSON, metrics JSON, and a human summary table.
+//! Exporters: Chrome-trace JSON, metrics JSON, Prometheus text
+//! exposition, and a human summary table.
 
 use crate::span::SpanEvent;
 use crate::Snapshot;
@@ -6,7 +7,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Escapes a string for embedding in a JSON string literal.
-fn json_escape(s: &str) -> String {
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -46,9 +47,17 @@ pub fn chrome_trace_json(snap: &Snapshot) -> String {
     let mut spans: Vec<&SpanEvent> = snap.spans.iter().collect();
     spans.sort_by(|a, b| (a.lane, a.start_ns).cmp(&(b.lane, b.start_ns)));
     for s in spans {
+        let args = if s.trace_id != 0 {
+            format!(
+                ",\"args\":{{\"trace_id\":{},\"span_id\":{},\"parent_span_id\":{}}}",
+                s.trace_id, s.span_id, s.parent_id
+            )
+        } else {
+            String::new()
+        };
         events.push(format!(
             "{{\"name\":\"{}\",\"cat\":\"phasefold\",\"ph\":\"X\",\"pid\":1,\
-             \"tid\":{},\"ts\":{:.3},\"dur\":{:.3}}}",
+             \"tid\":{},\"ts\":{:.3},\"dur\":{:.3}{args}}}",
             json_escape(&s.name),
             s.lane,
             s.start_ns as f64 / 1e3,
@@ -61,8 +70,10 @@ pub fn chrome_trace_json(snap: &Snapshot) -> String {
     out
 }
 
-/// Renders counters, gauges, and per-span-name aggregates as a JSON
-/// object (one scalar per line, so shell tooling can grep it).
+/// Renders counters, gauges, histograms (count/sum and p50/p95/p99 in
+/// milliseconds), and per-span-name aggregates as a JSON object (one
+/// scalar — or one single-line object — per line, so shell tooling can
+/// grep it).
 pub fn metrics_json(snap: &Snapshot) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"schema\": \"phasefold-obs-metrics/1\",");
@@ -77,6 +88,22 @@ pub fn metrics_json(snap: &Snapshot) -> String {
         let comma = if i + 1 < snap.gauges.len() { "," } else { "" };
         let v = if v.is_finite() { format!("{v}") } else { "null".to_string() };
         let _ = writeln!(out, "    \"{}\": {v}{comma}", json_escape(name));
+    }
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"histograms\": {{");
+    for (i, h) in snap.hists.iter().enumerate() {
+        let comma = if i + 1 < snap.hists.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    \"{}\": {{ \"count\": {}, \"sum_ms\": {:.3}, \"p50_ms\": {:.3}, \
+             \"p95_ms\": {:.3}, \"p99_ms\": {:.3} }}{comma}",
+            json_escape(&h.name),
+            h.count,
+            h.sum as f64 / 1e6,
+            h.quantile(0.50) as f64 / 1e6,
+            h.quantile(0.95) as f64 / 1e6,
+            h.quantile(0.99) as f64 / 1e6,
+        );
     }
     let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"spans\": {{");
@@ -94,6 +121,59 @@ pub fn metrics_json(snap: &Snapshot) -> String {
     }
     let _ = writeln!(out, "  }}");
     out.push_str("}\n");
+    out
+}
+
+/// Sanitizes a metric name for Prometheus: every character outside
+/// `[a-zA-Z0-9_:]` becomes `_`, and a leading digit gains a `_` prefix.
+pub fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Renders counters, gauges, and histograms in the Prometheus text
+/// exposition format (`0.0.4`). Histogram values are nanoseconds by
+/// convention, so bucket `le` bounds and `_sum` are emitted in seconds;
+/// cumulative `_bucket` counts end with the mandatory `+Inf` bucket.
+pub fn prometheus_text(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let n = prom_name(name);
+        let _ = writeln!(out, "# TYPE {n} counter");
+        let _ = writeln!(out, "{n} {v}");
+    }
+    for (name, v) in &snap.gauges {
+        let n = prom_name(name);
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        if v.is_finite() {
+            let _ = writeln!(out, "{n} {v}");
+        } else {
+            let _ = writeln!(out, "{n} NaN");
+        }
+    }
+    for h in &snap.hists {
+        let n = prom_name(&h.name);
+        let _ = writeln!(out, "# TYPE {n} histogram");
+        let mut cum = 0u64;
+        for &(idx, c) in &h.buckets {
+            cum += c;
+            let (_, upper_ns) = crate::hist::bucket_bounds(idx);
+            let _ = writeln!(out, "{n}_bucket{{le=\"{:.9}\"}} {cum}", upper_ns as f64 / 1e9);
+        }
+        let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
+        let _ = writeln!(out, "{n}_sum {}", h.sum as f64 / 1e9);
+        let _ = writeln!(out, "{n}_count {}", h.count);
+    }
     out
 }
 
@@ -164,19 +244,46 @@ pub fn summary_table(snap: &Snapshot) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
+    use crate::hist::Histogram;
 
     fn sample_snapshot() -> Snapshot {
+        let h = Histogram::new();
+        for v in [1_000_000u64, 2_000_000, 4_000_000] {
+            h.record(v);
+        }
         Snapshot {
             spans: vec![
-                SpanEvent { name: "fold #0".into(), lane: 0, start_ns: 1000, dur_ns: 500 },
-                SpanEvent { name: "fold #1".into(), lane: 1, start_ns: 1200, dur_ns: 700 },
-                SpanEvent { name: "fit".into(), lane: 0, start_ns: 2000, dur_ns: 100 },
+                SpanEvent {
+                    name: "fold #0".into(),
+                    lane: 0,
+                    start_ns: 1000,
+                    dur_ns: 500,
+                    ..SpanEvent::default()
+                },
+                SpanEvent {
+                    name: "fold #1".into(),
+                    lane: 1,
+                    start_ns: 1200,
+                    dur_ns: 700,
+                    ..SpanEvent::default()
+                },
+                SpanEvent {
+                    name: "fit".into(),
+                    lane: 0,
+                    start_ns: 2000,
+                    dur_ns: 100,
+                    trace_id: 9,
+                    span_id: 21,
+                    parent_id: 20,
+                },
             ],
             lanes: vec![(0, "main".into()), (1, "pool-worker-0".into())],
             counters: vec![("pool.steals".into(), 3)],
             gauges: vec![("cluster.eps".into(), 0.125)],
+            hists: vec![h.snapshot("serve.latency.analyze")],
         }
     }
 
@@ -190,6 +297,9 @@ mod tests {
         assert!(json.contains("\"name\":\"pool-worker-0\""));
         assert!(json.contains("\"ts\":1.000"));
         assert!(json.contains("\"dur\":0.500"));
+        // Traced spans carry their ids; untraced spans carry no args.
+        assert!(json.contains("\"args\":{\"trace_id\":9,\"span_id\":21,\"parent_span_id\":20}"));
+        assert_eq!(json.matches("\"trace_id\"").count(), 1);
     }
 
     #[test]
@@ -198,6 +308,46 @@ mod tests {
         assert!(json.contains("\"pool.steals\": 3"));
         assert!(json.contains("\"cluster.eps\": 0.125"));
         assert!(json.contains("\"fold\": { \"count\": 2"));
+        let hist_line = json
+            .lines()
+            .find(|l| l.contains("\"serve.latency.analyze\""))
+            .expect("histogram line");
+        assert!(hist_line.contains("\"count\": 3"), "{hist_line}");
+        assert!(hist_line.contains("\"sum_ms\": 7.000"), "{hist_line}");
+        assert!(hist_line.contains("\"p50_ms\":"), "{hist_line}");
+        assert!(hist_line.contains("\"p99_ms\":"), "{hist_line}");
+    }
+
+    #[test]
+    fn prometheus_text_round_trips_every_metric() {
+        let snap = sample_snapshot();
+        let prom = prometheus_text(&snap);
+        // Counters and gauges appear exactly once as sample lines.
+        assert_eq!(prom.lines().filter(|l| *l == "pool_steals 3").count(), 1);
+        assert_eq!(prom.lines().filter(|l| *l == "cluster_eps 0.125").count(), 1);
+        // Histogram series: cumulative buckets ending in +Inf, sum, count.
+        let buckets: Vec<&str> = prom
+            .lines()
+            .filter(|l| l.starts_with("serve_latency_analyze_bucket"))
+            .collect();
+        assert!(buckets.len() >= 2, "{prom}");
+        assert!(buckets.last().unwrap().contains("le=\"+Inf\"} 3"), "{prom}");
+        let mut prev = 0u64;
+        for b in &buckets {
+            let c: u64 = b.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(c >= prev, "cumulative buckets must be monotone: {prom}");
+            prev = c;
+        }
+        assert!(prom.lines().any(|l| l == "serve_latency_analyze_count 3"), "{prom}");
+        assert!(prom.lines().any(|l| l.starts_with("serve_latency_analyze_sum 0.007")), "{prom}");
+        assert!(prom.contains("# TYPE serve_latency_analyze histogram"));
+    }
+
+    #[test]
+    fn prom_name_sanitizes() {
+        assert_eq!(prom_name("serve.latency.analyze"), "serve_latency_analyze");
+        assert_eq!(prom_name("9lives"), "_9lives");
+        assert_eq!(prom_name("a-b c"), "a_b_c");
     }
 
     #[test]

@@ -1,0 +1,287 @@
+//! Lock-free log-bucketed latency histograms.
+//!
+//! A [`Histogram`] is a fixed array of 256 atomic buckets covering the
+//! full `u64` range with base-2 resolution refined by 4 linear sub-buckets
+//! per octave (`SUB_BITS = 2`): values 0–3 get exact buckets, and every
+//! larger value lands in a bucket whose width is 1/4 of its power-of-two
+//! range, bounding the relative quantile error at ~12.5% (half a
+//! sub-bucket at the midpoint). Recording is wait-free — one `fetch_add`
+//! on the bucket plus two on count/sum, all `Relaxed` — so writer threads
+//! never contend on a lock, and a snapshot taken concurrently is a
+//! near-consistent view (exact once writers have quiesced, which is how
+//! the exporters use it).
+//!
+//! By convention histogram values are **nanoseconds**; the exporters
+//! convert to milliseconds (JSON) or seconds (Prometheus).
+//!
+//! Named histograms live in a global registry mirroring
+//! [`crate::metrics`]: `&'static str` names are the keys, each thread
+//! caches the `Arc` after first touch, and [`crate::histogram!`] is the
+//! recording macro (no-op when observability is disabled).
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+/// log2 of the number of linear sub-buckets per power-of-two octave.
+pub const SUB_BITS: u32 = 2;
+
+/// Linear sub-buckets per octave.
+pub const SUB_BUCKETS: usize = 1 << SUB_BITS;
+
+/// Total buckets; index 251 already holds `u64::MAX`, the rest are spare
+/// so the array is a round power of two.
+pub const NUM_BUCKETS: usize = 256;
+
+/// Maps a value to its bucket index. Total and monotone over all of `u64`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS as u64 {
+        return v as usize;
+    }
+    // Highest set bit position; v >= 4 so h >= 2 = SUB_BITS.
+    let h = 63 - v.leading_zeros();
+    let sub = ((v >> (h - SUB_BITS)) & (SUB_BUCKETS as u64 - 1)) as usize;
+    (((h - SUB_BITS + 1) as usize) << SUB_BITS) + sub
+}
+
+/// Inclusive `(lower, upper)` value bounds of bucket `index`. Buckets
+/// beyond the last reachable index return an empty-by-construction range
+/// clamped at `u64::MAX`.
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    if index < SUB_BUCKETS {
+        return (index as u64, index as u64);
+    }
+    let h = (index >> SUB_BITS) as u32 + SUB_BITS - 1;
+    if h >= 64 {
+        return (u64::MAX, u64::MAX);
+    }
+    let sub = (index & (SUB_BUCKETS - 1)) as u64;
+    let width = 1u64 << (h - SUB_BITS);
+    let lower = (1u64 << h) + sub * width;
+    (lower, lower + (width - 1))
+}
+
+/// A fixed-size atomic histogram. See the module docs for the bucketing
+/// scheme.
+pub struct Histogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation. Wait-free; safe from any thread.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Copies the current state out (exact once writers have quiesced).
+    pub fn snapshot(&self, name: &str) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c > 0 {
+                buckets.push((i, c));
+            }
+        }
+        HistogramSnapshot { name: name.to_string(), count: self.count(), sum: self.sum(), buckets }
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+/// A point-in-time copy of one named histogram: only non-empty buckets,
+/// ascending by index.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Registry name.
+    pub name: String,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values (nanoseconds by convention).
+    pub sum: u64,
+    /// `(bucket index, count)` for every non-empty bucket, ascending.
+    pub buckets: Vec<(usize, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Estimates the `q`-quantile (`0.0..=1.0`) as the midpoint of the
+    /// bucket holding the rank-`ceil(q·count)` observation. Relative error
+    /// is bounded by half a sub-bucket (~12.5%). Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for &(idx, c) in &self.buckets {
+            cum += c;
+            if cum >= target {
+                let (lo, hi) = bucket_bounds(idx);
+                return lo + (hi - lo) / 2;
+            }
+        }
+        // Unreachable when count equals the bucket total, but stay total.
+        self.buckets.last().map_or(0, |&(idx, _)| bucket_bounds(idx).1)
+    }
+}
+
+type Registry = Mutex<BTreeMap<&'static str, Arc<Histogram>>>;
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+fn lock_registry() -> MutexGuard<'static, BTreeMap<&'static str, Arc<Histogram>>> {
+    registry().lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+thread_local! {
+    static CACHE: RefCell<BTreeMap<&'static str, Arc<Histogram>>> =
+        const { RefCell::new(BTreeMap::new()) };
+}
+
+fn hist(name: &'static str) -> Arc<Histogram> {
+    CACHE.with(|cache| {
+        if let Some(h) = cache.borrow().get(name) {
+            return Arc::clone(h);
+        }
+        let shared = {
+            let mut reg = lock_registry();
+            Arc::clone(reg.entry(name).or_insert_with(|| Arc::new(Histogram::new())))
+        };
+        cache.borrow_mut().insert(name, Arc::clone(&shared));
+        shared
+    })
+}
+
+/// Records one observation into the named histogram (registering it on
+/// first global use). Prefer the [`crate::histogram!`] macro, which also
+/// checks the enabled flag.
+pub fn hist_record(name: &'static str, value: u64) {
+    hist(name).record(value);
+}
+
+/// Snapshot of one named histogram (`None` if never touched).
+pub fn hist_value(name: &'static str) -> Option<HistogramSnapshot> {
+    lock_registry().get(name).map(|h| h.snapshot(name))
+}
+
+/// Snapshots of all registered histograms, name-sorted.
+pub fn hist_snapshot() -> Vec<HistogramSnapshot> {
+    lock_registry().iter().map(|(name, h)| h.snapshot(name)).collect()
+}
+
+/// Zeroes every registered histogram (registrations survive, so
+/// thread-local caches stay valid).
+pub fn reset_hists() {
+    for h in lock_registry().values() {
+        h.reset();
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_get_exact_buckets() {
+        for v in 0..4u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_bounds(v as usize), (v, v));
+        }
+    }
+
+    #[test]
+    fn index_is_monotone_and_bounds_invert() {
+        let mut prev = 0usize;
+        for shift in 2..64u32 {
+            for v in [
+                (1u64 << shift) - 1,
+                1u64 << shift,
+                (1u64 << shift) + 1,
+                (1u64 << shift) | (1u64 << (shift - 1)),
+            ] {
+                let idx = bucket_index(v);
+                assert!(idx >= prev, "index not monotone at {v}");
+                prev = prev.max(idx);
+                let (lo, hi) = bucket_bounds(idx);
+                assert!(lo <= v && v <= hi, "{v} outside [{lo}, {hi}] (idx {idx})");
+            }
+        }
+        assert!(bucket_index(u64::MAX) < NUM_BUCKETS);
+        assert_eq!(bucket_bounds(bucket_index(u64::MAX)).1, u64::MAX);
+    }
+
+    #[test]
+    fn record_and_quantile_roundtrip() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot("test");
+        assert_eq!(snap.count, 1000);
+        assert_eq!(snap.sum, 500_500);
+        let p50 = snap.quantile(0.50);
+        let p99 = snap.quantile(0.99);
+        // Log-bucket midpoints: within ~12.5% of the exact quantile.
+        assert!((p50 as f64 - 500.0).abs() / 500.0 < 0.15, "p50 = {p50}");
+        assert!((p99 as f64 - 990.0).abs() / 990.0 < 0.15, "p99 = {p99}");
+        assert!(snap.quantile(0.0) >= 1);
+        assert!(snap.quantile(1.0) <= 1023);
+    }
+
+    #[test]
+    fn quantile_of_empty_is_zero() {
+        assert_eq!(Histogram::new().snapshot("e").quantile(0.5), 0);
+    }
+
+    #[test]
+    fn registry_roundtrip() {
+        hist_record("test.h.registry", 7);
+        hist_record("test.h.registry", 9);
+        let snap = hist_value("test.h.registry").unwrap();
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.sum, 16);
+        assert!(hist_snapshot().iter().any(|h| h.name == "test.h.registry"));
+    }
+}

@@ -1,9 +1,12 @@
 //! # phasefold-obs
 //!
 //! Dependency-free observability layer for the phasefold workspace:
-//! structured spans, counters and gauges with thread-local hot paths, and
-//! exporters (human-readable summary, JSON metrics dump, Chrome-trace
-//! span export) so the phase-detection tool can profile *itself*.
+//! structured spans with request-scoped trace contexts ([`trace`]),
+//! counters and gauges with thread-local hot paths, lock-free latency
+//! histograms ([`hist`]), and exporters (human-readable summary, JSON
+//! metrics dump, Prometheus text exposition, Chrome-trace span export) so
+//! the phase-detection tool can profile *itself* — in production, not
+//! just on the bench.
 //!
 //! ## Design
 //!
@@ -42,10 +45,13 @@
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod export;
+pub mod hist;
 pub mod metrics;
 pub mod span;
+pub mod trace;
 
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::OnceLock;
@@ -169,21 +175,24 @@ pub struct Snapshot {
     pub counters: Vec<(String, u64)>,
     /// Last-write gauges.
     pub gauges: Vec<(String, f64)>,
+    /// Latency histograms (values in nanoseconds), name-sorted.
+    pub hists: Vec<hist::HistogramSnapshot>,
 }
 
 /// Captures a snapshot of all recorded observability data.
 pub fn snapshot() -> Snapshot {
     let (spans, lanes) = span::take_spans();
     let (counters, gauges) = metrics::metrics_snapshot();
-    Snapshot { spans, lanes, counters, gauges }
+    Snapshot { spans, lanes, counters, gauges, hists: hist::hist_snapshot() }
 }
 
-/// Clears all recorded spans and zeroes all metrics (registrations and
-/// lane names survive). Call before a run whose profile should not include
-/// earlier activity.
+/// Clears all recorded spans and zeroes all metrics and histograms
+/// (registrations and lane names survive). Call before a run whose
+/// profile should not include earlier activity.
 pub fn reset() {
     let _ = span::take_spans();
     metrics::reset_metrics();
+    hist::reset_hists();
 }
 
 /// Opens a span that closes when the returned guard drops.
@@ -234,6 +243,19 @@ macro_rules! gauge {
     };
 }
 
+/// Records `value` (nanoseconds by convention) into the named lock-free
+/// latency histogram (no-op when disabled).
+///
+/// The name must be `&'static str`; it is the registry key.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr, $value:expr) => {
+        if $crate::enabled() {
+            $crate::hist::hist_record($name, $value as u64);
+        }
+    };
+}
+
 /// Writes a log line to stderr when the global log level admits `level`.
 ///
 /// ```
@@ -250,6 +272,7 @@ macro_rules! log {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -11,7 +11,7 @@
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
 /// What a cell's `u64` payload means.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,6 +36,11 @@ fn registry() -> &'static Registry {
     REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
 }
 
+fn lock_registry() -> MutexGuard<'static, BTreeMap<&'static str, Arc<Cell>>> {
+    // Atomic cells stay valid across a writer panic; recover from poison.
+    registry().lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 thread_local! {
     /// Per-thread name → cell cache; avoids the registry lock on the hot
     /// path.
@@ -50,7 +55,7 @@ fn cell(name: &'static str, kind: CellKind) -> Arc<Cell> {
             return Arc::clone(c);
         }
         let shared = {
-            let mut reg = registry().lock().unwrap();
+            let mut reg = lock_registry();
             Arc::clone(reg.entry(name).or_insert_with(|| {
                 Arc::new(Cell { value: AtomicU64::new(0), kind })
             }))
@@ -77,16 +82,12 @@ pub fn gauge_set(name: &'static str, value: f64) {
 
 /// Current value of counter `name` (0 if never touched).
 pub fn counter_value(name: &'static str) -> u64 {
-    registry()
-        .lock()
-        .unwrap()
-        .get(name)
-        .map_or(0, |c| c.value.load(Ordering::Relaxed))
+    lock_registry().get(name).map_or(0, |c| c.value.load(Ordering::Relaxed))
 }
 
 /// Current value of gauge `name` (`None` if never set).
 pub fn gauge_value(name: &'static str) -> Option<f64> {
-    registry().lock().unwrap().get(name).and_then(|c| match c.kind {
+    lock_registry().get(name).and_then(|c| match c.kind {
         CellKind::Gauge => Some(f64::from_bits(c.value.load(Ordering::Relaxed))),
         CellKind::Counter => None,
     })
@@ -94,7 +95,7 @@ pub fn gauge_value(name: &'static str) -> Option<f64> {
 
 /// All counters and gauges, name-sorted.
 pub fn metrics_snapshot() -> (Vec<(String, u64)>, Vec<(String, f64)>) {
-    let reg = registry().lock().unwrap();
+    let reg = lock_registry();
     let mut counters = Vec::new();
     let mut gauges = Vec::new();
     for (name, c) in reg.iter() {
@@ -110,13 +111,14 @@ pub fn metrics_snapshot() -> (Vec<(String, u64)>, Vec<(String, f64)>) {
 /// Zeroes every registered cell (registrations survive, so thread-local
 /// caches stay valid).
 pub fn reset_metrics() {
-    let reg = registry().lock().unwrap();
+    let reg = lock_registry();
     for c in reg.values() {
         c.value.store(0, Ordering::Relaxed);
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

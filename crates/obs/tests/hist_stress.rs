@@ -1,0 +1,123 @@
+//! Multi-thread stress and property tests for the lock-free histograms.
+
+use phasefold_obs::hist::{
+    bucket_bounds, bucket_index, Histogram, HistogramSnapshot, NUM_BUCKETS,
+};
+use proptest::prelude::*;
+
+/// N writer threads hammer one histogram; `_count` and `_sum` must be
+/// exact and the cumulative bucket series monotone, because every store is
+/// a fetch_add (nothing is sampled or dropped).
+#[test]
+fn concurrent_writers_lose_nothing() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 10_000;
+    let h = Histogram::new();
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let h = &h;
+            s.spawn(move || {
+                // Deterministic per-thread value stream spanning many octaves.
+                let mut x = t.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+                for _ in 0..PER_THREAD {
+                    x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                    h.record(x >> (x % 50));
+                }
+            });
+        }
+    });
+    let snap = h.snapshot("stress");
+    assert_eq!(snap.count, THREADS * PER_THREAD);
+
+    // Recompute the exact sum and per-bucket counts sequentially.
+    let mut want_sum = 0u64;
+    let mut want_buckets = vec![0u64; NUM_BUCKETS];
+    for t in 0..THREADS {
+        let mut x = t.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        for _ in 0..PER_THREAD {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            let v = x >> (x % 50);
+            want_sum = want_sum.wrapping_add(v);
+            want_buckets[bucket_index(v)] += 1;
+        }
+    }
+    assert_eq!(snap.sum, want_sum, "sum must be exact under concurrency");
+    for &(idx, c) in &snap.buckets {
+        assert_eq!(c, want_buckets[idx], "bucket {idx}");
+    }
+    // Bucket counts account for every observation.
+    assert_eq!(snap.buckets.iter().map(|&(_, c)| c).sum::<u64>(), snap.count);
+    // Cumulative series is monotone non-decreasing by construction; verify
+    // the snapshot ordering that the Prometheus exporter relies on.
+    let mut prev_idx = None;
+    for &(idx, _) in &snap.buckets {
+        assert!(prev_idx.is_none_or(|p| idx > p), "bucket indices must ascend");
+        prev_idx = Some(idx);
+    }
+}
+
+/// The registry path (histogram! → named histogram) is exact too.
+#[test]
+fn registry_histogram_is_exact_across_threads() {
+    phasefold_obs::set_enabled(true);
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            s.spawn(|| {
+                for v in 1..=1000u64 {
+                    phasefold_obs::histogram!("test.stress.registry", v);
+                }
+            });
+        }
+    });
+    phasefold_obs::set_enabled(false);
+    let snap = phasefold_obs::hist::hist_value("test.stress.registry").expect("registered");
+    assert_eq!(snap.count, 4000);
+    assert_eq!(snap.sum, 4 * 500_500);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every value lands in a bucket whose bounds contain it.
+    #[test]
+    fn bucket_bounds_contain_value(v in 0u64..u64::MAX) {
+        let idx = bucket_index(v);
+        prop_assert!(idx < NUM_BUCKETS);
+        let (lo, hi) = bucket_bounds(idx);
+        prop_assert!(lo <= v && v <= hi, "{v} not in [{lo}, {hi}]");
+    }
+
+    /// Power-of-two boundary values (the bucketing edge cases): the index
+    /// is monotone across v-1, v, v+1 and bounds always invert.
+    #[test]
+    fn boundaries_are_monotone(shift in 1u32..63) {
+        let v = 1u64 << shift;
+        for w in [v - 1, v, v + 1] {
+            let idx = bucket_index(w);
+            let (lo, hi) = bucket_bounds(idx);
+            prop_assert!(lo <= w && w <= hi);
+        }
+        prop_assert!(bucket_index(v - 1) <= bucket_index(v));
+        prop_assert!(bucket_index(v) <= bucket_index(v + 1));
+    }
+
+    /// Quantiles of a recorded sample stay within the documented relative
+    /// error (half a sub-bucket ≈ 12.5%, plus integer rounding on tiny
+    /// values).
+    #[test]
+    fn quantile_error_is_bounded(base in 1u64..1_000_000, n in 10usize..200) {
+        let h = Histogram::new();
+        for i in 0..n as u64 {
+            h.record(base + i);
+        }
+        let snap: HistogramSnapshot = h.snapshot("q");
+        for q in [0.5, 0.95, 0.99] {
+            let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+            let exact = base + rank as u64 - 1;
+            let est = snap.quantile(q);
+            let err = (est as f64 - exact as f64).abs() / exact as f64;
+            prop_assert!(err <= 0.125 + 1.0 / exact as f64,
+                "q={q} est={est} exact={exact} err={err}");
+        }
+    }
+}

@@ -45,6 +45,7 @@ impl Response {
 pub struct Client {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
+    last_request_id: Option<String>,
 }
 
 impl Client {
@@ -55,7 +56,15 @@ impl Client {
         stream.set_read_timeout(Some(timeout))?;
         stream.set_nodelay(true)?;
         let reader = BufReader::new(stream.try_clone()?);
-        Ok(Client { writer: stream, reader })
+        Ok(Client { writer: stream, reader, last_request_id: None })
+    }
+
+    /// The `x-request-id` the server stamped on the last response read on
+    /// this connection (`None` before the first response). Lets tests and
+    /// tools correlate a response with the daemon's access log and
+    /// `/debug/trace/{id}`.
+    pub fn last_request_id(&self) -> Option<&str> {
+        self.last_request_id.as_deref()
     }
 
     /// Sends one request with a `Content-Length` body and reads the
@@ -133,7 +142,9 @@ impl Client {
         }
         let mut body = vec![0u8; content_length];
         self.reader.read_exact(&mut body)?;
-        Ok(Response { status, headers, body })
+        let response = Response { status, headers, body };
+        self.last_request_id = response.header("x-request-id").map(str::to_string);
+        Ok(response)
     }
 
     fn read_line(&mut self) -> std::io::Result<String> {

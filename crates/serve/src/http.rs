@@ -78,6 +78,12 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// The (already de-chunked) body.
     pub body: Vec<u8>,
+    /// Wall time spent reading headers + body off the socket, measured
+    /// from right after the request line arrived. Excludes keep-alive idle
+    /// wait (the blocking wait for the first byte happens before the
+    /// clock starts), so it can be folded into per-request latency
+    /// without charging the server for client think time.
+    pub read_ns: u64,
 }
 
 impl Request {
@@ -150,6 +156,9 @@ pub fn read_request(
     let Some(request_line) = read_line(reader, &mut budget)? else {
         return Ok(None);
     };
+    // The request line has arrived, so the peer is actively sending: time
+    // the rest of the read (headers + body) as part of the request.
+    let t_read = std::time::Instant::now();
     let mut parts = request_line.split_whitespace();
     let method = parts
         .next()
@@ -183,7 +192,7 @@ pub fn read_request(
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
 
-    let mut req = Request { method, path, query, headers, body: Vec::new() };
+    let mut req = Request { method, path, query, headers, body: Vec::new(), read_ns: 0 };
     let chunked = req
         .header("transfer-encoding")
         .is_some_and(|v| v.to_ascii_lowercase().contains("chunked"));
@@ -200,6 +209,7 @@ pub fn read_request(
         read_exact_growing(reader, &mut body, len)?;
         req.body = body;
     }
+    req.read_ns = t_read.elapsed().as_nanos() as u64;
     Ok(Some(req))
 }
 

@@ -28,10 +28,12 @@ pub mod cache;
 pub mod client;
 pub mod http;
 pub mod queue;
+pub mod recorder;
 pub mod server;
 pub mod shutdown;
 
 pub use cache::{CacheKey, CacheStats, ResultCache};
 pub use client::{one_shot, Client, Response};
 pub use queue::{JobQueue, SubmitError};
+pub use recorder::{FlightRecorder, RequestSummary, SlowRequest};
 pub use server::{serve, DrainStats, ServeConfig, ServerHandle};

@@ -61,7 +61,12 @@ impl JobQueue {
                 let completed = Arc::clone(&completed);
                 std::thread::Builder::new()
                     .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_loop(&rx, &in_flight, &panicked, &completed))
+                    .spawn(move || {
+                        // Name the obs lane so request span trees show which
+                        // worker executed the job.
+                        phasefold_obs::span::set_lane_name(&format!("serve-worker-{i}"));
+                        worker_loop(&rx, &in_flight, &panicked, &completed)
+                    })
             })
             .filter_map(|h| h.ok())
             .collect();

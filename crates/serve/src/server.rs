@@ -9,7 +9,9 @@
 //! | `GET`  | `/v1/streams/{id}/phases` | Incremental snapshot of a session |
 //! | `DELETE` | `/v1/streams/{id}` | Drop a session |
 //! | `GET`  | `/healthz` | Liveness + session/queue gauges |
-//! | `GET`  | `/metrics` | Server counters + phasefold-obs metrics |
+//! | `GET`  | `/metrics` | Server counters + phasefold-obs metrics (`?format=prom` for Prometheus) |
+//! | `GET`  | `/debug/requests` | Flight recorder: recent + slowest request summaries |
+//! | `GET`  | `/debug/trace/{id}` | Replay a retained slow request as Chrome-trace JSON |
 //! | `POST` | `/admin/shutdown` | Ask the daemon to drain and exit |
 //!
 //! Analysis requests are scheduled on a bounded [`JobQueue`]; a full queue
@@ -17,23 +19,38 @@
 //! Shutdown — via [`ServerHandle::shutdown`], `/admin/shutdown`, or
 //! SIGTERM/SIGINT — stops accepting, lets in-flight connections and jobs
 //! finish, and reports whether the drain was clean.
+//!
+//! ## Request telemetry
+//!
+//! Every request is minted a [`phasefold_obs::trace::TraceCtx`] whose
+//! trace id doubles as the `x-request-id` response header. The context is
+//! adopted for the routing call, propagated into queue jobs (and from
+//! there into `core::pool` workers), so spans from every thread that
+//! touched the request reassemble into one tree. Requests selected by
+//! `trace_sample_rate` additionally capture their span tree; completed
+//! requests land in the [`FlightRecorder`] and, per endpoint, in
+//! always-on lock-free latency histograms (`serve.latency.*`,
+//! `serve.queue_wait`, `serve.analyze_time`, `serve.cache_lookup`).
 
 use crate::cache::{CacheKey, ResultCache, TraceWitness};
 use crate::http::{self, Request};
 use crate::queue::{lock_recover, JobQueue, SubmitError};
+use crate::recorder::{FlightRecorder, RequestSummary};
 use crate::shutdown;
 use phasefold::report::render_report;
 use phasefold::{try_analyze_trace, AnalysisConfig, FaultPolicy, OnlineAnalyzer};
 use phasefold_model::prv;
 use phasefold_model::{Record, RankId};
+use phasefold_obs::export::json_escape;
+use phasefold_obs::trace::TraceCtx;
 use std::collections::HashMap;
-use std::io::BufReader;
+use std::io::{BufReader, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// Everything tunable about one daemon instance.
 #[derive(Debug, Clone)]
@@ -67,6 +84,18 @@ pub struct ServeConfig {
     pub max_stream_ranks: usize,
     /// How long a drain waits for connections and jobs before giving up.
     pub drain_deadline: Duration,
+    /// Structured JSON access log destination (`None` = no access log).
+    /// Only sampled requests (see `trace_sample_rate`) are logged.
+    pub access_log: Option<PathBuf>,
+    /// Fraction of requests whose span tree is captured for the flight
+    /// recorder and access log, `0.0..=1.0`. Selection is deterministic in
+    /// the request id, so replays sample identically.
+    pub trace_sample_rate: f64,
+    /// Completed-request summaries the flight recorder retains.
+    pub recorder_capacity: usize,
+    /// Slowest requests whose full span capture is retained for
+    /// `GET /debug/trace/{id}`.
+    pub recorder_slowest: usize,
 }
 
 impl Default for ServeConfig {
@@ -84,6 +113,10 @@ impl Default for ServeConfig {
             max_connections: 256,
             max_stream_ranks: 1 << 16,
             drain_deadline: Duration::from_secs(10),
+            access_log: None,
+            trace_sample_rate: 1.0,
+            recorder_capacity: 256,
+            recorder_slowest: 16,
         }
     }
 }
@@ -126,6 +159,8 @@ struct State {
     rejected: AtomicU64,
     active_connections: AtomicUsize,
     started: Instant,
+    recorder: FlightRecorder,
+    access_log: Option<Mutex<std::fs::File>>,
 }
 
 impl State {
@@ -199,6 +234,12 @@ pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
     phasefold_obs::set_enabled(true);
+    let access_log = match &config.access_log {
+        Some(path) => Some(Mutex::new(
+            std::fs::OpenOptions::new().create(true).append(true).open(path)?,
+        )),
+        None => None,
+    };
     let state = Arc::new(State {
         cache: Mutex::new(ResultCache::new(config.cache_entries, config.cache_dir.clone())?),
         queue: JobQueue::new(config.workers, config.queue_depth),
@@ -208,6 +249,8 @@ pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
         rejected: AtomicU64::new(0),
         active_connections: AtomicUsize::new(0),
         started: Instant::now(),
+        recorder: FlightRecorder::new(config.recorder_capacity, config.recorder_slowest),
+        access_log,
         config,
     });
     let run_state = Arc::clone(&state);
@@ -318,7 +361,7 @@ fn handle_connection(state: &Arc<State>, stream: TcpStream) {
                 state.requests.fetch_add(1, Ordering::SeqCst);
                 phasefold_obs::counter!("serve.requests", 1);
                 let keep_alive = req.keep_alive() && !state.shutting_down();
-                let reply = route(state, &req);
+                let reply = handle_request(state, &req);
                 let headers: Vec<(&str, &str)> = reply
                     .headers
                     .iter()
@@ -359,6 +402,120 @@ fn handle_connection(state: &Arc<State>, stream: TcpStream) {
     }
 }
 
+/// Deterministic per-request sampling: hash the request id and compare
+/// against `rate`. No RNG, so a replayed request id samples identically.
+fn sampled(id: u64, rate: f64) -> bool {
+    if rate >= 1.0 {
+        return true;
+    }
+    if rate <= 0.0 {
+        return false;
+    }
+    let h = id.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 11;
+    (h as f64 / (1u64 << 53) as f64) < rate
+}
+
+/// The latency histogram a request records into, by endpoint label.
+/// Names are `&'static str` because they are obs registry keys.
+fn latency_hist(endpoint: &'static str) -> &'static str {
+    match endpoint {
+        "analyze" => "serve.latency.analyze",
+        "healthz" => "serve.latency.healthz",
+        "metrics" => "serve.latency.metrics",
+        "stream_records" => "serve.latency.stream_records",
+        "stream_phases" => "serve.latency.stream_phases",
+        "stream_delete" => "serve.latency.stream_delete",
+        "debug" => "serve.latency.debug",
+        "shutdown" => "serve.latency.shutdown",
+        _ => "serve.latency.other",
+    }
+}
+
+/// Full per-request telemetry lifecycle around [`route`]: mint a
+/// [`TraceCtx`], adopt it for the routing call under a root span, capture
+/// the span tree when sampled, record histograms + flight recorder + the
+/// access log, and stamp `x-request-id` on the response.
+fn handle_request(state: &Arc<State>, req: &Request) -> Reply {
+    let ctx = TraceCtx::mint();
+    let request_id = ctx.trace_id();
+    let capture = sampled(request_id, state.config.trace_sample_rate);
+    if capture {
+        phasefold_obs::trace::begin_capture(request_id);
+    }
+    let t0 = Instant::now();
+    let mut reply = {
+        let _adopt = ctx.adopt();
+        let _root = phasefold_obs::span!("serve.request {} {}", req.method, req.path);
+        route(state, req)
+    };
+    // Fold in the socket-read time: the client's stopwatch starts before
+    // the body crosses the wire, so an honest daemon-side total has to
+    // charge itself for receiving it too.
+    let total_ns = req.read_ns + t0.elapsed().as_nanos() as u64;
+    let spans = capture.then(|| phasefold_obs::trace::end_capture(request_id));
+
+    phasefold_obs::histogram!(latency_hist(reply.meta.endpoint), total_ns);
+    let summary = RequestSummary {
+        id: request_id,
+        endpoint: reply.meta.endpoint,
+        path: req.path.clone(),
+        status: reply.status,
+        queue_ns: reply.meta.queue_ns,
+        analyze_ns: reply.meta.analyze_ns,
+        total_ns,
+        cache_hit: reply.meta.cache_hit,
+        faults: reply.meta.faults,
+    };
+    if capture {
+        access_log(state, &summary, &req.method);
+    }
+    state.recorder.record(summary, spans);
+    reply.headers.push(("x-request-id".to_string(), request_id.to_string()));
+    reply
+}
+
+/// Appends one JSON line per sampled request to the configured access log.
+fn access_log(state: &Arc<State>, s: &RequestSummary, method: &str) {
+    let Some(log) = &state.access_log else { return };
+    let ts_ms = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.as_millis() as u64);
+    let line = format!(
+        "{{\"ts_ms\":{ts_ms},\"request_id\":{},\"method\":\"{}\",\"path\":\"{}\",\
+         \"endpoint\":\"{}\",\"status\":{},\"total_ms\":{:.3},\"queue_ms\":{:.3},\
+         \"analyze_ms\":{:.3},\"cache_hit\":{},\"faults\":{}}}",
+        s.id,
+        json_escape(method),
+        json_escape(&s.path),
+        s.endpoint,
+        s.status,
+        s.total_ns as f64 / 1e6,
+        s.queue_ns as f64 / 1e6,
+        s.analyze_ns as f64 / 1e6,
+        s.cache_hit,
+        s.faults,
+    );
+    let mut file = lock_recover(log);
+    let _ = writeln!(file, "{line}");
+}
+
+/// Per-request measurements a handler reports back to the telemetry
+/// wrapper (attached to [`Reply`], never serialized).
+#[derive(Debug, Clone, Copy)]
+struct ReplyMeta {
+    endpoint: &'static str,
+    queue_ns: u64,
+    analyze_ns: u64,
+    cache_hit: bool,
+    faults: u64,
+}
+
+impl Default for ReplyMeta {
+    fn default() -> ReplyMeta {
+        ReplyMeta { endpoint: "other", queue_ns: 0, analyze_ns: 0, cache_hit: false, faults: 0 }
+    }
+}
+
 /// One routed answer, ready to serialize.
 struct Reply {
     status: u16,
@@ -366,11 +523,12 @@ struct Reply {
     content_type: &'static str,
     headers: Vec<(String, String)>,
     body: Vec<u8>,
+    meta: ReplyMeta,
 }
 
 impl Reply {
     fn new(status: u16, reason: &'static str, content_type: &'static str, body: Vec<u8>) -> Reply {
-        Reply { status, reason, content_type, headers: Vec::new(), body }
+        Reply { status, reason, content_type, headers: Vec::new(), body, meta: ReplyMeta::default() }
     }
 
     fn json(status: u16, reason: &'static str, body: String) -> Reply {
@@ -397,45 +555,70 @@ impl Reply {
 
 fn route(state: &Arc<State>, req: &Request) -> Reply {
     let path = req.path.as_str();
-    match (req.method.as_str(), path) {
-        ("GET", "/healthz") => healthz(state),
-        ("GET", "/metrics") => metrics(state),
-        ("POST", "/v1/analyze") => analyze(state, req),
+    let (endpoint, mut reply) = match (req.method.as_str(), path) {
+        ("GET", "/healthz") => ("healthz", healthz(state)),
+        ("GET", "/metrics") => ("metrics", metrics(state, req)),
+        ("POST", "/v1/analyze") => ("analyze", analyze(state, req)),
+        ("GET", "/debug/requests") => ("debug", debug_requests(state)),
         ("POST", "/admin/shutdown") => {
             state.request_shutdown();
-            Reply::json(200, "OK", "{\"draining\": true}\n".to_string())
+            ("shutdown", Reply::json(200, "OK", "{\"draining\": true}\n".to_string()))
         }
         _ => {
-            if let Some(rest) = path.strip_prefix("/v1/streams/") {
-                return match (req.method.as_str(), rest.split_once('/')) {
-                    ("POST", Some((id, "records"))) => stream_records(state, req, id),
-                    ("GET", Some((id, "phases"))) => stream_phases(state, id),
-                    ("DELETE", None) => stream_delete(state, rest),
-                    _ => Reply::not_found(),
-                };
+            if let Some(id) = path.strip_prefix("/debug/trace/") {
+                if req.method == "GET" {
+                    ("debug", debug_trace(state, id))
+                } else {
+                    ("other", Reply::not_found())
+                }
+            } else if let Some(rest) = path.strip_prefix("/v1/streams/") {
+                match (req.method.as_str(), rest.split_once('/')) {
+                    ("POST", Some((id, "records"))) => {
+                        ("stream_records", stream_records(state, req, id))
+                    }
+                    ("GET", Some((id, "phases"))) => ("stream_phases", stream_phases(state, id)),
+                    ("DELETE", None) => ("stream_delete", stream_delete(state, rest)),
+                    _ => ("other", Reply::not_found()),
+                }
+            } else {
+                ("other", Reply::not_found())
             }
-            Reply::not_found()
         }
-    }
+    };
+    reply.meta.endpoint = endpoint;
+    reply
 }
 
 fn healthz(state: &Arc<State>) -> Reply {
     let body = format!(
-        "{{\n\"status\": \"ok\",\n\"uptime_ms\": {},\n\"sessions\": {},\n\"jobs_in_flight\": {},\n\"active_connections\": {},\n\"requests\": {}\n}}\n",
+        "{{\n\"status\": \"ok\",\n\"uptime_ms\": {},\n\"uptime_seconds\": {},\n\"sessions\": {},\n\"jobs_in_flight\": {},\n\"active_connections\": {},\n\"requests\": {},\n\"requests_total\": {}\n}}\n",
         state.started.elapsed().as_millis(),
+        state.started.elapsed().as_secs(),
         state.session_count(),
         state.queue.in_flight(),
         state.active_connections.load(Ordering::SeqCst),
+        state.requests.load(Ordering::SeqCst),
         state.requests.load(Ordering::SeqCst),
     );
     Reply::json(200, "OK", body)
 }
 
-fn metrics(state: &Arc<State>) -> Reply {
+fn metrics(state: &Arc<State>, req: &Request) -> Reply {
+    match req.query_param("format") {
+        Some("prom") => metrics_prom(state),
+        Some(other) => {
+            Reply::bad_request(format!("unknown metrics format {other:?} (want prom)\n"))
+        }
+        None => metrics_json(state),
+    }
+}
+
+fn metrics_json(state: &Arc<State>) -> Reply {
     let cache_stats = lock_recover(&state.cache).stats();
     let cache_len = lock_recover(&state.cache).len();
     // Server-level gauges first (authoritative, monotone across scrapes),
-    // then the obs export (spans drain per scrape, by design).
+    // then the obs export (spans drain per scrape, by design; counters and
+    // histograms are cumulative).
     let mut body = format!(
         "{{\n\"schema\": \"phasefold-serve-metrics/1\",\n\"uptime_ms\": {},\n\"requests\": {},\n\"rejected\": {},\n\"sessions\": {},\n\"jobs_in_flight\": {},\n\"jobs_completed\": {},\n\"jobs_panicked\": {},\n\"cache_hits\": {},\n\"cache_misses\": {},\n\"cache_evictions\": {},\n\"cache_verify_failures\": {},\n\"cache_entries\": {}\n}}\n",
         state.started.elapsed().as_millis(),
@@ -453,6 +636,91 @@ fn metrics(state: &Arc<State>) -> Reply {
     );
     body.push_str(&phasefold_obs::export::metrics_json(&phasefold_obs::snapshot()));
     Reply::json(200, "OK", body)
+}
+
+/// Prometheus text exposition: server-level series first, then every obs
+/// counter, gauge, and histogram (`_bucket`/`_sum`/`_count`), including
+/// the kernel roofline counters recorded by the analysis pipeline.
+fn metrics_prom(state: &Arc<State>) -> Reply {
+    use std::fmt::Write as _;
+    let cache_stats = lock_recover(&state.cache).stats();
+    let mut body = String::with_capacity(4096);
+    let counters: [(&str, u64); 7] = [
+        ("serve_requests", state.requests.load(Ordering::SeqCst)),
+        ("serve_rejected", state.rejected.load(Ordering::SeqCst)),
+        ("serve_jobs_completed", state.queue.completed() as u64),
+        ("serve_jobs_panicked", state.queue.panicked() as u64),
+        ("serve_cache_hits", cache_stats.hits),
+        ("serve_cache_misses", cache_stats.misses),
+        ("serve_cache_evictions", cache_stats.evictions),
+    ];
+    for (name, v) in counters {
+        let _ = writeln!(body, "# TYPE {name} counter");
+        let _ = writeln!(body, "{name} {v}");
+    }
+    let gauges: [(&str, u64); 4] = [
+        ("serve_uptime_seconds", state.started.elapsed().as_secs()),
+        ("serve_sessions", state.session_count() as u64),
+        ("serve_jobs_in_flight", state.queue.in_flight() as u64),
+        (
+            "serve_active_connections",
+            state.active_connections.load(Ordering::SeqCst) as u64,
+        ),
+    ];
+    for (name, v) in gauges {
+        let _ = writeln!(body, "# TYPE {name} gauge");
+        let _ = writeln!(body, "{name} {v}");
+    }
+    body.push_str(&phasefold_obs::export::prometheus_text(&phasefold_obs::snapshot()));
+    Reply::new(200, "OK", "text/plain; version=0.0.4", body.into_bytes())
+}
+
+/// Flight-recorder summary: recent requests (newest first) and the
+/// retained slowest set, one single-line JSON object per request.
+fn debug_requests(state: &Arc<State>) -> Reply {
+    use std::fmt::Write as _;
+    let recent = state.recorder.recent();
+    let slowest = state.recorder.slowest();
+    let mut body = String::with_capacity(256 + 160 * (recent.len() + slowest.len()));
+    body.push_str("{\n\"schema\": \"phasefold-serve-debug/1\",\n\"recent\": [\n");
+    for (i, s) in recent.iter().enumerate() {
+        let comma = if i + 1 < recent.len() { "," } else { "" };
+        let _ = writeln!(body, "{}{comma}", s.to_json());
+    }
+    body.push_str("],\n\"slowest\": [\n");
+    for (i, (s, span_count)) in slowest.iter().enumerate() {
+        let comma = if i + 1 < slowest.len() { "," } else { "" };
+        let mut line = s.to_json();
+        // Splice the retained span count into the summary object.
+        line.truncate(line.len() - 2);
+        let _ = writeln!(body, "{line}, \"spans_retained\": {span_count} }}{comma}");
+    }
+    body.push_str("]\n}\n");
+    Reply::json(200, "OK", body)
+}
+
+/// Replays a retained slow request's captured span tree as Chrome-trace
+/// JSON (same exporter as `phasefold --profile`), with lane names for
+/// every thread the request touched.
+fn debug_trace(state: &Arc<State>, id: &str) -> Reply {
+    let Ok(id) = id.parse::<u64>() else {
+        return Reply::bad_request("trace id must be a decimal request id\n".to_string());
+    };
+    let Some(slow) = state.recorder.trace(id) else {
+        return Reply::text(
+            404,
+            "Not Found",
+            "no span capture retained for that request id (only sampled slow \
+             requests are kept)\n"
+                .to_string(),
+        );
+    };
+    let snap = phasefold_obs::Snapshot {
+        spans: slow.spans,
+        lanes: phasefold_obs::span::lane_names(),
+        ..phasefold_obs::Snapshot::default()
+    };
+    Reply::json(200, "OK", phasefold_obs::export::chrome_trace_json(&snap))
 }
 
 /// Applies a `?fault-policy=` override to the configured analysis.
@@ -501,21 +769,51 @@ fn analyze(state: &Arc<State>, req: &Request) -> Reply {
     let canonical = prv::write_trace(&trace);
     let key = CacheKey::derive(&canonical, &config);
     let witness = TraceWitness::derive(&canonical);
-    if let Some(report) = lock_recover(&state.cache).get(&key, &witness) {
-        return Reply::text(200, "OK", report)
+    let lookup_t0 = Instant::now();
+    let cached = lock_recover(&state.cache).get(&key, &witness);
+    phasefold_obs::histogram!("serve.cache_lookup", lookup_t0.elapsed().as_nanos() as u64);
+    if let Some(report) = cached {
+        let mut reply = Reply::text(200, "OK", report)
             .header("x-cache", "hit".to_string())
             .header("x-parse-quarantined", parse_quarantined.to_string());
+        reply.meta.cache_hit = true;
+        reply.meta.faults = parse_quarantined as u64;
+        return reply;
     }
 
     // Miss: schedule the analysis on the bounded queue and wait for it.
-    let (tx, rx) = mpsc::channel::<Result<String, String>>();
+    // The job adopts this request's trace context so the spans it (and the
+    // pool workers under it) record attach to the request tree, and it
+    // measures its own queue wait + execution time for the histograms.
+    struct JobResult {
+        outcome: Result<(String, u64), String>,
+        queue_ns: u64,
+        analyze_ns: u64,
+    }
+    let trace_ctx = TraceCtx::current();
+    let submitted = Instant::now();
+    let (tx, rx) = mpsc::channel::<JobResult>();
     let job = Box::new(move || {
-        let _sp = phasefold_obs::span!("serve.analyze_job");
-        let outcome = match try_analyze_trace(&trace, &config) {
-            Ok(analysis) => Ok(render_report(&analysis, &trace.registry)),
-            Err(fault) => Err(format!("{fault}")),
+        let queue_ns = submitted.elapsed().as_nanos() as u64;
+        phasefold_obs::histogram!("serve.queue_wait", queue_ns);
+        // The span must close (and be captured) before the result is sent:
+        // the waiting connection thread ends the capture as soon as the
+        // reply is ready.
+        let (outcome, analyze_ns) = {
+            let _adopt = trace_ctx.map(TraceCtx::adopt);
+            let _sp = phasefold_obs::span!("serve.analyze_job");
+            let t0 = Instant::now();
+            let outcome = match try_analyze_trace(&trace, &config) {
+                Ok(analysis) => {
+                    let faults = analysis.faults.faults.len() as u64;
+                    Ok((render_report(&analysis, &trace.registry), faults))
+                }
+                Err(fault) => Err(format!("{fault}")),
+            };
+            (outcome, t0.elapsed().as_nanos() as u64)
         };
-        let _ = tx.send(outcome);
+        phasefold_obs::histogram!("serve.analyze_time", analyze_ns);
+        let _ = tx.send(JobResult { outcome, queue_ns, analyze_ns });
     });
     match state.queue.try_submit(job) {
         Ok(()) => {}
@@ -532,13 +830,23 @@ fn analyze(state: &Arc<State>, req: &Request) -> Reply {
     // A worker panic would drop `tx`; the disconnect below turns that into
     // a 500 instead of a hang.
     match rx.recv_timeout(Duration::from_secs(600)) {
-        Ok(Ok(report)) => {
+        Ok(JobResult { outcome: Ok((report, analysis_faults)), queue_ns, analyze_ns }) => {
             lock_recover(&state.cache).insert(key, witness, report.clone());
-            Reply::text(200, "OK", report)
+            let mut reply = Reply::text(200, "OK", report)
                 .header("x-cache", "miss".to_string())
-                .header("x-parse-quarantined", parse_quarantined.to_string())
+                .header("x-parse-quarantined", parse_quarantined.to_string());
+            reply.meta.queue_ns = queue_ns;
+            reply.meta.analyze_ns = analyze_ns;
+            reply.meta.faults = parse_quarantined as u64 + analysis_faults;
+            return reply;
         }
-        Ok(Err(fault)) => Reply::text(422, "Unprocessable Entity", format!("{fault}\n")),
+        Ok(JobResult { outcome: Err(fault), queue_ns, analyze_ns }) => {
+            let mut reply = Reply::text(422, "Unprocessable Entity", format!("{fault}\n"));
+            reply.meta.queue_ns = queue_ns;
+            reply.meta.analyze_ns = analyze_ns;
+            reply.meta.faults = parse_quarantined as u64 + 1;
+            reply
+        }
         Err(_) => Reply::text(
             500,
             "Internal Server Error",

@@ -13,6 +13,9 @@
 # crates/cluster/src/kdtree.rs — carry the same file-scoped deny: a panic
 # there aborts every fit/clustering in flight, and the kernel rewrites
 # must stay total functions (bound checks, not unwraps).
+# phasefold-obs denies them crate-wide as well: the telemetry layer runs
+# inside every request and every worker, and instrumentation must never
+# be the thing that takes the instrumented process down.
 # Any unwrap/expect reintroduced there is a hard *error* under clippy (test
 # modules opt back in explicitly with #[allow]). Plain rustc accepts the
 # tool-lint attributes silently; this script runs clippy on the owning
@@ -26,6 +29,6 @@ cd "$(dirname "$0")/.."
 
 echo "== clippy: fault-critical crates (unwrap/expect are hard errors) =="
 cargo clippy -q -p phasefold -p phasefold-model -p phasefold-serve -p phasefold-verify \
-    -p phasefold-regress -p phasefold-cluster --all-targets
+    -p phasefold-regress -p phasefold-cluster -p phasefold-obs --all-targets
 
 echo "lint OK"

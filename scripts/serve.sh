@@ -10,6 +10,9 @@
 #   - the warm /v1/analyze answer is byte-identical to the cold one and
 #     carries `x-cache: hit`,
 #   - worst p99 latency across load levels stays under P99_GATE_MS,
+#   - the daemon's own /metrics latency histogram agrees with the
+#     client-observed p99 (within 25% or 1 ms — telemetry that disagrees
+#     with the client's stopwatch is lying),
 #   - overall cache hit ratio stays above HIT_RATIO_GATE,
 #   - zero dropped well-formed requests,
 #   - the daemon drains gracefully (the serve command itself exits non-zero
@@ -147,6 +150,22 @@ if [[ "$dropped" != "0" ]]; then
     echo "dropped_requests = $dropped (must be 0)"
     fail=1
 fi
+
+# Telemetry self-consistency: the daemon-side latency histogram and the
+# client's own stopwatch must tell the same p99 story at the anchor level
+# (lowest concurrency — with more clients than cores the client stopwatch
+# includes CPU-contention waits the handler never sees). The histogram is
+# log-bucketed, so allow 25% relative or 1 ms absolute slack.
+client_p99=$(extract gate_client_p99_ms)
+daemon_p99=$(extract daemon_p99_ms)
+awk -v c="$client_p99" -v d="$daemon_p99" 'BEGIN {
+    tol = (0.25 * c > 1.0) ? 0.25 * c : 1.0;
+    diff = (d > c) ? d - c : c - d;
+    status = (diff <= tol) ? "ok" : "INCONSISTENT";
+    printf "daemon p99 %.2f ms vs client p99 %.2f ms (|diff| %.2f, tol %.2f)   %s\n", \
+        d, c, diff, tol, status;
+    exit (diff <= tol) ? 0 : 1;
+}' || fail=1
 
 echo "== graceful shutdown =="
 expect_status "POST /admin/shutdown" 200 "$(request POST /admin/shutdown)"
