@@ -1,0 +1,252 @@
+//! **E20 — Durability cost**: what does an acknowledged record cost under
+//! each `--durability` mode?
+//!
+//! One in-process daemon per mode (`none` / `checkpoint` / `wal`), one
+//! streaming session each, the same synthetic record stream pushed in
+//! fixed-size batches over a keep-alive connection. Every `200` from
+//! `POST /v1/streams/{id}/records` is an *acknowledgment* — under `wal`
+//! the daemon has fsync'd the batch to the write-ahead log before
+//! answering, under `checkpoint` it periodically serializes the whole
+//! session, under `none` it only mutates memory. The mode sweep therefore
+//! prices the durability guarantee in acks/sec and per-batch latency.
+//!
+//! Results are printed as a table, written to `results/e20_durability.csv`,
+//! and spliced into `BENCH_serve.json` as a `"durability"` array (the file
+//! is owned by `exp_serve_load`; this experiment appends its block before
+//! the closing brace so both artifacts live in the one serve benchmark
+//! file, one scalar per line, greppable by shell gates).
+//!
+//! ```text
+//! cargo run --release -p phasefold-bench --bin exp_durability
+//!     [BENCH_serve.json] [--iterations N] [--batch-lines N]
+//! ```
+
+use phasefold_bench::{banner, fmt, write_results, Table};
+use phasefold_serve::{Client, Durability, ServeConfig};
+use phasefold_simapp::workloads::synthetic::{build, SyntheticParams};
+use phasefold_simapp::{simulate, SimConfig};
+use phasefold_tracer::{trace_run, TracerConfig};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const DEFAULT_OUT: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+
+struct ModeResult {
+    mode: &'static str,
+    batches: usize,
+    records: usize,
+    wall_ms: f64,
+    acks_per_s: f64,
+    records_per_s: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    relative: f64,
+}
+
+/// The synthetic trace's record lines (comments stripped), joined into
+/// batches of `batch_lines` — the unit a collector would ship.
+fn make_batches(iterations: u64, batch_lines: usize) -> (Vec<String>, usize) {
+    let program = build(&SyntheticParams { iterations, ..SyntheticParams::default() });
+    let out = simulate(&program, &SimConfig { ranks: 1, ..SimConfig::default() });
+    let text =
+        phasefold_model::prv::write_trace(&trace_run(&program.registry, &out.timelines, &TracerConfig::default()));
+    let lines: Vec<&str> = text.lines().filter(|l| !l.starts_with('#')).collect();
+    let records = lines.len();
+    (lines.chunks(batch_lines).map(|c| c.join("\n")).collect(), records)
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 * p) as usize).min(sorted.len() - 1);
+    sorted[idx]
+}
+
+fn run_mode(mode: Durability, batches: &[String], records: usize, state_dir: &PathBuf) -> ModeResult {
+    let _ = std::fs::remove_dir_all(state_dir);
+    let config = ServeConfig {
+        workers: 2,
+        queue_depth: 16,
+        state_dir: (mode != Durability::None).then(|| state_dir.clone()),
+        durability: mode,
+        // Low enough that the stream crosses it several times — otherwise
+        // checkpoint mode never pays its periodic serialization cost and
+        // the sweep prices only the initial checkpoint.
+        checkpoint_every: 1024,
+        ..ServeConfig::default()
+    };
+    let handle = phasefold_serve::serve(config).expect("boot daemon");
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr, Duration::from_secs(60)).expect("connect");
+    let _ = client.request("GET", "/healthz", &[], b""); // untimed warmup
+
+    let mut latencies = Vec::with_capacity(batches.len());
+    let started = Instant::now();
+    for batch in batches {
+        let t0 = Instant::now();
+        let resp = client
+            .request("POST", "/v1/streams/bench/records", &[], batch.as_bytes())
+            .expect("push batch");
+        assert_eq!(resp.status, 200, "push failed: {}", resp.text());
+        latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    drop(client);
+    let stats = handle.shutdown();
+    assert!(stats.clean, "daemon drain was not clean: {stats:?}");
+    let _ = std::fs::remove_dir_all(state_dir);
+
+    latencies.sort_by(f64::total_cmp);
+    ModeResult {
+        mode: mode.name(),
+        batches: batches.len(),
+        records,
+        wall_ms,
+        acks_per_s: batches.len() as f64 / (wall_ms / 1e3),
+        records_per_s: records as f64 / (wall_ms / 1e3),
+        p50_ms: percentile(&latencies, 0.50),
+        p99_ms: percentile(&latencies, 0.99),
+        relative: 1.0, // filled in once the `none` baseline is known
+    }
+}
+
+/// Splices a `"durability"` array into the serve benchmark JSON, replacing
+/// any previous one. The file is line-oriented by construction (one scalar
+/// per line); if it does not exist yet a minimal wrapper is created so
+/// this experiment can run standalone.
+fn splice_into_bench_json(out_path: &str, block: &str) {
+    let existing = std::fs::read_to_string(out_path)
+        .unwrap_or_else(|_| "{\n  \"schema\": \"phasefold-bench-serve/1\"\n}\n".to_string());
+    let mut kept: Vec<&str> = Vec::new();
+    let mut in_durability = false;
+    for line in existing.lines() {
+        if line.trim_start().starts_with("\"durability\":") {
+            in_durability = true;
+            continue;
+        }
+        if in_durability {
+            if line.trim() == "]," || line.trim() == "]" {
+                in_durability = false;
+            }
+            continue;
+        }
+        kept.push(line);
+    }
+    // Drop the closing brace, make the now-last scalar line comma-terminated.
+    while kept.last().is_some_and(|l| l.trim().is_empty() || l.trim() == "}") {
+        kept.pop();
+    }
+    let mut json = String::new();
+    let last = kept.len().saturating_sub(1);
+    for (i, line) in kept.iter().enumerate() {
+        if i == last && !line.trim_end().ends_with(',') && !line.trim_end().ends_with('{') {
+            let _ = writeln!(json, "{},", line.trim_end());
+        } else {
+            let _ = writeln!(json, "{line}");
+        }
+    }
+    json.push_str(block);
+    let _ = writeln!(json, "}}");
+    std::fs::write(out_path, &json).expect("write serve benchmark json");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = DEFAULT_OUT.to_string();
+    let mut iterations = 3000u64;
+    let mut batch_lines = 40usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--iterations" => {
+                iterations = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .expect("--iterations needs a number");
+                i += 2;
+            }
+            "--batch-lines" => {
+                batch_lines = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .expect("--batch-lines needs a number");
+                i += 2;
+            }
+            other => {
+                out_path = other.to_string();
+                i += 1;
+            }
+        }
+    }
+
+    banner(
+        "E20",
+        "acknowledged-record throughput per durability mode",
+        "BENCH_serve.json durability block / results/e20_durability.csv",
+    );
+    let (batches, records) = make_batches(iterations, batch_lines);
+    println!(
+        "{} record lines in {} batches of <= {} lines, one session per mode",
+        records,
+        batches.len(),
+        batch_lines
+    );
+
+    let state_dir = std::env::temp_dir().join(format!("phasefold-e20-{}", std::process::id()));
+    let mut results: Vec<ModeResult> =
+        [Durability::None, Durability::Checkpoint, Durability::Wal]
+            .into_iter()
+            .map(|mode| run_mode(mode, &batches, records, &state_dir))
+            .collect();
+    let baseline = results[0].acks_per_s;
+    for r in &mut results {
+        r.relative = r.acks_per_s / baseline;
+    }
+
+    let mut table = Table::new(&[
+        "durability",
+        "batches",
+        "records",
+        "wall_ms",
+        "acks_per_s",
+        "records_per_s",
+        "p50_ms",
+        "p99_ms",
+        "vs_none",
+    ]);
+    for r in &results {
+        table.row(vec![
+            r.mode.to_string(),
+            r.batches.to_string(),
+            r.records.to_string(),
+            fmt(r.wall_ms, 1),
+            fmt(r.acks_per_s, 1),
+            fmt(r.records_per_s, 1),
+            fmt(r.p50_ms, 3),
+            fmt(r.p99_ms, 3),
+            fmt(r.relative, 3),
+        ]);
+    }
+    println!("{}", table.render_text());
+    let csv_path = write_results("e20_durability.csv", &table.render_csv());
+    println!("csv written to {}", csv_path.display());
+
+    let mut block = String::new();
+    let _ = writeln!(block, "  \"durability\": [");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(
+            block,
+            "    {{ \"mode\": \"{}\", \"batches\": {}, \"records\": {}, \"wall_ms\": {:.3}, \
+             \"acks_per_s\": {:.3}, \"records_per_s\": {:.3}, \"batch_p50_ms\": {:.3}, \
+             \"batch_p99_ms\": {:.3}, \"vs_none\": {:.4} }}{comma}",
+            r.mode, r.batches, r.records, r.wall_ms, r.acks_per_s, r.records_per_s, r.p50_ms,
+            r.p99_ms, r.relative,
+        );
+    }
+    let _ = writeln!(block, "  ]");
+    splice_into_bench_json(&out_path, &block);
+    println!("durability block spliced into {out_path}");
+}

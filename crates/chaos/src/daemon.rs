@@ -1,0 +1,98 @@
+//! Crash harness for the analysis daemon: spawn the real binary, address
+//! it over HTTP, and kill it without warning.
+//!
+//! Durability claims are only testable against a process that actually
+//! dies: an in-process drop runs destructors, flushes buffers, and
+//! generally fails far more politely than a machine does. This harness
+//! spawns the `phasefold serve` *binary*, waits for its port file, and
+//! offers [`DaemonHarness::kill9`] — `SIGKILL`, no drain, no flush — so
+//! crash-recovery tests exercise the same path a power loss would.
+
+use std::io;
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// How long [`DaemonHarness::spawn`] waits for the daemon to publish its
+/// bound address before giving up.
+pub const BOOT_DEADLINE: Duration = Duration::from_secs(30);
+
+/// A running daemon process under test.
+#[derive(Debug)]
+pub struct DaemonHarness {
+    child: Child,
+    addr: String,
+}
+
+impl DaemonHarness {
+    /// Spawns `binary serve --addr 127.0.0.1:0 --port-file <port_file>
+    /// <extra_args…>` and blocks until the port file names the bound
+    /// address (the daemon writes it only once the listener accepts).
+    pub fn spawn(binary: &Path, port_file: &Path, extra_args: &[&str]) -> io::Result<DaemonHarness> {
+        let _ = std::fs::remove_file(port_file); // never trust a stale file
+        let mut cmd = Command::new(binary);
+        cmd.arg("serve")
+            .arg("--addr")
+            .arg("127.0.0.1:0")
+            .arg("--port-file")
+            .arg(port_file)
+            .args(extra_args)
+            .stdout(Stdio::null())
+            .stderr(Stdio::null());
+        let mut child = cmd.spawn()?;
+        let deadline = Instant::now() + BOOT_DEADLINE;
+        let addr = loop {
+            if let Ok(text) = std::fs::read_to_string(port_file) {
+                let addr = text.trim().to_string();
+                if !addr.is_empty() {
+                    break addr;
+                }
+            }
+            if let Some(status) = child.try_wait()? {
+                return Err(io::Error::other(format!(
+                    "daemon exited before binding: {status}"
+                )));
+            }
+            if Instant::now() >= deadline {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(io::Error::other("daemon never published its port file"));
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        };
+        Ok(DaemonHarness { child, addr })
+    }
+
+    /// The daemon's bound `host:port`.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// The daemon's process id (for out-of-band signalling).
+    pub fn pid(&self) -> u32 {
+        self.child.id()
+    }
+
+    /// Kills the daemon the unkind way — `SIGKILL` on Unix, no drain, no
+    /// flush — and reaps it. This is the crash the durability layer is
+    /// supposed to survive.
+    pub fn kill9(mut self) -> io::Result<()> {
+        self.child.kill()?;
+        self.child.wait()?;
+        Ok(())
+    }
+
+    /// Waits for the daemon to exit on its own (e.g. after an
+    /// `/admin/shutdown` request), returning whether it exited cleanly.
+    pub fn wait(mut self) -> io::Result<bool> {
+        Ok(self.child.wait()?.success())
+    }
+}
+
+impl Drop for DaemonHarness {
+    fn drop(&mut self) {
+        // A test that panics must not leak a live daemon.
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}

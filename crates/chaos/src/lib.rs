@@ -23,6 +23,10 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod daemon;
+
+pub use daemon::DaemonHarness;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

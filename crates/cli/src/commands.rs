@@ -538,6 +538,11 @@ pub fn serve(argv: &[String], out: &mut String) -> Result<(), CliError> {
             "max-seconds",
             "access-log",
             "trace-sample-rate",
+            "state-dir",
+            "durability",
+            "checkpoint-every",
+            "max-sessions",
+            "session-ttl",
         ],
         &[],
     )?;
@@ -548,6 +553,21 @@ pub fn serve(argv: &[String], out: &mut String) -> Result<(), CliError> {
     if !(0.0..=1.0).contains(&trace_sample_rate) {
         return Err(CliError::Usage(format!(
             "--trace-sample-rate must be in [0, 1], got {trace_sample_rate}"
+        )));
+    }
+    let durability = match p.get("durability") {
+        None => phasefold_serve::Durability::default(),
+        Some(s) => phasefold_serve::Durability::parse(s).ok_or_else(|| {
+            CliError::Usage(format!(
+                "unknown durability {s:?} (want none|checkpoint|wal)"
+            ))
+        })?,
+    };
+    let state_dir = p.get("state-dir").map(std::path::PathBuf::from);
+    if durability != phasefold_serve::Durability::None && state_dir.is_none() {
+        return Err(CliError::Usage(format!(
+            "--durability {} requires --state-dir",
+            durability.name()
         )));
     }
     let config = phasefold_serve::ServeConfig {
@@ -561,6 +581,11 @@ pub fn serve(argv: &[String], out: &mut String) -> Result<(), CliError> {
         max_stream_ranks: p.get_parsed("max-stream-ranks", 1usize << 16)?.max(1),
         access_log: p.get("access-log").map(std::path::PathBuf::from),
         trace_sample_rate,
+        state_dir,
+        durability,
+        checkpoint_every: p.get_parsed("checkpoint-every", 4096u64)?.max(1),
+        max_sessions: p.get_parsed("max-sessions", 1024usize)?.max(1),
+        session_ttl: std::time::Duration::from_secs(p.get_parsed("session-ttl", 0u64)?),
         ..phasefold_serve::ServeConfig::default()
     };
     let max_seconds: u64 = p.get_parsed("max-seconds", 0)?; // 0 = run forever

@@ -124,6 +124,11 @@ commands:
       [--max-seconds S (0 = until SIGTERM/SIGINT or POST /admin/shutdown)]
       [--access-log F (structured JSON request log, append mode)]
       [--trace-sample-rate R (share of requests traced + logged, default 1)]
+      [--state-dir DIR (session checkpoints + WALs; restored on start)]
+      [--durability none|checkpoint|wal (what an ack promises, default none)]
+      [--checkpoint-every N (accepted records between checkpoints, 4096)]
+      [--max-sessions N (resident streaming sessions, 429 past it, 1024)]
+      [--session-ttl S (evict sessions idle this many seconds, 0 = never)]
   verify                            differential + metamorphic correctness
       gate: fuzz seeded random traces against slow reference kernels and
       paper-derived invariants; replay the minimized regression corpus

@@ -1,0 +1,224 @@
+//! Crash-recovery tests against the real daemon binary: `SIGKILL`
+//! mid-stream, restart on the same `--state-dir`, and the resumed session
+//! must match the uninterrupted one — exactly under `--durability wal`,
+//! rewound at most to the last checkpoint under `--durability checkpoint`.
+//! Torn WAL tails and corrupt checkpoint files must quarantine, not kill
+//! recovery.
+
+use phasefold_chaos::DaemonHarness;
+use phasefold_model::prv;
+use phasefold_simapp::workloads::synthetic::{build, SyntheticParams};
+use phasefold_simapp::{simulate, SimConfig};
+use phasefold_tracer::{trace_run, TracerConfig};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+fn binary() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_phasefold"))
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("phasefold-crash-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Record batches a collector would send: the synthetic trace's body
+/// lines, in order, chunked.
+fn record_batches(iterations: u64, chunk: usize) -> Vec<String> {
+    let program = build(&SyntheticParams { iterations, ..SyntheticParams::default() });
+    let out = simulate(&program, &SimConfig { ranks: 1, ..SimConfig::default() });
+    let text = prv::write_trace(&trace_run(&program.registry, &out.timelines, &TracerConfig::default()));
+    let lines: Vec<&str> = text.lines().filter(|l| !l.starts_with('#')).collect();
+    lines.chunks(chunk).map(|c| c.join("\n")).collect()
+}
+
+fn post_records(addr: &str, id: &str, body: &str) {
+    let resp = phasefold_serve::one_shot(
+        addr,
+        "POST",
+        &format!("/v1/streams/{id}/records"),
+        body.as_bytes(),
+    )
+    .unwrap();
+    assert_eq!(resp.status, 200, "push failed: {}", resp.text());
+}
+
+fn phases(addr: &str, id: &str) -> String {
+    let resp =
+        phasefold_serve::one_shot(addr, "GET", &format!("/v1/streams/{id}/phases"), b"").unwrap();
+    assert_eq!(resp.status, 200, "phases failed: {}", resp.text());
+    resp.text().to_string()
+}
+
+fn json_u64(body: &str, field: &str) -> u64 {
+    let tag = format!("\"{field}\": ");
+    let rest = &body[body.find(&tag).unwrap_or_else(|| panic!("no {field} in {body}")) + tag.len()..];
+    rest.chars().take_while(char::is_ascii_digit).collect::<String>().parse().unwrap()
+}
+
+fn spawn(dir: &Path, durability: &str, extra: &[&str]) -> DaemonHarness {
+    let state = dir.join("state");
+    let mut args = vec![
+        "--durability".to_string(),
+        durability.to_string(),
+        "--state-dir".to_string(),
+        state.to_string_lossy().into_owned(),
+        "--workers".to_string(),
+        "2".to_string(),
+        "--queue-depth".to_string(),
+        "8".to_string(),
+    ];
+    args.extend(extra.iter().map(|s| s.to_string()));
+    let arg_refs: Vec<&str> = args.iter().map(String::as_str).collect();
+    DaemonHarness::spawn(&binary(), &dir.join("addr.txt"), &arg_refs).unwrap()
+}
+
+#[test]
+fn sigkill_mid_stream_loses_no_acknowledged_record_under_wal() {
+    let batches = record_batches(400, 40);
+    let kill_after = batches.len() / 2;
+
+    // Crash path: stream half the batches, SIGKILL with no warning.
+    let crash_dir = fresh_dir("wal-crash");
+    let daemon = spawn(&crash_dir, "wal", &[]);
+    for batch in &batches[..kill_after] {
+        post_records(daemon.addr(), "s1", batch);
+    }
+    daemon.kill9().unwrap();
+
+    // Restart on the same state dir and finish the stream. Nothing that
+    // was acknowledged before the kill may be missing.
+    let daemon = spawn(&crash_dir, "wal", &[]);
+    for batch in &batches[kill_after..] {
+        post_records(daemon.addr(), "s1", batch);
+    }
+    let crashed = phases(daemon.addr(), "s1");
+    drop(daemon);
+
+    // Control: the identical stream into an identically-named session on a
+    // fresh state dir, never interrupted. Same id ⇒ same session seed, so
+    // the trajectories must agree byte for byte.
+    let control_dir = fresh_dir("wal-control");
+    let daemon = spawn(&control_dir, "wal", &[]);
+    for batch in &batches {
+        post_records(daemon.addr(), "s1", batch);
+    }
+    let control = phases(daemon.addr(), "s1");
+    drop(daemon);
+
+    assert_eq!(
+        crashed, control,
+        "resumed session diverged from the uninterrupted trajectory"
+    );
+}
+
+#[test]
+fn sigkill_under_checkpoint_mode_rewinds_at_most_to_the_last_checkpoint() {
+    let batches = record_batches(400, 40);
+    let mid = batches.len() / 2;
+    let dir = fresh_dir("ckpt-crash");
+
+    // Periodic checkpointing is deliberately out of reach: the explicit
+    // checkpoint after `mid` batches is the one recovery must hold.
+    let daemon = spawn(&dir, "checkpoint", &["--checkpoint-every", "1000000"]);
+    for batch in &batches[..mid] {
+        post_records(daemon.addr(), "s1", batch);
+    }
+    let ck =
+        phasefold_serve::one_shot(daemon.addr(), "POST", "/v1/streams/s1/checkpoint", b"").unwrap();
+    assert_eq!(ck.status, 200, "checkpoint failed: {}", ck.text());
+    let at_checkpoint = json_u64(&phases(daemon.addr(), "s1"), "bursts_seen");
+    for batch in &batches[mid..] {
+        post_records(daemon.addr(), "s1", batch);
+    }
+    let at_kill = json_u64(&phases(daemon.addr(), "s1"), "bursts_seen");
+    daemon.kill9().unwrap();
+
+    let daemon = spawn(&dir, "checkpoint", &["--checkpoint-every", "1000000"]);
+    let resumed = json_u64(&phases(daemon.addr(), "s1"), "bursts_seen");
+    assert!(
+        resumed >= at_checkpoint,
+        "resumed session lost checkpointed work: {resumed} < {at_checkpoint}"
+    );
+    assert!(
+        resumed <= at_kill,
+        "resumed session invented bursts: {resumed} > {at_kill}"
+    );
+    // The divergence window is exactly the records since the checkpoint —
+    // and the daemon keeps serving the session.
+    post_records(daemon.addr(), "s1", &batches[batches.len() - 1]);
+    drop(daemon);
+}
+
+#[test]
+fn torn_wal_tail_is_quarantined_on_restart() {
+    let batches = record_batches(300, 50);
+    let dir = fresh_dir("torn-wal");
+    let daemon = spawn(&dir, "wal", &[]);
+    for batch in &batches {
+        post_records(daemon.addr(), "s1", batch);
+    }
+    let before_faults = json_u64(&phases(daemon.addr(), "s1"), "faults");
+    daemon.kill9().unwrap();
+
+    // A torn append: the entry header promises more bytes than exist.
+    let wal_path = dir.join("state/s1.wal");
+    let mut raw = std::fs::OpenOptions::new().append(true).open(&wal_path).unwrap();
+    raw.write_all(&999u64.to_le_bytes()).unwrap();
+    raw.write_all(&10_000u32.to_le_bytes()).unwrap();
+    raw.write_all(b"torn").unwrap();
+    drop(raw);
+
+    let daemon = spawn(&dir, "wal", &[]);
+    let body = phases(daemon.addr(), "s1");
+    assert!(
+        json_u64(&body, "faults") > before_faults,
+        "torn tail must surface as a fault: {body}"
+    );
+    assert!(
+        dir.join("state/s1.wal.corrupt").exists(),
+        "torn tail must be preserved for post-mortems"
+    );
+    // The good prefix replayed: the session is warm and serving.
+    assert!(body.contains("\"warm\": true"), "good prefix lost: {body}");
+    post_records(daemon.addr(), "s1", &batches[0]);
+    drop(daemon);
+}
+
+#[test]
+fn corrupt_checkpoint_file_is_quarantined_on_restart() {
+    let batches = record_batches(300, 50);
+    let dir = fresh_dir("bad-ckpt");
+    let daemon = spawn(&dir, "checkpoint", &[]);
+    for batch in &batches {
+        post_records(daemon.addr(), "s1", batch);
+    }
+    let ck =
+        phasefold_serve::one_shot(daemon.addr(), "POST", "/v1/streams/s1/checkpoint", b"").unwrap();
+    assert_eq!(ck.status, 200);
+    daemon.kill9().unwrap();
+
+    let ckpt_path = dir.join("state/s1.ckpt");
+    let mut bytes = std::fs::read(&ckpt_path).unwrap();
+    let n = bytes.len();
+    bytes[n / 3] ^= 0x40;
+    std::fs::write(&ckpt_path, &bytes).unwrap();
+
+    let daemon = spawn(&dir, "checkpoint", &[]);
+    let body = phases(daemon.addr(), "s1");
+    assert_eq!(
+        json_u64(&body, "bursts_seen"),
+        0,
+        "a corrupt checkpoint must restart the session fresh: {body}"
+    );
+    assert!(json_u64(&body, "faults") >= 1, "corruption must be quarantined: {body}");
+    assert!(
+        dir.join("state/s1.ckpt.corrupt").exists(),
+        "corrupt checkpoint must be preserved for post-mortems"
+    );
+    // The daemon is healthy and the session accepts records again.
+    post_records(daemon.addr(), "s1", &batches[0]);
+    drop(daemon);
+}

@@ -13,16 +13,60 @@
 //! * **snapshot**: at any moment, [`OnlineAnalyzer::snapshot`] fits the
 //!   current folded profiles and returns a regular [`Analysis`].
 //!
-//! The streaming path never re-reads old records, so memory holds only the
-//! folded profiles — the property that makes on-line use viable.
+//! # Memory behavior
+//!
+//! *Before* the structure freezes, per-rank record buffers grow with the
+//! stream: `freeze()` must re-fold the warm-up bursts' samples, so the
+//! warm-up prefix is held whole (O(records until warm-up completes)).
+//! *After* the freeze, two mechanisms bound the session:
+//!
+//! * **buffer compaction** — once a batch's completed bursts are folded,
+//!   each rank's buffer is truncated to the records the extractor can
+//!   still need: from the open burst's start (or the last timestamp when
+//!   no burst is open) onward. Extraction is a single-pass state machine
+//!   ([`phasefold_model::BurstExtractor`]), so nothing behind that point
+//!   can influence future output; compaction is lossless by construction.
+//! * **stratified reservoir sampling** — folded points are capped per
+//!   stratum (stratum = frozen cluster × counter, plus one stack stratum
+//!   per cluster) at [`OnlineAnalyzer::reservoir_cap`] points using
+//!   Algorithm R driven by a splitmix64 stream keyed by the session seed,
+//!   so sampling is deterministic given the seed and the record sequence.
+//!
+//! Steady-state memory is therefore O(open-burst records + reservoir caps
+//! + quarantined faults), independent of stream length.
+//!
+//! # Batch ↔ sampled-stream equivalence bound
+//!
+//! Reservoir sampling never touches the *accounting*: bursts seen, per-rank
+//! burst counts, cluster instance counts, counter totals, mean durations,
+//! and fault reports are exact for any cap. What the cap thins is the
+//! folded point cloud each per-cluster model is fitted from; the fitted
+//! curves of a capped stream track the uncapped stream's within the RMS
+//! tolerance enforced by phasefold-verify's `check_reservoir_stream`
+//! property (curves evaluated on an even grid; RMS difference ≤ 0.08 in
+//! normalized-progress units over the fuzzer spec space, cap ≥ 256; the
+//! residual is dominated by breakpoint placement sensitivity in the
+//! piece-wise fit, not by sample count).
+//!
+//! # Checkpoint / resume
+//!
+//! [`OnlineAnalyzer::encode_checkpoint`] serializes the complete session —
+//! frozen centroids, per-cluster folds and reservoir state, per-rank resume
+//! cursors (buffer tail, extractor state, monotonicity watermark), and the
+//! fault report — into a versioned, length-prefixed, checksummed frame
+//! ([`phasefold_model::codec`]). [`OnlineAnalyzer::restore_checkpoint`]
+//! rebuilds a byte-for-byte equivalent analyzer: feeding both the original
+//! and the restored analyzer the same subsequent records yields identical
+//! snapshots, which is what makes crash/resume in `phasefold serve` exact.
 
 use crate::config::AnalysisConfig;
 use crate::pipeline::Analysis;
 use phasefold_cluster::{cluster_bursts, Clustering};
 use phasefold_folding::fold::{ClusterFold, FoldedPoint, FoldedProfile};
+use phasefold_model::codec::{self, CodecError, Reader, Writer};
 use phasefold_model::{
-    extract_rank_bursts_checked, Burst, CounterKind, Fault, FaultKind, FaultPolicy, FaultReport,
-    RankId, RankTrace, Record, NUM_COUNTERS,
+    Burst, BurstExtractor, CounterKind, Fault, FaultKind, FaultPolicy, FaultReport, ModelError,
+    RankId, RankTrace, Record, Severity, TimeNs, NUM_COUNTERS,
 };
 
 /// Default cap on rank ids a session accepts. The per-rank buffers grow to
@@ -32,6 +76,17 @@ use phasefold_model::{
 /// are faults, not allocations; see [`OnlineAnalyzer::with_max_ranks`].
 pub const DEFAULT_MAX_RANKS: usize = 1 << 16;
 
+/// Default per-stratum cap on folded points (stratum = cluster × counter).
+/// Generous relative to what the segmented fit needs, small enough that a
+/// week-long stream cannot grow a session past a few MiB per cluster.
+pub const DEFAULT_RESERVOIR_CAP: usize = 8192;
+
+/// Magic number of the checkpoint frame ("PFCK").
+pub const CHECKPOINT_MAGIC: u32 = 0x5046_434B;
+
+/// Current checkpoint format version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
 /// Streaming analyzer state.
 #[derive(Debug)]
 pub struct OnlineAnalyzer {
@@ -40,26 +95,41 @@ pub struct OnlineAnalyzer {
     /// Highest accepted rank id is `max_ranks - 1`; higher ids fault
     /// instead of growing the per-rank buffers.
     max_ranks: usize,
-    /// Per-rank record buffers, drained after burst extraction.
-    pending: Vec<RankTrace>,
+    /// Per-stratum folded-point cap (0 = unbounded).
+    reservoir_cap: usize,
+    /// Session seed the reservoir RNG was keyed with.
+    seed: u64,
+    /// splitmix64 state; serialized so resume continues the same stream.
+    rng: u64,
+    /// Per-rank streaming state (record buffer + extraction cursor).
+    streams: Vec<RankStream>,
     /// Bursts buffered during warm-up.
     warmup: Vec<Burst>,
     /// Frozen structure after warm-up.
     frozen: Option<FrozenClustering>,
     /// Per-cluster accumulated folds (same shape as the batch path).
     folds: Vec<OnlineFold>,
-    /// Bursts already consumed from each rank's buffer (burst extraction
-    /// over the growing buffer is idempotent; this is the resume cursor).
-    per_rank_counts: Vec<usize>,
-    /// Extraction faults already reported per rank (same resume-cursor
-    /// discipline as `per_rank_counts`).
-    per_rank_fault_counts: Vec<usize>,
     bursts_seen: usize,
     noise_bursts: usize,
     /// Defective streamed records quarantined so far (lenient path), in
     /// arrival order; carried into every [`OnlineAnalyzer::snapshot`].
     stream_faults: FaultReport,
     records_quarantined: usize,
+}
+
+/// One rank's streaming state: the compacted record buffer, the incremental
+/// burst extractor, and the monotonicity watermark (which must outlive
+/// compaction — the buffer's own tail is not a stable reference point once
+/// old records are dropped).
+#[derive(Debug, Default)]
+struct RankStream {
+    buf: RankTrace,
+    /// Timestamp of the last accepted record; `buf`'s tail time once any
+    /// record has been accepted, but stable across compaction.
+    last_time: Option<TimeNs>,
+    extractor: BurstExtractor,
+    /// Bursts emitted for this rank so far.
+    bursts_seen: usize,
 }
 
 #[derive(Debug)]
@@ -72,15 +142,43 @@ struct FrozenClustering {
     eps: f64,
 }
 
-/// Incrementally-built fold of one cluster.
+/// Incrementally-built fold of one cluster. `points_seen`/`stacks_seen`
+/// count every candidate ever offered to the stratum — the denominators
+/// Algorithm R needs to keep each retained sample uniformly likely.
 #[derive(Debug, Default)]
 struct OnlineFold {
     points: [Vec<FoldedPoint>; NUM_COUNTERS],
+    points_seen: [u64; NUM_COUNTERS],
     stacks: Vec<(f64, std::sync::Arc<phasefold_model::CallStack>)>,
+    stacks_seen: u64,
     totals: [f64; NUM_COUNTERS],
     total_dur_s: f64,
     instances: u32,
     samples: usize,
+}
+
+/// One splitmix64 step (Steele et al.); the full 2^64-period generator in
+/// three multiplies, with state small enough to live in a checkpoint.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Algorithm R: keeps `vec` a uniform sample of everything ever offered.
+/// `cap == 0` means unbounded (always keep).
+fn reservoir_push<T>(vec: &mut Vec<T>, seen: &mut u64, cap: usize, rng: &mut u64, item: T) {
+    *seen += 1;
+    if cap == 0 || vec.len() < cap {
+        vec.push(item);
+        return;
+    }
+    let j = splitmix64(rng) % *seen;
+    if (j as usize) < cap {
+        vec[j as usize] = item;
+    }
 }
 
 impl OnlineAnalyzer {
@@ -91,12 +189,13 @@ impl OnlineAnalyzer {
             config,
             warmup_bursts: warmup_bursts.max(8),
             max_ranks: DEFAULT_MAX_RANKS,
-            pending: Vec::new(),
+            reservoir_cap: DEFAULT_RESERVOIR_CAP,
+            seed: 0,
+            rng: 0,
+            streams: Vec::new(),
             warmup: Vec::new(),
             frozen: None,
             folds: Vec::new(),
-            per_rank_counts: Vec::new(),
-            per_rank_fault_counts: Vec::new(),
             bursts_seen: 0,
             noise_bursts: 0,
             stream_faults: FaultReport::new(),
@@ -114,9 +213,37 @@ impl OnlineAnalyzer {
         self
     }
 
+    /// Keys the reservoir-sampling RNG. Two sessions fed identical records
+    /// with identical seeds retain identical samples (and therefore produce
+    /// identical snapshots); the seed travels in the checkpoint.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> OnlineAnalyzer {
+        self.seed = seed;
+        self.rng = seed;
+        self
+    }
+
+    /// Overrides [`DEFAULT_RESERVOIR_CAP`] (0 disables sampling — points
+    /// then grow without bound, the pre-reservoir behavior).
+    #[must_use]
+    pub fn with_reservoir_cap(mut self, cap: usize) -> OnlineAnalyzer {
+        self.reservoir_cap = cap;
+        self
+    }
+
     /// The rank-id cap this session enforces.
     pub fn max_ranks(&self) -> usize {
         self.max_ranks
+    }
+
+    /// The session's reservoir seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Per-stratum folded-point cap (0 = unbounded).
+    pub fn reservoir_cap(&self) -> usize {
+        self.reservoir_cap
     }
 
     /// True once the structure has been frozen.
@@ -138,7 +265,7 @@ impl OnlineAnalyzer {
     /// Lets batch/online equivalence checks compare burst sequences rank
     /// by rank instead of only in aggregate.
     pub fn rank_bursts_seen(&self, rank: RankId) -> usize {
-        self.per_rank_counts.get(rank.0 as usize).copied().unwrap_or(0)
+        self.streams.get(rank.0 as usize).map_or(0, |s| s.bursts_seen)
     }
 
     /// Defective records quarantined from the stream so far.
@@ -150,6 +277,41 @@ impl OnlineAnalyzer {
     /// are also carried into every [`OnlineAnalyzer::snapshot`].
     pub fn stream_faults(&self) -> &FaultReport {
         &self.stream_faults
+    }
+
+    /// Records an externally-detected fault against this session (e.g. a
+    /// torn write-ahead-log tail discovered during recovery), so it rides
+    /// along in [`OnlineAnalyzer::stream_faults`] and every snapshot.
+    pub fn quarantine(&mut self, fault: Fault) {
+        self.stream_faults.push(fault);
+    }
+
+    /// Estimated resident bytes of this session's retained state: record
+    /// buffers, warm-up bursts, folded reservoirs, and the fault report.
+    /// An estimate (capacity slack and small allocations are not tracked),
+    /// intended for gauges and eviction heuristics, not accounting.
+    pub fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let mut total = size_of::<OnlineAnalyzer>();
+        for s in &self.streams {
+            total += size_of::<RankStream>() + s.buf.len() * size_of::<Record>();
+        }
+        total += self.warmup.len() * size_of::<Burst>();
+        for fold in &self.folds {
+            total += size_of::<OnlineFold>();
+            for pts in &fold.points {
+                total += pts.len() * size_of::<FoldedPoint>();
+            }
+            for (_, stack) in &fold.stacks {
+                total += size_of::<(f64, std::sync::Arc<phasefold_model::CallStack>)>()
+                    + size_of::<phasefold_model::CallStack>()
+                    + stack.frames.len() * size_of::<phasefold_model::RegionId>();
+            }
+        }
+        for fault in &self.stream_faults.faults {
+            total += size_of::<Fault>() + fault.detail.len();
+        }
+        total
     }
 
     /// Feeds a batch of records for `rank` (expected in time order per
@@ -208,74 +370,90 @@ impl OnlineAnalyzer {
                 }
             };
         }
-        while self.pending.len() <= idx {
-            self.pending.push(RankTrace::new());
+        while self.streams.len() <= idx {
+            self.streams.push(RankStream::default());
         }
+        let was_warm = self.frozen.is_some();
+        let min_duration = self.config.min_burst_duration;
         let mut accepted = 0usize;
         let mut aborted: Option<Fault> = None;
+        let mut completed: Vec<Burst> = Vec::new();
+        let mut extraction_faults = FaultReport::new();
         for r in records {
-            match self.pending[idx].push(r.clone()) {
-                Ok(()) => accepted += 1,
-                Err(e) => {
-                    let fault = Fault::from(e).on_rank(rank.0);
-                    match policy {
-                        FaultPolicy::Strict => {
-                            aborted = Some(fault);
-                            break;
-                        }
-                        FaultPolicy::Lenient => {
-                            phasefold_obs::counter!("online.records_quarantined", 1);
-                            self.records_quarantined += 1;
-                            self.stream_faults.push(fault);
-                        }
+            let stream = &mut self.streams[idx];
+            if let Some(previous) = stream.last_time.filter(|last| r.time() < *last) {
+                let fault = Fault::from(ModelError::OutOfOrder { at: r.time(), previous })
+                    .on_rank(rank.0);
+                match policy {
+                    FaultPolicy::Strict => {
+                        aborted = Some(fault);
+                        break;
+                    }
+                    FaultPolicy::Lenient => {
+                        phasefold_obs::counter!("online.records_quarantined", 1);
+                        self.records_quarantined += 1;
+                        self.stream_faults.push(fault);
+                        continue;
                     }
                 }
             }
+            stream.last_time = Some(r.time());
+            // Cannot fail: `last_time` tracks the buffer tail across
+            // compaction, and the check above rejected anything earlier.
+            let _ = stream.buf.push(r.clone());
+            accepted += 1;
+            completed.extend(stream.extractor.push(rank, r, min_duration, &mut extraction_faults));
+        }
+        for fault in extraction_faults.faults {
+            phasefold_obs::counter!("online.bursts_quarantined", 1);
+            self.stream_faults.push(fault);
         }
         // Records accepted before an abort are real: complete their bursts
         // either way so the session state stays consistent.
-        self.drain_completed(rank);
+        for burst in completed {
+            self.process_burst(burst, idx);
+        }
+        // Compact only once warm: `freeze()` re-folds the warm-up bursts'
+        // samples, so pre-freeze buffers must stay whole. The freeze can
+        // happen mid-batch, in which case every rank's buffer compacts now.
+        if self.frozen.is_some() {
+            if was_warm {
+                self.compact(idx);
+            } else {
+                for i in 0..self.streams.len() {
+                    self.compact(i);
+                }
+            }
+        }
         match aborted {
             Some(fault) => Err(fault),
             None => Ok(accepted),
         }
     }
 
-    /// Extracts completed bursts from the rank buffer and processes them.
-    fn drain_completed(&mut self, rank: RankId) {
-        let idx = rank.0 as usize;
-        let stream = &self.pending[idx];
-        let mut extraction_faults = FaultReport::new();
-        let bursts = extract_rank_bursts_checked(
-            rank,
-            stream,
-            self.config.min_burst_duration,
-            &mut extraction_faults,
-        );
-        // Only process bursts not yet seen for this rank (extraction over
-        // the growing buffer is idempotent; skip the consumed prefix). The
-        // same cursor discipline applies to extraction faults: re-running
-        // over the grown buffer re-reports the old ones, so only the tail
-        // is new.
-        while self.per_rank_fault_counts.len() <= idx {
-            self.per_rank_fault_counts.push(0);
-        }
-        let faults_seen = self.per_rank_fault_counts[idx];
-        for fault in extraction_faults.faults.into_iter().skip(faults_seen) {
-            phasefold_obs::counter!("online.bursts_quarantined", 1);
-            self.per_rank_fault_counts[idx] += 1;
-            self.stream_faults.push(fault);
-        }
-        let already = self.per_rank_counts.get(idx).copied().unwrap_or(0);
-        for burst in bursts.into_iter().skip(already) {
-            self.process_burst(burst, idx);
-        }
+    /// Drops buffered records the extractor can no longer need: everything
+    /// strictly before the open burst's start, or — when no burst is open —
+    /// before the last accepted timestamp (a future burst can still open
+    /// *at* that timestamp and claim equal-time samples). Lossless because
+    /// extraction is single-pass and `samples_within` only ever queries
+    /// `[start, end)` of bursts at or after the open point.
+    fn compact(&mut self, idx: usize) {
+        let stream = &mut self.streams[idx];
+        let horizon = match stream.extractor.open_start() {
+            Some(start) => start,
+            None => match stream.last_time {
+                Some(last) => last,
+                None => return,
+            },
+        };
+        let drop = stream.buf.records().partition_point(|r| r.time() < horizon);
+        stream.buf.drop_first(drop);
     }
 
     fn process_burst(&mut self, burst: Burst, rank_idx: usize) {
         phasefold_obs::counter!("online.bursts_streamed", 1);
         self.bursts_seen += 1;
-        self.bump_rank_count(rank_idx);
+        self.streams[rank_idx].bursts_seen += 1;
         if self.frozen.is_none() {
             self.warmup.push(burst);
             if self.warmup.len() >= self.warmup_bursts {
@@ -353,7 +531,8 @@ impl OnlineAnalyzer {
         best.filter(|(_, d)| *d <= frozen.eps * 2.0).map(|(c, _)| c)
     }
 
-    /// Folds one burst's samples into its cluster's profiles.
+    /// Folds one burst's samples into its cluster's profiles, thinning each
+    /// stratum through its reservoir once it reaches the cap.
     fn fold_burst(&mut self, burst: &Burst, rank_idx: usize, cluster: usize) {
         let fold = &mut self.folds[cluster];
         let instance = fold.instances;
@@ -362,14 +541,21 @@ impl OnlineAnalyzer {
         for (i, t) in fold.totals.iter_mut().enumerate() {
             *t += burst.counters.as_array()[i];
         }
-        let stream = &self.pending[rank_idx];
+        let cap = self.reservoir_cap;
+        let stream = &self.streams[rank_idx].buf;
         for sample in phasefold_model::burst::samples_within(stream, burst.start, burst.end) {
             fold.samples += 1;
             let x = sample.time.normalized_within(burst.start, burst.end);
             if !sample.callstack.is_empty() {
                 // One deep copy out of the record buffer; later snapshot
                 // clones of the fold only bump the refcount.
-                fold.stacks.push((x, std::sync::Arc::new(sample.callstack.clone())));
+                reservoir_push(
+                    &mut fold.stacks,
+                    &mut fold.stacks_seen,
+                    cap,
+                    &mut self.rng,
+                    (x, std::sync::Arc::new(sample.callstack.clone())),
+                );
             }
             for (kind, absolute) in sample.counters.iter() {
                 let total = burst.counters[kind];
@@ -378,7 +564,13 @@ impl OnlineAnalyzer {
                 }
                 let delta = absolute - burst.start_counters[kind];
                 let y = (delta / total).clamp(0.0, 1.0);
-                fold.points[kind.index()].push(FoldedPoint { x, y, instance });
+                reservoir_push(
+                    &mut fold.points[kind.index()],
+                    &mut fold.points_seen[kind.index()],
+                    cap,
+                    &mut self.rng,
+                    FoldedPoint { x, y, instance },
+                );
             }
         }
     }
@@ -426,14 +618,193 @@ impl OnlineAnalyzer {
             faults,
         }
     }
-}
 
-impl OnlineAnalyzer {
-    fn bump_rank_count(&mut self, rank_idx: usize) {
-        while self.per_rank_counts.len() <= rank_idx {
-            self.per_rank_counts.push(0);
+    /// Serializes the complete session into a versioned, length-prefixed,
+    /// checksummed frame (see the module docs). The analysis *config* is
+    /// deliberately not serialized — the daemon owns it and re-supplies it
+    /// on [`OnlineAnalyzer::restore_checkpoint`], so a config upgrade does
+    /// not invalidate old checkpoints.
+    pub fn encode_checkpoint(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_usize(self.warmup_bursts);
+        w.put_usize(self.max_ranks);
+        w.put_usize(self.reservoir_cap);
+        w.put_u64(self.seed);
+        w.put_u64(self.rng);
+        w.put_usize(self.bursts_seen);
+        w.put_usize(self.noise_bursts);
+        w.put_usize(self.records_quarantined);
+        w.put_usize(self.stream_faults.faults.len());
+        for fault in &self.stream_faults.faults {
+            codec::put_fault(&mut w, fault);
         }
-        self.per_rank_counts[rank_idx] += 1;
+        w.put_usize(self.streams.len());
+        for s in &self.streams {
+            match s.last_time {
+                None => w.put_bool(false),
+                Some(t) => {
+                    w.put_bool(true);
+                    w.put_u64(t.0);
+                }
+            }
+            w.put_usize(s.bursts_seen);
+            codec::put_extractor(&mut w, &s.extractor);
+            w.put_usize(s.buf.len());
+            for r in s.buf.records() {
+                codec::put_record(&mut w, r);
+            }
+        }
+        w.put_usize(self.warmup.len());
+        for b in &self.warmup {
+            codec::put_burst(&mut w, b);
+        }
+        match &self.frozen {
+            None => w.put_bool(false),
+            Some(f) => {
+                w.put_bool(true);
+                w.put_usize(f.centroids.len());
+                for c in &f.centroids {
+                    w.put_f64(c[0]);
+                    w.put_f64(c[1]);
+                }
+                for (lo, hi) in &f.ranges {
+                    w.put_f64(*lo);
+                    w.put_f64(*hi);
+                }
+                w.put_f64(f.eps);
+            }
+        }
+        w.put_usize(self.folds.len());
+        for fold in &self.folds {
+            for i in 0..NUM_COUNTERS {
+                w.put_usize(fold.points[i].len());
+                for p in &fold.points[i] {
+                    w.put_f64(p.x);
+                    w.put_f64(p.y);
+                    w.put_u32(p.instance);
+                }
+                w.put_u64(fold.points_seen[i]);
+            }
+            w.put_usize(fold.stacks.len());
+            for (x, stack) in &fold.stacks {
+                w.put_f64(*x);
+                codec::put_callstack(&mut w, stack);
+            }
+            w.put_u64(fold.stacks_seen);
+            for t in &fold.totals {
+                w.put_f64(*t);
+            }
+            w.put_f64(fold.total_dur_s);
+            w.put_u32(fold.instances);
+            w.put_usize(fold.samples);
+        }
+        codec::frame(CHECKPOINT_MAGIC, CHECKPOINT_VERSION, &w.into_bytes())
+    }
+
+    /// Rebuilds a session from [`OnlineAnalyzer::encode_checkpoint`] bytes.
+    /// The restored analyzer is behaviorally identical to the one that was
+    /// encoded: identical subsequent input yields identical snapshots.
+    /// Torn, corrupt, or foreign bytes come back as a single
+    /// [`FaultKind::Io`] fault (severity [`Severity::Error`]) for the
+    /// caller to quarantine — never a panic.
+    pub fn restore_checkpoint(
+        config: AnalysisConfig,
+        bytes: &[u8],
+    ) -> Result<OnlineAnalyzer, Fault> {
+        Self::decode_checkpoint(config, bytes).map_err(|e| {
+            Fault::new(FaultKind::Io, format!("checkpoint rejected: {e}"))
+                .severity(Severity::Error)
+        })
+    }
+
+    fn decode_checkpoint(
+        config: AnalysisConfig,
+        bytes: &[u8],
+    ) -> Result<OnlineAnalyzer, CodecError> {
+        let (_version, payload) = codec::unframe(CHECKPOINT_MAGIC, CHECKPOINT_VERSION, bytes)?;
+        let r = &mut Reader::new(payload);
+        let mut a = OnlineAnalyzer::new(config, 8);
+        a.warmup_bursts = r.get_u64()? as usize;
+        a.max_ranks = (r.get_u64()? as usize).max(1);
+        a.reservoir_cap = r.get_u64()? as usize;
+        a.seed = r.get_u64()?;
+        a.rng = r.get_u64()?;
+        a.bursts_seen = r.get_u64()? as usize;
+        a.noise_bursts = r.get_u64()? as usize;
+        a.records_quarantined = r.get_u64()? as usize;
+        let n_faults = r.get_count(2)?;
+        for _ in 0..n_faults {
+            a.stream_faults.push(codec::get_fault(r)?);
+        }
+        let n_streams = r.get_count(1)?;
+        for _ in 0..n_streams {
+            let last_time = if r.get_bool()? { Some(TimeNs(r.get_u64()?)) } else { None };
+            let bursts_seen = r.get_u64()? as usize;
+            let extractor = codec::get_extractor(r)?;
+            let n_records = r.get_count(9)?;
+            let mut buf = RankTrace::new();
+            for _ in 0..n_records {
+                let record = codec::get_record(r)?;
+                buf.push(record).map_err(|e| {
+                    CodecError::Malformed(format!("buffered records out of order: {e}"))
+                })?;
+            }
+            a.streams.push(RankStream { buf, last_time, extractor, bursts_seen });
+        }
+        let n_warmup = r.get_count(8)?;
+        for _ in 0..n_warmup {
+            a.warmup.push(codec::get_burst(r)?);
+        }
+        if r.get_bool()? {
+            let n_centroids = r.get_count(16)?;
+            let mut centroids = Vec::with_capacity(n_centroids);
+            for _ in 0..n_centroids {
+                centroids.push([r.get_f64()?, r.get_f64()?]);
+            }
+            let mut ranges = [(0.0f64, 0.0f64); 2];
+            for range in &mut ranges {
+                *range = (r.get_f64()?, r.get_f64()?);
+            }
+            let eps = r.get_f64()?;
+            a.frozen = Some(FrozenClustering { centroids, ranges, eps });
+        }
+        let n_folds = r.get_count(8)?;
+        for _ in 0..n_folds {
+            let mut fold = OnlineFold::default();
+            for i in 0..NUM_COUNTERS {
+                let n_points = r.get_count(20)?;
+                fold.points[i].reserve(n_points);
+                for _ in 0..n_points {
+                    fold.points[i].push(FoldedPoint {
+                        x: r.get_f64()?,
+                        y: r.get_f64()?,
+                        instance: r.get_u32()?,
+                    });
+                }
+                fold.points_seen[i] = r.get_u64()?;
+            }
+            let n_stacks = r.get_count(8)?;
+            for _ in 0..n_stacks {
+                let x = r.get_f64()?;
+                let stack = codec::get_callstack(r)?;
+                fold.stacks.push((x, std::sync::Arc::new(stack)));
+            }
+            fold.stacks_seen = r.get_u64()?;
+            for t in &mut fold.totals {
+                *t = r.get_f64()?;
+            }
+            fold.total_dur_s = r.get_f64()?;
+            fold.instances = r.get_u32()?;
+            fold.samples = r.get_u64()? as usize;
+            a.folds.push(fold);
+        }
+        if !r.is_done() {
+            return Err(CodecError::Malformed(format!(
+                "{} trailing bytes after checkpoint payload",
+                r.remaining()
+            )));
+        }
+        Ok(a)
     }
 }
 
@@ -602,5 +973,139 @@ mod tests {
         let snap = online.snapshot();
         let folded: usize = snap.models.iter().map(|m| m.instances).sum();
         assert!(folded + online.noise_bursts() <= online.bursts_seen());
+    }
+
+    #[test]
+    fn buffers_compact_after_freeze() {
+        let trace = traced();
+        let mut online = OnlineAnalyzer::new(AnalysisConfig::default(), 50);
+        let mut total_streamed = 0usize;
+        for (rank, stream) in trace.iter_ranks() {
+            total_streamed += stream.len();
+            online.push_records(rank, stream.records());
+        }
+        assert!(online.is_warm());
+        let retained: usize = online.streams.iter().map(|s| s.buf.len()).sum();
+        // Only the open-burst tail may remain — a handful of records, not
+        // the stream. (The pre-compaction behavior retained everything.)
+        assert!(
+            retained * 10 < total_streamed,
+            "retained {retained} of {total_streamed} records"
+        );
+        // The estimate must reflect the compacted footprint, not the
+        // full stream (~96 bytes/record streamed).
+        assert!(online.resident_bytes() < total_streamed * 96);
+    }
+
+    /// Digest of everything a snapshot asserts, bit-level for floats, so
+    /// checkpoint/resume equivalence can demand exactness.
+    fn snapshot_digest(a: &OnlineAnalyzer) -> String {
+        use std::fmt::Write as _;
+        let snap = a.snapshot();
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "bursts={} noise={} quarantined={} faults={} clusters={}",
+            a.bursts_seen(),
+            a.noise_bursts(),
+            a.records_quarantined(),
+            snap.faults.len(),
+            snap.clustering.num_clusters,
+        );
+        for m in &snap.models {
+            let _ = write!(out, " model[instances={} samples={}](", m.instances, m.folded_samples);
+            for bp in m.breakpoints() {
+                let _ = write!(out, "{:016x},", bp.to_bits());
+            }
+            let _ = write!(out, ")");
+        }
+        out
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_resumes_bit_exact() {
+        let trace = traced();
+        let config = AnalysisConfig::default();
+        let mut original = OnlineAnalyzer::new(config.clone(), 60).with_seed(42);
+        let streams: Vec<_> = trace.iter_ranks().collect();
+        // Stream the first half, checkpoint mid-stream (warm, open bursts,
+        // non-trivial reservoir state), restore, then finish both.
+        for (rank, stream) in &streams {
+            let records = stream.records();
+            original.push_records(*rank, &records[..records.len() / 2]);
+        }
+        assert!(original.is_warm(), "checkpoint must capture a frozen session");
+        let bytes = original.encode_checkpoint();
+        let mut restored =
+            OnlineAnalyzer::restore_checkpoint(config, &bytes).expect("clean restore");
+        assert_eq!(restored.seed(), 42);
+        assert_eq!(restored.bursts_seen(), original.bursts_seen());
+        for (rank, stream) in &streams {
+            let records = stream.records();
+            original.push_records(*rank, &records[records.len() / 2..]);
+            restored.push_records(*rank, &records[records.len() / 2..]);
+        }
+        assert_eq!(snapshot_digest(&original), snapshot_digest(&restored));
+    }
+
+    #[test]
+    fn checkpoint_rejects_corruption_with_fault_not_panic() {
+        let trace = traced();
+        let config = AnalysisConfig::default();
+        let mut online = OnlineAnalyzer::new(config.clone(), 60);
+        let (rank, stream) = trace.iter_ranks().next().unwrap();
+        online.push_records(rank, stream.records());
+        let bytes = online.encode_checkpoint();
+        // Flip one payload byte: checksum must catch it.
+        let mut corrupt = bytes.clone();
+        corrupt[bytes.len() / 2] ^= 0x20;
+        let err = OnlineAnalyzer::restore_checkpoint(config.clone(), &corrupt).unwrap_err();
+        assert_eq!(err.kind, FaultKind::Io);
+        assert!(err.detail.contains("checksum"), "got: {}", err.detail);
+        // Truncation (torn write) is equally typed.
+        let err =
+            OnlineAnalyzer::restore_checkpoint(config.clone(), &bytes[..bytes.len() - 5])
+                .unwrap_err();
+        assert_eq!(err.kind, FaultKind::Io);
+        // And an empty file.
+        assert!(OnlineAnalyzer::restore_checkpoint(config, &[]).is_err());
+    }
+
+    #[test]
+    fn reservoir_caps_points_and_stays_deterministic() {
+        let trace = traced();
+        let config = AnalysisConfig::default();
+        let run = |cap: usize, seed: u64| {
+            let mut online =
+                OnlineAnalyzer::new(config.clone(), 60).with_reservoir_cap(cap).with_seed(seed);
+            for (rank, stream) in trace.iter_ranks() {
+                online.push_records(rank, stream.records());
+            }
+            online
+        };
+        let capped = run(64, 7);
+        for fold in &capped.folds {
+            for pts in &fold.points {
+                assert!(pts.len() <= 64, "stratum overflowed: {}", pts.len());
+            }
+            assert!(fold.stacks.len() <= 64);
+        }
+        // Sampling dropped points without touching the accounting.
+        let unbounded = run(0, 7);
+        assert_eq!(capped.bursts_seen(), unbounded.bursts_seen());
+        assert_eq!(capped.noise_bursts(), unbounded.noise_bursts());
+        let sampled_pts: usize =
+            capped.folds.iter().flat_map(|f| f.points.iter()).map(Vec::len).sum();
+        let full_pts: usize =
+            unbounded.folds.iter().flat_map(|f| f.points.iter()).map(Vec::len).sum();
+        assert!(sampled_pts < full_pts, "cap 64 must actually thin ({full_pts} points)");
+        for (cf, uf) in capped.folds.iter().zip(&unbounded.folds) {
+            assert_eq!(cf.instances, uf.instances);
+            assert_eq!(cf.samples, uf.samples);
+            assert_eq!(cf.points_seen, uf.points_seen);
+            assert_eq!(cf.totals, uf.totals);
+        }
+        // Same seed → identical retained sample; snapshots bit-identical.
+        assert_eq!(snapshot_digest(&run(64, 7)), snapshot_digest(&capped));
     }
 }

@@ -73,60 +73,107 @@ pub fn extract_rank_bursts_checked(
     min_duration: DurNs,
     faults: &mut FaultReport,
 ) -> Vec<Burst> {
+    let mut extractor = BurstExtractor::new();
     let mut bursts = Vec::new();
-    let mut region_stack: Vec<RegionId> = Vec::new();
-    // Pending burst start: set on CommExit, consumed on next CommEnter.
-    let mut open: Option<(TimeNs, CounterSet, RegionId)> = None;
     for record in stream.records() {
-        match record {
-            Record::RegionEnter { region, .. } => region_stack.push(*region),
-            Record::RegionExit { region, .. } => {
-                // Tolerate unbalanced exits: pop only on match.
-                if region_stack.last() == Some(region) {
-                    region_stack.pop();
-                }
-            }
-            Record::CommExit { time, counters, .. } => {
-                let enclosing = region_stack.last().copied().unwrap_or(RegionId::UNKNOWN);
-                open = Some((*time, *counters, enclosing));
-            }
-            Record::CommEnter { time, counters, .. } => {
-                if let Some((start, start_counters, enclosing)) = open.take() {
-                    if time.saturating_since(start) >= min_duration && *time > start {
-                        if let Some(kind) = counters.first_decrease_since(&start_counters) {
-                            faults.push(
-                                Fault::new(
-                                    FaultKind::CounterOverflow,
-                                    format!(
-                                        "counter decreased across burst at t={}..{} ({} -> {}); burst quarantined",
-                                        start.0,
-                                        time.0,
-                                        start_counters.as_array()[kind.index()],
-                                        counters.as_array()[kind.index()],
-                                    ),
-                                )
-                                .on_rank(rank.0)
-                                .on_counter(kind)
-                                .severity(Severity::Warning),
-                            );
-                            continue;
-                        }
-                        let ordinal = bursts.len() as u32;
-                        bursts.push(Burst {
-                            id: BurstId { rank, ordinal },
-                            start,
-                            end: *time,
-                            start_counters,
-                            counters: counters.delta_since(&start_counters),
-                            enclosing,
-                        });
-                    }
-                }
-            }
-            Record::Sample(_) => {}
-        }
+        bursts.extend(extractor.push(rank, record, min_duration, faults));
     }
     bursts
+}
+
+/// Incremental burst extraction: the record-at-a-time engine behind
+/// [`extract_rank_bursts_checked`], factored out so the streaming analyzer
+/// can feed records as they arrive *and* serialize the mid-burst state into
+/// a checkpoint. Batch and streaming extraction agree by construction —
+/// both are this one state machine.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BurstExtractor {
+    /// Open user regions, innermost last (`pub(crate)` for the codec).
+    pub(crate) region_stack: Vec<RegionId>,
+    /// Pending burst start: set on `CommExit`, consumed on next `CommEnter`.
+    pub(crate) open: Option<(TimeNs, CounterSet, RegionId)>,
+    /// Ordinal the next *emitted* burst will carry.
+    pub(crate) ordinal: u32,
+}
+
+impl BurstExtractor {
+    /// A fresh extractor at stream start.
+    pub fn new() -> BurstExtractor {
+        BurstExtractor::default()
+    }
+
+    /// Start time of the currently open (not yet closed) burst, if any.
+    /// Everything strictly before this point is fully consumed: no future
+    /// record can change what was already emitted, so callers may discard
+    /// earlier records.
+    pub fn open_start(&self) -> Option<TimeNs> {
+        self.open.map(|(start, _, _)| start)
+    }
+
+    /// Feeds one record; returns the burst it completed, if any. A burst
+    /// whose boundary counters decreased is quarantined into `faults` as
+    /// [`FaultKind::CounterOverflow`] (warning) and `None` is returned.
+    pub fn push(
+        &mut self,
+        rank: RankId,
+        record: &Record,
+        min_duration: DurNs,
+        faults: &mut FaultReport,
+    ) -> Option<Burst> {
+        match record {
+            Record::RegionEnter { region, .. } => {
+                self.region_stack.push(*region);
+                None
+            }
+            Record::RegionExit { region, .. } => {
+                // Tolerate unbalanced exits: pop only on match.
+                if self.region_stack.last() == Some(region) {
+                    self.region_stack.pop();
+                }
+                None
+            }
+            Record::CommExit { time, counters, .. } => {
+                let enclosing = self.region_stack.last().copied().unwrap_or(RegionId::UNKNOWN);
+                self.open = Some((*time, *counters, enclosing));
+                None
+            }
+            Record::CommEnter { time, counters, .. } => {
+                let (start, start_counters, enclosing) = self.open.take()?;
+                if time.saturating_since(start) < min_duration || *time <= start {
+                    return None;
+                }
+                if let Some(kind) = counters.first_decrease_since(&start_counters) {
+                    faults.push(
+                        Fault::new(
+                            FaultKind::CounterOverflow,
+                            format!(
+                                "counter decreased across burst at t={}..{} ({} -> {}); burst quarantined",
+                                start.0,
+                                time.0,
+                                start_counters.as_array()[kind.index()],
+                                counters.as_array()[kind.index()],
+                            ),
+                        )
+                        .on_rank(rank.0)
+                        .on_counter(kind)
+                        .severity(Severity::Warning),
+                    );
+                    return None;
+                }
+                let ordinal = self.ordinal;
+                self.ordinal += 1;
+                Some(Burst {
+                    id: BurstId { rank, ordinal },
+                    start,
+                    end: *time,
+                    start_counters,
+                    counters: counters.delta_since(&start_counters),
+                    enclosing,
+                })
+            }
+            Record::Sample(_) => None,
+        }
+    }
 }
 
 /// Extracts all computation bursts of a trace, rank by rank.

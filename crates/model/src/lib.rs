@@ -30,6 +30,7 @@
 
 pub mod burst;
 pub mod callstack;
+pub mod codec;
 pub mod counter;
 pub mod error;
 pub mod event;
@@ -41,8 +42,9 @@ pub mod trace;
 
 pub use burst::{
     extract_bursts, extract_bursts_checked, extract_rank_bursts, extract_rank_bursts_checked,
-    Burst, BurstId,
+    Burst, BurstExtractor, BurstId,
 };
+pub use codec::CodecError;
 pub use callstack::{CallStack, RegionId, RegionInfo, RegionKind, SourceLocation, SourceRegistry};
 pub use counter::{CounterKind, CounterSet, PartialCounterSet, NUM_COUNTERS};
 pub use error::ModelError;

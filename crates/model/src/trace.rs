@@ -42,6 +42,17 @@ impl RankTrace {
         &self.records
     }
 
+    /// Drops the first `n` records (compaction for streaming consumers
+    /// that have fully processed a prefix). Dropping more records than
+    /// exist simply empties the stream.
+    pub fn drop_first(&mut self, n: usize) {
+        if n >= self.records.len() {
+            self.records.clear();
+        } else {
+            self.records.drain(..n);
+        }
+    }
+
     /// Number of records.
     pub fn len(&self) -> usize {
         self.records.len()

@@ -31,9 +31,13 @@ pub mod queue;
 pub mod recorder;
 pub mod server;
 pub mod shutdown;
+pub mod store;
+pub mod wal;
 
 pub use cache::{CacheKey, CacheStats, ResultCache};
 pub use client::{one_shot, Client, Response};
 pub use queue::{JobQueue, SubmitError};
 pub use recorder::{FlightRecorder, RequestSummary, SlowRequest};
 pub use server::{serve, DrainStats, ServeConfig, ServerHandle};
+pub use store::{Durability, RecoveredSession, SessionStore};
+pub use wal::Wal;

@@ -6,8 +6,9 @@
 //! |---|---|---|
 //! | `POST` | `/v1/analyze` | Full trace → rendered report (cached) |
 //! | `POST` | `/v1/streams/{id}/records` | Stream PRV record lines into a session |
+//! | `POST` | `/v1/streams/{id}/checkpoint` | Persist a session to the state dir now |
 //! | `GET`  | `/v1/streams/{id}/phases` | Incremental snapshot of a session |
-//! | `DELETE` | `/v1/streams/{id}` | Drop a session |
+//! | `DELETE` | `/v1/streams/{id}` | Drop a session (and its on-disk state) |
 //! | `GET`  | `/healthz` | Liveness + session/queue gauges |
 //! | `GET`  | `/metrics` | Server counters + phasefold-obs metrics (`?format=prom` for Prometheus) |
 //! | `GET`  | `/debug/requests` | Flight recorder: recent + slowest request summaries |
@@ -37,10 +38,12 @@ use crate::http::{self, Request};
 use crate::queue::{lock_recover, JobQueue, SubmitError};
 use crate::recorder::{FlightRecorder, RequestSummary};
 use crate::shutdown;
+use crate::store::{self, Durability, RecoveredSession, SessionStore};
+use crate::wal::Wal;
 use phasefold::report::render_report;
 use phasefold::{try_analyze_trace, AnalysisConfig, FaultPolicy, OnlineAnalyzer};
 use phasefold_model::prv;
-use phasefold_model::{Record, RankId};
+use phasefold_model::{Fault, FaultKind, Severity};
 use phasefold_obs::export::json_escape;
 use phasefold_obs::trace::TraceCtx;
 use std::collections::HashMap;
@@ -96,6 +99,23 @@ pub struct ServeConfig {
     /// Slowest requests whose full span capture is retained for
     /// `GET /debug/trace/{id}`.
     pub recorder_slowest: usize,
+    /// Directory holding per-session checkpoints and write-ahead logs
+    /// (`None` = in-memory sessions only; required for any durability
+    /// beyond [`Durability::None`]). Sessions checkpointed here are
+    /// restored on daemon start.
+    pub state_dir: Option<PathBuf>,
+    /// What the daemon promises about acknowledged streamed records.
+    pub durability: Durability,
+    /// Accepted records between automatic checkpoints (`checkpoint` and
+    /// `wal` modes).
+    pub checkpoint_every: u64,
+    /// Live streaming sessions the daemon holds at once; creation past the
+    /// cap is answered `429`.
+    pub max_sessions: usize,
+    /// Idle sessions untouched for this long are evicted (checkpointed
+    /// first when a state dir is configured, so they resume transparently
+    /// on next touch). `Duration::ZERO` disables the sweep.
+    pub session_ttl: Duration,
 }
 
 impl Default for ServeConfig {
@@ -117,6 +137,11 @@ impl Default for ServeConfig {
             trace_sample_rate: 1.0,
             recorder_capacity: 256,
             recorder_slowest: 16,
+            state_dir: None,
+            durability: Durability::None,
+            checkpoint_every: 4096,
+            max_sessions: 1024,
+            session_ttl: Duration::ZERO,
         }
     }
 }
@@ -141,12 +166,43 @@ pub struct DrainStats {
     pub jobs_at_exit: usize,
 }
 
+/// Everything about one session that must change under a single lock: the
+/// analyzer, its write-ahead log, and the checkpoint bookkeeping that ties
+/// them together (`applied_seq` must always describe `analyzer`).
+struct SessionInner {
+    analyzer: OnlineAnalyzer,
+    wal: Option<Wal>,
+    /// Highest WAL sequence number reflected in `analyzer`.
+    applied_seq: u64,
+    /// Accepted records since the last checkpoint (drives the periodic
+    /// checkpoint in `checkpoint` / `wal` modes).
+    records_since_checkpoint: u64,
+}
+
 /// One streaming session: the fault policy is fixed at creation and kept
 /// beside the analyzer so every later request is handled under the same
 /// policy it was created with (parse strictness included).
 struct StreamSession {
     policy: FaultPolicy,
-    analyzer: Mutex<OnlineAnalyzer>,
+    inner: Mutex<SessionInner>,
+    /// Milliseconds since daemon start when the session was last addressed;
+    /// the idle-TTL sweep evicts sessions whose touch is stale.
+    last_touch_ms: AtomicU64,
+}
+
+impl StreamSession {
+    fn from_recovered(rec: RecoveredSession, now_ms: u64) -> StreamSession {
+        StreamSession {
+            policy: rec.policy,
+            inner: Mutex::new(SessionInner {
+                analyzer: rec.analyzer,
+                wal: rec.wal,
+                applied_seq: rec.applied_seq,
+                records_since_checkpoint: 0,
+            }),
+            last_touch_ms: AtomicU64::new(now_ms),
+        }
+    }
 }
 
 struct State {
@@ -154,9 +210,12 @@ struct State {
     cache: Mutex<ResultCache>,
     queue: JobQueue,
     sessions: Mutex<HashMap<String, Arc<StreamSession>>>,
+    store: Option<SessionStore>,
     shutdown: AtomicBool,
     requests: AtomicU64,
     rejected: AtomicU64,
+    sessions_evicted: AtomicU64,
+    sessions_rejected: AtomicU64,
     active_connections: AtomicUsize,
     started: Instant,
     recorder: FlightRecorder,
@@ -174,6 +233,15 @@ impl State {
 
     fn session_count(&self) -> usize {
         lock_recover(&self.sessions).len()
+    }
+
+    /// Milliseconds since the daemon started (the session-touch clock).
+    fn now_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    fn touch(&self, session: &StreamSession) {
+        session.last_touch_ms.store(self.now_ms(), Ordering::SeqCst);
     }
 }
 
@@ -240,13 +308,38 @@ pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
         )),
         None => None,
     };
+    let session_store = match (&config.state_dir, config.durability) {
+        (None, Durability::None) => None,
+        (None, mode) => {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("--durability {} requires --state-dir", mode.name()),
+            ))
+        }
+        (Some(dir), mode) => {
+            Some(SessionStore::open(dir.clone(), mode, config.checkpoint_every)?)
+        }
+    };
+    // Resume every session checkpointed in the state dir before the first
+    // request can land: `GET /v1/streams/{id}/phases` must answer from
+    // resumed state immediately after a restart.
+    let mut initial_sessions = HashMap::new();
+    if let Some(s) = &session_store {
+        for rec in s.recover(&config.analysis, config.warmup_bursts, config.max_stream_ranks) {
+            phasefold_obs::counter!("serve.sessions_resumed", 1);
+            initial_sessions.insert(rec.id.clone(), Arc::new(StreamSession::from_recovered(rec, 0)));
+        }
+    }
     let state = Arc::new(State {
         cache: Mutex::new(ResultCache::new(config.cache_entries, config.cache_dir.clone())?),
         queue: JobQueue::new(config.workers, config.queue_depth),
-        sessions: Mutex::new(HashMap::new()),
+        sessions: Mutex::new(initial_sessions),
+        store: session_store,
         shutdown: AtomicBool::new(false),
         requests: AtomicU64::new(0),
         rejected: AtomicU64::new(0),
+        sessions_evicted: AtomicU64::new(0),
+        sessions_rejected: AtomicU64::new(0),
         active_connections: AtomicUsize::new(0),
         started: Instant::now(),
         recorder: FlightRecorder::new(config.recorder_capacity, config.recorder_slowest),
@@ -262,10 +355,18 @@ pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
 
 fn run(state: &Arc<State>, listener: &TcpListener) -> DrainStats {
     let mut conn_threads: Vec<JoinHandle<()>> = Vec::new();
+    let mut last_sweep = Instant::now();
     while !state.shutting_down() {
         if shutdown::signalled() {
             state.request_shutdown();
             break;
+        }
+        // The non-blocking accept loop iterates at least every 5ms, so a
+        // ~1s sweep cadence costs nothing and keeps idle-session eviction
+        // off the request path.
+        if last_sweep.elapsed() >= Duration::from_secs(1) {
+            last_sweep = Instant::now();
+            sweep_idle_sessions(state);
         }
         match listener.accept() {
             Ok((stream, _peer)) => {
@@ -329,6 +430,23 @@ fn run(state: &Arc<State>, listener: &TcpListener) -> DrainStats {
     for h in conn_threads {
         if h.is_finished() {
             let _ = h.join();
+        }
+    }
+    // Final checkpoint on the way out: a graceful restart under
+    // `checkpoint` durability should lose nothing, and under `wal` it
+    // shrinks the next start to a restore with no replay.
+    if let Some(session_store) = &state.store {
+        if session_store.durability.auto_checkpoint() {
+            let sessions: Vec<(String, Arc<StreamSession>)> = lock_recover(&state.sessions)
+                .iter()
+                .map(|(id, s)| (id.clone(), Arc::clone(s)))
+                .collect();
+            for (id, session) in sessions {
+                let mut inner = lock_recover(&session.inner);
+                if checkpoint_now(session_store, &id, session.policy, &mut inner).is_err() {
+                    phasefold_obs::counter!("serve.checkpoint_failures", 1);
+                }
+            }
         }
     }
     let connections_at_exit = state.active_connections.load(Ordering::SeqCst);
@@ -424,6 +542,7 @@ fn latency_hist(endpoint: &'static str) -> &'static str {
         "metrics" => "serve.latency.metrics",
         "stream_records" => "serve.latency.stream_records",
         "stream_phases" => "serve.latency.stream_phases",
+        "stream_checkpoint" => "serve.latency.stream_checkpoint",
         "stream_delete" => "serve.latency.stream_delete",
         "debug" => "serve.latency.debug",
         "shutdown" => "serve.latency.shutdown",
@@ -576,6 +695,9 @@ fn route(state: &Arc<State>, req: &Request) -> Reply {
                     ("POST", Some((id, "records"))) => {
                         ("stream_records", stream_records(state, req, id))
                     }
+                    ("POST", Some((id, "checkpoint"))) => {
+                        ("stream_checkpoint", stream_checkpoint(state, id))
+                    }
                     ("GET", Some((id, "phases"))) => ("stream_phases", stream_phases(state, id)),
                     ("DELETE", None) => ("stream_delete", stream_delete(state, rest)),
                     _ => ("other", Reply::not_found()),
@@ -620,11 +742,13 @@ fn metrics_json(state: &Arc<State>) -> Reply {
     // then the obs export (spans drain per scrape, by design; counters and
     // histograms are cumulative).
     let mut body = format!(
-        "{{\n\"schema\": \"phasefold-serve-metrics/1\",\n\"uptime_ms\": {},\n\"requests\": {},\n\"rejected\": {},\n\"sessions\": {},\n\"jobs_in_flight\": {},\n\"jobs_completed\": {},\n\"jobs_panicked\": {},\n\"cache_hits\": {},\n\"cache_misses\": {},\n\"cache_evictions\": {},\n\"cache_verify_failures\": {},\n\"cache_entries\": {}\n}}\n",
+        "{{\n\"schema\": \"phasefold-serve-metrics/1\",\n\"uptime_ms\": {},\n\"requests\": {},\n\"rejected\": {},\n\"sessions\": {},\n\"sessions_evicted\": {},\n\"sessions_rejected\": {},\n\"jobs_in_flight\": {},\n\"jobs_completed\": {},\n\"jobs_panicked\": {},\n\"cache_hits\": {},\n\"cache_misses\": {},\n\"cache_evictions\": {},\n\"cache_verify_failures\": {},\n\"cache_entries\": {}\n}}\n",
         state.started.elapsed().as_millis(),
         state.requests.load(Ordering::SeqCst),
         state.rejected.load(Ordering::SeqCst),
         state.session_count(),
+        state.sessions_evicted.load(Ordering::SeqCst),
+        state.sessions_rejected.load(Ordering::SeqCst),
         state.queue.in_flight(),
         state.queue.completed(),
         state.queue.panicked(),
@@ -645,9 +769,11 @@ fn metrics_prom(state: &Arc<State>) -> Reply {
     use std::fmt::Write as _;
     let cache_stats = lock_recover(&state.cache).stats();
     let mut body = String::with_capacity(4096);
-    let counters: [(&str, u64); 7] = [
+    let counters: [(&str, u64); 9] = [
         ("serve_requests", state.requests.load(Ordering::SeqCst)),
         ("serve_rejected", state.rejected.load(Ordering::SeqCst)),
+        ("serve_sessions_evicted", state.sessions_evicted.load(Ordering::SeqCst)),
+        ("serve_sessions_rejected", state.sessions_rejected.load(Ordering::SeqCst)),
         ("serve_jobs_completed", state.queue.completed() as u64),
         ("serve_jobs_panicked", state.queue.panicked() as u64),
         ("serve_cache_hits", cache_stats.hits),
@@ -855,10 +981,67 @@ fn analyze(state: &Arc<State>, req: &Request) -> Reply {
     }
 }
 
+/// Writes `id`'s checkpoint and, on success, resets its WAL (every entry
+/// is now covered by the checkpoint) and its records-since counter.
+fn checkpoint_now(
+    session_store: &SessionStore,
+    id: &str,
+    policy: FaultPolicy,
+    inner: &mut SessionInner,
+) -> std::io::Result<()> {
+    session_store.write_checkpoint(id, policy, inner.applied_seq, &inner.analyzer)?;
+    if let Some(wal) = &mut inner.wal {
+        wal.reset()?;
+    }
+    inner.records_since_checkpoint = 0;
+    phasefold_obs::counter!("serve.checkpoints_written", 1);
+    Ok(())
+}
+
+/// Evicts sessions idle past `session_ttl`. With a state dir configured
+/// the evicted session is checkpointed first, so the eviction is a spill:
+/// the next request to the same id resumes it from disk transparently.
+fn sweep_idle_sessions(state: &Arc<State>) {
+    let ttl_ms = state.config.session_ttl.as_millis() as u64;
+    if ttl_ms == 0 {
+        return;
+    }
+    let now_ms = state.now_ms();
+    let expired: Vec<(String, Arc<StreamSession>)> = {
+        let mut sessions = lock_recover(&state.sessions);
+        let ids: Vec<String> = sessions
+            .iter()
+            .filter(|(_, s)| {
+                now_ms.saturating_sub(s.last_touch_ms.load(Ordering::SeqCst)) >= ttl_ms
+            })
+            .map(|(id, _)| id.clone())
+            .collect();
+        ids.into_iter().filter_map(|id| sessions.remove(&id).map(|s| (id, s))).collect()
+    };
+    for (id, session) in expired {
+        if let Some(session_store) = &state.store {
+            let mut inner = lock_recover(&session.inner);
+            if checkpoint_now(session_store, &id, session.policy, &mut inner).is_err() {
+                // Losing the spill would lose acknowledged records in
+                // checkpoint mode: keep the session resident instead.
+                phasefold_obs::counter!("serve.checkpoint_failures", 1);
+                drop(inner);
+                lock_recover(&state.sessions).insert(id, session);
+                continue;
+            }
+        }
+        state.sessions_evicted.fetch_add(1, Ordering::SeqCst);
+        phasefold_obs::counter!("serve.sessions_evicted", 1);
+    }
+}
+
 /// Gets (or lazily creates) the streaming session `id`. A session's fault
 /// policy is fixed when it is created; a later request whose explicit
 /// `?fault-policy=` differs is answered `409` instead of being silently
-/// handled under the session's policy.
+/// handled under the session's policy. With a state dir, a session evicted
+/// to disk is resumed here rather than recreated; brand-new sessions write
+/// an initial checkpoint (persisting their policy) and, under `wal`
+/// durability, open their log before the first record is accepted.
 fn session(state: &Arc<State>, req: &Request, id: &str) -> Result<Arc<StreamSession>, Reply> {
     if id.is_empty() || id.len() > 128 || !id.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_') {
         return Err(Reply::bad_request(format!(
@@ -869,31 +1052,94 @@ fn session(state: &Arc<State>, req: &Request, id: &str) -> Result<Arc<StreamSess
     let overridden = req.query_param("fault-policy").is_some();
     let warmup = state.config.warmup_bursts;
     let max_ranks = state.config.max_stream_ranks;
-    let mut sessions = lock_recover(&state.sessions);
-    let entry = sessions.entry(id.to_string()).or_insert_with(|| {
-        phasefold_obs::counter!("serve.sessions_created", 1);
-        Arc::new(StreamSession {
-            policy: config.fault_policy,
-            analyzer: Mutex::new(
-                OnlineAnalyzer::new(config.clone(), warmup).with_max_ranks(max_ranks),
-            ),
-        })
-    });
-    if overridden && entry.policy != config.fault_policy {
-        let created_as = match entry.policy {
+    let policy_conflict = |created: FaultPolicy| {
+        let created_as = match created {
             FaultPolicy::Strict => "strict",
             FaultPolicy::Lenient => "lenient",
         };
-        return Err(Reply::text(
+        Reply::text(
             409,
             "Conflict",
             format!(
                 "session {id:?} was created with fault-policy {created_as}; \
                  delete it to change the policy\n"
             ),
-        ));
+        )
+    };
+    let mut sessions = lock_recover(&state.sessions);
+    if let Some(entry) = sessions.get(id) {
+        if overridden && entry.policy != config.fault_policy {
+            return Err(policy_conflict(entry.policy));
+        }
+        return Ok(Arc::clone(entry));
     }
-    Ok(Arc::clone(entry))
+    // Admission control before any allocation or disk work: the map is the
+    // resident-memory bound, so creation (and resumption) past the cap is
+    // shed with 429 rather than grown past it.
+    if sessions.len() >= state.config.max_sessions {
+        state.sessions_rejected.fetch_add(1, Ordering::SeqCst);
+        phasefold_obs::counter!("serve.sessions_rejected", 1);
+        return Err(Reply::text(
+            429,
+            "Too Many Requests",
+            format!(
+                "session cap {} reached; delete or wait out idle sessions\n",
+                state.config.max_sessions
+            ),
+        )
+        .header("retry-after", "1".to_string()));
+    }
+    if let Some(session_store) = &state.store {
+        // An evicted (or pre-restart) session resumes from disk.
+        if let Some(rec) =
+            session_store.recover_session(id, &state.config.analysis, warmup, max_ranks)
+        {
+            if overridden && rec.policy != config.fault_policy {
+                return Err(policy_conflict(rec.policy));
+            }
+            phasefold_obs::counter!("serve.sessions_resumed", 1);
+            let entry = Arc::new(StreamSession::from_recovered(rec, state.now_ms()));
+            sessions.insert(id.to_string(), Arc::clone(&entry));
+            return Ok(entry);
+        }
+    }
+    let analyzer = OnlineAnalyzer::new(config.clone(), warmup)
+        .with_max_ranks(max_ranks)
+        .with_seed(store::session_seed(id));
+    let mut inner = SessionInner {
+        analyzer,
+        wal: None,
+        applied_seq: 0,
+        records_since_checkpoint: 0,
+    };
+    if let Some(session_store) = &state.store {
+        // The initial checkpoint persists the session's policy, so recovery
+        // handles it under the rules it was created with; failing to set up
+        // durability must fail the request, not silently degrade it.
+        let ready = session_store
+            .write_checkpoint(id, config.fault_policy, 0, &inner.analyzer)
+            .and_then(|()| {
+                if session_store.durability.wal() {
+                    inner.wal = Some(Wal::open(&session_store.wal_path(id), 1)?);
+                }
+                Ok(())
+            });
+        if let Err(e) = ready {
+            return Err(Reply::text(
+                500,
+                "Internal Server Error",
+                format!("could not persist new session {id:?}: {e}\n"),
+            ));
+        }
+    }
+    phasefold_obs::counter!("serve.sessions_created", 1);
+    let entry = Arc::new(StreamSession {
+        policy: config.fault_policy,
+        inner: Mutex::new(inner),
+        last_touch_ms: AtomicU64::new(state.now_ms()),
+    });
+    sessions.insert(id.to_string(), Arc::clone(&entry));
+    Ok(entry)
 }
 
 fn stream_records(state: &Arc<State>, req: &Request, id: &str) -> Reply {
@@ -904,93 +1150,135 @@ fn stream_records(state: &Arc<State>, req: &Request, id: &str) -> Reply {
     let Ok(text) = std::str::from_utf8(&req.body) else {
         return Reply::bad_request("record body is not UTF-8\n".to_string());
     };
-
-    // Parse the batch, grouping consecutive same-rank records so
-    // `try_push_records` sees few large batches instead of many singletons.
-    // Parse strictness follows the session's policy, the same policy the
-    // analyzer pushes under — never a per-request override.
-    let mut batches: Vec<(RankId, Vec<Record>)> = Vec::new();
-    let mut malformed = 0usize;
+    state.touch(&session);
     let strict = session.policy == FaultPolicy::Strict;
     let max_ranks = state.config.max_stream_ranks;
-    for (line_no, line) in text.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue; // headers/comments are legal but carry no records
-        }
-        match prv::parse_record_line(line, line_no + 1) {
-            // An out-of-range rank id would make the session allocate
-            // per-rank state up to it: reject before it reaches the
-            // analyzer (which enforces the same cap as a backstop).
-            Ok((rank, _)) if rank.0 as usize >= max_ranks => {
-                if strict {
-                    return Reply::text(
-                        422,
-                        "Unprocessable Entity",
-                        format!(
-                            "line {}: rank {} exceeds the per-session rank cap {max_ranks}\n",
-                            line_no + 1,
-                            rank.0
-                        ),
-                    );
-                }
-                malformed += 1;
+    let mut inner = lock_recover(&session.inner);
+
+    // Durability contract: the body reaches the write-ahead log — fsync'd —
+    // before any record is applied or acknowledged. The entry is appended
+    // even when the apply below answers 422: replay re-runs the identical
+    // apply, so a rejected batch deterministically re-keeps the same
+    // accepted prefix it kept live.
+    if let Some(appended) = inner.wal.as_mut().map(|wal| wal.append(&req.body)) {
+        match appended {
+            Ok(seq) => inner.applied_seq = seq,
+            Err(e) => {
+                phasefold_obs::counter!("serve.wal_append_failures", 1);
+                return Reply::text(
+                    500,
+                    "Internal Server Error",
+                    format!("write-ahead log append failed, records not accepted: {e}\n"),
+                );
             }
-            Ok((rank, record)) => match batches.last_mut() {
-                Some((last_rank, batch)) if *last_rank == rank => batch.push(record),
-                _ => batches.push((rank, vec![record])),
-            },
-            Err(e) if strict => {
-                return Reply::text(422, "Unprocessable Entity", format!("{e}\n"));
-            }
-            Err(_) => malformed += 1,
         }
     }
 
-    let mut accepted = 0usize;
-    let (quarantined, faults_total) = {
-        let mut analyzer = lock_recover(&session.analyzer);
-        let before = analyzer.records_quarantined();
-        for (rank, batch) in &batches {
-            match analyzer.try_push_records(*rank, batch) {
-                Ok(n) => accepted += n,
-                Err(fault) => {
-                    // Strict session: the batch aborted on this fault.
-                    return Reply::text(422, "Unprocessable Entity", format!("{fault}\n"));
-                }
-            }
+    let outcome = store::apply_record_lines(&mut inner.analyzer, strict, max_ranks, text);
+    inner.records_since_checkpoint += outcome.accepted as u64;
+    if let Some(session_store) = &state.store {
+        if session_store.durability.auto_checkpoint()
+            && inner.records_since_checkpoint >= session_store.checkpoint_every
+            && checkpoint_now(session_store, id, session.policy, &mut inner).is_err()
+        {
+            // The periodic checkpoint is an optimization of recovery time,
+            // not the acknowledgment barrier — keep serving, surface it.
+            phasefold_obs::counter!("serve.checkpoint_failures", 1);
+            inner.analyzer.quarantine(
+                Fault::new(
+                    FaultKind::Io,
+                    "periodic checkpoint failed; recovery will replay more of the log",
+                )
+                .severity(Severity::Warning),
+            );
         }
-        (
-            analyzer.records_quarantined() - before,
-            analyzer.stream_faults().faults.len(),
-        )
-    };
+    }
+    if let Some(reject) = outcome.rejected {
+        return Reply::text(422, "Unprocessable Entity", reject);
+    }
     Reply::json(
         200,
         "OK",
         format!(
-            "{{\n\"session\": \"{id}\",\n\"accepted\": {accepted},\n\"quarantined\": {quarantined},\n\"malformed\": {malformed},\n\"stream_faults\": {faults_total}\n}}\n"
+            "{{\n\"session\": \"{id}\",\n\"accepted\": {},\n\"quarantined\": {},\n\"malformed\": {},\n\"stream_faults\": {}\n}}\n",
+            outcome.accepted, outcome.quarantined, outcome.malformed, outcome.stream_faults_total,
         ),
     )
 }
 
-fn stream_phases(state: &Arc<State>, id: &str) -> Reply {
-    let session = {
-        let sessions = lock_recover(&state.sessions);
-        match sessions.get(id) {
-            Some(s) => Arc::clone(s),
-            None => return Reply::not_found(),
-        }
+/// Looks `id` up in the resident map, falling back to a disk resume for a
+/// session the idle-TTL sweep spilled. Read-only endpoints use this so an
+/// evicted session stays addressable; `None` means the session genuinely
+/// does not exist (or the resident cap blocks resuming it right now).
+fn resident_or_resumed(state: &Arc<State>, id: &str) -> Option<Arc<StreamSession>> {
+    let mut sessions = lock_recover(&state.sessions);
+    if let Some(s) = sessions.get(id) {
+        return Some(Arc::clone(s));
+    }
+    let session_store = state.store.as_ref()?;
+    if sessions.len() >= state.config.max_sessions {
+        return None;
+    }
+    let rec = session_store.recover_session(
+        id,
+        &state.config.analysis,
+        state.config.warmup_bursts,
+        state.config.max_stream_ranks,
+    )?;
+    phasefold_obs::counter!("serve.sessions_resumed", 1);
+    let entry = Arc::new(StreamSession::from_recovered(rec, state.now_ms()));
+    sessions.insert(id.to_string(), Arc::clone(&entry));
+    Some(entry)
+}
+
+/// `POST /v1/streams/{id}/checkpoint`: persist the session now. `404` for
+/// an unknown session, `409` when the daemon runs without a state dir.
+fn stream_checkpoint(state: &Arc<State>, id: &str) -> Reply {
+    let Some(session) = resident_or_resumed(state, id) else {
+        return Reply::not_found();
     };
-    let analyzer = lock_recover(&session.analyzer);
-    let analysis = analyzer.snapshot();
+    let Some(session_store) = &state.store else {
+        return Reply::text(
+            409,
+            "Conflict",
+            "daemon runs without --state-dir; checkpointing is disabled\n".to_string(),
+        );
+    };
+    state.touch(&session);
+    let mut inner = lock_recover(&session.inner);
+    match checkpoint_now(session_store, id, session.policy, &mut inner) {
+        Ok(()) => Reply::json(
+            200,
+            "OK",
+            format!(
+                "{{\n\"session\": \"{id}\",\n\"checkpointed\": true,\n\"applied_seq\": {},\n\"resident_bytes\": {}\n}}\n",
+                inner.applied_seq,
+                inner.analyzer.resident_bytes(),
+            ),
+        ),
+        Err(e) => {
+            phasefold_obs::counter!("serve.checkpoint_failures", 1);
+            Reply::text(500, "Internal Server Error", format!("checkpoint failed: {e}\n"))
+        }
+    }
+}
+
+fn stream_phases(state: &Arc<State>, id: &str) -> Reply {
+    let Some(session) = resident_or_resumed(state, id) else {
+        return Reply::not_found();
+    };
+    state.touch(&session);
+    let inner = lock_recover(&session.inner);
+    let resident_bytes = inner.analyzer.resident_bytes();
+    phasefold_obs::gauge!("serve.session_resident_bytes", resident_bytes as u64);
+    let analysis = inner.analyzer.snapshot();
     let num_phases: usize = analysis.models.iter().map(|m| m.phases.len()).sum();
     let body = format!(
-        "{{\n\"session\": \"{id}\",\n\"warm\": {},\n\"bursts_seen\": {},\n\"noise_bursts\": {},\n\"records_quarantined\": {},\n\"num_clusters\": {},\n\"num_models\": {},\n\"num_phases\": {num_phases},\n\"faults\": {}\n}}\n",
-        analyzer.is_warm(),
-        analyzer.bursts_seen(),
-        analyzer.noise_bursts(),
-        analyzer.records_quarantined(),
+        "{{\n\"session\": \"{id}\",\n\"warm\": {},\n\"bursts_seen\": {},\n\"noise_bursts\": {},\n\"records_quarantined\": {},\n\"resident_bytes\": {resident_bytes},\n\"num_clusters\": {},\n\"num_models\": {},\n\"num_phases\": {num_phases},\n\"faults\": {}\n}}\n",
+        inner.analyzer.is_warm(),
+        inner.analyzer.bursts_seen(),
+        inner.analyzer.noise_bursts(),
+        inner.analyzer.records_quarantined(),
         analysis.clustering.num_clusters,
         analysis.models.len(),
         analysis.faults.faults.len(),
@@ -999,8 +1287,19 @@ fn stream_phases(state: &Arc<State>, id: &str) -> Reply {
 }
 
 fn stream_delete(state: &Arc<State>, id: &str) -> Reply {
-    match lock_recover(&state.sessions).remove(id) {
-        Some(_) => Reply::json(200, "OK", format!("{{\"deleted\": \"{id}\"}}\n")),
-        None => Reply::not_found(),
+    let in_map = lock_recover(&state.sessions).remove(id).is_some();
+    // A session evicted to disk (or left by a previous run) has no map
+    // entry but still owns files; DELETE must reclaim those too.
+    let on_disk = state
+        .store
+        .as_ref()
+        .is_some_and(|s| s.ckpt_path(id).exists());
+    if let Some(session_store) = &state.store {
+        session_store.remove(id);
+    }
+    if in_map || on_disk {
+        Reply::json(200, "OK", format!("{{\"deleted\": \"{id}\"}}\n"))
+    } else {
+        Reply::not_found()
     }
 }

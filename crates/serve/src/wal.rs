@@ -1,0 +1,252 @@
+//! Per-session write-ahead record log.
+//!
+//! Under `--durability wal` every `POST /v1/streams/{id}/records` body is
+//! appended here and `fsync`'d **before** the HTTP acknowledgment, so an
+//! acknowledged batch survives `kill -9`. On restart, entries with a
+//! sequence number past the last checkpoint's `applied_seq` replay through
+//! the same deterministic apply path the live handler uses, reproducing
+//! the pre-crash session state exactly.
+//!
+//! ## Framing
+//!
+//! ```text
+//! entry := [seq u64 le][len u32 le][fnv1a64(body) u64 le][body bytes]
+//! ```
+//!
+//! A torn tail (the daemon died mid-append) shows up as a truncated entry
+//! or a checksum mismatch; [`read_log`] stops at the last good entry and
+//! reports the defect so recovery can quarantine it through the fault
+//! taxonomy instead of panicking. `len` is capped at [`MAX_BODY_LEN`] —
+//! a corrupt length field fails fast rather than demanding a huge read.
+
+use phasefold_model::codec::fnv1a64;
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+
+/// Largest believable entry body (the HTTP layer bounds request bodies far
+/// below this; anything bigger is corruption).
+pub const MAX_BODY_LEN: u32 = 64 * 1024 * 1024;
+
+const ENTRY_HEADER: usize = 8 + 4 + 8;
+
+/// An open, append-only session log. Every [`Wal::append`] is durable
+/// (`sync_data`) before it returns.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    next_seq: u64,
+}
+
+impl Wal {
+    /// Opens (creating if missing) the log at `path`, appending from
+    /// `next_seq`. Recovery computes `next_seq` from what it read back;
+    /// fresh sessions start at 1.
+    pub fn open(path: &Path, next_seq: u64) -> std::io::Result<Wal> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Wal { file, path: path.to_path_buf(), next_seq: next_seq.max(1) })
+    }
+
+    /// The log's path on disk.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Sequence number the next append will carry.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Appends one entry and flushes it to stable storage; returns the
+    /// entry's sequence number. Only after this returns may the caller
+    /// acknowledge the data it framed.
+    pub fn append(&mut self, body: &[u8]) -> std::io::Result<u64> {
+        let seq = self.next_seq;
+        let mut entry = Vec::with_capacity(ENTRY_HEADER + body.len());
+        entry.extend_from_slice(&seq.to_le_bytes());
+        entry.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        entry.extend_from_slice(&fnv1a64(body).to_le_bytes());
+        entry.extend_from_slice(body);
+        self.file.write_all(&entry)?;
+        self.file.sync_data()?;
+        self.next_seq = seq + 1;
+        Ok(seq)
+    }
+
+    /// Empties the log after a successful checkpoint (whose `applied_seq`
+    /// already covers every entry here). Sequence numbers stay monotone
+    /// across resets so a replay can always order entries against the
+    /// checkpoint.
+    pub fn reset(&mut self) -> std::io::Result<()> {
+        self.file.set_len(0)?;
+        self.file.seek(SeekFrom::Start(0))?;
+        self.file.sync_data()
+    }
+}
+
+/// One decoded log entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalEntry {
+    /// Sequence number (compared against the checkpoint's `applied_seq`).
+    pub seq: u64,
+    /// The record-batch body exactly as the client sent it.
+    pub body: Vec<u8>,
+}
+
+/// Everything [`read_log`] learned about a session log.
+#[derive(Debug, Default)]
+pub struct WalContents {
+    /// Entries that passed framing and checksum, in file order.
+    pub entries: Vec<WalEntry>,
+    /// Byte offset of the end of the last good entry; bytes past it are
+    /// the torn/corrupt tail.
+    pub good_len: u64,
+    /// Present when trailing bytes had to be abandoned; describes why.
+    pub torn: Option<String>,
+}
+
+/// Reads a session log back, stopping at the first defect. Missing file ≡
+/// empty log. IO errors propagate; *content* defects never do — they come
+/// back as [`WalContents::torn`] for the caller to quarantine.
+pub fn read_log(path: &Path) -> std::io::Result<WalContents> {
+    let mut bytes = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut bytes)?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(WalContents::default()),
+        Err(e) => return Err(e),
+    }
+    let mut out = WalContents::default();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        if bytes.len() - pos < ENTRY_HEADER {
+            out.torn = Some(format!(
+                "torn entry header at offset {pos} ({} trailing bytes)",
+                bytes.len() - pos
+            ));
+            break;
+        }
+        let seq = u64::from_le_bytes(
+            bytes[pos..pos + 8].try_into().unwrap_or_default(),
+        );
+        let len = u32::from_le_bytes(
+            bytes[pos + 8..pos + 12].try_into().unwrap_or_default(),
+        );
+        let sum = u64::from_le_bytes(
+            bytes[pos + 12..pos + 20].try_into().unwrap_or_default(),
+        );
+        if len > MAX_BODY_LEN {
+            out.torn = Some(format!(
+                "implausible entry length {len} at offset {pos} (corrupt header)"
+            ));
+            break;
+        }
+        let body_start = pos + ENTRY_HEADER;
+        let body_end = body_start + len as usize;
+        if body_end > bytes.len() {
+            out.torn = Some(format!(
+                "torn entry body at offset {pos} (seq {seq}: wanted {len} bytes, {} present)",
+                bytes.len() - body_start
+            ));
+            break;
+        }
+        let body = &bytes[body_start..body_end];
+        if fnv1a64(body) != sum {
+            out.torn = Some(format!(
+                "checksum mismatch at offset {pos} (seq {seq}); entry and tail abandoned"
+            ));
+            break;
+        }
+        out.entries.push(WalEntry { seq, body: body.to_vec() });
+        pos = body_end;
+        out.good_len = pos as u64;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("phasefold-wal-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("session.wal")
+    }
+
+    #[test]
+    fn append_read_roundtrip() {
+        let path = tmp("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let mut wal = Wal::open(&path, 1).unwrap();
+        assert_eq!(wal.append(b"C 0 X 100 SEND 1,2").unwrap(), 1);
+        assert_eq!(wal.append(b"C 0 E 200 SEND 3,4").unwrap(), 2);
+        let contents = read_log(&path).unwrap();
+        assert!(contents.torn.is_none());
+        assert_eq!(contents.entries.len(), 2);
+        assert_eq!(contents.entries[0].seq, 1);
+        assert_eq!(contents.entries[1].body, b"C 0 E 200 SEND 3,4");
+        assert_eq!(contents.good_len, std::fs::metadata(&path).unwrap().len());
+    }
+
+    #[test]
+    fn torn_tail_preserves_good_prefix() {
+        let path = tmp("torn");
+        let _ = std::fs::remove_file(&path);
+        let mut wal = Wal::open(&path, 1).unwrap();
+        wal.append(b"good entry one").unwrap();
+        wal.append(b"good entry two").unwrap();
+        // Simulate a kill mid-append: a partial third entry.
+        let mut raw = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+        raw.write_all(&3u64.to_le_bytes()).unwrap();
+        raw.write_all(&100u32.to_le_bytes()).unwrap(); // promises 100 bytes
+        raw.write_all(b"only a few").unwrap();
+        drop(raw);
+        let contents = read_log(&path).unwrap();
+        assert_eq!(contents.entries.len(), 2, "good prefix must survive");
+        assert!(contents.torn.is_some());
+        assert!(contents.good_len < std::fs::metadata(&path).unwrap().len());
+    }
+
+    #[test]
+    fn corrupt_body_stops_replay() {
+        let path = tmp("corrupt");
+        let _ = std::fs::remove_file(&path);
+        let mut wal = Wal::open(&path, 1).unwrap();
+        wal.append(b"entry before the corruption").unwrap();
+        wal.append(b"this entry gets a bit flipped").unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 3] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        let contents = read_log(&path).unwrap();
+        assert_eq!(contents.entries.len(), 1);
+        assert!(contents.torn.unwrap().contains("checksum"));
+    }
+
+    #[test]
+    fn reset_keeps_sequence_monotone() {
+        let path = tmp("reset");
+        let _ = std::fs::remove_file(&path);
+        let mut wal = Wal::open(&path, 1).unwrap();
+        wal.append(b"a").unwrap();
+        wal.append(b"b").unwrap();
+        wal.reset().unwrap();
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 0);
+        assert_eq!(wal.append(b"c").unwrap(), 3, "seq must not restart after reset");
+        let contents = read_log(&path).unwrap();
+        assert_eq!(contents.entries.len(), 1);
+        assert_eq!(contents.entries[0].seq, 3);
+    }
+
+    #[test]
+    fn missing_file_reads_as_empty() {
+        let path = tmp("missing").join("never-created.wal");
+        let contents = read_log(&path).unwrap();
+        assert!(contents.entries.is_empty());
+        assert!(contents.torn.is_none());
+    }
+}

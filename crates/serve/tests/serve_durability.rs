@@ -1,0 +1,177 @@
+//! Durable-session tests over the wire: restart resumption, the session
+//! cap, and idle-TTL eviction with transparent resume. Crash (`kill -9`)
+//! recovery is exercised end-to-end against the real binary in the CLI
+//! crate's `serve_crash` tests; these stay in-process.
+
+mod common;
+
+use common::{boot, test_config, trace_text};
+use phasefold_serve::{Durability, ServeConfig};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn state_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("phasefold-durable-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn durable_config(dir: &std::path::Path, durability: Durability) -> ServeConfig {
+    ServeConfig {
+        state_dir: Some(dir.to_path_buf()),
+        durability,
+        ..test_config()
+    }
+}
+
+/// Strips the volatile `uptime`-style field: everything in a phases body
+/// is deterministic state, so bodies are comparable verbatim.
+fn phases(addr: &str, id: &str) -> String {
+    let resp =
+        phasefold_serve::one_shot(addr, "GET", &format!("/v1/streams/{id}/phases"), b"").unwrap();
+    assert_eq!(resp.status, 200, "phases failed: {}", resp.text());
+    resp.text().to_string()
+}
+
+#[test]
+fn durability_without_state_dir_is_refused_at_boot() {
+    let config = ServeConfig { durability: Durability::Wal, ..test_config() };
+    let err = match phasefold_serve::serve(config) {
+        Err(e) => e,
+        Ok(_) => panic!("wal without state dir must not boot"),
+    };
+    assert!(err.to_string().contains("--state-dir"), "got: {err}");
+}
+
+#[test]
+fn graceful_restart_resumes_sessions_byte_identical() {
+    let dir = state_dir("restart");
+    let trace = trace_text(300, 1, 7);
+    let before = {
+        let (handle, addr) = boot(durable_config(&dir, Durability::Wal));
+        let resp = phasefold_serve::one_shot(
+            &addr,
+            "POST",
+            "/v1/streams/s1/records",
+            trace.as_bytes(),
+        )
+        .unwrap();
+        assert_eq!(resp.status, 200, "push failed: {}", resp.text());
+        let body = phases(&addr, "s1");
+        assert!(body.contains("\"warm\": true"), "session never warmed: {body}");
+        assert!(body.contains("\"resident_bytes\""));
+        let stats = handle.shutdown();
+        assert!(stats.clean);
+        body
+    };
+
+    // Same state dir, fresh daemon: the session must answer immediately,
+    // from restored state, without a single record being re-sent.
+    let (handle, addr) = boot(durable_config(&dir, Durability::Wal));
+    let after = phases(&addr, "s1");
+    assert_eq!(before, after, "resumed snapshot diverged from the pre-restart one");
+
+    // DELETE reclaims the on-disk artifacts too: a third boot knows
+    // nothing about the session.
+    let deleted =
+        phasefold_serve::one_shot(&addr, "DELETE", "/v1/streams/s1", b"").unwrap();
+    assert_eq!(deleted.status, 200);
+    handle.shutdown();
+    let (handle, addr) = boot(durable_config(&dir, Durability::Wal));
+    let gone =
+        phasefold_serve::one_shot(&addr, "GET", "/v1/streams/s1/phases", b"").unwrap();
+    assert_eq!(gone.status, 404);
+    handle.shutdown();
+}
+
+#[test]
+fn explicit_checkpoint_endpoint_persists_and_reports() {
+    let dir = state_dir("endpoint");
+    let (handle, addr) = boot(durable_config(&dir, Durability::Checkpoint));
+    let trace = trace_text(120, 1, 3);
+    let resp =
+        phasefold_serve::one_shot(&addr, "POST", "/v1/streams/s1/records", trace.as_bytes())
+            .unwrap();
+    assert_eq!(resp.status, 200);
+    let ck = phasefold_serve::one_shot(&addr, "POST", "/v1/streams/s1/checkpoint", b"").unwrap();
+    assert_eq!(ck.status, 200, "checkpoint failed: {}", ck.text());
+    assert!(ck.text().contains("\"checkpointed\": true"));
+    assert!(dir.join("s1.ckpt").exists(), "checkpoint file missing");
+
+    let missing =
+        phasefold_serve::one_shot(&addr, "POST", "/v1/streams/nope/checkpoint", b"").unwrap();
+    assert_eq!(missing.status, 404);
+    handle.shutdown();
+
+    // Without a state dir the endpoint is a 409, not a crash.
+    let (handle, addr) = boot(test_config());
+    let r = phasefold_serve::one_shot(&addr, "POST", "/v1/streams/s1/records", trace.as_bytes())
+        .unwrap();
+    assert_eq!(r.status, 200);
+    let ck = phasefold_serve::one_shot(&addr, "POST", "/v1/streams/s1/checkpoint", b"").unwrap();
+    assert_eq!(ck.status, 409, "got: {}", ck.text());
+    handle.shutdown();
+}
+
+#[test]
+fn session_cap_sheds_with_429() {
+    let config = ServeConfig { max_sessions: 2, ..test_config() };
+    let (handle, addr) = boot(config);
+    let line = b"R 0 E 1000 0\n";
+    for id in ["a", "b"] {
+        let resp = phasefold_serve::one_shot(
+            &addr,
+            "POST",
+            &format!("/v1/streams/{id}/records"),
+            line,
+        )
+        .unwrap();
+        assert_eq!(resp.status, 200);
+    }
+    let over =
+        phasefold_serve::one_shot(&addr, "POST", "/v1/streams/c/records", line).unwrap();
+    assert_eq!(over.status, 429, "got: {}", over.text());
+    assert!(over.text().contains("session cap"));
+
+    // Existing sessions still work, and the shed is counted.
+    let ok = phasefold_serve::one_shot(&addr, "POST", "/v1/streams/a/records", line).unwrap();
+    assert_eq!(ok.status, 200);
+    let metrics = phasefold_serve::one_shot(&addr, "GET", "/metrics", b"").unwrap();
+    assert!(metrics.text().contains("\"sessions_rejected\": 1"), "got: {}", metrics.text());
+    handle.shutdown();
+}
+
+#[test]
+fn idle_ttl_evicts_to_disk_and_resumes_transparently() {
+    let dir = state_dir("ttl");
+    let config = ServeConfig {
+        session_ttl: Duration::from_millis(200),
+        ..durable_config(&dir, Durability::Checkpoint)
+    };
+    let (handle, addr) = boot(config);
+    let trace = trace_text(200, 1, 5);
+    let resp =
+        phasefold_serve::one_shot(&addr, "POST", "/v1/streams/s1/records", trace.as_bytes())
+            .unwrap();
+    assert_eq!(resp.status, 200);
+    let before = phases(&addr, "s1");
+
+    // The sweep runs about once a second; wait for the eviction to land.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let health = phasefold_serve::one_shot(&addr, "GET", "/healthz", b"").unwrap();
+        if health.text().contains("\"sessions\": 0") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "session was never evicted: {}", health.text());
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    let metrics = phasefold_serve::one_shot(&addr, "GET", "/metrics", b"").unwrap();
+    assert!(metrics.text().contains("\"sessions_evicted\": 1"), "got: {}", metrics.text());
+
+    // The evicted session was spilled, not lost: addressing it again
+    // resumes it from disk with identical state.
+    let after = phases(&addr, "s1");
+    assert_eq!(before, after, "TTL spill/resume changed the session");
+    handle.shutdown();
+}

@@ -78,6 +78,8 @@ pub fn replay_case(case: &Case, seed: u64) -> Vec<Divergence> {
     ));
     divergences.extend(metamorphic::check_fold_reorder(case, &mut rng_for(seed, 0xF01D), seed));
     divergences.extend(metamorphic::check_batch_online(case, seed));
+    divergences.extend(metamorphic::check_checkpoint_roundtrip(case, seed));
+    divergences.extend(metamorphic::check_reservoir_stream(case, seed));
     divergences
 }
 

@@ -7,6 +7,11 @@
 # `#![deny(clippy::unwrap_used, clippy::expect_used)]` attributes, and
 # phasefold-serve denies them crate-wide (a panic on a connection thread
 # kills a live client; the daemon must never unwrap request-derived data).
+# That crate-wide deny deliberately covers the durability layer —
+# crates/serve/src/{store,wal}.rs — where the stakes are higher still: a
+# panic during WAL replay or checkpoint recovery turns one corrupt byte on
+# disk into a daemon that can never boot again. Torn tails and bad
+# checkpoints must flow through the fault taxonomy, never through unwrap.
 # phasefold-verify denies them crate-wide too: an oracle that panics
 # mid-fuzz hides every divergence the remaining seeds would have found.
 # The hot kernels — crates/regress/src/{segdp,linalg}.rs and

@@ -16,7 +16,11 @@
 #   - overall cache hit ratio stays above HIT_RATIO_GATE,
 #   - zero dropped well-formed requests,
 #   - the daemon drains gracefully (the serve command itself exits non-zero
-#     on a non-clean drain, and its output must say clean=true).
+#     on a non-clean drain, and its output must say clean=true),
+#   - kill-and-resume: a second daemon booted with `--durability wal` is
+#     SIGKILLed mid-stream and rebooted on the same --state-dir; the
+#     resumed session's /phases answer must be byte-identical to the one
+#     served just before the kill — zero acknowledged records lost.
 #
 # Usage:
 #   scripts/serve.sh
@@ -182,6 +186,64 @@ if ! grep -q 'clean=true' "$SERVE_LOG"; then
 fi
 echo "ok: daemon drained cleanly"
 cat "$SERVE_LOG"
+
+echo "== kill-and-resume: no acknowledged record may outlive a SIGKILL =="
+STATE_DIR="$WORK/state"
+RECORDS="$WORK/records.txt"
+grep -v '^#' "$TRACE" >"$RECORDS"
+TOTAL_LINES=$(wc -l <"$RECORDS")
+HALF=$((TOTAL_LINES / 2))
+
+boot_durable() {
+    rm -f "$PORT_FILE"
+    "$PHASEFOLD" serve --addr 127.0.0.1:0 --workers 2 --queue-depth 16 \
+        --state-dir "$STATE_DIR" --durability wal \
+        --port-file "$PORT_FILE" >>"$SERVE_LOG" 2>&1 &
+    SERVER_PID=$!
+    ADDR=""
+    for _ in $(seq 1 100); do
+        if [[ -s "$PORT_FILE" ]]; then
+            ADDR=$(cat "$PORT_FILE")
+            break
+        fi
+        if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+            echo "FAIL: durable daemon died during boot"; tail -20 "$SERVE_LOG"; exit 1
+        fi
+        sleep 0.1
+    done
+    [[ -n "$ADDR" ]] || { echo "FAIL: durable daemon never published its port"; exit 1; }
+}
+
+boot_durable
+expect_status "POST records (first half)" 200 \
+    "$(request POST /v1/streams/gate/records "$(head -n "$HALF" "$RECORDS")")"
+expect_status "POST records (second half)" 200 \
+    "$(request POST /v1/streams/gate/records "$(tail -n +"$((HALF + 1))" "$RECORDS")")"
+BEFORE=$(request GET /v1/streams/gate/phases)
+expect_status "GET phases (before kill)" 200 "$BEFORE"
+
+kill -9 "$SERVER_PID" 2>/dev/null
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+echo "daemon SIGKILLed; rebooting on the same state dir"
+
+boot_durable
+AFTER=$(request GET /v1/streams/gate/phases)
+expect_status "GET phases (resumed)" 200 "$AFTER"
+if [[ "$(body_of "$BEFORE")" != "$(body_of "$AFTER")" ]]; then
+    echo "FAIL: resumed session lost acknowledged records"
+    echo "--- before kill:"; body_of "$BEFORE"
+    echo "--- after resume:"; body_of "$AFTER"
+    exit 1
+fi
+echo "ok: resumed /phases is byte-identical to the pre-kill answer"
+# The resumed session must keep accepting records, not just replaying.
+expect_status "POST records (after resume)" 200 \
+    "$(request POST /v1/streams/gate/records "$(head -n 5 "$RECORDS")")"
+expect_status "POST /admin/shutdown (durable)" 200 "$(request POST /admin/shutdown)"
+wait "$SERVER_PID" || { echo "FAIL: durable daemon drain non-clean"; exit 1; }
+SERVER_PID=""
+echo "ok: kill-and-resume gate passed"
 
 if [[ $fail -ne 0 ]]; then
     echo "FAIL: serving gate"
