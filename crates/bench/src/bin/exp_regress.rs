@@ -1,0 +1,169 @@
+//! **E21 — Deploy regression detection**: does the fleet fingerprint gate
+//! catch real per-phase slowdowns without crying wolf on run-to-run noise?
+//!
+//! Before/after pairs of the synthetic workload, every pair simulated
+//! with *different* seeds (so the candidate sees fresh noise streams, as
+//! a redeployed binary would). The "after" run slows the middle phase by
+//! a controlled factor — same instruction work over `1+s` the time, i.e.
+//! `ipc / (1+s)` and `rel_duration × (1+s)` — at `s ∈ {0%, 5%, 10%, 30%}`.
+//! Each pair is analyzed, condensed to fleet fingerprints, and gated by
+//! [`phasefold_fleet::compare_fingerprints`] at the default 10% threshold,
+//! exactly the `regress-check` / `POST /v1/compare` path.
+//!
+//! Reported per level: how often the gate fired (recall for real
+//! slowdowns; false-positive rate for the no-change pairs) and the mean
+//! measured matched-time change. The honest expectations: 0% pairs must
+//! stay quiet, 5% (below threshold) *should* stay quiet, 30% must fire
+//! essentially always; 10% sits on the threshold and is reported, not
+//! gated on.
+//!
+//! Results go to `results/e21_regress.csv` and `BENCH_regress.json` (one
+//! scalar per line, greppable by `scripts/regress.sh`).
+//!
+//! ```text
+//! cargo run --release -p phasefold-bench --bin exp_regress
+//!     [--pairs N (per level, default 12)] [--iterations N (default 200)]
+//! ```
+
+use phasefold::{analyze_trace, AnalysisConfig};
+use phasefold_bench::{banner, fmt, write_results, Table};
+use phasefold_fleet::{compare_fingerprints, Fingerprint, MatchConfig};
+use phasefold_simapp::workloads::synthetic::{build, SyntheticParams};
+use phasefold_simapp::{simulate, SimConfig};
+use phasefold_tracer::{trace_run, TracerConfig};
+use std::fmt::Write as _;
+
+const RANKS: usize = 2;
+
+/// Simulates + analyzes one run and condenses it to a fingerprint. The
+/// middle phase is slowed by `slowdown` (0.0 = the pristine workload).
+fn fingerprint_run(iterations: u64, seed: u64, slowdown: f64, build_id: &str) -> Fingerprint {
+    let mut params = SyntheticParams { iterations, ..SyntheticParams::default() };
+    if slowdown > 0.0 {
+        let mid = params.phases.len() / 2;
+        // `rel_duration` only sets shares within a fixed-length burst, so
+        // the burst itself must stretch by the slowed phase's growth —
+        // otherwise the injected slowdown silently shrinks the *other*
+        // phases instead.
+        let total: f64 = params.phases.iter().map(|p| p.rel_duration).sum();
+        let grown = total + params.phases[mid].rel_duration * slowdown;
+        params.phases[mid].ipc /= 1.0 + slowdown;
+        params.phases[mid].rel_duration *= 1.0 + slowdown;
+        params.burst_duration_s *= grown / total;
+    }
+    let program = build(&params);
+    let out = simulate(&program, &SimConfig { ranks: RANKS, seed, ..SimConfig::default() });
+    let trace = trace_run(&program.registry, &out.timelines, &TracerConfig::default());
+    let analysis = analyze_trace(&trace, &AnalysisConfig::default());
+    Fingerprint::from_analysis(&analysis, &trace.registry, build_id, "e21")
+}
+
+struct LevelResult {
+    slowdown: f64,
+    pairs: usize,
+    flagged: usize,
+    mean_change: f64,
+}
+
+fn main() {
+    banner(
+        "E21",
+        "deploy regression detection: recall and false-positive rate",
+        "fleet fingerprint gate over seeded synthetic before/after pairs",
+    );
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |name: &str, default: u64| -> u64 {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let pairs = get("--pairs", 12) as usize;
+    let iterations = get("--iterations", 200);
+
+    let levels = [0.0, 0.05, 0.10, 0.30];
+    let match_cfg = MatchConfig::default();
+    println!(
+        "{} pairs per level, {iterations} iterations, {RANKS} ranks, gate threshold {:.0}%\n",
+        pairs,
+        match_cfg.regression_threshold * 100.0
+    );
+
+    let mut table = Table::new(&[
+        "slowdown_pct",
+        "pairs",
+        "flagged",
+        "fire_rate",
+        "mean_measured_change_pct",
+    ]);
+    let mut results = Vec::new();
+    for &slowdown in &levels {
+        let mut flagged = 0usize;
+        let mut change_sum = 0.0;
+        for pair in 0..pairs {
+            // Fresh seeds on both sides: the baseline of pair `i` is not
+            // the baseline of pair `i+1`, and the candidate never shares
+            // noise with its own baseline.
+            let base_seed = 1_000 + 2 * pair as u64;
+            let cand_seed = 20_000 + 2 * pair as u64 + 1;
+            let base = fingerprint_run(iterations, base_seed, 0.0, "before");
+            let cand = fingerprint_run(iterations, cand_seed, slowdown, "after");
+            let verdict = compare_fingerprints(&base, &cand, &match_cfg);
+            if verdict.regressed {
+                flagged += 1;
+            }
+            change_sum += verdict.total_change.unwrap_or(0.0);
+        }
+        let res = LevelResult {
+            slowdown,
+            pairs,
+            flagged,
+            mean_change: change_sum / pairs.max(1) as f64,
+        };
+        println!(
+            "slowdown {:>4.0}%: fired {:>2}/{} (mean measured change {:+.1}%)",
+            slowdown * 100.0,
+            res.flagged,
+            res.pairs,
+            res.mean_change * 100.0
+        );
+        table.row(vec![
+            fmt(slowdown * 100.0, 0),
+            res.pairs.to_string(),
+            res.flagged.to_string(),
+            fmt(res.flagged as f64 / res.pairs.max(1) as f64, 4),
+            fmt(res.mean_change * 100.0, 2),
+        ]);
+        results.push(res);
+    }
+
+    println!("\n{}", table.render_text());
+    let csv_path = write_results("e21_regress.csv", &table.render_csv());
+    println!("wrote {}", csv_path.display());
+
+    let rate = |s: f64| -> f64 {
+        results
+            .iter()
+            .find(|r| (r.slowdown - s).abs() < 1e-9)
+            .map_or(0.0, |r| r.flagged as f64 / r.pairs.max(1) as f64)
+    };
+    let total_pairs: usize = results.iter().map(|r| r.pairs).sum();
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"phasefold-bench-regress/1\",\n");
+    json.push_str("  \"build_profile\": \"release\",\n");
+    let _ = writeln!(json, "  \"pairs_total\": {total_pairs},");
+    let _ = writeln!(json, "  \"pairs_per_level\": {pairs},");
+    let _ = writeln!(json, "  \"iterations\": {iterations},");
+    let _ = writeln!(json, "  \"ranks\": {RANKS},");
+    let _ = writeln!(json, "  \"threshold\": {},", match_cfg.regression_threshold);
+    let _ = writeln!(json, "  \"false_positive_rate\": {},", fmt(rate(0.0), 4));
+    let _ = writeln!(json, "  \"recall_5\": {},", fmt(rate(0.05), 4));
+    let _ = writeln!(json, "  \"recall_10\": {},", fmt(rate(0.10), 4));
+    let _ = writeln!(json, "  \"recall_30\": {}", fmt(rate(0.30), 4));
+    json.push_str("}\n");
+    std::fs::write("BENCH_regress.json", &json).expect("write BENCH_regress.json");
+    println!("wrote BENCH_regress.json:\n{json}");
+}

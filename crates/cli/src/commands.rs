@@ -4,6 +4,7 @@ use crate::args::{parse, Parsed};
 use crate::CliError;
 use phasefold::report::{render_report, suggest_optimization};
 use phasefold::{analyze_trace, try_analyze_trace, AnalysisConfig};
+use phasefold_fleet::{compare_fingerprints, render_verdict, verdict_json, Fingerprint, MatchConfig};
 use phasefold_model::{prv, CounterKind, DurNs, FaultPolicy, FaultReport, RankId, TimeNs, Trace};
 use phasefold_obs as obs;
 use phasefold_simapp::workloads::{all_extended, amg, cg, fft, md, stencil, synthetic};
@@ -295,15 +296,36 @@ pub fn info(argv: &[String], out: &mut String) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Parses `--threshold R` (relative duration growth that counts as a
+/// regression; default 10%). Must be a positive finite ratio.
+fn threshold_option(p: &crate::args::Parsed) -> Result<f64, CliError> {
+    let t: f64 = p.get_parsed("threshold", MatchConfig::default().regression_threshold)?;
+    if !(t.is_finite() && t > 0.0) {
+        return Err(CliError::Usage(format!(
+            "--threshold must be a positive relative growth (e.g. 0.1 = 10%), got {t}"
+        )));
+    }
+    Ok(t)
+}
+
 /// `phasefold compare`
 pub fn compare(argv: &[String], out: &mut String) -> Result<(), CliError> {
     let p = parse(
         argv,
-        &["threads", "parallel-threshold", "log-level", "profile", "metrics", "prom"],
-        &[],
+        &[
+            "threads",
+            "parallel-threshold",
+            "threshold",
+            "log-level",
+            "profile",
+            "metrics",
+            "prom",
+        ],
+        &["json"],
     )?;
     let base_path = p.positional(0, "baseline trace file")?;
     let cand_path = p.positional(1, "candidate trace file")?;
+    let threshold = threshold_option(&p)?;
     let obs_req = ObsRequest::setup(&p, false)?;
     let base_trace = load_trace(base_path)?;
     let cand_trace = load_trace(cand_path)?;
@@ -314,6 +336,18 @@ pub fn compare(argv: &[String], out: &mut String) -> Result<(), CliError> {
     };
     let base = analyze_trace(&base_trace, &config);
     let cand = analyze_trace(&cand_trace, &config);
+    if p.has_flag("json") {
+        // Machine-readable path: the same fingerprint verdict the daemon's
+        // `POST /v1/compare` returns, with the file paths as build ids.
+        let base_fp = Fingerprint::from_analysis(&base, &base_trace.registry, base_path, "cli");
+        let cand_fp = Fingerprint::from_analysis(&cand, &cand_trace.registry, cand_path, "cli");
+        let match_cfg = MatchConfig { regression_threshold: threshold, ..MatchConfig::default() };
+        let verdict = compare_fingerprints(&base_fp, &cand_fp, &match_cfg);
+        out.push_str(&verdict_json(&verdict));
+        out.push('\n');
+        obs_req.finish()?;
+        return Ok(());
+    }
     let cmp = phasefold::compare_analyses(&base, &cand);
     out.push_str(&phasefold::render_comparison(&cmp, &base, &base_trace.registry));
     let t_base: f64 = base.models.iter().map(|m| m.total_time_s()).sum();
@@ -326,6 +360,117 @@ pub fn compare(argv: &[String], out: &mut String) -> Result<(), CliError> {
         );
     }
     obs_req.finish()?;
+    Ok(())
+}
+
+/// Loads a run artifact as a [`Fingerprint`]: a `.pffp` frame is decoded
+/// directly, anything else is parsed as PRV text and analyzed. The file
+/// path doubles as the build id unless `build` overrides it.
+fn load_fingerprint(
+    path: &str,
+    build: Option<&str>,
+    trace_id: &str,
+    config: &AnalysisConfig,
+) -> Result<Fingerprint, CliError> {
+    let bytes = std::fs::read(path)?;
+    if Fingerprint::sniff(&bytes) {
+        let mut fp = Fingerprint::decode(&bytes)
+            .map_err(|e| CliError::Other(format!("{path}: bad fingerprint: {e}")))?;
+        if let Some(build) = build {
+            fp.build_id = build.to_string();
+        }
+        return Ok(fp);
+    }
+    let text = String::from_utf8(bytes)
+        .map_err(|_| CliError::Other(format!("{path} is neither a .pffp frame nor UTF-8 PRV")))?;
+    let trace = prv::parse_trace(&text)?;
+    let analysis = try_analyze_trace(&trace, config)?;
+    Ok(Fingerprint::from_analysis(
+        &analysis,
+        &trace.registry,
+        build.unwrap_or(path),
+        trace_id,
+    ))
+}
+
+/// `phasefold fingerprint`: condenses a trace into a versioned `.pffp`
+/// phase fingerprint — the artifact CI stores per build for later
+/// `regress-check` / `POST /v1/compare` runs.
+pub fn fingerprint(argv: &[String], out: &mut String) -> Result<(), CliError> {
+    let p = parse(
+        argv,
+        &["out", "build", "trace-id", "threads", "parallel-threshold", "fault-policy"],
+        &[],
+    )?;
+    let path = p.positional(0, "trace file")?;
+    let out_path = p
+        .get("out")
+        .ok_or_else(|| CliError::Usage("--out <file.pffp> is required".into()))?
+        .to_string();
+    let stem = std::path::Path::new(path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.to_string());
+    let build = p.get("build").map(str::to_string).unwrap_or(stem);
+    let trace_id = p.get("trace-id").unwrap_or("default");
+    let config = AnalysisConfig {
+        threads: threads_option(&p)?,
+        parallel_threshold: parallel_threshold_option(&p)?,
+        fault_policy: fault_policy_option(&p)?,
+        ..AnalysisConfig::default()
+    };
+    let trace = load_trace(path)?;
+    let analysis = try_analyze_trace(&trace, &config)?;
+    let fp = Fingerprint::from_analysis(&analysis, &trace.registry, &build, trace_id);
+    let frame = fp.encode();
+    std::fs::write(&out_path, &frame)?;
+    let _ = writeln!(
+        out,
+        "wrote {out_path}: build `{}` trace `{}`, {} cluster(s), {} phase(s), {} bytes",
+        fp.build_id,
+        fp.trace_id,
+        fp.clusters.len(),
+        fp.num_phases(),
+        frame.len(),
+    );
+    Ok(())
+}
+
+/// `phasefold regress-check`: compares two runs (each a PRV trace or a
+/// `.pffp` fingerprint) and exits non-zero iff the candidate regressed by
+/// at least `--threshold`. The CI gate face of the fleet matcher.
+pub fn regress_check(argv: &[String], out: &mut String) -> Result<(), CliError> {
+    let p = parse(
+        argv,
+        &["threshold", "threads", "parallel-threshold"],
+        &["json"],
+    )?;
+    let base_path = p.positional(0, "baseline (trace.prv or fingerprint.pffp)")?;
+    let cand_path = p.positional(1, "candidate (trace.prv or fingerprint.pffp)")?;
+    let threshold = threshold_option(&p)?;
+    let config = AnalysisConfig {
+        threads: threads_option(&p)?,
+        parallel_threshold: parallel_threshold_option(&p)?,
+        ..AnalysisConfig::default()
+    };
+    let base = load_fingerprint(base_path, None, "default", &config)?;
+    let cand = load_fingerprint(cand_path, None, "default", &config)?;
+    let match_cfg = MatchConfig { regression_threshold: threshold, ..MatchConfig::default() };
+    let verdict = compare_fingerprints(&base, &cand, &match_cfg);
+    if p.has_flag("json") {
+        out.push_str(&verdict_json(&verdict));
+        out.push('\n');
+    } else {
+        out.push_str(&render_verdict(&verdict));
+    }
+    if verdict.regressed {
+        let regressed_phases = verdict.phases.iter().filter(|ph| ph.regressed).count();
+        return Err(CliError::Other(format!(
+            "regression detected: {regressed_phases} phase group(s) at or past the \
+             {:.0}% threshold",
+            100.0 * threshold
+        )));
+    }
     Ok(())
 }
 
@@ -543,9 +688,18 @@ pub fn serve(argv: &[String], out: &mut String) -> Result<(), CliError> {
             "checkpoint-every",
             "max-sessions",
             "session-ttl",
+            "fleet-dir",
+            "fleet-max-fingerprints",
+            "regress-threshold",
         ],
         &[],
     )?;
+    let regress_threshold: f64 = p.get_parsed("regress-threshold", 0.10)?;
+    if !(regress_threshold.is_finite() && regress_threshold > 0.0) {
+        return Err(CliError::Usage(format!(
+            "--regress-threshold must be a positive relative growth, got {regress_threshold}"
+        )));
+    }
     let mut analysis = AnalysisConfig::default();
     analysis.threads = threads_option(&p)?;
     analysis.fault_policy = fault_policy_option(&p)?;
@@ -586,6 +740,9 @@ pub fn serve(argv: &[String], out: &mut String) -> Result<(), CliError> {
         checkpoint_every: p.get_parsed("checkpoint-every", 4096u64)?.max(1),
         max_sessions: p.get_parsed("max-sessions", 1024usize)?.max(1),
         session_ttl: std::time::Duration::from_secs(p.get_parsed("session-ttl", 0u64)?),
+        fleet_dir: p.get("fleet-dir").map(std::path::PathBuf::from),
+        fleet_max_fingerprints: p.get_parsed("fleet-max-fingerprints", 256usize)?.max(1),
+        regress_threshold,
         ..phasefold_serve::ServeConfig::default()
     };
     let max_seconds: u64 = p.get_parsed("max-seconds", 0)?; // 0 = run forever

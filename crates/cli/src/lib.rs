@@ -8,6 +8,8 @@
 //!                     [--period-ms P] [--imbalance F] --out trace.prv
 //! phasefold analyze <trace.prv> [--bootstrap] [--fault-policy lenient|strict]
 //! phasefold chaos <trace.prv> --out corrupted.prv [--seed N] [--rate R]
+//! phasefold fingerprint <trace.prv> --out fp.pffp [--build ID]
+//! phasefold regress-check <base> <cand> [--threshold R] [--json]
 //! phasefold period <trace.prv> [--rank R] [--bins B]
 //! phasefold reconstruct <trace.prv> [--rank R] [--points N]
 //! phasefold serve [--addr H:P] [--workers N] [--queue-depth N] [--cache-dir D]
@@ -103,9 +105,21 @@ commands:
       [--drop R] [--truncate R] [--shuffle R] [--saturate R] [--nan R]
   info <F.prv>                      trace summary statistics + region table
   compare <base.prv> <cand.prv>     per-phase metric deltas between two runs
+      [--json (fingerprint verdict, same shape as POST /v1/compare)]
+      [--threshold R (relative growth that counts as regression, 0.1)]
       [--threads N (0 = auto)] [--parallel-threshold N]
       [--profile out.json] [--metrics out.json] [--prom out.prom]
       [--log-level L]
+  fingerprint <F.prv> --out G.pffp  condense a trace into a versioned
+      phase fingerprint (the per-build artifact CI stores)
+      [--build ID (default: trace file stem)] [--trace-id ID]
+      [--threads N] [--parallel-threshold N]
+      [--fault-policy lenient|strict]
+  regress-check <base> <cand>       deploy gate: exits non-zero iff the
+      candidate run regressed vs the baseline; each argument is a PRV
+      trace or a .pffp fingerprint
+      [--threshold R (default 0.1 = 10%)] [--json]
+      [--threads N] [--parallel-threshold N]
   period <F.prv>                    detect the iterative period
       [--rank R] [--bins B]
   reconstruct <F.prv>               unfolded fine-grain rate timeline (CSV)
@@ -129,6 +143,10 @@ commands:
       [--checkpoint-every N (accepted records between checkpoints, 4096)]
       [--max-sessions N (resident streaming sessions, 429 past it, 1024)]
       [--session-ttl S (evict sessions idle this many seconds, 0 = never)]
+      [--fleet-dir DIR (versioned fingerprint store; enables
+       POST /v1/fingerprints and POST /v1/compare)]
+      [--fleet-max-fingerprints N (store eviction bound, 256)]
+      [--regress-threshold R (default verdict threshold, 0.1)]
   verify                            differential + metamorphic correctness
       gate: fuzz seeded random traces against slow reference kernels and
       paper-derived invariants; replay the minimized regression corpus
@@ -162,6 +180,8 @@ pub fn run(argv: &[String], out: &mut String) -> Result<(), CliError> {
         "chaos" => commands::chaos(rest, out),
         "info" => commands::info(rest, out),
         "compare" => commands::compare(rest, out),
+        "fingerprint" => commands::fingerprint(rest, out),
+        "regress-check" => commands::regress_check(rest, out),
         "period" => commands::period(rest, out),
         "reconstruct" => commands::reconstruct(rest, out),
         "selfcheck" => commands::selfcheck(rest, out),
@@ -421,6 +441,66 @@ mod tests {
         let strict = run_ok(&["analyze", &clean, "--fault-policy", "strict"]);
         assert_eq!(lenient, strict);
         assert!(!lenient.contains("fault report"));
+    }
+
+    #[test]
+    fn compare_json_emits_machine_verdict() {
+        let base = tmp("cli_cmpj_base.prv");
+        let opt = tmp("cli_cmpj_opt.prv");
+        run_ok(&["simulate", "stencil", "--ranks", "2", "--out", &base]);
+        run_ok(&["simulate", "stencil", "--ranks", "2", "--optimized", "--out", &opt]);
+        let out = run_ok(&["compare", &base, &opt, "--json"]);
+        assert!(out.starts_with('{') && out.trim_end().ends_with('}'), "{out}");
+        assert!(out.contains("\"regressed\":"), "{out}");
+        assert!(out.contains("\"phases\":["), "{out}");
+        assert!(out.contains(&format!("\"baseline\":\"{base}\"")), "{out}");
+
+        let mut sink = String::new();
+        let err = run(&argv(&["compare", &base, &opt, "--threshold", "0"]), &mut sink)
+            .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+    }
+
+    #[test]
+    fn fingerprint_then_regress_check_round_trip() {
+        let base = tmp("cli_fp_base.prv");
+        let same = tmp("cli_fp_same.prv");
+        run_ok(&["simulate", "synthetic", "--ranks", "2", "--iterations", "150", "--out", &base]);
+        run_ok(&[
+            "simulate", "synthetic", "--ranks", "2", "--iterations", "150", "--seed", "99",
+            "--out", &same,
+        ]);
+
+        // Condense the baseline once; the .pffp stands in for the trace.
+        let fp = tmp("cli_fp_base.pffp");
+        let msg = run_ok(&["fingerprint", &base, "--out", &fp, "--build", "v1"]);
+        assert!(msg.contains("build `v1`"), "{msg}");
+        assert!(std::fs::metadata(&fp).unwrap().len() > 0);
+
+        // Same workload, different seed: no regression, exit 0, and the
+        // .pffp baseline must behave exactly like the trace baseline.
+        let clean = run_ok(&["regress-check", &base, &same]);
+        assert!(clean.contains("verdict: clean"), "{clean}");
+        let via_fp = run_ok(&["regress-check", &fp, &same]);
+        assert!(via_fp.contains("verdict: clean"), "{via_fp}");
+
+        // A regressed candidate (phase slowed 40%) must fail the gate
+        // with the runtime exit code, not a usage error.
+        let slow = tmp("cli_fp_slow.prv");
+        run_ok(&[
+            "simulate", "stencil", "--ranks", "2", "--optimized", "--out", &base,
+        ]);
+        run_ok(&["simulate", "stencil", "--ranks", "2", "--out", &slow]);
+        let mut out = String::new();
+        let err = run(&argv(&["regress-check", &base, &slow]), &mut out).unwrap_err();
+        assert!(matches!(err, CliError::Other(_)), "expected gate failure, got {err:?}");
+        assert_eq!(exit_code(&err), 1);
+        assert!(out.contains("REGRESSED"), "{out}");
+
+        // --json keeps the same verdict shape as the daemon endpoint.
+        let mut json = String::new();
+        let _ = run(&argv(&["regress-check", &base, &slow, "--json"]), &mut json);
+        assert!(json.contains("\"regressed\":true"), "{json}");
     }
 
     #[test]

@@ -42,17 +42,33 @@ pub struct PhaseDelta {
 pub enum MatchKind {
     /// Same attributed source region.
     Source,
+    /// Performance-signature similarity (rate-vector shape); used by the
+    /// fleet matcher when region ids are not comparable across builds.
+    Signature,
     /// Largest span overlap (no/conflicting attribution).
     Overlap,
 }
 
+impl MatchKind {
+    /// Stable lowercase label (rendered tables, JSON verdicts).
+    pub fn label(self) -> &'static str {
+        match self {
+            MatchKind::Source => "source",
+            MatchKind::Signature => "signature",
+            MatchKind::Overlap => "overlap",
+        }
+    }
+}
+
 impl PhaseDelta {
-    /// Relative duration change (negative = faster).
-    pub fn duration_change(&self) -> f64 {
+    /// Relative duration change (negative = faster). `None` when the
+    /// baseline duration is not positive — a phase growing out of nothing
+    /// is "new", not "unchanged", and must not read as a 0.0 delta.
+    pub fn duration_change(&self) -> Option<f64> {
         if self.duration_before_s <= 0.0 {
-            0.0
+            None
         } else {
-            self.duration_after_s / self.duration_before_s - 1.0
+            Some(self.duration_after_s / self.duration_before_s - 1.0)
         }
     }
 }
@@ -147,7 +163,25 @@ fn match_phases<'a>(
 /// application.
 pub fn compare_analyses(baseline: &Analysis, candidate: &Analysis) -> Comparison {
     let mut result = Comparison::default();
-    for (bm, cm) in match_clusters(baseline, candidate) {
+    let pairs = match_clusters(baseline, candidate);
+    // Phases of clusters with no counterpart at all must still show up in
+    // the report: a vanished cluster's phases are vanished phases, not a
+    // silent omission.
+    for bm in &baseline.models {
+        if !pairs.iter().any(|(b, _)| std::ptr::eq(*b, bm)) {
+            for bp in &bm.phases {
+                result.disappeared.push((bm.cluster, bp.index));
+            }
+        }
+    }
+    for cm in &candidate.models {
+        if !pairs.iter().any(|(_, c)| std::ptr::eq(*c, cm)) {
+            for (ci, _) in cm.phases.iter().enumerate() {
+                result.appeared.push((cm.cluster, ci));
+            }
+        }
+    }
+    for (bm, cm) in pairs {
         let matched = match_phases(bm, cm);
         for (bp, cp, kind) in &matched {
             result.deltas.push(PhaseDelta {
@@ -200,10 +234,7 @@ pub fn render_comparison(
             out,
             "{:<34} {:>9} {:>6.3}->{:<6.3}ms {:>7.2}->{:<7.2} {:>8.2}->{:<8.2}",
             source,
-            match d.matched_by {
-                MatchKind::Source => "source",
-                MatchKind::Overlap => "overlap",
-            },
+            d.matched_by.label(),
             d.duration_before_s * 1e3,
             d.duration_after_s * 1e3,
             d.before.ipc,
@@ -269,7 +300,8 @@ mod tests {
         assert_eq!(flux.matched_by, MatchKind::Source);
         // Blocking cuts L3 misses and duration of exactly this phase.
         assert!(flux.after.l3_mpki < flux.before.l3_mpki * 0.7, "{flux:?}");
-        assert!(flux.duration_change() < -0.15, "{}", flux.duration_change());
+        let change = flux.duration_change().expect("flux phase has a baseline duration");
+        assert!(change < -0.15, "{change}");
         assert!(flux.after.ipc > flux.before.ipc);
     }
 
@@ -281,7 +313,7 @@ mod tests {
         assert!(cmp.appeared.is_empty());
         for d in &cmp.deltas {
             assert_eq!(d.matched_by, MatchKind::Source);
-            assert!((d.duration_change()).abs() < 1e-9);
+            assert!(d.duration_change().expect("self comparison has durations").abs() < 1e-9);
         }
     }
 

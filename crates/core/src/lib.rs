@@ -60,7 +60,7 @@ pub mod signal;
 pub mod srcmap;
 pub mod unfold;
 
-pub use compare::{compare_analyses, render_comparison, Comparison, PhaseDelta};
+pub use compare::{compare_analyses, render_comparison, Comparison, MatchKind, PhaseDelta};
 pub use config::AnalysisConfig;
 pub use driver::{run_study, StudyOutput};
 pub use eval::{match_models_to_templates, rate_profile_error, score_boundaries, BoundaryScore};

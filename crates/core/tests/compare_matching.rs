@@ -1,0 +1,195 @@
+//! Matching-fallback coverage for `core::compare`: source attribution must
+//! always win over span overlap, conflicting attributions must resolve
+//! deterministically, and phases of entirely unmatched clusters must
+//! surface as appeared/disappeared instead of vanishing from the report.
+
+use phasefold::compare::{compare_analyses, MatchKind};
+use phasefold::{Analysis, ClusterPhaseModel, FaultReport, Phase, PhaseMetrics, SourceAttribution};
+use phasefold_cluster::Clustering;
+use phasefold_model::{CounterKind, CounterSet, RegionId};
+use phasefold_regress::hinge::HingeFit;
+use phasefold_regress::pwlr::PwlrFit;
+use proptest::prelude::*;
+
+fn flat_fit() -> PwlrFit {
+    PwlrFit {
+        fit: HingeFit {
+            lo: 0.0,
+            hi: 1.0,
+            breakpoints: vec![],
+            intercept: 0.0,
+            slopes: vec![1.0],
+            sse: 0.0,
+            r2: 1.0,
+            n: 64,
+        },
+        score: 0.0,
+        candidates: Vec::new(),
+    }
+}
+
+/// A phase occupying `[x0, x1)` at `mips` million instructions/s, optionally
+/// attributed to `region`.
+fn phase(index: usize, x0: f64, x1: f64, mips: f64, region: Option<u32>) -> Phase {
+    let mut rates = CounterSet::ZERO;
+    rates[CounterKind::Instructions] = mips * 1e6;
+    rates[CounterKind::Cycles] = 2.5e9;
+    Phase {
+        index,
+        x0,
+        x1,
+        duration_s: (x1 - x0) * 1e-3,
+        rates,
+        metrics: PhaseMetrics::from_rates(&rates),
+        source: region.map(|r| SourceAttribution {
+            region: RegionId(r),
+            line: 100 + r,
+            confidence: 0.9,
+            votes: 40,
+        }),
+        source_histogram: Vec::new(),
+    }
+}
+
+fn model(cluster: usize, mean_duration_s: f64, phases: Vec<Phase>) -> ClusterPhaseModel {
+    ClusterPhaseModel {
+        cluster,
+        instances: 100,
+        instances_pruned: 0,
+        folded_samples: 400,
+        mean_duration_s,
+        phases,
+        fit: flat_fit(),
+        bootstrap: None,
+    }
+}
+
+fn analysis(models: Vec<ClusterPhaseModel>) -> Analysis {
+    Analysis {
+        clustering: Clustering {
+            labels: Vec::new(),
+            num_clusters: models.len(),
+            eps: 0.1,
+            spmd_score: 1.0,
+        },
+        num_bursts: 100,
+        models,
+        faults: FaultReport::new(),
+    }
+}
+
+proptest! {
+    /// Whenever a baseline phase and some candidate phase carry the same
+    /// source region, the pair must match by `Source` — regardless of how
+    /// far the spans drifted, which is exactly when overlap matching would
+    /// pick a different (wrong) partner.
+    #[test]
+    fn source_attribution_beats_overlap(
+        shift in 0.0f64..0.35,
+        widen in 0.8f64..1.2,
+        mips_a in 500.0f64..3000.0,
+        mips_b in 500.0f64..3000.0,
+    ) {
+        // Baseline: region 1 in the front, region 2 in the back.
+        let base = analysis(vec![model(0, 1e-3, vec![
+            phase(0, 0.0, 0.4, mips_a, Some(1)),
+            phase(1, 0.4, 1.0, mips_b, Some(2)),
+        ])]);
+        // Candidate: the region-1 phase drifted right (shift) and changed
+        // width; by raw overlap it may now cover region 2's old span.
+        let split = (0.4 * widen + shift).min(0.95);
+        let cand = analysis(vec![model(0, 1e-3, vec![
+            phase(0, shift.min(0.5), split, mips_a, Some(1)),
+            phase(1, split, 1.0, mips_b, Some(2)),
+        ])]);
+        let cmp = compare_analyses(&base, &cand);
+        for d in &cmp.deltas {
+            prop_assert_eq!(d.matched_by, MatchKind::Source);
+        }
+        // Both attributed pairs matched: nothing appeared or disappeared.
+        prop_assert_eq!(cmp.deltas.len(), 2);
+        prop_assert!(cmp.appeared.is_empty());
+        prop_assert!(cmp.disappeared.is_empty());
+    }
+}
+
+/// Golden: two baseline phases claim the *same* region (conflicting
+/// attribution after a merge/dup); the matcher must resolve this
+/// deterministically — first baseline phase in order takes the source
+/// match, the second falls back to span overlap — and the outcome must be
+/// byte-stable across runs.
+#[test]
+fn conflicting_attribution_resolves_deterministically() {
+    let base = analysis(vec![model(0, 1e-3, vec![
+        phase(0, 0.0, 0.3, 1000.0, Some(7)),
+        phase(1, 0.3, 0.6, 1200.0, Some(7)), // same region: conflict
+        phase(2, 0.6, 1.0, 800.0, Some(9)),
+    ])]);
+    let cand = analysis(vec![model(0, 1e-3, vec![
+        phase(0, 0.0, 0.55, 1100.0, Some(7)), // only ONE region-7 phase now
+        phase(1, 0.55, 1.0, 800.0, Some(9)),
+    ])]);
+    let cmp = compare_analyses(&base, &cand);
+
+    let by_pair: Vec<(usize, usize, MatchKind)> = cmp
+        .deltas
+        .iter()
+        .map(|d| (d.baseline_phase, d.candidate_phase, d.matched_by))
+        .collect();
+    // Phase 0 (first in order) wins the source match for region 7; phase 2
+    // matches region 9 by source; phase 1's conflicting claim loses and has
+    // no unmatched candidate left to overlap with.
+    assert!(by_pair.contains(&(0, 0, MatchKind::Source)), "{by_pair:?}");
+    assert!(by_pair.contains(&(2, 1, MatchKind::Source)), "{by_pair:?}");
+    assert_eq!(cmp.deltas.len(), 2, "{by_pair:?}");
+    assert_eq!(cmp.disappeared, vec![(0, 1)]);
+    assert!(cmp.appeared.is_empty());
+
+    // Determinism: the exact same comparison twice.
+    let again = compare_analyses(&base, &cand);
+    let again_pairs: Vec<(usize, usize, MatchKind)> = again
+        .deltas
+        .iter()
+        .map(|d| (d.baseline_phase, d.candidate_phase, d.matched_by))
+        .collect();
+    assert_eq!(by_pair, again_pairs);
+}
+
+/// A cluster present only in the baseline (or only in the candidate) must
+/// contribute its phases to disappeared/appeared — previously they were
+/// silently dropped because only matched cluster pairs were walked.
+#[test]
+fn unmatched_clusters_surface_their_phases() {
+    let base = analysis(vec![
+        model(0, 1e-3, vec![phase(0, 0.0, 1.0, 1000.0, Some(1))]),
+        // Far away in signature space (1000x duration): never matches.
+        model(1, 1.0, vec![phase(0, 0.0, 1.0, 2000.0, Some(3))]),
+    ]);
+    let cand = analysis(vec![
+        model(0, 1e-3, vec![phase(0, 0.0, 1.0, 1000.0, Some(1))]),
+        model(5, 2e-6, vec![phase(0, 0.0, 0.5, 900.0, None), phase(1, 0.5, 1.0, 100.0, None)]),
+    ]);
+    let cmp = compare_analyses(&base, &cand);
+    assert_eq!(cmp.deltas.len(), 1);
+    assert!(cmp.disappeared.contains(&(1, 0)), "{:?}", cmp.disappeared);
+    assert!(cmp.appeared.contains(&(5, 0)) && cmp.appeared.contains(&(5, 1)), "{:?}", cmp.appeared);
+}
+
+/// The old API silently reported 0.0 ("no change") for a phase whose
+/// baseline duration was zero; it must now be an explicit `None`.
+#[test]
+fn zero_baseline_duration_is_not_a_zero_delta() {
+    let base = analysis(vec![model(0, 1e-3, vec![
+        phase(0, 0.0, 0.0, 1000.0, Some(1)), // degenerate: zero-width span
+        phase(1, 0.0, 1.0, 1000.0, Some(2)),
+    ])]);
+    let cand = analysis(vec![model(0, 1e-3, vec![
+        phase(0, 0.0, 0.4, 1000.0, Some(1)),
+        phase(1, 0.4, 1.0, 1000.0, Some(2)),
+    ])]);
+    let cmp = compare_analyses(&base, &cand);
+    let grown = cmp.deltas.iter().find(|d| d.baseline_phase == 0).expect("matched by source");
+    assert_eq!(grown.duration_change(), None);
+    let normal = cmp.deltas.iter().find(|d| d.baseline_phase == 1).expect("matched by source");
+    assert!(normal.duration_change().is_some());
+}

@@ -5,6 +5,8 @@
 //! | Method | Path | Purpose |
 //! |---|---|---|
 //! | `POST` | `/v1/analyze` | Full trace → rendered report (cached) |
+//! | `POST` | `/v1/fingerprints?build=B[&trace=T]` | Store a phase fingerprint (body: PRV trace or `.pffp` frame) |
+//! | `POST` | `/v1/compare?baseline=B[&candidate=C][&threshold=R]` | Regression verdict between two builds (JSON) |
 //! | `POST` | `/v1/streams/{id}/records` | Stream PRV record lines into a session |
 //! | `POST` | `/v1/streams/{id}/checkpoint` | Persist a session to the state dir now |
 //! | `GET`  | `/v1/streams/{id}/phases` | Incremental snapshot of a session |
@@ -42,6 +44,7 @@ use crate::store::{self, Durability, RecoveredSession, SessionStore};
 use crate::wal::Wal;
 use phasefold::report::render_report;
 use phasefold::{try_analyze_trace, AnalysisConfig, FaultPolicy, OnlineAnalyzer};
+use phasefold_fleet::{compare_fingerprints, verdict_json, Fingerprint, FingerprintStore, MatchConfig};
 use phasefold_model::prv;
 use phasefold_model::{Fault, FaultKind, Severity};
 use phasefold_obs::export::json_escape;
@@ -116,6 +119,15 @@ pub struct ServeConfig {
     /// first when a state dir is configured, so they resume transparently
     /// on next touch). `Duration::ZERO` disables the sweep.
     pub session_ttl: Duration,
+    /// Directory of the versioned fingerprint store backing
+    /// `POST /v1/fingerprints` and `POST /v1/compare` (`None` = fleet
+    /// endpoints answer `503`).
+    pub fleet_dir: Option<PathBuf>,
+    /// Retention bound of the fingerprint store (oldest evicted past it).
+    pub fleet_max_fingerprints: usize,
+    /// Default relative duration growth `POST /v1/compare` flags as a
+    /// regression (per-request `?threshold=` overrides it).
+    pub regress_threshold: f64,
 }
 
 impl Default for ServeConfig {
@@ -142,6 +154,9 @@ impl Default for ServeConfig {
             checkpoint_every: 4096,
             max_sessions: 1024,
             session_ttl: Duration::ZERO,
+            fleet_dir: None,
+            fleet_max_fingerprints: 256,
+            regress_threshold: 0.10,
         }
     }
 }
@@ -211,6 +226,7 @@ struct State {
     queue: JobQueue,
     sessions: Mutex<HashMap<String, Arc<StreamSession>>>,
     store: Option<SessionStore>,
+    fleet: Option<FingerprintStore>,
     shutdown: AtomicBool,
     requests: AtomicU64,
     rejected: AtomicU64,
@@ -330,11 +346,16 @@ pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
             initial_sessions.insert(rec.id.clone(), Arc::new(StreamSession::from_recovered(rec, 0)));
         }
     }
+    let fleet = match &config.fleet_dir {
+        Some(dir) => Some(FingerprintStore::open(dir.clone(), config.fleet_max_fingerprints)?),
+        None => None,
+    };
     let state = Arc::new(State {
         cache: Mutex::new(ResultCache::new(config.cache_entries, config.cache_dir.clone())?),
         queue: JobQueue::new(config.workers, config.queue_depth),
         sessions: Mutex::new(initial_sessions),
         store: session_store,
+        fleet,
         shutdown: AtomicBool::new(false),
         requests: AtomicU64::new(0),
         rejected: AtomicU64::new(0),
@@ -538,6 +559,8 @@ fn sampled(id: u64, rate: f64) -> bool {
 fn latency_hist(endpoint: &'static str) -> &'static str {
     match endpoint {
         "analyze" => "serve.latency.analyze",
+        "fingerprints" => "serve.latency.fingerprints",
+        "compare" => "serve.latency.compare",
         "healthz" => "serve.latency.healthz",
         "metrics" => "serve.latency.metrics",
         "stream_records" => "serve.latency.stream_records",
@@ -678,6 +701,8 @@ fn route(state: &Arc<State>, req: &Request) -> Reply {
         ("GET", "/healthz") => ("healthz", healthz(state)),
         ("GET", "/metrics") => ("metrics", metrics(state, req)),
         ("POST", "/v1/analyze") => ("analyze", analyze(state, req)),
+        ("POST", "/v1/fingerprints") => ("fingerprints", fingerprints(state, req)),
+        ("POST", "/v1/compare") => ("compare", compare_builds(state, req)),
         ("GET", "/debug/requests") => ("debug", debug_requests(state)),
         ("POST", "/admin/shutdown") => {
             state.request_shutdown();
@@ -979,6 +1004,245 @@ fn analyze(state: &Arc<State>, req: &Request) -> Reply {
             "analysis job died or timed out\n".to_string(),
         ),
     }
+}
+
+/// Validates a fleet identity string (build id / trace id): the same
+/// conservative charset as stream ids, since both end up in filenames.
+fn fleet_id(what: &str, id: &str) -> Result<String, Reply> {
+    if id.is_empty()
+        || id.len() > 128
+        || !id.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.')
+    {
+        return Err(Reply::bad_request(format!(
+            "{what} {id:?} must be 1-128 chars of [A-Za-z0-9._-]\n"
+        )));
+    }
+    Ok(id.to_string())
+}
+
+/// Turns a request body into a [`Fingerprint`] under `build`/`trace_id`:
+/// a `.pffp` frame is decoded directly (identity fields rewritten to the
+/// query parameters — the caller's naming wins); a PRV trace is parsed
+/// and analyzed on the bounded job queue, so fleet ingestion sheds load
+/// with `503` + `Retry-After` exactly like `/v1/analyze`.
+fn fingerprint_from_body(
+    state: &Arc<State>,
+    req: &Request,
+    build: &str,
+    trace_id: &str,
+) -> Result<(Fingerprint, &'static str), Reply> {
+    if Fingerprint::sniff(&req.body) {
+        return match Fingerprint::decode(&req.body) {
+            Ok(mut fp) => {
+                fp.build_id = build.to_string();
+                fp.trace_id = trace_id.to_string();
+                Ok((fp, "pffp"))
+            }
+            Err(e) => {
+                Err(Reply::text(422, "Unprocessable Entity", format!("bad fingerprint: {e}\n")))
+            }
+        };
+    }
+
+    let config = effective_config(state, req)?;
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return Err(Reply::bad_request("body is neither a .pffp frame nor UTF-8 PRV\n".into()));
+    };
+    let trace = match config.fault_policy {
+        FaultPolicy::Strict => match prv::parse_trace(text) {
+            Ok(t) => t,
+            Err(e) => return Err(Reply::text(422, "Unprocessable Entity", format!("{e}\n"))),
+        },
+        FaultPolicy::Lenient => match prv::parse_trace_lenient(text) {
+            Ok((t, _)) => t,
+            Err(fault) => {
+                return Err(Reply::text(422, "Unprocessable Entity", format!("{fault}\n")))
+            }
+        },
+    };
+
+    let trace_ctx = TraceCtx::current();
+    let submitted = Instant::now();
+    let (tx, rx) = mpsc::channel::<Result<Fingerprint, String>>();
+    let build_owned = build.to_string();
+    let trace_owned = trace_id.to_string();
+    let job = Box::new(move || {
+        phasefold_obs::histogram!("serve.queue_wait", submitted.elapsed().as_nanos() as u64);
+        let outcome = {
+            let _adopt = trace_ctx.map(TraceCtx::adopt);
+            let _sp = phasefold_obs::span!("serve.fingerprint_job");
+            match try_analyze_trace(&trace, &config) {
+                Ok(analysis) => Ok(Fingerprint::from_analysis(
+                    &analysis,
+                    &trace.registry,
+                    &build_owned,
+                    &trace_owned,
+                )),
+                Err(fault) => Err(format!("{fault}")),
+            }
+        };
+        let _ = tx.send(outcome);
+    });
+    match state.queue.try_submit(job) {
+        Ok(()) => {}
+        Err(SubmitError::Full) => {
+            state.rejected.fetch_add(1, Ordering::SeqCst);
+            return Err(Reply::text(
+                503,
+                "Service Unavailable",
+                "queue full, retry shortly\n".into(),
+            )
+            .header("retry-after", "1".to_string()));
+        }
+        Err(SubmitError::ShuttingDown) => {
+            state.rejected.fetch_add(1, Ordering::SeqCst);
+            return Err(Reply::text(503, "Service Unavailable", "daemon is draining\n".into()));
+        }
+    }
+    match rx.recv_timeout(Duration::from_secs(600)) {
+        Ok(Ok(fp)) => Ok((fp, "prv")),
+        Ok(Err(fault)) => Err(Reply::text(422, "Unprocessable Entity", format!("{fault}\n"))),
+        Err(_) => Err(Reply::text(
+            500,
+            "Internal Server Error",
+            "fingerprint job died or timed out\n".to_string(),
+        )),
+    }
+}
+
+/// `POST /v1/fingerprints?build=B[&trace=T]` — fingerprint the posted
+/// trace (or store the posted `.pffp` frame) under the build identity.
+fn fingerprints(state: &Arc<State>, req: &Request) -> Reply {
+    let Some(store) = &state.fleet else {
+        return Reply::text(
+            503,
+            "Service Unavailable",
+            "fleet store not configured (start with --fleet-dir)\n".to_string(),
+        );
+    };
+    let build = match req.query_param("build") {
+        Some(b) => match fleet_id("build id", b) {
+            Ok(b) => b,
+            Err(reply) => return reply,
+        },
+        None => return Reply::bad_request("?build=<id> is required\n".to_string()),
+    };
+    let trace_id = match fleet_id("trace id", req.query_param("trace").unwrap_or("default")) {
+        Ok(t) => t,
+        Err(reply) => return reply,
+    };
+    let (fp, kind) = match fingerprint_from_body(state, req, &build, &trace_id) {
+        Ok(v) => v,
+        Err(reply) => return reply,
+    };
+    let key = match store.put(&fp) {
+        Ok(key) => key,
+        Err(e) => {
+            return Reply::text(500, "Internal Server Error", format!("storing fingerprint: {e}\n"))
+        }
+    };
+    phasefold_obs::counter!("fleet.fingerprints_stored", 1);
+    Reply::json(
+        200,
+        "OK",
+        format!(
+            "{{\"stored\":\"{key}\",\"build\":\"{}\",\"trace\":\"{}\",\"body\":\"{kind}\",\"clusters\":{},\"phases\":{}}}\n",
+            json_escape(&fp.build_id),
+            json_escape(&fp.trace_id),
+            fp.clusters.len(),
+            fp.num_phases(),
+        ),
+    )
+}
+
+/// `POST /v1/compare?baseline=B[&candidate=C][&threshold=R]` — regression
+/// verdict between the stored baseline and either a stored candidate or
+/// the posted body (PRV trace or `.pffp` frame).
+fn compare_builds(state: &Arc<State>, req: &Request) -> Reply {
+    let Some(store) = &state.fleet else {
+        return Reply::text(
+            503,
+            "Service Unavailable",
+            "fleet store not configured (start with --fleet-dir)\n".to_string(),
+        );
+    };
+    let baseline_id = match req.query_param("baseline") {
+        Some(b) => match fleet_id("build id", b) {
+            Ok(b) => b,
+            Err(reply) => return reply,
+        },
+        None => return Reply::bad_request("?baseline=<build id> is required\n".to_string()),
+    };
+    let mut config = MatchConfig {
+        regression_threshold: state.config.regress_threshold,
+        ..MatchConfig::default()
+    };
+    if let Some(t) = req.query_param("threshold") {
+        match t.parse::<f64>() {
+            Ok(t) if t > 0.0 && t.is_finite() => config.regression_threshold = t,
+            _ => {
+                return Reply::bad_request(format!(
+                    "?threshold={t:?} must be a positive number (relative growth)\n"
+                ))
+            }
+        }
+    }
+    let baseline = match store.find_build(&baseline_id) {
+        Ok(Some(fp)) => fp,
+        Ok(None) => {
+            return Reply::text(
+                404,
+                "Not Found",
+                format!("no stored fingerprint for build {baseline_id:?}\n"),
+            )
+        }
+        Err(e) => {
+            return Reply::text(500, "Internal Server Error", format!("reading baseline: {e}\n"))
+        }
+    };
+    let candidate = match req.query_param("candidate") {
+        Some(c) => {
+            let c = match fleet_id("build id", c) {
+                Ok(c) => c,
+                Err(reply) => return reply,
+            };
+            match store.find_build(&c) {
+                Ok(Some(fp)) => fp,
+                Ok(None) => {
+                    return Reply::text(
+                        404,
+                        "Not Found",
+                        format!("no stored fingerprint for build {c:?}\n"),
+                    )
+                }
+                Err(e) => {
+                    return Reply::text(
+                        500,
+                        "Internal Server Error",
+                        format!("reading candidate: {e}\n"),
+                    )
+                }
+            }
+        }
+        None if req.body.is_empty() => {
+            return Reply::bad_request(
+                "?candidate=<build id> or a request body (PRV trace or .pffp) is required\n"
+                    .to_string(),
+            )
+        }
+        None => match fingerprint_from_body(state, req, "inline", &baseline.trace_id) {
+            Ok((fp, _)) => fp,
+            Err(reply) => return reply,
+        },
+    };
+    let verdict = compare_fingerprints(&baseline, &candidate, &config);
+    phasefold_obs::counter!("fleet.compares", 1);
+    if verdict.regressed {
+        phasefold_obs::counter!("fleet.regressions_detected", 1);
+    }
+    let mut body = verdict_json(&verdict);
+    body.push('\n');
+    Reply::json(200, "OK", body)
 }
 
 /// Writes `id`'s checkpoint and, on success, resets its WAL (every entry

@@ -1,0 +1,123 @@
+//! Fleet endpoints over the wire: fingerprint ingestion (PRV and `.pffp`
+//! bodies), stored-baseline comparison, and the unconfigured/invalid
+//! paths. The daemon is booted with a scratch fleet directory per test.
+
+mod common;
+
+use common::{boot, test_config, trace_text, traced};
+use phasefold::analyze_trace;
+use phasefold::AnalysisConfig;
+use phasefold_fleet::Fingerprint;
+use phasefold_serve::ServeConfig;
+use std::path::PathBuf;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("phasefold-fleet-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn fleet_config(name: &str) -> ServeConfig {
+    ServeConfig { fleet_dir: Some(scratch(name)), ..test_config() }
+}
+
+#[test]
+fn fleet_endpoints_without_store_return_503() {
+    let (handle, addr) = boot(test_config());
+    for path in ["/v1/fingerprints?build=v1", "/v1/compare?baseline=v1"] {
+        let resp = phasefold_serve::one_shot(&addr, "POST", path, b"").unwrap();
+        assert_eq!(resp.status, 503, "{path}: {}", resp.text());
+        assert!(resp.text().contains("--fleet-dir"), "{path}: {}", resp.text());
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn fingerprint_then_compare_round_trip() {
+    let (handle, addr) = boot(fleet_config("roundtrip"));
+    let baseline = trace_text(200, 2, 1);
+
+    // Missing ?build= is a client error, not a store write.
+    let bad = phasefold_serve::one_shot(&addr, "POST", "/v1/fingerprints", baseline.as_bytes());
+    assert_eq!(bad.unwrap().status, 400);
+
+    let stored = phasefold_serve::one_shot(
+        &addr,
+        "POST",
+        "/v1/fingerprints?build=v1&trace=synthetic",
+        baseline.as_bytes(),
+    )
+    .unwrap();
+    assert_eq!(stored.status, 200, "{}", stored.text());
+    let text = stored.text();
+    assert!(text.contains("\"build\":\"v1\""), "{text}");
+    assert!(text.contains("\"body\":\"prv\""), "{text}");
+
+    // Comparing an unknown baseline is 404; the stored one answers with a
+    // full verdict for an inline candidate trace.
+    let missing =
+        phasefold_serve::one_shot(&addr, "POST", "/v1/compare?baseline=nope", baseline.as_bytes());
+    assert_eq!(missing.unwrap().status, 404);
+
+    let candidate = trace_text(200, 2, 2);
+    let verdict =
+        phasefold_serve::one_shot(&addr, "POST", "/v1/compare?baseline=v1", candidate.as_bytes())
+            .unwrap();
+    assert_eq!(verdict.status, 200, "{}", verdict.text());
+    let body = verdict.text();
+    assert!(body.contains("\"baseline\":\"v1\""), "{body}");
+    assert!(body.contains("\"regressed\":"), "{body}");
+    assert!(body.contains("\"phases\":["), "{body}");
+
+    // Bad threshold values never reach the matcher.
+    let bad_threshold = phasefold_serve::one_shot(
+        &addr,
+        "POST",
+        "/v1/compare?baseline=v1&threshold=-3",
+        candidate.as_bytes(),
+    );
+    assert_eq!(bad_threshold.unwrap().status, 400);
+
+    // The metrics export now carries the fleet counters.
+    let metrics = phasefold_serve::one_shot(&addr, "GET", "/metrics", b"").unwrap();
+    let metrics_text = metrics.text();
+    assert!(metrics_text.contains("fleet.fingerprints_stored"), "{metrics_text}");
+    assert!(metrics_text.contains("fleet.compares"), "{metrics_text}");
+
+    handle.shutdown();
+}
+
+#[test]
+fn pffp_bodies_are_accepted_and_renamed() {
+    let (handle, addr) = boot(fleet_config("pffp"));
+
+    let trace = traced(200, 2, 7);
+    let analysis = analyze_trace(&trace, &AnalysisConfig::default());
+    let fp = Fingerprint::from_analysis(&analysis, &trace.registry, "local-name", "local-trace");
+    let frame = fp.encode();
+
+    // The query parameters win over whatever identity the frame carries.
+    let stored =
+        phasefold_serve::one_shot(&addr, "POST", "/v1/fingerprints?build=release-9", &frame)
+            .unwrap();
+    assert_eq!(stored.status, 200, "{}", stored.text());
+    let text = stored.text();
+    assert!(text.contains("\"build\":\"release-9\""), "{text}");
+    assert!(text.contains("\"body\":\"pffp\""), "{text}");
+
+    // Comparing a stored build against itself (uploaded again as a frame
+    // candidate) is a clean verdict: identical fingerprints never regress.
+    let verdict =
+        phasefold_serve::one_shot(&addr, "POST", "/v1/compare?baseline=release-9", &frame).unwrap();
+    assert_eq!(verdict.status, 200, "{}", verdict.text());
+    assert!(verdict.text().contains("\"regressed\":false"), "{}", verdict.text());
+
+    // A truncated frame is a typed 422, not a 500.
+    let broken = &frame[..frame.len() - 3];
+    let rejected =
+        phasefold_serve::one_shot(&addr, "POST", "/v1/fingerprints?build=broken", broken).unwrap();
+    assert_eq!(rejected.status, 422, "{}", rejected.text());
+    assert!(rejected.text().contains("bad fingerprint"), "{}", rejected.text());
+
+    handle.shutdown();
+}

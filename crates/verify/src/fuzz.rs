@@ -89,6 +89,7 @@ fn trace_checks(case: &Case, seed: u64) -> Vec<Divergence> {
     divergences.extend(metamorphic::check_batch_online(case, seed));
     divergences.extend(metamorphic::check_checkpoint_roundtrip(case, seed));
     divergences.extend(metamorphic::check_reservoir_stream(case, seed));
+    divergences.extend(metamorphic::check_fingerprint_roundtrip(case, seed));
     divergences
 }
 

@@ -10,6 +10,7 @@
 //! | batch-online | same records, streamed per rank | same per-rank burst counts at every prefix, same fault tallies |
 //! | checkpoint-roundtrip | checkpoint mid-stream, restore, finish both | bit-identical analysis digest (resume is exact) |
 //! | reservoir-stream | same stream, folded points capped at [`RESERVOIR_CHECK_CAP`] | accounting exact; fitted instruction curves within RMS [`RESERVOIR_RMS_BOUND`] in normalized-progress units |
+//! | fingerprint-roundtrip | analysis → `.pffp` frame → decode → re-encode | decoded fingerprint equals the original, re-encoded bytes are bit-identical |
 
 use crate::generate::Case;
 use crate::Divergence;
@@ -655,6 +656,66 @@ pub fn check_reservoir_stream(case: &Case, seed: u64) -> Option<Divergence> {
                 repro: None,
             });
         }
+    }
+    None
+}
+
+/// Property: condensing an analysis into a fleet fingerprint and pushing
+/// it through the `.pffp` wire frame is lossless — the decoded fingerprint
+/// equals the original, and re-encoding it reproduces the exact bytes.
+/// This is the storage contract the fleet store and `regress-check` lean
+/// on: a baseline written by one build must read back bit-identically in
+/// the next.
+pub fn check_fingerprint_roundtrip(case: &Case, seed: u64) -> Option<Divergence> {
+    let config = case.config.to_analysis();
+    // Faulted analyses have no fingerprint to round-trip; other checks own
+    // the fault-handling contracts.
+    let analysis = try_analyze_trace(&case.trace, &config).ok()?;
+    let fp = phasefold_fleet::Fingerprint::from_analysis(
+        &analysis,
+        &case.trace.registry,
+        "verify-build",
+        "verify-trace",
+    );
+    let bytes = fp.encode();
+    let decoded = match phasefold_fleet::Fingerprint::decode(&bytes) {
+        Ok(d) => d,
+        Err(e) => {
+            return Some(Divergence {
+                check: "fingerprint-roundtrip",
+                seed,
+                detail: format!("decode of a fresh frame failed: {e}"),
+                repro: None,
+            })
+        }
+    };
+    if decoded != fp {
+        return Some(Divergence {
+            check: "fingerprint-roundtrip",
+            seed,
+            detail: format!(
+                "decoded fingerprint diverged: {} vs {} clusters, {} vs {} phases",
+                decoded.clusters.len(),
+                fp.clusters.len(),
+                decoded.num_phases(),
+                fp.num_phases()
+            ),
+            repro: None,
+        });
+    }
+    let re = decoded.encode();
+    if re != bytes {
+        let pos = re.iter().zip(&bytes).position(|(a, b)| a != b).unwrap_or(bytes.len().min(re.len()));
+        return Some(Divergence {
+            check: "fingerprint-roundtrip",
+            seed,
+            detail: format!(
+                "re-encoded frame differs at byte {pos} ({} vs {} bytes total)",
+                re.len(),
+                bytes.len()
+            ),
+            repro: None,
+        });
     }
     None
 }

@@ -21,6 +21,9 @@
 # phasefold-obs denies them crate-wide as well: the telemetry layer runs
 # inside every request and every worker, and instrumentation must never
 # be the thing that takes the instrumented process down.
+# phasefold-fleet joins the deny list because it decodes fingerprints that
+# arrive over the wire and off disk: a panic on a malformed `.pffp` frame
+# would let one corrupt baseline wedge every deploy gate that reads it.
 # Any unwrap/expect reintroduced there is a hard *error* under clippy (test
 # modules opt back in explicitly with #[allow]). Plain rustc accepts the
 # tool-lint attributes silently; this script runs clippy on the owning
@@ -34,6 +37,7 @@ cd "$(dirname "$0")/.."
 
 echo "== clippy: fault-critical crates (unwrap/expect are hard errors) =="
 cargo clippy -q -p phasefold -p phasefold-model -p phasefold-serve -p phasefold-verify \
-    -p phasefold-regress -p phasefold-cluster -p phasefold-obs --all-targets
+    -p phasefold-regress -p phasefold-cluster -p phasefold-obs -p phasefold-fleet \
+    --all-targets
 
 echo "lint OK"

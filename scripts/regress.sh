@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Deploy-regression gate.
+#
+# Two halves, both over the same fleet fingerprint matcher that backs
+# `phasefold regress-check` and the daemon's `POST /v1/compare`:
+#
+#   1. E21 (exp_regress): seeded synthetic before/after pairs at 0/5/10/30%
+#      injected slowdowns, every pair with fresh noise on both sides.
+#      Gates, read from BENCH_regress.json:
+#        - recall at 30% slowdown >= RECALL_GATE (default 0.9): a slowdown
+#          three times the threshold must essentially always fire,
+#        - false-positive rate on no-change pairs <= FPR_GATE (default
+#          0.1): run-to-run noise must not page anyone.
+#
+#   2. regress-check CLI smoke: a genuinely regressed pair (blocked
+#      stencil baseline vs the naive variant) must exit non-zero, a
+#      no-change pair must exit zero, and a `.pffp` baseline produced by
+#      `phasefold fingerprint` must gate identically to the raw trace.
+#
+# Usage:
+#   scripts/regress.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RECALL_GATE=${RECALL_GATE:-0.9}
+FPR_GATE=${FPR_GATE:-0.1}
+
+WORK=$(mktemp -d /tmp/phasefold-regress.XXXXXX)
+trap 'rm -rf "$WORK"' EXIT
+
+echo "== release build =="
+cargo build --release -p phasefold-cli -p phasefold-bench
+
+PHASEFOLD=target/release/phasefold
+
+echo "== E21: recall / false-positive sweep =="
+target/release/exp_regress
+
+extract() {
+    grep "\"$1\":" BENCH_regress.json | head -1 | sed "s/.*\"$1\": \([0-9.]*\),*/\1/"
+}
+
+fail=0
+recall=$(extract recall_30)
+fpr=$(extract false_positive_rate)
+awk -v r="$recall" -v gate="$RECALL_GATE" 'BEGIN {
+    status = (r >= gate) ? "ok" : "MISSES REGRESSIONS";
+    printf "recall at 30%% slowdown: %.4f (gate >= %.2f)   %s\n", r, gate, status;
+    exit (r >= gate) ? 0 : 1;
+}' || fail=1
+awk -v f="$fpr" -v gate="$FPR_GATE" 'BEGIN {
+    status = (f <= gate) ? "ok" : "CRIES WOLF";
+    printf "false-positive rate on no-change pairs: %.4f (gate <= %.2f)   %s\n", f, gate, status;
+    exit (f <= gate) ? 0 : 1;
+}' || fail=1
+
+echo "== regress-check CLI smoke =="
+FAST="$WORK/stencil-blocked.prv"
+SLOW="$WORK/stencil-naive.prv"
+SAME="$WORK/stencil-blocked-reseeded.prv"
+"$PHASEFOLD" simulate stencil --ranks 2 --optimized --out "$FAST" >/dev/null
+"$PHASEFOLD" simulate stencil --ranks 2 --out "$SLOW" >/dev/null
+"$PHASEFOLD" simulate stencil --ranks 2 --optimized --seed 99 --out "$SAME" >/dev/null
+
+if "$PHASEFOLD" regress-check "$FAST" "$SLOW" >"$WORK/regressed.txt" 2>&1; then
+    echo "FAIL: regress-check passed a genuinely regressed pair"
+    cat "$WORK/regressed.txt"
+    fail=1
+else
+    echo "ok: regressed pair exits non-zero"
+fi
+grep -q 'REGRESSED' "$WORK/regressed.txt" || {
+    echo "FAIL: regressed verdict does not say REGRESSED"; fail=1; }
+
+if "$PHASEFOLD" regress-check "$FAST" "$SAME" >"$WORK/clean.txt" 2>&1; then
+    echo "ok: no-change pair exits zero"
+else
+    echo "FAIL: regress-check flagged a reseeded identical build"
+    cat "$WORK/clean.txt"
+    fail=1
+fi
+
+# The .pffp baseline path must agree with the raw-trace path.
+FP="$WORK/stencil-blocked.pffp"
+"$PHASEFOLD" fingerprint "$FAST" --out "$FP" --build smoke-base >/dev/null
+if "$PHASEFOLD" regress-check "$FP" "$SLOW" >/dev/null 2>&1; then
+    echo "FAIL: .pffp baseline passed the regressed pair"
+    fail=1
+else
+    echo "ok: .pffp baseline gates identically"
+fi
+
+if [[ $fail -ne 0 ]]; then
+    echo "FAIL: regression gate"
+    exit 1
+fi
+echo "OK: regression detection gates passed"

@@ -56,7 +56,8 @@ LOADGEN=target/release/exp_serve_load
 
 echo "== booting daemon on an ephemeral port =="
 "$PHASEFOLD" serve --addr 127.0.0.1:0 --workers 4 --queue-depth 32 \
-    --cache-dir "$WORK/cache" --port-file "$PORT_FILE" >"$SERVE_LOG" 2>&1 &
+    --cache-dir "$WORK/cache" --fleet-dir "$WORK/fleet" \
+    --port-file "$PORT_FILE" >"$SERVE_LOG" 2>&1 &
 SERVER_PID=$!
 
 ADDR=""
@@ -128,6 +129,19 @@ if [[ "$(body_of "$COLD")" != "$(body_of "$WARM")" ]]; then
     exit 1
 fi
 echo "ok: cache hit is byte-identical to the cold run"
+
+echo "== fleet fingerprint + compare smoke =="
+expect_status "POST /v1/fingerprints" 200 \
+    "$(request POST "/v1/fingerprints?build=smoke-base" "$(cat "$TRACE")")"
+VERDICT=$(request POST "/v1/compare?baseline=smoke-base" "$(cat "$TRACE")")
+expect_status "POST /v1/compare" 200 "$VERDICT"
+# The candidate is the byte-identical trace: the verdict must be clean.
+if ! body_of "$VERDICT" | grep -q '"regressed":false'; then
+    echo "FAIL: self-compare reported a regression"
+    body_of "$VERDICT" | head -5
+    exit 1
+fi
+echo "ok: self-compare verdict is clean"
 
 echo "== low-concurrency load against the live daemon =="
 "$LOADGEN" "$LOAD_JSON" --addr "$ADDR" --requests 64 --levels 1,4
