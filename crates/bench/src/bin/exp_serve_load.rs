@@ -1,7 +1,8 @@
 //! **E16 — Serving throughput and latency**: closed-loop load test of the
 //! `phasefold-serve` daemon.
 //!
-//! At each concurrency level (1/4/16/64 clients by default) every client
+//! At each concurrency level (1/4/16/64/256/1024 clients by default)
+//! every client
 //! runs a closed loop of `POST /v1/analyze` requests over a keep-alive
 //! connection, cycling through a small set of distinct synthetic traces so
 //! the first pass misses the content-addressed cache and later passes hit
@@ -25,7 +26,7 @@
 //!
 //! ```text
 //! cargo run --release -p phasefold-bench --bin exp_serve_load
-//!     [out.json] [--addr H:P] [--requests N] [--levels 1,4,16,64]
+//!     [out.json] [--addr H:P] [--requests N] [--levels 1,4,16,64,256,1024]
 //! ```
 //!
 //! With `--addr` the generator drives an externally-booted daemon (the
@@ -199,8 +200,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_path = DEFAULT_OUT.to_string();
     let mut external_addr: Option<String> = None;
-    let mut total_requests = 192usize;
-    let mut levels = vec![1usize, 4, 16, 64];
+    let mut total_requests = 2048usize;
+    let mut levels = vec![1usize, 4, 16, 64, 256, 1024];
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -249,10 +250,15 @@ fn main() {
     let mut all_latencies: Vec<f64> = Vec::new();
     let mut daemon: Option<DaemonLatency> = None;
     for &concurrency in &levels {
+        // Every client runs at least a few timed requests, so the level
+        // measures steady-state keep-alive throughput and not the
+        // connect storm (at c=1024 a 2048-request budget would give each
+        // client two samples, half of them right behind the accept burst).
+        let level_requests = total_requests.max(concurrency * 4);
         let want_scrape = daemon.is_none(); // first level only — see module doc
         let (latencies, hits, retries, wall_ms, drain_clean) = match &external_addr {
             Some(addr) => {
-                let (l, h, r, w) = run_level(addr, concurrency, total_requests, &traces);
+                let (l, h, r, w) = run_level(addr, concurrency, level_requests, &traces);
                 if want_scrape {
                     daemon = scrape_daemon_latency(addr);
                 }
@@ -262,11 +268,15 @@ fn main() {
                 let config = ServeConfig {
                     workers: std::thread::available_parallelism().map_or(2, |n| n.get()).min(8),
                     queue_depth: 32,
+                    // Room for the widest level plus reconnect churn: the
+                    // zero-drop criterion is about queue backpressure, not
+                    // the connection cap.
+                    max_connections: (levels.iter().copied().max().unwrap_or(64) * 2).max(256),
                     ..ServeConfig::default()
                 };
                 let handle = phasefold_serve::serve(config).expect("boot daemon");
                 let addr = handle.addr().to_string();
-                let (l, h, r, w) = run_level(&addr, concurrency, total_requests, &traces);
+                let (l, h, r, w) = run_level(&addr, concurrency, level_requests, &traces);
                 if want_scrape {
                     // Scrape before the drain: the histogram registry is
                     // process-global but this daemon's samples are exactly
@@ -344,6 +354,12 @@ fn main() {
         "  \"build_profile\": \"{}\",",
         if cfg!(debug_assertions) { "debug" } else { "release" }
     );
+    // On a single-core host every concurrency level shares one CPU, so
+    // throughput cannot scale and the scaling gate must not pretend it
+    // was measured (same convention as BENCH.json `parallel_measured`).
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let _ = writeln!(json, "  \"host_cores\": {host_cores},");
+    let _ = writeln!(json, "  \"scaling_measured\": {},", host_cores > 1);
     let _ = writeln!(json, "  \"distinct_traces\": {DISTINCT_TRACES},");
     let _ = writeln!(json, "  \"requests_per_level\": {total_requests},");
     let _ = writeln!(json, "  \"overall_requests\": {overall_requests},");

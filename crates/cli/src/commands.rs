@@ -691,10 +691,13 @@ pub fn serve(argv: &[String], out: &mut String) -> Result<(), CliError> {
             "fleet-dir",
             "fleet-max-fingerprints",
             "regress-threshold",
+            "event-shards",
+            "cache-shards",
         ],
         &[],
     )?;
-    let regress_threshold: f64 = p.get_parsed("regress-threshold", 0.10)?;
+    let regress_threshold: f64 =
+        p.get_parsed("regress-threshold", MatchConfig::default().regression_threshold)?;
     if !(regress_threshold.is_finite() && regress_threshold > 0.0) {
         return Err(CliError::Usage(format!(
             "--regress-threshold must be a positive relative growth, got {regress_threshold}"
@@ -743,6 +746,9 @@ pub fn serve(argv: &[String], out: &mut String) -> Result<(), CliError> {
         fleet_dir: p.get("fleet-dir").map(std::path::PathBuf::from),
         fleet_max_fingerprints: p.get_parsed("fleet-max-fingerprints", 256usize)?.max(1),
         regress_threshold,
+        // 0 = auto-size from available cores (see ServeConfig docs).
+        event_shards: p.get_parsed("event-shards", 0usize)?,
+        cache_shards: p.get_parsed("cache-shards", 0usize)?,
         ..phasefold_serve::ServeConfig::default()
     };
     let max_seconds: u64 = p.get_parsed("max-seconds", 0)?; // 0 = run forever

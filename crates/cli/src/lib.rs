@@ -146,7 +146,9 @@ commands:
       [--fleet-dir DIR (versioned fingerprint store; enables
        POST /v1/fingerprints and POST /v1/compare)]
       [--fleet-max-fingerprints N (store eviction bound, 256)]
-      [--regress-threshold R (default verdict threshold, 0.1)]
+      [--regress-threshold R (default verdict threshold, 0.08)]
+      [--event-shards N (event-loop shards, 0 = auto from cores)]
+      [--cache-shards N (result-cache shards, 0 = auto from cores)]
   verify                            differential + metamorphic correctness
       gate: fuzz seeded random traces against slow reference kernels and
       paper-derived invariants; replay the minimized regression corpus

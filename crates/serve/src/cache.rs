@@ -272,6 +272,88 @@ fn parse_spill(raw: &str) -> Option<(TraceWitness, &str)> {
     Some((TraceWitness { len, alt }, report))
 }
 
+/// The result cache split into independently locked shards, selected by
+/// a mix of the cache key. Hot concurrent lookups from different event
+/// shards and queue workers no longer serialize on one global LRU lock;
+/// capacity is divided evenly across shards (LRU recency is therefore
+/// per-shard, which is indistinguishable under hashed key placement).
+/// All shards share one spill directory — spill file stems are the full
+/// key, so there are no cross-shard collisions on disk.
+pub struct ShardedCache {
+    shards: Vec<std::sync::Mutex<ResultCache>>,
+}
+
+impl ShardedCache {
+    /// Builds `shard_count` shards splitting `capacity` between them.
+    /// The spill directory (when given) is created eagerly, like
+    /// [`ResultCache::new`].
+    pub fn new(
+        capacity: usize,
+        shard_count: usize,
+        spill_dir: Option<PathBuf>,
+    ) -> std::io::Result<ShardedCache> {
+        let n = shard_count.max(1);
+        let per_shard = capacity.div_ceil(n).max(1);
+        let mut shards = Vec::with_capacity(n);
+        for _ in 0..n {
+            shards.push(std::sync::Mutex::new(ResultCache::new(per_shard, spill_dir.clone())?));
+        }
+        Ok(ShardedCache { shards })
+    }
+
+    fn shard(&self, key: &CacheKey) -> &std::sync::Mutex<ResultCache> {
+        let mix = key
+            .trace
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_left(29)
+            ^ key.config;
+        let idx = (mix % self.shards.len() as u64) as usize;
+        &self.shards[idx]
+    }
+
+    fn lock(shard: &std::sync::Mutex<ResultCache>) -> std::sync::MutexGuard<'_, ResultCache> {
+        shard.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Witness-verified lookup; see [`ResultCache::get`].
+    pub fn get(&self, key: &CacheKey, witness: &TraceWitness) -> Option<String> {
+        Self::lock(self.shard(key)).get(key, witness)
+    }
+
+    /// Inserts into the owning shard; see [`ResultCache::insert`].
+    pub fn insert(&self, key: CacheKey, witness: TraceWitness, report: String) {
+        Self::lock(self.shard(&key)).insert(key, witness, report);
+    }
+
+    /// Counters aggregated across shards.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for shard in &self.shards {
+            let s = Self::lock(shard).stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.evictions += s.evictions;
+            total.verify_failures += s.verify_failures;
+        }
+        total
+    }
+
+    /// Total in-memory entries across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| Self::lock(s).len()).sum()
+    }
+
+    /// True when no shard holds an entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// How many shards the cache was built with.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+}
+
 #[cfg(test)]
 #[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
@@ -382,5 +464,29 @@ mod tests {
         assert_eq!(config_fingerprint(&a), config_fingerprint(&b));
         let c = AnalysisConfig { min_folded_points: 31, ..AnalysisConfig::default() };
         assert_ne!(config_fingerprint(&a), config_fingerprint(&c));
+    }
+
+    #[test]
+    fn sharded_cache_round_trips_and_aggregates_stats() {
+        let cache = ShardedCache::new(64, 4, None).unwrap();
+        assert_eq!(cache.shard_count(), 4);
+        let config = AnalysisConfig::default();
+        for i in 0..32 {
+            let trace = format!("trace {i}");
+            let key = CacheKey::derive(&trace, &config);
+            let witness = TraceWitness::derive(&trace);
+            assert!(cache.get(&key, &witness).is_none(), "cold lookup {i}");
+            cache.insert(key, witness, format!("report {i}"));
+            assert_eq!(cache.get(&key, &witness).as_deref(), Some(format!("report {i}").as_str()));
+        }
+        assert_eq!(cache.len(), 32);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 32);
+        assert_eq!(stats.misses, 32);
+        // A witness mismatch is refused by whichever shard owns the key.
+        let key = CacheKey::derive("trace 0", &config);
+        let wrong = TraceWitness::derive("something else");
+        assert!(cache.get(&key, &wrong).is_none());
+        assert_eq!(cache.stats().verify_failures, 1);
     }
 }

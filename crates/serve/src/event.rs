@@ -1,0 +1,600 @@
+//! Event-driven connection core: a fixed set of shard threads, each
+//! owning a poller and a slab of non-blocking connections.
+//!
+//! The accept thread hands every new connection to a shard (hash of the
+//! fd); from then on all of that connection's IO happens on its shard.
+//! A connection is a small state machine: read bytes → feed the
+//! incremental [`RequestParser`] → dispatch the request. Inline
+//! endpoints answer immediately; analysis endpoints park the connection
+//! (`pending`) while the job queue computes, and the worker delivers the
+//! finished [`Reply`] back through [`EventCore::deliver`] plus a
+//! self-pipe wakeup. While a connection is pending or has an unflushed
+//! response, its read interest is dropped, which bounds per-connection
+//! buffering to one request.
+//!
+//! Shards make shutdown prompt and deterministic: `request_shutdown`
+//! wakes every shard, idle keep-alive connections are closed on the next
+//! loop turn (not after `read_timeout`), mid-request and pending
+//! connections finish until the drain deadline, and `run()` joins every
+//! shard thread before draining the job queue — no connection handle is
+//! ever leaked.
+
+use crate::http::{render_response, RequestParser};
+use crate::queue::lock_recover;
+use crate::server::{self, Dispatch, Reply, RequestTicket, State};
+use crate::sys::{PollEvent, Poller, WakePipe};
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::io::AsRawFd;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Token under which the shard's wake pipe is registered.
+const WAKE_TOKEN: u64 = u64::MAX;
+
+/// Bytes one connection may read per wakeup before yielding to its
+/// shard siblings; level-triggered polling re-signals leftover input.
+const READ_BUDGET: usize = 256 * 1024;
+
+/// Slab address of a connection: slot index plus a generation stamp so
+/// a stale event or late job completion for a closed connection cannot
+/// touch the slot's new occupant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Token {
+    pub slot: u32,
+    pub gen: u32,
+}
+
+impl Token {
+    fn to_u64(self) -> u64 {
+        (u64::from(self.gen) << 32) | u64::from(self.slot)
+    }
+
+    fn from_u64(raw: u64) -> Token {
+        Token { slot: raw as u32, gen: (raw >> 32) as u32 }
+    }
+}
+
+/// Where a parked request's reply must be delivered: which shard, which
+/// connection. Captured by job closures at submit time.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ReplySlot {
+    pub shard: usize,
+    pub token: Token,
+}
+
+/// What a shard reports when it exits at drain.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct ShardStats {
+    /// Connections force-closed because the drain deadline passed.
+    pub forced_closed: usize,
+}
+
+/// The cross-thread face of one shard.
+struct ShardShared {
+    inbox: Mutex<VecDeque<TcpStream>>,
+    completions: Mutex<Vec<(Token, Reply)>>,
+    wake: WakePipe,
+}
+
+/// The fixed set of event-loop shards plus their join handles.
+pub(crate) struct EventCore {
+    shards: Vec<Arc<ShardShared>>,
+    threads: Mutex<Vec<JoinHandle<ShardStats>>>,
+}
+
+impl EventCore {
+    /// Creates the shard pollers and spawns one event-loop thread per
+    /// shard. Fails at boot (not at runtime) if a poller or wake pipe
+    /// cannot be created.
+    pub(crate) fn start(state: &Arc<State>, shard_count: usize) -> io::Result<Arc<EventCore>> {
+        let n = shard_count.max(1);
+        let mut shards = Vec::with_capacity(n);
+        let mut threads = Vec::with_capacity(n);
+        for i in 0..n {
+            let shared = Arc::new(ShardShared {
+                inbox: Mutex::new(VecDeque::new()),
+                completions: Mutex::new(Vec::new()),
+                wake: WakePipe::new()?,
+            });
+            let poller = Poller::new()?;
+            let state = Arc::clone(state);
+            let shard = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("serve-shard-{i}"))
+                .spawn(move || {
+                    phasefold_obs::span::set_lane_name(&format!("serve-shard-{i}"));
+                    Shard::new(state, shard, poller, i).run()
+                })?;
+            shards.push(shared);
+            threads.push(handle);
+        }
+        Ok(Arc::new(EventCore { shards, threads: Mutex::new(threads) }))
+    }
+
+    /// Assigns a freshly accepted connection to a shard and wakes it.
+    /// The stream must already be non-blocking.
+    pub(crate) fn dispatch(&self, stream: TcpStream) {
+        let fd = stream.as_raw_fd() as u64;
+        let mix = fd.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let idx = ((mix >> 32) as usize) % self.shards.len();
+        let shard = &self.shards[idx];
+        lock_recover(&shard.inbox).push_back(stream);
+        shard.wake.wake();
+    }
+
+    /// Delivers a finished reply for a parked connection and wakes the
+    /// owning shard. Safe to call for connections that have since
+    /// closed — the generation check drops the reply on the floor.
+    pub(crate) fn deliver(&self, slot: ReplySlot, reply: Reply) {
+        let Some(shard) = self.shards.get(slot.shard) else { return };
+        lock_recover(&shard.completions).push((slot.token, reply));
+        shard.wake.wake();
+    }
+
+    /// Wakes every shard (shutdown flag flips, drain deadline set, …).
+    pub(crate) fn wake_all(&self) {
+        for shard in &self.shards {
+            shard.wake.wake();
+        }
+    }
+
+    /// Joins every shard thread. Deterministic teardown: returns only
+    /// when all shard threads have exited, with the count of
+    /// force-closed connections. Call after `request_shutdown()`.
+    pub(crate) fn join(&self) -> ShardStats {
+        let handles: Vec<_> = lock_recover(&self.threads).drain(..).collect();
+        let mut total = ShardStats::default();
+        for handle in handles {
+            if let Ok(stats) = handle.join() {
+                total.forced_closed += stats.forced_closed;
+            }
+        }
+        total
+    }
+
+}
+
+/// One event-loop connection.
+struct Conn {
+    stream: TcpStream,
+    gen: u32,
+    parser: RequestParser,
+    /// Bytes read from the socket, not yet consumed by the parser.
+    inbuf: Vec<u8>,
+    /// Serialized response bytes awaiting write.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Ticket of the request currently parked in the job queue.
+    pending: Option<RequestTicket>,
+    /// When the current read (or idle keep-alive wait, or stalled
+    /// write) gives up; `None` while a job is pending.
+    deadline: Option<Instant>,
+    close_after_write: bool,
+    /// Interest currently registered with the poller, to skip
+    /// redundant `modify` syscalls.
+    registered: (bool, bool),
+}
+
+impl Conn {
+    fn interest(&self) -> (bool, bool) {
+        let want_write = self.out_pos < self.out.len();
+        let want_read = !want_write && self.pending.is_none() && !self.close_after_write;
+        (want_read, want_write)
+    }
+}
+
+struct Shard {
+    state: Arc<State>,
+    shared: Arc<ShardShared>,
+    poller: Poller,
+    idx: usize,
+    conns: Vec<Option<Conn>>,
+    free: Vec<u32>,
+    live: usize,
+    next_gen: u32,
+    stats: ShardStats,
+    scratch: Vec<u8>,
+}
+
+impl Shard {
+    fn new(state: Arc<State>, shared: Arc<ShardShared>, poller: Poller, idx: usize) -> Shard {
+        Shard {
+            state,
+            shared,
+            poller,
+            idx,
+            conns: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            next_gen: 1,
+            stats: ShardStats::default(),
+            scratch: vec![0u8; 64 * 1024],
+        }
+    }
+
+    fn run(mut self) -> ShardStats {
+        if self.poller.register(self.shared.wake.read_fd(), WAKE_TOKEN, true, false).is_err() {
+            // Without a wake pipe the shard cannot be driven; refuse
+            // connections rather than strand them silently.
+            return self.stats;
+        }
+        let mut events: Vec<PollEvent> = Vec::new();
+        loop {
+            let timeout = self.wait_timeout();
+            if self.poller.wait(&mut events, timeout).is_err() {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            let drained_waker = events.iter().any(|e| e.token == WAKE_TOKEN);
+            if drained_waker {
+                self.shared.wake.drain();
+            }
+            self.adopt_new();
+            self.apply_completions();
+            for i in 0..events.len() {
+                let ev = events[i];
+                if ev.token == WAKE_TOKEN {
+                    continue;
+                }
+                self.handle_event(ev);
+            }
+            self.expire_deadlines();
+            if self.state.shutting_down() {
+                self.close_idle();
+                self.adopt_new();
+                if self.live == 0 && lock_recover(&self.shared.inbox).is_empty() {
+                    return self.stats;
+                }
+                if let Some(deadline) = self.state.drain_deadline_at() {
+                    if Instant::now() >= deadline {
+                        self.force_close_all();
+                        return self.stats;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sleep until the nearest connection deadline (capped at 250 ms so
+    /// drain-deadline expiry is noticed promptly even with no events).
+    fn wait_timeout(&self) -> Duration {
+        let now = Instant::now();
+        let mut timeout = Duration::from_millis(250);
+        for conn in self.conns.iter().flatten() {
+            if let Some(d) = conn.deadline {
+                timeout = timeout.min(d.saturating_duration_since(now).max(Duration::from_millis(1)));
+            }
+        }
+        if self.state.shutting_down() {
+            timeout = timeout.min(Duration::from_millis(25));
+        }
+        timeout
+    }
+
+    fn adopt_new(&mut self) {
+        loop {
+            let stream = match lock_recover(&self.shared.inbox).pop_front() {
+                Some(s) => s,
+                None => break,
+            };
+            self.add_conn(stream);
+        }
+    }
+
+    fn add_conn(&mut self, stream: TcpStream) {
+        let gen = self.next_gen;
+        self.next_gen = self.next_gen.wrapping_add(1).max(1);
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.conns.push(None);
+                (self.conns.len() - 1) as u32
+            }
+        };
+        let conn = Conn {
+            stream,
+            gen,
+            parser: RequestParser::new(self.state.max_body()),
+            inbuf: Vec::new(),
+            out: Vec::new(),
+            out_pos: 0,
+            pending: None,
+            deadline: Some(Instant::now() + self.state.read_timeout()),
+            close_after_write: false,
+            registered: (true, false),
+        };
+        let token = Token { slot, gen }.to_u64();
+        let fd = conn.stream.as_raw_fd();
+        self.conns[slot as usize] = Some(conn);
+        self.live += 1;
+        if self.poller.register(fd, token, true, false).is_err() {
+            self.close_conn(slot as usize);
+            return;
+        }
+        // The client may have written its request before we adopted the
+        // fd; serve it now rather than waiting a poll round-trip.
+        self.drive_readable(slot as usize);
+    }
+
+    fn close_conn(&mut self, slot: usize) {
+        if let Some(conn) = self.conns.get_mut(slot).and_then(Option::take) {
+            self.poller.deregister(conn.stream.as_raw_fd());
+            self.live -= 1;
+            self.state.conn_closed();
+            drop(conn);
+            self.free.push(slot as u32);
+        }
+    }
+
+    fn handle_event(&mut self, ev: PollEvent) {
+        let token = Token::from_u64(ev.token);
+        let slot = token.slot as usize;
+        let Some(conn) = self.conns.get(slot).and_then(Option::as_ref) else { return };
+        if conn.gen != token.gen {
+            return;
+        }
+        if ev.writable {
+            self.drive_writable(slot);
+        }
+        let Some(conn) = self.conns.get(slot).and_then(Option::as_ref) else { return };
+        let (want_read, _) = conn.interest();
+        if (ev.readable || ev.error) && want_read {
+            self.drive_readable(slot);
+        } else if ev.error && conn.pending.is_none() && conn.out_pos >= conn.out.len() {
+            self.close_conn(slot);
+        }
+    }
+
+    /// Reads until `WouldBlock`, EOF, or the fairness budget, feeding
+    /// the parser and dispatching complete requests as they appear.
+    fn drive_readable(&mut self, slot: usize) {
+        let mut total = 0usize;
+        loop {
+            let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else { return };
+            let (want_read, _) = conn.interest();
+            if !want_read || total >= READ_BUDGET {
+                break;
+            }
+            match conn.stream.read(&mut self.scratch) {
+                Ok(0) => {
+                    // Peer EOF. A half-open request dies with its
+                    // connection; a clean boundary just closes.
+                    self.close_conn(slot);
+                    return;
+                }
+                Ok(n) => {
+                    total += n;
+                    conn.inbuf.extend_from_slice(&self.scratch[..n]);
+                    conn.deadline = Some(Instant::now() + self.state.read_timeout());
+                    self.advance_parser(slot);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close_conn(slot);
+                    return;
+                }
+            }
+        }
+        self.flush_and_sync(slot);
+    }
+
+    /// Feeds buffered bytes to the parser; dispatches every complete
+    /// request until one parks (pending), one queues output, the buffer
+    /// runs dry, or framing breaks.
+    fn advance_parser(&mut self, slot: usize) {
+        loop {
+            let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else { return };
+            if conn.close_after_write || conn.pending.is_some() || conn.out_pos < conn.out.len() {
+                return;
+            }
+            if conn.inbuf.is_empty() {
+                return;
+            }
+            match conn.parser.feed(&mut conn.inbuf) {
+                Ok(Some(req)) => {
+                    let token = Token { slot: slot as u32, gen: conn.gen };
+                    let reply_slot = ReplySlot { shard: self.idx, token };
+                    match server::handle_parsed(&self.state, req, reply_slot) {
+                        Dispatch::Ready(ticket, reply) => {
+                            self.queue_reply(slot, ticket, reply);
+                        }
+                        Dispatch::Pending(ticket) => {
+                            if let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) {
+                                conn.pending = Some(ticket);
+                                conn.deadline = None;
+                            }
+                            return;
+                        }
+                    }
+                }
+                Ok(None) => return,
+                Err(e) => {
+                    // Framing is unreliable after a defect: answer what
+                    // we can attribute a status to, then close.
+                    if let Some((status, reason)) = e.status() {
+                        let bytes = render_response(
+                            status,
+                            reason,
+                            "text/plain",
+                            &[],
+                            reason.as_bytes(),
+                            false,
+                        );
+                        conn.out.extend_from_slice(&bytes);
+                    }
+                    conn.close_after_write = true;
+                    conn.inbuf.clear();
+                    conn.deadline = Some(Instant::now() + self.state.read_timeout());
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Serializes a finished reply onto the connection's write buffer.
+    fn queue_reply(&mut self, slot: usize, ticket: RequestTicket, reply: Reply) {
+        let (bytes, keep_alive) = server::finalize_reply(&self.state, ticket, reply);
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else { return };
+        conn.out.extend_from_slice(&bytes);
+        conn.close_after_write = !keep_alive;
+        conn.deadline = Some(Instant::now() + self.state.read_timeout());
+    }
+
+    /// Write-side progress: flush, then either close, resume parsing
+    /// pipelined input, or fall back to waiting for events.
+    fn drive_writable(&mut self, slot: usize) {
+        self.flush_and_sync(slot);
+    }
+
+    fn flush_out(&mut self, slot: usize) -> bool {
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else { return false };
+        while conn.out_pos < conn.out.len() {
+            match conn.stream.write(&conn.out[conn.out_pos..]) {
+                Ok(0) => return false,
+                Ok(n) => {
+                    conn.out_pos += n;
+                    conn.deadline = Some(Instant::now() + self.state.read_timeout());
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+        if conn.out_pos >= conn.out.len() {
+            conn.out.clear();
+            conn.out_pos = 0;
+        }
+        true
+    }
+
+    /// The connection's settle loop: flush output, close when done and
+    /// marked, resume parsing pipelined requests, and re-register the
+    /// poller interest to match the new state.
+    fn flush_and_sync(&mut self, slot: usize) {
+        loop {
+            if !self.flush_out(slot) {
+                self.close_conn(slot);
+                return;
+            }
+            let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else { return };
+            let flushed = conn.out_pos >= conn.out.len();
+            if flushed && conn.close_after_write {
+                self.close_conn(slot);
+                return;
+            }
+            if !(flushed && conn.pending.is_none() && !conn.inbuf.is_empty()) {
+                break;
+            }
+            // Response fully flushed and pipelined bytes are waiting:
+            // parse the next request now.
+            conn.deadline = Some(Instant::now() + self.state.read_timeout());
+            let before = conn.out.len();
+            self.advance_parser(slot);
+            let Some(conn) = self.conns.get(slot).and_then(Option::as_ref) else { return };
+            if conn.out.len() == before && conn.pending.is_none() {
+                break;
+            }
+        }
+        self.update_interest(slot);
+    }
+
+    fn update_interest(&mut self, slot: usize) {
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else { return };
+        let want = conn.interest();
+        if want == conn.registered {
+            return;
+        }
+        let token = Token { slot: slot as u32, gen: conn.gen }.to_u64();
+        let fd = conn.stream.as_raw_fd();
+        if self.poller.modify(fd, token, want.0, want.1).is_ok() {
+            if let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) {
+                conn.registered = want;
+            }
+        }
+    }
+
+    fn apply_completions(&mut self) {
+        let done: Vec<(Token, Reply)> = {
+            let mut guard = lock_recover(&self.shared.completions);
+            std::mem::take(&mut *guard)
+        };
+        for (token, reply) in done {
+            let slot = token.slot as usize;
+            let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else { continue };
+            if conn.gen != token.gen {
+                continue;
+            }
+            let Some(ticket) = conn.pending.take() else { continue };
+            self.queue_reply(slot, ticket, reply);
+            self.flush_and_sync(slot);
+        }
+    }
+
+    fn expire_deadlines(&mut self) {
+        let now = Instant::now();
+        for slot in 0..self.conns.len() {
+            let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else { continue };
+            let Some(deadline) = conn.deadline else { continue };
+            if now < deadline {
+                continue;
+            }
+            if conn.out_pos < conn.out.len() || conn.close_after_write {
+                // Write stalled past the budget: the peer is not
+                // draining; nothing more we can say to it.
+                self.close_conn(slot);
+                continue;
+            }
+            // Idle keep-alive or a half-written request: same answer the
+            // blocking core gave after `read_timeout` — 408 and close.
+            let bytes = render_response(
+                408,
+                "Request Timeout",
+                "text/plain",
+                &[],
+                b"Request Timeout",
+                false,
+            );
+            conn.out.extend_from_slice(&bytes);
+            conn.close_after_write = true;
+            conn.deadline = Some(now + self.state.read_timeout());
+            self.flush_and_sync(slot);
+        }
+    }
+
+    /// At shutdown, connections with no request in progress are closed
+    /// immediately instead of waiting out `read_timeout` — this is what
+    /// makes graceful drain prompt with idle keep-alive clients parked.
+    fn close_idle(&mut self) {
+        for slot in 0..self.conns.len() {
+            let Some(conn) = self.conns.get(slot).and_then(Option::as_ref) else { continue };
+            let idle = conn.pending.is_none()
+                && conn.out_pos >= conn.out.len()
+                && !conn.parser.started()
+                && conn.inbuf.is_empty();
+            if idle {
+                self.close_conn(slot);
+            }
+        }
+    }
+
+    fn force_close_all(&mut self) {
+        for slot in 0..self.conns.len() {
+            if self.conns.get(slot).and_then(Option::as_ref).is_some() {
+                self.stats.forced_closed += 1;
+                self.close_conn(slot);
+            }
+        }
+        loop {
+            let stream = match lock_recover(&self.shared.inbox).pop_front() {
+                Some(s) => s,
+                None => break,
+            };
+            self.stats.forced_closed += 1;
+            self.state.conn_closed();
+            drop(stream);
+        }
+    }
+}

@@ -1,18 +1,29 @@
-//! Minimal HTTP/1.1 on `std::net` — exactly the subset the daemon needs.
+//! Minimal HTTP/1.1 — exactly the subset the daemon needs, parsed
+//! incrementally.
 //!
-//! Request side: request line, headers (with a hard byte cap so oversized
-//! or hostile headers cannot balloon memory), and bodies sent either with
-//! `Content-Length` or `Transfer-Encoding: chunked` — the latter is what
-//! streaming trace ingestion uses, one chunk per batch of PRV record
-//! lines. Response side: status line + headers + `Content-Length` body
-//! (the server never chunk-encodes responses).
+//! Request side: [`RequestParser`] is a restartable state machine fed
+//! from a connection's read buffer; it consumes whatever bytes are
+//! available and either yields a complete [`Request`], asks for more
+//! input, or reports a typed [`HttpError`]. It enforces a hard byte cap
+//! on the request line + headers (oversized or hostile headers cannot
+//! balloon memory) and accepts bodies sent either with `Content-Length`
+//! or `Transfer-Encoding: chunked` — the latter is what streaming trace
+//! ingestion uses, one chunk per batch of PRV record lines. Body memory
+//! is committed as bytes actually arrive, never up-front from a
+//! client-claimed length.
 //!
-//! Every defect is a typed [`HttpError`] that maps onto a 4xx status; the
-//! connection loop answers well-formed requests that *follow* a defective
-//! one, so one bad client write never takes a connection pool down.
+//! Response side: status line + headers + `Content-Length` body (the
+//! server never chunk-encodes responses), rendered to bytes with
+//! [`render_response`] for the event loop's write buffers or written
+//! directly with [`write_response`] on the blocking shed path.
+//!
+//! Every defect is a typed [`HttpError`] that maps onto a 4xx status;
+//! the event loop answers what it can attribute a status to, then closes
+//! the connection, so one bad client write never takes the daemon down.
 
-use std::io::{BufReader, Read, Write};
+use std::io::Write;
 use std::net::TcpStream;
+use std::time::Instant;
 
 /// Hard cap on the summed bytes of the request line + all header lines.
 pub const MAX_HEADER_BYTES: usize = 16 * 1024;
@@ -29,7 +40,7 @@ pub enum HttpError {
     HeadersTooLarge,
     /// Body exceeded the configured cap → 413.
     BodyTooLarge,
-    /// The socket read timed out mid-request (slow writer) → 408.
+    /// The peer stalled mid-request past the read deadline → 408.
     Timeout,
     /// The peer closed the connection before or mid-request; nothing to
     /// answer.
@@ -78,11 +89,11 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// The (already de-chunked) body.
     pub body: Vec<u8>,
-    /// Wall time spent reading headers + body off the socket, measured
-    /// from right after the request line arrived. Excludes keep-alive idle
-    /// wait (the blocking wait for the first byte happens before the
-    /// clock starts), so it can be folded into per-request latency
-    /// without charging the server for client think time.
+    /// Wall time spent receiving headers + body, measured from right
+    /// after the request line arrived. Excludes keep-alive idle wait
+    /// (the clock starts once the peer is actively sending), so it can
+    /// be folded into per-request latency without charging the server
+    /// for client think time.
     pub read_ns: u64,
 }
 
@@ -113,181 +124,278 @@ impl Request {
     }
 }
 
-/// Reads one CRLF- (or bare-LF-) terminated line, enforcing the shared
-/// header budget. Returns `None` on a clean EOF at a line boundary.
-fn read_line(
-    reader: &mut BufReader<TcpStream>,
-    budget: &mut usize,
-) -> Result<Option<String>, HttpError> {
-    let mut line = Vec::new();
-    loop {
-        let mut byte = [0u8; 1];
-        match reader.read(&mut byte) {
-            Ok(0) => {
-                if line.is_empty() {
-                    return Ok(None);
-                }
-                return Err(HttpError::Closed);
-            }
-            Ok(_) => {
-                *budget = budget.checked_sub(1).ok_or(HttpError::HeadersTooLarge)?;
-                if byte[0] == b'\n' {
-                    if line.last() == Some(&b'\r') {
-                        line.pop();
+/// Per-line byte cap for chunk-size lines (a hex length never needs
+/// more).
+const CHUNK_SIZE_LINE_BUDGET: usize = 256;
+
+/// Per-line byte cap for discarded trailer lines.
+const TRAILER_LINE_BUDGET: usize = 1024;
+
+#[derive(Debug, Clone, Copy)]
+enum ParseState {
+    RequestLine,
+    Headers,
+    FixedBody { remaining: usize },
+    ChunkSize,
+    ChunkData { remaining: usize },
+    ChunkCrlf,
+    Trailers,
+}
+
+/// Incremental request parser: feed it bytes as they arrive, get back
+/// complete requests. One parser per connection; it resets itself after
+/// each completed request, so keep-alive pipelining falls out naturally.
+#[derive(Debug)]
+pub struct RequestParser {
+    max_body: usize,
+    state: ParseState,
+    /// Partial line being accumulated (request line, header, chunk size,
+    /// or trailer, depending on `state`).
+    line: Vec<u8>,
+    /// Remaining byte budget for the current line discipline: the shared
+    /// request-line + header cap, or the per-line chunk/trailer caps.
+    budget: usize,
+    /// Whether any byte of the current request has been consumed —
+    /// distinguishes an idle keep-alive connection from one mid-request.
+    started: bool,
+    /// Started when the request line completes; see [`Request::read_ns`].
+    t_read: Option<Instant>,
+    method: String,
+    path: String,
+    query: String,
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+}
+
+impl RequestParser {
+    /// A fresh parser enforcing the given body cap.
+    pub fn new(max_body: usize) -> RequestParser {
+        RequestParser {
+            max_body,
+            state: ParseState::RequestLine,
+            line: Vec::new(),
+            budget: MAX_HEADER_BYTES,
+            started: false,
+            t_read: None,
+            method: String::new(),
+            path: String::new(),
+            query: String::new(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Whether the parser has consumed any byte of an in-progress
+    /// request. False between requests (idle keep-alive).
+    pub fn started(&self) -> bool {
+        self.started
+    }
+
+    /// Consumes as much of `buf` as possible. Returns a complete request
+    /// (leaving any pipelined leftover bytes in `buf`), `None` when more
+    /// input is needed, or a framing error — after which the connection
+    /// must be closed because byte boundaries are no longer trustworthy.
+    pub fn feed(&mut self, buf: &mut Vec<u8>) -> Result<Option<Request>, HttpError> {
+        let mut pos = 0usize;
+        let result = self.step(buf, &mut pos);
+        buf.drain(..pos);
+        result
+    }
+
+    fn step(&mut self, buf: &[u8], pos: &mut usize) -> Result<Option<Request>, HttpError> {
+        loop {
+            match self.state {
+                ParseState::RequestLine => {
+                    let Some(line) = self.take_line(buf, pos)? else { return Ok(None) };
+                    // The request line has arrived, so the peer is
+                    // actively sending: time the rest of the receive.
+                    self.t_read = Some(Instant::now());
+                    let mut parts = line.split_whitespace();
+                    let method = parts
+                        .next()
+                        .ok_or_else(|| HttpError::BadRequest("empty request line".into()))?
+                        .to_ascii_uppercase();
+                    let target = parts
+                        .next()
+                        .ok_or_else(|| HttpError::BadRequest("missing request target".into()))?;
+                    let version = parts
+                        .next()
+                        .ok_or_else(|| HttpError::BadRequest("missing HTTP version".into()))?;
+                    if !version.starts_with("HTTP/1.") {
+                        return Err(HttpError::BadRequest(format!(
+                            "unsupported version {version:?}"
+                        )));
                     }
-                    return String::from_utf8(line)
-                        .map(Some)
-                        .map_err(|_| HttpError::BadRequest("non-UTF-8 header line".into()));
+                    let (path, query) = match target.split_once('?') {
+                        Some((p, q)) => (p.to_string(), q.to_string()),
+                        None => (target.to_string(), String::new()),
+                    };
+                    self.method = method;
+                    self.path = path;
+                    self.query = query;
+                    self.state = ParseState::Headers;
                 }
-                line.push(byte[0]);
-            }
-            Err(e) => return Err(e.into()),
-        }
-    }
-}
-
-/// Reads and parses one request. `Ok(None)` means the peer closed the
-/// connection cleanly between requests (normal keep-alive end).
-pub fn read_request(
-    reader: &mut BufReader<TcpStream>,
-    max_body: usize,
-) -> Result<Option<Request>, HttpError> {
-    let mut budget = MAX_HEADER_BYTES;
-    let Some(request_line) = read_line(reader, &mut budget)? else {
-        return Ok(None);
-    };
-    // The request line has arrived, so the peer is actively sending: time
-    // the rest of the read (headers + body) as part of the request.
-    let t_read = std::time::Instant::now();
-    let mut parts = request_line.split_whitespace();
-    let method = parts
-        .next()
-        .ok_or_else(|| HttpError::BadRequest("empty request line".into()))?
-        .to_ascii_uppercase();
-    let target = parts
-        .next()
-        .ok_or_else(|| HttpError::BadRequest("missing request target".into()))?;
-    let version = parts
-        .next()
-        .ok_or_else(|| HttpError::BadRequest("missing HTTP version".into()))?;
-    if !version.starts_with("HTTP/1.") {
-        return Err(HttpError::BadRequest(format!("unsupported version {version:?}")));
-    }
-    let (path, query) = match target.split_once('?') {
-        Some((p, q)) => (p.to_string(), q.to_string()),
-        None => (target.to_string(), String::new()),
-    };
-
-    let mut headers = Vec::new();
-    loop {
-        let Some(line) = read_line(reader, &mut budget)? else {
-            return Err(HttpError::Closed);
-        };
-        if line.is_empty() {
-            break;
-        }
-        let (name, value) = line
-            .split_once(':')
-            .ok_or_else(|| HttpError::BadRequest(format!("malformed header {line:?}")))?;
-        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
-    }
-
-    let mut req = Request { method, path, query, headers, body: Vec::new(), read_ns: 0 };
-    let chunked = req
-        .header("transfer-encoding")
-        .is_some_and(|v| v.to_ascii_lowercase().contains("chunked"));
-    if chunked {
-        req.body = read_chunked_body(reader, max_body)?;
-    } else if let Some(len) = req.header("content-length") {
-        let len: usize = len
-            .parse()
-            .map_err(|_| HttpError::BadRequest(format!("bad content-length {len:?}")))?;
-        if len > max_body {
-            return Err(HttpError::BodyTooLarge);
-        }
-        let mut body = Vec::new();
-        read_exact_growing(reader, &mut body, len)?;
-        req.body = body;
-    }
-    req.read_ns = t_read.elapsed().as_nanos() as u64;
-    Ok(Some(req))
-}
-
-/// Step size for growing a body buffer: memory is committed as data
-/// actually arrives, never up-front from a client-claimed length.
-const BODY_GROW_STEP: usize = 256 * 1024;
-
-/// Reads exactly `len` more bytes into `body`, growing the buffer in
-/// [`BODY_GROW_STEP`] increments. A client that claims a large
-/// `Content-Length` (or chunk size) and then stalls costs one step of
-/// memory, not the whole claim.
-fn read_exact_growing(
-    reader: &mut BufReader<TcpStream>,
-    body: &mut Vec<u8>,
-    len: usize,
-) -> Result<(), HttpError> {
-    let mut remaining = len;
-    while remaining > 0 {
-        let step = remaining.min(BODY_GROW_STEP);
-        let start = body.len();
-        body.resize(start + step, 0);
-        reader.read_exact(&mut body[start..])?;
-        remaining -= step;
-    }
-    Ok(())
-}
-
-/// Decodes a `Transfer-Encoding: chunked` body.
-fn read_chunked_body(
-    reader: &mut BufReader<TcpStream>,
-    max_body: usize,
-) -> Result<Vec<u8>, HttpError> {
-    let mut body = Vec::new();
-    loop {
-        // Chunk-size lines share the header byte discipline (tiny cap per
-        // line; a hex length never needs more).
-        let mut budget = 256usize;
-        let Some(size_line) = read_line(reader, &mut budget)? else {
-            return Err(HttpError::Closed);
-        };
-        let size_hex = size_line.split(';').next().unwrap_or("").trim();
-        let size = usize::from_str_radix(size_hex, 16)
-            .map_err(|_| HttpError::BadRequest(format!("bad chunk size {size_line:?}")))?;
-        if size == 0 {
-            // Trailer section: discard until the blank line.
-            loop {
-                let mut budget = 1024usize;
-                match read_line(reader, &mut budget)? {
-                    None => return Err(HttpError::Closed),
-                    Some(l) if l.is_empty() => return Ok(body),
-                    Some(_) => {}
+                ParseState::Headers => {
+                    let Some(line) = self.take_line(buf, pos)? else { return Ok(None) };
+                    if !line.is_empty() {
+                        let (name, value) = line.split_once(':').ok_or_else(|| {
+                            HttpError::BadRequest(format!("malformed header {line:?}"))
+                        })?;
+                        self.headers
+                            .push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+                        continue;
+                    }
+                    // Blank line: headers done, decide the body framing.
+                    let chunked = self
+                        .header_value("transfer-encoding")
+                        .is_some_and(|v| v.to_ascii_lowercase().contains("chunked"));
+                    if chunked {
+                        self.budget = CHUNK_SIZE_LINE_BUDGET;
+                        self.state = ParseState::ChunkSize;
+                    } else if let Some(len) = self.header_value("content-length") {
+                        let len: usize = len.parse().map_err(|_| {
+                            HttpError::BadRequest(format!("bad content-length {len:?}"))
+                        })?;
+                        if len > self.max_body {
+                            return Err(HttpError::BodyTooLarge);
+                        }
+                        if len == 0 {
+                            return self.complete();
+                        }
+                        self.state = ParseState::FixedBody { remaining: len };
+                    } else {
+                        return self.complete();
+                    }
+                }
+                ParseState::FixedBody { remaining } => {
+                    let take = remaining.min(buf.len() - *pos);
+                    if take == 0 {
+                        return Ok(None);
+                    }
+                    self.body.extend_from_slice(&buf[*pos..*pos + take]);
+                    *pos += take;
+                    if take == remaining {
+                        return self.complete();
+                    }
+                    self.state = ParseState::FixedBody { remaining: remaining - take };
+                }
+                ParseState::ChunkSize => {
+                    let Some(line) = self.take_line(buf, pos)? else { return Ok(None) };
+                    let size_hex = line.split(';').next().unwrap_or("").trim();
+                    let size = usize::from_str_radix(size_hex, 16).map_err(|_| {
+                        HttpError::BadRequest(format!("bad chunk size {line:?}"))
+                    })?;
+                    if size == 0 {
+                        self.budget = TRAILER_LINE_BUDGET;
+                        self.state = ParseState::Trailers;
+                        continue;
+                    }
+                    if self.body.len() + size > self.max_body {
+                        return Err(HttpError::BodyTooLarge);
+                    }
+                    self.state = ParseState::ChunkData { remaining: size };
+                }
+                ParseState::ChunkData { remaining } => {
+                    let take = remaining.min(buf.len() - *pos);
+                    if take == 0 {
+                        return Ok(None);
+                    }
+                    self.body.extend_from_slice(&buf[*pos..*pos + take]);
+                    *pos += take;
+                    if take == remaining {
+                        self.state = ParseState::ChunkCrlf;
+                    } else {
+                        self.state = ParseState::ChunkData { remaining: remaining - take };
+                    }
+                }
+                ParseState::ChunkCrlf => {
+                    if buf.len() - *pos < 2 {
+                        return Ok(None);
+                    }
+                    let (a, b) = (buf[*pos], buf[*pos + 1]);
+                    *pos += 2;
+                    if (a, b) != (b'\r', b'\n') {
+                        return Err(HttpError::BadRequest("missing CRLF after chunk".into()));
+                    }
+                    self.budget = CHUNK_SIZE_LINE_BUDGET;
+                    self.state = ParseState::ChunkSize;
+                }
+                ParseState::Trailers => {
+                    let Some(line) = self.take_line(buf, pos)? else { return Ok(None) };
+                    if line.is_empty() {
+                        return self.complete();
+                    }
+                    // Trailer discarded; each line gets a fresh cap.
+                    self.budget = TRAILER_LINE_BUDGET;
                 }
             }
         }
-        if body.len() + size > max_body {
-            return Err(HttpError::BodyTooLarge);
+    }
+
+    /// Accumulates one CRLF- (or bare-LF-) terminated line under the
+    /// current byte budget. `None` = line incomplete, need more input.
+    fn take_line(&mut self, buf: &[u8], pos: &mut usize) -> Result<Option<String>, HttpError> {
+        while *pos < buf.len() {
+            let byte = buf[*pos];
+            *pos += 1;
+            self.started = true;
+            self.budget = self
+                .budget
+                .checked_sub(1)
+                .ok_or(HttpError::HeadersTooLarge)?;
+            if byte == b'\n' {
+                if self.line.last() == Some(&b'\r') {
+                    self.line.pop();
+                }
+                let line = std::mem::take(&mut self.line);
+                return String::from_utf8(line)
+                    .map(Some)
+                    .map_err(|_| HttpError::BadRequest("non-UTF-8 header line".into()));
+            }
+            self.line.push(byte);
         }
-        read_exact_growing(reader, &mut body, size)?;
-        // The CRLF after the chunk data.
-        let mut crlf = [0u8; 2];
-        reader.read_exact(&mut crlf)?;
-        if &crlf != b"\r\n" {
-            return Err(HttpError::BadRequest("missing CRLF after chunk".into()));
-        }
+        Ok(None)
+    }
+
+    fn header_value(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn complete(&mut self) -> Result<Option<Request>, HttpError> {
+        let read_ns = self
+            .t_read
+            .take()
+            .map(|t| t.elapsed().as_nanos() as u64)
+            .unwrap_or(0);
+        let req = Request {
+            method: std::mem::take(&mut self.method),
+            path: std::mem::take(&mut self.path),
+            query: std::mem::take(&mut self.query),
+            headers: std::mem::take(&mut self.headers),
+            body: std::mem::take(&mut self.body),
+            read_ns,
+        };
+        self.state = ParseState::RequestLine;
+        self.budget = MAX_HEADER_BYTES;
+        self.started = false;
+        self.line.clear();
+        Ok(Some(req))
     }
 }
 
-/// Writes one response with a `Content-Length` body. `extra_headers` are
-/// `(name, value)` pairs appended verbatim.
-pub fn write_response(
-    stream: &mut TcpStream,
+/// Renders one response with a `Content-Length` body to wire bytes for
+/// an event-loop write buffer. `extra_headers` are appended verbatim.
+pub fn render_response(
     status: u16,
     reason: &str,
     content_type: &str,
-    extra_headers: &[(&str, &str)],
+    extra_headers: &[(String, String)],
     body: &[u8],
     keep_alive: bool,
-) -> std::io::Result<()> {
+) -> Vec<u8> {
     let mut head = format!(
         "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\n",
         body.len()
@@ -303,7 +411,167 @@ pub fn write_response(
     } else {
         "connection: close\r\n\r\n"
     });
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body)?;
+    let mut out = head.into_bytes();
+    out.extend_from_slice(body);
+    out
+}
+
+/// Writes one response directly to a (blocking) stream — used only on
+/// the accept thread's over-capacity shed path, before a connection is
+/// handed to a shard.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let owned: Vec<(String, String)> = extra_headers
+        .iter()
+        .map(|(n, v)| (n.to_string(), v.to_string()))
+        .collect();
+    let bytes = render_response(status, reason, content_type, &owned, body, keep_alive);
+    stream.write_all(&bytes)?;
     stream.flush()
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    fn feed_all(parser: &mut RequestParser, bytes: &[u8]) -> Result<Option<Request>, HttpError> {
+        let mut buf = bytes.to_vec();
+        parser.feed(&mut buf)
+    }
+
+    #[test]
+    fn parses_a_simple_get() {
+        let mut p = RequestParser::new(MAX_BODY_BYTES);
+        let req = feed_all(&mut p, b"GET /healthz?x=1 HTTP/1.1\r\nHost: a\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert_eq!(req.query, "x=1");
+        assert_eq!(req.header("host"), Some("a"));
+        assert!(req.body.is_empty());
+        assert!(!p.started());
+    }
+
+    #[test]
+    fn restarts_across_byte_at_a_time_input() {
+        let raw = b"POST /v1/analyze HTTP/1.1\r\ncontent-length: 5\r\n\r\nhello";
+        let mut p = RequestParser::new(MAX_BODY_BYTES);
+        let mut buf = Vec::new();
+        let mut got = None;
+        for &b in raw.iter() {
+            buf.push(b);
+            if let Some(req) = p.feed(&mut buf).unwrap() {
+                got = Some(req);
+            }
+        }
+        let req = got.expect("request completes on final byte");
+        assert_eq!(req.body, b"hello");
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn mid_request_state_is_visible() {
+        let mut p = RequestParser::new(MAX_BODY_BYTES);
+        assert!(!p.started());
+        let mut buf = b"GET /he".to_vec();
+        assert!(p.feed(&mut buf).unwrap().is_none());
+        assert!(p.started());
+    }
+
+    #[test]
+    fn decodes_chunked_bodies_with_extensions_and_trailers() {
+        let raw = b"POST /x HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n\
+                    5;ext=1\r\nhello\r\n6\r\n world\r\n0\r\nx-trailer: y\r\n\r\n";
+        let mut p = RequestParser::new(MAX_BODY_BYTES);
+        // Split at every boundary-ish offset to catch state bugs.
+        for split in [1usize, 10, 30, 47, raw.len() - 1] {
+            let mut buf = raw[..split].to_vec();
+            assert!(p.feed(&mut buf).unwrap().is_none(), "early complete at {split}");
+            buf.extend_from_slice(&raw[split..]);
+            let req = p.feed(&mut buf).unwrap().expect("complete");
+            assert_eq!(req.body, b"hello world");
+        }
+    }
+
+    #[test]
+    fn pipelined_requests_come_out_one_at_a_time() {
+        let mut p = RequestParser::new(MAX_BODY_BYTES);
+        let mut buf = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n".to_vec();
+        let first = p.feed(&mut buf).unwrap().unwrap();
+        assert_eq!(first.path, "/a");
+        let second = p.feed(&mut buf).unwrap().unwrap();
+        assert_eq!(second.path, "/b");
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn framing_defects_map_to_statuses() {
+        let cases: [(&[u8], u16); 5] = [
+            (b"POST /x HTTP/1.1\r\ncontent-length: notanumber\r\n\r\n", 400),
+            (b"POST /x HTTP/1.1\r\ncontent-length: 999999999999\r\n\r\n", 413),
+            (b"GET /x HTTP/0.9\r\n\r\n", 400),
+            (b"GET /x HTTP/1.1\r\nno-colon-header\r\n\r\n", 400),
+            (b"POST /x HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\nZZZ\r\n", 400),
+        ];
+        for (raw, want) in cases {
+            let mut p = RequestParser::new(MAX_BODY_BYTES);
+            let err = feed_all(&mut p, raw).expect_err("defect must error");
+            let (status, _) = err.status().expect("answerable defect");
+            assert_eq!(status, want, "case {:?}", String::from_utf8_lossy(raw));
+        }
+    }
+
+    #[test]
+    fn bad_chunk_crlf_is_rejected() {
+        let raw = b"POST /x HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n5\r\nhelloXX";
+        let mut p = RequestParser::new(MAX_BODY_BYTES);
+        let err = feed_all(&mut p, raw).expect_err("bad CRLF");
+        assert_eq!(err.status().map(|(s, _)| s), Some(400));
+    }
+
+    #[test]
+    fn header_budget_is_enforced() {
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..64 {
+            raw.extend_from_slice(format!("x-h-{i}: {}\r\n", "v".repeat(1000)).as_bytes());
+        }
+        raw.extend_from_slice(b"\r\n");
+        let mut p = RequestParser::new(MAX_BODY_BYTES);
+        let err = feed_all(&mut p, &raw).expect_err("past the header cap");
+        assert_eq!(err.status().map(|(s, _)| s), Some(431));
+    }
+
+    #[test]
+    fn body_cap_applies_to_chunked_totals() {
+        let raw = b"POST /x HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\nffffffff\r\n";
+        let mut p = RequestParser::new(1024);
+        let err = feed_all(&mut p, raw).expect_err("oversized chunk");
+        assert_eq!(err.status().map(|(s, _)| s), Some(413));
+    }
+
+    #[test]
+    fn bare_lf_lines_are_tolerated() {
+        let mut p = RequestParser::new(MAX_BODY_BYTES);
+        let req = feed_all(&mut p, b"GET /lf HTTP/1.1\nhost: b\n\n").unwrap().unwrap();
+        assert_eq!(req.path, "/lf");
+        assert_eq!(req.header("host"), Some("b"));
+    }
+
+    #[test]
+    fn render_response_matches_wire_format() {
+        let bytes = render_response(200, "OK", "text/plain", &[], b"hi", true);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 2\r\n"));
+        assert!(text.contains("connection: keep-alive\r\n\r\nhi"));
+    }
 }

@@ -21,17 +21,21 @@
 //! queue, and every protocol defect maps onto a 4xx/5xx answer.
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)] // overridden only in `shutdown` for signal(2)
+// Overridden only in `shutdown` (signal(2)) and `sys` (epoll/poll/pipe):
+// the raw readiness syscalls behind the event loop.
+#![deny(unsafe_code)]
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod cache;
 pub mod client;
+mod event;
 pub mod http;
 pub mod queue;
 pub mod recorder;
 pub mod server;
 pub mod shutdown;
 pub mod store;
+mod sys;
 pub mod wal;
 
 pub use cache::{CacheKey, CacheStats, ResultCache};

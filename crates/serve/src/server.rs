@@ -1,4 +1,14 @@
-//! The daemon: accept loop, routing, sessions, and graceful drain.
+//! The daemon: event-loop core, routing, sessions, and graceful drain.
+//!
+//! Connections are served by a fixed set of event-loop shards (see
+//! [`crate::event`]): the accept thread only accepts, sheds past
+//! `max_connections`, and hands sockets to shards. Routing runs on the
+//! shard; analysis endpoints park the connection and compute on the
+//! bounded [`JobQueue`], so neither a slow client nor a heavy analysis
+//! can stall unrelated connections. Identical in-flight `/v1/analyze`
+//! bodies are coalesced into one job (single-flight), and a raw-body
+//! memo index answers byte-identical warm hits straight from the
+//! sharded result cache without re-parsing the trace.
 //!
 //! ## Endpoints
 //!
@@ -35,7 +45,8 @@
 //! always-on lock-free latency histograms (`serve.latency.*`,
 //! `serve.queue_wait`, `serve.analyze_time`, `serve.cache_lookup`).
 
-use crate::cache::{CacheKey, ResultCache, TraceWitness};
+use crate::cache::{fnv1a64, fnv1a64_alt, CacheKey, ShardedCache, TraceWitness};
+use crate::event::{EventCore, ReplySlot};
 use crate::http::{self, Request};
 use crate::queue::{lock_recover, JobQueue, SubmitError};
 use crate::recorder::{FlightRecorder, RequestSummary};
@@ -50,11 +61,11 @@ use phasefold_model::{Fault, FaultKind, Severity};
 use phasefold_obs::export::json_escape;
 use phasefold_obs::trace::TraceCtx;
 use std::collections::HashMap;
-use std::io::{BufReader, Write as _};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
@@ -128,6 +139,14 @@ pub struct ServeConfig {
     /// Default relative duration growth `POST /v1/compare` flags as a
     /// regression (per-request `?threshold=` overrides it).
     pub regress_threshold: f64,
+    /// Event-loop shards serving connections (`0` = one per core, capped
+    /// at 8). Each shard is one thread owning a poller and the
+    /// connections hashed to it.
+    pub event_shards: usize,
+    /// Result-cache shards (`0` = auto). More shards mean less lock
+    /// contention between event-loop shards and queue workers; capacity
+    /// is split evenly across them.
+    pub cache_shards: usize,
 }
 
 impl Default for ServeConfig {
@@ -156,7 +175,9 @@ impl Default for ServeConfig {
             session_ttl: Duration::ZERO,
             fleet_dir: None,
             fleet_max_fingerprints: 256,
-            regress_threshold: 0.10,
+            regress_threshold: MatchConfig::default().regression_threshold,
+            event_shards: 0,
+            cache_shards: 0,
         }
     }
 }
@@ -220,9 +241,45 @@ impl StreamSession {
     }
 }
 
-struct State {
+/// Identity of an in-flight (or memoized) `/v1/analyze` body: two
+/// independent 64-bit hashes of the raw bytes, the length, and the
+/// effective fault policy. Collisions require both hashes *and* the
+/// length to agree, and even then the memo path re-verifies against the
+/// cache's [`TraceWitness`] before serving anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct FlightKey {
+    raw: u64,
+    alt: u64,
+    len: usize,
+    policy: u8,
+}
+
+impl FlightKey {
+    fn derive(body: &[u8], policy: FaultPolicy) -> FlightKey {
+        FlightKey {
+            raw: fnv1a64(body),
+            alt: fnv1a64_alt(body),
+            len: body.len(),
+            policy: match policy {
+                FaultPolicy::Strict => 0,
+                FaultPolicy::Lenient => 1,
+            },
+        }
+    }
+}
+
+/// What the raw-body memo remembers about an analyzed body: enough to
+/// answer a byte-identical repeat from the result cache without parsing.
+#[derive(Debug, Clone, Copy)]
+struct RawEntry {
+    key: CacheKey,
+    witness: TraceWitness,
+    parse_quarantined: usize,
+}
+
+pub(crate) struct State {
     config: ServeConfig,
-    cache: Mutex<ResultCache>,
+    cache: ShardedCache,
     queue: JobQueue,
     sessions: Mutex<HashMap<String, Arc<StreamSession>>>,
     store: Option<SessionStore>,
@@ -236,15 +293,56 @@ struct State {
     started: Instant,
     recorder: FlightRecorder,
     access_log: Option<Mutex<std::fs::File>>,
+    /// The event-loop core; set once right after the shards spawn.
+    core: OnceLock<Arc<EventCore>>,
+    /// Set when the drain begins; shards force-close connections past it.
+    drain_deadline: Mutex<Option<Instant>>,
+    /// In-flight `/v1/analyze` bodies → parked connections waiting on
+    /// them (single-flight coalescing; index 0 is the job's submitter).
+    flights: Mutex<HashMap<FlightKey, Vec<ReplySlot>>>,
+    /// Raw-body memo: bodies analyzed before, answerable from the result
+    /// cache without re-parsing.
+    raw_index: Mutex<HashMap<FlightKey, RawEntry>>,
 }
 
 impl State {
-    fn shutting_down(&self) -> bool {
+    pub(crate) fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
     }
 
     fn request_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(core) = self.core.get() {
+            core.wake_all();
+        }
+    }
+
+    /// Socket-inactivity budget (also the write-stall budget).
+    pub(crate) fn read_timeout(&self) -> Duration {
+        self.config.read_timeout
+    }
+
+    /// Largest accepted request body (parser construction).
+    pub(crate) fn max_body(&self) -> usize {
+        self.config.max_body
+    }
+
+    /// When the in-progress drain force-closes connections; `None` until
+    /// the drain starts.
+    pub(crate) fn drain_deadline_at(&self) -> Option<Instant> {
+        *lock_recover(&self.drain_deadline)
+    }
+
+    /// A shard closed a connection: drop it from the live gauge.
+    pub(crate) fn conn_closed(&self) {
+        self.active_connections.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Routes a finished reply back to the shard owning `slot`.
+    fn deliver(&self, slot: ReplySlot, reply: Reply) {
+        if let Some(core) = self.core.get() {
+            core.deliver(slot, reply);
+        }
     }
 
     fn session_count(&self) -> usize {
@@ -258,15 +356,6 @@ impl State {
 
     fn touch(&self, session: &StreamSession) {
         session.last_touch_ms.store(self.now_ms(), Ordering::SeqCst);
-    }
-}
-
-/// Decrements the live-connection gauge even when a handler panics.
-struct ConnGuard(Arc<State>);
-
-impl Drop for ConnGuard {
-    fn drop(&mut self) {
-        self.0.active_connections.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -350,8 +439,17 @@ pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
         Some(dir) => Some(FingerprintStore::open(dir.clone(), config.fleet_max_fingerprints)?),
         None => None,
     };
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let event_shards = match config.event_shards {
+        0 => cores.min(8),
+        n => n,
+    };
+    let cache_shards = match config.cache_shards {
+        0 => (cores * 2).clamp(4, 64),
+        n => n,
+    };
     let state = Arc::new(State {
-        cache: Mutex::new(ResultCache::new(config.cache_entries, config.cache_dir.clone())?),
+        cache: ShardedCache::new(config.cache_entries, cache_shards, config.cache_dir.clone())?,
         queue: JobQueue::new(config.workers, config.queue_depth),
         sessions: Mutex::new(initial_sessions),
         store: session_store,
@@ -366,7 +464,13 @@ pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
         recorder: FlightRecorder::new(config.recorder_capacity, config.recorder_slowest),
         access_log,
         config,
+        core: OnceLock::new(),
+        drain_deadline: Mutex::new(None),
+        flights: Mutex::new(HashMap::new()),
+        raw_index: Mutex::new(HashMap::new()),
     });
+    let core = EventCore::start(&state, event_shards)?;
+    let _ = state.core.set(core);
     let run_state = Arc::clone(&state);
     let thread = std::thread::Builder::new()
         .name("serve-accept".to_string())
@@ -375,7 +479,6 @@ pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
 }
 
 fn run(state: &Arc<State>, listener: &TcpListener) -> DrainStats {
-    let mut conn_threads: Vec<JoinHandle<()>> = Vec::new();
     let mut last_sweep = Instant::now();
     while !state.shutting_down() {
         if shutdown::signalled() {
@@ -391,19 +494,15 @@ fn run(state: &Arc<State>, listener: &TcpListener) -> DrainStats {
         }
         match listener.accept() {
             Ok((stream, _peer)) => {
-                // The accepted socket must not inherit the listener's
-                // non-blocking mode.
-                if stream.set_nonblocking(false).is_err() {
-                    continue;
-                }
-                // Bound the connection-thread pool: past the cap, shed the
-                // connection immediately instead of spawning a thread that
-                // could sit on request buffers.
+                let _ = stream.set_nodelay(true);
+                // Past the connection cap, shed immediately instead of
+                // queueing a connection that could sit on request buffers.
                 if state.active_connections.load(Ordering::SeqCst) >= state.config.max_connections
                 {
                     state.rejected.fetch_add(1, Ordering::SeqCst);
                     phasefold_obs::counter!("serve.connections_shed", 1);
                     let mut stream = stream;
+                    let _ = stream.set_nonblocking(false);
                     let _ = http::write_response(
                         &mut stream,
                         503,
@@ -415,22 +514,16 @@ fn run(state: &Arc<State>, listener: &TcpListener) -> DrainStats {
                     );
                     continue;
                 }
-                state.active_connections.fetch_add(1, Ordering::SeqCst);
-                let conn_state = Arc::clone(state);
-                let spawned = std::thread::Builder::new()
-                    .name("serve-conn".to_string())
-                    .spawn(move || {
-                        let guard = ConnGuard(Arc::clone(&conn_state));
-                        handle_connection(&conn_state, stream);
-                        drop(guard);
-                    });
-                match spawned {
-                    Ok(h) => conn_threads.push(h),
-                    Err(_) => {
-                        state.active_connections.fetch_sub(1, Ordering::SeqCst);
-                    }
+                // The event loop needs the socket non-blocking (accepted
+                // sockets do not inherit the listener's mode everywhere).
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
                 }
-                conn_threads.retain(|h| !h.is_finished());
+                state.active_connections.fetch_add(1, Ordering::SeqCst);
+                match state.core.get() {
+                    Some(core) => core.dispatch(stream),
+                    None => state.conn_closed(),
+                }
             }
             Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(5));
@@ -439,20 +532,23 @@ fn run(state: &Arc<State>, listener: &TcpListener) -> DrainStats {
         }
     }
 
-    // Drain: no new connections are accepted. Wait for the open
-    // connections first (they may still be waiting on job results), then
-    // drain the queue — all against the same deadline, so a hung analysis
-    // or stalled client cannot wedge shutdown past `drain_deadline`.
+    // Drain: no new connections are accepted. Publish the drain deadline,
+    // wake every shard, and join the shard threads — they close idle
+    // keep-alive connections immediately, let mid-request and parked
+    // connections finish, and force-close whatever remains at the
+    // deadline. Only then drain the job queue against the same deadline,
+    // so a hung analysis cannot wedge shutdown past `drain_deadline`.
+    state.request_shutdown();
     let deadline = Instant::now() + state.config.drain_deadline;
-    while state.active_connections.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
-        std::thread::sleep(Duration::from_millis(10));
-    }
-    let jobs_at_exit = state.queue.drain_until(deadline);
-    for h in conn_threads {
-        if h.is_finished() {
-            let _ = h.join();
+    *lock_recover(&state.drain_deadline) = Some(deadline);
+    let forced_closed = match state.core.get() {
+        Some(core) => {
+            core.wake_all();
+            core.join().forced_closed
         }
-    }
+        None => 0,
+    };
+    let jobs_at_exit = state.queue.drain_until(deadline);
     // Final checkpoint on the way out: a graceful restart under
     // `checkpoint` durability should lose nothing, and under `wal` it
     // shrinks the next start to a restore with no replay.
@@ -470,7 +566,10 @@ fn run(state: &Arc<State>, listener: &TcpListener) -> DrainStats {
             }
         }
     }
-    let connections_at_exit = state.active_connections.load(Ordering::SeqCst);
+    // Every shard thread has been joined, so the gauge is final: any
+    // residual count means a connection was dropped without a clean
+    // close (force-closed connections are already back out of it).
+    let connections_at_exit = forced_closed + state.active_connections.load(Ordering::SeqCst);
     DrainStats {
         requests: state.requests.load(Ordering::SeqCst),
         rejected: state.rejected.load(Ordering::SeqCst),
@@ -479,65 +578,6 @@ fn run(state: &Arc<State>, listener: &TcpListener) -> DrainStats {
         clean: connections_at_exit == 0 && jobs_at_exit == 0,
         connections_at_exit,
         jobs_at_exit,
-    }
-}
-
-fn handle_connection(state: &Arc<State>, stream: TcpStream) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(state.config.read_timeout));
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = stream;
-    loop {
-        if state.shutting_down() {
-            return;
-        }
-        match http::read_request(&mut reader, state.config.max_body) {
-            Ok(None) => return, // clean keep-alive close
-            Ok(Some(req)) => {
-                state.requests.fetch_add(1, Ordering::SeqCst);
-                phasefold_obs::counter!("serve.requests", 1);
-                let keep_alive = req.keep_alive() && !state.shutting_down();
-                let reply = handle_request(state, &req);
-                let headers: Vec<(&str, &str)> = reply
-                    .headers
-                    .iter()
-                    .map(|(n, v)| (n.as_str(), v.as_str()))
-                    .collect();
-                if http::write_response(
-                    &mut writer,
-                    reply.status,
-                    reply.reason,
-                    reply.content_type,
-                    &headers,
-                    &reply.body,
-                    keep_alive,
-                )
-                .is_err()
-                    || !keep_alive
-                {
-                    return;
-                }
-            }
-            Err(e) => {
-                // Framing is unreliable after a defect: answer what we can
-                // attribute a status to, then close.
-                if let Some((status, reason)) = e.status() {
-                    let _ = http::write_response(
-                        &mut writer,
-                        status,
-                        reason,
-                        "text/plain",
-                        &[],
-                        reason.as_bytes(),
-                        false,
-                    );
-                }
-                return;
-            }
-        }
     }
 }
 
@@ -573,11 +613,52 @@ fn latency_hist(endpoint: &'static str) -> &'static str {
     }
 }
 
-/// Full per-request telemetry lifecycle around [`route`]: mint a
-/// [`TraceCtx`], adopt it for the routing call under a root span, capture
-/// the span tree when sampled, record histograms + flight recorder + the
-/// access log, and stamp `x-request-id` on the response.
-fn handle_request(state: &Arc<State>, req: &Request) -> Reply {
+/// What one request's telemetry wrapper needs when the reply is ready,
+/// whether that happens inline on the shard or later when a queue job
+/// delivers the parked reply.
+#[derive(Debug)]
+pub(crate) struct RequestTicket {
+    id: u64,
+    capture: bool,
+    t0: Instant,
+    read_ns: u64,
+    method: String,
+    path: String,
+    endpoint: &'static str,
+    keep_alive: bool,
+}
+
+/// How routing resolved: an answer now, or a parked connection whose
+/// reply a queue job will deliver through [`EventCore::deliver`].
+pub(crate) enum Dispatch {
+    /// Serialize and send this reply.
+    Ready(RequestTicket, Reply),
+    /// The connection waits; keep the ticket to finalize the delivery.
+    Pending(RequestTicket),
+}
+
+/// A handler's answer: immediate, or parked on the job queue.
+enum Routed {
+    Ready(Reply),
+    Pending,
+}
+
+impl From<Reply> for Routed {
+    fn from(reply: Reply) -> Routed {
+        Routed::Ready(reply)
+    }
+}
+
+/// Front half of the per-request telemetry lifecycle, run on the shard
+/// thread when the parser completes a request: mint a [`TraceCtx`],
+/// adopt it for the routing call under a root span, and begin a span
+/// capture when sampled. The back half is [`finalize_reply`].
+pub(crate) fn handle_parsed(state: &Arc<State>, mut req: Request, slot: ReplySlot) -> Dispatch {
+    state.requests.fetch_add(1, Ordering::SeqCst);
+    phasefold_obs::counter!("serve.requests", 1);
+    // Decided before routing: a request that arrives mid-drain is the
+    // connection's last even if the flag flips back (it cannot).
+    let keep_alive = req.keep_alive() && !state.shutting_down();
     let ctx = TraceCtx::mint();
     let request_id = ctx.trace_id();
     let capture = sampled(request_id, state.config.trace_sample_rate);
@@ -585,22 +666,42 @@ fn handle_request(state: &Arc<State>, req: &Request) -> Reply {
         phasefold_obs::trace::begin_capture(request_id);
     }
     let t0 = Instant::now();
-    let mut reply = {
+    let (endpoint, routed) = {
         let _adopt = ctx.adopt();
         let _root = phasefold_obs::span!("serve.request {} {}", req.method, req.path);
-        route(state, req)
+        route(state, &mut req, slot)
     };
+    let ticket = RequestTicket {
+        id: request_id,
+        capture,
+        t0,
+        read_ns: req.read_ns,
+        method: req.method,
+        path: req.path,
+        endpoint,
+        keep_alive,
+    };
+    match routed {
+        Routed::Ready(reply) => Dispatch::Ready(ticket, reply),
+        Routed::Pending => Dispatch::Pending(ticket),
+    }
+}
+
+/// Back half of the telemetry lifecycle: capture, histograms, flight
+/// recorder, access log, `x-request-id`, and response serialization.
+/// Returns the wire bytes and whether the connection stays open.
+pub(crate) fn finalize_reply(state: &Arc<State>, ticket: RequestTicket, mut reply: Reply) -> (Vec<u8>, bool) {
     // Fold in the socket-read time: the client's stopwatch starts before
     // the body crosses the wire, so an honest daemon-side total has to
     // charge itself for receiving it too.
-    let total_ns = req.read_ns + t0.elapsed().as_nanos() as u64;
-    let spans = capture.then(|| phasefold_obs::trace::end_capture(request_id));
+    let total_ns = ticket.read_ns + ticket.t0.elapsed().as_nanos() as u64;
+    let spans = ticket.capture.then(|| phasefold_obs::trace::end_capture(ticket.id));
 
-    phasefold_obs::histogram!(latency_hist(reply.meta.endpoint), total_ns);
+    phasefold_obs::histogram!(latency_hist(ticket.endpoint), total_ns);
     let summary = RequestSummary {
-        id: request_id,
-        endpoint: reply.meta.endpoint,
-        path: req.path.clone(),
+        id: ticket.id,
+        endpoint: ticket.endpoint,
+        path: ticket.path.clone(),
         status: reply.status,
         queue_ns: reply.meta.queue_ns,
         analyze_ns: reply.meta.analyze_ns,
@@ -608,12 +709,21 @@ fn handle_request(state: &Arc<State>, req: &Request) -> Reply {
         cache_hit: reply.meta.cache_hit,
         faults: reply.meta.faults,
     };
-    if capture {
-        access_log(state, &summary, &req.method);
+    if ticket.capture {
+        access_log(state, &summary, &ticket.method);
     }
     state.recorder.record(summary, spans);
-    reply.headers.push(("x-request-id".to_string(), request_id.to_string()));
-    reply
+    reply.headers.push(("x-request-id".to_string(), ticket.id.to_string()));
+    let keep_alive = ticket.keep_alive && !state.shutting_down();
+    let bytes = http::render_response(
+        reply.status,
+        reply.reason,
+        reply.content_type,
+        &reply.headers,
+        &reply.body,
+        keep_alive,
+    );
+    (bytes, keep_alive)
 }
 
 /// Appends one JSON line per sampled request to the configured access log.
@@ -643,23 +753,18 @@ fn access_log(state: &Arc<State>, s: &RequestSummary, method: &str) {
 
 /// Per-request measurements a handler reports back to the telemetry
 /// wrapper (attached to [`Reply`], never serialized).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 struct ReplyMeta {
-    endpoint: &'static str,
     queue_ns: u64,
     analyze_ns: u64,
     cache_hit: bool,
     faults: u64,
 }
 
-impl Default for ReplyMeta {
-    fn default() -> ReplyMeta {
-        ReplyMeta { endpoint: "other", queue_ns: 0, analyze_ns: 0, cache_hit: false, faults: 0 }
-    }
-}
-
-/// One routed answer, ready to serialize.
-struct Reply {
+/// One routed answer, ready to serialize. `Clone` so one coalesced
+/// analysis can answer every connection that waited on it.
+#[derive(Debug, Clone)]
+pub(crate) struct Reply {
     status: u16,
     reason: &'static str,
     content_type: &'static str,
@@ -695,45 +800,46 @@ impl Reply {
     }
 }
 
-fn route(state: &Arc<State>, req: &Request) -> Reply {
-    let path = req.path.as_str();
-    let (endpoint, mut reply) = match (req.method.as_str(), path) {
-        ("GET", "/healthz") => ("healthz", healthz(state)),
-        ("GET", "/metrics") => ("metrics", metrics(state, req)),
-        ("POST", "/v1/analyze") => ("analyze", analyze(state, req)),
-        ("POST", "/v1/fingerprints") => ("fingerprints", fingerprints(state, req)),
-        ("POST", "/v1/compare") => ("compare", compare_builds(state, req)),
-        ("GET", "/debug/requests") => ("debug", debug_requests(state)),
+fn route(state: &Arc<State>, req: &mut Request, slot: ReplySlot) -> (&'static str, Routed) {
+    let path = req.path.clone();
+    let path = path.as_str();
+    match (req.method.as_str(), path) {
+        ("GET", "/healthz") => ("healthz", healthz(state).into()),
+        ("GET", "/metrics") => ("metrics", metrics(state, req).into()),
+        ("POST", "/v1/analyze") => ("analyze", analyze(state, req, slot)),
+        ("POST", "/v1/fingerprints") => ("fingerprints", fingerprints(state, req, slot)),
+        ("POST", "/v1/compare") => ("compare", compare_builds(state, req, slot)),
+        ("GET", "/debug/requests") => ("debug", debug_requests(state).into()),
         ("POST", "/admin/shutdown") => {
             state.request_shutdown();
-            ("shutdown", Reply::json(200, "OK", "{\"draining\": true}\n".to_string()))
+            ("shutdown", Reply::json(200, "OK", "{\"draining\": true}\n".to_string()).into())
         }
         _ => {
             if let Some(id) = path.strip_prefix("/debug/trace/") {
                 if req.method == "GET" {
-                    ("debug", debug_trace(state, id))
+                    ("debug", debug_trace(state, id).into())
                 } else {
-                    ("other", Reply::not_found())
+                    ("other", Reply::not_found().into())
                 }
             } else if let Some(rest) = path.strip_prefix("/v1/streams/") {
                 match (req.method.as_str(), rest.split_once('/')) {
                     ("POST", Some((id, "records"))) => {
-                        ("stream_records", stream_records(state, req, id))
+                        ("stream_records", stream_records(state, req, id).into())
                     }
                     ("POST", Some((id, "checkpoint"))) => {
-                        ("stream_checkpoint", stream_checkpoint(state, id))
+                        ("stream_checkpoint", stream_checkpoint(state, id).into())
                     }
-                    ("GET", Some((id, "phases"))) => ("stream_phases", stream_phases(state, id)),
-                    ("DELETE", None) => ("stream_delete", stream_delete(state, rest)),
-                    _ => ("other", Reply::not_found()),
+                    ("GET", Some((id, "phases"))) => {
+                        ("stream_phases", stream_phases(state, id).into())
+                    }
+                    ("DELETE", None) => ("stream_delete", stream_delete(state, rest).into()),
+                    _ => ("other", Reply::not_found().into()),
                 }
             } else {
-                ("other", Reply::not_found())
+                ("other", Reply::not_found().into())
             }
         }
-    };
-    reply.meta.endpoint = endpoint;
-    reply
+    }
 }
 
 fn healthz(state: &Arc<State>) -> Reply {
@@ -761,8 +867,8 @@ fn metrics(state: &Arc<State>, req: &Request) -> Reply {
 }
 
 fn metrics_json(state: &Arc<State>) -> Reply {
-    let cache_stats = lock_recover(&state.cache).stats();
-    let cache_len = lock_recover(&state.cache).len();
+    let cache_stats = state.cache.stats();
+    let cache_len = state.cache.len();
     // Server-level gauges first (authoritative, monotone across scrapes),
     // then the obs export (spans drain per scrape, by design; counters and
     // histograms are cumulative).
@@ -792,7 +898,7 @@ fn metrics_json(state: &Arc<State>) -> Reply {
 /// the kernel roofline counters recorded by the analysis pipeline.
 fn metrics_prom(state: &Arc<State>) -> Reply {
     use std::fmt::Write as _;
-    let cache_stats = lock_recover(&state.cache).stats();
+    let cache_stats = state.cache.stats();
     let mut body = String::with_capacity(4096);
     let counters: [(&str, u64); 9] = [
         ("serve_requests", state.requests.load(Ordering::SeqCst)),
@@ -890,12 +996,142 @@ fn effective_config(state: &Arc<State>, req: &Request) -> Result<AnalysisConfig,
     Ok(config)
 }
 
-fn analyze(state: &Arc<State>, req: &Request) -> Reply {
+/// Bound on the raw-body memo relative to the cache capacity; past it
+/// the memo is cleared (it is a rebuild-on-demand accelerator, not a
+/// second cache).
+const RAW_INDEX_FACTOR: usize = 4;
+
+/// Remembers that `body` (keyed by `fkey`) maps to this cache entry, so
+/// the next byte-identical submission skips the parse entirely.
+fn remember_raw(state: &State, fkey: FlightKey, entry: RawEntry) {
+    let mut index = lock_recover(&state.raw_index);
+    if index.len() >= state.config.cache_entries.saturating_mul(RAW_INDEX_FACTOR).max(16) {
+        index.clear();
+    }
+    index.insert(fkey, entry);
+}
+
+/// Delivers one analysis outcome to every connection that waited on it.
+/// Runs on `Drop` so a panicking job still answers its waiters (with a
+/// 500) instead of leaving connections parked until the drain.
+struct FlightGuard {
+    state: Arc<State>,
+    fkey: FlightKey,
+    reply: Option<Reply>,
+}
+
+impl Drop for FlightGuard {
+    fn drop(&mut self) {
+        let template = self.reply.take().unwrap_or_else(|| {
+            Reply::text(500, "Internal Server Error", "analysis job died or timed out\n".into())
+        });
+        let waiters = lock_recover(&self.state.flights).remove(&self.fkey).unwrap_or_default();
+        let missed = template
+            .headers
+            .iter()
+            .any(|(n, v)| n == "x-cache" && v == "miss");
+        for (i, slot) in waiters.into_iter().enumerate() {
+            let mut reply = template.clone();
+            // Only the submitter truly missed; coalesced waiters got the
+            // submitter's computation, which is neither a cache hit nor a
+            // miss of their own. The header must say so — clients treat
+            // an exact `hit` as proof the cache served them.
+            if i > 0 && missed {
+                for (n, v) in reply.headers.iter_mut() {
+                    if n == "x-cache" {
+                        *v = "coalesced".to_string();
+                    }
+                }
+            }
+            self.state.deliver(slot, reply);
+        }
+    }
+}
+
+fn analyze(state: &Arc<State>, req: &mut Request, slot: ReplySlot) -> Routed {
     let config = match effective_config(state, req) {
         Ok(c) => c,
-        Err(reply) => return reply,
+        Err(reply) => return reply.into(),
     };
-    let Ok(text) = std::str::from_utf8(&req.body) else {
+    let fkey = FlightKey::derive(&req.body, config.fault_policy);
+
+    // Raw fast path: a byte-identical body analyzed before resolves to a
+    // known cache entry — answer from the sharded cache without parsing.
+    // The witness check inside `get` keeps a (vanishingly unlikely)
+    // raw-hash collision from serving another trace's report.
+    let memoized = lock_recover(&state.raw_index).get(&fkey).copied();
+    if let Some(entry) = memoized {
+        let lookup_t0 = Instant::now();
+        let cached = state.cache.get(&entry.key, &entry.witness);
+        phasefold_obs::histogram!("serve.cache_lookup", lookup_t0.elapsed().as_nanos() as u64);
+        if let Some(report) = cached {
+            let mut reply = Reply::text(200, "OK", report)
+                .header("x-cache", "hit".to_string())
+                .header("x-parse-quarantined", entry.parse_quarantined.to_string());
+            reply.meta.cache_hit = true;
+            reply.meta.faults = entry.parse_quarantined as u64;
+            return reply.into();
+        }
+        // Evicted since: fall through and recompute on the queue.
+    }
+
+    // Single-flight: identical bodies already being analyzed get their
+    // connection parked on the existing flight instead of burning a
+    // second queue slot on the same computation. The flights lock is
+    // held across `try_submit` so a completing job cannot deliver
+    // between registration and submission.
+    let body = std::mem::take(&mut req.body);
+    let trace_ctx = TraceCtx::current();
+    let submitted = Instant::now();
+    let mut flights = lock_recover(&state.flights);
+    if let Some(waiters) = flights.get_mut(&fkey) {
+        waiters.push(slot);
+        phasefold_obs::counter!("serve.analyze_coalesced", 1);
+        return Routed::Pending;
+    }
+    flights.insert(fkey, vec![slot]);
+    let job_state = Arc::clone(state);
+    let job = Box::new(move || {
+        let mut guard = FlightGuard { state: job_state, fkey, reply: None };
+        let queue_ns = submitted.elapsed().as_nanos() as u64;
+        phasefold_obs::histogram!("serve.queue_wait", queue_ns);
+        // The span must close (and be captured) before the reply is
+        // delivered: the shard ends the capture as soon as it lands.
+        let reply = {
+            let _adopt = trace_ctx.map(TraceCtx::adopt);
+            let _sp = phasefold_obs::span!("serve.analyze_job");
+            compute_analyze_reply(&guard.state, fkey, &body, &config, queue_ns)
+        };
+        guard.reply = Some(reply);
+    });
+    match state.queue.try_submit(job) {
+        Ok(()) => Routed::Pending,
+        Err(SubmitError::Full) => {
+            flights.remove(&fkey);
+            state.rejected.fetch_add(1, Ordering::SeqCst);
+            Reply::text(503, "Service Unavailable", "queue full, retry shortly\n".into())
+                .header("retry-after", "1".to_string())
+                .into()
+        }
+        Err(SubmitError::ShuttingDown) => {
+            flights.remove(&fkey);
+            state.rejected.fetch_add(1, Ordering::SeqCst);
+            Reply::text(503, "Service Unavailable", "daemon is draining\n".into()).into()
+        }
+    }
+}
+
+/// The analysis job body: parse per policy, content-address, check the
+/// sharded cache, compute + render + insert on a miss. Runs on a queue
+/// worker; the returned reply is the template every waiter receives.
+fn compute_analyze_reply(
+    state: &Arc<State>,
+    fkey: FlightKey,
+    body: &[u8],
+    config: &AnalysisConfig,
+    queue_ns: u64,
+) -> Reply {
+    let Ok(text) = std::str::from_utf8(body) else {
         return Reply::bad_request("trace body is not UTF-8\n".to_string());
     };
     // Parse according to policy; lenient quarantines defective lines.
@@ -918,91 +1154,47 @@ fn analyze(state: &Arc<State>, req: &Request) -> Reply {
     // serving a stored report, so a 64-bit key collision degrades to a
     // recomputed miss instead of another trace's report.
     let canonical = prv::write_trace(&trace);
-    let key = CacheKey::derive(&canonical, &config);
+    let key = CacheKey::derive(&canonical, config);
     let witness = TraceWitness::derive(&canonical);
     let lookup_t0 = Instant::now();
-    let cached = lock_recover(&state.cache).get(&key, &witness);
+    let cached = state.cache.get(&key, &witness);
     phasefold_obs::histogram!("serve.cache_lookup", lookup_t0.elapsed().as_nanos() as u64);
     if let Some(report) = cached {
+        remember_raw(state, fkey, RawEntry { key, witness, parse_quarantined });
         let mut reply = Reply::text(200, "OK", report)
             .header("x-cache", "hit".to_string())
             .header("x-parse-quarantined", parse_quarantined.to_string());
         reply.meta.cache_hit = true;
+        reply.meta.queue_ns = queue_ns;
         reply.meta.faults = parse_quarantined as u64;
         return reply;
     }
 
-    // Miss: schedule the analysis on the bounded queue and wait for it.
-    // The job adopts this request's trace context so the spans it (and the
-    // pool workers under it) record attach to the request tree, and it
-    // measures its own queue wait + execution time for the histograms.
-    struct JobResult {
-        outcome: Result<(String, u64), String>,
-        queue_ns: u64,
-        analyze_ns: u64,
-    }
-    let trace_ctx = TraceCtx::current();
-    let submitted = Instant::now();
-    let (tx, rx) = mpsc::channel::<JobResult>();
-    let job = Box::new(move || {
-        let queue_ns = submitted.elapsed().as_nanos() as u64;
-        phasefold_obs::histogram!("serve.queue_wait", queue_ns);
-        // The span must close (and be captured) before the result is sent:
-        // the waiting connection thread ends the capture as soon as the
-        // reply is ready.
-        let (outcome, analyze_ns) = {
-            let _adopt = trace_ctx.map(TraceCtx::adopt);
-            let _sp = phasefold_obs::span!("serve.analyze_job");
-            let t0 = Instant::now();
-            let outcome = match try_analyze_trace(&trace, &config) {
-                Ok(analysis) => {
-                    let faults = analysis.faults.faults.len() as u64;
-                    Ok((render_report(&analysis, &trace.registry), faults))
-                }
-                Err(fault) => Err(format!("{fault}")),
-            };
-            (outcome, t0.elapsed().as_nanos() as u64)
-        };
-        phasefold_obs::histogram!("serve.analyze_time", analyze_ns);
-        let _ = tx.send(JobResult { outcome, queue_ns, analyze_ns });
-    });
-    match state.queue.try_submit(job) {
-        Ok(()) => {}
-        Err(SubmitError::Full) => {
-            state.rejected.fetch_add(1, Ordering::SeqCst);
-            return Reply::text(503, "Service Unavailable", "queue full, retry shortly\n".into())
-                .header("retry-after", "1".to_string());
-        }
-        Err(SubmitError::ShuttingDown) => {
-            state.rejected.fetch_add(1, Ordering::SeqCst);
-            return Reply::text(503, "Service Unavailable", "daemon is draining\n".into());
-        }
-    }
-    // A worker panic would drop `tx`; the disconnect below turns that into
-    // a 500 instead of a hang.
-    match rx.recv_timeout(Duration::from_secs(600)) {
-        Ok(JobResult { outcome: Ok((report, analysis_faults)), queue_ns, analyze_ns }) => {
-            lock_recover(&state.cache).insert(key, witness, report.clone());
+    let t0 = Instant::now();
+    let outcome = try_analyze_trace(&trace, config);
+    let analyze_ns = t0.elapsed().as_nanos() as u64;
+    phasefold_obs::histogram!("serve.analyze_time", analyze_ns);
+    match outcome {
+        Ok(analysis) => {
+            let analysis_faults = analysis.faults.faults.len() as u64;
+            let report = render_report(&analysis, &trace.registry);
+            state.cache.insert(key, witness, report.clone());
+            remember_raw(state, fkey, RawEntry { key, witness, parse_quarantined });
             let mut reply = Reply::text(200, "OK", report)
                 .header("x-cache", "miss".to_string())
                 .header("x-parse-quarantined", parse_quarantined.to_string());
             reply.meta.queue_ns = queue_ns;
             reply.meta.analyze_ns = analyze_ns;
             reply.meta.faults = parse_quarantined as u64 + analysis_faults;
-            return reply;
+            reply
         }
-        Ok(JobResult { outcome: Err(fault), queue_ns, analyze_ns }) => {
+        Err(fault) => {
             let mut reply = Reply::text(422, "Unprocessable Entity", format!("{fault}\n"));
             reply.meta.queue_ns = queue_ns;
             reply.meta.analyze_ns = analyze_ns;
             reply.meta.faults = parse_quarantined as u64 + 1;
             reply
         }
-        Err(_) => Reply::text(
-            500,
-            "Internal Server Error",
-            "analysis job died or timed out\n".to_string(),
-        ),
     }
 }
 
@@ -1020,32 +1212,38 @@ fn fleet_id(what: &str, id: &str) -> Result<String, Reply> {
     Ok(id.to_string())
 }
 
-/// Turns a request body into a [`Fingerprint`] under `build`/`trace_id`:
-/// a `.pffp` frame is decoded directly (identity fields rewritten to the
-/// query parameters — the caller's naming wins); a PRV trace is parsed
-/// and analyzed on the bounded job queue, so fleet ingestion sheds load
-/// with `503` + `Retry-After` exactly like `/v1/analyze`.
-fn fingerprint_from_body(
-    state: &Arc<State>,
-    req: &Request,
+/// Delivers one parked reply to exactly one connection on `Drop`, so a
+/// panicking fleet job still answers with a 500 instead of stranding
+/// the connection until the drain deadline.
+struct DeliverGuard {
+    state: Arc<State>,
+    slot: ReplySlot,
+    reply: Option<Reply>,
+    what: &'static str,
+}
+
+impl Drop for DeliverGuard {
+    fn drop(&mut self) {
+        let reply = self.reply.take().unwrap_or_else(|| {
+            Reply::text(
+                500,
+                "Internal Server Error",
+                format!("{} job died or timed out\n", self.what),
+            )
+        });
+        self.state.deliver(self.slot, reply);
+    }
+}
+
+/// Parses and analyzes a PRV body into a [`Fingerprint`]. Runs on a
+/// queue worker under the `serve.fingerprint_job` span.
+fn fingerprint_from_prv(
+    body: &[u8],
+    config: &AnalysisConfig,
     build: &str,
     trace_id: &str,
-) -> Result<(Fingerprint, &'static str), Reply> {
-    if Fingerprint::sniff(&req.body) {
-        return match Fingerprint::decode(&req.body) {
-            Ok(mut fp) => {
-                fp.build_id = build.to_string();
-                fp.trace_id = trace_id.to_string();
-                Ok((fp, "pffp"))
-            }
-            Err(e) => {
-                Err(Reply::text(422, "Unprocessable Entity", format!("bad fingerprint: {e}\n")))
-            }
-        };
-    }
-
-    let config = effective_config(state, req)?;
-    let Ok(text) = std::str::from_utf8(&req.body) else {
+) -> Result<Fingerprint, Reply> {
+    let Ok(text) = std::str::from_utf8(body) else {
         return Err(Reply::bad_request("body is neither a .pffp frame nor UTF-8 PRV\n".into()));
     };
     let trace = match config.fault_policy {
@@ -1060,59 +1258,14 @@ fn fingerprint_from_body(
             }
         },
     };
-
-    let trace_ctx = TraceCtx::current();
-    let submitted = Instant::now();
-    let (tx, rx) = mpsc::channel::<Result<Fingerprint, String>>();
-    let build_owned = build.to_string();
-    let trace_owned = trace_id.to_string();
-    let job = Box::new(move || {
-        phasefold_obs::histogram!("serve.queue_wait", submitted.elapsed().as_nanos() as u64);
-        let outcome = {
-            let _adopt = trace_ctx.map(TraceCtx::adopt);
-            let _sp = phasefold_obs::span!("serve.fingerprint_job");
-            match try_analyze_trace(&trace, &config) {
-                Ok(analysis) => Ok(Fingerprint::from_analysis(
-                    &analysis,
-                    &trace.registry,
-                    &build_owned,
-                    &trace_owned,
-                )),
-                Err(fault) => Err(format!("{fault}")),
-            }
-        };
-        let _ = tx.send(outcome);
-    });
-    match state.queue.try_submit(job) {
-        Ok(()) => {}
-        Err(SubmitError::Full) => {
-            state.rejected.fetch_add(1, Ordering::SeqCst);
-            return Err(Reply::text(
-                503,
-                "Service Unavailable",
-                "queue full, retry shortly\n".into(),
-            )
-            .header("retry-after", "1".to_string()));
-        }
-        Err(SubmitError::ShuttingDown) => {
-            state.rejected.fetch_add(1, Ordering::SeqCst);
-            return Err(Reply::text(503, "Service Unavailable", "daemon is draining\n".into()));
-        }
-    }
-    match rx.recv_timeout(Duration::from_secs(600)) {
-        Ok(Ok(fp)) => Ok((fp, "prv")),
-        Ok(Err(fault)) => Err(Reply::text(422, "Unprocessable Entity", format!("{fault}\n"))),
-        Err(_) => Err(Reply::text(
-            500,
-            "Internal Server Error",
-            "fingerprint job died or timed out\n".to_string(),
-        )),
+    match try_analyze_trace(&trace, config) {
+        Ok(analysis) => Ok(Fingerprint::from_analysis(&analysis, &trace.registry, build, trace_id)),
+        Err(fault) => Err(Reply::text(422, "Unprocessable Entity", format!("{fault}\n"))),
     }
 }
 
-/// `POST /v1/fingerprints?build=B[&trace=T]` — fingerprint the posted
-/// trace (or store the posted `.pffp` frame) under the build identity.
-fn fingerprints(state: &Arc<State>, req: &Request) -> Reply {
+/// Stores `fp` in the fleet store and renders the confirmation JSON.
+fn store_fingerprint(state: &State, fp: &Fingerprint, kind: &'static str) -> Reply {
     let Some(store) = &state.fleet else {
         return Reply::text(
             503,
@@ -1120,22 +1273,7 @@ fn fingerprints(state: &Arc<State>, req: &Request) -> Reply {
             "fleet store not configured (start with --fleet-dir)\n".to_string(),
         );
     };
-    let build = match req.query_param("build") {
-        Some(b) => match fleet_id("build id", b) {
-            Ok(b) => b,
-            Err(reply) => return reply,
-        },
-        None => return Reply::bad_request("?build=<id> is required\n".to_string()),
-    };
-    let trace_id = match fleet_id("trace id", req.query_param("trace").unwrap_or("default")) {
-        Ok(t) => t,
-        Err(reply) => return reply,
-    };
-    let (fp, kind) = match fingerprint_from_body(state, req, &build, &trace_id) {
-        Ok(v) => v,
-        Err(reply) => return reply,
-    };
-    let key = match store.put(&fp) {
+    let key = match store.put(fp) {
         Ok(key) => key,
         Err(e) => {
             return Reply::text(500, "Internal Server Error", format!("storing fingerprint: {e}\n"))
@@ -1155,23 +1293,122 @@ fn fingerprints(state: &Arc<State>, req: &Request) -> Reply {
     )
 }
 
+/// Submits a fleet-endpoint job, mapping queue rejection to the same
+/// `503` shapes as `/v1/analyze`, and parks the connection on success.
+fn submit_fleet_job(
+    state: &Arc<State>,
+    job: Box<dyn FnOnce() + Send + 'static>,
+) -> Routed {
+    match state.queue.try_submit(job) {
+        Ok(()) => Routed::Pending,
+        Err(SubmitError::Full) => {
+            state.rejected.fetch_add(1, Ordering::SeqCst);
+            Reply::text(503, "Service Unavailable", "queue full, retry shortly\n".into())
+                .header("retry-after", "1".to_string())
+                .into()
+        }
+        Err(SubmitError::ShuttingDown) => {
+            state.rejected.fetch_add(1, Ordering::SeqCst);
+            Reply::text(503, "Service Unavailable", "daemon is draining\n".into()).into()
+        }
+    }
+}
+
+/// `POST /v1/fingerprints?build=B[&trace=T]` — fingerprint the posted
+/// trace (or store the posted `.pffp` frame) under the build identity.
+/// A `.pffp` frame is decoded inline (identity fields rewritten to the
+/// query parameters — the caller's naming wins); a PRV trace is parsed
+/// and analyzed on the bounded job queue, so fleet ingestion sheds load
+/// with `503` + `Retry-After` exactly like `/v1/analyze`.
+fn fingerprints(state: &Arc<State>, req: &mut Request, slot: ReplySlot) -> Routed {
+    if state.fleet.is_none() {
+        return Reply::text(
+            503,
+            "Service Unavailable",
+            "fleet store not configured (start with --fleet-dir)\n".to_string(),
+        )
+        .into();
+    }
+    let build = match req.query_param("build") {
+        Some(b) => match fleet_id("build id", b) {
+            Ok(b) => b,
+            Err(reply) => return reply.into(),
+        },
+        None => return Reply::bad_request("?build=<id> is required\n".to_string()).into(),
+    };
+    let trace_id = match fleet_id("trace id", req.query_param("trace").unwrap_or("default")) {
+        Ok(t) => t,
+        Err(reply) => return reply.into(),
+    };
+    if Fingerprint::sniff(&req.body) {
+        // Decoding a frame is cheap (no analysis): answer inline.
+        return match Fingerprint::decode(&req.body) {
+            Ok(mut fp) => {
+                fp.build_id = build;
+                fp.trace_id = trace_id;
+                store_fingerprint(state, &fp, "pffp").into()
+            }
+            Err(e) => {
+                Reply::text(422, "Unprocessable Entity", format!("bad fingerprint: {e}\n")).into()
+            }
+        };
+    }
+    let config = match effective_config(state, req) {
+        Ok(c) => c,
+        Err(reply) => return reply.into(),
+    };
+    let body = std::mem::take(&mut req.body);
+    let trace_ctx = TraceCtx::current();
+    let submitted = Instant::now();
+    let job_state = Arc::clone(state);
+    let job = Box::new(move || {
+        let mut guard =
+            DeliverGuard { state: job_state, slot, reply: None, what: "fingerprint" };
+        phasefold_obs::histogram!("serve.queue_wait", submitted.elapsed().as_nanos() as u64);
+        let reply = {
+            let _adopt = trace_ctx.map(TraceCtx::adopt);
+            let _sp = phasefold_obs::span!("serve.fingerprint_job");
+            match fingerprint_from_prv(&body, &config, &build, &trace_id) {
+                Ok(fp) => store_fingerprint(&guard.state, &fp, "prv"),
+                Err(reply) => reply,
+            }
+        };
+        guard.reply = Some(reply);
+    });
+    submit_fleet_job(state, job)
+}
+
+/// Compares two fingerprints and renders the verdict JSON.
+fn render_verdict(baseline: &Fingerprint, candidate: &Fingerprint, config: &MatchConfig) -> Reply {
+    let verdict = compare_fingerprints(baseline, candidate, config);
+    phasefold_obs::counter!("fleet.compares", 1);
+    if verdict.regressed {
+        phasefold_obs::counter!("fleet.regressions_detected", 1);
+    }
+    let mut body = verdict_json(&verdict);
+    body.push('\n');
+    Reply::json(200, "OK", body)
+}
+
 /// `POST /v1/compare?baseline=B[&candidate=C][&threshold=R]` — regression
-/// verdict between the stored baseline and either a stored candidate or
-/// the posted body (PRV trace or `.pffp` frame).
-fn compare_builds(state: &Arc<State>, req: &Request) -> Reply {
+/// verdict between the stored baseline and either a stored candidate
+/// (answered inline: two store reads and a match, no analysis) or the
+/// posted body (PRV trace or `.pffp` frame, fingerprinted on the queue).
+fn compare_builds(state: &Arc<State>, req: &mut Request, slot: ReplySlot) -> Routed {
     let Some(store) = &state.fleet else {
         return Reply::text(
             503,
             "Service Unavailable",
             "fleet store not configured (start with --fleet-dir)\n".to_string(),
-        );
+        )
+        .into();
     };
     let baseline_id = match req.query_param("baseline") {
         Some(b) => match fleet_id("build id", b) {
             Ok(b) => b,
-            Err(reply) => return reply,
+            Err(reply) => return reply.into(),
         },
-        None => return Reply::bad_request("?baseline=<build id> is required\n".to_string()),
+        None => return Reply::bad_request("?baseline=<build id> is required\n".to_string()).into(),
     };
     let mut config = MatchConfig {
         regression_threshold: state.config.regress_threshold,
@@ -1184,6 +1421,7 @@ fn compare_builds(state: &Arc<State>, req: &Request) -> Reply {
                 return Reply::bad_request(format!(
                     "?threshold={t:?} must be a positive number (relative growth)\n"
                 ))
+                .into()
             }
         }
     }
@@ -1195,54 +1433,92 @@ fn compare_builds(state: &Arc<State>, req: &Request) -> Reply {
                 "Not Found",
                 format!("no stored fingerprint for build {baseline_id:?}\n"),
             )
+            .into()
         }
         Err(e) => {
             return Reply::text(500, "Internal Server Error", format!("reading baseline: {e}\n"))
+                .into()
         }
     };
-    let candidate = match req.query_param("candidate") {
+    match req.query_param("candidate") {
         Some(c) => {
             let c = match fleet_id("build id", c) {
                 Ok(c) => c,
-                Err(reply) => return reply,
+                Err(reply) => return reply.into(),
             };
             match store.find_build(&c) {
-                Ok(Some(fp)) => fp,
-                Ok(None) => {
-                    return Reply::text(
-                        404,
-                        "Not Found",
-                        format!("no stored fingerprint for build {c:?}\n"),
-                    )
-                }
-                Err(e) => {
-                    return Reply::text(
-                        500,
-                        "Internal Server Error",
-                        format!("reading candidate: {e}\n"),
-                    )
-                }
+                Ok(Some(fp)) => render_verdict(&baseline, &fp, &config).into(),
+                Ok(None) => Reply::text(
+                    404,
+                    "Not Found",
+                    format!("no stored fingerprint for build {c:?}\n"),
+                )
+                .into(),
+                Err(e) => Reply::text(
+                    500,
+                    "Internal Server Error",
+                    format!("reading candidate: {e}\n"),
+                )
+                .into(),
             }
         }
-        None if req.body.is_empty() => {
-            return Reply::bad_request(
-                "?candidate=<build id> or a request body (PRV trace or .pffp) is required\n"
-                    .to_string(),
-            )
+        None if req.body.is_empty() => Reply::bad_request(
+            "?candidate=<build id> or a request body (PRV trace or .pffp) is required\n"
+                .to_string(),
+        )
+        .into(),
+        None => {
+            // Body candidate: decode a `.pffp` frame inline, or analyze
+            // a PRV trace on the queue with the baseline moved into the
+            // job.
+            if Fingerprint::sniff(&req.body) {
+                return match Fingerprint::decode(&req.body) {
+                    Ok(mut fp) => {
+                        fp.build_id = "inline".to_string();
+                        fp.trace_id = baseline.trace_id.clone();
+                        render_verdict(&baseline, &fp, &config).into()
+                    }
+                    Err(e) => Reply::text(
+                        422,
+                        "Unprocessable Entity",
+                        format!("bad fingerprint: {e}\n"),
+                    )
+                    .into(),
+                };
+            }
+            let analysis_config = match effective_config(state, req) {
+                Ok(c) => c,
+                Err(reply) => return reply.into(),
+            };
+            let body = std::mem::take(&mut req.body);
+            let trace_ctx = TraceCtx::current();
+            let submitted = Instant::now();
+            let job_state = Arc::clone(state);
+            let job = Box::new(move || {
+                let mut guard =
+                    DeliverGuard { state: job_state, slot, reply: None, what: "compare" };
+                phasefold_obs::histogram!(
+                    "serve.queue_wait",
+                    submitted.elapsed().as_nanos() as u64
+                );
+                let reply = {
+                    let _adopt = trace_ctx.map(TraceCtx::adopt);
+                    let _sp = phasefold_obs::span!("serve.fingerprint_job");
+                    match fingerprint_from_prv(
+                        &body,
+                        &analysis_config,
+                        "inline",
+                        &baseline.trace_id,
+                    ) {
+                        Ok(fp) => render_verdict(&baseline, &fp, &config),
+                        Err(reply) => reply,
+                    }
+                };
+                guard.reply = Some(reply);
+            });
+            submit_fleet_job(state, job)
         }
-        None => match fingerprint_from_body(state, req, "inline", &baseline.trace_id) {
-            Ok((fp, _)) => fp,
-            Err(reply) => return reply,
-        },
-    };
-    let verdict = compare_fingerprints(&baseline, &candidate, &config);
-    phasefold_obs::counter!("fleet.compares", 1);
-    if verdict.regressed {
-        phasefold_obs::counter!("fleet.regressions_detected", 1);
     }
-    let mut body = verdict_json(&verdict);
-    body.push('\n');
-    Reply::json(200, "OK", body)
 }
 
 /// Writes `id`'s checkpoint and, on success, resets its WAL (every entry

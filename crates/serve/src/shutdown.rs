@@ -8,9 +8,10 @@
 
 #[cfg(unix)]
 mod imp {
-    // The one unsafe block in the workspace outside vendored code: binding
-    // signal(2) directly, since std exposes no handler API and external
-    // crates are off the table.
+    // Binding signal(2) directly, since std exposes no handler API and
+    // external crates are off the table. The only other unsafe code in
+    // the workspace is `crate::sys` (the event loop's readiness
+    // syscalls), under the same raw-binding discipline.
     #![allow(unsafe_code)]
 
     use std::sync::atomic::{AtomicBool, Ordering};

@@ -8,7 +8,12 @@
 #      injected slowdowns, every pair with fresh noise on both sides.
 #      Gates, read from BENCH_regress.json:
 #        - recall at 30% slowdown >= RECALL_GATE (default 0.9): a slowdown
-#          three times the threshold must essentially always fire,
+#          far above the threshold must essentially always fire,
+#        - recall at 10% slowdown >= RECALL10_GATE (default 0.8): the
+#          headline "10% slower deploy" case must fire reliably — this is
+#          what the 0.08 default threshold is calibrated for (a gate at
+#          exactly 0.10 only catches the upper half of the noise
+#          distribution around a true 10% slowdown),
 #        - false-positive rate on no-change pairs <= FPR_GATE (default
 #          0.1): run-to-run noise must not page anyone.
 #
@@ -24,6 +29,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 RECALL_GATE=${RECALL_GATE:-0.9}
+RECALL10_GATE=${RECALL10_GATE:-0.8}
 FPR_GATE=${FPR_GATE:-0.1}
 
 WORK=$(mktemp -d /tmp/phasefold-regress.XXXXXX)
@@ -43,10 +49,16 @@ extract() {
 
 fail=0
 recall=$(extract recall_30)
+recall10=$(extract recall_10)
 fpr=$(extract false_positive_rate)
 awk -v r="$recall" -v gate="$RECALL_GATE" 'BEGIN {
     status = (r >= gate) ? "ok" : "MISSES REGRESSIONS";
     printf "recall at 30%% slowdown: %.4f (gate >= %.2f)   %s\n", r, gate, status;
+    exit (r >= gate) ? 0 : 1;
+}' || fail=1
+awk -v r="$recall10" -v gate="$RECALL10_GATE" 'BEGIN {
+    status = (r >= gate) ? "ok" : "MISSES 10% REGRESSIONS";
+    printf "recall at 10%% slowdown: %.4f (gate >= %.2f)   %s\n", r, gate, status;
     exit (r >= gate) ? 0 : 1;
 }' || fail=1
 awk -v f="$fpr" -v gate="$FPR_GATE" 'BEGIN {
